@@ -1,0 +1,22 @@
+"""Shared benchmark fixtures.
+
+Every benchmark writes its reproduced artifact (table / series) into
+``benchmarks/results/`` so the regenerated figures can be inspected and
+diffed against the paper without re-running anything.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    (results_dir / name).write_text(text + "\n")

@@ -1,0 +1,209 @@
+"""Ablations for the design choices of Sections 4.3 and 7.2 plus the
+future-work lazy variant.
+
+* collapse   -- collapsed vs uncollapsed 2-level inverted paths: terminal
+  data updates get cheaper, intermediate reference updates get costlier;
+* inline     -- Section 4.3.1 singleton-link elimination in the analytical
+  model: at f = 1 it removes the entire L-file read from in-place updates
+  (and is what makes the published Figure 12 f = 1 cell reproducible);
+* path index -- associative lookup through an index on replicated data vs
+  a Gemstone-style multi-component path index;
+* lazy       -- eager propagation vs deferred propagation drained by the
+  next read;
+* buffer     -- the model's "optimal join" assumption: read-query I/O as
+  the buffer pool shrinks below the query's working set.
+"""
+
+import random
+
+from repro import Database, TypeDefinition, char_field, int_field, ref_field
+from repro.costmodel import CostParameters, ModelStrategy, Setting, update_cost
+from repro.index.path_index import GemstonePathIndex
+from repro.workloads import WorkloadConfig, build_model_database, run_read_query
+
+from benchmarks.conftest import save_result
+
+
+def _three_level_db(n_orgs=20, n_depts=100, n_emps=600, collapsed=False):
+    rng = random.Random(13)
+    db = Database(buffer_frames=4096)
+    db.define_type(TypeDefinition("ORG", [char_field("name", 20), int_field("budget")]))
+    db.define_type(
+        TypeDefinition("DEPT", [char_field("name", 20), ref_field("org", "ORG")])
+    )
+    db.define_type(
+        TypeDefinition(
+            "EMP", [char_field("name", 20), int_field("salary"), ref_field("dept", "DEPT")]
+        )
+    )
+    db.create_set("Org", "ORG")
+    db.create_set("Dept", "DEPT")
+    db.create_set("Emp1", "EMP")
+    orgs = [db.insert("Org", {"name": f"o{i}", "budget": i}) for i in range(n_orgs)]
+    depts = [
+        db.insert("Dept", {"name": f"d{i}", "org": orgs[i % n_orgs]})
+        for i in range(n_depts)
+    ]
+    for i in range(n_emps):
+        db.insert("Emp1", {"name": f"e{i}", "salary": i, "dept": rng.choice(depts)})
+    db.replicate("Emp1.dept.org.name", collapsed=collapsed)
+    return db, orgs, depts
+
+
+def _measure(db, fn) -> int:
+    db.cold_cache()
+    cost = db.measure(lambda: (fn(), db.storage.pool.flush_all()))
+    return cost.total_io
+
+
+def test_ablation_collapsed_paths(benchmark, results_dir):
+    """Section 4.3.3: cheaper data propagation, costlier ref updates."""
+    db_u, orgs_u, depts_u = _three_level_db(collapsed=False)
+    db_c, orgs_c, depts_c = _three_level_db(collapsed=True)
+
+    data_u = _measure(db_u, lambda: db_u.update("Org", orgs_u[0], {"name": "x1"}))
+    data_c = _measure(db_c, lambda: db_c.update("Org", orgs_c[0], {"name": "x1"}))
+    ref_u = _measure(db_u, lambda: db_u.update("Dept", depts_u[0], {"org": orgs_u[1]}))
+    ref_c = _measure(db_c, lambda: db_c.update("Dept", depts_c[0], {"org": orgs_c[1]}))
+
+    benchmark.pedantic(
+        lambda: db_c.update("Org", orgs_c[2], {"name": "bench"}),
+        rounds=3, iterations=1,
+    )
+    db_u.verify()
+    db_c.verify()
+    save_result(
+        results_dir,
+        "ablation_collapse.txt",
+        "terminal data update I/O: "
+        f"uncollapsed={data_u} collapsed={data_c}\n"
+        f"intermediate ref update I/O: uncollapsed={ref_u} collapsed={ref_c}",
+    )
+    # the trade the paper describes
+    assert data_c <= data_u
+    assert ref_c >= ref_u
+
+
+def test_ablation_singleton_link_elimination(benchmark, results_dir):
+    """Section 4.3.1, both in the analytical model and on the engine."""
+    params_on = CostParameters(f=1, f_r=0.002)
+    params_off = CostParameters(f=1, f_r=0.002, eliminate_singleton_links=False)
+
+    def both():
+        return (
+            update_cost(params_on, ModelStrategy.IN_PLACE, Setting.UNCLUSTERED),
+            update_cost(params_off, ModelStrategy.IN_PLACE, Setting.UNCLUSTERED),
+        )
+
+    with_opt, without_opt = benchmark(both)
+
+    # Engine-level: the same f = 1 update workload with and without
+    # inline_singleton_links; propagation must skip the link file entirely.
+    from repro.workloads.simulate import run_update_query
+
+    engine_io = {}
+    link_reads = {}
+    for inline in (False, True):
+        config = WorkloadConfig(n_s=200, f=1, f_s=0.03, strategy="inplace",
+                                inline_links=inline)
+        mdb = build_model_database(config)
+        rng = random.Random(23)
+        path = mdb.db.catalog.get_path("R.sref.repfield")
+        link = mdb.db.catalog.get_link(path.link_sequence[0])
+        mdb.db.cold_cache()
+        before = mdb.db.stats.snapshot()
+        for __ in range(3):
+            run_update_query(mdb, rng)
+        delta = mdb.db.stats.snapshot() - before
+        engine_io[inline] = delta.total_io
+        link_reads[inline] = delta.io_for(link.file.heap.file_id)
+        mdb.db.verify()
+
+    save_result(
+        results_dir,
+        "ablation_inline_links.txt",
+        f"analytical, in-place update cost at f=1: inlined={with_opt:.2f} "
+        f"with L file={without_opt:.2f} (saving {without_opt - with_opt:.2f} I/Os)\n"
+        f"engine, 3 update queries at f=1: plain={engine_io[False]} I/Os "
+        f"(link-file I/O {link_reads[False]}), inlined={engine_io[True]} I/Os "
+        f"(link-file I/O {link_reads[True]})",
+    )
+    assert without_opt - with_opt > 5  # the whole L read disappears (model)
+    assert link_reads[True] == 0       # no link file touched (engine)
+    assert engine_io[True] <= engine_io[False]
+
+
+def test_ablation_path_index_vs_gemstone(benchmark, results_dir):
+    """Section 7.2: one B+-tree traversal vs one per component."""
+    db, __orgs, __depts = _three_level_db(n_orgs=300, n_depts=600, n_emps=1500)
+    gem = GemstonePathIndex(db, "Emp1.dept.org.name")
+    info = db.build_index("Emp1.dept.org.name")
+    probes = [f"o{i}" for i in (3, 77, 150, 222, 280)]
+
+    db.cold_cache()
+    gem_io = db.measure(lambda: [gem.lookup(p) for p in probes]).total_io
+    db.cold_cache()
+    rep_io = db.measure(lambda: [info.index.lookup(p) for p in probes]).total_io
+    benchmark.pedantic(lambda: info.index.lookup("o3"), rounds=5, iterations=1)
+
+    save_result(
+        results_dir,
+        "ablation_path_index.txt",
+        f"{len(probes)} associative lookups on Emp1.dept.org.name\n"
+        f"Gemstone multi-component index: {gem_io} I/Os "
+        f"({gem.component_count} trees per lookup)\n"
+        f"index on replicated data:       {rep_io} I/Os (1 tree per lookup)",
+    )
+    assert rep_io < gem_io
+
+
+def test_ablation_lazy_propagation(benchmark, results_dir):
+    """Future work (§8): an update burst followed by one read."""
+    def burst_cost(lazy: bool) -> int:
+        db, orgs, __depts = _three_level_db()
+        db.drop_replication("Emp1.dept.org.name")
+        db.replicate("Emp1.dept.org.name", lazy=lazy)
+        # each operation is its own query: cold cache, then write-back
+        total = 0
+        for i in range(10):
+            total += _measure(db, lambda: db.update("Org", orgs[0], {"name": f"v{i}"}))
+        total += _measure(
+            db,
+            lambda: db.execute("retrieve (Emp1.dept.org.name)", materialize=False),
+        )
+        db.verify()
+        return total
+
+    eager = burst_cost(lazy=False)
+    lazy = benchmark.pedantic(lambda: burst_cost(lazy=True), rounds=1, iterations=1)
+    save_result(
+        results_dir,
+        "ablation_lazy.txt",
+        f"10 updates to one replicated source + 1 scan of the path\n"
+        f"eager propagation: {eager} I/Os\nlazy propagation:  {lazy} I/Os",
+    )
+    assert lazy < eager
+
+
+def test_ablation_buffer_pool_size(benchmark, results_dir):
+    """The optimal-join assumption needs the pool to hold the working set."""
+    lines = ["read-query I/O vs buffer frames (unclustered, f=5)"]
+    costs = {}
+    for frames in (8, 32, 2048):
+        config = WorkloadConfig(
+            n_s=300, f=5, f_r=0.02, f_s=0.01, buffer_frames=frames
+        )
+        mdb = build_model_database(config)
+        rng = random.Random(17)
+        io = sum(run_read_query(mdb, rng) for __ in range(3)) / 3
+        costs[frames] = io
+        lines.append(f"frames={frames:5d}: {io:7.1f} I/Os per read query")
+    benchmark.pedantic(
+        lambda: run_read_query(build_model_database(
+            WorkloadConfig(n_s=300, f=5, f_r=0.02, buffer_frames=2048)
+        ), random.Random(1)),
+        rounds=1, iterations=1,
+    )
+    save_result(results_dir, "ablation_buffer.txt", "\n".join(lines))
+    # a starved pool re-reads pages; a big pool reads each page once
+    assert costs[8] >= costs[2048]

@@ -1,0 +1,17 @@
+"""The paper's prose claims (Sections 6.6, 6.8, 8), machine-checked."""
+
+from repro.costmodel import check_all_claims
+
+from benchmarks.conftest import save_result
+
+
+def test_claims(benchmark, results_dir):
+    results = benchmark(check_all_claims)
+    lines = []
+    for result in results:
+        status = "HOLDS" if result.holds else "FAILS"
+        lines.append(f"[{status}] claim {result.claim_id}: {result.description}")
+        lines.append(f"        {result.detail}")
+    save_result(results_dir, "claims.txt", "\n".join(lines))
+    failing = [r for r in results if not r.holds]
+    assert not failing, [r.claim_id for r in failing]

@@ -1,0 +1,55 @@
+"""Figure 11 -- % difference in C_total, unclustered indexes.
+
+Regenerates all four panels (f = 1, 10, 20, 50; f_r = .001/.002/.005 for
+both strategies) and checks the qualitative structure the paper describes.
+"""
+
+from repro.costmodel import ModelStrategy, Setting, figure11, render_series_table
+
+from benchmarks.conftest import save_result
+
+
+def test_figure11(benchmark, results_dir):
+    graphs = benchmark(figure11)
+    save_result(results_dir, "figure11_unclustered.txt",
+                render_series_table(graphs, Setting.UNCLUSTERED))
+    from repro.costmodel.export import figure_csvs
+
+    for f, csv_text in figure_csvs(graphs).items():
+        save_result(results_dir, f"figure11_unclustered_f{f}.csv", csv_text.rstrip())
+
+    inplace = ModelStrategy.IN_PLACE
+    separate = ModelStrategy.SEPARATE
+
+    # read-only mixes: in-place always wins
+    for f in (1, 10, 20, 50):
+        for f_r in (0.001, 0.002, 0.005):
+            assert graphs[f][inplace][f_r].percents[0] < 0
+
+    # f = 1: separate provides almost no benefit
+    for f_r in (0.001, 0.002, 0.005):
+        assert graphs[1][separate][f_r].percents[0] > -10
+
+    # in-place breaks down faster than separate as P_update grows
+    for f in (10, 20, 50):
+        assert (
+            graphs[f][inplace][0.002].percents[-1]
+            > graphs[f][separate][0.002].percents[-1]
+        )
+
+    # in-place stops beating no replication at a moderate P_update;
+    # separate keeps winning until far later
+    cross_in = graphs[20][inplace][0.002].crossover()
+    assert cross_in is not None and 0.05 <= cross_in <= 0.5
+    cross_sep = graphs[20][separate][0.002].crossover()
+    assert cross_sep is None or cross_sep >= 0.8
+
+    # the f_r flip for separate replication between f = 10 and f = 50
+    assert (
+        graphs[10][separate][0.005].percents[0]
+        < graphs[10][separate][0.001].percents[0]
+    )
+    assert (
+        graphs[50][separate][0.001].percents[0]
+        < graphs[50][separate][0.005].percents[0]
+    )

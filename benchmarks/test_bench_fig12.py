@@ -1,0 +1,26 @@
+"""Figure 12 -- selected values of C_read / C_update, unclustered access."""
+
+from repro.costmodel import (
+    PAPER_FIGURE12,
+    Setting,
+    figure12,
+    render_selected_values,
+)
+
+from benchmarks.conftest import save_result
+
+
+def test_figure12(benchmark, results_dir):
+    rows = benchmark(figure12)
+    text = render_selected_values(rows, Setting.UNCLUSTERED, PAPER_FIGURE12)
+    save_result(results_dir, "figure12_selected_values.txt", text)
+
+    deltas = []
+    for row in rows:
+        want_read, want_update = PAPER_FIGURE12[row.f][row.strategy]
+        deltas.append(abs(row.c_read - want_read))
+        deltas.append(abs(row.c_update - want_update))
+    # every cell within rounding distance of the published table
+    assert max(deltas) <= 2
+    # and most cells exactly equal
+    assert sum(1 for d in deltas if d == 0) >= 10

@@ -1,0 +1,34 @@
+"""Figure 13 -- % difference in C_total, clustered indexes."""
+
+from repro.costmodel import ModelStrategy, Setting, figure13, render_series_table
+
+from benchmarks.conftest import save_result
+
+
+def test_figure13(benchmark, results_dir):
+    graphs = benchmark(figure13)
+    save_result(results_dir, "figure13_clustered.txt",
+                render_series_table(graphs, Setting.CLUSTERED))
+    from repro.costmodel.export import figure_csvs
+
+    for f, csv_text in figure_csvs(graphs).items():
+        save_result(results_dir, f"figure13_clustered_f{f}.csv", csv_text.rstrip())
+
+    inplace = ModelStrategy.IN_PLACE
+    separate = ModelStrategy.SEPARATE
+
+    # clustered savings dwarf the unclustered ones: in-place at P=0
+    for f in (1, 10, 20, 50):
+        assert graphs[f][inplace][0.001].percents[0] < -55
+
+    # in-place is spectacular at f = 1 ("particularly effective when f=1")
+    assert graphs[1][inplace][0.001].percents[0] < -70
+
+    # separate keeps saving 25-70% for f > 1 over most of the sweep
+    for f in (10, 20, 50):
+        mid = graphs[f][separate][0.002].percents[10]  # P_update = 0.5
+        assert -75 <= mid <= -20
+
+    # in-place still breaks down: propagation cost survives clustering
+    for f in (10, 20, 50):
+        assert graphs[f][inplace][0.002].percents[-1] > 0

@@ -1,0 +1,24 @@
+"""Figure 14 -- selected values of C_read / C_update, clustered access."""
+
+from repro.costmodel import (
+    PAPER_FIGURE14,
+    Setting,
+    figure14,
+    render_selected_values,
+)
+
+from benchmarks.conftest import save_result
+
+
+def test_figure14(benchmark, results_dir):
+    rows = benchmark(figure14)
+    text = render_selected_values(rows, Setting.CLUSTERED, PAPER_FIGURE14)
+    save_result(results_dir, "figure14_selected_values.txt", text)
+
+    deltas = []
+    for row in rows:
+        want_read, want_update = PAPER_FIGURE14[row.f][row.strategy]
+        deltas.append(abs(row.c_read - want_read))
+        deltas.append(abs(row.c_update - want_update))
+    assert max(deltas) <= 2
+    assert sum(1 for d in deltas if d == 0) >= 6

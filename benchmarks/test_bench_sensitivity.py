@@ -1,0 +1,67 @@
+"""Sensitivity sweeps over model parameters the paper holds fixed.
+
+Not paper artifacts -- the paper fixes k = 20, |S| = 10,000, s = 200 --
+but natural questions about the model's robustness:
+
+* replicated-field size ``k``: in-place read savings shrink as the hidden
+  field bloats R; separate replication's S' grows with k too;
+* source-object size ``s``: the bigger S objects are, the more the join
+  costs and the more both strategies save;
+* database size |S|: relative savings are nearly scale-free (the model is
+  built from per-page densities), which justifies the scaled-down
+  empirical runs.
+"""
+
+from repro.costmodel import CostParameters, ModelStrategy, Setting, percent_difference
+
+from benchmarks.conftest import save_result
+
+
+def read_pct(strategy, **kw):
+    return percent_difference(
+        CostParameters(**kw), strategy, Setting.UNCLUSTERED, 0.0
+    )
+
+
+def test_sensitivity_k(benchmark, results_dir):
+    ks = (4, 20, 40, 80)
+    series = benchmark(
+        lambda: [read_pct(ModelStrategy.IN_PLACE, f=10, f_r=0.002, k=k) for k in ks]
+    )
+    lines = ["in-place read-only %diff vs replicated-field size k (f=10)"]
+    for k, pct in zip(ks, series):
+        lines.append(f"  k={k:3d}: {pct:+7.1f}%")
+    sep = [read_pct(ModelStrategy.SEPARATE, f=10, f_r=0.002, k=k) for k in ks]
+    lines.append("separate read-only %diff vs k")
+    for k, pct in zip(ks, sep):
+        lines.append(f"  k={k:3d}: {pct:+7.1f}%")
+    save_result(results_dir, "sensitivity_k.txt", "\n".join(lines))
+    # bloating R erodes (but does not erase) the in-place advantage
+    assert series == sorted(series)
+    assert all(pct < 0 for pct in series)
+
+
+def test_sensitivity_s(benchmark, results_dir):
+    sizes = (100, 200, 400, 800)
+    series = benchmark(
+        lambda: [read_pct(ModelStrategy.IN_PLACE, f=10, f_r=0.002, s=s) for s in sizes]
+    )
+    lines = ["in-place read-only %diff vs source-object size s (f=10)"]
+    for s, pct in zip(sizes, series):
+        lines.append(f"  s={s:4d}: {pct:+7.1f}%")
+    save_result(results_dir, "sensitivity_s.txt", "\n".join(lines))
+    # fatter S objects -> costlier join -> bigger replication win
+    assert series == sorted(series, reverse=True)
+
+
+def test_sensitivity_scale(benchmark, results_dir):
+    ns = (1_000, 10_000, 100_000)
+    series = benchmark(
+        lambda: [read_pct(ModelStrategy.IN_PLACE, f=10, f_r=0.002, n_s=n) for n in ns]
+    )
+    lines = ["in-place read-only %diff vs |S| (f=10, f_r=.002)"]
+    for n, pct in zip(ns, series):
+        lines.append(f"  |S|={n:7,d}: {pct:+7.1f}%")
+    save_result(results_dir, "sensitivity_scale.txt", "\n".join(lines))
+    # near scale-free: all values within a few points of each other
+    assert max(series) - min(series) < 10

@@ -1,0 +1,57 @@
+"""Explore the analytical cost model of Section 6.
+
+Prints the selected-values tables (Figures 12 and 14) side by side with
+the paper's published numbers, one ASCII panel of Figure 11, crossover
+points per sharing level, and the status of the paper's prose claims.
+
+Run:  python examples/cost_explorer.py
+"""
+
+from repro.costmodel import (
+    PAPER_FIGURE12,
+    PAPER_FIGURE14,
+    CostParameters,
+    ModelStrategy,
+    Setting,
+    check_all_claims,
+    figure12,
+    figure14,
+    render_selected_values,
+    sweep,
+)
+from repro.costmodel.figures import render_ascii_plot
+
+
+def main() -> None:
+    print(render_selected_values(figure12(), Setting.UNCLUSTERED, PAPER_FIGURE12))
+    print()
+    print(render_selected_values(figure14(), Setting.CLUSTERED, PAPER_FIGURE14))
+
+    print("\nFigure 11, f = 10 panel (percent difference in C_total):")
+    series = {}
+    for strategy in (ModelStrategy.IN_PLACE, ModelStrategy.SEPARATE):
+        for f_r in (0.001, 0.005):
+            params = CostParameters(f=10, f_r=f_r)
+            series[f"{strategy.value} fr={f_r}"] = sweep(
+                params, strategy, Setting.UNCLUSTERED, points=31
+            )
+    print(render_ascii_plot(series))
+
+    print("\nCrossover P_update (strategy stops beating no replication):")
+    for f in (1, 10, 20, 50):
+        row = [f"  f={f:<3d}"]
+        for strategy in (ModelStrategy.IN_PLACE, ModelStrategy.SEPARATE):
+            params = CostParameters(f=f, f_r=0.002)
+            cross = sweep(params, strategy, Setting.UNCLUSTERED, points=201).crossover()
+            row.append(f"{strategy.value}: {cross if cross is not None else 'never'}")
+        print("  ".join(row))
+
+    print("\nPaper claims:")
+    for result in check_all_claims():
+        status = "HOLDS" if result.holds else "FAILS"
+        print(f"  [{status}] claim {result.claim_id}: {result.description}")
+        print(f"          {result.detail}")
+
+
+if __name__ == "__main__":
+    main()

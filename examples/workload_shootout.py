@@ -1,0 +1,36 @@
+"""Empirical strategy shoot-out on the real storage engine.
+
+Runs the paper's read / update query mix (Section 6) against the three
+strategies at two sharing levels and prints measured I/O costs plus the
+percentage-difference series -- the empirical analogue of Figure 11.
+
+Run:  python examples/workload_shootout.py
+"""
+
+from repro.workloads import WorkloadConfig, compare_strategies, percent_differences
+
+P_GRID = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def main() -> None:
+    for f in (1, 5):
+        config = WorkloadConfig(n_s=400, f=f, f_r=0.01, f_s=0.01)
+        print(f"\n=== unclustered, |S| = {config.n_s}, f = {f}, "
+              f"|R| = {config.n_r} ===")
+        costs = compare_strategies(config, trials=4)
+        print(f"{'strategy':10s} {'C_read':>8s} {'C_update':>9s}")
+        for strategy, measured in costs.items():
+            print(f"{strategy:10s} {measured.read:8.1f} {measured.update:9.1f}")
+        print(f"\n{'P_update':>8s} {'in-place':>10s} {'separate':>10s}   (% vs none)")
+        pct = percent_differences(costs, P_GRID)
+        for i, p in enumerate(P_GRID):
+            print(f"{p:8.2f} {pct['inplace'][i]:+9.1f}% {pct['separate'][i]:+9.1f}%")
+    print(
+        "\nShapes match the analytical model: in-place dominates read-heavy "
+        "mixes,\nbreaks down fastest as updates grow; separate helps when "
+        "f > 1 and decays slowly."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""repro: field replication in an object-oriented DBMS.
+
+A full reproduction of Shekita & Carey, *Performance Enhancement Through
+Replication in an Object-Oriented DBMS* (SIGMOD 1989 / UW-Madison TR #817):
+an EXODUS-style storage engine, an EXTRA-like object model, the in-place
+and separate field-replication strategies with inverted paths and link
+objects, a replication-aware query processor, the paper's analytical I/O
+cost model, and an empirical workload simulator.
+
+Quickstart::
+
+    from repro import Database, TypeDefinition, char_field, int_field, ref_field
+
+    db = Database()
+    db.define_type(TypeDefinition("DEPT", [char_field("name", 20)]))
+    db.define_type(TypeDefinition("EMP", [char_field("name", 20),
+                                          int_field("salary"),
+                                          ref_field("dept", "DEPT")]))
+    db.create_set("Dept", "DEPT")
+    db.create_set("Emp1", "EMP")
+    db.replicate("Emp1.dept.name")          # eliminate the functional join
+    rows = db.execute(
+        "retrieve (Emp1.name, Emp1.dept.name) where Emp1.salary > 100000"
+    ).rows
+"""
+
+from repro.errors import ReproError
+from repro.objects.types import (
+    FieldDef,
+    FieldKind,
+    TypeDefinition,
+    char_field,
+    float_field,
+    int_field,
+    ref_field,
+)
+from repro.replication.spec import Strategy
+from repro.schema.database import Database
+from repro.storage.oid import OID
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "FieldDef",
+    "FieldKind",
+    "OID",
+    "ReproError",
+    "Strategy",
+    "TypeDefinition",
+    "char_field",
+    "float_field",
+    "int_field",
+    "ref_field",
+    "__version__",
+]

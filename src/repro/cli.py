@@ -1,0 +1,190 @@
+"""An interactive shell for the field-replication DBMS.
+
+Usage::
+
+    python -m repro.cli                 # interactive session
+    python -m repro.cli script.extra    # run a script file, then exit
+    echo "..." | python -m repro.cli    # run a piped script
+
+Statements are the EXTRA-ish DDL (``define type`` / ``create`` /
+``replicate`` / ``build btree on`` / ``drop replicate|index|set``) and
+queries (``retrieve`` / ``replace`` / ``delete``, plus ``explain <query>``
+to see the plan without running it); terminate interactive statements with
+``;`` or a blank line.  Meta-commands:
+
+    \\describe          render the whole schema
+    \\stats             cumulative I/O counters
+    \\verify            run the replication consistency checker
+    \\cold              flush + empty the buffer pool
+    \\help              this text
+    \\quit              leave
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.errors import ReproError
+from repro.query.executor import QueryResult
+from repro.schema.database import Database
+from repro.schema.describe import describe_database
+from repro.schema.parser import _DDL_STARTERS, _QUERY_STARTERS, execute_ddl, split_script
+
+PROMPT = "extra> "
+CONTINUATION = "   ..> "
+
+
+def render_result(result: QueryResult) -> str:
+    """Render rows as a fixed-width table plus the plan and I/O."""
+    lines = []
+    if result.columns != ("oid",):
+        widths = [
+            max(len(col), *(len(str(row[i])) for row in result.rows), 1)
+            if result.rows
+            else len(col)
+            for i, col in enumerate(result.columns)
+        ]
+        header = " | ".join(col.ljust(w) for col, w in zip(result.columns, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in result.rows[:50]:
+            lines.append(" | ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+        if len(result.rows) > 50:
+            lines.append(f"... ({len(result.rows) - 50} more rows)")
+    lines.append(f"({len(result.rows)} row(s))   plan: {result.plan}")
+    lines.append(f"I/O: {result.io.total_io} "
+                 f"({result.io.physical_reads} reads, {result.io.physical_writes} writes)")
+    return "\n".join(lines)
+
+
+class Shell:
+    """One interactive session over a fresh database."""
+
+    def __init__(self, out=None) -> None:
+        self.db = Database()
+        self.out = out if out is not None else sys.stdout
+        self.done = False
+
+    def write(self, text: str) -> None:
+        print(text, file=self.out)
+
+    # -- dispatch -----------------------------------------------------------
+
+    def run_meta(self, line: str) -> None:
+        command = line.strip().split()[0][1:]
+        if command in ("quit", "q", "exit"):
+            self.done = True
+        elif command == "describe":
+            self.write(describe_database(self.db) or "(empty schema)")
+        elif command == "stats":
+            stats = self.db.stats
+            self.write(
+                f"physical reads {stats.physical_reads}, writes "
+                f"{stats.physical_writes}, logical reads {stats.logical_reads}, "
+                f"buffer hits {stats.buffer_hits}"
+            )
+        elif command == "verify":
+            self.db.verify()
+            self.write("all replication invariants hold")
+        elif command == "cold":
+            self.db.cold_cache()
+            self.write("buffer pool flushed and emptied")
+        elif command == "help":
+            self.write(__doc__ or "")
+        else:
+            self.write(f"unknown meta-command \\{command} (try \\help)")
+
+    def run_statement(self, statement: str) -> None:
+        first = statement.split(None, 1)[0]
+        if first == "explain":
+            from repro.query.runner import explain_text
+
+            self.write(explain_text(self.db, statement[len("explain"):].strip()))
+        elif first in _QUERY_STARTERS:
+            self.write(render_result(self.db.execute(statement)))
+        elif first in _DDL_STARTERS:
+            execute_ddl(self.db, statement)
+            self.write("ok")
+        else:
+            self.write(f"unrecognised statement: {statement!r} (try \\help)")
+
+    def run_block(self, text: str) -> None:
+        """Run a block of statements, reporting errors without dying."""
+        try:
+            statements = split_script(text)
+        except ReproError as exc:
+            self.write(f"error: {exc}")
+            return
+        for statement in statements:
+            if statement.startswith("\\"):
+                self.run_meta(statement)
+                if self.done:
+                    return
+                continue
+            try:
+                self.run_statement(statement)
+            except ReproError as exc:
+                self.write(f"error: {exc}")
+
+    # -- REPL loop -----------------------------------------------------------
+
+    def interact(self, lines) -> None:
+        buffer: list[str] = []
+        depth = 0
+        for line in lines:
+            stripped = line.rstrip("\n")
+            if stripped.strip().startswith("\\"):
+                self.run_meta(stripped)
+                if self.done:
+                    return
+                continue
+            depth += stripped.count("(") - stripped.count(")")
+            buffer.append(stripped)
+            complete = depth <= 0 and (
+                stripped.rstrip().endswith(";") or not stripped.strip()
+            )
+            if complete:
+                block = "\n".join(buffer).strip()
+                buffer, depth = [], 0
+                if block:
+                    self.run_block(block)
+        if buffer:
+            self.run_block("\n".join(buffer))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: run a script file, a pipe, or an interactive session."""
+    argv = sys.argv[1:] if argv is None else argv
+    shell = Shell()
+    if argv:
+        with open(argv[0], encoding="utf-8") as handle:
+            shell.run_block(handle.read())
+        return 0
+    if sys.stdin.isatty():  # pragma: no cover - interactive only
+        print("field-replication OODBMS shell -- \\help for help")
+        while not shell.done:
+            try:
+                first = input(PROMPT)
+            except EOFError:
+                break
+            lines = [first]
+            depth = first.count("(") - first.count(")")
+            while depth > 0 or (first.strip() and not first.rstrip().endswith(";")
+                                and not first.strip().startswith("\\")):
+                try:
+                    nxt = input(CONTINUATION)
+                except EOFError:
+                    break
+                if not nxt.strip() and depth <= 0:
+                    break
+                depth += nxt.count("(") - nxt.count(")")
+                lines.append(nxt)
+                first = nxt
+            shell.run_block("\n".join(lines))
+        return 0
+    shell.run_block(sys.stdin.read())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

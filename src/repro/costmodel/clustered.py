@@ -1,0 +1,89 @@
+"""Cost equations for the clustered-index setting (Section 6.7).
+
+With clustered indexes, R is read in clustered order by read queries
+(``f_r P_r`` pages instead of a Yao expectation) and S / S' are read and
+written in clustered order by update queries (``2 f_s P_s`` etc.).  The
+functional-join terms keep their Yao form: R and S stay *relatively*
+unclustered regardless of the indexes.
+
+=================  ======================================================
+strategy           read query
+=================  ======================================================
+no replication     idx_r + f_r P_r + P_s y(|R|,f O_s,f_r|R|) + P_t
+in-place           idx_r + f_r P_r + P_t
+separate           idx_r + f_r P_r + P_s' y(|R|,f O_s',f_r|R|) + P_t
+=================  ======================================================
+
+=================  ======================================================
+strategy           update query
+=================  ======================================================
+no replication     idx_s + 2 f_s P_s
+in-place           idx_s + 2 f_s P_s + f_s P_l + 2 P_r y(|R|,O_r,f_s|R|)
+separate           idx_s + 2 f_s P_s + 2 f_s P_s'
+=================  ======================================================
+
+Propagation into R (the in-place update's last term) keeps its Yao form:
+R is ordered by field_r, not by its references to S, so the f_s|R| objects
+receiving propagated values are scattered -- "the cost of propagating
+updates from S to R with in-place replication does not change when
+clustered indexes are used" (Section 6.8).
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.params import CostParameters, ModelStrategy
+from repro.costmodel.yao import yao
+
+
+def read_none(params: CostParameters) -> float:
+    d = params.derive(ModelStrategy.NO_REPLICATION)
+    c = params
+    join_s = d.p_s * yao(c.n_r, c.f * d.o_s, c.f_r * c.n_r)
+    return d.index_r + c.f_r * d.p_r + join_s + d.p_t
+
+
+def read_inplace(params: CostParameters) -> float:
+    d = params.derive(ModelStrategy.IN_PLACE)
+    c = params
+    return d.index_r + c.f_r * d.p_r + d.p_t
+
+
+def read_separate(params: CostParameters) -> float:
+    d = params.derive(ModelStrategy.SEPARATE)
+    c = params
+    join_s_prime = d.p_s_prime * yao(c.n_r, c.f * d.o_s_prime, c.f_r * c.n_r)
+    return d.index_r + c.f_r * d.p_r + join_s_prime + d.p_t
+
+
+def update_none(params: CostParameters) -> float:
+    d = params.derive(ModelStrategy.NO_REPLICATION)
+    return d.index_s + 2 * params.f_s * d.p_s
+
+
+def update_inplace(params: CostParameters) -> float:
+    d = params.derive(ModelStrategy.IN_PLACE)
+    c = params
+    cost = d.index_s + 2 * c.f_s * d.p_s
+    if not d.links_eliminated:
+        cost += c.f_s * d.p_l
+    cost += 2 * d.p_r * yao(c.n_r, d.o_r, c.f_s * c.n_r)
+    return cost
+
+
+def update_separate(params: CostParameters) -> float:
+    d = params.derive(ModelStrategy.SEPARATE)
+    c = params
+    return d.index_s + 2 * c.f_s * d.p_s + 2 * c.f_s * d.p_s_prime
+
+
+READ = {
+    ModelStrategy.NO_REPLICATION: read_none,
+    ModelStrategy.IN_PLACE: read_inplace,
+    ModelStrategy.SEPARATE: read_separate,
+}
+
+UPDATE = {
+    ModelStrategy.NO_REPLICATION: update_none,
+    ModelStrategy.IN_PLACE: update_inplace,
+    ModelStrategy.SEPARATE: update_separate,
+}

@@ -1,0 +1,56 @@
+"""CSV export of the figure data.
+
+The rendered ASCII artifacts are good for eyeballs; the CSV twins are for
+plotting tools.  Each Figure 11/13 CSV has one row per swept P_update and
+one column per (strategy, f_r) line, matching the paper's panel layout;
+the Figure 12/14 CSVs are the tables verbatim.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.costmodel.figures import (
+    READ_SELECTIVITIES,
+    STRATEGIES,
+    SelectedValues,
+)
+from repro.costmodel.model import Setting
+
+
+def series_csv(graphs: dict, f: int) -> str:
+    """One panel of Figure 11/13 as CSV text."""
+    by_strategy = graphs[f]
+    out = io.StringIO()
+    writer = csv.writer(out)
+    header = ["p_update"]
+    for strategy in STRATEGIES:
+        for f_r in READ_SELECTIVITIES:
+            header.append(f"{strategy.value}_fr{f_r}")
+    writer.writerow(header)
+    some = by_strategy[STRATEGIES[0]][READ_SELECTIVITIES[0]]
+    for i, p in enumerate(some.p_updates):
+        row = [f"{p:.4f}"]
+        for strategy in STRATEGIES:
+            for f_r in READ_SELECTIVITIES:
+                row.append(f"{by_strategy[strategy][f_r].percents[i]:.4f}")
+        writer.writerow(row)
+    return out.getvalue()
+
+
+def figure_csvs(graphs: dict) -> dict[int, str]:
+    """All four panels, keyed by sharing level f."""
+    return {f: series_csv(graphs, f) for f in graphs}
+
+
+def selected_values_csv(rows: list[SelectedValues], setting: Setting) -> str:
+    """A Figure 12/14 table as CSV text."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["setting", "strategy", "f", "f_r", "c_read", "c_update"])
+    for row in rows:
+        writer.writerow(
+            [setting.value, row.strategy.value, row.f, row.f_r, row.c_read, row.c_update]
+        )
+    return out.getvalue()

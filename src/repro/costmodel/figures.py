@@ -1,0 +1,227 @@
+"""Generators for the paper's result artifacts (Figures 11-14).
+
+* :func:`figure11` / :func:`figure13` -- the four-panel percentage-difference
+  graphs (unclustered / clustered), as :class:`~repro.costmodel.model.CostSeries`
+  per (f, strategy, f_r);
+* :func:`figure12` / :func:`figure14` -- the "selected values" tables of
+  C_read / C_update;
+* rendering helpers that print the same rows and series the paper shows,
+  in ASCII.
+
+``PAPER_FIGURE12`` / ``PAPER_FIGURE14`` hold the published cell values for
+paper-vs-measured comparison in tests and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.model import (
+    CostSeries,
+    Setting,
+    read_cost,
+    rounded_up,
+    sweep,
+    update_cost,
+)
+from repro.costmodel.params import CostParameters, ModelStrategy
+
+#: The sweep dimensions of Figures 11 and 13.
+SHARING_LEVELS = (1, 10, 20, 50)
+READ_SELECTIVITIES = (0.001, 0.002, 0.005)
+STRATEGIES = (ModelStrategy.IN_PLACE, ModelStrategy.SEPARATE)
+
+#: Published selected values (strategy -> (C_read, C_update)).
+PAPER_FIGURE12 = {
+    1: {
+        ModelStrategy.NO_REPLICATION: (43, 22),
+        ModelStrategy.IN_PLACE: (23, 42),
+        ModelStrategy.SEPARATE: (41, 42),
+    },
+    20: {
+        ModelStrategy.NO_REPLICATION: (691, 22),
+        ModelStrategy.IN_PLACE: (407, 427),
+        ModelStrategy.SEPARATE: (509, 42),
+    },
+}
+
+PAPER_FIGURE14 = {
+    1: {
+        ModelStrategy.NO_REPLICATION: (24, 4),
+        ModelStrategy.IN_PLACE: (4, 24),
+        ModelStrategy.SEPARATE: (23, 6),
+    },
+    20: {
+        ModelStrategy.NO_REPLICATION: (316, 4),
+        ModelStrategy.IN_PLACE: (32, 400),
+        ModelStrategy.SEPARATE: (133, 6),
+    },
+}
+
+
+@dataclass(frozen=True)
+class SelectedValues:
+    """One row of a Figure 12 / 14 table."""
+
+    strategy: ModelStrategy
+    f: int
+    f_r: float
+    c_read: int
+    c_update: int
+
+
+def figure_graphs(setting: Setting, points: int = 21,
+                  base: CostParameters | None = None) -> dict:
+    """All series of one four-panel figure.
+
+    Returns ``{f: {strategy: {f_r: CostSeries}}}``.
+    """
+    base = base or CostParameters()
+    out: dict = {}
+    for f in SHARING_LEVELS:
+        out[f] = {}
+        for strategy in STRATEGIES:
+            out[f][strategy] = {}
+            for f_r in READ_SELECTIVITIES:
+                params = base.with_(f=f, f_r=f_r)
+                out[f][strategy][f_r] = sweep(params, strategy, setting, points)
+    return out
+
+
+def figure11(points: int = 21) -> dict:
+    """Figure 11: unclustered indexes."""
+    return figure_graphs(Setting.UNCLUSTERED, points)
+
+
+def figure13(points: int = 21) -> dict:
+    """Figure 13: clustered indexes."""
+    return figure_graphs(Setting.CLUSTERED, points)
+
+
+def selected_values(setting: Setting, f_values=(1, 20), f_r: float = 0.002,
+                    base: CostParameters | None = None) -> list[SelectedValues]:
+    """The rows of a Figure 12 / 14 table (rounded up, as in the paper)."""
+    base = base or CostParameters()
+    rows = []
+    for f in f_values:
+        params = base.with_(f=f, f_r=f_r)
+        for strategy in (
+            ModelStrategy.NO_REPLICATION,
+            ModelStrategy.IN_PLACE,
+            ModelStrategy.SEPARATE,
+        ):
+            rows.append(
+                SelectedValues(
+                    strategy=strategy,
+                    f=f,
+                    f_r=f_r,
+                    c_read=rounded_up(read_cost(params, strategy, setting)),
+                    c_update=rounded_up(update_cost(params, strategy, setting)),
+                )
+            )
+    return rows
+
+
+def figure12() -> list[SelectedValues]:
+    """Figure 12: selected values, unclustered access."""
+    return selected_values(Setting.UNCLUSTERED)
+
+
+def figure14() -> list[SelectedValues]:
+    """Figure 14: selected values, clustered access."""
+    return selected_values(Setting.CLUSTERED)
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+_STRATEGY_LABEL = {
+    ModelStrategy.NO_REPLICATION: "no replication",
+    ModelStrategy.IN_PLACE: "in-place replication",
+    ModelStrategy.SEPARATE: "separate replication",
+}
+
+
+def render_selected_values(rows: list[SelectedValues], setting: Setting,
+                           paper: dict | None = None) -> str:
+    """Render a Figure 12 / 14 table, optionally with paper-vs-measured."""
+    f_values = sorted({row.f for row in rows})
+    lines = [f"Selected values for C_read and C_update ({setting.value} access)"]
+    header = f"{'Strategy':24s}"
+    for f in f_values:
+        header += f" | f={f:<3d} C_read  C_update"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for strategy in (
+        ModelStrategy.NO_REPLICATION,
+        ModelStrategy.IN_PLACE,
+        ModelStrategy.SEPARATE,
+    ):
+        line = f"{_STRATEGY_LABEL[strategy]:24s}"
+        for f in f_values:
+            row = next(r for r in rows if r.strategy is strategy and r.f == f)
+            line += f" | {row.c_read:11d} {row.c_update:9d}"
+        lines.append(line)
+        if paper is not None:
+            ref = f"{'  (paper)':24s}"
+            for f in f_values:
+                pr, pu = paper[f][strategy]
+                ref += f" | {pr:11d} {pu:9d}"
+            lines.append(ref)
+    return "\n".join(lines)
+
+
+def render_series_table(graphs: dict, setting: Setting) -> str:
+    """Render the percentage-difference series of a Figure 11 / 13."""
+    lines = []
+    for f, by_strategy in graphs.items():
+        some = next(iter(next(iter(by_strategy.values())).values()))
+        lines.append(
+            f"\n{setting.value.capitalize()} access, f = {f}, |R| = {f * 10_000:,}"
+        )
+        header = f"{'P_update':>8s}"
+        for strategy in STRATEGIES:
+            for f_r in READ_SELECTIVITIES:
+                header += f" | {_short(strategy)} fr={f_r:.3f}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for i, p in enumerate(some.p_updates):
+            line = f"{p:8.2f}"
+            for strategy in STRATEGIES:
+                for f_r in READ_SELECTIVITIES:
+                    pct = by_strategy[strategy][f_r].percents[i]
+                    line += f" | {pct:+13.1f}%"
+            lines.append(line)
+    return "\n".join(lines)
+
+
+def _short(strategy: ModelStrategy) -> str:
+    return {"inplace": "in-place", "separate": "separate"}[strategy.value]
+
+
+def render_ascii_plot(series_by_label: dict[str, CostSeries], width: int = 61,
+                      lo: float = -100.0, hi: float = 50.0) -> str:
+    """A rough ASCII rendition of one panel (percent vs P_update)."""
+    lines = []
+    height = 21
+    grid = [[" "] * width for __ in range(height)]
+    marks = "abcdefgh"
+    for mark, (label, series) in zip(marks, series_by_label.items()):
+        for p, pct in zip(series.p_updates, series.percents):
+            col = round(p * (width - 1))
+            clamped = min(max(pct, lo), hi)
+            row = round((hi - clamped) / (hi - lo) * (height - 1))
+            grid[row][col] = mark
+    zero_row = round(hi / (hi - lo) * (height - 1))
+    for col in range(width):
+        if grid[zero_row][col] == " ":
+            grid[zero_row][col] = "-"
+    for i, row in enumerate(grid):
+        pct = hi - i * (hi - lo) / (height - 1)
+        lines.append(f"{pct:+7.0f}% |{''.join(row)}|")
+    lines.append(" " * 10 + "0" + " " * (width - 2) + "1")
+    lines.append(" " * 10 + "P_update ->")
+    for mark, label in zip(marks, series_by_label):
+        lines.append(f"   {mark} = {label}")
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""C_total and the strategy comparison (Section 6).
+
+For a query mix with update probability ``P_update``:
+
+    C_total = (1 - P_update) * C_read + P_update * C_update
+
+Figures 11 and 13 plot the percentage difference in C_total between each
+replication strategy and no replication, with P_update swept from 0 to 1.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.costmodel import clustered, unclustered
+from repro.costmodel.params import CostParameters, ModelStrategy
+from repro.errors import CostModelError
+
+
+class Setting(enum.Enum):
+    """Which index configuration the analysis assumes."""
+
+    UNCLUSTERED = "unclustered"
+    CLUSTERED = "clustered"
+
+
+_EQUATIONS = {
+    Setting.UNCLUSTERED: (unclustered.READ, unclustered.UPDATE),
+    Setting.CLUSTERED: (clustered.READ, clustered.UPDATE),
+}
+
+
+def read_cost(params: CostParameters, strategy: ModelStrategy, setting: Setting) -> float:
+    """Expected I/O of one read query."""
+    return _EQUATIONS[setting][0][strategy](params)
+
+
+def update_cost(params: CostParameters, strategy: ModelStrategy, setting: Setting) -> float:
+    """Expected I/O of one update query."""
+    return _EQUATIONS[setting][1][strategy](params)
+
+
+def total_cost(params: CostParameters, strategy: ModelStrategy, setting: Setting,
+               p_update: float) -> float:
+    """C_total for the given update probability."""
+    if not 0.0 <= p_update <= 1.0:
+        raise CostModelError(f"update probability {p_update} not in [0, 1]")
+    return (
+        (1.0 - p_update) * read_cost(params, strategy, setting)
+        + p_update * update_cost(params, strategy, setting)
+    )
+
+
+def percent_difference(params: CostParameters, strategy: ModelStrategy,
+                       setting: Setting, p_update: float) -> float:
+    """Percentage difference in C_total relative to no replication.
+
+    Negative values mean the strategy beats no replication (the region the
+    paper's graphs spend most of their ink in).
+    """
+    base = total_cost(params, ModelStrategy.NO_REPLICATION, setting, p_update)
+    ours = total_cost(params, strategy, setting, p_update)
+    return 100.0 * (ours - base) / base
+
+
+@dataclass(frozen=True)
+class CostSeries:
+    """One line of a Figure 11 / 13 graph."""
+
+    strategy: ModelStrategy
+    setting: Setting
+    f: int
+    f_r: float
+    p_updates: tuple[float, ...]
+    percents: tuple[float, ...]
+
+    def crossover(self) -> float | None:
+        """The smallest swept P_update at which the strategy stops beating
+        no replication (None if it never stops or never starts winning)."""
+        for p, pct in zip(self.p_updates, self.percents):
+            if pct > 0:
+                return p
+        return None
+
+
+def sweep(params: CostParameters, strategy: ModelStrategy, setting: Setting,
+          points: int = 21) -> CostSeries:
+    """Sweep P_update over [0, 1] (inclusive) in ``points`` steps."""
+    if points < 2:
+        raise CostModelError("a sweep needs at least two points")
+    p_updates = tuple(i / (points - 1) for i in range(points))
+    percents = tuple(
+        percent_difference(params, strategy, setting, p) for p in p_updates
+    )
+    return CostSeries(strategy, setting, params.f, params.f_r, p_updates, percents)
+
+
+def rounded_up(value: float) -> int:
+    """The paper's table convention: "fractional values were rounded up"."""
+    return math.ceil(value - 1e-9)

@@ -1,0 +1,106 @@
+"""Cost equations for the unclustered-index setting (Section 6.5).
+
+Each function returns the expected I/O (page accesses) of one query under
+one strategy, term for term as derived in the paper:
+
+=================  ======================================================
+strategy           read query                                 (Sec.)
+=================  ======================================================
+no replication     idx_r + P_r y(|R|,O_r,f_r|R|)
+                         + P_s y(|R|,f O_s,f_r|R|) + P_t      (6.5.1)
+in-place           idx_r + P_r y(|R|,O_r,f_r|R|) + P_t        (6.5.3)
+separate           idx_r + P_r y(|R|,O_r,f_r|R|)
+                         + P_s' y(|R|,f O_s',f_r|R|) + P_t    (6.5.5)
+=================  ======================================================
+
+=================  ======================================================
+strategy           update query
+=================  ======================================================
+no replication     idx_s + 2 P_s y(|S|,O_s,f_s|S|)            (6.5.2)
+in-place           idx_s + 2 P_s y(|S|,O_s,f_s|S|)
+                         + P_l y(|S|,O_l,f_s|S|)
+                         + 2 P_r y(|R|,O_r,f_s|R|)            (6.5.4)
+separate           idx_s + 2 P_s y(|S|,O_s,f_s|S|)
+                         + 2 P_s' y(|S|,O_s',f_s|S|)          (6.5.6)
+=================  ======================================================
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.params import CostParameters, DerivedParameters, ModelStrategy
+from repro.costmodel.yao import yao
+
+
+def _read_common(d: DerivedParameters) -> float:
+    """idx_r + cost to read the qualifying R objects."""
+    c = d.core
+    return d.index_r + d.p_r * yao(c.n_r, d.o_r, c.f_r * c.n_r)
+
+
+def read_none(params: CostParameters) -> float:
+    """Read query, no replication: R is functionally joined with S."""
+    d = params.derive(ModelStrategy.NO_REPLICATION)
+    c = params
+    join_s = d.p_s * yao(c.n_r, c.f * d.o_s, c.f_r * c.n_r)
+    return _read_common(d) + join_s + d.p_t
+
+
+def read_inplace(params: CostParameters) -> float:
+    """Read query, in-place: no join at all."""
+    d = params.derive(ModelStrategy.IN_PLACE)
+    return _read_common(d) + d.p_t
+
+
+def read_separate(params: CostParameters) -> float:
+    """Read query, separate: R is joined with the small S' instead of S."""
+    d = params.derive(ModelStrategy.SEPARATE)
+    c = params
+    join_s_prime = d.p_s_prime * yao(c.n_r, c.f * d.o_s_prime, c.f_r * c.n_r)
+    return _read_common(d) + join_s_prime + d.p_t
+
+
+def _update_s(d: DerivedParameters) -> float:
+    """idx_s + read-modify-write of the qualifying S pages."""
+    c = d.core
+    return d.index_s + 2 * d.p_s * yao(c.n_s, d.o_s, c.f_s * c.n_s)
+
+
+def update_none(params: CostParameters) -> float:
+    """Update query, no replication: only S is touched."""
+    return _update_s(params.derive(ModelStrategy.NO_REPLICATION))
+
+
+def update_inplace(params: CostParameters) -> float:
+    """Update query, in-place: read L, then propagate into R.
+
+    With singleton-link elimination (f = 1, Section 4.3.1) the L term
+    vanishes -- each link object was inlined into its owner.
+    """
+    d = params.derive(ModelStrategy.IN_PLACE)
+    c = params
+    cost = _update_s(d)
+    if not d.links_eliminated:
+        cost += d.p_l * yao(c.n_s, d.o_l, c.f_s * c.n_s)
+    # every updated S object propagates to f objects in R: f_s·f·|S| = f_s|R|
+    cost += 2 * d.p_r * yao(c.n_r, d.o_r, c.f_s * c.n_r)
+    return cost
+
+
+def update_separate(params: CostParameters) -> float:
+    """Update query, separate: each update also touches one S' object."""
+    d = params.derive(ModelStrategy.SEPARATE)
+    c = params
+    return _update_s(d) + 2 * d.p_s_prime * yao(c.n_s, d.o_s_prime, c.f_s * c.n_s)
+
+
+READ = {
+    ModelStrategy.NO_REPLICATION: read_none,
+    ModelStrategy.IN_PLACE: read_inplace,
+    ModelStrategy.SEPARATE: read_separate,
+}
+
+UPDATE = {
+    ModelStrategy.NO_REPLICATION: update_none,
+    ModelStrategy.IN_PLACE: update_inplace,
+    ModelStrategy.SEPARATE: update_separate,
+}

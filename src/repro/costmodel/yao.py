@@ -1,0 +1,45 @@
+"""Yao's function [Yao77].
+
+``y(a, b, c)``: given a file of *a* objects on pages of *b* objects each
+(so each page "claims" *b* of the objects), the probability that a given
+page is touched when *c* objects are chosen uniformly without replacement:
+
+    y(a, b, c) = 1 - C(a - b, c) / C(a, c)
+
+The paper writes it as ``1 - [ (a-b choose c) / (a choose c) ]`` and uses
+``P_x * y(...)`` as the expected number of pages read.  The binomials are
+evaluated exactly in log space (``lgamma``) so the model stays numerically
+stable at |R| = 500,000.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import CostModelError
+
+
+def yao(a: float, b: float, c: float) -> float:
+    """Probability a given page (holding ``b`` of ``a`` objects) is touched
+    when ``c`` objects are picked uniformly without replacement."""
+    if a < 0 or b < 0 or c < 0:
+        raise CostModelError(f"yao arguments must be non-negative: {(a, b, c)}")
+    if c == 0 or b == 0:
+        return 0.0
+    if c > a:
+        raise CostModelError(f"cannot choose {c} from {a} objects")
+    if b >= a or c > a - b:
+        return 1.0
+    # exact in log space: C(a-b, c) / C(a, c)
+    log_ratio = (
+        math.lgamma(a - b + 1)
+        - math.lgamma(a - b - c + 1)
+        - math.lgamma(a + 1)
+        + math.lgamma(a - c + 1)
+    )
+    return 1.0 - math.exp(log_ratio)
+
+
+def expected_pages(total_pages: float, a: float, b: float, c: float) -> float:
+    """``P * y(a, b, c)``: expected pages touched out of ``total_pages``."""
+    return total_pages * yao(a, b, c)

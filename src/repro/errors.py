@@ -1,0 +1,142 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  Subclasses are grouped by the
+layer that raises them (storage, objects, schema, replication, query, cost
+model) which keeps ``except`` clauses precise without importing the guts of
+each layer.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# --------------------------------------------------------------------------
+# storage layer
+# --------------------------------------------------------------------------
+
+class StorageError(ReproError):
+    """Base class for storage-engine errors."""
+
+
+class PageFullError(StorageError):
+    """A record did not fit in the target page."""
+
+
+class RecordNotFoundError(StorageError):
+    """A (page, slot) address does not hold a live record."""
+
+
+class FileNotFoundInStoreError(StorageError):
+    """An operation referenced a file id unknown to the disk."""
+
+
+class BufferPoolError(StorageError):
+    """The buffer pool could not satisfy a request (e.g. all pages pinned)."""
+
+
+class RecordTooLargeError(StorageError):
+    """A record exceeds the maximum payload a page can hold."""
+
+
+# --------------------------------------------------------------------------
+# object layer
+# --------------------------------------------------------------------------
+
+class ObjectError(ReproError):
+    """Base class for object-layer errors."""
+
+
+class TypeDefinitionError(ObjectError):
+    """An invalid type definition (duplicate fields, bad field kind...)."""
+
+
+class FieldError(ObjectError):
+    """A field name or value did not match the object's type."""
+
+
+class SerializationError(ObjectError):
+    """An object could not be encoded to / decoded from bytes."""
+
+
+class DanglingReferenceError(ObjectError):
+    """An OID dereference found no live object."""
+
+
+# --------------------------------------------------------------------------
+# schema / catalog layer
+# --------------------------------------------------------------------------
+
+class SchemaError(ReproError):
+    """Base class for schema and catalog errors."""
+
+
+class UnknownTypeError(SchemaError):
+    """A type name is not in the catalog."""
+
+
+class UnknownSetError(SchemaError):
+    """A set name is not in the catalog."""
+
+
+class UnknownIndexError(SchemaError):
+    """An index name is not in the catalog."""
+
+
+class InvalidPathError(SchemaError):
+    """A reference path does not resolve against the schema."""
+
+
+class DuplicateNameError(SchemaError):
+    """A type / set / index name is already taken."""
+
+
+class ParseError(SchemaError):
+    """The DDL / query text parser rejected its input."""
+
+
+# --------------------------------------------------------------------------
+# replication layer
+# --------------------------------------------------------------------------
+
+class ReplicationError(ReproError):
+    """Base class for replication errors."""
+
+
+class DuplicateReplicationPathError(ReplicationError):
+    """The same path was replicated twice on one set."""
+
+
+class UnknownReplicationPathError(ReplicationError):
+    """An operation referenced a replication path that does not exist."""
+
+
+class IntegrityError(ReplicationError):
+    """A consistency invariant between replicas and sources was violated.
+
+    Raised by :meth:`repro.replication.manager.ReplicationManager.verify`,
+    never during normal operation.
+    """
+
+
+# --------------------------------------------------------------------------
+# query layer
+# --------------------------------------------------------------------------
+
+class QueryError(ReproError):
+    """Base class for query compilation / execution errors."""
+
+
+class PlanningError(QueryError):
+    """The planner could not build a plan for a statement."""
+
+
+# --------------------------------------------------------------------------
+# cost model
+# --------------------------------------------------------------------------
+
+class CostModelError(ReproError):
+    """Invalid parameters handed to the analytical cost model."""

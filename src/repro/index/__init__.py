@@ -1,0 +1,29 @@
+"""Indexing: disk-based B+-trees, secondary indexes, and path indexes."""
+
+from repro.index.btree import BPlusTree
+from repro.index.keycodec import (
+    decode_char,
+    decode_float,
+    decode_int,
+    decode_key,
+    encode_char,
+    encode_float,
+    encode_int,
+    encode_key,
+    key_width_for,
+)
+from repro.index.secondary import SecondaryIndex
+
+__all__ = [
+    "BPlusTree",
+    "SecondaryIndex",
+    "decode_char",
+    "decode_float",
+    "decode_int",
+    "decode_key",
+    "encode_char",
+    "encode_float",
+    "encode_int",
+    "encode_key",
+    "key_width_for",
+]

@@ -1,0 +1,114 @@
+"""Order-preserving key encodings for B+-trees.
+
+B+-tree nodes store fixed-width byte-string keys compared with memcmp
+semantics, so every supported field kind gets an *order-preserving*
+encoding:
+
+* ``int``    -- offset-binary (flip the sign bit) so two's-complement order
+  becomes unsigned byte order,
+* ``float``  -- IEEE-754 with the standard sign trick (flip all bits of
+  negatives, flip only the sign bit of non-negatives),
+* ``char[n]``-- NUL-padded UTF-8 (memcmp order = byte-wise string order).
+
+:func:`composite` appends a packed OID to a key, making duplicate field
+values unique inside the tree -- the textbook trick for secondary indexes
+with non-unique keys.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import SerializationError
+from repro.objects.types import FieldDef, FieldKind
+from repro.storage.oid import OID
+
+_INT = struct.Struct(">I")
+_LONG = struct.Struct(">Q")
+
+
+def encode_int(value: int) -> bytes:
+    """4-byte order-preserving encoding of a signed 32-bit int."""
+    if not -(2**31) <= value < 2**31:
+        raise SerializationError(f"int key {value} out of 32-bit range")
+    return _INT.pack((value + 2**31) & 0xFFFFFFFF)
+
+
+def decode_int(data: bytes) -> int:
+    """Inverse of :func:`encode_int`."""
+    return _INT.unpack_from(data, 0)[0] - 2**31
+
+
+def encode_float(value: float) -> bytes:
+    """8-byte order-preserving encoding of an IEEE double."""
+    bits = struct.unpack(">Q", struct.pack(">d", float(value)))[0]
+    if bits & (1 << 63):
+        bits ^= 0xFFFFFFFFFFFFFFFF  # negative: flip everything
+    else:
+        bits ^= 1 << 63  # non-negative: flip sign bit
+    return _LONG.pack(bits)
+
+
+def decode_float(data: bytes) -> float:
+    """Inverse of :func:`encode_float`."""
+    bits = _LONG.unpack_from(data, 0)[0]
+    if bits & (1 << 63):
+        bits ^= 1 << 63
+    else:
+        bits ^= 0xFFFFFFFFFFFFFFFF
+    return struct.unpack(">d", struct.pack(">Q", bits))[0]
+
+
+def encode_char(value: str, width: int) -> bytes:
+    """NUL-padded UTF-8 of fixed ``width`` bytes."""
+    raw = value.encode("utf-8")
+    if len(raw) > width:
+        raise SerializationError(f"string key needs {len(raw)} bytes, index allows {width}")
+    return raw.ljust(width, b"\x00")
+
+
+def decode_char(data: bytes) -> str:
+    """Inverse of :func:`encode_char`."""
+    return data.rstrip(b"\x00").decode("utf-8")
+
+
+def key_width_for(field: FieldDef) -> int:
+    """Encoded key width of an index on ``field``."""
+    if field.kind is FieldKind.INT:
+        return 4
+    if field.kind is FieldKind.FLOAT:
+        return 8
+    if field.kind is FieldKind.CHAR:
+        return field.size
+    raise SerializationError(f"cannot index field of kind {field.kind.value}")
+
+
+def encode_key(field: FieldDef, value) -> bytes:
+    """Encode a field value as a fixed-width, order-preserving key."""
+    if field.kind is FieldKind.INT:
+        return encode_int(value)
+    if field.kind is FieldKind.FLOAT:
+        return encode_float(value)
+    if field.kind is FieldKind.CHAR:
+        return encode_char(value, field.size)
+    raise SerializationError(f"cannot index field of kind {field.kind.value}")
+
+
+def decode_key(field: FieldDef, data: bytes):
+    """Inverse of :func:`encode_key`."""
+    if field.kind is FieldKind.INT:
+        return decode_int(data)
+    if field.kind is FieldKind.FLOAT:
+        return decode_float(data)
+    if field.kind is FieldKind.CHAR:
+        return decode_char(data)
+    raise SerializationError(f"cannot index field of kind {field.kind.value}")
+
+
+def composite(key: bytes, oid: OID) -> bytes:
+    """Key + packed OID: makes duplicate keys unique inside the tree."""
+    return key + oid.pack()
+
+
+MIN_OID_SUFFIX = bytes(8)
+MAX_OID_SUFFIX = bytes([0xFF]) * 8

@@ -1,0 +1,132 @@
+"""Secondary indexes: field-value -> OID mappings over a B+-tree.
+
+A :class:`SecondaryIndex` indexes one (possibly hidden / replicated) field
+of one set.  Non-unique field values are handled with *composite keys*: the
+encoded field value suffixed by the entry's packed OID, so every tree key
+is unique and equal values cluster contiguously in key order.
+
+Whether an index is *clustered* is a property of the indexed file, not of
+the tree: a clustered index is one whose key order matches the file's
+physical order (the paper's second analysis setting).  The flag is carried
+here so the planner and the cost model can reason about it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.index.btree import BPlusTree
+from repro.index.keycodec import (
+    MAX_OID_SUFFIX,
+    MIN_OID_SUFFIX,
+    decode_key,
+    encode_key,
+    key_width_for,
+)
+from repro.objects.types import FieldDef
+from repro.storage.buffer import BufferPool
+from repro.storage.oid import OID
+
+
+class SecondaryIndex:
+    """An index on one field of one set."""
+
+    def __init__(self, name: str, pool: BufferPool, file_id: int,
+                 field: FieldDef, set_name: str, clustered: bool = False) -> None:
+        self.name = name
+        self.field = field
+        self.set_name = set_name
+        self.clustered = clustered
+        self.value_width = key_width_for(field)
+        self.tree = BPlusTree(pool, file_id, self.value_width + 8)
+        # Running catalog statistics for the (opt-in) cost-based planner.
+        # The count is exact; min/max only ever widen (standard stale-stats
+        # behaviour: deletes do not shrink them).
+        self.stat_count = 0
+        self.stat_min = None
+        self.stat_max = None
+
+    # -- maintenance --------------------------------------------------------
+
+    def insert(self, value, oid: OID) -> None:
+        """Add an entry for ``oid`` under ``value``."""
+        self.tree.insert(self._composite(value, oid), oid)
+        self._note_value(value)
+        self.stat_count += 1
+
+    def delete(self, value, oid: OID) -> bool:
+        """Remove the entry for ``(value, oid)``; returns presence."""
+        removed = self.tree.delete(self._composite(value, oid))
+        if removed:
+            self.stat_count -= 1
+        return removed
+
+    def _note_value(self, value) -> None:
+        if self.stat_min is None or value < self.stat_min:
+            self.stat_min = value
+        if self.stat_max is None or value > self.stat_max:
+            self.stat_max = value
+
+    def update(self, old_value, new_value, oid: OID) -> None:
+        """Move ``oid`` from ``old_value`` to ``new_value``."""
+        if old_value == new_value:
+            return
+        self.delete(old_value, oid)
+        self.insert(new_value, oid)
+
+    def bulk_load(self, pairs) -> None:
+        """Build the (empty) index bottom-up from ``(value, oid)`` pairs.
+
+        The pairs may arrive in any order; they are sorted by composite key
+        here so every tree page is written exactly once.
+        """
+        pairs = list(pairs)
+        entries = sorted(
+            (self._composite(value, oid), oid) for value, oid in pairs
+        )
+        self.tree.bulk_fill(iter(entries))
+        for value, __oid in pairs:
+            self._note_value(value)
+        self.stat_count += len(pairs)
+
+    # -- lookups ------------------------------------------------------------
+
+    def lookup(self, value) -> list[OID]:
+        """All OIDs stored under exactly ``value``."""
+        prefix = encode_key(self.field, value)
+        return [
+            oid
+            for __, oid in self.tree.range_scan(
+                prefix + MIN_OID_SUFFIX, prefix + MAX_OID_SUFFIX
+            )
+        ]
+
+    def range(self, lo=None, hi=None, include_hi: bool = True) -> Iterator[tuple[object, OID]]:
+        """Yield ``(value, oid)`` for lo <= value (<=|<) hi, in value order."""
+        lo_key = encode_key(self.field, lo) + MIN_OID_SUFFIX if lo is not None else None
+        if hi is None:
+            hi_key, tree_inclusive = None, True
+        elif include_hi:
+            hi_key, tree_inclusive = encode_key(self.field, hi) + MAX_OID_SUFFIX, True
+        else:
+            # The smallest possible composite for value ``hi`` acts as an
+            # exclusive bound (real OID suffixes are always larger).
+            hi_key, tree_inclusive = encode_key(self.field, hi) + MIN_OID_SUFFIX, False
+        for key, oid in self.tree.range_scan(lo_key, hi_key, include_hi=tree_inclusive):
+            yield decode_key(self.field, key[: self.value_width]), oid
+
+    def items(self) -> Iterator[tuple[object, OID]]:
+        """All entries in value order."""
+        return self.range()
+
+    def count(self) -> int:
+        """Number of entries."""
+        return self.tree.count()
+
+    @property
+    def height(self) -> int:
+        """Current height of the underlying tree."""
+        return self.tree.height
+
+    def _composite(self, value, oid: OID) -> bytes:
+        return encode_key(self.field, value) + oid.pack()

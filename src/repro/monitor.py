@@ -1,0 +1,193 @@
+"""Workload monitoring: observe queries, surface replication candidates.
+
+The paper trusts the DBA to know which reference paths are "frequently
+accessed and, at the same time, infrequently updated" (Section 3.1).  The
+monitor gathers that knowledge from the running system:
+
+* every **functional join** a query performs is recorded against its path
+  -- these are precisely the accesses replication could eliminate;
+* every **update** to a field is recorded against ``(type, field)`` -- the
+  writes replication would have to propagate.
+
+:meth:`WorkloadMonitor.candidates` then joins the two sides and hands each
+candidate path to the cost-model advisor, yielding ranked, ready-to-apply
+``replicate`` statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.costmodel.advisor import PathWorkload, Recommendation, recommend
+from repro.costmodel.params import ModelStrategy
+
+
+@dataclass
+class PathObservation:
+    """Access counts for one reference path."""
+
+    source_set: str
+    chain: tuple[str, ...]
+    terminal: str
+    terminal_type: str
+    #: functional joins executed (one per row that walked the path)
+    join_rows: int = 0
+    #: queries that walked the path at least once
+    queries: int = 0
+
+    @property
+    def text(self) -> str:
+        return ".".join((self.source_set,) + self.chain + (self.terminal,))
+
+
+@dataclass
+class FieldObservation:
+    """Update counts for one (type, field)."""
+
+    type_name: str
+    field_name: str
+    updates: int = 0
+    statements: int = 0
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One ranked replication candidate."""
+
+    path_text: str
+    observation: PathObservation
+    update_statements: int
+    estimated_p_update: float
+    recommendation: Recommendation
+
+    @property
+    def ddl(self) -> str | None:
+        return self.recommendation.ddl(self.path_text)
+
+
+class WorkloadMonitor:
+    """Counts path accesses and field updates for one database."""
+
+    def __init__(self) -> None:
+        self._paths: dict[tuple, PathObservation] = {}
+        self._fields: dict[tuple, FieldObservation] = {}
+
+    # -- recording (called by the executor / Database) -----------------------
+
+    def record_join(self, source_set: str, chain: tuple[str, ...],
+                    terminal: str, terminal_type: str, rows: int) -> None:
+        """A query walked ``rows`` functional joins over one path."""
+        key = (source_set, chain, terminal)
+        obs = self._paths.get(key)
+        if obs is None:
+            obs = PathObservation(source_set, chain, terminal, terminal_type)
+            self._paths[key] = obs
+        obs.join_rows += rows
+        obs.queries += 1
+
+    def record_update(self, type_name: str, field_name: str, rows: int = 1) -> None:
+        """An update statement wrote ``rows`` objects' ``field_name``."""
+        key = (type_name, field_name)
+        obs = self._fields.get(key)
+        if obs is None:
+            obs = FieldObservation(type_name, field_name)
+            self._fields[key] = obs
+        obs.updates += rows
+        obs.statements += 1
+
+    def reset(self) -> None:
+        """Forget everything recorded so far."""
+        self._paths.clear()
+        self._fields.clear()
+
+    # -- reporting ------------------------------------------------------------
+
+    def path_observations(self) -> list[PathObservation]:
+        """All observed paths, most-joined first."""
+        return sorted(self._paths.values(), key=lambda o: -o.join_rows)
+
+    def field_observations(self) -> list[FieldObservation]:
+        """All observed updated fields, most-updated first."""
+        return sorted(self._fields.values(), key=lambda o: -o.updates)
+
+    def updates_against(self, obs: PathObservation) -> int:
+        """Update statements that would propagate along ``obs``'s path."""
+        key = (obs.terminal_type, obs.terminal)
+        fobs = self._fields.get(key)
+        return fobs.statements if fobs is not None else 0
+
+    def candidates(self, f: int = 1, f_r: float = 0.001, f_s: float = 0.001,
+                   n_s: int = 10_000, clustered: bool = False,
+                   min_queries: int = 1) -> list[Candidate]:
+        """Ranked candidates with advisor verdicts.
+
+        ``P_update`` for a path is estimated as the fraction of its traffic
+        (reading queries + propagating update statements) that updates.
+        The remaining knobs parameterise the cost model; callers can pass
+        measured values when they have them.
+        """
+        out = []
+        for obs in self.path_observations():
+            if obs.queries < min_queries:
+                continue
+            updates = self.updates_against(obs)
+            total = obs.queries + updates
+            p_update = updates / total if total else 0.0
+            rec = recommend(
+                PathWorkload(
+                    update_probability=p_update, f=f, f_r=f_r, f_s=f_s,
+                    n_s=n_s, clustered=clustered,
+                )
+            )
+            out.append(
+                Candidate(
+                    path_text=obs.text,
+                    observation=obs,
+                    update_statements=updates,
+                    estimated_p_update=p_update,
+                    recommendation=rec,
+                )
+            )
+        out.sort(key=lambda c: -c.recommendation.saving_percent)
+        return out
+
+    def report(self) -> str:
+        """A human-readable summary."""
+        lines = ["observed functional joins (replication candidates):"]
+        if not self._paths:
+            lines.append("  (none)")
+        for obs in self.path_observations():
+            updates = self.updates_against(obs)
+            lines.append(
+                f"  {obs.text:35s} {obs.queries:5d} queries, "
+                f"{obs.join_rows:7d} joins, {updates:5d} conflicting update stmts"
+            )
+        lines.append("observed field updates:")
+        if not self._fields:
+            lines.append("  (none)")
+        for fobs in self.field_observations():
+            lines.append(
+                f"  {fobs.type_name}.{fobs.field_name:25s} "
+                f"{fobs.statements:5d} statements, {fobs.updates:7d} objects"
+            )
+        return "\n".join(lines)
+
+
+def apply_recommendations(db, candidates: list[Candidate],
+                          max_paths: int | None = None) -> list[str]:
+    """Apply the advisor's DDL for the top candidates; returns statements run."""
+    applied = []
+    for candidate in candidates:
+        if max_paths is not None and len(applied) >= max_paths:
+            break
+        ddl = candidate.ddl
+        if ddl is None:
+            continue
+        strategy = (
+            "separate"
+            if candidate.recommendation.strategy is ModelStrategy.SEPARATE
+            else "inplace"
+        )
+        db.replicate(candidate.path_text, strategy=strategy)
+        applied.append(ddl)
+    return applied

@@ -1,0 +1,34 @@
+"""The object layer: EXTRA-like types, binary encoding, typed object store."""
+
+from repro.objects.encoding import decode_object, encode_object, encoded_size, peek_type_tag
+from repro.objects.instance import LinkEntry, ReplicaEntry, StoredObject
+from repro.objects.registry import TypeRegistry
+from repro.objects.store import ObjectStore
+from repro.objects.types import (
+    FieldDef,
+    FieldKind,
+    TypeDefinition,
+    char_field,
+    float_field,
+    int_field,
+    ref_field,
+)
+
+__all__ = [
+    "FieldDef",
+    "FieldKind",
+    "LinkEntry",
+    "ObjectStore",
+    "ReplicaEntry",
+    "StoredObject",
+    "TypeDefinition",
+    "TypeRegistry",
+    "char_field",
+    "decode_object",
+    "encode_object",
+    "encoded_size",
+    "float_field",
+    "int_field",
+    "peek_type_tag",
+    "ref_field",
+]

@@ -1,0 +1,149 @@
+"""Binary encoding of objects.
+
+On-disk layout (sizes chosen to match Figure 10's accounting: a 20-byte
+object header ``h`` that begins with the 2-byte type tag):
+
+==========================  =======================================
+section                     bytes
+==========================  =======================================
+type tag                    2
+link-entry count            1
+replica-entry count         1
+reserved                    16   (pads the header to ``h`` = 20)
+link entries                9 each  (OID 8 + link-ID 1)
+replica entries             13 each (OID 8 + refcount 4 + path-id 1)
+field values                fixed width, in type field order
+==========================  =======================================
+
+Field encodings: ``int`` 4-byte big-endian signed, ``float`` 8-byte IEEE,
+``char[n]`` UTF-8 padded with NULs, ``ref`` a packed OID
+(:data:`~repro.storage.oid.NULL_OID` encodes an absent reference).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import SerializationError
+from repro.objects.instance import LinkEntry, ReplicaEntry, StoredObject
+from repro.objects.registry import TypeRegistry
+from repro.objects.types import FieldKind, TypeDefinition
+from repro.storage.constants import OBJECT_HEADER_BYTES
+from repro.storage.oid import NULL_OID, OID
+
+_HEADER = struct.Struct(">HBB16x")
+_INT = struct.Struct(">i")
+_FLOAT = struct.Struct(">d")
+_REFCOUNT = struct.Struct(">I")
+
+assert _HEADER.size == OBJECT_HEADER_BYTES
+
+_LINK_ENTRY_BYTES = 9
+_REPLICA_ENTRY_BYTES = 13
+
+
+def encoded_size(type_def: TypeDefinition, n_links: int = 0, n_replicas: int = 0) -> int:
+    """Size in bytes of an encoded object of ``type_def``."""
+    return (
+        OBJECT_HEADER_BYTES
+        + n_links * _LINK_ENTRY_BYTES
+        + n_replicas * _REPLICA_ENTRY_BYTES
+        + type_def.data_width
+    )
+
+
+def encode_object(registry: TypeRegistry, obj: StoredObject) -> bytes:
+    """Serialise ``obj`` to its on-disk byte string."""
+    if len(obj.link_entries) > 0xFF or len(obj.replica_entries) > 0xFF:
+        raise SerializationError("too many link/replica entries for one object")
+    tag = registry.tag_of(obj.type_def.name)
+    parts = [_HEADER.pack(tag, len(obj.link_entries), len(obj.replica_entries))]
+    for entry in obj.link_entries:
+        parts.append(entry.link_oid.pack())
+        parts.append(bytes([entry.link_id]))
+    for rentry in obj.replica_entries:
+        parts.append(rentry.replica_oid.pack())
+        parts.append(_REFCOUNT.pack(rentry.refcount))
+        parts.append(bytes([rentry.path_id]))
+    for fdef in obj.type_def.fields:
+        parts.append(_encode_value(fdef, obj.values[fdef.name]))
+    return b"".join(parts)
+
+
+def decode_object(registry: TypeRegistry, data: bytes) -> StoredObject:
+    """Deserialise an object; the type is resolved through its tag."""
+    if len(data) < OBJECT_HEADER_BYTES:
+        raise SerializationError(f"object record truncated ({len(data)} bytes)")
+    tag, n_links, n_replicas = _HEADER.unpack_from(data, 0)
+    type_def = registry.by_tag(tag)
+    pos = OBJECT_HEADER_BYTES
+    links = []
+    for __ in range(n_links):
+        oid = OID.unpack(data, pos)
+        link_id = data[pos + 8]
+        links.append(LinkEntry(oid, link_id))
+        pos += _LINK_ENTRY_BYTES
+    replicas = []
+    for __ in range(n_replicas):
+        oid = OID.unpack(data, pos)
+        refcount = _REFCOUNT.unpack_from(data, pos + 8)[0]
+        path_id = data[pos + 12]
+        replicas.append(ReplicaEntry(oid, refcount, path_id))
+        pos += _REPLICA_ENTRY_BYTES
+    values: dict[str, object] = {}
+    for fdef in type_def.fields:
+        if pos == len(data):
+            # Schema evolution: the record predates a type widening (e.g. a
+            # replication path added hidden fields).  Trailing absent fields
+            # decode to their kind defaults; a cut *inside* a field is still
+            # an error.
+            break
+        values[fdef.name], pos = _decode_value(fdef, data, pos)
+    if pos != len(data):
+        raise SerializationError(
+            f"object of type {type_def.name!r}: {len(data) - pos} trailing bytes"
+        )
+    return StoredObject(type_def, values, links, replicas)
+
+
+def peek_type_tag(data: bytes) -> int:
+    """Return the type tag of an encoded object without full decoding."""
+    if len(data) < 2:
+        raise SerializationError("record too short to hold a type tag")
+    return struct.unpack_from(">H", data, 0)[0]
+
+
+def _encode_value(fdef, value) -> bytes:
+    kind = fdef.kind
+    if kind is FieldKind.INT:
+        try:
+            return _INT.pack(value)
+        except struct.error as exc:
+            raise SerializationError(f"int field {fdef.name!r}: {exc}") from None
+    if kind is FieldKind.FLOAT:
+        return _FLOAT.pack(float(value))
+    if kind is FieldKind.CHAR:
+        raw = value.encode("utf-8")
+        if len(raw) > fdef.size:
+            raise SerializationError(
+                f"char[{fdef.size}] field {fdef.name!r}: value needs {len(raw)} bytes"
+            )
+        return raw.ljust(fdef.size, b"\x00")
+    # REF
+    oid = value if value is not None else NULL_OID
+    return oid.pack()
+
+
+def _decode_value(fdef, data: bytes, pos: int):
+    kind = fdef.kind
+    end = pos + fdef.width
+    if end > len(data):
+        raise SerializationError(f"field {fdef.name!r} truncated")
+    if kind is FieldKind.INT:
+        return _INT.unpack_from(data, pos)[0], end
+    if kind is FieldKind.FLOAT:
+        return _FLOAT.unpack_from(data, pos)[0], end
+    if kind is FieldKind.CHAR:
+        return data[pos:end].rstrip(b"\x00").decode("utf-8"), end
+    oid = OID.unpack(data, pos)
+    return (None if oid == NULL_OID else oid), end

@@ -1,0 +1,93 @@
+"""Type-tag registry.
+
+Every stored object begins with a 2-byte *type tag* (Section 2.2: "every
+object contains a type-tag, which identifies the object's type").  The
+registry assigns tags densely and maps both ways:
+
+* name -> :class:`TypeDefinition` (for schema lookups),
+* tag  -> :class:`TypeDefinition` (for decoding raw records).
+
+Replication subtypes (widened with hidden fields) *replace* the registered
+definition under the same tag: the tag identifies the physical layout of
+objects of that set, and all objects of a set are rewritten when a
+replication path is added, so one live layout per tag suffices.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DuplicateNameError, UnknownTypeError
+from repro.objects.types import TypeDefinition
+
+
+class TypeRegistry:
+    """Assigns 2-byte type tags and resolves them back to definitions."""
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, TypeDefinition] = {}
+        self._by_tag: dict[int, TypeDefinition] = {}
+        self._tags: dict[str, int] = {}
+        self._next_tag = 1
+
+    def register(self, type_def: TypeDefinition) -> int:
+        """Register a new type; returns its tag."""
+        if type_def.name in self._by_name:
+            raise DuplicateNameError(f"type {type_def.name!r} already registered")
+        tag = self._next_tag
+        if tag > 0xFFFF:
+            raise DuplicateNameError("type-tag space exhausted")
+        self._next_tag += 1
+        self._by_name[type_def.name] = type_def
+        self._by_tag[tag] = type_def
+        self._tags[type_def.name] = tag
+        return tag
+
+    def replace(self, name: str, new_def: TypeDefinition) -> None:
+        """Swap the definition behind an existing tag (subtyping widening).
+
+        The new definition keeps the old tag, and is re-registered under its
+        own name as well so both names resolve.
+        """
+        tag = self.tag_of(name)
+        self._by_tag[tag] = new_def
+        self._by_name[name] = new_def
+        if new_def.name != name:
+            self._by_name[new_def.name] = new_def
+            self._tags[new_def.name] = tag
+
+    def get(self, name: str) -> TypeDefinition:
+        """Resolve a type by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownTypeError(f"unknown type {name!r}") from None
+
+    def has(self, name: str) -> bool:
+        """Whether a type of that name is registered."""
+        return name in self._by_name
+
+    def by_tag(self, tag: int) -> TypeDefinition:
+        """Resolve a type by tag (decoding path)."""
+        try:
+            return self._by_tag[tag]
+        except KeyError:
+            raise UnknownTypeError(f"unknown type tag {tag}") from None
+
+    def tag_of(self, name: str) -> int:
+        """Return the tag assigned to a type name."""
+        try:
+            return self._tags[name]
+        except KeyError:
+            raise UnknownTypeError(f"unknown type {name!r}") from None
+
+    def names(self) -> list[str]:
+        """All registered type names, sorted."""
+        return sorted(self._by_name)
+
+    def root_name(self, name: str) -> str:
+        """The originally declared type name behind any subtype.
+
+        Per-set clones and replication widenings both record the root type
+        in ``base`` -- the name the user's ``define type`` introduced.
+        """
+        type_def = self.get(name)
+        return type_def.base or type_def.name

@@ -1,0 +1,99 @@
+"""The object store: typed CRUD over heap files.
+
+An :class:`ObjectStore` sits between the storage manager and the set layer:
+it encodes/decodes objects, turns heap-file record ids into physically
+based OIDs (``file_id`` + record id), and resolves OID dereferences --
+the primitive underneath every *functional join*.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import DanglingReferenceError, RecordNotFoundError
+from repro.objects.encoding import decode_object, encode_object
+from repro.objects.instance import StoredObject
+from repro.objects.registry import TypeRegistry
+from repro.storage.heapfile import HeapFile
+from repro.storage.manager import StorageManager
+from repro.storage.oid import OID
+
+
+class ObjectStore:
+    """Typed object persistence over a :class:`StorageManager`."""
+
+    def __init__(self, storage: StorageManager, registry: TypeRegistry) -> None:
+        self.storage = storage
+        self.registry = registry
+
+    # -- CRUD -----------------------------------------------------------
+
+    def insert(self, heap: HeapFile, obj: StoredObject) -> OID:
+        """Store a new object; returns its (stable) OID."""
+        rid = heap.insert(encode_object(self.registry, obj))
+        return OID(heap.file_id, rid[0], rid[1])
+
+    def read(self, oid: OID) -> StoredObject:
+        """Dereference an OID.
+
+        Raises :class:`DanglingReferenceError` when the OID does not name a
+        live object -- the error a functional join would surface on a
+        violated reference.
+        """
+        heap = self.storage.file_by_id(oid.file_id)
+        try:
+            raw = heap.read((oid.page_no, oid.slot))
+        except RecordNotFoundError:
+            raise DanglingReferenceError(f"dangling reference {oid}") from None
+        return decode_object(self.registry, raw)
+
+    def update(self, oid: OID, obj: StoredObject) -> None:
+        """Overwrite the object at ``oid`` (relocation is transparent)."""
+        heap = self.storage.file_by_id(oid.file_id)
+        try:
+            heap.update((oid.page_no, oid.slot), encode_object(self.registry, obj))
+        except RecordNotFoundError:
+            raise DanglingReferenceError(f"dangling reference {oid}") from None
+
+    def delete(self, oid: OID) -> None:
+        """Remove the object at ``oid``."""
+        heap = self.storage.file_by_id(oid.file_id)
+        try:
+            heap.delete((oid.page_no, oid.slot))
+        except RecordNotFoundError:
+            raise DanglingReferenceError(f"dangling reference {oid}") from None
+
+    def exists(self, oid: OID) -> bool:
+        """Whether the OID names a live object."""
+        heap = self.storage.file_by_id(oid.file_id)
+        return heap.exists((oid.page_no, oid.slot))
+
+    # -- scans ------------------------------------------------------------
+
+    def scan(self, heap: HeapFile) -> Iterator[tuple[OID, StoredObject]]:
+        """Yield ``(oid, object)`` in physical order."""
+        for rid, raw in heap.scan():
+            yield OID(heap.file_id, rid[0], rid[1]), decode_object(self.registry, raw)
+
+    # -- path navigation ----------------------------------------------------
+
+    def follow(self, obj: StoredObject, ref_name: str) -> StoredObject | None:
+        """One functional-join step: dereference ``obj.ref_name``."""
+        oid = obj.ref(ref_name)
+        if oid is None:
+            return None
+        return self.read(oid)
+
+    def traverse(self, obj: StoredObject, path: list[str]) -> StoredObject | None:
+        """Follow a chain of reference attributes from ``obj``.
+
+        ``path`` names only the reference attributes; the terminal data
+        field, if any, is the caller's business.  Returns None as soon as a
+        null reference is met.
+        """
+        current: StoredObject | None = obj
+        for ref_name in path:
+            if current is None:
+                return None
+            current = self.follow(current, ref_name)
+        return current

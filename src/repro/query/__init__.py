@@ -1,0 +1,27 @@
+"""Query processing: language, planner, replication-aware executor."""
+
+from repro.query.executor import QueryResult
+from repro.query.language import (
+    Comparison,
+    Delete,
+    FieldRef,
+    Replace,
+    Retrieve,
+    Where,
+    parse_statement,
+)
+from repro.query.runner import execute_statement, execute_text, explain_text
+
+__all__ = [
+    "Comparison",
+    "Delete",
+    "FieldRef",
+    "QueryResult",
+    "Replace",
+    "Retrieve",
+    "Where",
+    "execute_statement",
+    "execute_text",
+    "explain_text",
+    "parse_statement",
+]

@@ -1,0 +1,302 @@
+"""Plan execution.
+
+The executor turns plans into page accesses through the object store and
+indexes, counting I/O via the shared statistics.  Retrieve results are
+materialised into an *output file* ``T`` (the paper's C_generate/T term)
+unless the plan says otherwise; the file is dropped once written -- its
+I/O has already been charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.objects.instance import StoredObject
+from repro.query.plan import (
+    DeletePlan,
+    FileScan,
+    FunctionalJoin,
+    HiddenField,
+    HiddenRefJump,
+    IndexScan,
+    LocalField,
+    ReplicaFetch,
+    RetrievePlan,
+    UpdatePlan,
+)
+from repro.schema.database import Database
+from repro.storage.oid import OID
+from repro.storage.stats import IOSnapshot
+
+
+@dataclass
+class QueryResult:
+    """Rows plus execution metadata."""
+
+    columns: tuple[str, ...]
+    rows: list[tuple]
+    io: IOSnapshot
+    plan: str
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+_output_counter = [0]
+
+
+def execute_retrieve(db: Database, plan: RetrievePlan) -> QueryResult:
+    """Run a retrieve plan and return its rows."""
+    before = db.stats.snapshot()
+    for path_text in plan.refresh_paths:
+        db.replication.refresh_path(db.catalog.get_path(path_text))
+    rows: list[tuple] = []
+    sort_keys: list = []
+    group_keys: list[tuple] = []
+    for oid, obj in _scan(db, plan.set_name, plan.access, plan.where):
+        rows.append(tuple(_fetch(db, step, obj) for step in plan.steps))
+        if plan.order_step is not None:
+            sort_keys.append(_fetch(db, plan.order_step, obj))
+        if plan.group_steps:
+            group_keys.append(
+                tuple(_fetch(db, step, obj) for step in plan.group_steps)
+            )
+    _record_joins(db, plan, len(rows))
+    if plan.group_steps:
+        rows = _fold_groups(plan, rows, group_keys)
+        if plan.limit is not None:
+            rows = rows[: plan.limit]
+        columns = tuple(
+            f"{fn}({step.target.text})" if fn else step.target.text
+            for fn, step in zip(plan.aggregates, plan.steps)
+        )
+        if plan.materialize:
+            _materialize(db, rows)
+        io = db.stats.snapshot() - before
+        return QueryResult(columns=columns, rows=rows, io=io, plan=plan.explain())
+    if plan.order_step is not None:
+        # sort rows by key; NULL keys sort last regardless of direction
+        paired = sorted(
+            zip(sort_keys, range(len(rows))),
+            key=lambda kv: ((kv[0] is None), kv[0] if kv[0] is not None else 0),
+            reverse=plan.descending,
+        )
+        if plan.descending:
+            # reverse put the Nones first; push them back to the end
+            paired = [kv for kv in paired if kv[0] is not None] + [
+                kv for kv in paired if kv[0] is None
+            ]
+        rows = [rows[i] for __, i in paired]
+    if plan.limit is not None:
+        rows = rows[: plan.limit]
+    if plan.aggregates:
+        rows = [_fold_aggregates(plan.aggregates, rows)]
+        columns = tuple(
+            f"{fn}({step.target.text})" if fn else step.target.text
+            for fn, step in zip(plan.aggregates, plan.steps)
+        )
+    else:
+        columns = tuple(step.target.text for step in plan.steps)
+    if plan.materialize:
+        _materialize(db, rows)
+    io = db.stats.snapshot() - before
+    return QueryResult(columns=columns, rows=rows, io=io, plan=plan.explain())
+
+
+def _fold_groups(plan: RetrievePlan, rows: list[tuple],
+                 group_keys: list[tuple]) -> list[tuple]:
+    """Bucket rows by their group-key tuples and fold each bucket."""
+    buckets: dict[tuple, list[tuple]] = {}
+    for key, row in zip(group_keys, rows):
+        buckets.setdefault(key, []).append(row)
+    out = []
+    for key in sorted(buckets, key=lambda k: tuple((v is None, v) for v in k)):
+        bucket = buckets[key]
+        folded = _fold_aggregates(
+            [fn or "min" for fn in plan.aggregates], bucket
+        )
+        # plain columns: take the (identical within the group) value
+        row = tuple(
+            folded[i] if fn else bucket[0][i]
+            for i, fn in enumerate(plan.aggregates)
+        )
+        out.append(row)
+    return out
+
+
+def _fold_aggregates(aggregates, rows: list[tuple]) -> tuple:
+    """Reduce the projected rows to one aggregate row (NULLs skipped,
+    SQL-style: count counts non-null values; empty input yields count 0 and
+    None for the value aggregates)."""
+    out = []
+    for i, fn in enumerate(aggregates):
+        column = [row[i] for row in rows if row[i] is not None]
+        if fn == "count":
+            out.append(len(column))
+        elif not column:
+            out.append(None)
+        elif fn == "sum":
+            out.append(sum(column))
+        elif fn == "avg":
+            out.append(sum(column) / len(column))
+        elif fn == "min":
+            out.append(min(column))
+        else:  # max
+            out.append(max(column))
+    return tuple(out)
+
+
+def execute_update(db: Database, plan: UpdatePlan) -> QueryResult:
+    """Run a replace plan; rows report the updated OIDs."""
+    before = db.stats.snapshot()
+    victims = [oid for oid, __ in _scan(db, plan.set_name, plan.access, plan.where)]
+    changes = dict(plan.assignments)
+    root = db.registry.root_name(db.catalog.get_set(plan.set_name).type_name)
+    for fname in changes:
+        db.monitor.record_update(root, fname, rows=len(victims))
+    for oid in victims:
+        db.update(plan.set_name, oid, changes, record=False)
+    io = db.stats.snapshot() - before
+    return QueryResult(("oid",), [(oid,) for oid in victims], io, plan.explain())
+
+
+def execute_delete(db: Database, plan: DeletePlan) -> QueryResult:
+    """Run a delete plan; rows report the deleted OIDs."""
+    before = db.stats.snapshot()
+    victims = [oid for oid, __ in _scan(db, plan.set_name, plan.access, plan.where)]
+    for oid in victims:
+        db.delete(plan.set_name, oid)
+    io = db.stats.snapshot() - before
+    return QueryResult(("oid",), [(oid,) for oid in victims], io, plan.explain())
+
+
+def _record_joins(db: Database, plan: RetrievePlan, rows: int) -> None:
+    """Feed the workload monitor: each functional-join step is a path
+    replication could have served."""
+    if rows == 0:
+        return
+    for step in plan.steps:
+        if not isinstance(step, FunctionalJoin):
+            continue
+        obj_set = db.catalog.get_set(plan.set_name)
+        current = obj_set.type_def
+        for ref_name in step.chain:
+            current = db.registry.get(current.field_def(ref_name).ref_type)
+        db.monitor.record_join(
+            plan.set_name, step.chain, step.field_name,
+            db.registry.root_name(current.name), rows,
+        )
+
+
+# ---------------------------------------------------------------------------
+# row sources
+# ---------------------------------------------------------------------------
+
+
+def _scan(db: Database, set_name: str, access, where):
+    obj_set = db.catalog.get_set(set_name)
+    if isinstance(access, FileScan):
+        for oid, obj in obj_set.scan():
+            if where is None or _matches(db, set_name, where, obj):
+                yield oid, obj
+        return
+    assert isinstance(access, IndexScan)
+    for oid in _index_oids(access):
+        obj = obj_set.read(oid)
+        if where is None or _matches(db, set_name, where, obj):
+            yield oid, obj
+
+
+def _index_oids(access: IndexScan):
+    index = access.index.index
+    if access.eq is not None:
+        yield from index.lookup(access.eq)
+        return
+    for value, oid in index.range(
+        lo=access.lo, hi=access.hi, include_hi=not access.hi_strict
+    ):
+        if access.lo_strict and value == access.lo:
+            continue
+        yield oid
+
+
+def _matches(db: Database, set_name: str, where, obj: StoredObject) -> bool:
+    def lookup(ref):
+        if not ref.chain:
+            return obj.values[ref.field]
+        # path-valued filter: prefer replicated data, else functional join
+        path = db.catalog.find_path(set_name, ref.chain, ref.field)
+        if path is not None and path.hidden_fields:
+            return obj.values[path.hidden_field_for(ref.field)]
+        if path is not None and path.hidden_ref is not None:
+            replica_ref = obj.values[path.hidden_ref]
+            if replica_ref is None:
+                return None
+            replica = db.replication.replica_sets[path.path_id].read(replica_ref)
+            return replica.values[ref.field]
+        return _join_from(db, obj.ref(ref.chain[0]), ref.chain[1:], ref.field)
+
+    return where.matches(lookup)
+
+
+# ---------------------------------------------------------------------------
+# fetch steps
+# ---------------------------------------------------------------------------
+
+
+def _fetch(db: Database, step, obj: StoredObject):
+    if isinstance(step, LocalField):
+        return obj.values[step.field_name]
+    if isinstance(step, HiddenField):
+        return obj.values[step.hidden_field]
+    if isinstance(step, ReplicaFetch):
+        ref = obj.values[step.hidden_ref]
+        if ref is None:
+            return None
+        replica = db.replication.replica_sets[step.path_id].read(ref)
+        return replica.values[step.field_name]
+    if isinstance(step, HiddenRefJump):
+        oid = obj.values[step.hidden_field]
+        return _join_from(db, oid, step.remaining_chain, step.field_name)
+    assert isinstance(step, FunctionalJoin)
+    start = obj.ref(step.chain[0])
+    return _join_from(db, start, step.chain[1:], step.field_name)
+
+
+def _join_from(db: Database, oid: OID | None, chain, field_name: str):
+    if oid is None:
+        return None
+    current = db.store.read(oid)
+    for ref_name in chain:
+        nxt = current.ref(ref_name)
+        if nxt is None:
+            return None
+        current = db.store.read(nxt)
+    return current.values[field_name]
+
+
+# ---------------------------------------------------------------------------
+# output file generation
+# ---------------------------------------------------------------------------
+
+
+def _materialize(db: Database, rows: list[tuple]) -> None:
+    """Write the result into a fresh output file T, then drop it.
+
+    Generating T is charged exactly like the model's C_generate/T term;
+    the file itself is temporary.
+    """
+    _output_counter[0] += 1
+    name = f"__output{_output_counter[0]}"
+    heap = db.storage.create_file(name)
+    for row in rows:
+        record = "\x1f".join(_render(v) for v in row).encode("utf-8")
+        heap.insert(record or b"\x00")
+    db.storage.pool.flush_all()
+    db.storage.drop_file(name)
+
+
+def _render(value) -> str:
+    if isinstance(value, OID):
+        return f"@{value.file_id}:{value.page_no}.{value.slot}"
+    return str(value)

@@ -1,0 +1,339 @@
+"""The query language: statements and their text parser.
+
+The paper writes queries in an EXTRA/QUEL-ish syntax::
+
+    retrieve (Emp1.name, Emp1.salary, Emp1.dept.name)
+    where Emp1.salary > 100000
+
+    replace (S.field = newvalue, S.repfield = "newvalue")
+    where S.field2 = 17
+
+    delete from Emp1 where Emp1.age >= 65
+
+This module parses that surface syntax into plain statement objects; the
+planner (:mod:`repro.query.planner`) resolves them against the schema.
+Supported predicates are single comparisons on a scalar field of the
+queried set -- exactly the query class of the paper's cost model -- plus
+``and``-conjunctions of such comparisons as a convenience.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+COMPARE_OPS = ("<=", ">=", "!=", "=", "<", ">")
+
+
+@dataclass(frozen=True)
+class FieldRef:
+    """A (possibly path-valued) field reference like ``Emp1.dept.name``."""
+
+    set_name: str
+    chain: tuple[str, ...]
+    field: str
+
+    @property
+    def text(self) -> str:
+        return ".".join((self.set_name,) + self.chain + (self.field,))
+
+    @staticmethod
+    def parse(text: str) -> "FieldRef":
+        parts = text.strip().split(".")
+        if len(parts) < 2 or not all(p.isidentifier() for p in parts):
+            raise ParseError(f"bad field reference {text!r}")
+        return FieldRef(parts[0], tuple(parts[1:-1]), parts[-1])
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``ref op literal`` -- the model's single-clause predicate."""
+
+    ref: FieldRef
+    op: str
+    value: object
+
+    def matches(self, actual) -> bool:
+        if self.op == "=":
+            return actual == self.value
+        if self.op == "!=":
+            return actual != self.value
+        if self.op == "<":
+            return actual < self.value
+        if self.op == "<=":
+            return actual <= self.value
+        if self.op == ">":
+            return actual > self.value
+        if self.op == ">=":
+            return actual >= self.value
+        raise ParseError(f"unknown operator {self.op!r}")
+
+    @property
+    def text(self) -> str:
+        value = f'"{self.value}"' if isinstance(self.value, str) else str(self.value)
+        return f"{self.ref.text} {self.op} {value}"
+
+
+@dataclass(frozen=True)
+class Where:
+    """A conjunction of comparisons (usually just one)."""
+
+    clauses: tuple[Comparison, ...]
+
+    def matches(self, lookup) -> bool:
+        """``lookup(field_ref)`` supplies the scanned object's values."""
+        return all(c.matches(lookup(c.ref)) for c in self.clauses)
+
+    @property
+    def text(self) -> str:
+        return " and ".join(c.text for c in self.clauses)
+
+
+#: Supported aggregate functions over retrieve targets.
+AGGREGATES = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class Retrieve:
+    """``retrieve (targets...) where ...``
+
+    ``aggregates`` aligns with ``targets``: None for a plain projection,
+    or one of :data:`AGGREGATES` -- ``retrieve (count(Emp1.name),
+    avg(Emp1.salary))`` folds the result to a single row.  Mixing
+    aggregated and plain targets is rejected (there is no group-by).
+    """
+
+    targets: tuple[FieldRef, ...]
+    where: Where | None = None
+    aggregates: tuple[str | None, ...] | None = None
+    #: ``order by`` key (any plannable field reference, replicated paths
+    #: included) and direction; ``limit`` caps the row count after sorting.
+    order_by: FieldRef | None = None
+    descending: bool = False
+    limit: int | None = None
+    #: ``group by`` keys; every plain target must appear here, and the
+    #: aggregates fold per group.
+    group_by: tuple[FieldRef, ...] = ()
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.aggregates is not None and any(self.aggregates)
+
+
+@dataclass(frozen=True)
+class Replace:
+    """``replace (Set.field = value, ...) where ...``"""
+
+    set_name: str
+    assignments: tuple[tuple[str, object], ...]
+    where: Where | None = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    """``delete from Set where ...``"""
+
+    set_name: str
+    where: Where | None = None
+
+
+_NUMBER = re.compile(r"^[+-]?\d+(\.\d+)?$")
+
+
+def _parse_literal(token: str):
+    token = token.strip()
+    if len(token) >= 2 and token[0] == token[-1] and token[0] in "'\"":
+        return token[1:-1]
+    if _NUMBER.match(token):
+        return float(token) if "." in token else int(token)
+    raise ParseError(f"bad literal {token!r} (strings need quotes)")
+
+
+def _split_top_level(text: str, sep: str) -> list[str]:
+    """Split on ``sep`` outside quotes."""
+    parts, depth_quote, current = [], None, []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if depth_quote:
+            current.append(ch)
+            if ch == depth_quote:
+                depth_quote = None
+        elif ch in "'\"":
+            depth_quote = ch
+            current.append(ch)
+        elif text[i:i + len(sep)] == sep:
+            parts.append("".join(current))
+            current = []
+            i += len(sep)
+            continue
+        else:
+            current.append(ch)
+        i += 1
+    parts.append("".join(current))
+    return parts
+
+
+def _parse_comparison(text: str) -> Comparison:
+    for op in COMPARE_OPS:
+        if op in text:
+            left, __, right = text.partition(op)
+            return Comparison(FieldRef.parse(left), op, _parse_literal(right))
+    raise ParseError(f"no comparison operator in {text!r}")
+
+
+def _parse_where(text: str | None) -> Where | None:
+    if text is None or not text.strip():
+        return None
+    clauses = tuple(
+        _parse_comparison(chunk) for chunk in _split_top_level(text, " and ")
+    )
+    return Where(clauses)
+
+
+def _split_where(body: str) -> tuple[str, str | None]:
+    match = re.search(r"\bwhere\b", body)
+    if match is None:
+        return body, None
+    return body[: match.start()], body[match.end():]
+
+
+def parse_statement(text: str) -> Retrieve | Replace | Delete:
+    """Parse one statement; raises :class:`ParseError` on malformed input."""
+    body = text.strip().rstrip(";")
+    if body.startswith("retrieve"):
+        return _parse_retrieve(body[len("retrieve"):])
+    if body.startswith("replace"):
+        return _parse_replace(body[len("replace"):])
+    if body.startswith("delete"):
+        return _parse_delete(body[len("delete"):])
+    raise ParseError(f"statement must start with retrieve/replace/delete: {text!r}")
+
+
+def _extract_parens(body: str) -> tuple[str, str]:
+    body = body.strip()
+    if not body.startswith("("):
+        raise ParseError(f"expected '(' in {body!r}")
+    depth, quote = 0, None
+    for i, ch in enumerate(body):
+        if quote:
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+        elif ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                return body[1:i], body[i + 1:]
+    raise ParseError(f"unbalanced parentheses in {body!r}")
+
+
+_AGG = re.compile(r"^(count|sum|avg|min|max)\s*\((.+)\)$", re.DOTALL)
+
+
+def _parse_target(text: str) -> tuple[str | None, FieldRef]:
+    text = text.strip()
+    match = _AGG.match(text)
+    if match:
+        return match.group(1), FieldRef.parse(match.group(2))
+    return None, FieldRef.parse(text)
+
+
+def _parse_retrieve(rest: str) -> Retrieve:
+    inner, tail = _extract_parens(rest)
+    parsed = [_parse_target(t) for t in _split_top_level(inner, ",")]
+    if not parsed:
+        raise ParseError("retrieve needs at least one target")
+    aggregates = tuple(fn for fn, __ in parsed)
+    targets = tuple(ref for __, ref in parsed)
+    sets = {t.set_name for t in targets}
+    if len(sets) != 1:
+        raise ParseError(f"retrieve targets must share one set, got {sorted(sets)}")
+    # strip trailing "limit N" then "order by X [asc|desc]" then "where ..."
+    limit = None
+    order_ref = None
+    descending = False
+    match = re.search(r"\blimit\s+(\d+)\s*$", tail)
+    if match:
+        limit = int(match.group(1))
+        tail = tail[: match.start()]
+    match = re.search(r"\border\s+by\s+([\w.]+)(\s+(?:asc|desc))?\s*$", tail)
+    if match:
+        order_ref = FieldRef.parse(match.group(1))
+        descending = (match.group(2) or "").strip() == "desc"
+        tail = tail[: match.start()]
+        if order_ref.set_name != targets[0].set_name:
+            raise ParseError("order-by field must belong to the queried set")
+    group_by: tuple[FieldRef, ...] = ()
+    match = re.search(r"\bgroup\s+by\s+([\w.]+(?:\s*,\s*[\w.]+)*)\s*$", tail)
+    if match:
+        group_by = tuple(
+            FieldRef.parse(chunk) for chunk in match.group(1).split(",")
+        )
+        tail = tail[: match.start()]
+    body, where_text = _split_where(tail)
+    if body.strip():
+        raise ParseError(f"unexpected text after targets: {body.strip()!r}")
+    if order_ref is not None and any(aggregates):
+        raise ParseError("order by cannot combine with aggregates")
+    if not group_by and any(aggregates) and not all(aggregates):
+        raise ParseError(
+            "cannot mix aggregated and plain targets without a group by"
+        )
+    if group_by:
+        if not any(aggregates):
+            raise ParseError("group by needs at least one aggregated target")
+        plain = {ref.text for fn, ref in zip(aggregates, targets) if fn is None}
+        keys = {ref.text for ref in group_by}
+        if not plain <= keys:
+            raise ParseError(
+                f"plain targets {sorted(plain - keys)} must appear in group by"
+            )
+        if order_ref is not None:
+            raise ParseError("order by cannot combine with group by")
+    return Retrieve(
+        targets,
+        _parse_where(where_text),
+        aggregates=aggregates if any(aggregates) else None,
+        order_by=order_ref,
+        descending=descending,
+        limit=limit,
+        group_by=group_by,
+    )
+
+
+def _parse_replace(rest: str) -> Replace:
+    inner, tail = _extract_parens(rest)
+    assignments = []
+    set_names = set()
+    for chunk in _split_top_level(inner, ","):
+        left, sep, right = chunk.partition("=")
+        if not sep:
+            raise ParseError(f"assignment needs '=': {chunk!r}")
+        ref = FieldRef.parse(left)
+        if ref.chain:
+            raise ParseError(f"replace assigns plain fields only: {ref.text!r}")
+        set_names.add(ref.set_name)
+        assignments.append((ref.field, _parse_literal(right)))
+    if len(set_names) != 1:
+        raise ParseError(f"replace assignments must share one set, got {sorted(set_names)}")
+    body, where_text = _split_where(tail)
+    if body.strip():
+        raise ParseError(f"unexpected text after assignments: {body.strip()!r}")
+    return Replace(set_names.pop(), tuple(assignments), _parse_where(where_text))
+
+
+def _parse_delete(rest: str) -> Delete:
+    rest = rest.strip()
+    if not rest.startswith("from"):
+        raise ParseError("delete syntax: delete from Set [where ...]")
+    rest = rest[len("from"):]
+    body, where_text = _split_where(rest)
+    set_name = body.strip()
+    if not set_name.isidentifier():
+        raise ParseError(f"bad set name {set_name!r}")
+    return Delete(set_name, _parse_where(where_text))

@@ -1,0 +1,41 @@
+"""Glue: parse -> plan -> execute."""
+
+from __future__ import annotations
+
+from repro.query.executor import (
+    QueryResult,
+    execute_delete,
+    execute_retrieve,
+    execute_update,
+)
+from repro.query.language import Delete, Replace, Retrieve, parse_statement
+from repro.query.planner import plan_delete, plan_replace, plan_retrieve
+from repro.schema.database import Database
+
+
+def execute_statement(db: Database, stmt, materialize: bool = True) -> QueryResult:
+    """Plan and run an already-parsed statement."""
+    if isinstance(stmt, Retrieve):
+        return execute_retrieve(db, plan_retrieve(db, stmt, materialize=materialize))
+    if isinstance(stmt, Replace):
+        return execute_update(db, plan_replace(db, stmt))
+    if isinstance(stmt, Delete):
+        return execute_delete(db, plan_delete(db, stmt))
+    raise TypeError(f"not a statement: {stmt!r}")
+
+
+def execute_text(db: Database, text: str, materialize: bool = True) -> QueryResult:
+    """Parse and run one statement of query-language text."""
+    return execute_statement(db, parse_statement(text), materialize=materialize)
+
+
+def explain_text(db: Database, text: str) -> str:
+    """Plan (but do not run) a statement; returns the plan description."""
+    stmt = parse_statement(text)
+    if isinstance(stmt, Retrieve):
+        return plan_retrieve(db, stmt).explain()
+    if isinstance(stmt, Replace):
+        return plan_replace(db, stmt).explain()
+    if isinstance(stmt, Delete):
+        return plan_delete(db, stmt).explain()
+    raise TypeError(f"not a statement: {stmt!r}")

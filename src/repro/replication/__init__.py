@@ -1,0 +1,20 @@
+"""Field replication: the paper's core contribution.
+
+* :mod:`repro.replication.links` -- link objects (inverse mappings),
+* :mod:`repro.replication.inverted` -- inverted-path membership algebra,
+* :mod:`repro.replication.manager` -- path lifecycle + update propagation,
+* :mod:`repro.replication.collapse` -- collapsed inverted paths (§4.3.3),
+* :mod:`repro.replication.lazy` -- deferred propagation (future work, §8).
+"""
+
+from repro.replication.links import LinkFile, LinkObject
+from repro.replication.manager import ReplicationManager
+from repro.replication.spec import ReplicationPath, Strategy
+
+__all__ = [
+    "LinkFile",
+    "LinkObject",
+    "ReplicationManager",
+    "ReplicationPath",
+    "Strategy",
+]

@@ -1,0 +1,98 @@
+"""Inverse functions over inverted paths (future work, Section 8).
+
+The paper closes with "ways in which inverted paths can be used for
+referential integrity and in implementing inverse functions (or
+bidirectional reference attributes)".  Referential integrity is already
+enforced by the manager (deletions of referenced objects are refused);
+this module supplies the *inverse function*: given a referenced object,
+enumerate its referencers.
+
+When a replication path already maintains the needed link, the answer
+comes straight from the link object (or the inlined entry) -- a few I/Os.
+Otherwise the fallback scans the referencing set, reporting that it did so,
+which is exactly the trade a DBA weighs when deciding to replicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import InvalidPathError
+from repro.objects.types import FieldKind
+from repro.storage.oid import OID
+
+if TYPE_CHECKING:  # annotation-only
+    from repro.schema.database import Database
+
+
+@dataclass(frozen=True)
+class InverseResult:
+    """Referencers of one object across one reference attribute."""
+
+    #: OIDs of the referencing objects, sorted (clustered order).
+    referencers: tuple[OID, ...]
+    #: True when a maintained link answered; False for a fallback scan.
+    via_link: bool
+
+
+def referencers(db: "Database", referencing_set: str, ref_field: str,
+                target_oid: OID) -> InverseResult:
+    """All members of ``referencing_set`` whose ``ref_field`` is ``target``.
+
+    ``referencers(db, "Emp1", "dept", D)`` is the inverse function
+    ``Emp1.dept^-1(D)``.  Uses the shared link on the prefix when any
+    replication path maintains one; falls back to a set scan otherwise.
+    """
+    obj_set = db.catalog.get_set(referencing_set)
+    fdef = obj_set.type_def.field_def(ref_field)
+    if fdef.kind is not FieldKind.REF:
+        raise InvalidPathError(
+            f"{referencing_set}.{ref_field} is not a reference attribute"
+        )
+    link = db.catalog.link_for_prefix(referencing_set, (ref_field,))
+    if link is not None and _link_is_live(db, link.link_id):
+        target = db.store.read(target_oid)
+        entry = target.link_entry_for(link.link_id)
+        if entry is None:
+            return InverseResult((), via_link=True)
+        if entry.inline:
+            return InverseResult((entry.link_oid,), via_link=True)
+        members = sorted(link.file.members(entry.link_oid))
+        return InverseResult(tuple(members), via_link=True)
+    found = sorted(
+        oid
+        for oid, obj in obj_set.scan()
+        if obj.values.get(ref_field) == target_oid
+    )
+    return InverseResult(tuple(found), via_link=False)
+
+
+def _link_is_live(db: "Database", link_id: int) -> bool:
+    return bool(db.catalog.paths_using_link(link_id))
+
+
+def closure_referencers(db: "Database", path_text: str,
+                        target_oid: OID) -> InverseResult:
+    """Source-set objects reaching ``target`` through a replicated path.
+
+    ``closure_referencers(db, "Emp1.dept.org.name", O)`` answers "which
+    employees would see an update to O?" -- the full inverted-path walk the
+    propagation machinery performs, exposed as a query primitive.
+    """
+    path = db.catalog.get_path(path_text)
+    if not path.link_sequence:
+        # 1-level separate path: no links; fall back to the single-hop scan
+        ref = path.resolved.ref_chain[0]
+        return referencers(db, path.source_set, ref, target_oid)
+    if path.collapsed:
+        target = db.store.read(target_oid)
+        entry = target.link_entry_for(path.link_sequence[0])
+        if entry is None:
+            return InverseResult((), via_link=True)
+        link = db.catalog.get_link(path.link_sequence[0])
+        members = sorted({m for m, __tag in link.file.members(entry.link_oid)})
+        return InverseResult(tuple(members), via_link=True)
+    last_link = db.catalog.get_link(path.link_sequence[-1])
+    sources = db.replication.inverted.closure_to_source(last_link, target_oid)
+    return InverseResult(tuple(sources), via_link=True)

@@ -1,0 +1,817 @@
+"""The replication manager.
+
+This is the component a DBA's ``replicate Emp1.dept.org.name`` statement
+lands in.  It owns:
+
+* **path registration** -- widening the source type with hidden fields
+  through subtyping, allocating the link sequence (sharing links across
+  paths with a common prefix), creating link files / replica sets, and
+  bulk-building structures over existing data;
+* **operation hooks** -- the maintenance of Sections 4.1.1/4.1.2/5.2 for
+  object insertion, deletion, and updates to both data fields and
+  reference attributes, dispatched through the link IDs and replica
+  entries stored in the affected object;
+* **consistency checking** -- :meth:`ReplicationManager.verify` recomputes
+  every replicated value and every link/replica structure from the forward
+  paths and raises :class:`~repro.errors.IntegrityError` on any drift.
+
+Updates are propagated eagerly unless a path was registered with
+``lazy=True`` (the paper's future-work variant), in which case source
+updates are queued and drained on the next read through
+:meth:`refresh_path` -- see :mod:`repro.replication.lazy`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    IntegrityError,
+    ReplicationError,
+)
+from repro.objects.instance import StoredObject, _default_for
+from repro.objects.store import ObjectStore
+from repro.objects.types import FieldDef, FieldKind, TypeDefinition
+from repro.replication.collapse import CollapsedPaths
+from repro.replication.inverted import InvertedPaths
+from repro.replication.lazy import LazyQueue
+from repro.replication.links import LinkFile
+from repro.replication.spec import (
+    ReplicationPath,
+    Strategy,
+    hidden_ref_field,
+    hidden_value_field,
+    replica_set_name,
+    replica_type_name,
+)
+from repro.schema.paths import resolve_path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # annotation-only; avoids an import cycle with schema
+    from repro.schema.catalog import Catalog, LinkDef
+from repro.sets.objectset import ObjectSet
+from repro.storage.manager import StorageManager
+from repro.storage.oid import OID
+
+
+class ReplicationManager:
+    """Coordinates every replication path of one database."""
+
+    def __init__(self, catalog: Catalog, store: ObjectStore, storage: StorageManager,
+                 inline_singleton_links: bool = False) -> None:
+        self.catalog = catalog
+        self.store = store
+        self.storage = storage
+        self.replica_sets: dict[int, ObjectSet] = {}
+        self.inverted = InvertedPaths(catalog, store, self.replica_sets,
+                                      inline_singletons=inline_singleton_links)
+        self.collapsed = CollapsedPaths(catalog, store)
+        self.lazy = LazyQueue(storage)
+
+    # ==================================================================
+    # path lifecycle
+    # ==================================================================
+
+    def register_path(self, text: str, strategy: Strategy,
+                      collapsed: bool = False, lazy: bool = False,
+                      cluster_links: bool = False) -> ReplicationPath:
+        """Process a ``replicate`` statement and build its structures.
+
+        ``cluster_links`` applies the §4.3.2 optimization to an n-level
+        in-place path: all its links are co-located in one link file so a
+        propagation reads related link objects from (mostly) the same
+        pages.  Co-located links are private -- clustering goals conflict
+        with sharing, exactly as the paper observes.
+        """
+        resolved = resolve_path(text, self.catalog.set_type_of, self.catalog.registry.get)
+        if resolved.text in self.catalog.paths:
+            from repro.errors import DuplicateReplicationPathError
+
+            raise DuplicateReplicationPathError(f"path {text!r} already replicated")
+        if collapsed and (strategy is not Strategy.IN_PLACE or resolved.level != 2):
+            raise ReplicationError(
+                "collapsed inverted paths are supported for 2-level in-place paths"
+            )
+        if lazy and strategy is not Strategy.IN_PLACE:
+            raise ReplicationError("lazy propagation applies to in-place paths")
+        if cluster_links and (
+            strategy is not Strategy.IN_PLACE or collapsed or resolved.level < 2
+        ):
+            raise ReplicationError(
+                "link clustering applies to multi-level in-place paths"
+            )
+        path_id = self.catalog.allocate_path_id()
+        if strategy is Strategy.IN_PLACE:
+            path = self._register_inplace(resolved, path_id, collapsed, lazy,
+                                          cluster_links)
+        else:
+            path = self._register_separate(resolved, path_id)
+        if lazy:
+            self.lazy.register(path)
+        return path
+
+    def _register_inplace(self, resolved, path_id: int, collapsed: bool,
+                          lazy: bool, cluster_links: bool = False) -> ReplicationPath:
+        hidden = tuple(
+            FieldDef(
+                hidden_value_field(path_id, f.name),
+                f.kind,
+                size=f.size,
+                ref_type=f.ref_type,
+                hidden=True,
+            )
+            for f in resolved.replicated_fields
+        )
+        self._widen_source_type(resolved.source_set, path_id, hidden)
+        if collapsed:
+            link_ids = (self._create_collapsed_link(resolved).link_id,)
+        elif cluster_links:
+            link_ids = self._create_clustered_links(resolved, path_id)
+        else:
+            link_ids = tuple(
+                self._link_for(resolved.source_set, prefix).link_id
+                for prefix in resolved.prefix_chains()
+            )
+        path = ReplicationPath(
+            path_id=path_id,
+            resolved=resolved,
+            strategy=Strategy.IN_PLACE,
+            link_sequence=link_ids,
+            collapsed=collapsed,
+            lazy=lazy,
+            hidden_fields=tuple(f.name for f in hidden),
+        )
+        self.catalog.add_path(path)
+        self._bulk_build(path)
+        return path
+
+    def _register_separate(self, resolved, path_id: int) -> ReplicationPath:
+        rep_fields = [
+            FieldDef(f.name, f.kind, size=f.size, ref_type=f.ref_type)
+            for f in resolved.replicated_fields
+        ]
+        rep_type = TypeDefinition(replica_type_name(path_id), rep_fields)
+        self.catalog.registry.register(rep_type)
+        heap = self.storage.create_file(replica_set_name(path_id, resolved.source_set))
+        self.replica_sets[path_id] = ObjectSet(
+            replica_set_name(path_id, resolved.source_set), rep_type.name, self.store, heap
+        )
+        hidden = (
+            FieldDef(hidden_ref_field(path_id), FieldKind.REF,
+                     ref_type=rep_type.name, hidden=True),
+        )
+        self._widen_source_type(resolved.source_set, path_id, hidden)
+        # The inverted path of an n-level separate path has n - 1 links.
+        link_ids = tuple(
+            self._link_for(resolved.source_set, prefix).link_id
+            for prefix in list(resolved.prefix_chains())[: resolved.level - 1]
+        )
+        path = ReplicationPath(
+            path_id=path_id,
+            resolved=resolved,
+            strategy=Strategy.SEPARATE,
+            link_sequence=link_ids,
+            hidden_fields=(),
+            hidden_ref=hidden[0].name,
+            replica_set=replica_set_name(path_id, resolved.source_set),
+            replica_type=rep_type.name,
+        )
+        self.catalog.add_path(path)
+        self._bulk_build(path)
+        return path
+
+    def _widen_source_type(self, source_set: str, path_id: int,
+                           hidden: tuple[FieldDef, ...]) -> None:
+        obj_set = self.catalog.get_set(source_set)
+        old = obj_set.type_def
+        new = old.subtype_with_hidden(f"{old.name}__p{path_id}", list(hidden))
+        self.catalog.registry.replace(obj_set.type_name, new)
+
+    def _link_for(self, source_set: str, prefix: tuple[str, ...]) -> LinkDef:
+        link = self.catalog.link_for_prefix(source_set, prefix)
+        if link is None:
+            heap = self.storage.create_file(
+                f"__link_{source_set}_{'_'.join(prefix)}"
+            )
+            link = self.catalog.register_link(source_set, prefix, LinkFile(heap))
+        return link
+
+    def _create_clustered_links(self, resolved, path_id: int) -> tuple[int, ...]:
+        """§4.3.2: all links of the path share one (private) link file."""
+        heap = self.storage.create_file(
+            f"__xlink{path_id}_{resolved.source_set}_{'_'.join(resolved.ref_chain)}"
+        )
+        file = LinkFile(heap)
+        link_ids: list[int] = []
+        parent: int | None = None
+        for prefix in resolved.prefix_chains():
+            link = self.catalog.register_link(
+                resolved.source_set, prefix, file,
+                private=True, parent_link_id=parent,
+            )
+            link_ids.append(link.link_id)
+            parent = link.link_id
+        return tuple(link_ids)
+
+    def _create_collapsed_link(self, resolved) -> LinkDef:
+        heap = self.storage.create_file(
+            f"__clink_{resolved.source_set}_{'_'.join(resolved.ref_chain)}"
+        )
+        return self.catalog.register_link(
+            resolved.source_set, resolved.ref_chain, LinkFile(heap, collapsed=True),
+            collapsed=True,
+        )
+
+    def _bulk_build(self, path: ReplicationPath) -> None:
+        """Build structures and fill hidden fields over existing members.
+
+        Unlike incremental maintenance, the bulk build cannot rely on the
+        enter-cascade: when this path *shares* a pre-existing link, the
+        owners along it entered that link long ago, so every link of this
+        path's sequence is ensured explicitly, chain by chain.
+
+        Scanning the source set in physical order makes link objects /
+        replica objects come out in (approximately) the same physical order
+        as the sets they shadow, the clustering both strategies rely on.
+        """
+        src = self.catalog.get_set(path.source_set)
+        if path.collapsed:
+            for oid, obj in list(src.scan()):
+                changes = self.collapsed.after_insert(path, oid, obj)
+                self.apply_hidden_changes(src, oid, changes, maintain_indexes=False)
+            return
+        chain = path.resolved.ref_chain
+        counted: set[OID] = set()
+        for oid, obj in list(src.scan()):
+            oids = [oid]
+            objs = [obj]
+            for ref_name in chain[: len(path.link_sequence)]:
+                nxt = objs[-1].ref(ref_name)
+                if nxt is None:
+                    break
+                oids.append(nxt)
+                objs.append(self.store.read(nxt))
+            for i in range(len(oids) - 1):
+                link = self.catalog.get_link(path.link_sequence[i])
+                self._ensure_direct(link, oids[i + 1], oids[i])
+            if path.strategy is Strategy.SEPARATE:
+                changes = {
+                    path.hidden_ref: self._bulk_replica_ref(path, oids, objs, counted)
+                }
+            else:
+                changes = self._hidden_values_for(path, obj)
+            self.apply_hidden_changes(src, oid, changes, maintain_indexes=False)
+
+    def _ensure_direct(self, link: LinkDef, owner_oid: OID, member_oid: OID) -> None:
+        """Cascade-free membership insert used by the bulk build."""
+        self.inverted.attach(link, owner_oid, member_oid, cascade=False)
+
+    def _bulk_replica_ref(self, path: ReplicationPath, oids, objs,
+                          counted: set[OID]) -> OID | None:
+        """Replica accounting for one chain during a separate bulk build.
+
+        The terminal's reference count grows once per distinct level-(n-1)
+        participant (once per source object when n = 1).
+        """
+        if len(oids) < len(path.link_sequence) + 1:
+            return None  # broken chain
+        last_oid, last_obj = oids[-1], objs[-1]
+        terminal_oid = last_obj.ref(path.resolved.ref_chain[-1])
+        if terminal_oid is None:
+            return None
+        if last_oid not in counted:
+            counted.add(last_oid)
+            return self.inverted.bump_replica(path, terminal_oid, +1)
+        return self.inverted.replica_oid_for(path, terminal_oid)
+
+    def drop_path(self, text: str) -> None:
+        """Remove a replication path and dismantle structures it alone uses.
+
+        Links shared with surviving paths are left intact; links now unused
+        are torn down wholesale (their owners' ``(link-OID, link-ID)``
+        pairs detached, the link file dropped).
+        """
+        path = self.catalog.get_path(text)
+        if path.index_names:
+            raise ReplicationError(
+                f"drop indexes {path.index_names} before dropping path {text!r}"
+            )
+        self.catalog.drop_path(text)
+        src = self.catalog.get_set(path.source_set)
+        for position, link_id in enumerate(path.link_sequence, start=1):
+            if self.catalog.paths_using_link(link_id):
+                continue  # still shared with a surviving path
+            self._teardown_link(link_id, path, position)
+        if path.strategy is Strategy.SEPARATE:
+            self._teardown_replicas(path, src)
+        # Narrow the source type and strip hidden values from records.  The
+        # surviving records are decoded under the wide layout first, then
+        # re-encoded under the narrow one.
+        hidden_names = list(path.hidden_fields)
+        if path.hidden_ref:
+            hidden_names.append(path.hidden_ref)
+        new_type = src.type_def
+        for name in hidden_names:
+            new_type = new_type.without_field(name)
+        survivors = [
+            (
+                oid,
+                StoredObject(
+                    new_type,
+                    {f.name: obj.values[f.name] for f in new_type.fields},
+                    obj.link_entries,
+                    obj.replica_entries,
+                ),
+            )
+            for oid, obj in src.scan()
+        ]
+        self.catalog.registry.replace(src.type_name, new_type)
+        for oid, slim in survivors:
+            self.store.update(oid, slim)
+        if path.lazy:
+            self.lazy.unregister(path)
+
+    def _teardown_link(self, link_id: int, path: ReplicationPath,
+                       position: int) -> None:
+        link = self.catalog.get_link(link_id)
+        touched: set[OID] = set()
+        for __link_oid, link_obj in list(link.file.scan()):
+            touched.add(link_obj.owner)
+            if link.collapsed:
+                touched.update(tag for __m, tag in link_obj.entries)
+        # Inlined singleton entries (§4.3.1) never appear in the link file;
+        # find their owners by walking the forward prefix from the source.
+        if self.inverted.inline_singletons and not link.collapsed:
+            src = self.catalog.get_set(path.source_set)
+            prefix = list(path.resolved.ref_chain[:position])
+            for __oid, obj in src.scan():
+                owner = self._terminal_oid(obj, prefix)
+                if owner is not None:
+                    touched.add(owner)
+        for oid in touched:
+            obj = self.store.read(oid)
+            obj.remove_link_entry(link_id)
+            self.store.update(oid, obj)
+        self.catalog.remove_link(link_id)
+        # Co-located links (§4.3.2) share one file; drop it only once the
+        # last link using it is gone.
+        file_id = link.file.heap.file_id
+        still_used = any(
+            other.file.heap.file_id == file_id for other in self.catalog.links.values()
+        )
+        if not still_used:
+            self.storage.drop_file(self.storage.file_name(file_id))
+
+    def _teardown_replicas(self, path: ReplicationPath, src: ObjectSet) -> None:
+        seen: set[OID] = set()
+        for __oid, obj in src.scan():
+            terminal_oid = self._terminal_oid(obj, path.resolved.ref_chain)
+            if terminal_oid is None or terminal_oid in seen:
+                continue
+            seen.add(terminal_oid)
+            terminal = self.store.read(terminal_oid)
+            if terminal.replica_entry_for(path.path_id) is not None:
+                terminal.remove_replica_entry(path.path_id)
+                self.store.update(terminal_oid, terminal)
+        replica = self.replica_sets.pop(path.path_id)
+        self.storage.drop_file(replica.name)
+
+    # ==================================================================
+    # hooks called by the Database facade
+    # ==================================================================
+
+    def after_insert(self, obj_set: ObjectSet, oid: OID, obj: StoredObject) -> None:
+        """Maintain every path emanating from ``obj_set`` for a new member."""
+        changes: dict[str, object] = {}
+        for path in self.catalog.paths_on_source(obj_set.name):
+            if path.collapsed:
+                changes.update(self.collapsed.after_insert(path, oid, obj))
+                continue
+            changes.update(self._enroll_source_object(path, oid, obj))
+        if changes:
+            # The caller (Database.insert) adds index entries for the final
+            # object afterwards, so skip index maintenance here.
+            self.apply_hidden_changes(obj_set, oid, changes, maintain_indexes=False)
+
+    def before_delete(self, obj_set: ObjectSet, oid: OID, obj: StoredObject) -> None:
+        """Withdraw a member; refuse when other objects still reference it."""
+        if obj.link_entries:
+            raise IntegrityError(
+                f"object {oid} is referenced on replication path(s); delete referencers first"
+            )
+        if obj.replica_entries:
+            raise IntegrityError(
+                f"object {oid} has live replicas; delete referencers first"
+            )
+        for path in self.catalog.paths_on_source(obj_set.name):
+            self._withdraw_source_object(path, oid, obj)
+
+    def _enroll_source_object(self, path: ReplicationPath, oid: OID,
+                              obj: StoredObject) -> dict[str, object]:
+        """Membership + hidden-value computation for one source object."""
+        chain = path.resolved.ref_chain
+        first_ref = obj.ref(chain[0])
+        if path.strategy is Strategy.IN_PLACE:
+            if first_ref is not None:
+                first_link = self.catalog.get_link(path.link_sequence[0])
+                self.inverted.ensure_membership(first_link, first_ref, oid)
+            return self._hidden_values_for(path, obj)
+        # separate
+        if path.level == 1:
+            replica_oid = (
+                self.inverted.bump_replica(path, first_ref, +1)
+                if first_ref is not None
+                else None
+            )
+        else:
+            if first_ref is not None:
+                first_link = self.catalog.get_link(path.link_sequence[0])
+                self.inverted.ensure_membership(first_link, first_ref, oid)
+            terminal_oid = self._terminal_oid(obj, chain)
+            replica_oid = self.inverted.replica_oid_for(path, terminal_oid)
+        return {path.hidden_ref: replica_oid}
+
+    def _withdraw_source_object(self, path: ReplicationPath, oid: OID,
+                                obj: StoredObject) -> None:
+        chain = path.resolved.ref_chain
+        if path.collapsed:
+            self.collapsed.before_delete(path, oid, obj)
+            return
+        first_ref = obj.ref(chain[0])
+        if first_ref is None:
+            return
+        if path.strategy is Strategy.SEPARATE and path.level == 1:
+            self.inverted.bump_replica(path, first_ref, -1)
+            return
+        first_link = self.catalog.get_link(path.link_sequence[0])
+        self.inverted.remove_membership(first_link, first_ref, oid)
+
+    # ------------------------------------------------------------------
+    # update propagation
+    # ------------------------------------------------------------------
+
+    def propagate_update(self, obj_set: ObjectSet, oid: OID, old: StoredObject,
+                         new: StoredObject, changed: set[str]) -> dict[str, object]:
+        """Handle the replication consequences of an update to ``oid``.
+
+        Called *after* the new image was stored.  Returns hidden-field
+        changes that must be applied to ``oid`` itself (a source object
+        whose reference attribute moved gets fresh replicated values).
+        """
+        own_changes: dict[str, object] = {}
+        # 1. This object is a source-set member whose first hop changed.
+        for path in self.catalog.paths_on_source(obj_set.name):
+            first = path.resolved.ref_chain[0]
+            if first not in changed:
+                continue
+            if path.collapsed:
+                own_changes.update(
+                    self.collapsed.on_source_ref_change(path, oid, old, new)
+                )
+                continue
+            self._withdraw_source_object(path, oid, old)
+            own_changes.update(self._enroll_source_object(path, oid, new))
+        # 2. This object sits on inverted paths (it owns link objects or
+        #    inline entries).
+        for lentry in list(new.link_entries):
+            link = self.catalog.get_link(lentry.base_id)
+            if link.collapsed:
+                self.collapsed.on_owner_update(link, oid, old, new, changed)
+                continue
+            for use in self.catalog.paths_using_link(link.link_id):
+                self._propagate_through_link(use.path, use.position, link,
+                                             oid, old, new, changed)
+        # 3. This object is the terminal of separate paths (replica entries).
+        for rentry in list(new.replica_entries):
+            path = self.catalog.get_path_by_id(rentry.path_id)
+            touched = {
+                f: new.values[f]
+                for f in path.replicated_field_names
+                if f in changed
+            }
+            if touched:
+                replica_set = self.replica_sets[path.path_id]
+                replica = replica_set.read(rentry.replica_oid)
+                for fname, value in touched.items():
+                    replica.set(fname, value)
+                replica_set.raw_update(rentry.replica_oid, replica)
+        return own_changes
+
+    def _propagate_through_link(self, path: ReplicationPath, position: int,
+                                link: LinkDef, oid: OID, old: StoredObject,
+                                new: StoredObject, changed: set[str]) -> None:
+        chain = path.resolved.ref_chain
+        if path.strategy is Strategy.IN_PLACE:
+            if position == path.level:
+                touched = [f for f in path.replicated_field_names if f in changed]
+                if touched:
+                    self._propagate_values(path, link, oid, new)
+            if position < path.level and chain[position] in changed:
+                self._ref_surgery(path, position, link, oid, old, new)
+                self._propagate_values(path, link, oid, new)
+            return
+        # separate paths: only reference attributes matter through links
+        last = len(path.link_sequence)
+        if position == last and chain[position] in changed:
+            old_terminal = old.ref(chain[position])
+            new_terminal = new.ref(chain[position])
+            if old_terminal is not None:
+                self.inverted.bump_replica(path, old_terminal, -1)
+            replica_oid = (
+                self.inverted.bump_replica(path, new_terminal, +1)
+                if new_terminal is not None
+                else None
+            )
+            self._rewrite_hidden_over_closure(path, link, oid,
+                                              {path.hidden_ref: replica_oid})
+        elif position < last and chain[position] in changed:
+            self._ref_surgery(path, position, link, oid, old, new)
+            terminal_oid = self._terminal_oid(new, chain[position:])
+            replica_oid = self.inverted.replica_oid_for(path, terminal_oid)
+            self._rewrite_hidden_over_closure(path, link, oid,
+                                              {path.hidden_ref: replica_oid})
+
+    def _ref_surgery(self, path: ReplicationPath, position: int, link: LinkDef,
+                     oid: OID, old: StoredObject, new: StoredObject) -> None:
+        """Move this object's membership in the next-deeper link."""
+        ref_name = path.resolved.ref_chain[position]
+        # The child is simply the next link of this path's sequence, which
+        # also resolves correctly for private (co-located) link chains.
+        child = self.catalog.get_link(path.link_sequence[position])
+        old_target = old.ref(ref_name)
+        new_target = new.ref(ref_name)
+        if old_target is not None:
+            self.inverted.remove_membership(child, old_target, oid)
+        if new_target is not None:
+            self.inverted.ensure_membership(child, new_target, oid)
+
+    def _propagate_values(self, path: ReplicationPath, link: LinkDef, oid: OID,
+                          new: StoredObject) -> None:
+        """Push current terminal values to every source object under ``oid``."""
+        if path.lazy:
+            self.lazy.invalidate(path, oid)
+            return
+        self.push_values(path, link, oid, new)
+
+    def push_values(self, path: ReplicationPath, link: LinkDef, oid: OID,
+                    at_object: StoredObject) -> None:
+        """Eagerly rewrite hidden values over the closure under ``oid``.
+
+        ``at_object`` is the (current) object owning ``link``; the terminal
+        is reached from it through the remaining forward references.
+        """
+        position = len(link.prefix)
+        chain = path.resolved.ref_chain
+        if position == path.level:
+            terminal = at_object
+        else:
+            terminal = self.store.traverse(at_object, list(chain[position:]))
+        changes = {}
+        for fname, hname in zip(path.replicated_field_names, path.hidden_fields):
+            changes[hname] = (
+                terminal.values[fname] if terminal is not None
+                else _default_value(self.store.registry.get(path.resolved.terminal_type)
+                                    .field_def(fname))
+            )
+        self._rewrite_hidden_over_closure(path, link, oid, changes)
+
+    def _rewrite_hidden_over_closure(self, path: ReplicationPath, link: LinkDef,
+                                     oid: OID, changes: dict[str, object]) -> None:
+        source_set = self.catalog.get_set(path.source_set)
+        for target in self.inverted.closure_to_source(link, oid):
+            self.apply_hidden_changes(source_set, target, changes)
+
+    # ------------------------------------------------------------------
+    # hidden-field writes (index-maintaining)
+    # ------------------------------------------------------------------
+
+    def apply_hidden_changes(self, obj_set: ObjectSet, oid: OID,
+                             changes: dict[str, object],
+                             maintain_indexes: bool = True) -> None:
+        """Write hidden-field changes, keeping path indexes consistent."""
+        obj = self.store.read(oid)
+        for fname, value in changes.items():
+            if maintain_indexes:
+                info = self.catalog.index_on_field(obj_set.name, fname)
+                if info is not None:
+                    info.index.update(obj.values.get(fname), value, oid)
+            obj.set(fname, value)
+        self.store.update(oid, obj)
+
+    def _hidden_values_for(self, path: ReplicationPath, obj: StoredObject) -> dict:
+        terminal = self.store.traverse(obj, list(path.resolved.ref_chain))
+        changes = {}
+        terminal_type = self.store.registry.get(path.resolved.terminal_type)
+        for fname, hname in zip(path.replicated_field_names, path.hidden_fields):
+            changes[hname] = (
+                terminal.values[fname]
+                if terminal is not None
+                else _default_value(terminal_type.field_def(fname))
+            )
+        return changes
+
+    def _terminal_oid(self, obj: StoredObject, chain) -> OID | None:
+        """OID of the object at the end of ``chain`` starting from ``obj``."""
+        chain = list(chain)
+        current = obj
+        for ref_name in chain[:-1]:
+            current = self.store.follow(current, ref_name)
+            if current is None:
+                return None
+        return current.ref(chain[-1])
+
+    # ------------------------------------------------------------------
+    # lazy propagation
+    # ------------------------------------------------------------------
+
+    def refresh_path(self, path: ReplicationPath) -> int:
+        """Drain pending lazy invalidations; returns objects refreshed."""
+        if not path.lazy:
+            return 0
+        refreshed = 0
+        link = self.catalog.get_link(path.link_sequence[-1])
+        for owner_oid in self.lazy.drain(path):
+            if not self.store.exists(owner_oid):
+                continue
+            self.push_values(path, link, owner_oid, self.store.read(owner_oid))
+            refreshed += 1
+        return refreshed
+
+    def refresh_all(self) -> int:
+        """Refresh every lazy path."""
+        return sum(self.refresh_path(p) for p in self.catalog.paths.values() if p.lazy)
+
+    # ==================================================================
+    # consistency verification
+    # ==================================================================
+
+    def verify(self) -> None:
+        """Recompute every path from its forward references and compare.
+
+        Raises :class:`IntegrityError` on the first inconsistency.  Lazy
+        paths are refreshed first (their contract is consistency *after*
+        refresh).
+        """
+        self.refresh_all()
+        expected_links: dict[int, dict[OID, set]] = {}
+        expected_refcounts: dict[int, dict[OID, set]] = {}
+        for path in self.catalog.paths.values():
+            self._verify_path(path, expected_links, expected_refcounts)
+        self._verify_links(expected_links)
+        self._verify_refcounts(expected_refcounts)
+
+    def _verify_path(self, path: ReplicationPath, expected_links, expected_refcounts) -> None:
+        src = self.catalog.get_set(path.source_set)
+        chain = path.resolved.ref_chain
+        for oid, obj in src.scan():
+            terminal = self.store.traverse(obj, list(chain))
+            if path.strategy is Strategy.IN_PLACE:
+                self._verify_inplace_values(path, oid, obj, terminal)
+            else:
+                self._verify_separate_values(path, oid, obj, terminal)
+            if path.collapsed:
+                self.collapsed.record_expected(path, oid, obj, expected_links)
+                continue
+            # expected link memberships along the chain
+            current_oid, current = oid, obj
+            for link_id, ref_name in zip(path.link_sequence, chain):
+                target_oid = current.ref(ref_name)
+                if target_oid is None:
+                    break
+                expected_links.setdefault(link_id, {}).setdefault(
+                    target_oid, set()
+                ).add(current_oid)
+                current_oid, current = target_oid, self.store.read(target_oid)
+            if path.strategy is Strategy.SEPARATE:
+                participant_oid, terminal_oid = self._separate_terminal_edge(path, oid, obj)
+                if terminal_oid is not None:
+                    expected_refcounts.setdefault(path.path_id, {}).setdefault(
+                        terminal_oid, set()
+                    ).add(participant_oid)
+
+    def _separate_terminal_edge(self, path, oid, obj):
+        """(level n-1 participant OID, terminal OID) for one source object."""
+        chain = list(path.resolved.ref_chain)
+        current_oid, current = oid, obj
+        for ref_name in chain[:-1]:
+            nxt = current.ref(ref_name)
+            if nxt is None:
+                return None, None
+            current_oid, current = nxt, self.store.read(nxt)
+        return current_oid, current.ref(chain[-1])
+
+    def _verify_inplace_values(self, path, oid, obj, terminal) -> None:
+        terminal_type = self.store.registry.get(path.resolved.terminal_type)
+        for fname, hname in zip(path.replicated_field_names, path.hidden_fields):
+            expected = (
+                terminal.values[fname]
+                if terminal is not None
+                else _default_value(terminal_type.field_def(fname))
+            )
+            actual = obj.values.get(hname)
+            if actual != expected:
+                raise IntegrityError(
+                    f"{path.text}: object {oid} replicates {actual!r}, "
+                    f"source holds {expected!r}"
+                )
+
+    def _verify_separate_values(self, path, oid, obj, terminal) -> None:
+        hidden = obj.values.get(path.hidden_ref)
+        if terminal is None:
+            if hidden is not None:
+                raise IntegrityError(f"{path.text}: object {oid} has a replica ref "
+                                     f"but its forward chain is broken")
+            return
+        terminal_oid = self._terminal_oid(obj, path.resolved.ref_chain)
+        entry = self.store.read(terminal_oid).replica_entry_for(path.path_id)
+        if entry is None:
+            raise IntegrityError(f"{path.text}: terminal {terminal_oid} lacks a replica")
+        if hidden != entry.replica_oid:
+            raise IntegrityError(
+                f"{path.text}: object {oid} points at replica {hidden}, "
+                f"terminal advertises {entry.replica_oid}"
+            )
+        replica = self.replica_sets[path.path_id].read(entry.replica_oid)
+        for fname in path.replicated_field_names:
+            if replica.values[fname] != terminal.values[fname]:
+                raise IntegrityError(
+                    f"{path.text}: replica field {fname!r} is stale "
+                    f"({replica.values[fname]!r} != {terminal.values[fname]!r})"
+                )
+
+    def _verify_links(self, expected_links: dict[int, dict[OID, set]]) -> None:
+        live_link_ids = {
+            lid for p in self.catalog.paths.values() for lid in p.link_sequence
+        }
+        for link_id in live_link_ids:
+            link = self.catalog.get_link(link_id)
+            expected = expected_links.get(link_id, {})
+            actual: dict[OID, set] = {}
+            siblings = [
+                other
+                for other in self.catalog.links.values()
+                if other.file.heap.file_id == link.file.heap.file_id
+                and other.link_id != link_id
+            ]
+            for link_oid, link_obj in link.file.scan():
+                owner = self.store.read(link_obj.owner)
+                entry = owner.link_entry_for(link_id)
+                if entry is None or entry.inline or entry.link_oid != link_oid:
+                    # Co-located file (§4.3.2): the object may belong to a
+                    # sibling link sharing this file.
+                    belongs_elsewhere = any(
+                        (sib_entry := owner.link_entry_for(sib.link_id)) is not None
+                        and not sib_entry.inline
+                        and sib_entry.link_oid == link_oid
+                        for sib in siblings
+                    )
+                    if belongs_elsewhere:
+                        continue
+                    raise IntegrityError(
+                        f"link {link_id}: owner {link_obj.owner} does not point "
+                        f"back at link object {link_oid}"
+                    )
+                if link.collapsed:
+                    entries = {member for member, __tag in link_obj.entries}
+                else:
+                    entries = set(link_obj.entries)
+                actual[link_obj.owner] = entries
+            # owners served by inlined singleton entries (Section 4.3.1)
+            for owner_oid in expected:
+                if owner_oid in actual:
+                    continue
+                entry = self.store.read(owner_oid).link_entry_for(link_id)
+                if entry is not None and entry.inline:
+                    actual[owner_oid] = {entry.link_oid}
+            if actual != expected:
+                raise IntegrityError(
+                    f"link {link_id}: stored inverse mapping diverges from "
+                    f"forward references ({actual} != {expected})"
+                )
+
+    def _verify_refcounts(self, expected: dict[int, dict[OID, set]]) -> None:
+        for path in self.catalog.paths.values():
+            if path.strategy is not Strategy.SEPARATE:
+                continue
+            want = {
+                oid: len(members)
+                for oid, members in expected.get(path.path_id, {}).items()
+            }
+            have: dict[OID, int] = {}
+            terminal_oids = set(want)
+            # also sweep every replica entry we can reach through want's keys
+            for terminal_oid in terminal_oids:
+                entry = self.store.read(terminal_oid).replica_entry_for(path.path_id)
+                if entry is not None:
+                    have[terminal_oid] = entry.refcount
+            if want != have:
+                raise IntegrityError(
+                    f"{path.text}: replica refcounts diverge ({have} != {want})"
+                )
+            count = self.replica_sets[path.path_id].count()
+            if count != len(want):
+                raise IntegrityError(
+                    f"{path.text}: replica set holds {count} objects, expected {len(want)}"
+                )
+
+
+def _default_value(fdef: FieldDef):
+    return _default_for(fdef.kind)

@@ -1,0 +1,110 @@
+"""Replication path specifications.
+
+A :class:`ReplicationPath` is the catalog record of one ``replicate ...``
+statement: the resolved reference path, the chosen strategy, the *link
+sequence* (Section 4.1.3) identifying the links of its inverted path, and
+the names of the hidden fields it added to the source type.
+
+Link-id assignment is the catalog's job; the invariants encoded here:
+
+* **in-place** paths of level *n* have *n* links -- one per ref-chain
+  prefix (``Emp1.dept``, ``Emp1.dept.org``, ...),
+* **separate** paths of level *n* have *n - 1* links (the terminal hop is
+  replaced by the direct source-object -> replica pointer, Section 5.2),
+* paths sharing a prefix share the link ids of that prefix, across
+  strategies ("links can even be shared by the two strategies", §5.3),
+* a **collapsed** in-place path (Section 4.3.3) has a single private link
+  whose entries are tagged; it shares nothing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # annotation-only; avoids an import cycle with schema
+    from repro.schema.paths import ResolvedPath
+
+
+class Strategy(enum.Enum):
+    """The two storage strategies of Sections 4 and 5."""
+
+    IN_PLACE = "inplace"
+    SEPARATE = "separate"
+
+
+def hidden_value_field(path_id: int, field_name: str) -> str:
+    """Name of the hidden field holding a replicated value (in-place)."""
+    return f"__rep{path_id}_{field_name}"
+
+
+def hidden_ref_field(path_id: int) -> str:
+    """Name of the hidden field holding the replica OID (separate)."""
+    return f"__repref{path_id}"
+
+
+def replica_set_name(path_id: int, source_set: str) -> str:
+    """Name of the replica set S' of a separate path."""
+    return f"__replicas{path_id}_{source_set}"
+
+
+def replica_type_name(path_id: int) -> str:
+    """Name of the replica object type of a separate path."""
+    return f"__REP{path_id}"
+
+
+@dataclass
+class ReplicationPath:
+    """One registered replication path."""
+
+    path_id: int
+    resolved: "ResolvedPath"
+    strategy: Strategy
+    #: The link sequence: link ids, position 1 first.  Length = level for
+    #: in-place, level - 1 for separate, 1 for collapsed.
+    link_sequence: tuple[int, ...]
+    collapsed: bool = False
+    #: Deferred propagation (the paper's future-work extension).
+    lazy: bool = False
+    #: Hidden value-field names in the source type, aligned with
+    #: ``resolved.replicated_fields`` (in-place / collapsed only).
+    hidden_fields: tuple[str, ...] = ()
+    #: Hidden replica-ref field in the source type (separate only).
+    hidden_ref: str | None = None
+    #: Replica set / type names (separate only).
+    replica_set: str | None = None
+    replica_type: str | None = None
+    #: Names of indexes built on this path's replicated data.
+    index_names: list = field(default_factory=list)
+
+    @property
+    def text(self) -> str:
+        """The replication path in source form."""
+        return self.resolved.text
+
+    @property
+    def level(self) -> int:
+        """Forward-path level (number of functional joins eliminated)."""
+        return self.resolved.level
+
+    @property
+    def source_set(self) -> str:
+        """Name of the set the path emanates from."""
+        return self.resolved.source_set
+
+    @property
+    def replicated_field_names(self) -> tuple[str, ...]:
+        """Names of the terminal fields this path replicates."""
+        return tuple(f.name for f in self.resolved.replicated_fields)
+
+    def hidden_field_for(self, terminal_field: str) -> str:
+        """The source-type hidden field holding ``terminal_field``'s copy."""
+        for fname, hidden in zip(self.replicated_field_names, self.hidden_fields):
+            if fname == terminal_field:
+                return hidden
+        from repro.errors import UnknownReplicationPathError
+
+        raise UnknownReplicationPathError(
+            f"path {self.text!r} does not replicate field {terminal_field!r}"
+        )

@@ -1,0 +1,29 @@
+"""Schema layer: reference paths, system catalog, database facade, parser.
+
+``Catalog`` / ``Database`` are re-exported lazily to keep this package
+importable from the replication layer without a cycle.
+"""
+
+from repro.schema.paths import ALL, ResolvedPath, resolve_path
+
+__all__ = [
+    "ALL",
+    "Catalog",
+    "Database",
+    "IndexInfo",
+    "LinkDef",
+    "ResolvedPath",
+    "resolve_path",
+]
+
+
+def __getattr__(name):
+    if name in ("Catalog", "IndexInfo", "LinkDef"):
+        from repro.schema import catalog
+
+        return getattr(catalog, name)
+    if name == "Database":
+        from repro.schema.database import Database
+
+        return Database
+    raise AttributeError(f"module 'repro.schema' has no attribute {name!r}")

@@ -1,0 +1,299 @@
+"""The database facade.
+
+A :class:`Database` is one complete system instance: simulated disk +
+buffer pool, type registry, object store, catalog, replication manager,
+and query processor.  All data manipulation should go through this facade
+-- it is the layer that keeps indexes and replicated data consistent, the
+way the paper's query-processing / storage layers would.
+
+DDL mirrors the paper's EXTRA-ish statements::
+
+    db.define_type(...)                      # define type EMP (...)
+    db.create_set("Emp1", "EMP")             # create Emp1: {own ref EMP}
+    db.replicate("Emp1.dept.name")           # replicate Emp1.dept.name
+    db.build_index("Emp1.dept.name")         # build btree on Emp1.dept.name
+
+DML::
+
+    oid = db.insert("Emp1", {...})
+    db.update("Emp1", oid, {"salary": 120_000})
+    db.delete("Emp1", oid)
+
+Text-form queries (``retrieve (...) where ...``) live in
+:mod:`repro.query`; the :meth:`Database.execute` convenience parses and
+runs them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FieldError, InvalidPathError, ReplicationError
+from repro.index.secondary import SecondaryIndex
+from repro.objects.instance import StoredObject
+from repro.objects.registry import TypeRegistry
+from repro.objects.store import ObjectStore
+from repro.objects.types import TypeDefinition
+from repro.replication.manager import ReplicationManager
+from repro.replication.spec import Strategy
+from repro.schema.catalog import Catalog, IndexInfo
+from repro.sets.objectset import ObjectSet
+from repro.storage.constants import DEFAULT_BUFFER_FRAMES
+from repro.storage.manager import StorageManager
+from repro.storage.oid import OID
+
+
+class Database:
+    """One object-oriented database instance with field replication."""
+
+    def __init__(self, buffer_frames: int = DEFAULT_BUFFER_FRAMES,
+                 inline_singleton_links: bool = False,
+                 cost_based_planning: bool = False) -> None:
+        self.storage = StorageManager(buffer_frames=buffer_frames)
+        self.registry = TypeRegistry()
+        self.store = ObjectStore(self.storage, self.registry)
+        self.catalog = Catalog(self.registry)
+        self.replication = ReplicationManager(
+            self.catalog, self.store, self.storage,
+            inline_singleton_links=inline_singleton_links,
+        )
+        from repro.monitor import WorkloadMonitor
+
+        self.monitor = WorkloadMonitor()
+        #: opt-in: let the planner fall back to file scans when the §6-style
+        #: cost estimate says the index would read more pages (§7.1)
+        self.cost_based_planning = cost_based_planning
+        self._next_index_id = 1
+
+    # ==================================================================
+    # DDL
+    # ==================================================================
+
+    def define_type(self, type_def: TypeDefinition) -> None:
+        """Register a type (``define type ...``)."""
+        self.registry.register(type_def)
+
+    def create_set(self, name: str, type_name: str) -> ObjectSet:
+        """Create a named set (``create Name: {own ref TYPE}``).
+
+        Each set gets a private *instance* of its member type (same fields,
+        own type tag).  This is what lets replication widen ``Emp1``'s
+        objects with hidden fields while leaving ``Emp2`` -- another set of
+        the same declared type -- untouched: "field replication is
+        associated with instance rather than type" (Section 3.2).
+        """
+        base = self.registry.get(type_name)
+        clone = TypeDefinition(f"{type_name}__{name}", base.fields, base=type_name)
+        self.registry.register(clone)
+        heap = self.storage.create_file(name)
+        obj_set = ObjectSet(name, clone.name, self.store, heap)
+        self.catalog.add_set(obj_set)
+        return obj_set
+
+    def drop_set(self, name: str) -> None:
+        """Drop a set and all its members (``own ref`` existence semantics).
+
+        The members go down with the set -- but not the objects they merely
+        reference (Section 2.1).  Refused while the set is the source of a
+        replication path, or while any member is still referenced on some
+        other path (dangling inverse mappings would result).
+        """
+        from repro.errors import IntegrityError
+
+        obj_set = self.catalog.get_set(name)
+        sourced = self.catalog.paths_on_source(name)
+        if sourced:
+            raise ReplicationError(
+                f"drop replication path(s) {[p.text for p in sourced]} "
+                f"before dropping set {name!r}"
+            )
+        for oid, obj in obj_set.scan():
+            if obj.link_entries or obj.replica_entries:
+                raise IntegrityError(
+                    f"set {name!r} member {oid} is referenced on a replication "
+                    f"path; drop the referencing structures first"
+                )
+        for info in list(self.catalog.indexes_on_set(name)):
+            self.drop_index(info.name)
+        self.catalog.remove_set(name)
+        self.storage.drop_file(name)
+
+    def replicate(self, path_text: str, strategy: str | Strategy = Strategy.IN_PLACE,
+                  collapsed: bool = False, lazy: bool = False,
+                  cluster_links: bool = False):
+        """Create a replication path (``replicate Set.ref...field``)."""
+        if isinstance(strategy, str):
+            strategy = Strategy(strategy)
+        return self.replication.register_path(path_text, strategy,
+                                              collapsed=collapsed, lazy=lazy,
+                                              cluster_links=cluster_links)
+
+    def drop_replication(self, path_text: str) -> None:
+        """Remove a replication path and its structures."""
+        self.replication.drop_path(path_text)
+
+    def build_index(self, target: str, clustered: bool = False,
+                    name: str | None = None) -> IndexInfo:
+        """Build a B+-tree (``build btree on Set.field`` or on a path).
+
+        ``target`` is either ``Set.field`` (an ordinary secondary index) or
+        a replicated path such as ``Emp1.dept.org.name`` -- in that case
+        the tree is keyed on the hidden replicated values, mapping terminal
+        values directly to source-set objects (Section 3.3.4).  Path
+        indexes require the path to be replicated *in-place*: separate
+        replication shares values between objects, so the value -> object
+        mapping the index needs is not materialised per source object.
+        """
+        parts = target.split(".")
+        if len(parts) < 2:
+            raise InvalidPathError(f"index target {target!r} needs a set and a field")
+        set_name = parts[0]
+        obj_set = self.catalog.get_set(set_name)
+        path_text = None
+        if len(parts) == 2:
+            field_name = parts[1]
+            fdef = obj_set.type_def.field_def(field_name)
+            if fdef.hidden:
+                raise FieldError(f"cannot index hidden field {field_name!r} directly")
+        else:
+            path = self.catalog.find_path(set_name, tuple(parts[1:-1]), parts[-1])
+            if path is None:
+                raise ReplicationError(
+                    f"index target {target!r} is a path: replicate it first"
+                )
+            if path.strategy is not Strategy.IN_PLACE or path.collapsed:
+                raise ReplicationError(
+                    "indexes on replicated data require plain in-place replication"
+                )
+            if path.lazy:
+                raise ReplicationError(
+                    "indexes on lazily propagated paths would go stale; use eager"
+                )
+            field_name = path.hidden_field_for(parts[-1])
+            fdef = obj_set.type_def.field_def(field_name)
+            path_text = path.text
+        index_name = name or f"idx{self._next_index_id}_{set_name}_{field_name}"
+        self._next_index_id += 1
+        file_id = self.storage.create_raw_file(f"__idx_{index_name}")
+        index = SecondaryIndex(index_name, self.storage.pool, file_id, fdef,
+                               set_name, clustered=clustered)
+        info = IndexInfo(index_name, set_name, field_name, index,
+                         clustered=clustered, path_text=path_text)
+        self.catalog.add_index(info)
+        if path_text is not None:
+            self.catalog.get_path(path_text).index_names.append(index_name)
+        index.bulk_load(
+            (obj.values[field_name], oid) for oid, obj in obj_set.scan()
+        )
+        return info
+
+    def drop_index(self, index_name: str) -> None:
+        """Drop a secondary index."""
+        info = self.catalog.drop_index(index_name)
+        if info.path_text is not None:
+            path = self.catalog.get_path(info.path_text)
+            path.index_names.remove(index_name)
+        self.storage.drop_raw_file(info.index.tree.file_id)
+
+    # ==================================================================
+    # DML
+    # ==================================================================
+
+    def insert(self, set_name: str, values: dict) -> OID:
+        """Insert an object, maintaining replication and indexes."""
+        obj_set = self.catalog.get_set(set_name)
+        obj = obj_set.make_object(values)
+        oid = obj_set.raw_insert(obj)
+        self.replication.after_insert(obj_set, oid, obj)
+        final = obj_set.read(oid)
+        for info in self.catalog.indexes_on_set(set_name):
+            info.index.insert(final.values[info.field_name], oid)
+        return oid
+
+    def update(self, set_name: str, oid: OID, changes: dict,
+               record: bool = True) -> None:
+        """Update visible fields of one object, propagating as needed.
+
+        ``record=False`` suppresses workload-monitor accounting (bulk
+        executors record once per statement instead).
+        """
+        obj_set = self.catalog.get_set(set_name)
+        if record:
+            root = self.registry.root_name(obj_set.type_name)
+            for fname in changes:
+                self.monitor.record_update(root, fname)
+        old = obj_set.read(oid)
+        new = old.copy()
+        changed: set[str] = set()
+        for fname, value in changes.items():
+            fdef = obj_set.type_def.field_def(fname)
+            if fdef.hidden:
+                raise FieldError(f"field {fname!r} is replication-internal")
+            if old.values[fname] != value:
+                new.set(fname, value)
+                changed.add(fname)
+        if not changed:
+            return
+        for info in self.catalog.indexes_on_set(set_name):
+            if info.field_name in changed:
+                info.index.update(old.values[info.field_name],
+                                  new.values[info.field_name], oid)
+        obj_set.raw_update(oid, new)
+        own_hidden = self.replication.propagate_update(obj_set, oid, old, new, changed)
+        if own_hidden:
+            self.replication.apply_hidden_changes(obj_set, oid, own_hidden)
+
+    def delete(self, set_name: str, oid: OID) -> None:
+        """Delete an object; refuses while replication still references it."""
+        obj_set = self.catalog.get_set(set_name)
+        obj = obj_set.read(oid)
+        self.replication.before_delete(obj_set, oid, obj)
+        final = obj_set.read(oid)  # hooks may have rewritten bookkeeping
+        for info in self.catalog.indexes_on_set(set_name):
+            info.index.delete(final.values[info.field_name], oid)
+        obj_set.raw_delete(oid)
+
+    def get(self, set_name: str, oid: OID) -> StoredObject:
+        """Read one object (hidden fields included, for inspection)."""
+        return self.catalog.get_set(set_name).read(oid)
+
+    # ==================================================================
+    # queries (delegates to repro.query)
+    # ==================================================================
+
+    def execute(self, statement_text: str, **options):
+        """Parse and run a ``retrieve`` / ``replace`` statement."""
+        from repro.query.runner import execute_text
+
+        return execute_text(self, statement_text, **options)
+
+    def retrieve(self, statement, **options):
+        """Run a pre-built retrieve statement object."""
+        from repro.query.runner import execute_statement
+
+        return execute_statement(self, statement, **options)
+
+    # ==================================================================
+    # maintenance / instrumentation
+    # ==================================================================
+
+    def verify(self) -> None:
+        """Check every replication invariant (raises IntegrityError)."""
+        self.replication.verify()
+
+    def refresh(self, path_text: str | None = None) -> int:
+        """Drain lazy propagation queues (all paths when none is named)."""
+        if path_text is None:
+            return self.replication.refresh_all()
+        return self.replication.refresh_path(self.catalog.get_path(path_text))
+
+    @property
+    def stats(self):
+        """The shared I/O statistics."""
+        return self.storage.stats
+
+    def cold_cache(self) -> None:
+        """Flush and empty the buffer pool."""
+        self.storage.cold_cache()
+
+    def measure(self, fn):
+        """Run ``fn()`` and return the I/O snapshot delta."""
+        return self.storage.measure(fn)

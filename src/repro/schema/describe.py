@@ -1,0 +1,93 @@
+"""Human-readable schema introspection.
+
+Renders types, sets, replication paths, links, and indexes the way the
+paper's figures sketch them -- handy in the interactive shell and in
+examples.
+"""
+
+from __future__ import annotations
+
+from repro.objects.types import FieldKind
+from repro.schema.database import Database
+
+
+def describe_type(db: Database, type_name: str) -> str:
+    type_def = db.registry.get(type_name)
+    lines = [f"define type {type_def.name} ("]
+    for f in type_def.fields:
+        if f.kind is FieldKind.CHAR:
+            kind = f"char[{f.size}]"
+        elif f.kind is FieldKind.REF:
+            kind = f"ref {f.ref_type}"
+        else:
+            kind = f.kind.value
+        hidden = "   -- hidden (replicated)" if f.hidden else ""
+        lines.append(f"    {f.name}: {kind},{hidden}")
+    lines[-1] = lines[-1].replace(",", "", 1) if not type_def.fields else lines[-1]
+    lines.append(")")
+    return "\n".join(lines)
+
+
+def describe_set(db: Database, set_name: str) -> str:
+    obj_set = db.catalog.get_set(set_name)
+    base = obj_set.type_def.base or obj_set.type_def.name
+    lines = [
+        f"create {set_name}: {{own ref {base}}}"
+        f"   -- {obj_set.count()} objects on {obj_set.num_pages()} pages"
+    ]
+    hidden = obj_set.type_def.hidden_fields()
+    if hidden:
+        lines.append(f"    hidden fields: {', '.join(f.name for f in hidden)}")
+    return "\n".join(lines)
+
+
+def describe_path(db: Database, path_text: str) -> str:
+    path = db.catalog.get_path(path_text)
+    flavor = path.strategy.value
+    if path.collapsed:
+        flavor += ", collapsed"
+    if path.lazy:
+        flavor += ", lazy"
+    lines = [f"replicate {path.text}   -- {flavor}, link sequence {path.link_sequence}"]
+    for link_id in path.link_sequence:
+        link = db.catalog.get_link(link_id)
+        count = sum(1 for __ in link.file.scan())
+        sharers = [
+            use.path.text
+            for use in db.catalog.paths_using_link(link_id)
+            if use.path.text != path.text
+        ]
+        shared = f", shared with {sharers}" if sharers else ""
+        lines.append(
+            f"    link {link_id} = {path.source_set}.{'.'.join(link.prefix)}^-1: "
+            f"{count} link objects{shared}"
+        )
+    if path.replica_set is not None:
+        replicas = db.replication.replica_sets[path.path_id].count()
+        lines.append(f"    replica set {path.replica_set}: {replicas} shared replicas")
+    if path.index_names:
+        lines.append(f"    indexed by: {', '.join(path.index_names)}")
+    return "\n".join(lines)
+
+
+def describe_database(db: Database) -> str:
+    """The full schema: types, sets, paths, indexes."""
+    sections = []
+    base_types = sorted(
+        {
+            obj_set.type_def.base or obj_set.type_def.name
+            for obj_set in db.catalog.sets.values()
+        }
+    )
+    for name in base_types:
+        sections.append(describe_type(db, name))
+    for name in db.catalog.set_names():
+        sections.append(describe_set(db, name))
+    for text in sorted(db.catalog.paths):
+        sections.append(describe_path(db, text))
+    for info in sorted(db.catalog.indexes.values(), key=lambda i: i.name):
+        kind = "clustered btree" if info.clustered else "btree"
+        target = info.path_text or f"{info.set_name}.{info.field_name}"
+        sections.append(f"build {kind} on {target}   -- {info.name}, "
+                        f"{info.index.count()} entries, height {info.index.height}")
+    return "\n\n".join(sections)

@@ -1,0 +1,120 @@
+"""Reference paths.
+
+A *reference path* names data reached from a set through a chain of
+reference attributes: ``Emp1.dept.org.name``.  Resolution validates every
+hop against the schema and classifies the terminal:
+
+* a scalar field    -- ordinary field replication,
+* the keyword ``all`` -- full object replication (Section 3.3.1),
+* a ref field       -- path collapsing (Section 3.3.3): the replicated value
+  is the terminal reference itself (an OID), so an n-level path shrinks to
+  n-1 functional joins.
+
+The path *level* is the number of functional joins the forward path costs:
+the length of the reference chain before the terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidPathError
+from repro.objects.types import FieldDef, FieldKind, TypeDefinition
+
+#: Terminal keyword selecting full object replication.
+ALL = "all"
+
+
+@dataclass(frozen=True)
+class ResolvedPath:
+    """A validated reference path."""
+
+    #: Name of the set the path emanates from (``Emp1``).
+    source_set: str
+    #: The reference attributes walked, in order (``("dept", "org")``).
+    ref_chain: tuple[str, ...]
+    #: The terminal field name, or :data:`ALL`.
+    terminal: str
+    #: Type names along the path, source type first; ``len == level + 1``.
+    type_names: tuple[str, ...]
+    #: The visible fields replication copies (resolved against the terminal
+    #: type); for a scalar/ref terminal this is a single field.
+    replicated_fields: tuple[FieldDef, ...]
+
+    @property
+    def level(self) -> int:
+        """Number of functional joins on the forward path."""
+        return len(self.ref_chain)
+
+    @property
+    def terminal_type(self) -> str:
+        """Name of the type holding the replicated field(s)."""
+        return self.type_names[-1]
+
+    @property
+    def text(self) -> str:
+        """The path in its ``Set.ref...field`` source form."""
+        return ".".join((self.source_set,) + self.ref_chain + (self.terminal,))
+
+    @property
+    def is_full_object(self) -> bool:
+        """Whether this is an ``.all`` full-object replication path."""
+        return self.terminal == ALL
+
+    def prefix_chains(self):
+        """All non-empty ref-chain prefixes, shortest first.
+
+        ``Emp1.dept.org.name`` yields ``("dept",)`` then ``("dept", "org")``
+        -- one per link of the inverted path (Section 4.1.2).
+        """
+        for i in range(1, len(self.ref_chain) + 1):
+            yield self.ref_chain[:i]
+
+
+def resolve_path(text: str, set_type_of, type_lookup) -> ResolvedPath:
+    """Resolve ``"Emp1.dept.org.name"`` against the schema.
+
+    ``set_type_of(set_name)`` must return the *member type name* of a set
+    (raising a schema error for unknown sets); ``type_lookup(type_name)``
+    must return the :class:`TypeDefinition`.  Passing the two lookups keeps
+    this module independent of the catalog.
+    """
+    parts = text.split(".")
+    if len(parts) < 3:
+        raise InvalidPathError(
+            f"path {text!r} needs at least a set, one reference attribute, and a field"
+        )
+    source_set, *middle, terminal = parts
+    current_type: TypeDefinition = type_lookup(set_type_of(source_set))
+    type_names = [current_type.name]
+    for ref_name in middle:
+        fdef = _require_field(current_type, ref_name, text)
+        if fdef.kind is not FieldKind.REF:
+            raise InvalidPathError(
+                f"path {text!r}: {current_type.name}.{ref_name} is not a reference attribute"
+            )
+        current_type = type_lookup(fdef.ref_type)
+        type_names.append(current_type.name)
+    if terminal == ALL:
+        replicated = tuple(current_type.visible_fields())
+    else:
+        fdef = _require_field(current_type, terminal, text)
+        if fdef.hidden:
+            raise InvalidPathError(f"path {text!r}: terminal field is replication-internal")
+        replicated = (fdef,)
+    return ResolvedPath(
+        source_set=source_set,
+        ref_chain=tuple(middle),
+        terminal=terminal,
+        type_names=tuple(type_names),
+        replicated_fields=replicated,
+    )
+
+
+def _require_field(type_def: TypeDefinition, name: str, text: str) -> FieldDef:
+    if not type_def.has_field(name):
+        raise InvalidPathError(f"path {text!r}: type {type_def.name!r} has no field {name!r}")
+    fdef = type_def.field_def(name)
+    if fdef.hidden:
+        raise InvalidPathError(f"path {text!r}: field {name!r} is replication-internal")
+    return fdef

@@ -1,0 +1,5 @@
+"""Named object sets (``create Emp1: {own ref EMP}``)."""
+
+from repro.sets.objectset import ObjectSet
+
+__all__ = ["ObjectSet"]

@@ -1,0 +1,44 @@
+"""The storage layer: simulated disk, slotted pages, buffer pool, heap files.
+
+This layer plays the role of the EXODUS Storage Manager in the paper: it
+provides paged files, physically based OIDs, and -- crucially for the
+experiments -- exact physical I/O accounting.
+"""
+
+from repro.storage.buffer import BufferPool
+from repro.storage.constants import (
+    BTREE_FANOUT,
+    LINK_ID_BYTES,
+    OBJECT_HEADER_BYTES,
+    OID_BYTES,
+    PAGE_SIZE,
+    TYPE_TAG_BYTES,
+    USABLE_PAGE_BYTES,
+)
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heapfile import RID, HeapFile
+from repro.storage.manager import StorageManager
+from repro.storage.oid import NULL_OID, OID, is_null
+from repro.storage.page import Page
+from repro.storage.stats import IOSnapshot, IOStatistics
+
+__all__ = [
+    "BTREE_FANOUT",
+    "BufferPool",
+    "HeapFile",
+    "IOSnapshot",
+    "IOStatistics",
+    "LINK_ID_BYTES",
+    "NULL_OID",
+    "OBJECT_HEADER_BYTES",
+    "OID",
+    "OID_BYTES",
+    "PAGE_SIZE",
+    "Page",
+    "RID",
+    "SimulatedDisk",
+    "StorageManager",
+    "TYPE_TAG_BYTES",
+    "USABLE_PAGE_BYTES",
+    "is_null",
+]

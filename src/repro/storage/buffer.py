@@ -1,0 +1,150 @@
+"""An LRU buffer pool with pin counts.
+
+The pool caches :class:`~repro.storage.page.Page` images keyed by
+``(file_id, page_no)``.  Clients access pages through the :meth:`BufferPool.page`
+context manager, which pins the frame for the duration of the block::
+
+    with pool.page(fid, pno) as page:
+        page.insert(record)
+        pool.mark_dirty(fid, pno)
+
+Unpinned frames are evicted in least-recently-used order; dirty frames are
+written back on eviction and on :meth:`flush_all`.  A hit costs nothing
+physical; a miss costs one physical read (plus, possibly, one physical write
+to evict a dirty victim) -- exactly the accounting the paper's analytical
+model abstracts.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import BufferPoolError
+from repro.storage.constants import DEFAULT_BUFFER_FRAMES
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page
+
+_PageKey = tuple[int, int]
+
+
+class _Frame:
+    __slots__ = ("page", "dirty", "pin_count")
+
+    def __init__(self, page: Page) -> None:
+        self.page = page
+        self.dirty = False
+        self.pin_count = 0
+
+
+class BufferPool:
+    """A fixed-capacity page cache over a :class:`SimulatedDisk`."""
+
+    def __init__(self, disk: SimulatedDisk, capacity: int = DEFAULT_BUFFER_FRAMES) -> None:
+        if capacity < 1:
+            raise ValueError("buffer pool needs at least one frame")
+        self.disk = disk
+        self.capacity = capacity
+        self._frames: OrderedDict[_PageKey, _Frame] = OrderedDict()
+
+    @property
+    def stats(self):
+        """The shared I/O statistics object (owned by the disk)."""
+        return self.disk.stats
+
+    # -- pin / unpin --------------------------------------------------------
+
+    def fetch(self, file_id: int, page_no: int) -> Page:
+        """Pin the page and return its in-memory image.
+
+        The caller must balance every ``fetch`` with an :meth:`unpin`;
+        prefer the :meth:`page` context manager.
+        """
+        key = (file_id, page_no)
+        self.stats.logical_reads += 1
+        frame = self._frames.get(key)
+        if frame is None:
+            self._make_room()
+            frame = _Frame(Page(self.disk.read_page(file_id, page_no)))
+            self._frames[key] = frame
+        else:
+            self.stats.buffer_hits += 1
+            self._frames.move_to_end(key)
+        frame.pin_count += 1
+        return frame.page
+
+    def unpin(self, file_id: int, page_no: int) -> None:
+        """Release one pin on the page."""
+        frame = self._frames.get((file_id, page_no))
+        if frame is None or frame.pin_count == 0:
+            raise BufferPoolError(f"page ({file_id},{page_no}) is not pinned")
+        frame.pin_count -= 1
+
+    @contextmanager
+    def page(self, file_id: int, page_no: int) -> Iterator[Page]:
+        """Context manager that pins a page for the duration of the block."""
+        page = self.fetch(file_id, page_no)
+        try:
+            yield page
+        finally:
+            self.unpin(file_id, page_no)
+
+    def mark_dirty(self, file_id: int, page_no: int) -> None:
+        """Record that the cached image differs from the disk image."""
+        frame = self._frames.get((file_id, page_no))
+        if frame is None:
+            raise BufferPoolError(f"page ({file_id},{page_no}) is not resident")
+        frame.dirty = True
+
+    # -- allocation ---------------------------------------------------------
+
+    def new_page(self, file_id: int) -> tuple[int, Page]:
+        """Allocate a fresh page in ``file_id`` and return it pinned & dirty.
+
+        The fresh page is materialised directly in the pool (no physical
+        read is charged for a page that has never been written).
+        """
+        page_no = self.disk.allocate_page(file_id)
+        self._make_room()
+        frame = _Frame(Page())
+        frame.dirty = True
+        frame.pin_count = 1
+        self._frames[(file_id, page_no)] = frame
+        self.stats.logical_reads += 1
+        return page_no, frame.page
+
+    # -- flushing / eviction ------------------------------------------------
+
+    def flush_all(self) -> None:
+        """Write back every dirty frame (frames stay resident)."""
+        for (file_id, page_no), frame in self._frames.items():
+            if frame.dirty:
+                self.disk.write_page(file_id, page_no, bytes(frame.page.data))
+                frame.dirty = False
+
+    def drop_file_pages(self, file_id: int) -> None:
+        """Discard (without writing back) all frames of a dropped file."""
+        doomed = [key for key in self._frames if key[0] == file_id]
+        for key in doomed:
+            del self._frames[key]
+
+    def invalidate_all(self) -> None:
+        """Flush and then empty the pool (simulates a cold cache)."""
+        self.flush_all()
+        self._frames.clear()
+
+    def resident_keys(self) -> set[_PageKey]:
+        """Keys of all currently cached pages (for tests)."""
+        return set(self._frames)
+
+    def _make_room(self) -> None:
+        if len(self._frames) < self.capacity:
+            return
+        for key, frame in self._frames.items():  # OrderedDict: LRU first
+            if frame.pin_count == 0:
+                if frame.dirty:
+                    self.disk.write_page(key[0], key[1], bytes(frame.page.data))
+                del self._frames[key]
+                return
+        raise BufferPoolError("all buffer frames are pinned")

@@ -1,0 +1,293 @@
+"""Heap files: unordered collections of variable-length records.
+
+A heap file stores records on slotted pages accessed through the buffer
+pool.  Record ids -- ``(page_no, slot)`` -- are *stable*: when an update
+grows a record past what its home page can hold, the record is relocated
+and a 7-byte *forward stub* is left in the home slot, exactly the technique
+the paper assumes when in-place replication widens objects through
+subtyping ("such changes are easily handled through subtyping", Section 4).
+Forward chains never exceed length one: relocating an already-forwarded
+record rewrites the original stub.
+
+Records larger than a page -- the paper's own example is a link object for
+a department with a thousand employees -- are stored as a chain of chunk
+records with a small *descriptor* in the home slot, so arbitrarily large
+payloads keep one stable rid.
+
+Two framing layers are applied to every stored record:
+
+* a **location marker** (``NORMAL`` / ``FORWARD`` / ``MOVED``) handling
+  relocation, then
+* a **payload wrapper** (``PLAIN`` / ``LARGE`` descriptor / ``CHUNK``)
+  handling multi-page payloads.
+
+Scans surface every record exactly once, under its home rid, assembled.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Iterator
+
+from repro.errors import PageFullError, RecordNotFoundError
+from repro.storage.buffer import BufferPool
+from repro.storage.constants import MAX_RECORD_BYTES
+from repro.storage.page import Page
+
+#: A record id within one file: ``(page_no, slot)``.
+RID = tuple[int, int]
+
+# location markers
+_NORMAL = 0x00
+_FORWARD = 0x01
+_MOVED = 0x02
+
+# payload wrappers
+_PLAIN = 0x00
+_LARGE = 0x01
+_CHUNK = 0x02
+
+_FWD = struct.Struct(">IH")
+_LARGE_HEAD = struct.Struct(">BI IH")  # wrapper, total length, first-chunk rid
+_CHUNK_HEAD = struct.Struct(">B IH")  # wrapper, next-chunk rid (NULL at end)
+
+_NULL_RID: RID = (0xFFFFFFFF, 0xFFFF)
+
+#: Payload bytes per chunk record (location marker + chunk header deducted).
+_CHUNK_PAYLOAD = MAX_RECORD_BYTES - 1 - _CHUNK_HEAD.size
+
+#: Largest payload stored without chunking (marker + wrapper deducted).
+_INLINE_LIMIT = MAX_RECORD_BYTES - 2
+
+
+class HeapFile:
+    """A paged heap of records with stable record ids."""
+
+    def __init__(self, pool: BufferPool, file_id: int) -> None:
+        self.pool = pool
+        self.file_id = file_id
+        # Approximate free bytes per page.  This is session metadata that a
+        # real engine would keep in a free-space map; rebuilding it from the
+        # pages is always safe.
+        self._free_space: dict[int, int] = {}
+        self._rebuild_free_space()
+
+    # -- public API ---------------------------------------------------------
+
+    def insert(self, payload: bytes) -> RID:
+        """Store a record of any size; returns its stable rid."""
+        return self._place(_NORMAL, self._wrap(payload), avoid=None)
+
+    def read(self, rid: RID) -> bytes:
+        """Return the record payload, following a forward stub if present."""
+        body = self._read_body(rid)
+        return self._unwrap(body)
+
+    def update(self, rid: RID, payload: bytes) -> None:
+        """Replace the record payload; relocates on overflow, rid stays valid."""
+        page_no, slot = rid
+        with self.pool.page(self.file_id, page_no) as page:
+            raw = page.read(slot)
+        marker = raw[0]
+        if marker == _FORWARD:
+            self._free_payload(self._read_raw(_rid_unpack(raw[1:]))[1:])
+            target = _rid_unpack(raw[1:])
+            self._update_at(target, _MOVED, payload, home=rid)
+            return
+        self._free_payload(raw[1:])
+        self._update_at(rid, _NORMAL, payload, home=rid)
+
+    def delete(self, rid: RID) -> None:
+        """Remove the record (chunks and relocated payload included)."""
+        page_no, slot = rid
+        with self.pool.page(self.file_id, page_no) as page:
+            raw = page.read(slot)
+            page.delete(slot)
+            self.pool.mark_dirty(self.file_id, page_no)
+            self._free_space[page_no] = page.total_free()
+        if raw[0] == _FORWARD:
+            target = _rid_unpack(raw[1:])
+            traw = self._read_raw(target)
+            self._free_payload(traw[1:])
+            self._delete_slot(target)
+        else:
+            self._free_payload(raw[1:])
+
+    def exists(self, rid: RID) -> bool:
+        """Whether ``rid`` addresses a live record."""
+        try:
+            self.read(rid)
+            return True
+        except RecordNotFoundError:
+            return False
+
+    def scan(self) -> Iterator[tuple[RID, bytes]]:
+        """Yield ``(rid, payload)`` in physical order.
+
+        Records are reported under their *home* rid, fully assembled;
+        parked payloads and overflow chunks are skipped where they live.
+        """
+        for page_no in range(self.num_pages()):
+            with self.pool.page(self.file_id, page_no) as page:
+                entries = list(page.records())
+            for slot, raw in entries:
+                marker = raw[0]
+                if marker == _MOVED:
+                    continue
+                if marker == _FORWARD:
+                    yield (page_no, slot), self.read((page_no, slot))
+                    continue
+                body = raw[1:]
+                if body[:1][0] == _CHUNK:
+                    continue
+                yield (page_no, slot), self._unwrap(body)
+
+    def num_pages(self) -> int:
+        """Pages currently allocated to this file."""
+        return self.pool.disk.num_pages(self.file_id)
+
+    def count(self) -> int:
+        """Number of live records (a full scan)."""
+        return sum(1 for __ in self.scan())
+
+    def for_each_page(self, fn: Callable[[int, Page], None]) -> None:
+        """Run ``fn(page_no, page)`` over every page, pinned one at a time."""
+        for page_no in range(self.num_pages()):
+            with self.pool.page(self.file_id, page_no) as page:
+                fn(page_no, page)
+
+    # -- payload wrapping (large records) --------------------------------
+
+    def _wrap(self, payload: bytes) -> bytes:
+        if len(payload) <= _INLINE_LIMIT:
+            return bytes([_PLAIN]) + payload
+        first = _NULL_RID
+        # write chunks back to front so each can point at its successor
+        for start in range(
+            ((len(payload) - 1) // _CHUNK_PAYLOAD) * _CHUNK_PAYLOAD, -1, -_CHUNK_PAYLOAD
+        ):
+            chunk = payload[start:start + _CHUNK_PAYLOAD]
+            body = _CHUNK_HEAD.pack(_CHUNK, *first) + chunk
+            first = self._place(_NORMAL, body, avoid=None)
+        return _LARGE_HEAD.pack(_LARGE, len(payload), *first)
+
+    def _unwrap(self, body: bytes) -> bytes:
+        wrapper = body[0]
+        if wrapper == _PLAIN:
+            return body[1:]
+        if wrapper == _LARGE:
+            __, total, page_no, slot = _LARGE_HEAD.unpack_from(body, 0)
+            parts: list[bytes] = []
+            rid: RID = (page_no, slot)
+            while rid != _NULL_RID:
+                raw = self._read_raw(rid)
+                __w, npage, nslot = _CHUNK_HEAD.unpack_from(raw, 1)
+                parts.append(raw[1 + _CHUNK_HEAD.size:])
+                rid = (npage, nslot)
+            data = b"".join(parts)
+            if len(data) != total:
+                raise RecordNotFoundError(
+                    f"large record chain truncated ({len(data)} of {total} bytes)"
+                )
+            return data
+        raise RecordNotFoundError("rid addresses an overflow chunk, not a record")
+
+    def _free_payload(self, body: bytes) -> None:
+        """Free the overflow chunks of a (wrapped) payload, if any."""
+        if not body or body[0] != _LARGE:
+            return
+        __, __total, page_no, slot = _LARGE_HEAD.unpack_from(body, 0)
+        rid: RID = (page_no, slot)
+        while rid != _NULL_RID:
+            raw = self._read_raw(rid)
+            __w, npage, nslot = _CHUNK_HEAD.unpack_from(raw, 1)
+            self._delete_slot(rid)
+            rid = (npage, nslot)
+
+    # -- placement / relocation ---------------------------------------------
+
+    def _place(self, marker: int, body: bytes, avoid: int | None) -> RID:
+        record = bytes([marker]) + body
+        page_no = self._find_page_with_room(len(record), avoid=avoid)
+        with self.pool.page(self.file_id, page_no) as page:
+            slot = page.insert(record)
+            self.pool.mark_dirty(self.file_id, page_no)
+            self._free_space[page_no] = page.total_free()
+        return (page_no, slot)
+
+    def _update_at(self, rid: RID, marker: int, payload: bytes, home: RID) -> None:
+        """Write a fresh payload at ``rid``, relocating if it cannot fit."""
+        body = self._wrap(payload)
+        page_no, slot = rid
+        with self.pool.page(self.file_id, page_no) as page:
+            try:
+                page.update(slot, bytes([marker]) + body)
+                self.pool.mark_dirty(self.file_id, page_no)
+                self._free_space[page_no] = page.total_free()
+                return
+            except PageFullError:
+                pass
+        # Relocate: park the payload elsewhere, stub at home.
+        if rid != home:
+            self._delete_slot(rid)
+        target = self._place(_MOVED, body, avoid=home[0])
+        hpage, hslot = home
+        with self.pool.page(self.file_id, hpage) as page:
+            page.update(hslot, bytes([_FORWARD]) + _rid_pack(target))
+            self.pool.mark_dirty(self.file_id, hpage)
+            self._free_space[hpage] = page.total_free()
+
+    # -- low-level helpers ----------------------------------------------------
+
+    def _read_body(self, rid: RID) -> bytes:
+        raw = self._read_raw(rid)
+        if raw[0] == _FORWARD:
+            raw = self._read_raw(_rid_unpack(raw[1:]))
+            if raw[0] != _MOVED:
+                raise RecordNotFoundError(f"dangling forward stub at {rid}")
+        return raw[1:]
+
+    def _read_raw(self, rid: RID) -> bytes:
+        page_no, slot = rid
+        with self.pool.page(self.file_id, page_no) as page:
+            return page.read(slot)
+
+    def _delete_slot(self, rid: RID) -> None:
+        page_no, slot = rid
+        with self.pool.page(self.file_id, page_no) as page:
+            page.delete(slot)
+            self.pool.mark_dirty(self.file_id, page_no)
+            self._free_space[page_no] = page.total_free()
+
+    def _find_page_with_room(self, record_len: int, avoid: int | None = None) -> int:
+        # Prefer the highest-numbered page with room: appends stay physically
+        # clustered in insertion order, which the paper's file layouts assume.
+        for page_no in sorted(self._free_space, reverse=True):
+            if page_no == avoid:
+                continue
+            # pre-filter only; has_room_for() is the exact check (a freed
+            # slot entry may be reusable, so no slot-entry slack is added)
+            if self._free_space[page_no] >= record_len:
+                with self.pool.page(self.file_id, page_no) as page:
+                    if page.has_room_for(record_len):
+                        return page_no
+                    self._free_space[page_no] = page.total_free()
+        page_no, page = self.pool.new_page(self.file_id)
+        self._free_space[page_no] = page.total_free()
+        self.pool.unpin(self.file_id, page_no)
+        return page_no
+
+    def _rebuild_free_space(self) -> None:
+        self._free_space.clear()
+        for page_no in range(self.num_pages()):
+            with self.pool.page(self.file_id, page_no) as page:
+                self._free_space[page_no] = page.total_free()
+
+
+def _rid_pack(rid: RID) -> bytes:
+    return _FWD.pack(rid[0], rid[1])
+
+
+def _rid_unpack(data: bytes) -> RID:
+    page_no, slot = _FWD.unpack_from(data, 0)
+    return (page_no, slot)

@@ -1,0 +1,219 @@
+"""Slotted pages.
+
+A page is a fixed-size ``bytearray`` organised as::
+
+    +-----------+---------------------------+---------------------+
+    | header 8B | record data (grows ->)    | <- slot directory   |
+    +-----------+---------------------------+---------------------+
+
+Header: ``num_slots`` (2 bytes) and ``free_offset`` (2 bytes, the end of the
+used data region), plus 4 reserved bytes.  Slot-directory entries are 4
+bytes -- ``(offset, length)`` -- and grow backwards from the end of the
+page.  A slot whose offset is :data:`EMPTY_SLOT_OFFSET` is free and may be
+reused, which keeps slot numbers (and hence physically based OIDs) stable
+across deletions.
+
+Deletions leave holes in the data region; :meth:`Page.insert` compacts the
+page transparently when the contiguous free region is too small but the
+total free space suffices.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.errors import PageFullError, RecordNotFoundError, RecordTooLargeError
+from repro.storage.constants import (
+    EMPTY_SLOT_OFFSET,
+    MAX_RECORD_BYTES,
+    PAGE_HEADER_BYTES,
+    PAGE_SIZE,
+    SLOT_ENTRY_BYTES,
+)
+
+_HEADER = struct.Struct(">HH4x")
+_SLOT = struct.Struct(">HH")
+
+
+class Page:
+    """An in-memory image of one slotted disk page."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytearray | None = None) -> None:
+        if data is None:
+            data = bytearray(PAGE_SIZE)
+            _HEADER.pack_into(data, 0, 0, PAGE_HEADER_BYTES)
+        elif len(data) != PAGE_SIZE:
+            raise ValueError(f"page image must be {PAGE_SIZE} bytes, got {len(data)}")
+        self.data = data
+
+    # -- header accessors ---------------------------------------------------
+
+    @property
+    def num_slots(self) -> int:
+        """Number of slot-directory entries (live or free)."""
+        return _HEADER.unpack_from(self.data, 0)[0]
+
+    @property
+    def free_offset(self) -> int:
+        """Offset one past the end of the used data region."""
+        return _HEADER.unpack_from(self.data, 0)[1]
+
+    def _set_header(self, num_slots: int, free_offset: int) -> None:
+        _HEADER.pack_into(self.data, 0, num_slots, free_offset)
+
+    # -- slot directory -----------------------------------------------------
+
+    def _slot_pos(self, slot: int) -> int:
+        return PAGE_SIZE - (slot + 1) * SLOT_ENTRY_BYTES
+
+    def _read_slot(self, slot: int) -> tuple[int, int]:
+        if not 0 <= slot < self.num_slots:
+            raise RecordNotFoundError(f"slot {slot} out of range (page has {self.num_slots})")
+        return _SLOT.unpack_from(self.data, self._slot_pos(slot))
+
+    def _write_slot(self, slot: int, offset: int, length: int) -> None:
+        _SLOT.pack_into(self.data, self._slot_pos(slot), offset, length)
+
+    # -- space accounting ---------------------------------------------------
+
+    def contiguous_free(self) -> int:
+        """Bytes available between the data region and the slot directory."""
+        return PAGE_SIZE - self.free_offset - self.num_slots * SLOT_ENTRY_BYTES
+
+    def total_free(self) -> int:
+        """Free bytes counting holes left by deleted / shrunken records."""
+        live = sum(length for offset, length in self._slots() if offset != EMPTY_SLOT_OFFSET)
+        return PAGE_SIZE - PAGE_HEADER_BYTES - live - self.num_slots * SLOT_ENTRY_BYTES
+
+    def _slots(self) -> Iterator[tuple[int, int]]:
+        for slot in range(self.num_slots):
+            yield _SLOT.unpack_from(self.data, self._slot_pos(slot))
+
+    def _find_free_slot(self) -> int | None:
+        for slot, (offset, _length) in enumerate(self._slots()):
+            if offset == EMPTY_SLOT_OFFSET:
+                return slot
+        return None
+
+    def has_room_for(self, length: int) -> bool:
+        """Whether a record of ``length`` bytes can be inserted (after
+        compaction if needed)."""
+        need = length if self._find_free_slot() is not None else length + SLOT_ENTRY_BYTES
+        return self.total_free() >= need
+
+    # -- record operations --------------------------------------------------
+
+    def insert(self, record: bytes) -> int:
+        """Store ``record`` and return its slot number.
+
+        Raises :class:`PageFullError` when the page cannot hold the record
+        and :class:`RecordTooLargeError` when no page ever could.
+        """
+        if len(record) > MAX_RECORD_BYTES:
+            raise RecordTooLargeError(
+                f"record of {len(record)} bytes exceeds page capacity {MAX_RECORD_BYTES}"
+            )
+        reuse = self._find_free_slot()
+        need = len(record) + (0 if reuse is not None else SLOT_ENTRY_BYTES)
+        if self.contiguous_free() < need:
+            if self.total_free() < need:
+                raise PageFullError(f"no room for {len(record)}-byte record")
+            self.compact()
+        offset = self.free_offset
+        self.data[offset:offset + len(record)] = record
+        if reuse is not None:
+            slot = reuse
+            self._write_slot(slot, offset, len(record))
+            self._set_header(self.num_slots, offset + len(record))
+        else:
+            slot = self.num_slots
+            self._set_header(slot + 1, offset + len(record))
+            self._write_slot(slot, offset, len(record))
+        return slot
+
+    def read(self, slot: int) -> bytes:
+        """Return the record stored in ``slot``."""
+        offset, length = self._read_slot(slot)
+        if offset == EMPTY_SLOT_OFFSET:
+            raise RecordNotFoundError(f"slot {slot} is empty")
+        return bytes(self.data[offset:offset + length])
+
+    def delete(self, slot: int) -> None:
+        """Free ``slot``.  The slot number may be reused by later inserts.
+
+        Trailing empty slots are reclaimed outright (their directory bytes
+        return to the free pool); interior slot numbers stay allocated so
+        record ids remain stable.
+        """
+        offset, _length = self._read_slot(slot)
+        if offset == EMPTY_SLOT_OFFSET:
+            raise RecordNotFoundError(f"slot {slot} is already empty")
+        self._write_slot(slot, EMPTY_SLOT_OFFSET, 0)
+        num_slots = self.num_slots
+        while num_slots > 0 and self._read_slot(num_slots - 1)[0] == EMPTY_SLOT_OFFSET:
+            num_slots -= 1
+        if num_slots != self.num_slots:
+            self._set_header(num_slots, self.free_offset)
+
+    def update(self, slot: int, record: bytes) -> None:
+        """Replace the record in ``slot``, keeping the slot number stable.
+
+        Raises :class:`PageFullError` if the page cannot absorb the growth;
+        callers (the heap file) then relocate the record elsewhere.
+        """
+        offset, length = self._read_slot(slot)
+        if offset == EMPTY_SLOT_OFFSET:
+            raise RecordNotFoundError(f"slot {slot} is empty")
+        if len(record) <= length:
+            self.data[offset:offset + len(record)] = record
+            self._write_slot(slot, offset, len(record))
+            return
+        if len(record) > MAX_RECORD_BYTES:
+            raise RecordTooLargeError(
+                f"record of {len(record)} bytes exceeds page capacity {MAX_RECORD_BYTES}"
+            )
+        # Grow: free the old image, then place the new one like an insert
+        # that reuses this exact slot.
+        self._write_slot(slot, EMPTY_SLOT_OFFSET, 0)
+        if self.contiguous_free() < len(record):
+            if self.total_free() < len(record):
+                # roll back so the caller still sees the old record
+                self._write_slot(slot, offset, length)
+                raise PageFullError(f"cannot grow record in slot {slot} to {len(record)} bytes")
+            self.compact()
+        new_offset = self.free_offset
+        self.data[new_offset:new_offset + len(record)] = record
+        self._write_slot(slot, new_offset, len(record))
+        self._set_header(self.num_slots, new_offset + len(record))
+
+    def compact(self) -> None:
+        """Squeeze out holes, preserving slot numbers."""
+        live = [
+            (slot, offset, length)
+            for slot, (offset, length) in enumerate(self._slots())
+            if offset != EMPTY_SLOT_OFFSET
+        ]
+        live.sort(key=lambda item: item[1])
+        cursor = PAGE_HEADER_BYTES
+        for slot, offset, length in live:
+            if offset != cursor:
+                self.data[cursor:cursor + length] = self.data[offset:offset + length]
+                self._write_slot(slot, cursor, length)
+            cursor += length
+        self._set_header(self.num_slots, cursor)
+
+    # -- iteration ----------------------------------------------------------
+
+    def live_slots(self) -> Iterator[int]:
+        """Yield the slot numbers currently holding records."""
+        for slot, (offset, _length) in enumerate(self._slots()):
+            if offset != EMPTY_SLOT_OFFSET:
+                yield slot
+
+    def records(self) -> Iterator[tuple[int, bytes]]:
+        """Yield ``(slot, record)`` pairs in slot order."""
+        for slot in self.live_slots():
+            yield slot, self.read(slot)

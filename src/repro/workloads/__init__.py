@@ -1,0 +1,23 @@
+"""Workload generation and empirical simulation of the Section 6 model."""
+
+from repro.workloads.generator import ModelDatabase, WorkloadConfig, build_model_database
+from repro.workloads.simulate import (
+    MeasuredCosts,
+    compare_strategies,
+    measure_strategy,
+    percent_differences,
+    run_read_query,
+    run_update_query,
+)
+
+__all__ = [
+    "MeasuredCosts",
+    "ModelDatabase",
+    "WorkloadConfig",
+    "build_model_database",
+    "compare_strategies",
+    "measure_strategy",
+    "percent_differences",
+    "run_read_query",
+    "run_update_query",
+]

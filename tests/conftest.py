@@ -1,0 +1,68 @@
+"""Shared fixtures: the paper's employee database (Figure 1)."""
+
+import pytest
+
+from repro import Database, TypeDefinition, char_field, int_field, ref_field
+
+
+def define_employee_schema(db: Database) -> None:
+    """``define type ORG / DEPT / EMP`` and create the four sets."""
+    db.define_type(TypeDefinition("ORG", [char_field("name", 20), int_field("budget")]))
+    db.define_type(
+        TypeDefinition(
+            "DEPT",
+            [char_field("name", 20), int_field("budget"), ref_field("org", "ORG")],
+        )
+    )
+    db.define_type(
+        TypeDefinition(
+            "EMP",
+            [
+                char_field("name", 20),
+                int_field("age"),
+                int_field("salary"),
+                ref_field("dept", "DEPT"),
+            ],
+        )
+    )
+    db.create_set("Org", "ORG")
+    db.create_set("Dept", "DEPT")
+    db.create_set("Emp1", "EMP")
+    db.create_set("Emp2", "EMP")
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database()
+    define_employee_schema(database)
+    return database
+
+
+@pytest.fixture()
+def company(db):
+    """A small populated company: 2 orgs, 3 depts, 6 employees in Emp1."""
+    orgs = {
+        "acme": db.insert("Org", {"name": "acme", "budget": 1_000_000}),
+        "globex": db.insert("Org", {"name": "globex", "budget": 2_000_000}),
+    }
+    depts = {
+        "toys": db.insert("Dept", {"name": "toys", "budget": 100, "org": orgs["acme"]}),
+        "tools": db.insert("Dept", {"name": "tools", "budget": 200, "org": orgs["acme"]}),
+        "shoes": db.insert("Dept", {"name": "shoes", "budget": 300, "org": orgs["globex"]}),
+    }
+    emps = {}
+    for i, (ename, dname) in enumerate(
+        [
+            ("alice", "toys"),
+            ("bob", "toys"),
+            ("carol", "tools"),
+            ("dave", "tools"),
+            ("erin", "shoes"),
+            ("frank", "shoes"),
+        ]
+    ):
+        emps[ename] = db.insert(
+            "Emp1",
+            {"name": ename, "age": 30 + i, "salary": 50_000 + 10_000 * i, "dept": depts[dname]},
+        )
+    return {"db": db, "orgs": orgs, "depts": depts, "emps": emps}

@@ -1,0 +1,88 @@
+"""Replication-advisor tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel import ModelStrategy
+from repro.costmodel.advisor import (
+    PathWorkload,
+    Recommendation,
+    recommend,
+    sweep_recommendations,
+)
+from repro.errors import CostModelError
+
+
+def test_read_heavy_low_sharing_picks_inplace():
+    rec = recommend(PathWorkload(update_probability=0.05, f=1, f_r=0.002))
+    assert rec.strategy is ModelStrategy.IN_PLACE
+    assert rec.saving_percent > 10
+    assert rec.ddl("Emp1.dept.name") == "replicate Emp1.dept.name"
+
+
+def test_update_heavy_high_sharing_picks_separate():
+    rec = recommend(PathWorkload(update_probability=0.5, f=20, f_r=0.002))
+    assert rec.strategy is ModelStrategy.SEPARATE
+    assert rec.ddl("Emp1.dept.name") == "replicate Emp1.dept.name using separate"
+
+
+def test_update_only_low_sharing_picks_none():
+    rec = recommend(PathWorkload(update_probability=1.0, f=1, f_r=0.002))
+    assert rec.strategy is ModelStrategy.NO_REPLICATION
+    assert rec.ddl("Emp1.dept.name") is None
+    assert rec.saving_percent == 0.0
+
+
+def test_marginal_saving_is_rejected():
+    # f = 1, separate is nearly a wash for reads; at moderate update rates
+    # the best replicated option's saving can fall under the threshold
+    rec = recommend(PathWorkload(update_probability=0.45, f=1, f_r=0.001))
+    if rec.strategy is not ModelStrategy.NO_REPLICATION:
+        assert rec.saving_percent >= 2.0
+
+
+def test_costs_reported_for_all_strategies():
+    rec = recommend(PathWorkload(update_probability=0.2, f=10))
+    assert set(rec.costs) == set(ModelStrategy)
+    assert all(cost > 0 for cost in rec.costs.values())
+    assert rec.reasoning
+
+
+def test_clustered_changes_magnitude_not_winner_at_low_p():
+    unclustered = recommend(PathWorkload(update_probability=0.05, f=1, clustered=False))
+    clustered = recommend(PathWorkload(update_probability=0.05, f=1, clustered=True))
+    assert unclustered.strategy is clustered.strategy is ModelStrategy.IN_PLACE
+    assert clustered.saving_percent > unclustered.saving_percent
+
+
+def test_sweep_transitions_inplace_to_separate_to_none():
+    """As updates grow, the verdict walks the paper's regimes."""
+    sweep = sweep_recommendations(
+        PathWorkload(update_probability=0.0, f=20, f_r=0.002),
+        p_updates=(0.0, 0.5, 1.0),
+    )
+    strategies = [rec.strategy for __p, rec in sweep]
+    assert strategies[0] is ModelStrategy.IN_PLACE
+    assert strategies[1] is ModelStrategy.SEPARATE
+    assert strategies[-1] in (ModelStrategy.SEPARATE, ModelStrategy.NO_REPLICATION)
+
+
+def test_invalid_probability_rejected():
+    with pytest.raises(CostModelError):
+        PathWorkload(update_probability=1.5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    p=st.floats(min_value=0.0, max_value=1.0),
+    f=st.sampled_from([1, 5, 10, 20, 50]),
+    f_r=st.sampled_from([0.001, 0.002, 0.005]),
+    clustered=st.booleans(),
+)
+def test_property_recommendation_never_loses(p, f, f_r, clustered):
+    """The recommended strategy is never costlier than no replication."""
+    rec = recommend(PathWorkload(update_probability=p, f=f, f_r=f_r, clustered=clustered))
+    base = rec.costs[ModelStrategy.NO_REPLICATION]
+    assert rec.costs[rec.strategy] <= base + 1e-9
+    assert 0.0 <= rec.saving_percent <= 100.0

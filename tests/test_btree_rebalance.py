@@ -1,0 +1,131 @@
+"""B+-tree deletion rebalancing: borrows, merges, root collapse."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.btree import BPlusTree
+from repro.storage.manager import StorageManager
+from repro.storage.oid import OID
+
+
+def make_tree():
+    sm = StorageManager(buffer_frames=128)
+    fid = sm.disk.create_file()
+    return sm, BPlusTree(sm.pool, fid, 8)
+
+
+def key(i: int) -> bytes:
+    return i.to_bytes(8, "big")
+
+
+def oid(i: int) -> OID:
+    return OID(1, i % 65000, 0)
+
+
+def test_delete_everything_collapses_to_empty_root():
+    __, tree = make_tree()
+    n = 3000
+    for i in range(n):
+        tree.insert(key(i), oid(i))
+    assert tree.height >= 2
+    for i in range(n):
+        assert tree.delete(key(i))
+    assert tree.count() == 0
+    assert tree.height == 1
+    tree.check_invariants()
+    # and the tree is fully usable again
+    tree.insert(key(42), oid(42))
+    assert tree.search(key(42)) == oid(42)
+
+
+def test_height_shrinks_after_mass_deletion():
+    __, tree = make_tree()
+    for i in range(5000):
+        tree.insert(key(i), oid(i))
+    tall = tree.height
+    for i in range(4900):
+        tree.delete(key(i))
+    tree.check_invariants()
+    assert tree.height < tall
+    assert [k for k, __ in tree.items()] == [key(i) for i in range(4900, 5000)]
+
+
+@pytest.mark.parametrize("pattern", ["front", "back", "even", "random"])
+def test_deletion_patterns_keep_invariants(pattern):
+    __, tree = make_tree()
+    n = 2500
+    for i in range(n):
+        tree.insert(key(i), oid(i))
+    doomed = {
+        "front": list(range(n // 2)),
+        "back": list(range(n // 2, n)),
+        "even": list(range(0, n, 2)),
+        "random": random.Random(9).sample(range(n), n // 2),
+    }[pattern]
+    for i in doomed:
+        assert tree.delete(key(i))
+    tree.check_invariants()
+    survivors = sorted(set(range(n)) - set(doomed))
+    assert [k for k, __ in tree.items()] == [key(i) for i in survivors]
+    for i in survivors[:: max(1, len(survivors) // 17)]:
+        assert tree.search(key(i)) == oid(i)
+
+
+def test_interleaved_inserts_and_deletes():
+    __, tree = make_tree()
+    rng = random.Random(13)
+    model = {}
+    counter = 0
+    for __round in range(4000):
+        if model and rng.random() < 0.5:
+            victim = rng.choice(list(model))
+            assert tree.delete(key(victim))
+            del model[victim]
+        else:
+            counter += 1
+            tree.insert(key(counter), oid(counter))
+            model[counter] = True
+    tree.check_invariants()
+    assert [k for k, __ in tree.items()] == [key(i) for i in sorted(model)]
+
+
+def test_delete_missing_returns_false_and_changes_nothing():
+    __, tree = make_tree()
+    for i in range(100):
+        tree.insert(key(i), oid(i))
+    assert not tree.delete(key(1000))
+    assert tree.count() == 100
+    tree.check_invariants()
+
+
+def test_bulk_loaded_tree_survives_mass_deletion():
+    sm = StorageManager(buffer_frames=128)
+    fid = sm.disk.create_file()
+    tree = BPlusTree.bulk_load(
+        sm.pool, fid, 8, ((key(i), oid(i)) for i in range(4000))
+    )
+    for i in range(0, 4000, 3):
+        assert tree.delete(key(i))
+    tree.check_invariants()
+    assert tree.count() == 4000 - len(range(0, 4000, 3))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    keys=st.sets(st.integers(0, 10**6), min_size=1, max_size=500),
+    seed=st.integers(0, 1000),
+)
+def test_property_delete_half_random(keys, seed):
+    __, tree = make_tree()
+    ordered = sorted(keys)
+    for i in ordered:
+        tree.insert(key(i), oid(i))
+    rng = random.Random(seed)
+    doomed = set(rng.sample(ordered, len(ordered) // 2))
+    for i in doomed:
+        assert tree.delete(key(i))
+    tree.check_invariants()
+    assert [k for k, __ in tree.items()] == [key(i) for i in ordered if i not in doomed]

@@ -1,0 +1,113 @@
+"""Direct unit tests for the system catalog."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateNameError,
+    UnknownIndexError,
+    UnknownReplicationPathError,
+    UnknownSetError,
+)
+
+
+def test_set_registry(company):
+    catalog = company["db"].catalog
+    assert catalog.set_names() == ["Dept", "Emp1", "Emp2", "Org"]
+    assert catalog.set_type_of("Emp1").startswith("EMP")
+    with pytest.raises(UnknownSetError):
+        catalog.get_set("Nope")
+    emp1 = catalog.get_set("Emp1")
+    assert catalog.set_of_file(emp1.file_id) is emp1
+    assert catalog.set_of_file(99999) is None
+
+
+def test_duplicate_set_rejected(company):
+    db = company["db"]
+    with pytest.raises(DuplicateNameError):
+        db.create_set("Emp1", "EMP")
+
+
+def test_index_registry(company):
+    db = company["db"]
+    info = db.build_index("Emp1.salary")
+    catalog = db.catalog
+    assert catalog.get_index(info.name) is info
+    assert catalog.index_on_field("Emp1", "salary") is info
+    assert catalog.index_on_field("Emp1", "age") is None
+    assert catalog.indexes_on_set("Emp1") == [info]
+    assert catalog.indexes_on_set("Dept") == []
+    with pytest.raises(UnknownIndexError):
+        catalog.get_index("nope")
+    db.drop_index(info.name)
+    assert catalog.index_on_field("Emp1", "salary") is None
+
+
+def test_path_registry_and_lookup(company):
+    db = company["db"]
+    path = db.replicate("Emp1.dept.name")
+    catalog = db.catalog
+    assert catalog.get_path("Emp1.dept.name") is path
+    assert catalog.get_path_by_id(path.path_id) is path
+    assert catalog.paths_on_source("Emp1") == [path]
+    assert catalog.paths_on_source("Emp2") == []
+    with pytest.raises(UnknownReplicationPathError):
+        catalog.get_path("Emp1.dept.budget")
+    with pytest.raises(UnknownReplicationPathError):
+        catalog.get_path_by_id(99)
+
+
+def test_find_path_exact_and_all_subsumption(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.all")
+    catalog = db.catalog
+    # .all covers each scalar terminal of the same chain
+    assert catalog.find_path("Emp1", ("dept",), "name") is not None
+    assert catalog.find_path("Emp1", ("dept",), "budget") is not None
+    assert catalog.find_path("Emp1", ("dept",), "nothere") is None
+    assert catalog.find_path("Emp1", ("dept", "org"), "name") is None
+    assert catalog.find_path("Emp2", ("dept",), "name") is None
+
+
+def test_paths_using_link_positions(company):
+    db = company["db"]
+    p1 = db.replicate("Emp1.dept.name")
+    p2 = db.replicate("Emp1.dept.org.name")
+    catalog = db.catalog
+    uses = catalog.paths_using_link(p1.link_sequence[0])
+    assert {(u.path.text, u.position) for u in uses} == {
+        ("Emp1.dept.name", 1),
+        ("Emp1.dept.org.name", 1),
+    }
+    deep = catalog.paths_using_link(p2.link_sequence[1])
+    assert {(u.path.text, u.position) for u in deep} == {("Emp1.dept.org.name", 2)}
+
+
+def test_child_and_root_links(company):
+    db = company["db"]
+    p1 = db.replicate("Emp1.dept.name")
+    p2 = db.replicate("Emp1.dept.org.name")
+    catalog = db.catalog
+    roots = catalog.root_links("Emp1")
+    assert [l.link_id for l in roots] == [p1.link_sequence[0]]
+    children = catalog.child_links(roots[0])
+    assert [l.link_id for l in children] == [p2.link_sequence[1]]
+    # dropping the deep path makes its link dead -> no longer a child
+    db.drop_replication("Emp1.dept.org.name")
+    assert catalog.child_links(roots[0]) == []
+
+
+def test_link_for_prefix_sharing_key(company):
+    db = company["db"]
+    path = db.replicate("Emp1.dept.name")
+    catalog = db.catalog
+    link = catalog.link_for_prefix("Emp1", ("dept",))
+    assert link is not None and link.link_id == path.link_sequence[0]
+    assert catalog.link_for_prefix("Emp2", ("dept",)) is None
+    assert link.position == 1
+
+
+def test_duplicate_index_name_rejected(company):
+    db = company["db"]
+    db.build_index("Emp1.salary", name="myindex")
+    with pytest.raises(DuplicateNameError):
+        db.build_index("Emp1.age", name="myindex")

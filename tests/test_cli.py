@@ -1,0 +1,97 @@
+"""Shell tests (scripted, non-interactive)."""
+
+import io
+
+from repro.cli import Shell, render_result
+
+
+def run(text: str) -> str:
+    out = io.StringIO()
+    shell = Shell(out=out)
+    shell.run_block(text)
+    return out.getvalue()
+
+
+SETUP = """
+define type DEPT ( name: char[20], budget: int )
+
+define type EMP ( name: char[20], salary: int, dept: ref DEPT )
+
+create Dept: {own ref DEPT}
+
+create Emp1: {own ref EMP}
+"""
+
+
+def test_ddl_and_describe():
+    out = run(SETUP + "\n\\describe")
+    assert out.count("ok") >= 4
+    assert "create Emp1: {own ref EMP}" in out
+
+
+def test_query_rendering():
+    out = run(SETUP + "\nretrieve (Emp1.name)")
+    assert "(0 row(s))" in out
+    assert "plan: FileScan(Emp1)" in out
+    assert "I/O:" in out
+
+
+def test_replicate_and_verify():
+    out = run(SETUP + "\nreplicate Emp1.dept.name\n\n\\verify")
+    assert "all replication invariants hold" in out
+
+
+def test_error_does_not_kill_session():
+    out = run(SETUP + "\nretrieve (Nope.name)\n\nretrieve (Emp1.name)")
+    assert "error:" in out
+    assert "(0 row(s))" in out  # the later statement still ran
+
+
+def test_unknown_meta_and_statement():
+    out = run("\\bogus")
+    assert "unknown meta-command" in out
+    out = run("frobnicate the database")
+    assert "unrecognised statement" in out
+
+
+def test_stats_and_cold():
+    out = run(SETUP + "\n\\stats\n\\cold")
+    assert "physical reads" in out
+    assert "buffer pool flushed" in out
+
+
+def test_quit_stops_processing():
+    out = run("\\quit\n\\stats")
+    assert "physical reads" not in out
+
+
+def test_interact_line_protocol():
+    out = io.StringIO()
+    shell = Shell(out=out)
+    shell.interact(iter([
+        "define type T ( x: int )",
+        "",  # blank line terminates the statement
+        "create S: {own ref T};",
+        "\\describe",
+    ]))
+    text = out.getvalue()
+    assert text.count("ok") == 2
+    assert "create S: {own ref T}" in text
+
+
+def test_render_result_table(company):
+    db = company["db"]
+    result = db.execute("retrieve (Emp1.name, Emp1.salary) where Emp1.salary <= 60000")
+    text = render_result(result)
+    assert "Emp1.name" in text and "alice" in text
+    assert "(2 row(s))" in text
+
+
+def test_main_with_piped_script(tmp_path, monkeypatch, capsys):
+    from repro import cli
+
+    script = tmp_path / "s.extra"
+    script.write_text(SETUP + "\nretrieve (Emp1.name)\n")
+    assert cli.main([str(script)]) == 0
+    captured = capsys.readouterr()
+    assert "(0 row(s))" in captured.out

@@ -1,0 +1,102 @@
+"""Opt-in cost-based access-path selection (Section 7.1's suggestion)."""
+
+import random
+
+import pytest
+
+from repro import Database, TypeDefinition, char_field, int_field
+from repro.query.costing import estimate_qualifying_rows, index_scan_cost
+from repro.query.language import parse_statement
+from repro.query.planner import plan_retrieve
+
+
+@pytest.fixture()
+def cdb():
+    db = Database(buffer_frames=2048, cost_based_planning=True)
+    db.define_type(
+        TypeDefinition("ROW", [int_field("key"), char_field("pad", 96)])
+    )
+    db.create_set("Rows", "ROW")
+    order = list(range(2000))
+    random.Random(5).shuffle(order)
+    for key in order:
+        db.insert("Rows", {"key": key, "pad": "x"})
+    db.build_index("Rows.key")
+    return db
+
+
+def plan(db, text):
+    return plan_retrieve(db, parse_statement(text))
+
+
+def test_selective_range_uses_index(cdb):
+    p = plan(cdb, "retrieve (Rows.key) where Rows.key >= 10 and Rows.key <= 25")
+    assert "IndexScan" in p.access.explain()
+
+
+def test_wide_range_falls_back_to_filescan(cdb):
+    p = plan(cdb, "retrieve (Rows.key) where Rows.key >= 10")
+    assert "FileScan" in p.access.explain()
+    # the residual filter still applies, so results stay correct
+    res = cdb.execute("retrieve (Rows.key) where Rows.key >= 10")
+    assert len(res) == 1990
+
+
+def test_equality_uses_index(cdb):
+    p = plan(cdb, "retrieve (Rows.key) where Rows.key = 77")
+    assert "IndexScan" in p.access.explain()
+
+
+def test_default_database_always_prefers_index(cdb):
+    plain = Database()
+    plain.define_type(TypeDefinition("ROW", [int_field("key"), char_field("pad", 96)]))
+    plain.create_set("Rows", "ROW")
+    for key in range(100):
+        plain.insert("Rows", {"key": key, "pad": "x"})
+    plain.build_index("Rows.key")
+    p = plan(plain, "retrieve (Rows.key) where Rows.key >= 0")
+    assert "IndexScan" in p.access.explain()  # paper-faithful default
+
+
+def test_cost_based_choice_actually_saves_io(cdb):
+    wide = "retrieve (Rows.key) where Rows.key >= 100"
+    cdb.cold_cache()
+    smart_io = cdb.execute(wide, materialize=False).io.total_io
+    cdb.cost_based_planning = False
+    cdb.cold_cache()
+    naive_io = cdb.execute(wide, materialize=False).io.total_io
+    cdb.cost_based_planning = True
+    assert smart_io <= naive_io
+
+
+def test_estimates_track_reality(cdb):
+    p = plan(cdb, "retrieve (Rows.key) where Rows.key = 5")
+    # force an index scan object for estimation even in cost-based mode
+    from repro.query.plan import IndexScan
+
+    info = cdb.catalog.index_on_field("Rows", "key")
+    scan = IndexScan(info, lo=100, hi=299)
+    rows = estimate_qualifying_rows(scan)
+    assert 150 <= rows <= 250  # true answer: 200
+    pages = cdb.catalog.get_set("Rows").num_pages()
+    cost = index_scan_cost(scan, pages, 2000)
+    cdb.cold_cache()
+    actual = cdb.measure(
+        lambda: cdb.execute(
+            "retrieve (Rows.key) where Rows.key >= 100 and Rows.key <= 299",
+            materialize=False,
+        )
+    ).physical_reads
+    assert abs(cost - actual) <= 0.5 * actual + 5
+
+
+def test_stats_maintained_under_dml(cdb):
+    info = cdb.catalog.index_on_field("Rows", "key")
+    assert info.index.stat_count == 2000
+    assert info.index.stat_min == 0 and info.index.stat_max == 1999
+    oid = cdb.insert("Rows", {"key": 5000, "pad": "x"})
+    assert info.index.stat_count == 2001
+    assert info.index.stat_max == 5000
+    cdb.delete("Rows", oid)
+    assert info.index.stat_count == 2000
+    assert info.index.stat_max == 5000  # min/max only widen (stale stats)

@@ -1,0 +1,120 @@
+"""Database-facade odds and ends: errors, index upkeep, instrumentation."""
+
+import pytest
+
+from repro.errors import (
+    FieldError,
+    ParseError,
+    ReplicationError,
+    UnknownSetError,
+    UnknownTypeError,
+)
+
+
+def test_insert_into_unknown_set(company):
+    with pytest.raises(UnknownSetError):
+        company["db"].insert("Nope", {})
+
+
+def test_create_set_with_unknown_type(company):
+    with pytest.raises(UnknownTypeError):
+        company["db"].create_set("X", "NOPE")
+
+
+def test_update_unknown_field(company):
+    db = company["db"]
+    with pytest.raises(FieldError):
+        db.update("Emp1", company["emps"]["alice"], {"bogus": 1})
+
+
+def test_noop_update_is_free(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    db.cold_cache()
+    before = db.stats.snapshot()
+    db.update("Dept", company["depts"]["toys"], {"name": "toys"})  # same value
+    cost = db.stats.snapshot() - before
+    assert cost.physical_writes == 0  # nothing changed, nothing propagated
+    db.verify()
+
+
+def test_index_follows_inserts_updates_deletes(company):
+    db = company["db"]
+    info = db.build_index("Emp1.salary")
+    oid = db.insert("Emp1", {"name": "gina", "age": 1, "salary": 123, "dept": None})
+    assert info.index.lookup(123) == [oid]
+    db.update("Emp1", oid, {"salary": 456})
+    assert info.index.lookup(123) == []
+    assert info.index.lookup(456) == [oid]
+    db.delete("Emp1", oid)
+    assert info.index.lookup(456) == []
+
+
+def test_drop_index_restores_filescan(company):
+    db = company["db"]
+    info = db.build_index("Emp1.salary")
+    assert "IndexScan" in db.execute("retrieve (Emp1.name) where Emp1.salary = 50000").plan
+    db.drop_index(info.name)
+    assert "FileScan" in db.execute("retrieve (Emp1.name) where Emp1.salary = 50000").plan
+
+
+def test_path_index_requires_existing_path(company):
+    with pytest.raises(ReplicationError):
+        company["db"].build_index("Emp1.dept.name")
+
+
+def test_index_target_too_short(company):
+    from repro.errors import InvalidPathError
+
+    with pytest.raises(InvalidPathError):
+        company["db"].build_index("Emp1")
+
+
+def test_execute_propagates_parse_errors(company):
+    with pytest.raises(ParseError):
+        company["db"].execute("select * from Emp1")
+
+
+def test_measure_and_cold_cache(company):
+    db = company["db"]
+    db.cold_cache()
+    cost = db.measure(lambda: db.get("Emp1", company["emps"]["alice"]))
+    assert cost.physical_reads >= 1
+    cost2 = db.measure(lambda: db.get("Emp1", company["emps"]["alice"]))
+    assert cost2.physical_reads == 0  # warm
+
+
+def test_get_returns_hidden_fields_for_inspection(company):
+    db = company["db"]
+    path = db.replicate("Emp1.dept.name")
+    obj = db.get("Emp1", company["emps"]["alice"])
+    assert path.hidden_fields[0] in obj.values
+
+
+def test_refresh_on_non_lazy_path_is_noop(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    assert db.refresh("Emp1.dept.name") == 0
+    assert db.refresh() == 0
+
+
+def test_query_result_len_and_columns(company):
+    res = company["db"].execute("retrieve (Emp1.name, Emp1.age)")
+    assert len(res) == 6
+    assert res.columns == ("Emp1.name", "Emp1.age")
+
+
+def test_delete_statement_respects_replication(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    db.execute("delete from Emp1 where Emp1.salary < 70000")
+    db.verify()
+    assert db.catalog.get_set("Emp1").count() == 4
+
+
+def test_update_via_statement_with_string_escape(company):
+    db = company["db"]
+    res = db.execute("replace (Dept.name = 'new name') where Dept.name = 'toys'")
+    assert len(res) == 1
+    got = db.execute("retrieve (Dept.name) where Dept.budget = 100")
+    assert got.rows == [("new name",)]

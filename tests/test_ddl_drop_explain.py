@@ -1,0 +1,78 @@
+"""``drop`` and ``explain`` statements in the DDL/query surface."""
+
+import io
+
+import pytest
+
+from repro.cli import Shell
+from repro.errors import ParseError
+from repro.schema.parser import execute_ddl, run_script
+
+
+def test_drop_replicate_statement(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    execute_ddl(db, "drop replicate Emp1.dept.name")
+    assert "Emp1.dept.name" not in db.catalog.paths
+    db.verify()
+
+
+def test_drop_index_statement(company):
+    db = company["db"]
+    info = db.build_index("Emp1.salary", name="sal_idx")
+    execute_ddl(db, "drop index sal_idx")
+    assert "sal_idx" not in db.catalog.indexes
+
+
+def test_drop_set_statement(company):
+    db = company["db"]
+    execute_ddl(db, "drop set Emp2")
+    assert "Emp2" not in db.catalog.set_names()
+
+
+def test_drop_unknown_kind_rejected(company):
+    with pytest.raises(ParseError):
+        execute_ddl(company["db"], "drop table Emp1")
+
+
+def test_explain_in_script(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    results = run_script(db, "explain retrieve (Emp1.dept.name)")
+    assert len(results) == 1
+    assert "replicated(Emp1.dept.name" in results[0]
+
+
+def test_explain_in_shell(company):
+    out = io.StringIO()
+    shell = Shell(out=out)
+    shell.db = company["db"]
+    shell.run_block("explain retrieve (Emp1.name) where Emp1.salary > 1")
+    text = out.getvalue()
+    assert "FileScan(Emp1)" in text
+    assert "row(s)" not in text  # the query did not actually run
+
+
+def test_explain_does_not_touch_data(company):
+    db = company["db"]
+    db.cold_cache()
+    before = db.stats.snapshot()
+    run_script(db, "explain retrieve (Emp1.name, Emp1.dept.name)")
+    cost = db.stats.snapshot() - before
+    assert cost.physical_reads == 0
+
+
+def test_full_lifecycle_script(company):
+    db = company["db"]
+    results = run_script(db, """
+replicate Emp1.dept.name
+build btree on Emp1.dept.name
+
+retrieve (Emp1.name) where Emp1.dept.name = 'toys'
+
+drop index idx1_Emp1___rep1_name
+drop replicate Emp1.dept.name
+""")
+    assert len(results[0]) == 2
+    assert db.catalog.paths == {}
+    db.verify()

@@ -1,0 +1,64 @@
+"""Schema introspection tests."""
+
+from repro.schema.describe import (
+    describe_database,
+    describe_path,
+    describe_set,
+    describe_type,
+)
+
+
+def test_describe_type_renders_fields(company):
+    text = describe_type(company["db"], "EMP")
+    assert "define type EMP" in text
+    assert "name: char[20]" in text
+    assert "dept: ref DEPT" in text
+
+
+def test_describe_type_marks_hidden_fields(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    text = describe_type(db, db.catalog.get_set("Emp1").type_name)
+    assert "hidden (replicated)" in text
+
+
+def test_describe_set(company):
+    text = describe_set(company["db"], "Emp1")
+    assert "create Emp1: {own ref EMP}" in text
+    assert "6 objects" in text
+
+
+def test_describe_path_shows_links_and_sharing(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    db.replicate("Emp1.dept.budget")
+    text = describe_path(db, "Emp1.dept.name")
+    assert "link sequence (1,)" in text
+    assert "shared with ['Emp1.dept.budget']" in text
+    assert "Emp1.dept^-1" in text
+
+
+def test_describe_separate_path_shows_replicas(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name", strategy="separate")
+    text = describe_path(db, "Emp1.dept.name")
+    assert "separate" in text
+    assert "3 shared replicas" in text
+
+
+def test_describe_database_covers_everything(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.org.name")
+    db.build_index("Emp1.salary")
+    db.build_index("Emp1.dept.org.name")
+    text = describe_database(db)
+    for fragment in (
+        "define type ORG",
+        "define type DEPT",
+        "define type EMP",
+        "create Dept",
+        "replicate Emp1.dept.org.name",
+        "build btree on Emp1.salary",
+        "build btree on Emp1.dept.org.name",
+    ):
+        assert fragment in text, fragment

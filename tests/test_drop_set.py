@@ -1,0 +1,57 @@
+"""Dropping sets: own-ref existence semantics plus safety checks."""
+
+import pytest
+
+from repro.errors import (
+    FileNotFoundInStoreError,
+    IntegrityError,
+    ReplicationError,
+    UnknownSetError,
+)
+
+
+def test_drop_set_removes_members_and_file(company):
+    db = company["db"]
+    db.drop_set("Emp2")
+    with pytest.raises(UnknownSetError):
+        db.catalog.get_set("Emp2")
+    with pytest.raises(FileNotFoundInStoreError):
+        db.storage.file("Emp2")
+
+
+def test_drop_set_leaves_referenced_objects_alone(company):
+    """Deleting Emp1 deletes employees, not the departments they reference."""
+    db = company["db"]
+    db.drop_set("Emp1")
+    assert db.catalog.get_set("Dept").count() == 3
+
+
+def test_drop_set_refused_while_source_of_path(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    with pytest.raises(ReplicationError):
+        db.drop_set("Emp1")
+    db.drop_replication("Emp1.dept.name")
+    db.drop_set("Emp1")  # fine now
+
+
+def test_drop_set_refused_while_members_referenced(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")  # Dept members now carry link entries
+    with pytest.raises(IntegrityError):
+        db.drop_set("Dept")
+
+
+def test_drop_set_drops_its_indexes(company):
+    db = company["db"]
+    info = db.build_index("Emp2.salary")
+    db.drop_set("Emp2")
+    assert info.name not in db.catalog.indexes
+
+
+def test_drop_set_then_recreate(company):
+    db = company["db"]
+    db.drop_set("Emp2")
+    new_set = db.create_set("Emp2b", "EMP")
+    oid = db.insert("Emp2b", {"name": "x", "age": 1, "salary": 1, "dept": None})
+    assert db.get("Emp2b", oid).values["name"] == "x"

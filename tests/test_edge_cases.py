@@ -1,0 +1,122 @@
+"""Edge-case sweep across layers."""
+
+import pytest
+
+from repro import Database, TypeDefinition, char_field, int_field, ref_field
+from repro.errors import SerializationError
+from repro.objects.encoding import encode_object
+from repro.objects.instance import LinkEntry, StoredObject
+from repro.storage.oid import OID
+
+
+def test_too_many_link_entries_rejected(company):
+    db = company["db"]
+    obj = db.get("Emp1", company["emps"]["alice"])
+    obj.link_entries = [LinkEntry(OID(1, i, 0), 1) for i in range(300)]
+    with pytest.raises(SerializationError):
+        encode_object(db.registry, obj)
+
+
+def test_int_field_overflow_rejected(company):
+    db = company["db"]
+    with pytest.raises(SerializationError):
+        db.insert("Emp1", {"name": "x", "age": 2**40, "salary": 1, "dept": None})
+
+
+def test_unicode_strings_roundtrip(company):
+    db = company["db"]
+    oid = db.insert("Emp1", {"name": "héloïse", "age": 1, "salary": 1, "dept": None})
+    assert db.get("Emp1", oid).values["name"] == "héloïse"
+    res = db.execute("retrieve (Emp1.name) where Emp1.name = 'héloïse'")
+    assert len(res) == 1
+
+
+def test_unicode_overflow_counts_bytes_not_chars(company):
+    db = company["db"]
+    # 20 two-byte characters = 40 bytes > char[20]
+    with pytest.raises(SerializationError):
+        db.insert("Emp1", {"name": "é" * 20, "age": 1, "salary": 1, "dept": None})
+
+
+def test_negative_numbers_throughout(company):
+    db = company["db"]
+    db.build_index("Emp1.salary")
+    oid = db.insert("Emp1", {"name": "debt", "age": 1, "salary": -5000, "dept": None})
+    res = db.execute("retrieve (Emp1.name) where Emp1.salary < 0")
+    assert res.rows == [("debt",)]
+    res = db.execute("retrieve (min(Emp1.salary))")
+    assert res.rows == [(-5000,)]
+
+
+def test_empty_set_queries(db):
+    db.define_type(TypeDefinition("T", [int_field("x")]))
+    db.create_set("Empty", "T")
+    db.build_index("Empty.x")
+    assert db.execute("retrieve (Empty.x)").rows == []
+    assert db.execute("retrieve (Empty.x) where Empty.x = 5").rows == []
+    assert db.execute("retrieve (count(Empty.x))").rows == [(0,)]
+    assert db.execute("delete from Empty").rows == []
+
+
+def test_replicate_on_empty_set_then_fill(db):
+    db.define_type(TypeDefinition("B", [char_field("name", 8)]))
+    db.define_type(TypeDefinition("A", [int_field("x"), ref_field("b", "B")]))
+    db.create_set("Bs", "B")
+    db.create_set("As", "A")
+    path = db.replicate("As.b.name")  # nothing to bulk-build
+    b = db.insert("Bs", {"name": "late"})
+    a = db.insert("As", {"x": 1, "b": b})
+    assert db.get("As", a).values[path.hidden_field_for("name")] == "late"
+    db.verify()
+
+
+def test_many_paths_on_one_set(company):
+    """Several paths at once: link IDs stay distinct and consistent."""
+    db = company["db"]
+    paths = [
+        db.replicate("Emp1.dept.name"),
+        db.replicate("Emp1.dept.budget", strategy="separate"),
+        db.replicate("Emp1.dept.org"),
+        db.replicate("Emp1.dept.org.name"),
+        db.replicate("Emp1.dept.org.budget", strategy="separate"),
+    ]
+    assert len({p.path_id for p in paths}) == 5
+    db.update("Dept", company["depts"]["toys"], {"name": "g", "budget": 9})
+    db.update("Org", company["orgs"]["acme"], {"name": "h", "budget": 8})
+    db.update("Emp1", company["emps"]["alice"], {"dept": company["depts"]["shoes"]})
+    db.verify()
+    # hidden fields widened the type five times; objects still round-trip
+    obj = db.get("Emp1", company["emps"]["alice"])
+    assert len(obj.type_def.hidden_fields()) == 5
+
+
+def test_update_both_ref_and_data_in_one_statement(company):
+    db = company["db"]
+    p = db.replicate("Emp1.dept.org.name")
+    # one update changes the org's name AND a dept moves in the same tick
+    db.update("Dept", company["depts"]["toys"],
+              {"org": company["orgs"]["globex"], "budget": 1})
+    db.update("Org", company["orgs"]["globex"], {"name": "both", "budget": 2})
+    obj = db.get("Emp1", company["emps"]["alice"])
+    assert obj.values[p.hidden_field_for("name")] == "both"
+    db.verify()
+
+
+def test_zero_byte_like_strings(company):
+    db = company["db"]
+    oid = db.insert("Emp1", {"name": "", "age": 0, "salary": 0, "dept": None})
+    assert db.get("Emp1", oid).values["name"] == ""
+
+
+def test_snapshot_of_colocated_and_collapsed(tmp_path, company):
+    from repro.snapshot import load_database, save_database
+
+    db = company["db"]
+    db.replicate("Emp1.dept.org.name", cluster_links=True)
+    db.replicate("Emp1.dept.org.budget", collapsed=True)
+    target = tmp_path / "x.frdb"
+    save_database(db, str(target))
+    db2 = load_database(str(target))
+    db2.verify()
+    db2.update("Org", company["orgs"]["acme"], {"name": "post", "budget": 3})
+    db2.verify()

@@ -1,0 +1,36 @@
+"""CSV export tests."""
+
+import csv
+import io
+
+from repro.costmodel import Setting, figure11, figure12
+from repro.costmodel.export import figure_csvs, selected_values_csv, series_csv
+
+
+def test_series_csv_shape():
+    graphs = figure11(points=5)
+    text = series_csv(graphs, 10)
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[0][0] == "p_update"
+    assert len(rows) == 6  # header + 5 points
+    assert len(rows[0]) == 1 + 2 * 3  # two strategies x three selectivities
+    assert float(rows[1][0]) == 0.0 and float(rows[-1][0]) == 1.0
+    # values parse as floats
+    assert all(float(cell) is not None for cell in rows[2][1:])
+
+
+def test_figure_csvs_per_panel():
+    graphs = figure11(points=3)
+    csvs = figure_csvs(graphs)
+    assert set(csvs) == {1, 10, 20, 50}
+    for text in csvs.values():
+        assert text.startswith("p_update")
+
+
+def test_selected_values_csv():
+    text = selected_values_csv(figure12(), Setting.UNCLUSTERED)
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[0] == ["setting", "strategy", "f", "f_r", "c_read", "c_update"]
+    assert len(rows) == 1 + 6  # three strategies x two sharing levels
+    none_f20 = next(r for r in rows[1:] if r[1] == "none" and r[2] == "20")
+    assert none_f20[4] == "691"

@@ -1,0 +1,56 @@
+"""Rendering tests for the figure/table generators."""
+
+from repro.costmodel import (
+    PAPER_FIGURE12,
+    CostParameters,
+    ModelStrategy,
+    Setting,
+    figure11,
+    figure12,
+    render_selected_values,
+    render_series_table,
+    sweep,
+)
+from repro.costmodel.figures import SHARING_LEVELS, render_ascii_plot
+
+
+def test_selected_values_table_renders_both_f_columns():
+    text = render_selected_values(figure12(), Setting.UNCLUSTERED)
+    assert "f=1" in text and "f=20" in text
+    assert "no replication" in text
+    assert "(paper)" not in text  # only with the reference argument
+
+
+def test_selected_values_with_paper_reference():
+    text = render_selected_values(figure12(), Setting.UNCLUSTERED, PAPER_FIGURE12)
+    assert text.count("(paper)") == 3
+    assert "691" in text  # the paper's headline cell
+
+
+def test_series_table_covers_all_panels():
+    graphs = figure11(points=5)
+    text = render_series_table(graphs, Setting.UNCLUSTERED)
+    for f in SHARING_LEVELS:
+        assert f"f = {f}," in text
+    assert text.count("P_update") == len(SHARING_LEVELS)
+
+
+def test_figure11_structure():
+    graphs = figure11(points=5)
+    assert set(graphs) == set(SHARING_LEVELS)
+    series = graphs[10][ModelStrategy.IN_PLACE][0.002]
+    assert len(series.p_updates) == 5
+    assert series.p_updates[0] == 0.0 and series.p_updates[-1] == 1.0
+
+
+def test_ascii_plot_renders():
+    params = CostParameters(f=10, f_r=0.002)
+    series = {
+        "in-place": sweep(params, ModelStrategy.IN_PLACE, Setting.UNCLUSTERED, 11),
+        "separate": sweep(params, ModelStrategy.SEPARATE, Setting.UNCLUSTERED, 11),
+    }
+    text = render_ascii_plot(series)
+    assert "a = in-place" in text
+    assert "b = separate" in text
+    assert "P_update ->" in text
+    assert "+50%" in text.replace(" ", "")

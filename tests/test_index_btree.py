@@ -1,0 +1,258 @@
+"""Unit + property tests for the B+-tree and key codecs."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.index.btree import BPlusTree
+from repro.index.keycodec import (
+    decode_char,
+    decode_float,
+    decode_int,
+    encode_char,
+    encode_float,
+    encode_int,
+)
+from repro.storage.manager import StorageManager
+from repro.storage.oid import OID
+
+
+def make_tree(key_width=8, frames=64):
+    sm = StorageManager(buffer_frames=frames)
+    fid = sm.disk.create_file()
+    return sm, BPlusTree(sm.pool, fid, key_width)
+
+
+def key(i: int, width=8) -> bytes:
+    return i.to_bytes(width, "big")
+
+
+def oid(i: int) -> OID:
+    return OID(1, i, 0)
+
+
+# ---------------------------------------------------------------------------
+# key codecs
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_int_codec_roundtrip(v):
+    assert decode_int(encode_int(v)) == v
+
+
+@given(
+    st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    st.integers(min_value=-(2**31), max_value=2**31 - 1),
+)
+def test_int_codec_order_preserving(a, b):
+    assert (a < b) == (encode_int(a) < encode_int(b))
+
+
+@given(st.floats(allow_nan=False))
+def test_float_codec_roundtrip(v):
+    assert decode_float(encode_float(v)) == v or (v == 0 and decode_float(encode_float(v)) == 0)
+
+
+@given(st.floats(allow_nan=False), st.floats(allow_nan=False))
+def test_float_codec_order_preserving(a, b):
+    if a < b:
+        assert encode_float(a) < encode_float(b)
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126), max_size=12))
+def test_char_codec_roundtrip(s):
+    assert decode_char(encode_char(s, 12)) == s
+
+
+def test_int_out_of_range_raises():
+    from repro.errors import SerializationError
+
+    with pytest.raises(SerializationError):
+        encode_int(2**31)
+
+
+# ---------------------------------------------------------------------------
+# tree basics
+# ---------------------------------------------------------------------------
+
+
+def test_empty_tree_search_returns_none():
+    __, tree = make_tree()
+    assert tree.search(key(5)) is None
+    assert list(tree.items()) == []
+    assert tree.count() == 0
+    assert tree.height == 1
+
+
+def test_insert_search_small():
+    __, tree = make_tree()
+    for i in [5, 3, 9, 1, 7]:
+        tree.insert(key(i), oid(i))
+    for i in [1, 3, 5, 7, 9]:
+        assert tree.search(key(i)) == oid(i)
+    assert tree.search(key(4)) is None
+    assert [k for k, __ in tree.items()] == [key(i) for i in [1, 3, 5, 7, 9]]
+
+
+def test_duplicate_key_raises():
+    __, tree = make_tree()
+    tree.insert(key(1), oid(1))
+    with pytest.raises(StorageError):
+        tree.insert(key(1), oid(2))
+
+
+def test_wrong_key_width_raises():
+    __, tree = make_tree(key_width=8)
+    with pytest.raises(StorageError):
+        tree.insert(b"short", oid(1))
+    with pytest.raises(StorageError):
+        tree.search(b"waytoolongforthetree")
+
+
+def test_large_insert_forces_splits_and_height_growth():
+    __, tree = make_tree()
+    n = 2000
+    order = list(range(n))
+    random.Random(7).shuffle(order)
+    for i in order:
+        tree.insert(key(i), oid(i))
+    assert tree.height >= 2
+    assert tree.count() == n
+    tree.check_invariants()
+    for i in range(0, n, 97):
+        assert tree.search(key(i)) == oid(i)
+
+
+def test_sequential_and_reverse_insertion():
+    for direction in (1, -1):
+        __, tree = make_tree()
+        for i in range(500)[::direction]:
+            tree.insert(key(i), oid(i))
+        tree.check_invariants()
+        assert [k for k, __ in tree.items()] == [key(i) for i in range(500)]
+
+
+def test_range_scan_bounds():
+    __, tree = make_tree()
+    for i in range(0, 100, 2):
+        tree.insert(key(i), oid(i))
+    got = [k for k, __ in tree.range_scan(key(10), key(20))]
+    assert got == [key(i) for i in range(10, 21, 2)]
+    got = [k for k, __ in tree.range_scan(key(10), key(20), include_hi=False)]
+    assert got == [key(i) for i in range(10, 20, 2)]
+    got = [k for k, __ in tree.range_scan(key(11), key(19))]
+    assert got == [key(i) for i in range(12, 19, 2)]
+    assert list(tree.range_scan(key(98), None)) == [(key(98), oid(98))]
+    assert [k for k, __ in tree.range_scan(None, key(4))] == [key(0), key(2), key(4)]
+
+
+def test_range_scan_crosses_leaf_boundaries():
+    __, tree = make_tree()
+    n = 3000
+    for i in range(n):
+        tree.insert(key(i), oid(i))
+    got = [k for k, __ in tree.range_scan(key(500), key(2500))]
+    assert got == [key(i) for i in range(500, 2501)]
+
+
+def test_delete_basic_behavior():
+    __, tree = make_tree()
+    for i in range(200):
+        tree.insert(key(i), oid(i))
+    for i in range(0, 200, 2):
+        assert tree.delete(key(i))
+    assert not tree.delete(key(0))  # already gone
+    assert tree.count() == 100
+    assert tree.search(key(2)) is None
+    assert tree.search(key(3)) == oid(3)
+    tree.check_invariants()
+
+
+def test_delete_then_reinsert():
+    __, tree = make_tree()
+    for i in range(300):
+        tree.insert(key(i), oid(i))
+    for i in range(300):
+        tree.delete(key(i))
+    assert tree.count() == 0
+    for i in range(300):
+        tree.insert(key(i), oid(i + 1000))
+    assert tree.search(key(7)) == oid(1007)
+    tree.check_invariants()
+
+
+def test_clear_resets_tree():
+    __, tree = make_tree()
+    for i in range(500):
+        tree.insert(key(i), oid(i))
+    tree.clear()
+    assert tree.count() == 0
+    assert tree.height == 1
+    tree.insert(key(1), oid(1))
+    assert tree.search(key(1)) == oid(1)
+
+
+def test_persistence_across_reopen():
+    sm, tree = make_tree()
+    for i in range(1000):
+        tree.insert(key(i), oid(i))
+    sm.pool.flush_all()
+    reopened = BPlusTree.open(sm.pool, tree.file_id, 8)
+    assert reopened.height == tree.height
+    assert reopened.search(key(123)) == oid(123)
+    assert reopened.count() == 1000
+
+
+def test_open_with_wrong_width_raises():
+    sm, tree = make_tree(key_width=8)
+    tree.insert(key(1), oid(1))
+    sm.pool.flush_all()
+    with pytest.raises(StorageError):
+        BPlusTree.open(sm.pool, tree.file_id, 4)
+
+
+def test_tree_survives_tiny_buffer_pool():
+    sm = StorageManager(buffer_frames=4)
+    fid = sm.disk.create_file()
+    tree = BPlusTree(sm.pool, fid, 8)
+    for i in range(1500):
+        tree.insert(key(i), oid(i))
+    tree.check_invariants()
+    assert tree.search(key(777)) == oid(777)
+
+
+def test_index_io_is_counted():
+    sm, tree = make_tree()
+    for i in range(2000):
+        tree.insert(key(i), oid(i))
+    sm.cold_cache()
+    cost = sm.measure(lambda: tree.search(key(1234)))
+    # Root-to-leaf descent: height pages read, nothing written.
+    assert cost.physical_reads == tree.height
+    assert cost.physical_writes == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=10_000), unique=True, max_size=400),
+    st.randoms(use_true_random=False),
+)
+def test_property_tree_matches_sorted_dict(keys, rng):
+    """Insert/delete in random order; the tree equals a sorted dict."""
+    __, tree = make_tree()
+    shuffled = list(keys)
+    rng.shuffle(shuffled)
+    model = {}
+    for i in shuffled:
+        tree.insert(key(i), oid(i))
+        model[key(i)] = oid(i)
+    doomed = shuffled[::3]
+    for i in doomed:
+        tree.delete(key(i))
+        del model[key(i)]
+    assert dict(tree.items()) == dict(sorted(model.items()))
+    tree.check_invariants()

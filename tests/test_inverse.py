@@ -1,0 +1,101 @@
+"""Inverse-function tests (future work, Section 8)."""
+
+import pytest
+
+from repro.errors import InvalidPathError
+from repro.replication.inverse import closure_referencers, referencers
+
+
+def test_inverse_falls_back_to_scan_without_links(company):
+    db = company["db"]
+    result = referencers(db, "Emp1", "dept", company["depts"]["toys"])
+    assert not result.via_link
+    assert set(result.referencers) == {company["emps"]["alice"], company["emps"]["bob"]}
+
+
+def test_inverse_uses_link_when_replicated(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    result = referencers(db, "Emp1", "dept", company["depts"]["toys"])
+    assert result.via_link
+    assert set(result.referencers) == {company["emps"]["alice"], company["emps"]["bob"]}
+
+
+def test_inverse_empty_when_unreferenced(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    lonely = db.insert("Dept", {"name": "lonely", "budget": 0, "org": None})
+    result = referencers(db, "Emp1", "dept", lonely)
+    assert result.via_link
+    assert result.referencers == ()
+
+
+def test_inverse_with_inline_entries():
+    from repro import Database
+
+    from tests.conftest import define_employee_schema
+
+    db = Database(inline_singleton_links=True)
+    define_employee_schema(db)
+    org = db.insert("Org", {"name": "o", "budget": 1})
+    dept = db.insert("Dept", {"name": "d", "budget": 1, "org": org})
+    emp = db.insert("Emp1", {"name": "e", "age": 1, "salary": 1, "dept": dept})
+    db.replicate("Emp1.dept.name")
+    result = referencers(db, "Emp1", "dept", dept)
+    assert result.via_link
+    assert result.referencers == (emp,)
+
+
+def test_inverse_link_answer_costs_less_io(company):
+    db = company["db"]
+    # enough employees that a scan is visibly costlier than a link read
+    for i in range(800):
+        db.insert("Emp1", {"name": f"x{i}", "age": 1, "salary": 1,
+                           "dept": company["depts"]["shoes"]})
+    db.cold_cache()
+    scan_cost = db.measure(
+        lambda: referencers(db, "Emp1", "dept", company["depts"]["toys"])
+    )
+    db.replicate("Emp1.dept.name")
+    db.cold_cache()
+    link_cost = db.measure(
+        lambda: referencers(db, "Emp1", "dept", company["depts"]["toys"])
+    )
+    assert link_cost.physical_reads < scan_cost.physical_reads
+
+
+def test_inverse_rejects_non_ref_field(company):
+    with pytest.raises(InvalidPathError):
+        referencers(company["db"], "Emp1", "salary", company["depts"]["toys"])
+
+
+def test_closure_referencers_two_level(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.org.name")
+    result = closure_referencers(db, "Emp1.dept.org.name", company["orgs"]["acme"])
+    assert result.via_link
+    expected = {company["emps"][n] for n in ("alice", "bob", "carol", "dave")}
+    assert set(result.referencers) == expected
+
+
+def test_closure_referencers_collapsed(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.org.name", collapsed=True)
+    result = closure_referencers(db, "Emp1.dept.org.name", company["orgs"]["globex"])
+    assert result.via_link
+    assert set(result.referencers) == {company["emps"]["erin"], company["emps"]["frank"]}
+
+
+def test_closure_referencers_separate_one_level(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name", strategy="separate")
+    result = closure_referencers(db, "Emp1.dept.name", company["depts"]["toys"])
+    assert set(result.referencers) == {company["emps"]["alice"], company["emps"]["bob"]}
+
+
+def test_inverse_tracks_ref_updates(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    db.update("Emp1", company["emps"]["alice"], {"dept": company["depts"]["shoes"]})
+    result = referencers(db, "Emp1", "dept", company["depts"]["toys"])
+    assert set(result.referencers) == {company["emps"]["bob"]}

@@ -1,0 +1,127 @@
+"""Per-file I/O attribution: queries touch exactly the files the model says.
+
+These tests decompose measured query I/O the way the paper decomposes cost
+terms (C_read/index, C_read/R, C_read/S, C_read/L, C_update/S', ...), and
+assert the *composition*, not just the totals.
+"""
+
+import random
+
+import pytest
+
+from repro.workloads import WorkloadConfig, build_model_database
+
+
+def build(strategy, **kw):
+    cfg = WorkloadConfig(n_s=200, f=3, f_r=0.02, f_s=0.02, strategy=strategy, **kw)
+    return build_model_database(cfg)
+
+
+def run_read(mdb):
+    mdb.db.cold_cache()
+    before = mdb.db.stats.snapshot()
+    mdb.db.execute(
+        "retrieve (R.field_r, R.sref.repfield) "
+        "where R.field_r >= 100 and R.field_r <= 111",
+        materialize=False,
+    )
+    return mdb.db.stats.snapshot() - before
+
+
+def run_update(mdb):
+    mdb.db.cold_cache()
+    before = mdb.db.stats.snapshot()
+    mdb.db.execute("replace (S.repfield = 'znew') where S.field_s >= 50 and S.field_s <= 53")
+    mdb.db.storage.pool.flush_all()
+    return mdb.db.stats.snapshot() - before
+
+
+def fid(mdb, name):
+    return mdb.db.storage.file(name).file_id
+
+
+def test_read_none_joins_s(company):
+    mdb = build("none")
+    cost = run_read(mdb)
+    breakdown = mdb.db.storage.io_breakdown(cost)
+    assert breakdown["R"][0] > 0          # R pages read
+    assert breakdown["S"][0] > 0          # the functional join into S
+    assert cost.physical_writes == 0      # reads write nothing
+
+
+def test_read_inplace_never_touches_s():
+    mdb = build("inplace")
+    cost = run_read(mdb)
+    assert cost.reads_for(fid(mdb, "S")) == 0  # the join is gone
+    assert cost.reads_for(fid(mdb, "R")) > 0
+
+
+def test_read_separate_joins_s_prime_not_s():
+    mdb = build("separate")
+    cost = run_read(mdb)
+    path = mdb.db.catalog.get_path("R.sref.repfield")
+    s_prime = mdb.db.storage.file(path.replica_set).file_id
+    assert cost.reads_for(fid(mdb, "S")) == 0
+    assert cost.reads_for(s_prime) > 0
+    # S' is far smaller than S: the join reads fewer pages than none's would
+    assert cost.reads_for(s_prime) <= mdb.db.storage.file(path.replica_set).num_pages()
+
+
+def test_update_none_touches_only_s_and_its_index():
+    mdb = build("none")
+    cost = run_update(mdb)
+    breakdown = mdb.db.storage.io_breakdown(cost)
+    touched = set(breakdown)
+    assert "S" in touched
+    assert "R" not in touched
+    assert breakdown["S"][1] > 0          # written back
+
+
+def test_update_inplace_propagates_into_r_via_links():
+    mdb = build("inplace")
+    cost = run_update(mdb)
+    path = mdb.db.catalog.get_path("R.sref.repfield")
+    link = mdb.db.catalog.get_link(path.link_sequence[0])
+    assert cost.reads_for(link.file.heap.file_id) > 0   # C_read/L
+    assert cost.writes_for(fid(mdb, "R")) > 0           # C_update/R
+    assert cost.writes_for(fid(mdb, "S")) > 0
+
+
+def test_update_separate_touches_s_prime_not_r():
+    mdb = build("separate")
+    cost = run_update(mdb)
+    path = mdb.db.catalog.get_path("R.sref.repfield")
+    s_prime = mdb.db.storage.file(path.replica_set).file_id
+    assert cost.writes_for(s_prime) > 0                 # C_update/S'
+    assert cost.io_for(fid(mdb, "R")) == 0              # R untouched
+
+
+def test_snapshot_subtraction_by_file():
+    mdb = build("none")
+    a = mdb.db.stats.snapshot()
+    run_read(mdb)
+    b = mdb.db.stats.snapshot()
+    delta = b - a
+    assert delta.touched_files()
+    assert (b - b).touched_files() == set()
+    assert delta.io_for(999999) == 0
+
+
+def test_breakdown_names_indexes():
+    mdb = build("none")
+    cost = run_read(mdb)
+    names = set(mdb.db.storage.io_breakdown(cost))
+    assert any(name.startswith("__idx_") for name in names)  # the B+-tree read
+
+
+@pytest.mark.parametrize("strategy", ["none", "inplace", "separate"])
+def test_total_equals_sum_of_files(strategy):
+    mdb = build(strategy)
+    rng = random.Random(3)
+    cost = run_update(mdb)
+    assert cost.physical_reads == sum(
+        cost.reads_for(f) for f in cost.touched_files()
+    )
+    assert cost.physical_writes == sum(
+        cost.writes_for(f) for f in cost.touched_files()
+    )

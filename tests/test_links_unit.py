@@ -1,0 +1,109 @@
+"""Direct unit tests for link files and link objects."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReplicationError
+from repro.replication.links import LinkFile, LinkObject
+from repro.storage.manager import StorageManager
+from repro.storage.oid import OID
+
+
+def make_link_file(collapsed=False):
+    sm = StorageManager(buffer_frames=16)
+    return sm, LinkFile(sm.create_file("links"), collapsed=collapsed)
+
+
+def oid(i: int) -> OID:
+    return OID(2, i, 0)
+
+
+def test_create_sorts_entries():
+    __, lf = make_link_file()
+    link_oid = lf.create(oid(99), [oid(3), oid(1), oid(2)])
+    assert lf.members(link_oid) == [oid(1), oid(2), oid(3)]
+    assert lf.read(link_oid).owner == oid(99)
+
+
+def test_add_keeps_sorted_and_rejects_duplicates():
+    __, lf = make_link_file()
+    link_oid = lf.create(oid(9), [oid(5)])
+    assert lf.add(link_oid, oid(2))
+    assert lf.add(link_oid, oid(7))
+    assert not lf.add(link_oid, oid(5))  # already present
+    assert lf.members(link_oid) == [oid(2), oid(5), oid(7)]
+
+
+def test_remove_binary_search_and_empty_flag():
+    __, lf = make_link_file()
+    link_oid = lf.create(oid(9), [oid(1), oid(2)])
+    removed, empty = lf.remove(link_oid, oid(1))
+    assert removed and not empty
+    removed, empty = lf.remove(link_oid, oid(1))
+    assert not removed
+    removed, empty = lf.remove(link_oid, oid(2))
+    assert removed and empty
+    assert lf.read(link_oid).is_empty()
+
+
+def test_contains():
+    __, lf = make_link_file()
+    link_oid = lf.create(oid(9), [oid(4), oid(6)])
+    assert lf.contains(link_oid, oid(4))
+    assert not lf.contains(link_oid, oid(5))
+
+
+def test_delete_and_scan():
+    __, lf = make_link_file()
+    a = lf.create(oid(1), [oid(10)])
+    b = lf.create(oid(2), [oid(20)])
+    lf.delete(a)
+    scanned = list(lf.scan())
+    assert [link_oid for link_oid, __lo in scanned] == [b]
+
+
+def test_wrong_file_link_oid_rejected():
+    __, lf = make_link_file()
+    with pytest.raises(ReplicationError):
+        lf.read(OID(999, 0, 0))
+
+
+def test_collapsed_entries_are_tagged_pairs():
+    __, lf = make_link_file(collapsed=True)
+    pairs = [(oid(3), oid(30)), (oid(1), oid(10)), (oid(2), oid(10))]
+    link_oid = lf.create(oid(9), pairs)
+    assert lf.members(link_oid) == sorted(pairs)
+    assert lf.add(link_oid, (oid(4), oid(10)))
+    removed, __ = lf.remove(link_oid, (oid(1), oid(10)))
+    assert removed
+
+
+def test_large_link_object_grows_past_a_page():
+    __, lf = make_link_file()
+    link_oid = lf.create(oid(0), [])
+    for i in range(1200):
+        assert lf.add(link_oid, oid(i))
+    assert len(lf.members(link_oid)) == 1200
+    # still addressable through the original (stable) link OID
+    assert lf.contains(link_oid, oid(600))
+
+
+def test_link_object_is_empty():
+    assert LinkObject(oid(1), []).is_empty()
+    assert not LinkObject(oid(1), [oid(2)]).is_empty()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 5000), unique=True, min_size=1, max_size=200))
+def test_property_members_match_sorted_set(values):
+    __, lf = make_link_file()
+    link_oid = lf.create(oid(9999), [])
+    for v in values:
+        lf.add(link_oid, oid(v))
+    expected = sorted(oid(v) for v in values)
+    assert lf.members(link_oid) == expected
+    for v in values[::3]:
+        lf.remove(link_oid, oid(v))
+        expected.remove(oid(v))
+    assert lf.members(link_oid) == expected

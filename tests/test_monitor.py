@@ -1,0 +1,113 @@
+"""Workload-monitor and auto-advisor tests."""
+
+from repro.costmodel import ModelStrategy
+from repro.monitor import apply_recommendations
+
+
+def test_functional_joins_are_recorded(company):
+    db = company["db"]
+    db.execute("retrieve (Emp1.name, Emp1.dept.name)")
+    db.execute("retrieve (Emp1.dept.name) where Emp1.salary > 60000")
+    observations = db.monitor.path_observations()
+    assert len(observations) == 1
+    obs = observations[0]
+    assert obs.text == "Emp1.dept.name"
+    assert obs.terminal_type == "DEPT"
+    assert obs.queries == 2
+    assert obs.join_rows == 6 + 4
+
+
+def test_replicated_paths_are_not_recorded(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    db.execute("retrieve (Emp1.dept.name)")
+    assert db.monitor.path_observations() == []
+
+
+def test_two_level_join_recorded_with_root_type(company):
+    db = company["db"]
+    db.execute("retrieve (Emp1.dept.org.name)")
+    obs = db.monitor.path_observations()[0]
+    assert obs.text == "Emp1.dept.org.name"
+    assert obs.terminal_type == "ORG"
+
+
+def test_updates_recorded_api_and_statement(company):
+    db = company["db"]
+    db.update("Dept", company["depts"]["toys"], {"name": "x"})
+    db.execute("replace (Dept.budget = 9) where Dept.budget <= 200")
+    fields = {(f.type_name, f.field_name): f for f in db.monitor.field_observations()}
+    assert fields[("DEPT", "name")].statements == 1
+    assert fields[("DEPT", "budget")].updates == 2
+    # propagation writes (hidden fields) are never recorded as user updates
+    assert all(not name.startswith("__rep") for __t, name in fields)
+
+
+def test_updates_against_matches_terminal_field(company):
+    db = company["db"]
+    db.execute("retrieve (Emp1.dept.name)")
+    db.update("Dept", company["depts"]["toys"], {"name": "x"})
+    db.update("Dept", company["depts"]["toys"], {"budget": 9})  # different field
+    obs = db.monitor.path_observations()[0]
+    assert db.monitor.updates_against(obs) == 1
+
+
+def test_candidates_read_mostly_recommends_inplace(company):
+    db = company["db"]
+    for __ in range(20):
+        db.execute("retrieve (Emp1.dept.name)")
+    db.update("Dept", company["depts"]["toys"], {"name": "x"})
+    candidates = db.monitor.candidates()
+    assert len(candidates) == 1
+    cand = candidates[0]
+    assert cand.estimated_p_update < 0.1
+    assert cand.recommendation.strategy is ModelStrategy.IN_PLACE
+    assert cand.ddl == "replicate Emp1.dept.name"
+
+
+def test_candidates_update_heavy_recommends_nothing(company):
+    db = company["db"]
+    db.execute("retrieve (Emp1.dept.name)")
+    for i in range(30):
+        db.update("Dept", company["depts"]["toys"], {"name": f"x{i}"})
+    cand = db.monitor.candidates()[0]
+    assert cand.estimated_p_update > 0.9
+    assert cand.recommendation.strategy is ModelStrategy.NO_REPLICATION
+    assert cand.ddl is None
+
+
+def test_apply_recommendations_round_trip(company):
+    db = company["db"]
+    for __ in range(10):
+        db.execute("retrieve (Emp1.dept.name, Emp1.dept.org.name)")
+    applied = apply_recommendations(db, db.monitor.candidates())
+    assert "replicate Emp1.dept.name" in applied
+    assert "replicate Emp1.dept.org.name" in applied
+    db.verify()
+    # the joins are gone now
+    db.monitor.reset()
+    db.execute("retrieve (Emp1.dept.name, Emp1.dept.org.name)")
+    assert db.monitor.path_observations() == []
+
+
+def test_report_renders(company):
+    db = company["db"]
+    db.execute("retrieve (Emp1.dept.name)")
+    db.update("Dept", company["depts"]["toys"], {"name": "x"})
+    text = db.monitor.report()
+    assert "Emp1.dept.name" in text
+    assert "DEPT.name" in text
+
+
+def test_reset(company):
+    db = company["db"]
+    db.execute("retrieve (Emp1.dept.name)")
+    db.monitor.reset()
+    assert db.monitor.path_observations() == []
+    assert db.monitor.field_observations() == []
+
+
+def test_empty_queries_not_counted(company):
+    db = company["db"]
+    db.execute("retrieve (Emp1.dept.name) where Emp1.salary > 10000000")
+    assert db.monitor.path_observations() == []

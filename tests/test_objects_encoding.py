@@ -1,0 +1,262 @@
+"""Unit tests for object encoding / decoding and the object store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DanglingReferenceError, FieldError, SerializationError
+from repro.objects.encoding import decode_object, encode_object, encoded_size, peek_type_tag
+from repro.objects.instance import LinkEntry, ReplicaEntry, StoredObject
+from repro.objects.registry import TypeRegistry
+from repro.objects.store import ObjectStore
+from repro.objects.types import TypeDefinition, char_field, float_field, int_field, ref_field
+from repro.storage.constants import OBJECT_HEADER_BYTES
+from repro.storage.manager import StorageManager
+from repro.storage.oid import OID
+
+
+@pytest.fixture()
+def reg():
+    registry = TypeRegistry()
+    registry.register(
+        TypeDefinition(
+            "EMP",
+            [
+                char_field("name", 20),
+                int_field("age"),
+                float_field("rating"),
+                ref_field("dept", "DEPT"),
+            ],
+        )
+    )
+    return registry
+
+
+def make_emp(reg, **overrides):
+    values = {"name": "alice", "age": 33, "rating": 4.5, "dept": OID(3, 7, 1)}
+    values.update(overrides)
+    return StoredObject(reg.get("EMP"), values)
+
+
+def test_encode_decode_roundtrip(reg):
+    obj = make_emp(reg)
+    data = encode_object(reg, obj)
+    back = decode_object(reg, data)
+    assert back.values == obj.values
+    assert back.type_def.name == "EMP"
+
+
+def test_encoded_size_matches(reg):
+    obj = make_emp(reg)
+    data = encode_object(reg, obj)
+    assert len(data) == encoded_size(reg.get("EMP"))
+    assert len(data) == OBJECT_HEADER_BYTES + 20 + 4 + 8 + 8
+
+
+def test_null_ref_roundtrip(reg):
+    obj = make_emp(reg, dept=None)
+    back = decode_object(reg, encode_object(reg, obj))
+    assert back.values["dept"] is None
+
+
+def test_link_entries_roundtrip(reg):
+    obj = make_emp(reg)
+    obj.link_entries = [LinkEntry(OID(9, 1, 2), 1), LinkEntry(OID(9, 1, 3), 7)]
+    back = decode_object(reg, encode_object(reg, obj))
+    assert back.link_entries == obj.link_entries
+
+
+def test_replica_entries_roundtrip(reg):
+    obj = make_emp(reg)
+    obj.replica_entries = [ReplicaEntry(OID(5, 0, 0), 42, 3)]
+    back = decode_object(reg, encode_object(reg, obj))
+    assert back.replica_entries == obj.replica_entries
+    data = encode_object(reg, obj)
+    assert len(data) == encoded_size(reg.get("EMP"), n_replicas=1)
+
+
+def test_peek_type_tag(reg):
+    obj = make_emp(reg)
+    assert peek_type_tag(encode_object(reg, obj)) == reg.tag_of("EMP")
+    with pytest.raises(SerializationError):
+        peek_type_tag(b"\x01")
+
+
+def test_char_overflow_raises(reg):
+    obj = make_emp(reg, name="x" * 21)
+    with pytest.raises(SerializationError):
+        encode_object(reg, obj)
+
+
+def test_truncated_record_raises(reg):
+    obj = make_emp(reg)
+    data = encode_object(reg, obj)
+    with pytest.raises(SerializationError):
+        decode_object(reg, data[:10])
+    with pytest.raises(SerializationError):
+        decode_object(reg, data[:-3])
+    with pytest.raises(SerializationError):
+        decode_object(reg, data + b"\x00\x00")
+
+
+def test_missing_values_get_defaults(reg):
+    obj = StoredObject(reg.get("EMP"), {})
+    assert obj.values == {"name": "", "age": 0, "rating": 0.0, "dept": None}
+
+
+def test_extra_values_raise(reg):
+    with pytest.raises(FieldError):
+        StoredObject(reg.get("EMP"), {"bogus": 1})
+
+
+def test_wrong_kind_raises(reg):
+    with pytest.raises(FieldError):
+        make_emp(reg, age="old")
+    with pytest.raises(FieldError):
+        make_emp(reg, dept=17)
+    with pytest.raises(FieldError):
+        make_emp(reg, age=True)  # bools are not ints here
+
+
+def test_instance_get_set_ref(reg):
+    obj = make_emp(reg)
+    obj.set("age", 40)
+    assert obj.get("age") == 40
+    assert obj.ref("dept") == OID(3, 7, 1)
+    with pytest.raises(FieldError):
+        obj.ref("age")
+    with pytest.raises(FieldError):
+        obj.get("missing")
+
+
+def test_instance_copy_is_independent(reg):
+    obj = make_emp(reg)
+    clone = obj.copy()
+    clone.set("age", 99)
+    clone.link_entries.append(LinkEntry(OID(1, 1, 1), 1))
+    assert obj.get("age") == 33
+    assert obj.link_entries == []
+
+
+def test_link_entry_helpers(reg):
+    obj = make_emp(reg)
+    obj.add_link_entry(LinkEntry(OID(1, 0, 0), 2))
+    obj.add_link_entry(LinkEntry(OID(1, 0, 1), 2))  # replaces same link id
+    assert obj.link_entry_for(2) == LinkEntry(OID(1, 0, 1), 2)
+    assert obj.link_entry_for(9) is None
+    obj.remove_link_entry(2)
+    assert obj.link_entries == []
+
+
+def test_replica_entry_helpers(reg):
+    obj = make_emp(reg)
+    obj.set_replica_entry(ReplicaEntry(OID(4, 0, 0), 1, 5))
+    obj.set_replica_entry(ReplicaEntry(OID(4, 0, 0), 2, 5))  # replace
+    assert obj.replica_entry_for(5).refcount == 2
+    assert obj.replica_entry_for(1) is None
+    obj.remove_replica_entry(5)
+    assert obj.replica_entries == []
+
+
+# ---------------------------------------------------------------------------
+# object store
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def store(reg):
+    sm = StorageManager()
+    return ObjectStore(sm, reg)
+
+
+def test_store_insert_read(store, reg):
+    heap = store.storage.create_file("Emp1")
+    oid = store.insert(heap, make_emp(reg))
+    back = store.read(oid)
+    assert back.values["name"] == "alice"
+    assert oid.file_id == heap.file_id
+
+
+def test_store_update_delete(store, reg):
+    heap = store.storage.create_file("Emp1")
+    oid = store.insert(heap, make_emp(reg))
+    obj = store.read(oid)
+    obj.set("age", 50)
+    store.update(oid, obj)
+    assert store.read(oid).values["age"] == 50
+    store.delete(oid)
+    assert not store.exists(oid)
+    with pytest.raises(DanglingReferenceError):
+        store.read(oid)
+    with pytest.raises(DanglingReferenceError):
+        store.update(oid, make_emp(reg))
+    with pytest.raises(DanglingReferenceError):
+        store.delete(oid)
+
+
+def test_store_scan_in_physical_order(store, reg):
+    heap = store.storage.create_file("Emp1")
+    oids = [store.insert(heap, make_emp(reg, age=i)) for i in range(30)]
+    scanned = list(store.scan(heap))
+    assert [oid for oid, __ in scanned] == oids
+    assert [o.values["age"] for __, o in scanned] == list(range(30))
+
+
+def test_store_follow_and_traverse(store, reg):
+    reg.register(TypeDefinition("DEPT", [char_field("name", 10), ref_field("org", "ORG")]))
+    reg.register(TypeDefinition("ORG", [char_field("name", 10)]))
+    emp_heap = store.storage.create_file("Emp1")
+    dept_heap = store.storage.create_file("Dept")
+    org_heap = store.storage.create_file("Org")
+    org = store.insert(org_heap, StoredObject(reg.get("ORG"), {"name": "acme"}))
+    dept = store.insert(
+        dept_heap, StoredObject(reg.get("DEPT"), {"name": "toys", "org": org})
+    )
+    emp = store.insert(emp_heap, make_emp(reg, dept=dept))
+    e = store.read(emp)
+    d = store.follow(e, "dept")
+    assert d.values["name"] == "toys"
+    o = store.traverse(e, ["dept", "org"])
+    assert o.values["name"] == "acme"
+    e_null = store.read(store.insert(emp_heap, make_emp(reg, dept=None)))
+    assert store.follow(e_null, "dept") is None
+    assert store.traverse(e_null, ["dept", "org"]) is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    name=st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=20
+    ),
+    age=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    rating=st.floats(allow_nan=False, allow_infinity=False),
+    dept=st.one_of(
+        st.none(),
+        st.builds(
+            OID,
+            st.integers(0, 0xFFFE),
+            st.integers(0, 0xFFFFFFFE),
+            st.integers(0, 0xFFFE),
+        ),
+    ),
+)
+def test_property_encode_decode_roundtrip(name, age, rating, dept):
+    """Any well-typed value combination survives a serialisation roundtrip."""
+    reg = TypeRegistry()
+    reg.register(
+        TypeDefinition(
+            "EMP",
+            [
+                char_field("name", 20),
+                int_field("age"),
+                float_field("rating"),
+                ref_field("dept", "DEPT"),
+            ],
+        )
+    )
+    obj = StoredObject(reg.get("EMP"), {"name": name, "age": age, "rating": rating, "dept": dept})
+    back = decode_object(reg, encode_object(reg, obj))
+    assert back.values["name"] == name
+    assert back.values["age"] == age
+    assert back.values["rating"] == pytest.approx(rating, nan_ok=False)
+    assert back.values["dept"] == dept

@@ -1,0 +1,144 @@
+"""Unit tests for the type system and type registry."""
+
+import pytest
+
+from repro.errors import DuplicateNameError, FieldError, TypeDefinitionError, UnknownTypeError
+from repro.objects.registry import TypeRegistry
+from repro.objects.types import (
+    FieldKind,
+    TypeDefinition,
+    char_field,
+    float_field,
+    int_field,
+    ref_field,
+)
+
+
+def emp_type():
+    return TypeDefinition(
+        "EMP",
+        [char_field("name", 20), int_field("age"), int_field("salary"), ref_field("dept", "DEPT")],
+    )
+
+
+def test_field_widths():
+    assert int_field("a").width == 4
+    assert float_field("b").width == 8
+    assert char_field("c", 17).width == 17
+    assert ref_field("d", "T").width == 8
+
+
+def test_char_field_needs_size():
+    with pytest.raises(TypeDefinitionError):
+        char_field("c", 0)
+
+
+def test_ref_field_needs_target():
+    with pytest.raises(TypeDefinitionError):
+        ref_field("r", "")
+
+
+def test_size_only_for_char():
+    from repro.objects.types import FieldDef
+
+    with pytest.raises(TypeDefinitionError):
+        FieldDef("x", FieldKind.INT, size=4)
+
+
+def test_invalid_field_name():
+    with pytest.raises(TypeDefinitionError):
+        int_field("not a name")
+
+
+def test_type_rejects_duplicate_fields():
+    with pytest.raises(TypeDefinitionError):
+        TypeDefinition("T", [int_field("x"), int_field("x")])
+
+
+def test_type_rejects_empty_fields():
+    with pytest.raises(TypeDefinitionError):
+        TypeDefinition("T", [])
+
+
+def test_type_rejects_invalid_name():
+    with pytest.raises(TypeDefinitionError):
+        TypeDefinition("9T", [int_field("x")])
+
+
+def test_field_lookup():
+    t = emp_type()
+    assert t.field_def("salary").kind is FieldKind.INT
+    assert t.has_field("dept")
+    assert not t.has_field("nope")
+    with pytest.raises(FieldError):
+        t.field_def("nope")
+
+
+def test_data_width_sums_fields():
+    t = emp_type()
+    assert t.data_width == 20 + 4 + 4 + 8
+
+
+def test_visible_hidden_and_ref_fields():
+    t = emp_type()
+    widened = t.subtype_with_hidden("EMP__r1", [char_field("__rep_dept_name", 20, hidden=True)])
+    assert [f.name for f in widened.hidden_fields()] == ["__rep_dept_name"]
+    assert [f.name for f in widened.visible_fields()] == ["name", "age", "salary", "dept"]
+    assert [f.name for f in widened.ref_fields()] == ["dept"]
+    assert widened.base == "EMP"
+    assert widened.data_width == t.data_width + 20
+
+
+def test_subtype_requires_hidden_fields():
+    t = emp_type()
+    with pytest.raises(TypeDefinitionError):
+        t.subtype_with_hidden("EMP2", [int_field("visible")])
+
+
+def test_without_field():
+    t = emp_type()
+    widened = t.subtype_with_hidden("EMP__r1", [int_field("__rep_b", hidden=True)])
+    narrowed = widened.without_field("__rep_b")
+    assert not narrowed.has_field("__rep_b")
+    with pytest.raises(FieldError):
+        widened.without_field("missing")
+
+
+def test_registry_roundtrip():
+    reg = TypeRegistry()
+    t = emp_type()
+    tag = reg.register(t)
+    assert reg.get("EMP") is t
+    assert reg.by_tag(tag) is t
+    assert reg.tag_of("EMP") == tag
+    assert reg.has("EMP")
+    assert reg.names() == ["EMP"]
+
+
+def test_registry_duplicate_raises():
+    reg = TypeRegistry()
+    reg.register(emp_type())
+    with pytest.raises(DuplicateNameError):
+        reg.register(emp_type())
+
+
+def test_registry_unknown_raises():
+    reg = TypeRegistry()
+    with pytest.raises(UnknownTypeError):
+        reg.get("NOPE")
+    with pytest.raises(UnknownTypeError):
+        reg.by_tag(42)
+    with pytest.raises(UnknownTypeError):
+        reg.tag_of("NOPE")
+
+
+def test_registry_replace_keeps_tag():
+    reg = TypeRegistry()
+    t = emp_type()
+    tag = reg.register(t)
+    widened = t.subtype_with_hidden("EMP__r1", [int_field("__rep_x", hidden=True)])
+    reg.replace("EMP", widened)
+    assert reg.by_tag(tag) is widened
+    assert reg.get("EMP") is widened
+    assert reg.get("EMP__r1") is widened
+    assert reg.tag_of("EMP__r1") == tag

@@ -1,0 +1,108 @@
+"""Direct unit tests for ObjectSet and miscellaneous pieces."""
+
+import pytest
+
+from repro.errors import FieldError
+
+
+def test_make_object_rejects_hidden_fields(company):
+    db = company["db"]
+    path = db.replicate("Emp1.dept.name")
+    emp1 = db.catalog.get_set("Emp1")
+    with pytest.raises(FieldError):
+        emp1.make_object({"name": "x", path.hidden_fields[0]: "nope"})
+
+
+def test_make_object_defaults(company):
+    emp1 = company["db"].catalog.get_set("Emp1")
+    obj = emp1.make_object({"name": "only-name"})
+    assert obj.values["age"] == 0
+    assert obj.values["dept"] is None
+
+
+def test_contains(company):
+    db = company["db"]
+    emp1 = db.catalog.get_set("Emp1")
+    dept = db.catalog.get_set("Dept")
+    alice = company["emps"]["alice"]
+    assert emp1.contains(alice)
+    assert not dept.contains(alice)  # wrong file
+    db.delete("Emp1", alice)
+    assert not emp1.contains(alice)
+
+
+def test_count_and_pages(company):
+    emp1 = company["db"].catalog.get_set("Emp1")
+    assert emp1.count() == 6
+    assert emp1.num_pages() >= 1
+
+
+def test_type_def_tracks_widening(company):
+    db = company["db"]
+    emp1 = db.catalog.get_set("Emp1")
+    before = emp1.type_def
+    db.replicate("Emp1.dept.name")
+    after = emp1.type_def
+    assert len(after.fields) == len(before.fields) + 1
+    assert after.base == "EMP"
+
+
+def test_scan_order_is_stable_after_widening(company):
+    db = company["db"]
+    before = [oid for oid, __ in db.catalog.get_set("Emp1").scan()]
+    db.replicate("Emp1.dept.name")  # widens and rewrites every record
+    after = [oid for oid, __ in db.catalog.get_set("Emp1").scan()]
+    assert before == after  # home rids never moved
+
+
+def test_cli_truncates_long_tables(company):
+    import io
+
+    from repro.cli import Shell
+
+    db = company["db"]
+    for i in range(80):
+        db.insert("Emp1", {"name": f"bulk{i}", "age": 1, "salary": 1, "dept": None})
+    out = io.StringIO()
+    shell = Shell(out=out)
+    shell.db = db
+    shell.run_block("retrieve (Emp1.name)")
+    text = out.getvalue()
+    assert "more rows" in text
+    assert "(86 row(s))" in text
+
+
+def test_four_level_path(db):
+    """A 4-level chain exercises the general n-level machinery."""
+    from repro import TypeDefinition, char_field, ref_field
+
+    chain_types = ["T0", "T1", "T2", "T3", "T4"]
+    db.define_type(TypeDefinition("T4", [char_field("name", 8)]))
+    for i in range(3, -1, -1):
+        db.define_type(
+            TypeDefinition(
+                chain_types[i],
+                [char_field("name", 8), ref_field("next", chain_types[i + 1])],
+            )
+        )
+    for i, t in enumerate(chain_types):
+        db.create_set(f"S{i}", t)
+    tail = db.insert("S4", {"name": "end"})
+    prev = tail
+    for i in range(3, 0, -1):
+        prev = db.insert(f"S{i}", {"name": f"n{i}", "next": prev})
+    sources = [db.insert("S0", {"name": f"src{j}", "next": prev}) for j in range(4)]
+    path = db.replicate("S0.next.next.next.next.name")
+    assert path.level == 4
+    assert len(path.link_sequence) == 4
+    assert db.get("S0", sources[0]).values[path.hidden_field_for("name")] == "end"
+    db.update("S4", tail, {"name": "END"})
+    assert db.get("S0", sources[3]).values[path.hidden_field_for("name")] == "END"
+    db.verify()
+    # rewire at depth 2
+    alt_tail = db.insert("S4", {"name": "alt"})
+    alt3 = db.insert("S3", {"name": "a3", "next": alt_tail})
+    s2 = [oid for oid, __ in db.catalog.get_set("S2").scan()][0]
+    db.update("S2", s2, {"next": alt3})
+    assert db.get("S0", sources[0]).values[path.hidden_field_for("name")] == "alt"
+    db.verify()

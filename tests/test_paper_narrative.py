@@ -1,0 +1,126 @@
+"""The paper, end to end: every numbered example, in order, on one system.
+
+This integration test walks the paper's own narrative -- Figure 1's
+schema, Section 3's replication statements, Figure 2/3's inverted paths,
+Figure 4/5's link IDs and sharing, Section 4.1.1/4.1.2's maintenance
+cases, and Section 5's separate replication -- asserting the behaviour
+each section describes.
+"""
+
+import pytest
+
+from repro import Database
+from repro.errors import IntegrityError
+from repro.schema.parser import run_script
+
+FIGURE1 = """
+define type ORG ( name: char[20], budget: int )
+
+define type DEPT ( name: char[20], budget: int, org: ref ORG )
+
+define type EMP ( name: char[20], age: int, salary: int, dept: ref DEPT )
+
+create Org:  {own ref ORG}
+create Dept: {own ref DEPT}
+create Emp1: {own ref EMP}
+create Emp2: {own ref EMP}
+"""
+
+
+def test_the_whole_paper():
+    db = Database()
+    run_script(db, FIGURE1)
+
+    # -- Section 2: the company ------------------------------------------
+    o1 = db.insert("Org", {"name": "org1", "budget": 10})
+    o2 = db.insert("Org", {"name": "org2", "budget": 20})
+    d1 = db.insert("Dept", {"name": "d1", "budget": 1, "org": o1})
+    d2 = db.insert("Dept", {"name": "d2", "budget": 2, "org": o1})
+    d3 = db.insert("Dept", {"name": "d3", "budget": 3, "org": o2})
+    e1 = db.insert("Emp1", {"name": "e1", "age": 30, "salary": 150_000, "dept": d1})
+    e2 = db.insert("Emp1", {"name": "e2", "age": 31, "salary": 90_000, "dept": d1})
+    e3 = db.insert("Emp1", {"name": "e3", "age": 32, "salary": 120_000, "dept": d2})
+    z1 = db.insert("Emp2", {"name": "z1", "age": 40, "salary": 50_000, "dept": d3})
+
+    # -- Section 3.1: replicate Emp1.dept.name, run the motivating query --
+    run_script(db, "replicate Emp1.dept.name")
+    res = db.execute(
+        "retrieve (Emp1.name, Emp1.salary, Emp1.dept.name) where Emp1.salary > 100000"
+    )
+    assert sorted(res.rows) == [("e1", 150_000, "d1"), ("e3", 120_000, "d2")]
+    assert "replicated" in res.plan and "join" not in res.plan
+
+    # -- Figure 2: only referenced departments have link objects ----------
+    path1 = db.catalog.get_path("Emp1.dept.name")
+    link1 = db.catalog.get_link(path1.link_sequence[0])
+    owners = sorted(lo.owner for __oid, lo in link1.file.scan())
+    assert owners == sorted([d1, d2])  # d3 is not referenced by Emp1
+    # updating d3 propagates nowhere, and costs no Emp1 I/O
+    db.update("Dept", d3, {"name": "d3x"})
+    db.verify()
+
+    # -- Section 4.1.1: insert / delete / update E.dept ------------------
+    e4 = db.insert("Emp1", {"name": "e4", "age": 33, "salary": 1, "dept": d3})
+    assert db.get("Dept", d3).link_entry_for(link1.link_id) is not None
+    db.update("Emp1", e4, {"dept": d1})     # update E.dept = delete + insert
+    assert db.get("Dept", d3).link_entry_for(link1.link_id) is None
+    db.delete("Emp1", e4)
+    db.verify()
+
+    # -- Section 3.3.2 + Figure 3: the 2-level path -----------------------
+    run_script(db, "replicate Emp1.dept.org.name")
+    path2 = db.catalog.get_path("Emp1.dept.org.name")
+    db.update("Org", o1, {"name": "org1x"})
+    assert db.get("Emp1", e1).values[path2.hidden_field_for("name")] == "org1x"
+    db.verify()
+
+    # -- Section 4.1.4 + Figure 5: the four-path configuration ------------
+    run_script(db, "replicate Emp1.dept.budget")
+    run_script(db, "replicate Emp2.dept.org")
+    p_budget = db.catalog.get_path("Emp1.dept.budget")
+    p_emp2 = db.catalog.get_path("Emp2.dept.org")
+    # the three Emp1 paths share link 1; Emp2's path cannot
+    assert p_budget.link_sequence[0] == path1.link_sequence[0]
+    assert path2.link_sequence[0] == path1.link_sequence[0]
+    assert p_emp2.link_sequence[0] != path1.link_sequence[0]
+    # d3 (referenced by Emp2 only) carries exactly one pair; d1 carries one
+    # per distinct link it owns
+    assert len(db.get("Dept", d3).link_entries) == 1
+    assert len(db.get("Dept", d1).link_entries) == 1
+    # D.org update: propagate through the shared structure (Figure 5's case)
+    db.update("Dept", d1, {"org": o2})
+    assert db.get("Emp1", e1).values[path2.hidden_field_for("name")] == "org2"
+    assert db.get("Emp2", z1).values[p_emp2.hidden_field_for("org")] == o2
+    db.verify()
+
+    # -- Section 4's referential-integrity side effect --------------------
+    with pytest.raises(IntegrityError):
+        db.delete("Dept", d1)  # e1, e2 still reference it
+
+    # -- Section 3.3.4: an index on the replicated 2-level path -----------
+    run_script(db, "build btree on Emp1.dept.org.name")
+    res = db.execute("retrieve (Emp1.name) where Emp1.dept.org.name = 'org2'")
+    assert "IndexScan" in res.plan
+    # d1 moved to org2; d2 (e3's department) still belongs to org1
+    assert sorted(r[0] for r in res.rows) == ["e1", "e2"]
+
+    # -- Section 5 + Figures 7/8: separate replication ---------------------
+    run_script(db, "replicate Emp1.dept.org.budget using separate")
+    p_sep = db.catalog.get_path("Emp1.dept.org.budget")
+    assert len(p_sep.link_sequence) == 1  # (n-1)-level inverted path
+    # shared replicas: one per referenced org (o1 via d2, o2 via d1),
+    # not one per employee
+    assert db.replication.replica_sets[p_sep.path_id].count() == 2
+    db.update("Org", o2, {"budget": 777})
+    ref = db.get("Emp1", e1).values[p_sep.hidden_ref]
+    assert db.replication.replica_sets[p_sep.path_id].read(ref).values["budget"] == 777
+    # Figure 8's D2.org change: e3 re-points to o2's replica, and o1's
+    # replica is garbage collected at refcount zero
+    db.update("Dept", d2, {"org": o2})
+    ref3 = db.get("Emp1", e3).values[p_sep.hidden_ref]
+    assert db.replication.replica_sets[p_sep.path_id].read(ref3).values["budget"] == 777
+    assert db.replication.replica_sets[p_sep.path_id].count() == 1
+    db.verify()
+
+    # -- Section 8's closing claim: everything still consistent -----------
+    db.verify()

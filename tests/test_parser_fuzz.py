@@ -1,0 +1,104 @@
+"""Parser robustness: fuzzing and describe round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+from repro.errors import ReproError
+from repro.objects.types import FieldKind, TypeDefinition
+from repro.query.language import parse_statement
+from repro.schema.parser import parse_type_definition, split_script
+
+
+# ---------------------------------------------------------------------------
+# fuzz: garbage in, ParseError (or another ReproError) out -- never a crash
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(max_size=120))
+def test_query_parser_never_crashes(text):
+    try:
+        parse_statement(text)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(max_size=200))
+def test_ddl_parser_never_crashes(text):
+    db = Database()
+    from repro.schema.parser import execute_ddl
+
+    try:
+        execute_ddl(db, text)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(max_size=300))
+def test_split_script_never_crashes(text):
+    statements = split_script(text)
+    assert all(isinstance(s, str) for s in statements)
+
+
+# ---------------------------------------------------------------------------
+# round-trip: a rendered type parses back to itself
+# ---------------------------------------------------------------------------
+
+_identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True)
+
+_field = st.one_of(
+    st.tuples(_identifiers, st.just("int"), st.just(0)),
+    st.tuples(_identifiers, st.just("float"), st.just(0)),
+    st.tuples(_identifiers, st.just("char"), st.integers(1, 64)),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    name=st.from_regex(r"[A-Z][A-Z0-9_]{0,8}", fullmatch=True),
+    fields=st.lists(_field, min_size=1, max_size=8, unique_by=lambda f: f[0]),
+)
+def test_type_definition_round_trip(name, fields):
+    parts = []
+    for fname, kind, size in fields:
+        rendered = f"char[{size}]" if kind == "char" else kind
+        parts.append(f"{fname}: {rendered}")
+    text = f"define type {name} ( {', '.join(parts)} )"
+    parsed = parse_type_definition(text)
+    assert parsed.name == name
+    assert len(parsed.fields) == len(fields)
+    for fdef, (fname, kind, size) in zip(parsed.fields, fields):
+        assert fdef.name == fname
+        assert fdef.kind == FieldKind(kind)
+        if kind == "char":
+            assert fdef.size == size
+
+
+def test_describe_type_parses_back(company):
+    from repro.schema.describe import describe_type
+
+    text = describe_type(company["db"], "EMP")
+    parsed = parse_type_definition(text)
+    original = company["db"].registry.get("EMP")
+    assert parsed.name == original.name
+    assert [f.name for f in parsed.fields] == [f.name for f in original.fields]
+    assert [f.kind for f in parsed.fields] == [f.kind for f in original.fields]
+
+
+# ---------------------------------------------------------------------------
+# inverse via a separate 2-level path's (shared) first link
+# ---------------------------------------------------------------------------
+
+
+def test_inverse_uses_separate_paths_link(company):
+    from repro.replication.inverse import referencers
+
+    db = company["db"]
+    db.replicate("Emp1.dept.org.name", strategy="separate")  # keeps Emp1.dept^-1
+    result = referencers(db, "Emp1", "dept", company["depts"]["toys"])
+    assert result.via_link
+    assert set(result.referencers) == {company["emps"]["alice"], company["emps"]["bob"]}

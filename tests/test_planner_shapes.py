@@ -1,0 +1,151 @@
+"""Planner-shape tests: which access paths and fetch steps get picked."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.query.language import parse_statement
+from repro.query.planner import plan_delete, plan_replace, plan_retrieve
+from repro.query.runner import explain_text
+
+
+def plan_of(db, text):
+    return plan_retrieve(db, parse_statement(text))
+
+
+def test_no_where_is_filescan(company):
+    plan = plan_of(company["db"], "retrieve (Emp1.name)")
+    assert plan.access.explain() == "FileScan(Emp1)"
+    assert plan.where is None
+
+
+def test_unindexed_filter_is_residual_filescan(company):
+    plan = plan_of(company["db"], "retrieve (Emp1.name) where Emp1.salary > 1")
+    assert "FileScan" in plan.access.explain()
+    assert plan.where is not None
+
+
+def test_equality_beats_range_on_same_index(company):
+    db = company["db"]
+    db.build_index("Emp1.salary")
+    plan = plan_of(db, "retrieve (Emp1.name) where Emp1.salary = 5 and Emp1.salary >= 1")
+    assert "= 5" in plan.access.explain()
+
+
+def test_two_bounds_combine_into_one_range_scan(company):
+    db = company["db"]
+    db.build_index("Emp1.salary")
+    plan = plan_of(
+        db, "retrieve (Emp1.name) where Emp1.salary >= 10 and Emp1.salary < 20"
+    )
+    text = plan.access.explain()
+    assert ">= 10" in text and "< 20" in text
+
+
+def test_tightest_bounds_win(company):
+    db = company["db"]
+    db.build_index("Emp1.salary")
+    plan = plan_of(
+        db,
+        "retrieve (Emp1.name) where Emp1.salary >= 10 and Emp1.salary > 15 "
+        "and Emp1.salary <= 99 and Emp1.salary <= 50",
+    )
+    text = plan.access.explain()
+    assert "> 15" in text and "<= 50" in text
+
+
+def test_inequality_never_uses_index(company):
+    db = company["db"]
+    db.build_index("Emp1.salary")
+    plan = plan_of(db, "retrieve (Emp1.name) where Emp1.salary != 5")
+    assert "FileScan" in plan.access.explain()
+
+
+def test_fetch_step_priority_inplace_over_join(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    plan = plan_of(db, "retrieve (Emp1.dept.name, Emp1.dept.budget)")
+    kinds = [type(step).__name__ for step in plan.steps]
+    assert kinds == ["HiddenField", "FunctionalJoin"]
+
+
+def test_fetch_step_separate(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.budget", strategy="separate")
+    plan = plan_of(db, "retrieve (Emp1.dept.budget)")
+    assert type(plan.steps[0]).__name__ == "ReplicaFetch"
+
+
+def test_three_level_jump_uses_longest_prefix(db):
+    """A 3-level target with a replicated 2-prefix reference jumps there."""
+    from repro import TypeDefinition, char_field, ref_field
+
+    db.define_type(TypeDefinition("REGION", [char_field("name", 8)]))
+    db.define_type(TypeDefinition("ORGX", [char_field("name", 8), ref_field("region", "REGION")]))
+    db.define_type(TypeDefinition("DEPTX", [char_field("name", 8), ref_field("org", "ORGX")]))
+    db.define_type(TypeDefinition("EMPX", [char_field("name", 8), ref_field("dept", "DEPTX")]))
+    for s, t in [("RegionX", "REGION"), ("OrgX", "ORGX"), ("DeptX", "DEPTX"), ("EmpX", "EMPX")]:
+        db.create_set(s, t)
+    region = db.insert("RegionX", {"name": "west"})
+    org = db.insert("OrgX", {"name": "acme", "region": region})
+    dept = db.insert("DeptX", {"name": "toys", "org": org})
+    db.insert("EmpX", {"name": "ada", "dept": dept})
+    db.replicate("EmpX.dept.org")  # materialise the 2-level reference
+    plan = plan_of(db, "retrieve (EmpX.dept.org.region.name)")
+    step = plan.steps[0]
+    assert type(step).__name__ == "HiddenRefJump"
+    assert step.remaining_chain == ("region",)
+    res = db.execute("retrieve (EmpX.dept.org.region.name)")
+    assert res.rows == [("west",)]
+
+
+def test_lazy_paths_listed_for_refresh(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name", lazy=True)
+    plan = plan_of(db, "retrieve (Emp1.dept.name)")
+    assert plan.refresh_paths == ("Emp1.dept.name",)
+
+
+def test_hidden_target_rejected(company):
+    db = company["db"]
+    path = db.replicate("Emp1.dept.name")
+    with pytest.raises(PlanningError):
+        plan_of(db, f"retrieve (Emp1.{path.hidden_fields[0]})")
+
+
+def test_non_ref_chain_rejected(company):
+    with pytest.raises(PlanningError):
+        plan_of(company["db"], "retrieve (Emp1.salary.name)")
+
+
+def test_filter_on_wrong_set_rejected(company):
+    with pytest.raises(PlanningError):
+        plan_of(company["db"], "retrieve (Emp1.name) where Dept.budget = 1")
+
+
+def test_replace_plan(company):
+    db = company["db"]
+    db.build_index("Dept.budget")
+    plan = plan_replace(db, parse_statement("replace (Dept.name = 'x') where Dept.budget = 100"))
+    assert "IndexScan" in plan.access.explain()
+    assert plan.assignments == (("name", "x"),)
+    assert "update(name='x')" in plan.explain()
+
+
+def test_delete_plan(company):
+    plan = plan_delete(company["db"], parse_statement("delete from Emp1 where Emp1.age > 33"))
+    assert "delete" in plan.explain()
+
+
+def test_explain_text_helper(company):
+    db = company["db"]
+    assert "FileScan" in explain_text(db, "retrieve (Emp1.name)")
+    assert "update(" in explain_text(db, "replace (Dept.name = 'x')")
+    assert "delete" in explain_text(db, "delete from Emp1")
+
+
+def test_path_filter_uses_path_index_when_present(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    db.build_index("Emp1.dept.name")
+    plan = plan_of(db, "retrieve (Emp1.name) where Emp1.dept.name = 'toys'")
+    assert "IndexScan" in plan.access.explain()

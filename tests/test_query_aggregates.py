@@ -1,0 +1,78 @@
+"""Aggregate query tests."""
+
+import pytest
+
+from repro.errors import ParseError, PlanningError
+from repro.query.language import parse_statement
+
+
+def test_parse_aggregates():
+    stmt = parse_statement("retrieve (count(Emp1.name), avg(Emp1.salary))")
+    assert stmt.is_aggregate
+    assert stmt.aggregates == ("count", "avg")
+    assert stmt.targets[1].field == "salary"
+
+
+def test_parse_rejects_mixed():
+    with pytest.raises(ParseError):
+        parse_statement("retrieve (Emp1.name, count(Emp1.salary))")
+
+
+def test_count_and_sum(company):
+    db = company["db"]
+    res = db.execute("retrieve (count(Emp1.name), sum(Emp1.salary))")
+    assert res.columns == ("count(Emp1.name)", "sum(Emp1.salary)")
+    assert res.rows == [(6, 50_000 + 60_000 + 70_000 + 80_000 + 90_000 + 100_000)]
+
+
+def test_avg_min_max_with_filter(company):
+    db = company["db"]
+    res = db.execute(
+        "retrieve (avg(Emp1.salary), min(Emp1.salary), max(Emp1.salary)) "
+        "where Emp1.salary >= 80000"
+    )
+    assert res.rows == [(90_000.0, 80_000, 100_000)]
+
+
+def test_aggregate_over_replicated_path(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.budget")
+    res = db.execute("retrieve (sum(Emp1.dept.budget))")
+    # two employees per department: budgets count once per employee
+    assert res.rows == [(2 * (100 + 200 + 300),)]
+    assert "sum(replicated" in res.plan
+
+
+def test_aggregate_over_functional_join(company):
+    db = company["db"]
+    res = db.execute("retrieve (max(Emp1.dept.budget)) where Emp1.salary <= 60000")
+    assert res.rows == [(100,)]  # alice and bob, both in toys
+
+
+def test_count_skips_null_joins(company):
+    db = company["db"]
+    db.insert("Emp1", {"name": "nix", "age": 1, "salary": 1, "dept": None})
+    res = db.execute("retrieve (count(Emp1.dept.name), count(Emp1.name))")
+    assert res.rows == [(6, 7)]
+
+
+def test_empty_input(company):
+    db = company["db"]
+    res = db.execute(
+        "retrieve (count(Emp1.name), sum(Emp1.salary)) where Emp1.salary > 10**9"
+        .replace("10**9", "999999999")
+    )
+    assert res.rows == [(0, None)]
+
+
+def test_aggregate_over_all_rejected(company):
+    with pytest.raises(PlanningError):
+        company["db"].execute("retrieve (count(Emp1.all))")
+
+
+def test_aggregate_uses_index_access(company):
+    db = company["db"]
+    db.build_index("Emp1.salary")
+    res = db.execute("retrieve (count(Emp1.name)) where Emp1.salary >= 90000")
+    assert res.rows == [(2,)]
+    assert "IndexScan" in res.plan

@@ -1,0 +1,36 @@
+"""``retrieve (Set.all)`` projection expansion."""
+
+
+
+def test_set_all_expands_visible_fields(company):
+    db = company["db"]
+    res = db.execute("retrieve (Emp1.all) where Emp1.name = 'alice'")
+    assert res.columns == ("Emp1.name", "Emp1.age", "Emp1.salary", "Emp1.dept")
+    row = res.rows[0]
+    assert row[0] == "alice" and row[2] == 50_000
+    assert row[3] == company["depts"]["toys"]
+
+
+def test_path_all_expands_target_type(company):
+    db = company["db"]
+    res = db.execute("retrieve (Emp1.name, Emp1.dept.all) where Emp1.name = 'erin'")
+    assert res.columns == (
+        "Emp1.name", "Emp1.dept.name", "Emp1.dept.budget", "Emp1.dept.org",
+    )
+    assert res.rows == [("erin", "shoes", 300, company["orgs"]["globex"])]
+
+
+def test_path_all_served_by_full_object_replication(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.all")
+    res = db.execute("retrieve (Emp1.dept.all) where Emp1.name = 'alice'")
+    assert "replicated" in res.plan
+    assert "join" not in res.plan
+    assert res.rows == [("toys", 100, company["orgs"]["acme"])]
+
+
+def test_all_never_exposes_hidden_fields(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    res = db.execute("retrieve (Emp1.all) where Emp1.name = 'alice'")
+    assert all("__rep" not in col for col in res.columns)

@@ -1,0 +1,234 @@
+"""End-to-end query tests: planner choices + executor results + I/O."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.query.runner import explain_text
+
+
+def names(result):
+    return sorted(row[0] for row in result.rows)
+
+
+# ---------------------------------------------------------------------------
+# retrieval basics
+# ---------------------------------------------------------------------------
+
+
+def test_retrieve_all(company):
+    db = company["db"]
+    res = db.execute("retrieve (Emp1.name, Emp1.salary)")
+    assert len(res) == 6
+    assert res.columns == ("Emp1.name", "Emp1.salary")
+
+
+def test_retrieve_with_filter(company):
+    db = company["db"]
+    res = db.execute("retrieve (Emp1.name) where Emp1.salary > 70000")
+    assert names(res) == ["dave", "erin", "frank"]
+
+
+def test_retrieve_functional_join(company):
+    db = company["db"]
+    res = db.execute("retrieve (Emp1.name, Emp1.dept.name) where Emp1.name = 'alice'")
+    assert res.rows == [("alice", "toys")]
+    assert "join(dept.name)" in res.plan
+
+
+def test_retrieve_two_level_join(company):
+    db = company["db"]
+    res = db.execute("retrieve (Emp1.name, Emp1.dept.org.name) where Emp1.name = 'erin'")
+    assert res.rows == [("erin", "globex")]
+
+
+def test_retrieve_null_ref_join_gives_none(company):
+    db = company["db"]
+    db.insert("Emp1", {"name": "nix", "age": 1, "salary": 1, "dept": None})
+    res = db.execute("retrieve (Emp1.dept.name) where Emp1.name = 'nix'")
+    assert res.rows == [(None,)]
+
+
+def test_index_scan_used_when_available(company):
+    db = company["db"]
+    db.build_index("Emp1.salary")
+    plan = explain_text(db, "retrieve (Emp1.name) where Emp1.salary > 70000")
+    assert "IndexScan" in plan
+    res = db.execute("retrieve (Emp1.name) where Emp1.salary > 70000")
+    assert names(res) == ["dave", "erin", "frank"]
+
+
+def test_index_scan_ops(company):
+    db = company["db"]
+    db.build_index("Emp1.salary")
+    cases = [
+        ("= 50000", ["alice"]),
+        ("< 60000", ["alice"]),
+        ("<= 60000", ["alice", "bob"]),
+        (">= 90000", ["erin", "frank"]),
+        ("> 90000", ["frank"]),
+    ]
+    for cond, expected in cases:
+        res = db.execute(f"retrieve (Emp1.name) where Emp1.salary {cond}")
+        assert names(res) == expected, cond
+
+
+def test_filescan_filter_on_string(company):
+    db = company["db"]
+    res = db.execute("retrieve (Emp1.salary) where Emp1.name = 'carol'")
+    assert res.rows == [(70000,)]
+
+
+# ---------------------------------------------------------------------------
+# replication-aware planning
+# ---------------------------------------------------------------------------
+
+
+def test_inplace_replication_eliminates_join(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    plan = explain_text(db, "retrieve (Emp1.dept.name)")
+    assert "replicated(Emp1.dept.name" in plan
+    res = db.execute("retrieve (Emp1.name, Emp1.dept.name) where Emp1.name = 'alice'")
+    assert res.rows == [("alice", "toys")]
+
+
+def test_inplace_read_costs_less_than_join(company):
+    db = company["db"]
+    # Spread departments over many pages so the join is not free.
+    import random
+
+    rng = random.Random(3)
+    depts = [
+        db.insert("Dept", {"name": f"d{i}", "budget": i, "org": None}) for i in range(400)
+    ]
+    for i in range(150):
+        db.insert(
+            "Emp1",
+            {"name": f"e{i}", "age": 1, "salary": 200_000, "dept": rng.choice(depts)},
+        )
+    query = "retrieve (Emp1.name, Emp1.dept.name) where Emp1.salary >= 200000"
+    db.cold_cache()
+    res_join = db.execute(query)
+    join_io = res_join.io.total_io
+    db.replicate("Emp1.dept.name")
+    db.cold_cache()
+    res_rep = db.execute(query)
+    assert res_rep.rows == res_join.rows
+    assert res_rep.io.total_io < join_io
+
+
+def test_separate_replication_joins_replica_set(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.org.name", strategy="separate")
+    plan = explain_text(db, "retrieve (Emp1.dept.org.name)")
+    assert "replica(Emp1.dept.org.name" in plan
+    res = db.execute("retrieve (Emp1.name, Emp1.dept.org.name) where Emp1.name = 'erin'")
+    assert res.rows == [("erin", "globex")]
+
+
+def test_collapsed_ref_replication_shortens_join(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.org")  # replicate the reference
+    plan = explain_text(db, "retrieve (Emp1.dept.org.name)")
+    assert "jump(Emp1.dept.org" in plan
+    res = db.execute("retrieve (Emp1.name, Emp1.dept.org.name) where Emp1.name = 'bob'")
+    assert res.rows == [("bob", "acme")]
+
+
+def test_full_object_path_serves_every_field(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.all")
+    for field, expected in [("name", "toys"), ("budget", 100)]:
+        res = db.execute(f"retrieve (Emp1.dept.{field}) where Emp1.name = 'alice'")
+        assert res.rows == [(expected,)]
+        assert "replicated" in res.plan
+
+
+def test_lazy_path_refreshes_before_read(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name", lazy=True)
+    db.update("Dept", company["depts"]["toys"], {"name": "games"})
+    res = db.execute("retrieve (Emp1.dept.name) where Emp1.name = 'alice'")
+    assert res.rows == [("games",)]  # refreshed on read
+    assert "refresh(" in res.plan
+
+
+def test_filter_on_replicated_path(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    res = db.execute("retrieve (Emp1.name) where Emp1.dept.name = 'toys'")
+    assert names(res) == ["alice", "bob"]
+
+
+def test_filter_on_unreplicated_path_rejected(company):
+    db = company["db"]
+    with pytest.raises(PlanningError):
+        db.execute("retrieve (Emp1.name) where Emp1.dept.name = 'toys'")
+
+
+def test_index_on_replicated_path_lookup(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.org.name")
+    db.build_index("Emp1.dept.org.name")
+    plan = explain_text(db, "retrieve (Emp1.name) where Emp1.dept.org.name = 'acme'")
+    assert "IndexScan" in plan
+    res = db.execute("retrieve (Emp1.name) where Emp1.dept.org.name = 'acme'")
+    assert names(res) == ["alice", "bob", "carol", "dave"]
+    # index follows propagation
+    db.update("Dept", company["depts"]["toys"], {"org": company["orgs"]["globex"]})
+    res = db.execute("retrieve (Emp1.name) where Emp1.dept.org.name = 'acme'")
+    assert names(res) == ["carol", "dave"]
+    db.verify()
+
+
+# ---------------------------------------------------------------------------
+# replace / delete statements
+# ---------------------------------------------------------------------------
+
+
+def test_replace_statement_propagates(company):
+    db = company["db"]
+    path = db.replicate("Emp1.dept.name")
+    res = db.execute("replace (Dept.name = 'games') where Dept.budget = 100")
+    assert len(res) == 1
+    obj = db.get("Emp1", company["emps"]["alice"])
+    assert obj.values[path.hidden_field_for("name")] == "games"
+    db.verify()
+
+
+def test_replace_via_index(company):
+    db = company["db"]
+    db.build_index("Dept.budget")
+    res = db.execute("replace (Dept.budget = 999) where Dept.budget <= 200")
+    assert len(res) == 2
+    assert "IndexScan" in res.plan
+
+
+def test_replace_rejects_hidden_field(company):
+    db = company["db"]
+    path = db.replicate("Emp1.dept.name")
+    with pytest.raises(PlanningError):
+        db.execute(f"replace (Emp1.{path.hidden_fields[0]} = 'x')")
+
+
+def test_delete_statement(company):
+    db = company["db"]
+    res = db.execute("delete from Emp1 where Emp1.salary >= 90000")
+    assert len(res) == 2
+    assert db.catalog.get_set("Emp1").count() == 4
+
+
+def test_query_io_is_reported(company):
+    db = company["db"]
+    db.cold_cache()
+    res = db.execute("retrieve (Emp1.name)")
+    assert res.io.physical_reads >= 1
+
+
+def test_materialize_false_skips_output_file(company):
+    db = company["db"]
+    db.cold_cache()
+    with_t = db.execute("retrieve (Emp1.name)").io.physical_writes
+    db.cold_cache()
+    without_t = db.execute("retrieve (Emp1.name)", materialize=False).io.physical_writes
+    assert without_t <= with_t

@@ -1,0 +1,98 @@
+"""``group by`` tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query.language import parse_statement
+
+
+def test_parse_group_by():
+    stmt = parse_statement(
+        "retrieve (Emp1.dept.name, count(Emp1.name)) group by Emp1.dept.name"
+    )
+    assert stmt.group_by[0].text == "Emp1.dept.name"
+    assert stmt.aggregates == (None, "count")
+
+
+def test_parse_rejects_plain_target_not_in_keys():
+    with pytest.raises(ParseError):
+        parse_statement(
+            "retrieve (Emp1.age, count(Emp1.name)) group by Emp1.dept.name"
+        )
+
+
+def test_parse_rejects_group_without_aggregate():
+    with pytest.raises(ParseError):
+        parse_statement("retrieve (Emp1.age) group by Emp1.age")
+
+
+def test_parse_rejects_order_with_group():
+    with pytest.raises(ParseError):
+        parse_statement(
+            "retrieve (Emp1.age, count(Emp1.name)) group by Emp1.age "
+            "order by Emp1.age"
+        )
+
+
+def test_group_by_department(company):
+    db = company["db"]
+    res = db.execute(
+        "retrieve (Emp1.dept.name, count(Emp1.name), sum(Emp1.salary)) "
+        "group by Emp1.dept.name"
+    )
+    assert res.columns == (
+        "Emp1.dept.name", "count(Emp1.name)", "sum(Emp1.salary)",
+    )
+    assert res.rows == [
+        ("shoes", 2, 90_000 + 100_000),
+        ("tools", 2, 70_000 + 80_000),
+        ("toys", 2, 50_000 + 60_000),
+    ]
+    assert "group(" in res.plan
+
+
+def test_group_by_with_filter_and_limit(company):
+    db = company["db"]
+    res = db.execute(
+        "retrieve (Emp1.dept.name, max(Emp1.salary)) "
+        "where Emp1.salary >= 60000 group by Emp1.dept.name limit 2"
+    )
+    assert res.rows == [("shoes", 100_000), ("tools", 80_000)]
+
+
+def test_group_by_replicated_key_uses_hidden_field(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    res = db.execute(
+        "retrieve (Emp1.dept.name, avg(Emp1.age)) group by Emp1.dept.name"
+    )
+    assert "group(replicated" in res.plan
+    assert [r[0] for r in res.rows] == ["shoes", "tools", "toys"]
+
+
+def test_group_by_two_keys(company):
+    db = company["db"]
+    res = db.execute(
+        "retrieve (Emp1.dept.name, Emp1.dept.org.name, count(Emp1.name)) "
+        "group by Emp1.dept.name, Emp1.dept.org.name"
+    )
+    assert ("toys", "acme", 2) in res.rows
+    assert len(res.rows) == 3
+
+
+def test_group_by_null_key_groups_together(company):
+    db = company["db"]
+    for i in range(2):
+        db.insert("Emp1", {"name": f"nix{i}", "age": 1, "salary": 1, "dept": None})
+    res = db.execute(
+        "retrieve (Emp1.dept.name, count(Emp1.name)) group by Emp1.dept.name"
+    )
+    assert (None, 2) in res.rows
+
+
+def test_aggregates_only_with_group_key_absent_from_output(company):
+    db = company["db"]
+    res = db.execute(
+        "retrieve (count(Emp1.name)) group by Emp1.dept.name"
+    )
+    assert sorted(res.rows) == [(2,), (2,), (2,)]

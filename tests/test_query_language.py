@@ -1,0 +1,115 @@
+"""Parser tests for the query language."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query.language import (
+    Comparison,
+    Delete,
+    FieldRef,
+    Replace,
+    Retrieve,
+    parse_statement,
+)
+
+
+def test_parse_paper_read_query():
+    stmt = parse_statement(
+        "retrieve (Emp1.name, Emp1.salary, Emp1.dept.name) where Emp1.salary > 100000"
+    )
+    assert isinstance(stmt, Retrieve)
+    assert stmt.targets == (
+        FieldRef("Emp1", (), "name"),
+        FieldRef("Emp1", (), "salary"),
+        FieldRef("Emp1", ("dept",), "name"),
+    )
+    assert stmt.where.clauses == (Comparison(FieldRef("Emp1", (), "salary"), ">", 100000),)
+
+
+def test_parse_retrieve_without_where():
+    stmt = parse_statement("retrieve (Emp1.name)")
+    assert stmt.where is None
+
+
+def test_parse_two_level_target():
+    stmt = parse_statement("retrieve (Emp1.dept.org.name)")
+    assert stmt.targets[0] == FieldRef("Emp1", ("dept", "org"), "name")
+
+
+def test_parse_string_literal_and_ops():
+    for op in ("<", "<=", "=", "!=", ">=", ">"):
+        stmt = parse_statement(f"retrieve (S.a) where S.b {op} 'x y'")
+        clause = stmt.where.clauses[0]
+        assert clause.op == op
+        assert clause.value == "x y"
+
+
+def test_parse_float_literal():
+    stmt = parse_statement("retrieve (S.a) where S.b >= 1.5")
+    assert stmt.where.clauses[0].value == 1.5
+
+
+def test_parse_conjunction():
+    stmt = parse_statement("retrieve (S.a) where S.b > 1 and S.c < 2")
+    assert len(stmt.where.clauses) == 2
+
+
+def test_parse_replace():
+    stmt = parse_statement(
+        'replace (S.name = "newname", S.budget = 42) where S.budget = 7'
+    )
+    assert isinstance(stmt, Replace)
+    assert stmt.set_name == "S"
+    assert stmt.assignments == (("name", "newname"), ("budget", 42))
+    assert stmt.where.clauses[0].value == 7
+
+
+def test_parse_delete():
+    stmt = parse_statement("delete from Emp1 where Emp1.age >= 65")
+    assert isinstance(stmt, Delete)
+    assert stmt.set_name == "Emp1"
+
+
+def test_parse_delete_without_where():
+    stmt = parse_statement("delete from Emp1")
+    assert stmt.where is None
+
+
+def test_trailing_semicolon_ok():
+    parse_statement("retrieve (S.a);")
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "select * from t",
+        "retrieve Emp1.name",
+        "retrieve ()",
+        "retrieve (Emp1.name, Emp2.name)",
+        "retrieve (Emp1.name) where Emp1.salary >",
+        "retrieve (Emp1.name) where Emp1.salary ~ 3",
+        "retrieve (Emp1.name) where Emp1.salary = unquoted",
+        "replace (S.a = 1, T.b = 2)",
+        "replace (S.dept.name = 'x')",
+        "replace (S.a) where S.b = 1",
+        "delete Emp1",
+        "delete from 9bad",
+        "retrieve (Emp1.name extra",
+        "retrieve (Emp1.9name)",
+    ],
+)
+def test_parse_errors(bad):
+    with pytest.raises(ParseError):
+        parse_statement(bad)
+
+
+def test_comparison_matches():
+    c = Comparison(FieldRef("S", (), "x"), "<=", 5)
+    assert c.matches(5) and c.matches(4) and not c.matches(6)
+    c2 = Comparison(FieldRef("S", (), "x"), "!=", "a")
+    assert c2.matches("b") and not c2.matches("a")
+
+
+def test_statement_text_rendering():
+    stmt = parse_statement("retrieve (S.a) where S.b > 1 and S.c = 'z'")
+    assert stmt.where.text == "S.b > 1 and S.c = \"z\""

@@ -1,0 +1,115 @@
+"""Oracle equivalence: replication must never change query answers.
+
+Two databases are loaded with identical data from the same seed; one gets
+replication paths (and indexes), the other stays plain.  Every query must
+return identical rows on both, before and after a random mutation burst.
+This is the strongest possible correctness statement about field
+replication: it is *transparent* -- purely a performance mechanism.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+
+from tests.conftest import define_employee_schema
+
+QUERIES = [
+    "retrieve (Emp1.name, Emp1.salary)",
+    "retrieve (Emp1.name, Emp1.dept.name) where Emp1.salary >= 3000",
+    "retrieve (Emp1.dept.budget) where Emp1.salary < 2000",
+    "retrieve (Emp1.name, Emp1.dept.org.name) where Emp1.age = 30",
+    "retrieve (Emp1.dept.org.budget, Emp1.dept.name)",
+]
+
+PATH_SETS = [
+    [("Emp1.dept.name", {}), ("Emp1.dept.budget", {})],
+    [("Emp1.dept.name", {"strategy": "separate"}),
+     ("Emp1.dept.org.name", {"strategy": "separate"})],
+    [("Emp1.dept.org.name", {}), ("Emp1.dept.org", {})],
+    [("Emp1.dept.all", {}), ("Emp1.dept.org.name", {"collapsed": True})],
+    [("Emp1.dept.name", {"lazy": True})],
+]
+
+
+def build_pair(seed: int, paths, inline=False):
+    dbs = []
+    for replicated in (False, True):
+        rng = random.Random(seed)
+        db = Database(inline_singleton_links=inline and replicated)
+        define_employee_schema(db)
+        orgs = [db.insert("Org", {"name": f"org{i}", "budget": i * 7}) for i in range(4)]
+        depts = [
+            db.insert("Dept", {"name": f"dept{i}", "budget": i * 11, "org": orgs[rng.randrange(4)]})
+            for i in range(12)
+        ]
+        for i in range(60):
+            db.insert(
+                "Emp1",
+                {
+                    "name": f"e{i:03d}",
+                    "age": 25 + rng.randrange(10),
+                    "salary": rng.randrange(5000),
+                    "dept": depts[rng.randrange(12)],
+                },
+            )
+        if replicated:
+            for text, kwargs in paths:
+                db.replicate(text, **kwargs)
+            db.build_index("Emp1.salary")
+        dbs.append((db, orgs, depts))
+    return dbs
+
+
+def mutate(db, orgs, depts, rng, steps=10):
+    emp_oids = [oid for oid, __ in db.catalog.get_set("Emp1").scan()]
+    for __ in range(steps):
+        op = rng.randrange(5)
+        if op == 0:
+            db.update("Dept", depts[rng.randrange(len(depts))],
+                      {"name": f"renamed{rng.randrange(100)}"})
+        elif op == 1:
+            db.update("Dept", depts[rng.randrange(len(depts))],
+                      {"org": orgs[rng.randrange(len(orgs))]})
+        elif op == 2:
+            db.update("Org", orgs[rng.randrange(len(orgs))],
+                      {"budget": rng.randrange(10_000)})
+        elif op == 3:
+            db.update("Emp1", emp_oids[rng.randrange(len(emp_oids))],
+                      {"dept": depts[rng.randrange(len(depts))]})
+        else:
+            emp_oids.append(
+                db.insert("Emp1", {"name": f"new{rng.randrange(10_000)}",
+                                   "age": 30, "salary": rng.randrange(5000),
+                                   "dept": depts[rng.randrange(len(depts))]})
+            )
+
+
+@pytest.mark.parametrize("paths", PATH_SETS, ids=lambda p: "+".join(t for t, __ in p))
+def test_replication_is_transparent(paths):
+    (plain, p_orgs, p_depts), (replicated, r_orgs, r_depts) = build_pair(11, paths)
+    for query in QUERIES:
+        assert sorted(plain.execute(query).rows) == sorted(replicated.execute(query).rows), query
+    # identical mutation bursts on both
+    mutate(plain, p_orgs, p_depts, random.Random(99))
+    mutate(replicated, r_orgs, r_depts, random.Random(99))
+    replicated.verify()
+    for query in QUERIES:
+        assert sorted(plain.execute(query).rows) == sorted(replicated.execute(query).rows), query
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10**6), mseed=st.integers(0, 10**6))
+def test_property_transparency_under_random_seeds(seed, mseed):
+    paths = [("Emp1.dept.name", {}), ("Emp1.dept.org.name", {"strategy": "separate"})]
+    (plain, p_orgs, p_depts), (replicated, r_orgs, r_depts) = build_pair(
+        seed, paths, inline=True
+    )
+    mutate(plain, p_orgs, p_depts, random.Random(mseed))
+    mutate(replicated, r_orgs, r_depts, random.Random(mseed))
+    replicated.verify()
+    for query in QUERIES:
+        assert sorted(plain.execute(query).rows) == sorted(replicated.execute(query).rows)

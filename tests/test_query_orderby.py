@@ -1,0 +1,81 @@
+"""``order by`` / ``limit`` tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query.language import parse_statement
+
+
+def test_parse_order_by_and_limit():
+    stmt = parse_statement(
+        "retrieve (Emp1.name) where Emp1.age > 1 order by Emp1.salary desc limit 3"
+    )
+    assert stmt.order_by.field == "salary"
+    assert stmt.descending
+    assert stmt.limit == 3
+    assert stmt.where is not None
+
+
+def test_parse_order_by_defaults_ascending():
+    stmt = parse_statement("retrieve (Emp1.name) order by Emp1.salary")
+    assert not stmt.descending
+    assert stmt.limit is None
+
+
+def test_parse_rejects_order_with_aggregates():
+    with pytest.raises(ParseError):
+        parse_statement("retrieve (count(Emp1.name)) order by Emp1.salary")
+
+
+def test_parse_rejects_foreign_order_field():
+    with pytest.raises(ParseError):
+        parse_statement("retrieve (Emp1.name) order by Dept.budget")
+
+
+def test_order_by_ascending(company):
+    res = company["db"].execute("retrieve (Emp1.name) order by Emp1.salary")
+    assert [r[0] for r in res.rows] == ["alice", "bob", "carol", "dave", "erin", "frank"]
+
+
+def test_order_by_descending_with_limit(company):
+    res = company["db"].execute(
+        "retrieve (Emp1.name) order by Emp1.salary desc limit 2"
+    )
+    assert [r[0] for r in res.rows] == ["frank", "erin"]
+    assert "sort(" in res.plan and "limit(2)" in res.plan
+
+
+def test_limit_without_order(company):
+    res = company["db"].execute("retrieve (Emp1.name) limit 4")
+    assert len(res) == 4
+
+
+def test_order_by_string_field(company):
+    res = company["db"].execute("retrieve (Emp1.salary) order by Emp1.name desc limit 1")
+    # 'frank' sorts last alphabetically, so desc limit 1 yields his salary
+    assert res.rows == [(100_000,)]
+
+
+def test_order_by_replicated_path(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    res = db.execute("retrieve (Emp1.name) order by Emp1.dept.name limit 2")
+    assert sorted(r[0] for r in res.rows) == ["erin", "frank"]  # dept 'shoes' first
+    assert "sort(replicated" in res.plan
+
+
+def test_order_by_functional_join_path(company):
+    db = company["db"]
+    res = db.execute(
+        "retrieve (Emp1.name, Emp1.dept.budget) order by Emp1.dept.budget desc limit 2"
+    )
+    assert [r[1] for r in res.rows] == [300, 300]
+
+
+def test_order_by_with_nulls_last(company):
+    db = company["db"]
+    db.insert("Emp1", {"name": "nix", "age": 1, "salary": 0, "dept": None})
+    res = db.execute("retrieve (Emp1.name) order by Emp1.dept.budget")
+    assert res.rows[-1] == ("nix",)
+    res = db.execute("retrieve (Emp1.name) order by Emp1.dept.budget desc")
+    assert res.rows[-1] == ("nix",)

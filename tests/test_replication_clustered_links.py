@@ -1,0 +1,125 @@
+"""Co-located link objects (Section 4.3.2).
+
+A multi-level in-place path registered with ``cluster_links=True`` keeps
+all its link objects in one file, so a propagation that must read both
+L_D and L_O finds them on (mostly) the same pages.  Co-located links are
+private -- the paper notes clustering goals conflict with sharing.
+"""
+
+import pytest
+
+from repro.errors import ReplicationError
+
+
+@pytest.fixture()
+def clustered_path(company):
+    db = company["db"]
+    path = db.replicate("Emp1.dept.org.name", cluster_links=True)
+    return db, path, company
+
+
+def test_cluster_links_requires_multilevel_inplace(company):
+    db = company["db"]
+    with pytest.raises(ReplicationError):
+        db.replicate("Emp1.dept.name", cluster_links=True)
+    with pytest.raises(ReplicationError):
+        db.replicate("Emp1.dept.org.name", strategy="separate", cluster_links=True)
+    with pytest.raises(ReplicationError):
+        db.replicate("Emp1.dept.org.name", collapsed=True, cluster_links=True)
+
+
+def test_links_share_one_file(clustered_path):
+    db, path, __ = clustered_path
+    links = [db.catalog.get_link(lid) for lid in path.link_sequence]
+    assert len(links) == 2
+    assert links[0].file.heap.file_id == links[1].file.heap.file_id
+    assert links[1].parent_link_id == links[0].link_id
+    assert all(l.private for l in links)
+    db.verify()
+
+
+def test_colocated_links_are_not_shared(clustered_path):
+    db, path, __ = clustered_path
+    other = db.replicate("Emp1.dept.name")  # same prefix, ordinary path
+    assert other.link_sequence[0] not in path.link_sequence
+    db.verify()
+
+
+def test_propagation_and_surgery_still_work(clustered_path):
+    db, path, company = clustered_path
+    db.update("Org", company["orgs"]["acme"], {"name": "acme2"})
+    obj = db.get("Emp1", company["emps"]["alice"])
+    assert obj.values[path.hidden_field_for("name")] == "acme2"
+    db.update("Dept", company["depts"]["toys"], {"org": company["orgs"]["globex"]})
+    obj = db.get("Emp1", company["emps"]["alice"])
+    assert obj.values[path.hidden_field_for("name")] == "globex"
+    db.verify()
+
+
+def test_colocated_propagation_reads_one_link_file(clustered_path):
+    db, path, company = clustered_path
+    link_file = db.catalog.get_link(path.link_sequence[0]).file.heap.file_id
+    db.cold_cache()
+    cost = db.measure(
+        lambda: (db.update("Org", company["orgs"]["acme"], {"name": "x"}),
+                 db.storage.pool.flush_all())
+    )
+    # both levels of link objects came from a single (small) file
+    assert cost.reads_for(link_file) >= 1
+    assert cost.reads_for(link_file) <= 2
+
+
+def test_colocated_vs_plain_link_io():
+    """At scale, co-location reads fewer link pages per propagation."""
+    import random
+
+    from repro import Database, TypeDefinition, char_field, int_field, ref_field
+
+    def build(cluster):
+        rng = random.Random(3)
+        db = Database(buffer_frames=4096)
+        db.define_type(TypeDefinition("ORG", [char_field("name", 12)]))
+        db.define_type(TypeDefinition("DEPT", [char_field("name", 12), ref_field("org", "ORG")]))
+        db.define_type(TypeDefinition("EMP", [char_field("name", 12), ref_field("dept", "DEPT")]))
+        db.create_set("Org", "ORG")
+        db.create_set("Dept", "DEPT")
+        db.create_set("Emp1", "EMP")
+        orgs = [db.insert("Org", {"name": f"o{i}"}) for i in range(40)]
+        depts = [db.insert("Dept", {"name": f"d{i}", "org": orgs[i % 40]}) for i in range(400)]
+        for i in range(1200):
+            db.insert("Emp1", {"name": f"e{i}", "dept": rng.choice(depts)})
+        path = db.replicate("Emp1.dept.org.name", cluster_links=cluster)
+        files = {db.catalog.get_link(l).file.heap.file_id for l in path.link_sequence}
+        return db, orgs, files
+
+    io = {}
+    for cluster in (False, True):
+        db, orgs, files = build(cluster)
+        db.cold_cache()
+        cost = db.measure(
+            lambda: (db.update("Org", orgs[7], {"name": "zz"}),
+                     db.storage.pool.flush_all())
+        )
+        io[cluster] = sum(cost.reads_for(f) for f in files)
+        db.verify()
+    assert io[True] <= io[False]
+
+
+def test_drop_colocated_path_drops_single_file_once(clustered_path):
+    db, path, company = clustered_path
+    file_id = db.catalog.get_link(path.link_sequence[0]).file.heap.file_id
+    db.drop_replication("Emp1.dept.org.name")
+    assert not db.storage.disk.file_exists(file_id)
+    db.verify()
+    dept = db.get("Dept", company["depts"]["toys"])
+    assert dept.link_entries == []
+
+
+def test_parser_colocate_keyword(company):
+    from repro.schema.parser import execute_ddl
+
+    db = company["db"]
+    execute_ddl(db, "replicate Emp1.dept.org.name colocate")
+    path = db.catalog.get_path("Emp1.dept.org.name")
+    assert db.catalog.get_link(path.link_sequence[0]).private
+    db.verify()

@@ -1,0 +1,112 @@
+"""Collapsed inverted paths (Section 4.3.3)."""
+
+import pytest
+
+from repro.errors import ReplicationError
+
+
+def hidden(db, oid, path):
+    return db.get("Emp1", oid).values[path.hidden_fields[0]]
+
+
+@pytest.fixture()
+def collapsed(company):
+    db = company["db"]
+    path = db.replicate("Emp1.dept.org.name", collapsed=True)
+    return db, path, company
+
+
+def test_collapsed_requires_two_level_inplace(company):
+    db = company["db"]
+    with pytest.raises(ReplicationError):
+        db.replicate("Emp1.dept.name", collapsed=True)
+    with pytest.raises(ReplicationError):
+        db.replicate("Emp1.dept.org.name", strategy="separate", collapsed=True)
+
+
+def test_collapsed_values_filled(collapsed):
+    db, path, company = collapsed
+    assert hidden(db, company["emps"]["alice"], path) == "acme"
+    assert hidden(db, company["emps"]["erin"], path) == "globex"
+    db.verify()
+
+
+def test_collapsed_single_link_with_tagged_entries(collapsed):
+    db, path, company = collapsed
+    assert len(path.link_sequence) == 1
+    link = db.catalog.get_link(path.link_sequence[0])
+    assert link.collapsed
+    org = db.get("Org", company["orgs"]["acme"])
+    entry = org.link_entry_for(path.link_sequence[0])
+    members = link.file.members(entry.link_oid)
+    # four acme employees, tagged by their departments
+    assert len(members) == 4
+    tags = {tag for __m, tag in members}
+    assert tags == {company["depts"]["toys"], company["depts"]["tools"]}
+
+
+def test_collapsed_terminal_update_propagates(collapsed):
+    db, path, company = collapsed
+    db.update("Org", company["orgs"]["acme"], {"name": "acme2"})
+    for ename in ("alice", "bob", "carol", "dave"):
+        assert hidden(db, company["emps"][ename], path) == "acme2"
+    assert hidden(db, company["emps"]["erin"], path) == "globex"
+    db.verify()
+
+
+def test_collapsed_intermediate_ref_update_moves_tagged_entries(collapsed):
+    """The paper's D.org change: tagged OIDs move between link objects."""
+    db, path, company = collapsed
+    db.update("Dept", company["depts"]["toys"], {"org": company["orgs"]["globex"]})
+    assert hidden(db, company["emps"]["alice"], path) == "globex"
+    assert hidden(db, company["emps"]["carol"], path) == "acme"  # tools stayed
+    db.verify()
+    # move tools too: acme's link object must now disappear
+    db.update("Dept", company["depts"]["tools"], {"org": company["orgs"]["globex"]})
+    db.verify()
+    org = db.get("Org", company["orgs"]["acme"])
+    assert org.link_entries == []
+
+
+def test_collapsed_source_ref_update(collapsed):
+    db, path, company = collapsed
+    db.update("Emp1", company["emps"]["alice"], {"dept": company["depts"]["shoes"]})
+    assert hidden(db, company["emps"]["alice"], path) == "globex"
+    db.verify()
+
+
+def test_collapsed_insert_and_delete(collapsed):
+    db, path, company = collapsed
+    oid = db.insert(
+        "Emp1", {"name": "gina", "age": 9, "salary": 9, "dept": company["depts"]["shoes"]}
+    )
+    assert hidden(db, oid, path) == "globex"
+    db.verify()
+    db.delete("Emp1", oid)
+    db.verify()
+
+
+def test_collapsed_null_intermediate_ref_rejected(collapsed):
+    db, path, company = collapsed
+    with pytest.raises(ReplicationError):
+        db.update("Dept", company["depts"]["toys"], {"org": None})
+
+
+def test_collapsed_no_index_allowed(collapsed):
+    db, path, company = collapsed
+    with pytest.raises(ReplicationError):
+        db.build_index("Emp1.dept.org.name")
+
+
+def test_collapsed_propagation_uses_fewer_link_reads(company):
+    """The optimization's point: terminal update reads ONE link object."""
+    db = company["db"]
+    uncollapsed = db.replicate("Emp1.dept.org.budget")  # ordinary 2-level
+    collapsed = db.replicate("Emp1.dept.org.name", collapsed=True)
+    ca = db.catalog.get_link(collapsed.link_sequence[0])
+    ua = [db.catalog.get_link(l) for l in uncollapsed.link_sequence]
+    # collapsed link file: one object per org; uncollapsed: dept + org files
+    assert sum(1 for __ in ca.file.scan()) == 2
+    assert sum(1 for __ in ua[0].file.scan()) == 3  # one per dept
+    assert sum(1 for __ in ua[1].file.scan()) == 2  # one per org
+    db.verify()

@@ -1,0 +1,178 @@
+"""Engine-level singleton-link inlining (Section 4.3.1).
+
+With ``inline_singleton_links=True`` a link object that would hold exactly
+one OID is never materialised: the referencer's OID is stored directly in
+the owner's (link-OID, link-ID) pair.  Membership growth upgrades to a
+real link object; shrinking back to one referencer downgrades again.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+from repro.errors import IntegrityError
+
+from tests.conftest import define_employee_schema
+
+
+@pytest.fixture()
+def idb():
+    db = Database(inline_singleton_links=True)
+    define_employee_schema(db)
+    return db
+
+
+def seed(db, n_depts=3, emps_per_dept=(1, 2, 1)):
+    org = db.insert("Org", {"name": "acme", "budget": 1})
+    depts = [
+        db.insert("Dept", {"name": f"d{i}", "budget": i, "org": org})
+        for i in range(n_depts)
+    ]
+    emps = []
+    for i, dept in enumerate(depts):
+        for j in range(emps_per_dept[i]):
+            emps.append(
+                db.insert("Emp1", {"name": f"e{i}{j}", "age": 1, "salary": 1, "dept": dept})
+            )
+    return org, depts, emps
+
+
+def test_singleton_entries_are_inlined(idb):
+    org, depts, emps = seed(idb)
+    path = idb.replicate("Emp1.dept.name")
+    link = idb.catalog.get_link(path.link_sequence[0])
+    d0 = idb.get("Dept", depts[0])  # one referencer -> inline
+    entry = d0.link_entry_for(link.link_id)
+    assert entry.inline
+    assert entry.link_oid == emps[0]
+    d1 = idb.get("Dept", depts[1])  # two referencers -> a real link object
+    assert not d1.link_entry_for(link.link_id).inline
+    # no link object was materialised for the singletons
+    owners = [lo.owner for __oid, lo in link.file.scan()]
+    assert owners == [depts[1]]
+    idb.verify()
+
+
+def test_inline_upgrade_on_second_referencer(idb):
+    org, depts, emps = seed(idb)
+    path = idb.replicate("Emp1.dept.name")
+    link = idb.catalog.get_link(path.link_sequence[0])
+    idb.insert("Emp1", {"name": "new", "age": 1, "salary": 1, "dept": depts[0]})
+    entry = idb.get("Dept", depts[0]).link_entry_for(link.link_id)
+    assert not entry.inline
+    assert len(link.file.members(entry.link_oid)) == 2
+    idb.verify()
+
+
+def test_inline_downgrade_on_shrink(idb):
+    org, depts, emps = seed(idb)
+    path = idb.replicate("Emp1.dept.name")
+    link = idb.catalog.get_link(path.link_sequence[0])
+    # d1 has two referencers; remove one
+    victims = [e for e in emps if idb.get("Emp1", e).values["dept"] == depts[1]]
+    idb.delete("Emp1", victims[0])
+    entry = idb.get("Dept", depts[1]).link_entry_for(link.link_id)
+    assert entry.inline
+    idb.verify()
+
+
+def test_inline_propagation_still_works(idb):
+    org, depts, emps = seed(idb)
+    path = idb.replicate("Emp1.dept.name")
+    idb.update("Dept", depts[0], {"name": "renamed"})
+    obj = idb.get("Emp1", emps[0])
+    assert obj.values[path.hidden_field_for("name")] == "renamed"
+    idb.verify()
+
+
+def test_inline_two_level_path(idb):
+    org, depts, emps = seed(idb)
+    path = idb.replicate("Emp1.dept.org.name")
+    idb.update("Org", org, {"name": "acme2"})
+    for emp in emps:
+        assert idb.get("Emp1", emp).values[path.hidden_field_for("name")] == "acme2"
+    idb.verify()
+    # move a dept away; the inline org entry must follow along
+    org2 = idb.insert("Org", {"name": "globex", "budget": 2})
+    idb.update("Dept", depts[0], {"org": org2})
+    assert idb.get("Emp1", emps[0]).values[path.hidden_field_for("name")] == "globex"
+    idb.verify()
+
+
+def test_inline_ref_update_moves_membership(idb):
+    org, depts, emps = seed(idb)
+    idb.replicate("Emp1.dept.name")
+    idb.update("Emp1", emps[0], {"dept": depts[2]})
+    idb.verify()
+    # depts[0] lost its only referencer: entry gone entirely
+    assert idb.get("Dept", depts[0]).link_entries == []
+
+
+def test_inline_saves_update_io():
+    """At f = 1, propagation skips the whole L file -- the 4.3.1 claim."""
+    import random
+
+    from repro.workloads import WorkloadConfig, build_model_database
+    from repro.workloads.simulate import run_update_query
+
+    io = {}
+    link_objects = {}
+    for inline in (False, True):
+        cfg = WorkloadConfig(n_s=150, f=1, f_s=0.05, strategy="inplace",
+                             inline_links=inline)
+        mdb = build_model_database(cfg)
+        rng = random.Random(5)
+        io[inline] = sum(run_update_query(mdb, rng) for __ in range(3))
+        path = mdb.db.catalog.get_path("R.sref.repfield")
+        link = mdb.db.catalog.get_link(path.link_sequence[0])
+        link_objects[inline] = sum(1 for __ in link.file.scan())
+        mdb.db.verify()
+    assert link_objects[False] == 150  # one per referenced S object
+    assert link_objects[True] == 0     # all inlined
+    assert io[True] <= io[False]
+
+
+def test_inline_verify_detects_corruption(idb):
+    org, depts, emps = seed(idb)
+    path = idb.replicate("Emp1.dept.name")
+    # corrupt: point the inline entry at the wrong employee
+    from repro.objects.instance import INLINE_LINK_FLAG, LinkEntry
+
+    dept = idb.store.read(depts[0])
+    dept.add_link_entry(LinkEntry(emps[-1], path.link_sequence[0] | INLINE_LINK_FLAG))
+    idb.store.update(depts[0], dept)
+    with pytest.raises(IntegrityError):
+        idb.verify()
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["insert", "delete", "move", "rename"]),
+                  st.integers(0, 10**6), st.integers(0, 10**6)),
+        max_size=20,
+    )
+)
+def test_inline_random_dml_stays_consistent(ops):
+    db = Database(inline_singleton_links=True)
+    define_employee_schema(db)
+    org, depts, emps = seed(db, n_depts=4, emps_per_dept=(1, 1, 2, 3))
+    db.replicate("Emp1.dept.name")
+    db.replicate("Emp1.dept.org.name")
+    live = list(emps)
+    n = [0]
+    for op, a, b in ops:
+        if op == "insert":
+            n[0] += 1
+            live.append(
+                db.insert("Emp1", {"name": f"n{n[0]}", "age": 1, "salary": 1,
+                                   "dept": depts[a % 4]})
+            )
+        elif op == "delete" and live:
+            db.delete("Emp1", live.pop(a % len(live)))
+        elif op == "move" and live:
+            db.update("Emp1", live[a % len(live)], {"dept": depts[b % 4]})
+        elif op == "rename":
+            db.update("Dept", depts[a % 4], {"name": f"d{b % 100}"})
+    db.verify()

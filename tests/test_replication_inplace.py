@@ -1,0 +1,303 @@
+"""In-place replication (Section 4): hidden fields, inverted paths, links."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateReplicationPathError,
+    FieldError,
+    IntegrityError,
+)
+
+
+def hidden_value(db, set_name, oid, path_text, field):
+    path = db.catalog.get_path(path_text)
+    return db.get(set_name, oid).values[path.hidden_field_for(field)]
+
+
+# ---------------------------------------------------------------------------
+# 1-level paths
+# ---------------------------------------------------------------------------
+
+
+def test_replicate_fills_existing_objects(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    for ename, dname in [("alice", "toys"), ("carol", "tools"), ("erin", "shoes")]:
+        assert hidden_value(db, "Emp1", company["emps"][ename], "Emp1.dept.name", "name") == dname
+    db.verify()
+
+
+def test_replicate_fills_new_inserts(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    oid = db.insert(
+        "Emp1", {"name": "gina", "age": 40, "salary": 90_000, "dept": company["depts"]["toys"]}
+    )
+    assert hidden_value(db, "Emp1", oid, "Emp1.dept.name", "name") == "toys"
+    db.verify()
+
+
+def test_source_update_propagates_to_referencers(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    db.update("Dept", company["depts"]["toys"], {"name": "games"})
+    for ename in ("alice", "bob"):
+        assert hidden_value(db, "Emp1", company["emps"][ename], "Emp1.dept.name", "name") == "games"
+    # employees of other departments are untouched
+    assert hidden_value(db, "Emp1", company["emps"]["carol"], "Emp1.dept.name", "name") == "tools"
+    db.verify()
+
+
+def test_update_to_unreplicated_field_does_not_propagate(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    db.cold_cache()
+    cost = db.measure(
+        lambda: (db.update("Dept", company["depts"]["toys"], {"budget": 999}),
+                 db.storage.pool.flush_all())
+    )
+    # budget is not replicated: Emp1 is never touched, read or write
+    emp_file = db.catalog.get_set("Emp1").file_id
+    assert cost.io_for(emp_file) == 0
+    db.verify()
+
+
+def test_ref_update_moves_membership_and_value(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    db.update("Emp1", company["emps"]["alice"], {"dept": company["depts"]["shoes"]})
+    assert hidden_value(db, "Emp1", company["emps"]["alice"], "Emp1.dept.name", "name") == "shoes"
+    db.verify()
+    # now updating toys must no longer touch alice
+    db.update("Dept", company["depts"]["toys"], {"name": "games"})
+    assert hidden_value(db, "Emp1", company["emps"]["alice"], "Emp1.dept.name", "name") == "shoes"
+    assert hidden_value(db, "Emp1", company["emps"]["bob"], "Emp1.dept.name", "name") == "games"
+    db.verify()
+
+
+def test_ref_update_to_null_gives_default(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    db.update("Emp1", company["emps"]["alice"], {"dept": None})
+    assert hidden_value(db, "Emp1", company["emps"]["alice"], "Emp1.dept.name", "name") == ""
+    db.verify()
+
+
+def test_insert_with_null_ref(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    oid = db.insert("Emp1", {"name": "nix", "age": 1, "salary": 1, "dept": None})
+    assert hidden_value(db, "Emp1", oid, "Emp1.dept.name", "name") == ""
+    db.verify()
+
+
+def test_delete_emp_shrinks_link_object(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    db.delete("Emp1", company["emps"]["alice"])
+    db.verify()
+    db.delete("Emp1", company["emps"]["bob"])  # toys link object must now vanish
+    db.verify()
+    dept = db.get("Dept", company["depts"]["toys"])
+    assert dept.link_entries == []
+
+
+def test_delete_referenced_dept_refused(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    with pytest.raises(IntegrityError):
+        db.delete("Dept", company["depts"]["toys"])
+    # after removing its employees, the department can go
+    db.delete("Emp1", company["emps"]["alice"])
+    db.delete("Emp1", company["emps"]["bob"])
+    db.delete("Dept", company["depts"]["toys"])
+    db.verify()
+
+
+def test_duplicate_path_rejected(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    with pytest.raises(DuplicateReplicationPathError):
+        db.replicate("Emp1.dept.name")
+
+
+def test_hidden_fields_not_writable_or_insertable(company):
+    db = company["db"]
+    path = db.replicate("Emp1.dept.name")
+    hf = path.hidden_fields[0]
+    with pytest.raises(FieldError):
+        db.update("Emp1", company["emps"]["alice"], {hf: "sneaky"})
+    with pytest.raises(FieldError):
+        db.insert("Emp1", {"name": "x", "age": 1, "salary": 1, "dept": None, hf: "no"})
+
+
+def test_replication_is_per_instance_not_per_type(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    # Emp2 shares the declared type EMP but must stay unwidened.
+    emp2_type = db.catalog.get_set("Emp2").type_def
+    assert emp2_type.hidden_fields() == ()
+    oid = db.insert(
+        "Emp2", {"name": "zoe", "age": 2, "salary": 2, "dept": company["depts"]["toys"]}
+    )
+    assert "dept" in db.get("Emp2", oid).values
+    db.verify()
+
+
+# ---------------------------------------------------------------------------
+# 2-level paths
+# ---------------------------------------------------------------------------
+
+
+def test_two_level_replication_values(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.org.name")
+    assert hidden_value(db, "Emp1", company["emps"]["alice"], "Emp1.dept.org.name", "name") == "acme"
+    assert hidden_value(db, "Emp1", company["emps"]["erin"], "Emp1.dept.org.name", "name") == "globex"
+    db.verify()
+
+
+def test_two_level_terminal_update_ripples_two_links(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.org.name")
+    db.update("Org", company["orgs"]["acme"], {"name": "acme2"})
+    for ename in ("alice", "bob", "carol", "dave"):
+        assert (
+            hidden_value(db, "Emp1", company["emps"][ename], "Emp1.dept.org.name", "name")
+            == "acme2"
+        )
+    assert hidden_value(db, "Emp1", company["emps"]["erin"], "Emp1.dept.org.name", "name") == "globex"
+    db.verify()
+
+
+def test_two_level_intermediate_ref_update(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.org.name")
+    # move the whole toys department to globex
+    db.update("Dept", company["depts"]["toys"], {"org": company["orgs"]["globex"]})
+    for ename in ("alice", "bob"):
+        assert (
+            hidden_value(db, "Emp1", company["emps"][ename], "Emp1.dept.org.name", "name")
+            == "globex"
+        )
+    assert hidden_value(db, "Emp1", company["emps"]["carol"], "Emp1.dept.org.name", "name") == "acme"
+    db.verify()
+
+
+def test_two_level_source_ref_update(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.org.name")
+    db.update("Emp1", company["emps"]["alice"], {"dept": company["depts"]["shoes"]})
+    assert hidden_value(db, "Emp1", company["emps"]["alice"], "Emp1.dept.org.name", "name") == "globex"
+    db.verify()
+
+
+def test_two_level_delete_ripples(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.org.name")
+    # delete all acme employees: both dept links and the org link must empty
+    for ename in ("alice", "bob", "carol", "dave"):
+        db.delete("Emp1", company["emps"][ename])
+    db.verify()
+    org = db.get("Org", company["orgs"]["acme"])
+    assert org.link_entries == []
+    dept = db.get("Dept", company["depts"]["toys"])
+    assert dept.link_entries == []
+
+
+# ---------------------------------------------------------------------------
+# path collapsing via replication of a ref attribute (Section 3.3.3)
+# ---------------------------------------------------------------------------
+
+
+def test_replicating_ref_attribute_collapses_path(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.org")  # replicate the org *reference*
+    got = hidden_value(db, "Emp1", company["emps"]["alice"], "Emp1.dept.org", "org")
+    assert got == company["orgs"]["acme"]
+    db.verify()
+    # moving the department re-points every member's replicated reference
+    db.update("Dept", company["depts"]["toys"], {"org": company["orgs"]["globex"]})
+    got = hidden_value(db, "Emp1", company["emps"]["alice"], "Emp1.dept.org", "org")
+    assert got == company["orgs"]["globex"]
+    db.verify()
+
+
+# ---------------------------------------------------------------------------
+# full object replication (Section 3.3.1)
+# ---------------------------------------------------------------------------
+
+
+def test_full_object_replication(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.all")
+    path = db.catalog.get_path("Emp1.dept.all")
+    assert set(path.replicated_field_names) == {"name", "budget", "org"}
+    obj = db.get("Emp1", company["emps"]["alice"])
+    assert obj.values[path.hidden_field_for("name")] == "toys"
+    assert obj.values[path.hidden_field_for("budget")] == 100
+    assert obj.values[path.hidden_field_for("org")] == company["orgs"]["acme"]
+    db.verify()
+    db.update("Dept", company["depts"]["toys"], {"budget": 12345})
+    obj = db.get("Emp1", company["emps"]["alice"])
+    assert obj.values[path.hidden_field_for("budget")] == 12345
+    db.verify()
+
+
+# ---------------------------------------------------------------------------
+# verify() catches corruption
+# ---------------------------------------------------------------------------
+
+
+def test_verify_detects_stale_replica(company):
+    db = company["db"]
+    path = db.replicate("Emp1.dept.name")
+    # Corrupt a hidden field behind the manager's back.
+    oid = company["emps"]["alice"]
+    obj = db.store.read(oid)
+    obj.set(path.hidden_fields[0], "corrupted")
+    db.store.update(oid, obj)
+    with pytest.raises(IntegrityError):
+        db.verify()
+
+
+def test_verify_detects_broken_link(company):
+    db = company["db"]
+    path = db.replicate("Emp1.dept.name")
+    link = db.catalog.get_link(path.link_sequence[0])
+    dept = db.store.read(company["depts"]["toys"])
+    entry = dept.link_entry_for(link.link_id)
+    link.file.remove(entry.link_oid, company["emps"]["alice"])
+    with pytest.raises(IntegrityError):
+        db.verify()
+
+
+# ---------------------------------------------------------------------------
+# drop path
+# ---------------------------------------------------------------------------
+
+
+def test_drop_replication_narrows_type_and_cleans_links(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    db.drop_replication("Emp1.dept.name")
+    assert db.catalog.get_set("Emp1").type_def.hidden_fields() == ()
+    dept = db.get("Dept", company["depts"]["toys"])
+    assert dept.link_entries == []
+    # objects still readable, data intact
+    assert db.get("Emp1", company["emps"]["alice"]).values["name"] == "alice"
+    db.verify()  # no paths left; trivially consistent
+
+
+def test_drop_one_of_two_sharing_paths_keeps_shared_link(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    db.replicate("Emp1.dept.budget")
+    p1 = db.catalog.get_path("Emp1.dept.name")
+    p2 = db.catalog.get_path("Emp1.dept.budget")
+    assert p1.link_sequence == p2.link_sequence  # shared prefix -> shared link
+    db.drop_replication("Emp1.dept.name")
+    db.update("Dept", company["depts"]["toys"], {"budget": 777})
+    obj = db.get("Emp1", company["emps"]["alice"])
+    assert obj.values[p2.hidden_field_for("budget")] == 777
+    db.verify()

@@ -1,0 +1,90 @@
+"""Lazy (deferred) propagation -- the paper's future-work extension."""
+
+import pytest
+
+from repro.errors import ReplicationError
+
+
+def test_lazy_requires_inplace(company):
+    db = company["db"]
+    with pytest.raises(ReplicationError):
+        db.replicate("Emp1.dept.name", strategy="separate", lazy=True)
+
+
+def test_lazy_update_defers_propagation(company):
+    db = company["db"]
+    path = db.replicate("Emp1.dept.name", lazy=True)
+    db.update("Dept", company["depts"]["toys"], {"name": "games"})
+    # not yet propagated
+    stale = db.get("Emp1", company["emps"]["alice"]).values[path.hidden_fields[0]]
+    assert stale == "toys"
+    assert db.replication.lazy.pending_count(path) == 1
+    refreshed = db.refresh("Emp1.dept.name")
+    assert refreshed == 1
+    fresh = db.get("Emp1", company["emps"]["alice"]).values[path.hidden_fields[0]]
+    assert fresh == "games"
+    assert db.replication.lazy.pending_count(path) == 0
+    db.verify()
+
+
+def test_lazy_many_updates_one_refresh(company):
+    db = company["db"]
+    path = db.replicate("Emp1.dept.name", lazy=True)
+    for i in range(10):
+        db.update("Dept", company["depts"]["toys"], {"name": f"v{i}"})
+    assert db.replication.lazy.pending_count(path) == 1  # deduplicated
+    db.refresh()
+    assert db.get("Emp1", company["emps"]["bob"]).values[path.hidden_fields[0]] == "v9"
+    db.verify()
+
+
+def test_lazy_update_cost_beats_eager(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.budget")  # eager
+    lazy_path = db.replicate("Emp1.dept.name", lazy=True)
+    db.cold_cache()
+    eager_cost = db.measure(
+        lambda: db.update("Dept", company["depts"]["toys"], {"budget": 1})
+    )
+    db.cold_cache()
+    lazy_cost = db.measure(
+        lambda: db.update("Dept", company["depts"]["toys"], {"name": "z"})
+    )
+    assert lazy_cost.total_io <= eager_cost.total_io
+    db.refresh()
+    db.verify()
+    assert db.replication.lazy.pending_count(lazy_path) == 0
+
+
+def test_verify_refreshes_lazy_paths_first(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name", lazy=True)
+    db.update("Dept", company["depts"]["toys"], {"name": "games"})
+    db.verify()  # must not raise: verify refreshes first
+
+
+def test_lazy_no_index_allowed(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name", lazy=True)
+    with pytest.raises(ReplicationError):
+        db.build_index("Emp1.dept.name")
+
+
+def test_lazy_refresh_skips_deleted_owner(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name", lazy=True)
+    db.update("Dept", company["depts"]["toys"], {"name": "games"})
+    # remove the referencing employees, then the department itself
+    db.delete("Emp1", company["emps"]["alice"])
+    db.delete("Emp1", company["emps"]["bob"])
+    db.delete("Dept", company["depts"]["toys"])
+    assert db.refresh() == 0
+    db.verify()
+
+
+def test_drop_lazy_path_cleans_queue(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name", lazy=True)
+    db.update("Dept", company["depts"]["toys"], {"name": "games"})
+    db.drop_replication("Emp1.dept.name")
+    db.verify()

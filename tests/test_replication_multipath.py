@@ -1,0 +1,124 @@
+"""Multiple replication paths: link sharing and link IDs (Section 4.1.4)."""
+
+
+
+def test_paths_with_common_prefix_share_link(company):
+    db = company["db"]
+    p1 = db.replicate("Emp1.dept.budget")
+    p2 = db.replicate("Emp1.dept.name")
+    p3 = db.replicate("Emp1.dept.org.name")
+    # The paper's example: link sequences (1), (1), (1, 2).
+    assert p1.link_sequence == p2.link_sequence
+    assert p3.link_sequence[0] == p1.link_sequence[0]
+    assert len(p3.link_sequence) == 2
+    db.verify()
+
+
+def test_different_source_set_gets_new_link(company):
+    db = company["db"]
+    db.insert("Emp2", {"name": "zoe", "age": 2, "salary": 2, "dept": company["depts"]["toys"]})
+    p1 = db.replicate("Emp1.dept.budget")
+    p4 = db.replicate("Emp2.dept.org")
+    # Emp2.dept^-1 cannot be shared with Emp1 paths.
+    assert p4.link_sequence[0] != p1.link_sequence[0]
+    db.verify()
+
+
+def test_shared_link_stores_one_link_object_per_owner(company):
+    db = company["db"]
+    p1 = db.replicate("Emp1.dept.budget")
+    db.replicate("Emp1.dept.name")
+    link = db.catalog.get_link(p1.link_sequence[0])
+    owners = [lo.owner for __oid, lo in link.file.scan()]
+    assert sorted(owners) == sorted(company["depts"].values())
+    # D carries exactly one (link-OID, link-ID) pair despite two paths.
+    dept = db.get("Dept", company["depts"]["toys"])
+    assert len(dept.link_entries) == 1
+
+
+def test_update_propagates_all_sharing_paths(company):
+    db = company["db"]
+    p1 = db.replicate("Emp1.dept.budget")
+    p2 = db.replicate("Emp1.dept.name")
+    db.update("Dept", company["depts"]["toys"], {"name": "games", "budget": 777})
+    obj = db.get("Emp1", company["emps"]["alice"])
+    assert obj.values[p1.hidden_field_for("budget")] == 777
+    assert obj.values[p2.hidden_field_for("name")] == "games"
+    db.verify()
+
+
+def test_paper_figure5_configuration(company):
+    """The four paths of Figure 5, all live at once."""
+    db = company["db"]
+    db.insert("Emp2", {"name": "zoe", "age": 2, "salary": 2, "dept": company["depts"]["toys"]})
+    db.replicate("Emp1.dept.budget")
+    db.replicate("Emp1.dept.name")
+    db.replicate("Emp1.dept.org.name")
+    db.replicate("Emp2.dept.org", strategy="inplace")
+    # toys lies on Emp1 paths and the Emp2 path: two link entries.
+    dept = db.get("Dept", company["depts"]["toys"])
+    assert len(dept.link_entries) == 2
+    db.update("Dept", company["depts"]["toys"], {"org": company["orgs"]["globex"]})
+    db.verify()
+    db.update("Org", company["orgs"]["globex"], {"name": "globex2"})
+    db.verify()
+
+
+def test_ref_update_with_sharing_and_divergent_paths(company):
+    db = company["db"]
+    p_name = db.replicate("Emp1.dept.org.name")
+    p_budget = db.replicate("Emp1.dept.org.budget")
+    assert p_name.link_sequence == p_budget.link_sequence  # full sharing
+    db.update("Dept", company["depts"]["toys"], {"org": company["orgs"]["globex"]})
+    obj = db.get("Emp1", company["emps"]["alice"])
+    assert obj.values[p_name.hidden_field_for("name")] == "globex"
+    assert obj.values[p_budget.hidden_field_for("budget")] == 2_000_000
+    db.verify()
+
+
+def test_three_level_path(db):
+    """A 3-level chain: REGION <- ORG <- DEPT <- EMP."""
+    from repro import TypeDefinition, char_field, int_field, ref_field
+
+    db.define_type(TypeDefinition("REGION", [char_field("name", 16)]))
+    db.define_type(
+        TypeDefinition("ORG3", [char_field("name", 16), ref_field("region", "REGION")])
+    )
+    db.define_type(
+        TypeDefinition("DEPT3", [char_field("name", 16), ref_field("org", "ORG3")])
+    )
+    db.define_type(
+        TypeDefinition("EMP3", [char_field("name", 16), int_field("salary"), ref_field("dept", "DEPT3")])
+    )
+    for name, tname in [("Region", "REGION"), ("Org3", "ORG3"), ("Dept3", "DEPT3"), ("Emp3", "EMP3")]:
+        db.create_set(name, tname)
+    west = db.insert("Region", {"name": "west"})
+    east = db.insert("Region", {"name": "east"})
+    org = db.insert("Org3", {"name": "acme", "region": west})
+    dept = db.insert("Dept3", {"name": "toys", "org": org})
+    emps = [db.insert("Emp3", {"name": f"e{i}", "salary": i, "dept": dept}) for i in range(4)]
+    path = db.replicate("Emp3.dept.org.region.name")
+    assert len(path.link_sequence) == 3
+    obj = db.get("Emp3", emps[0])
+    assert obj.values[path.hidden_field_for("name")] == "west"
+    db.verify()
+    # terminal data update ripples three links
+    db.update("Region", west, {"name": "northwest"})
+    assert db.get("Emp3", emps[1]).values[path.hidden_field_for("name")] == "northwest"
+    db.verify()
+    # middle-of-chain ref update
+    db.update("Org3", org, {"region": east})
+    assert db.get("Emp3", emps[2]).values[path.hidden_field_for("name")] == "east"
+    db.verify()
+
+
+def test_inplace_and_separate_on_same_exact_path_fields(company):
+    db = company["db"]
+    p_in = db.replicate("Emp1.dept.budget", strategy="inplace")
+    p_sep = db.replicate("Emp1.dept.org.budget", strategy="separate")
+    db.update("Dept", company["depts"]["tools"], {"budget": 5, "org": company["orgs"]["globex"]})
+    obj = db.get("Emp1", company["emps"]["carol"])
+    assert obj.values[p_in.hidden_field_for("budget")] == 5
+    rep = db.replication.replica_sets[p_sep.path_id].read(obj.values[p_sep.hidden_ref])
+    assert rep.values["budget"] == 2_000_000
+    db.verify()

@@ -1,0 +1,136 @@
+"""Property-based stress test: random DML keeps every path consistent.
+
+The strongest invariant in the system is the one ``verify()`` checks:
+whatever sequence of inserts, deletes, data updates, and reference-
+attribute updates runs, every hidden replicated value, link object, link
+entry, replica object, and reference count must equal what a from-scratch
+recomputation of the forward paths yields.  Hypothesis drives random
+operation sequences against configurations covering both strategies,
+shared links, collapsed paths, and lazy propagation.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+from repro.errors import IntegrityError, ReplicationError
+
+from tests.conftest import define_employee_schema
+
+PATH_CONFIGS = [
+    [("Emp1.dept.name", {})],
+    [("Emp1.dept.name", {"strategy": "separate"})],
+    [("Emp1.dept.org.name", {})],
+    [("Emp1.dept.org.name", {"strategy": "separate"})],
+    [("Emp1.dept.org.name", {"collapsed": True})],
+    [("Emp1.dept.name", {"lazy": True})],
+    [
+        ("Emp1.dept.name", {}),
+        ("Emp1.dept.budget", {"strategy": "separate"}),
+        ("Emp1.dept.org.name", {}),
+    ],
+    [
+        ("Emp1.dept.org.budget", {"strategy": "separate"}),
+        ("Emp1.dept.org", {}),
+    ],
+]
+
+
+def seed_database(config):
+    db = Database()
+    define_employee_schema(db)
+    orgs = [db.insert("Org", {"name": f"org{i}", "budget": i * 100}) for i in range(3)]
+    depts = [
+        db.insert("Dept", {"name": f"dept{i}", "budget": i, "org": orgs[i % 3]})
+        for i in range(5)
+    ]
+    emps = [
+        db.insert("Emp1", {"name": f"emp{i}", "age": i, "salary": i, "dept": depts[i % 5]})
+        for i in range(8)
+    ]
+    for text, kwargs in config:
+        db.replicate(text, **kwargs)
+    return db, orgs, depts, emps
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(
+            [
+                "insert_emp",
+                "delete_emp",
+                "move_emp",
+                "rename_dept",
+                "rebudget_dept",
+                "move_dept",
+                "rename_org",
+                "rebudget_org",
+            ]
+        ),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=10**6),
+    ),
+    max_size=25,
+)
+
+
+@pytest.mark.parametrize("config", PATH_CONFIGS, ids=lambda c: "+".join(t for t, __ in c))
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=operations)
+def test_random_dml_keeps_paths_consistent(config, ops):
+    collapsed = any(kw.get("collapsed") for __t, kw in config)
+    db, orgs, depts, emps = seed_database(config)
+    live_emps = list(emps)
+    counter = [100]
+    for op, a, b in ops:
+        try:
+            if op == "insert_emp":
+                dept = depts[a % len(depts)]
+                oid = db.insert(
+                    "Emp1",
+                    {"name": f"n{counter[0]}", "age": 1, "salary": b % 10**6, "dept": dept},
+                )
+                counter[0] += 1
+                live_emps.append(oid)
+            elif op == "delete_emp" and live_emps:
+                db.delete("Emp1", live_emps.pop(a % len(live_emps)))
+            elif op == "move_emp" and live_emps:
+                emp = live_emps[a % len(live_emps)]
+                db.update("Emp1", emp, {"dept": depts[b % len(depts)]})
+            elif op == "rename_dept":
+                db.update("Dept", depts[a % len(depts)], {"name": f"d{b % 1000}"})
+            elif op == "rebudget_dept":
+                db.update("Dept", depts[a % len(depts)], {"budget": b % 10**6})
+            elif op == "move_dept":
+                db.update("Dept", depts[a % len(depts)], {"org": orgs[b % len(orgs)]})
+            elif op == "rename_org":
+                db.update("Org", orgs[a % len(orgs)], {"name": f"o{b % 1000}"})
+            elif op == "rebudget_org":
+                db.update("Org", orgs[a % len(orgs)], {"budget": b % 10**6})
+        except ReplicationError:
+            if not collapsed:
+                raise  # only collapsed paths may reject an operation
+    try:
+        db.verify()
+    except IntegrityError as exc:  # pragma: no cover - debugging aid
+        pytest.fail(f"consistency violated after {ops!r}: {exc}")
+
+
+def test_null_ref_churn_stays_consistent():
+    """Setting refs to null and back, repeatedly, on a non-collapsed path."""
+    db, orgs, depts, emps = seed_database([("Emp1.dept.org.name", {})])
+    for i, emp in enumerate(emps):
+        db.update("Emp1", emp, {"dept": None})
+        db.verify()
+        db.update("Emp1", emp, {"dept": depts[i % len(depts)]})
+        db.verify()
+    for dept in depts:
+        db.update("Dept", dept, {"org": None})
+        db.verify()
+        db.update("Dept", dept, {"org": orgs[0]})
+        db.verify()

@@ -1,0 +1,183 @@
+"""Separate replication (Section 5): shared replicas in S', refcounts."""
+
+import pytest
+
+from repro.errors import IntegrityError, ReplicationError
+
+
+def replica_of(db, set_name, oid, path_text):
+    """The replica object a source object's hidden ref points at."""
+    path = db.catalog.get_path(path_text)
+    ref = db.get(set_name, oid).values[path.hidden_ref]
+    if ref is None:
+        return None
+    return db.replication.replica_sets[path.path_id].read(ref)
+
+
+def test_one_level_replicas_shared_and_counted(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name", strategy="separate")
+    a = replica_of(db, "Emp1", company["emps"]["alice"], "Emp1.dept.name")
+    b = replica_of(db, "Emp1", company["emps"]["bob"], "Emp1.dept.name")
+    assert a.values["name"] == "toys" and b.values["name"] == "toys"
+    # alice and bob share one replica object
+    path = db.catalog.get_path("Emp1.dept.name")
+    ra = db.get("Emp1", company["emps"]["alice"]).values[path.hidden_ref]
+    rb = db.get("Emp1", company["emps"]["bob"]).values[path.hidden_ref]
+    assert ra == rb
+    dept = db.get("Dept", company["depts"]["toys"])
+    assert dept.replica_entry_for(path.path_id).refcount == 2
+    db.verify()
+
+
+def test_one_level_update_touches_single_replica(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name", strategy="separate")
+    db.update("Dept", company["depts"]["toys"], {"name": "games"})
+    assert replica_of(db, "Emp1", company["emps"]["alice"], "Emp1.dept.name").values["name"] == "games"
+    db.verify()
+
+
+def test_one_level_ref_update_moves_refcounts(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name", strategy="separate")
+    path = db.catalog.get_path("Emp1.dept.name")
+    db.update("Emp1", company["emps"]["alice"], {"dept": company["depts"]["shoes"]})
+    toys = db.get("Dept", company["depts"]["toys"])
+    shoes = db.get("Dept", company["depts"]["shoes"])
+    assert toys.replica_entry_for(path.path_id).refcount == 1  # bob only
+    assert shoes.replica_entry_for(path.path_id).refcount == 3
+    assert replica_of(db, "Emp1", company["emps"]["alice"], "Emp1.dept.name").values["name"] == "shoes"
+    db.verify()
+
+
+def test_replica_garbage_collected_at_zero(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name", strategy="separate")
+    path = db.catalog.get_path("Emp1.dept.name")
+    db.delete("Emp1", company["emps"]["alice"])
+    db.delete("Emp1", company["emps"]["bob"])
+    dept = db.get("Dept", company["depts"]["toys"])
+    assert dept.replica_entry_for(path.path_id) is None
+    assert db.replication.replica_sets[path.path_id].count() == 2  # tools, shoes
+    db.verify()
+
+
+def test_one_level_insert_with_null_ref(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name", strategy="separate")
+    path = db.catalog.get_path("Emp1.dept.name")
+    oid = db.insert("Emp1", {"name": "nix", "age": 1, "salary": 1, "dept": None})
+    assert db.get("Emp1", oid).values[path.hidden_ref] is None
+    db.verify()
+
+
+# ---------------------------------------------------------------------------
+# 2-level separate paths (the paper's Figure 8 scenario)
+# ---------------------------------------------------------------------------
+
+
+def test_two_level_separate_uses_one_link(company):
+    db = company["db"]
+    path = db.replicate("Emp1.dept.org.name", strategy="separate")
+    assert len(path.link_sequence) == 1  # an n-level path keeps n-1 links
+    assert replica_of(db, "Emp1", company["emps"]["alice"], "Emp1.dept.org.name").values["name"] == "acme"
+    db.verify()
+
+
+def test_two_level_separate_data_update_single_write(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.org.name", strategy="separate")
+    db.update("Org", company["orgs"]["acme"], {"name": "acme2"})
+    for ename in ("alice", "carol"):
+        assert (
+            replica_of(db, "Emp1", company["emps"][ename], "Emp1.dept.org.name").values["name"]
+            == "acme2"
+        )
+    db.verify()
+
+
+def test_two_level_separate_terminal_ref_update_repoints_sources(company):
+    """The paper's example: D2.org changes from O2 to O1, so E3 must
+    reference R1 rather than R2, found through the link Emp1.dept^-1."""
+    db = company["db"]
+    db.replicate("Emp1.dept.org.name", strategy="separate")
+    db.update("Dept", company["depts"]["shoes"], {"org": company["orgs"]["acme"]})
+    assert replica_of(db, "Emp1", company["emps"]["erin"], "Emp1.dept.org.name").values["name"] == "acme"
+    path = db.catalog.get_path("Emp1.dept.org.name")
+    globex = db.get("Org", company["orgs"]["globex"])
+    assert globex.replica_entry_for(path.path_id) is None  # GC'd
+    db.verify()
+
+
+def test_two_level_separate_source_ref_update(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.org.name", strategy="separate")
+    db.update("Emp1", company["emps"]["alice"], {"dept": company["depts"]["shoes"]})
+    assert replica_of(db, "Emp1", company["emps"]["alice"], "Emp1.dept.org.name").values["name"] == "globex"
+    db.verify()
+
+
+def test_two_level_separate_delete_ripples_refcounts(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.org.name", strategy="separate")
+    path = db.catalog.get_path("Emp1.dept.org.name")
+    for ename in ("alice", "bob", "carol", "dave"):
+        db.delete("Emp1", company["emps"][ename])
+    acme = db.get("Org", company["orgs"]["acme"])
+    assert acme.replica_entry_for(path.path_id) is None
+    db.verify()
+
+
+def test_replicas_not_shared_between_sets(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name", strategy="separate")
+    db.insert("Emp2", {"name": "zoe", "age": 2, "salary": 2, "dept": company["depts"]["toys"]})
+    db.replicate("Emp2.dept.name", strategy="separate")
+    p1 = db.catalog.get_path("Emp1.dept.name")
+    p2 = db.catalog.get_path("Emp2.dept.name")
+    assert p1.replica_set != p2.replica_set
+    dept = db.get("Dept", company["depts"]["toys"])
+    assert dept.replica_entry_for(p1.path_id).refcount == 2
+    assert dept.replica_entry_for(p2.path_id).refcount == 1
+    db.verify()
+
+
+def test_separate_deletion_of_referenced_terminal_refused(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name", strategy="separate")
+    with pytest.raises(IntegrityError):
+        db.delete("Dept", company["depts"]["toys"])
+
+
+def test_no_index_on_separate_path(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name", strategy="separate")
+    with pytest.raises(ReplicationError):
+        db.build_index("Emp1.dept.name")
+
+
+def test_drop_separate_path_cleans_up(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name", strategy="separate")
+    db.drop_replication("Emp1.dept.name")
+    assert db.catalog.get_set("Emp1").type_def.hidden_fields() == ()
+    dept = db.get("Dept", company["depts"]["toys"])
+    assert dept.replica_entries == []
+    db.verify()
+
+
+def test_mixed_strategies_share_links(company):
+    """Section 5.3: in-place and separate coexist and share links."""
+    db = company["db"]
+    p_in = db.replicate("Emp1.dept.name", strategy="inplace")
+    p_sep = db.replicate("Emp1.dept.org.name", strategy="separate")
+    # The separate path's single link is the in-place path's link.
+    assert p_sep.link_sequence == p_in.link_sequence
+    db.update("Dept", company["depts"]["toys"], {"name": "games"})
+    db.update("Org", company["orgs"]["acme"], {"name": "acme2"})
+    db.verify()
+    path = db.catalog.get_path("Emp1.dept.name")
+    obj = db.get("Emp1", company["emps"]["alice"])
+    assert obj.values[path.hidden_field_for("name")] == "games"
+    assert replica_of(db, "Emp1", company["emps"]["alice"], "Emp1.dept.org.name").values["name"] == "acme2"

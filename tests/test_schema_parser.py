@@ -1,0 +1,148 @@
+"""DDL parser tests: the paper's Figure 1 schema in source form."""
+
+import pytest
+
+from repro import Database
+from repro.errors import ParseError
+from repro.objects.types import FieldKind
+from repro.schema.parser import (
+    execute_ddl,
+    parse_type_definition,
+    run_script,
+    split_script,
+)
+
+FIGURE1 = """
+define type ORG (
+    name:   char[20],
+    budget: int
+)
+
+define type DEPT (
+    name:   char[20],
+    budget: int,
+    org:    ref ORG
+)
+
+define type EMP (
+    name:   char[20],
+    age:    int,
+    salary: int,
+    dept:   ref DEPT
+)
+
+create Org:  {own ref ORG}
+create Dept: {own ref DEPT}
+create Emp1: {own ref EMP}
+create Emp2: {own ref EMP}
+"""
+
+
+def test_parse_type_definition():
+    t = parse_type_definition(
+        "define type EMP ( name: char[20], age: int, score: float, dept: ref DEPT )"
+    )
+    assert t.name == "EMP"
+    assert [f.kind for f in t.fields] == [
+        FieldKind.CHAR,
+        FieldKind.INT,
+        FieldKind.FLOAT,
+        FieldKind.REF,
+    ]
+    assert t.field_def("name").size == 20
+    assert t.field_def("dept").ref_type == "DEPT"
+
+
+def test_split_script_handles_multiline_types():
+    statements = split_script(FIGURE1)
+    assert len(statements) == 7
+    assert statements[0].startswith("define type ORG")
+    assert statements[-1] == "create Emp2: {own ref EMP}"
+
+
+def test_split_script_strips_comments():
+    statements = split_script("create A: {own ref T} -- comment\n\n-- whole line\ncreate B: {own ref T}")
+    assert statements == ["create A: {own ref T}", "create B: {own ref T}"]
+
+
+def test_figure1_schema_builds():
+    db = Database()
+    run_script(db, FIGURE1)
+    assert db.catalog.set_names() == ["Dept", "Emp1", "Emp2", "Org"]
+    assert db.catalog.get_set("Emp1").type_def.field_def("dept").ref_type == "DEPT"
+
+
+def test_replicate_statements():
+    db = Database()
+    run_script(db, FIGURE1)
+    execute_ddl(db, "replicate Emp1.dept.name")
+    execute_ddl(db, "replicate Emp1.dept.budget using separate")
+    execute_ddl(db, "replicate Emp1.dept.org.name collapsed")
+    execute_ddl(db, "replicate Emp1.dept.org.budget lazy")
+    paths = db.catalog.paths
+    assert paths["Emp1.dept.name"].strategy.value == "inplace"
+    assert paths["Emp1.dept.budget"].strategy.value == "separate"
+    assert paths["Emp1.dept.org.name"].collapsed
+    assert paths["Emp1.dept.org.budget"].lazy
+
+
+def test_build_btree_statements():
+    db = Database()
+    run_script(db, FIGURE1)
+    execute_ddl(db, "replicate Emp1.dept.org.name")
+    execute_ddl(db, "build btree on Emp1.salary")
+    execute_ddl(db, "build clustered btree on Emp1.age")
+    execute_ddl(db, "build btree on Emp1.dept.org.name")
+    infos = db.catalog.indexes_on_set("Emp1")
+    assert len(infos) == 3
+    assert any(i.clustered for i in infos)
+    assert any(i.path_text == "Emp1.dept.org.name" for i in infos)
+
+
+def test_full_script_with_queries():
+    db = Database()
+    script = FIGURE1 + """
+replicate Emp1.dept.name
+
+retrieve (Emp1.name)
+"""
+    results = run_script(db, script)
+    assert len(results) == 1
+    assert results[0].rows == []
+
+
+def test_paper_section3_example_end_to_end():
+    """The paper's motivating query, verbatim."""
+    db = Database()
+    run_script(db, FIGURE1)
+    org = db.insert("Org", {"name": "acme", "budget": 1})
+    dept = db.insert("Dept", {"name": "research", "budget": 2, "org": org})
+    db.insert("Emp1", {"name": "big", "age": 50, "salary": 150_000, "dept": dept})
+    db.insert("Emp1", {"name": "small", "age": 25, "salary": 50_000, "dept": dept})
+    execute_ddl(db, "replicate Emp1.dept.name")
+    res = db.execute(
+        "retrieve (Emp1.name, Emp1.salary, Emp1.dept.name) where Emp1.salary > 100000"
+    )
+    assert res.rows == [("big", 150_000, "research")]
+    assert "replicated" in res.plan  # the functional join was eliminated
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "define type X ( )",
+        "define type X ( a: blob )",
+        "define type X ( a char[5] )",
+        "create X: {ref T}",
+        "replicate Emp1.dept.name using magic",
+        "build hash on Emp1.salary",
+        "drop everything",
+    ],
+)
+def test_ddl_parse_errors(bad):
+    db = Database()
+    with pytest.raises(ParseError):
+        if bad.startswith("drop"):
+            run_script(db, bad)
+        else:
+            execute_ddl(db, bad)

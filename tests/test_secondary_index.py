@@ -1,0 +1,115 @@
+"""Direct unit tests for secondary indexes (composite keys, ranges)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.secondary import SecondaryIndex
+from repro.objects.types import char_field, float_field, int_field
+from repro.storage.manager import StorageManager
+from repro.storage.oid import OID
+
+
+def make_index(field):
+    sm = StorageManager(buffer_frames=32)
+    fid = sm.disk.create_file()
+    return SecondaryIndex("t", sm.pool, fid, field, "S")
+
+
+def oid(i: int) -> OID:
+    return OID(1, i, 0)
+
+
+def test_lookup_with_duplicates():
+    idx = make_index(int_field("x"))
+    idx.insert(5, oid(1))
+    idx.insert(5, oid(2))
+    idx.insert(7, oid(3))
+    assert sorted(idx.lookup(5)) == [oid(1), oid(2)]
+    assert idx.lookup(7) == [oid(3)]
+    assert idx.lookup(6) == []
+
+
+def test_delete_specific_entry_of_duplicate_group():
+    idx = make_index(int_field("x"))
+    idx.insert(5, oid(1))
+    idx.insert(5, oid(2))
+    assert idx.delete(5, oid(1))
+    assert not idx.delete(5, oid(1))
+    assert idx.lookup(5) == [oid(2)]
+
+
+def test_update_moves_entry():
+    idx = make_index(int_field("x"))
+    idx.insert(5, oid(1))
+    idx.update(5, 9, oid(1))
+    assert idx.lookup(5) == []
+    assert idx.lookup(9) == [oid(1)]
+    idx.update(9, 9, oid(1))  # no-op
+    assert idx.count() == 1
+
+
+def test_range_bounds_inclusive_exclusive():
+    idx = make_index(int_field("x"))
+    for i in range(10):
+        idx.insert(i, oid(i))
+    assert [v for v, __ in idx.range(3, 6)] == [3, 4, 5, 6]
+    assert [v for v, __ in idx.range(3, 6, include_hi=False)] == [3, 4, 5]
+    assert [v for v, __ in idx.range(lo=8)] == [8, 9]
+    assert [v for v, __ in idx.range(hi=1)] == [0, 1]
+    assert [v for v, __ in idx.items()] == list(range(10))
+
+
+def test_range_with_duplicates_at_bounds():
+    idx = make_index(int_field("x"))
+    for i in range(3):
+        idx.insert(5, oid(i))
+        idx.insert(6, oid(10 + i))
+    got = [v for v, __ in idx.range(5, 6, include_hi=False)]
+    assert got == [5, 5, 5]
+
+
+def test_char_keys():
+    idx = make_index(char_field("name", 12))
+    for i, name in enumerate(["delta", "alpha", "charlie", "bravo"]):
+        idx.insert(name, oid(i))
+    assert [v for v, __ in idx.items()] == ["alpha", "bravo", "charlie", "delta"]
+    assert idx.lookup("charlie") == [oid(2)]
+
+
+def test_float_keys_with_negatives():
+    idx = make_index(float_field("score"))
+    values = [3.5, -2.25, 0.0, -10.0, 7.125]
+    for i, v in enumerate(values):
+        idx.insert(v, oid(i))
+    assert [v for v, __ in idx.items()] == sorted(values)
+    assert [v for v, __ in idx.range(-5.0, 1.0)] == [-2.25, 0.0]
+
+
+def test_height_property_grows():
+    idx = make_index(int_field("x"))
+    assert idx.height == 1
+    for i in range(3000):
+        idx.insert(i, oid(i % 1000))
+    assert idx.height >= 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(-1000, 1000), st.integers(0, 10**6)),
+        unique_by=lambda t: t[1],
+        max_size=150,
+    )
+)
+def test_property_index_matches_sorted_multimap(pairs):
+    idx = make_index(int_field("x"))
+    for value, i in pairs:
+        idx.insert(value, oid(i))
+    expected = sorted((value, oid(i)) for value, i in pairs)
+    assert list(idx.items()) == expected
+    # every key's lookup returns exactly its group
+    for value, __ in pairs[:10]:
+        assert sorted(idx.lookup(value)) == sorted(
+            o for v, o in expected if v == value
+        )

@@ -1,0 +1,87 @@
+"""Self-referential schemas: a set replicating a path into itself.
+
+``EMP.manager: ref EMP`` makes Emp1 both the source set and the home of
+the referenced objects -- link owners and members live in the same file,
+and an object can simultaneously be a source member (with hidden fields)
+and a link owner (with a (link-OID, link-ID) pair).
+"""
+
+import pytest
+
+from repro import Database, TypeDefinition, char_field, int_field, ref_field
+from repro.errors import IntegrityError
+
+
+@pytest.fixture()
+def mdb():
+    db = Database()
+    db.define_type(
+        TypeDefinition(
+            "EMP",
+            [char_field("name", 16), int_field("salary"), ref_field("manager", "EMP")],
+        )
+    )
+    db.create_set("Emp1", "EMP")
+    boss = db.insert("Emp1", {"name": "boss", "salary": 100, "manager": None})
+    mid = db.insert("Emp1", {"name": "mid", "salary": 50, "manager": boss})
+    workers = [
+        db.insert("Emp1", {"name": f"w{i}", "salary": 10, "manager": mid})
+        for i in range(3)
+    ]
+    return db, boss, mid, workers
+
+
+def test_one_level_self_path(mdb):
+    db, boss, mid, workers = mdb
+    path = db.replicate("Emp1.manager.name")
+    db.verify()
+    assert db.get("Emp1", workers[0]).values[path.hidden_field_for("name")] == "mid"
+    assert db.get("Emp1", mid).values[path.hidden_field_for("name")] == "boss"
+    assert db.get("Emp1", boss).values[path.hidden_field_for("name")] == ""
+
+
+def test_self_path_propagation(mdb):
+    db, boss, mid, workers = mdb
+    path = db.replicate("Emp1.manager.name")
+    db.update("Emp1", mid, {"name": "manager"})
+    for w in workers:
+        assert db.get("Emp1", w).values[path.hidden_field_for("name")] == "manager"
+    # mid's own replicated value (of boss) is untouched
+    assert db.get("Emp1", mid).values[path.hidden_field_for("name")] == "boss"
+    db.verify()
+
+
+def test_two_level_self_path(mdb):
+    db, boss, mid, workers = mdb
+    path = db.replicate("Emp1.manager.manager.name")
+    assert db.get("Emp1", workers[0]).values[path.hidden_field_for("name")] == "boss"
+    db.update("Emp1", boss, {"name": "ceo"})
+    assert db.get("Emp1", workers[1]).values[path.hidden_field_for("name")] == "ceo"
+    db.verify()
+
+
+def test_self_path_rewiring(mdb):
+    db, boss, mid, workers = mdb
+    path = db.replicate("Emp1.manager.name")
+    db.update("Emp1", workers[0], {"manager": boss})
+    assert db.get("Emp1", workers[0]).values[path.hidden_field_for("name")] == "boss"
+    db.verify()
+
+
+def test_self_path_delete_protection(mdb):
+    db, boss, mid, workers = mdb
+    db.replicate("Emp1.manager.name")
+    with pytest.raises(IntegrityError):
+        db.delete("Emp1", mid)  # still managed by workers
+    for w in workers:
+        db.delete("Emp1", w)
+    db.delete("Emp1", mid)  # fine now
+    db.verify()
+
+
+def test_self_path_query(mdb):
+    db, boss, mid, workers = mdb
+    db.replicate("Emp1.manager.name")
+    res = db.execute("retrieve (Emp1.name, Emp1.manager.name) where Emp1.salary = 10")
+    assert "replicated" in res.plan
+    assert sorted(res.rows) == [("w0", "mid"), ("w1", "mid"), ("w2", "mid")]

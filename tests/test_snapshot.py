@@ -1,0 +1,118 @@
+"""Snapshot (save / load) tests: a loaded image behaves identically."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.snapshot import SnapshotError, load_database, save_database
+
+from tests.conftest import define_employee_schema
+
+
+def populated(company):
+    db = company["db"]
+    db.replicate("Emp1.dept.name")
+    db.replicate("Emp1.dept.org.budget", strategy="separate")
+    db.build_index("Emp1.salary")
+    db.build_index("Emp1.dept.name")
+    return db
+
+
+def roundtrip(db, tmp_path):
+    target = tmp_path / "image.frdb"
+    save_database(db, str(target))
+    return load_database(str(target))
+
+
+def test_snapshot_preserves_data(company, tmp_path):
+    db = populated(company)
+    db2 = roundtrip(db, tmp_path)
+    assert db2.catalog.get_set("Emp1").count() == 6
+    res = db2.execute("retrieve (Emp1.name, Emp1.dept.name) where Emp1.salary > 70000")
+    assert sorted(res.rows) == sorted(
+        db.execute("retrieve (Emp1.name, Emp1.dept.name) where Emp1.salary > 70000").rows
+    )
+
+
+def test_snapshot_preserves_replication(company, tmp_path):
+    db = populated(company)
+    db2 = roundtrip(db, tmp_path)
+    db2.verify()
+    assert set(db2.catalog.paths) == {"Emp1.dept.name", "Emp1.dept.org.budget"}
+    # maintenance still works after load
+    db2.update("Dept", company["depts"]["toys"], {"name": "games"})
+    path = db2.catalog.get_path("Emp1.dept.name")
+    obj = db2.get("Emp1", company["emps"]["alice"])
+    assert obj.values[path.hidden_field_for("name")] == "games"
+    db2.verify()
+
+
+def test_snapshot_preserves_indexes(company, tmp_path):
+    db = populated(company)
+    db2 = roundtrip(db, tmp_path)
+    res = db2.execute("retrieve (Emp1.name) where Emp1.salary = 50000")
+    assert "IndexScan" in res.plan
+    assert res.rows == [("alice",)]
+    res2 = db2.execute("retrieve (Emp1.name) where Emp1.dept.name = 'toys'")
+    assert "IndexScan" in res2.plan
+    assert sorted(r[0] for r in res2.rows) == ["alice", "bob"]
+
+
+def test_snapshot_continues_ddl(company, tmp_path):
+    db = populated(company)
+    db2 = roundtrip(db, tmp_path)
+    # new ids must not collide with restored ones
+    path = db2.replicate("Emp1.dept.budget")
+    assert path.path_id not in {1, 2}
+    info = db2.build_index("Emp1.age")
+    assert info.name not in {"idx1_Emp1_salary"}
+    db2.insert("Emp1", {"name": "new", "age": 1, "salary": 1,
+                        "dept": company["depts"]["toys"]})
+    db2.verify()
+
+
+def test_snapshot_preserves_lazy_queue(company, tmp_path):
+    db = company["db"]
+    db.replicate("Emp1.dept.name", lazy=True)
+    db.update("Dept", company["depts"]["toys"], {"name": "queued"})
+    db2 = roundtrip(db, tmp_path)
+    path = db2.catalog.get_path("Emp1.dept.name")
+    assert db2.replication.lazy.pending_count(path) == 1
+    assert db2.refresh() == 1
+    obj = db2.get("Emp1", company["emps"]["alice"])
+    assert obj.values[path.hidden_field_for("name")] == "queued"
+    db2.verify()
+
+
+def test_snapshot_preserves_inline_links(tmp_path):
+    from repro import Database
+
+    db = Database(inline_singleton_links=True)
+    define_employee_schema(db)
+    org = db.insert("Org", {"name": "o", "budget": 1})
+    dept = db.insert("Dept", {"name": "d", "budget": 1, "org": org})
+    emp = db.insert("Emp1", {"name": "e", "age": 1, "salary": 1, "dept": dept})
+    db.replicate("Emp1.dept.name")
+    db2 = roundtrip(db, tmp_path)
+    assert db2.replication.inverted.inline_singletons
+    db2.verify()
+    db2.update("Dept", dept, {"name": "renamed"})
+    db2.verify()
+
+
+def test_snapshot_roundtrip_twice(company, tmp_path):
+    db = populated(company)
+    db2 = roundtrip(db, tmp_path)
+    db3 = roundtrip(db2, tmp_path / "sub" if (tmp_path / "sub").mkdir() else tmp_path)
+    db3.verify()
+    assert db3.catalog.get_set("Emp1").count() == 6
+
+
+def test_bad_magic_rejected(tmp_path):
+    bogus = tmp_path / "not_a_db"
+    bogus.write_bytes(b"hello world, definitely not a database")
+    with pytest.raises(SnapshotError):
+        load_database(str(bogus))
+
+
+def test_snapshot_error_is_repro_error():
+    assert issubclass(SnapshotError, ReproError)

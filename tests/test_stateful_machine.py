@@ -1,0 +1,156 @@
+"""Hypothesis stateful testing: the Database as a rule-based machine.
+
+Rules cover object DML, reference rewiring, path creation/drop with mixed
+strategies, index creation, and queries; after every step the machine
+checks the replication invariants (``verify``) and, periodically, query
+equivalence against an in-memory Python model of the data.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, precondition, rule
+
+from repro import Database
+from repro.errors import IntegrityError
+
+from tests.conftest import define_employee_schema
+
+PATHS = [
+    ("Emp1.dept.name", {"strategy": "inplace"}),
+    ("Emp1.dept.budget", {"strategy": "separate"}),
+    ("Emp1.dept.org.name", {"strategy": "inplace"}),
+    ("Emp1.dept.org.budget", {"strategy": "separate"}),
+]
+
+
+class DatabaseMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.db = Database()
+        define_employee_schema(self.db)
+        self.orgs = [
+            self.db.insert("Org", {"name": f"o{i}", "budget": i}) for i in range(3)
+        ]
+        self.depts = [
+            self.db.insert("Dept", {"name": f"d{i}", "budget": i, "org": self.orgs[i % 3]})
+            for i in range(4)
+        ]
+        self.emps = {}
+        self.model = {}  # emp oid -> dict of visible fields
+        self.live_paths = set()
+        self.counter = 0
+        self.steps_since_check = 0
+
+    # -- DML rules -----------------------------------------------------------
+
+    @rule(dept=st.integers(0, 3), salary=st.integers(0, 10**6))
+    def insert_emp(self, dept, salary):
+        self.counter += 1
+        values = {
+            "name": f"e{self.counter}",
+            "age": 20 + self.counter % 50,
+            "salary": salary,
+            "dept": self.depts[dept],
+        }
+        oid = self.db.insert("Emp1", values)
+        self.emps[oid] = None
+        self.model[oid] = dict(values)
+
+    @precondition(lambda self: self.emps)
+    @rule(pick=st.integers(0, 10**6))
+    def delete_emp(self, pick):
+        oid = list(self.emps)[pick % len(self.emps)]
+        self.db.delete("Emp1", oid)
+        del self.emps[oid]
+        del self.model[oid]
+
+    @precondition(lambda self: self.emps)
+    @rule(pick=st.integers(0, 10**6), dept=st.integers(0, 3))
+    def move_emp(self, pick, dept):
+        oid = list(self.emps)[pick % len(self.emps)]
+        self.db.update("Emp1", oid, {"dept": self.depts[dept]})
+        self.model[oid]["dept"] = self.depts[dept]
+
+    @rule(dept=st.integers(0, 3), name=st.integers(0, 99))
+    def rename_dept(self, dept, name):
+        self.db.update("Dept", self.depts[dept], {"name": f"dd{name}"})
+
+    @rule(dept=st.integers(0, 3), org=st.integers(0, 2))
+    def move_dept(self, dept, org):
+        self.db.update("Dept", self.depts[dept], {"org": self.orgs[org]})
+
+    @rule(org=st.integers(0, 2), budget=st.integers(0, 10**6))
+    def rebudget_org(self, org, budget):
+        self.db.update("Org", self.orgs[org], {"budget": budget})
+
+    # -- schema rules ---------------------------------------------------------
+
+    @rule(which=st.integers(0, 3))
+    def add_path(self, which):
+        text, kwargs = PATHS[which]
+        if text in self.live_paths:
+            return
+        self.db.replicate(text, **kwargs)
+        self.live_paths.add(text)
+
+    @precondition(lambda self: self.live_paths)
+    @rule(pick=st.integers(0, 10**6))
+    def drop_path(self, pick):
+        text = sorted(self.live_paths)[pick % len(self.live_paths)]
+        self.db.drop_replication(text)
+        self.live_paths.remove(text)
+
+    # -- integrity rules ---------------------------------------------------------
+
+    @rule(dept=st.integers(0, 3))
+    def deleting_referenced_dept_is_refused(self, dept):
+        target = self.depts[dept]
+        referenced = any(v["dept"] == target for v in self.model.values())
+        if referenced and self.live_paths:
+            on_path = any(p.startswith("Emp1.dept") for p in self.live_paths)
+            if on_path:
+                try:
+                    self.db.delete("Dept", target)
+                    raise AssertionError("referenced department was deleted")
+                except IntegrityError:
+                    pass
+
+    # -- invariants -----------------------------------------------------------------
+
+    @invariant()
+    def replication_consistent(self):
+        self.db.verify()
+
+    @invariant()
+    def queries_match_model(self):
+        # checking every step is slow; sample every few steps
+        self.steps_since_check += 1
+        if self.steps_since_check < 4:
+            return
+        self.steps_since_check = 0
+        got = dict(
+            (row[0], row[1])
+            for row in self.db.execute(
+                "retrieve (Emp1.name, Emp1.salary)", materialize=False
+            ).rows
+        )
+        want = {v["name"]: v["salary"] for v in self.model.values()}
+        assert got == want
+        if any(p == "Emp1.dept.name" in self.live_paths for p in self.live_paths):
+            rows = self.db.execute(
+                "retrieve (Emp1.name, Emp1.dept.name)", materialize=False
+            ).rows
+            dept_names = {
+                oid: self.db.get("Dept", v["dept"]).values["name"]
+                for oid, v in self.model.items()
+            }
+            want_pairs = sorted(
+                (v["name"], dept_names[oid]) for oid, v in self.model.items()
+            )
+            assert sorted(rows) == want_pairs
+
+
+TestDatabaseMachine = DatabaseMachine.TestCase
+TestDatabaseMachine.settings = settings(
+    max_examples=12, stateful_step_count=25, deadline=None
+)

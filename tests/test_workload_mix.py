@@ -1,0 +1,51 @@
+"""Mixed-stream workload tests: C_total measured directly."""
+
+import random
+
+import pytest
+
+from repro.workloads import WorkloadConfig, build_model_database, measure_strategy
+from repro.workloads.simulate import run_mix
+
+
+def small(strategy):
+    return WorkloadConfig(n_s=150, f=3, f_r=0.02, f_s=0.02, strategy=strategy,
+                          buffer_frames=1024)
+
+
+def test_run_mix_endpoints_match_pure_measurements():
+    cfg = small("inplace")
+    mdb = build_model_database(cfg)
+    rng = random.Random(1)
+    read_only = run_mix(mdb, p_update=0.0, n_queries=4, rng=rng)
+    update_only = run_mix(mdb, p_update=1.0, n_queries=4, rng=rng)
+    assert read_only > 0 and update_only > 0
+    # in-place: update queries cost more than read queries at this shape
+    assert update_only > read_only
+    mdb.db.verify()
+
+
+def test_run_mix_is_between_endpoints():
+    cfg = small("separate")
+    mdb = build_model_database(cfg)
+    rng = random.Random(2)
+    lo = min(run_mix(mdb, 0.0, 4, rng), run_mix(mdb, 1.0, 4, rng))
+    hi = max(run_mix(mdb, 0.0, 4, rng), run_mix(mdb, 1.0, 4, rng))
+    mid = run_mix(mdb, 0.5, 8, rng)
+    assert lo * 0.7 <= mid <= hi * 1.3  # noise-tolerant sandwich
+    mdb.db.verify()
+
+
+def test_mixed_stream_leaves_database_consistent():
+    for strategy in ("inplace", "separate"):
+        mdb = build_model_database(small(strategy))
+        run_mix(mdb, p_update=0.5, n_queries=10)
+        mdb.db.verify()
+
+
+def test_measure_strategy_averages():
+    measured = measure_strategy(small("none"), trials=2)
+    assert measured.strategy == "none"
+    assert measured.read > 0 and measured.update > 0
+    assert measured.total(0.0) == pytest.approx(measured.read)
+    assert measured.total(1.0) == pytest.approx(measured.update)

@@ -1,0 +1,114 @@
+"""Workload generator + empirical simulator tests."""
+
+import random
+
+import pytest
+
+from repro.errors import CostModelError
+from repro.workloads import (
+    WorkloadConfig,
+    build_model_database,
+    compare_strategies,
+    percent_differences,
+    run_read_query,
+    run_update_query,
+)
+
+
+def small(**kw):
+    defaults = dict(n_s=120, f=2, f_r=0.02, f_s=0.02, buffer_frames=1024)
+    defaults.update(kw)
+    return WorkloadConfig(**defaults)
+
+
+def test_config_validation():
+    with pytest.raises(CostModelError):
+        WorkloadConfig(r=10)
+    with pytest.raises(CostModelError):
+        WorkloadConfig(strategy="bogus")
+
+
+def test_config_derived_counts():
+    cfg = WorkloadConfig(n_s=1000, f=3, f_r=0.002, f_s=0.001)
+    assert cfg.n_r == 3000
+    assert cfg.objects_per_read == 6
+    assert cfg.objects_per_update == 1
+
+
+def test_build_sharing_level_exact():
+    mdb = build_model_database(small())
+    counts = {}
+    for __oid, obj in mdb.db.catalog.get_set("R").scan():
+        counts[obj.values["sref"]] = counts.get(obj.values["sref"], 0) + 1
+    assert set(counts.values()) == {2}
+    assert len(counts) == 120
+
+
+def test_build_sizes_and_counts():
+    mdb = build_model_database(small())
+    assert mdb.db.catalog.get_set("R").count() == 240
+    assert mdb.db.catalog.get_set("S").count() == 120
+    r_obj = mdb.db.get("R", mdb.r_oids[0])
+    assert r_obj.type_def.data_width == 100
+
+
+def test_clustered_load_is_key_ordered():
+    mdb = build_model_database(small(clustered=True))
+    keys = [obj.values["field_r"] for __oid, obj in mdb.db.catalog.get_set("R").scan()]
+    assert keys == sorted(keys)
+
+
+def test_unclustered_load_is_shuffled():
+    mdb = build_model_database(small(clustered=False))
+    keys = [obj.values["field_r"] for __oid, obj in mdb.db.catalog.get_set("R").scan()]
+    assert keys != sorted(keys)
+
+
+def test_replicated_build_verifies():
+    for strategy in ("inplace", "separate"):
+        mdb = build_model_database(small(strategy=strategy))
+        mdb.db.verify()
+
+
+def test_queries_touch_expected_row_counts():
+    mdb = build_model_database(small())
+    rng = random.Random(7)
+    assert run_read_query(mdb, rng) > 0
+    assert run_update_query(mdb, rng) > 0
+    mdb.db.verify()
+
+
+def test_update_propagation_consistency_under_mix():
+    mdb = build_model_database(small(strategy="inplace"))
+    rng = random.Random(9)
+    for __ in range(5):
+        run_update_query(mdb, rng)
+        run_read_query(mdb, rng)
+    mdb.db.verify()
+
+
+def test_strategy_ordering_matches_model_shape():
+    """Empirical check of the headline result at a moderate sharing level."""
+    costs = compare_strategies(small(f=5, n_s=200), trials=3)
+    # reads: in-place < separate < none (separate still beats none at f>1)
+    assert costs["inplace"].read < costs["none"].read
+    assert costs["separate"].read < costs["none"].read
+    # updates: none < separate < in-place
+    assert costs["none"].update <= costs["separate"].update
+    assert costs["separate"].update < costs["inplace"].update
+
+
+def test_percent_differences_shape():
+    costs = compare_strategies(small(f=5, n_s=200), trials=3)
+    pct = percent_differences(costs, p_updates=(0.0, 0.5, 1.0))
+    assert pct["inplace"][0] < 0  # wins read-only
+    assert pct["inplace"][-1] > 0  # loses update-only
+    assert pct["inplace"][-1] > pct["separate"][-1]  # separate decays slower
+
+
+def test_lazy_strategy_runs_in_simulator():
+    mdb = build_model_database(small(strategy="inplace", lazy=True))
+    rng = random.Random(11)
+    run_update_query(mdb, rng)
+    run_read_query(mdb, rng)  # forces refresh
+    mdb.db.verify()
