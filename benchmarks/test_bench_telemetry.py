@@ -1,0 +1,84 @@
+"""Telemetry overhead: the observability layer must not distort the study.
+
+Runs the Section 6 read/update mix three ways -- telemetry idle (the
+default), with EXPLAIN ANALYZE metering, and with full tracing -- and
+checks that per-query *I/O* is byte-identical in all three (the counters
+only observe; they never cause page traffic), while wall-clock overhead
+is recorded for the record in ``BENCH_telemetry_overhead.json``.
+"""
+
+import json
+import random
+import time
+
+from repro.workloads import WorkloadConfig, build_model_database, run_read_query
+
+from benchmarks.conftest import save_result
+
+_CONFIG = WorkloadConfig(n_s=300, f=5, f_r=0.01, f_s=0.01,
+                         strategy="inplace", clustered=False)
+_QUERIES = 8
+
+
+def _run_mode(mode: str) -> dict:
+    mdb = build_model_database(_CONFIG)
+    db = mdb.db
+    if mode == "tracing":
+        db.telemetry.tracer.enable()
+    rng = random.Random(_CONFIG.seed + 1)
+    io_per_query = []
+    started = time.perf_counter()
+    if mode == "analyze":
+        cfg = _CONFIG
+        span = cfg.objects_per_read
+        for __ in range(_QUERIES):
+            lo = rng.randrange(0, cfg.n_r - span + 1)
+            db.cold_cache()
+            before = db.stats.snapshot()
+            db.execute(
+                f"retrieve (R.field_r, R.sref.repfield) "
+                f"where R.field_r >= {lo} and R.field_r <= {lo + span - 1}",
+                analyze=True,
+            )
+            db.storage.pool.flush_all()
+            io_per_query.append((db.stats.snapshot() - before).total_io)
+    else:
+        for __ in range(_QUERIES):
+            io_per_query.append(run_read_query(mdb, rng))
+    elapsed = time.perf_counter() - started
+    return {
+        "mode": mode,
+        "io_per_query": io_per_query,
+        "total_io": sum(io_per_query),
+        "wall_seconds": round(elapsed, 4),
+        "spans_recorded": len(db.telemetry.tracer.spans),
+    }
+
+
+def test_telemetry_overhead(benchmark, results_dir):
+    _run_mode("off")  # warm the code paths so wall-clock deltas are honest
+    results = benchmark.pedantic(
+        lambda: [_run_mode(m) for m in ("off", "analyze", "tracing")],
+        rounds=1, iterations=1,
+    )
+    by_mode = {r["mode"]: r for r in results}
+    # observability never changes what the engine reads or writes
+    assert by_mode["off"]["io_per_query"] == by_mode["analyze"]["io_per_query"]
+    assert by_mode["off"]["io_per_query"] == by_mode["tracing"]["io_per_query"]
+    assert by_mode["tracing"]["spans_recorded"] > 0
+    assert by_mode["off"]["spans_recorded"] == 0
+    base = by_mode["off"]["wall_seconds"]
+    payload = {
+        "config": {
+            "n_s": _CONFIG.n_s, "f": _CONFIG.f, "f_r": _CONFIG.f_r,
+            "strategy": _CONFIG.strategy, "queries": _QUERIES,
+        },
+        "modes": results,
+        "wall_overhead_vs_off": {
+            mode: round(by_mode[mode]["wall_seconds"] / base - 1.0, 4)
+            if base else None
+            for mode in ("analyze", "tracing")
+        },
+    }
+    save_result(results_dir, "BENCH_telemetry_overhead.json",
+                json.dumps(payload, indent=2))

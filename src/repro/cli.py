@@ -9,11 +9,17 @@ Usage::
 Statements are the EXTRA-ish DDL (``define type`` / ``create`` /
 ``replicate`` / ``build btree on`` / ``drop replicate|index|set``) and
 queries (``retrieve`` / ``replace`` / ``delete``, plus ``explain <query>``
-to see the plan without running it); terminate interactive statements with
-``;`` or a blank line.  Meta-commands:
+to see the plan without running it and ``explain analyze <query>`` to run
+it with a per-operator I/O breakdown); terminate interactive statements
+with ``;`` or a blank line.  Meta-commands:
 
     \\describe          render the whole schema
-    \\stats             cumulative I/O counters
+    \\stats [prom]      cumulative I/O counters + engine metrics
+                       (``prom``: Prometheus exposition format)
+    \\trace on|off      toggle structured query tracing
+    \\trace clear       drop collected spans
+    \\trace dump [file] print (or export) the JSONL trace
+    \\monitor           workload observations + model-vs-actual drift
     \\verify            run the replication consistency checker
     \\cold              flush + empty the buffer pool
     \\help              this text
@@ -71,18 +77,32 @@ class Shell:
     # -- dispatch -----------------------------------------------------------
 
     def run_meta(self, line: str) -> None:
-        command = line.strip().split()[0][1:]
+        words = line.strip().split()
+        command = words[0][1:]
+        args = words[1:]
         if command in ("quit", "q", "exit"):
             self.done = True
         elif command == "describe":
             self.write(describe_database(self.db) or "(empty schema)")
         elif command == "stats":
+            if args and args[0] == "prom":
+                self.write(self.db.telemetry.metrics.render_prometheus().rstrip("\n"))
+                return
             stats = self.db.stats
             self.write(
                 f"physical reads {stats.physical_reads}, writes "
                 f"{stats.physical_writes}, logical reads {stats.logical_reads}, "
                 f"buffer hits {stats.buffer_hits}"
             )
+            self.write(
+                f"evictions {stats.evictions}, "
+                f"dirty writebacks {stats.dirty_writebacks}"
+            )
+            self.write(self.db.telemetry.metrics.render_text())
+        elif command == "trace":
+            self.run_trace(args)
+        elif command == "monitor":
+            self.write(self.db.monitor.report())
         elif command == "verify":
             self.db.verify()
             self.write("all replication invariants hold")
@@ -94,12 +114,46 @@ class Shell:
         else:
             self.write(f"unknown meta-command \\{command} (try \\help)")
 
+    def run_trace(self, args: list[str]) -> None:
+        tracer = self.db.telemetry.tracer
+        mode = args[0] if args else "dump"
+        if mode == "on":
+            tracer.enable()
+            self.write("tracing on")
+        elif mode == "off":
+            tracer.disable()
+            self.write("tracing off")
+        elif mode == "clear":
+            tracer.clear()
+            self.write("trace cleared")
+        elif mode == "dump":
+            if len(args) > 1:
+                try:
+                    written = tracer.export(args[1])
+                except OSError as exc:
+                    self.write(f"error: cannot write trace: {exc}")
+                    return
+                self.write(f"wrote {written} span(s) to {args[1]}")
+            else:
+                self.write(tracer.to_jsonl() or "(no spans recorded)")
+        else:
+            self.write(f"unknown \\trace mode {mode!r} (on|off|clear|dump)")
+
     def run_statement(self, statement: str) -> None:
         first = statement.split(None, 1)[0]
         if first == "explain":
+            rest = statement[len("explain"):].strip()
+            if rest.split(None, 1)[:1] == ["analyze"]:
+                from repro.query.analyze import render_analyze
+
+                result = self.db.execute(rest[len("analyze"):].strip(),
+                                         analyze=True)
+                self.write(render_analyze(result))
+                self.write(f"({len(result.rows)} row(s))   plan: {result.plan}")
+                return
             from repro.query.runner import explain_text
 
-            self.write(explain_text(self.db, statement[len("explain"):].strip()))
+            self.write(explain_text(self.db, rest))
         elif first in _QUERY_STARTERS:
             self.write(render_result(self.db.execute(statement)))
         elif first in _DDL_STARTERS:

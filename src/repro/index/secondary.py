@@ -26,13 +26,15 @@ from repro.index.keycodec import (
 from repro.objects.types import FieldDef
 from repro.storage.buffer import BufferPool
 from repro.storage.oid import OID
+from repro.telemetry.metrics import NULL_METRICS
 
 
 class SecondaryIndex:
     """An index on one field of one set."""
 
     def __init__(self, name: str, pool: BufferPool, file_id: int,
-                 field: FieldDef, set_name: str, clustered: bool = False) -> None:
+                 field: FieldDef, set_name: str, clustered: bool = False,
+                 metrics=None) -> None:
         self.name = name
         self.field = field
         self.set_name = set_name
@@ -45,17 +47,33 @@ class SecondaryIndex:
         self.stat_count = 0
         self.stat_min = None
         self.stat_max = None
+        self.bind_metrics(metrics)
+
+    def bind_metrics(self, metrics) -> None:
+        """Resolve this index's counters in ``metrics`` (also used when an
+        index is reconstructed outside ``__init__``, e.g. snapshot restore)."""
+        metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_lookups = metrics.counter(
+            "index_lookups_total", "exact-match index probes")
+        self._m_range_scans = metrics.counter(
+            "index_range_scans_total", "index range scans started")
+        self._m_inserts = metrics.counter(
+            "index_inserts_total", "index entry inserts")
+        self._m_deletes = metrics.counter(
+            "index_deletes_total", "index entry deletes")
 
     # -- maintenance --------------------------------------------------------
 
     def insert(self, value, oid: OID) -> None:
         """Add an entry for ``oid`` under ``value``."""
+        self._m_inserts.inc(index=self.name)
         self.tree.insert(self._composite(value, oid), oid)
         self._note_value(value)
         self.stat_count += 1
 
     def delete(self, value, oid: OID) -> bool:
         """Remove the entry for ``(value, oid)``; returns presence."""
+        self._m_deletes.inc(index=self.name)
         removed = self.tree.delete(self._composite(value, oid))
         if removed:
             self.stat_count -= 1
@@ -81,6 +99,7 @@ class SecondaryIndex:
         here so every tree page is written exactly once.
         """
         pairs = list(pairs)
+        self._m_inserts.inc(len(pairs), index=self.name)
         entries = sorted(
             (self._composite(value, oid), oid) for value, oid in pairs
         )
@@ -93,6 +112,7 @@ class SecondaryIndex:
 
     def lookup(self, value) -> list[OID]:
         """All OIDs stored under exactly ``value``."""
+        self._m_lookups.inc(index=self.name)
         prefix = encode_key(self.field, value)
         return [
             oid
@@ -103,6 +123,10 @@ class SecondaryIndex:
 
     def range(self, lo=None, hi=None, include_hi: bool = True) -> Iterator[tuple[object, OID]]:
         """Yield ``(value, oid)`` for lo <= value (<=|<) hi, in value order."""
+        self._m_range_scans.inc(index=self.name)
+        return self._range_iter(lo, hi, include_hi)
+
+    def _range_iter(self, lo, hi, include_hi: bool) -> Iterator[tuple[object, OID]]:
         lo_key = encode_key(self.field, lo) + MIN_OID_SUFFIX if lo is not None else None
         if hi is None:
             hi_key, tree_inclusive = None, True

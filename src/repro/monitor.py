@@ -16,7 +16,7 @@ candidate path to the cost-model advisor, yielding ranked, ready-to-apply
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.costmodel.advisor import PathWorkload, Recommendation, recommend
 from repro.costmodel.params import ModelStrategy
@@ -71,6 +71,9 @@ class WorkloadMonitor:
     def __init__(self) -> None:
         self._paths: dict[tuple, PathObservation] = {}
         self._fields: dict[tuple, FieldObservation] = {}
+        #: optional DriftMonitor; the Database binds its telemetry's here so
+        #: ``report()`` can append model-vs-actual drift.
+        self.drift = None
 
     # -- recording (called by the executor / Database) -----------------------
 
@@ -110,29 +113,40 @@ class WorkloadMonitor:
         """All observed updated fields, most-updated first."""
         return sorted(self._fields.values(), key=lambda o: -o.updates)
 
-    def updates_against(self, obs: PathObservation) -> int:
-        """Update statements that would propagate along ``obs``'s path."""
+    def updates_against(self, obs: PathObservation, rows: bool = False) -> int:
+        """Update statements that would propagate along ``obs``'s path.
+
+        With ``rows=True``, count updated *objects* instead of statements.
+        """
         key = (obs.terminal_type, obs.terminal)
         fobs = self._fields.get(key)
-        return fobs.statements if fobs is not None else 0
+        if fobs is None:
+            return 0
+        return fobs.updates if rows else fobs.statements
 
     def candidates(self, f: int = 1, f_r: float = 0.001, f_s: float = 0.001,
                    n_s: int = 10_000, clustered: bool = False,
-                   min_queries: int = 1) -> list[Candidate]:
+                   min_queries: int = 1,
+                   weight_by_rows: bool = False) -> list[Candidate]:
         """Ranked candidates with advisor verdicts.
 
         ``P_update`` for a path is estimated as the fraction of its traffic
         (reading queries + propagating update statements) that updates.
-        The remaining knobs parameterise the cost model; callers can pass
-        measured values when they have them.
+        With ``weight_by_rows=True`` the estimate uses *row* counts instead
+        -- joined rows vs. updated objects -- which weights statements by
+        how much work they actually did.  The remaining knobs parameterise
+        the cost model; callers can pass measured values when they have
+        them.
         """
         out = []
         for obs in self.path_observations():
             if obs.queries < min_queries:
                 continue
             updates = self.updates_against(obs)
-            total = obs.queries + updates
-            p_update = updates / total if total else 0.0
+            update_weight = self.updates_against(obs, rows=weight_by_rows)
+            read_weight = obs.join_rows if weight_by_rows else obs.queries
+            total = read_weight + update_weight
+            p_update = update_weight / total if total else 0.0
             rec = recommend(
                 PathWorkload(
                     update_probability=p_update, f=f, f_r=f_r, f_s=f_s,
@@ -170,6 +184,8 @@ class WorkloadMonitor:
                 f"  {fobs.type_name}.{fobs.field_name:25s} "
                 f"{fobs.statements:5d} statements, {fobs.updates:7d} objects"
             )
+        if self.drift is not None and self.drift.records:
+            lines.append(self.drift.report())
         return "\n".join(lines)
 
 

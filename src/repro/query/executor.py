@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.objects.instance import StoredObject
+from repro.query.analyze import Meter, OperatorStats
 from repro.query.plan import (
     DeletePlan,
     FileScan,
@@ -37,6 +38,9 @@ class QueryResult:
     rows: list[tuple]
     io: IOSnapshot
     plan: str
+    #: per-operator execution statistics (EXPLAIN ANALYZE); None unless the
+    #: plan was executed with ``analyze=True``.
+    operators: tuple[OperatorStats, ...] | None = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -44,53 +48,83 @@ class QueryResult:
 
 _output_counter = [0]
 
+_STEP_KINDS = {
+    LocalField: "project",
+    HiddenField: "replicated_read",
+    ReplicaFetch: "replica_read",
+    HiddenRefJump: "jump",
+    FunctionalJoin: "functional_join",
+}
 
-def execute_retrieve(db: Database, plan: RetrievePlan) -> QueryResult:
-    """Run a retrieve plan and return its rows."""
+_DONE = object()
+
+
+def _step_kind(step) -> str:
+    return _STEP_KINDS[type(step)]
+
+
+def execute_retrieve(db: Database, plan: RetrievePlan,
+                     analyze: bool = False) -> QueryResult:
+    """Run a retrieve plan and return its rows.
+
+    With ``analyze=True`` the result additionally carries a per-operator
+    I/O breakdown whose top level sums to the query's total I/O.
+    """
     before = db.stats.snapshot()
-    for path_text in plan.refresh_paths:
-        db.replication.refresh_path(db.catalog.get_path(path_text))
+    meter = Meter(db.stats) if analyze else None
+    ops: list[OperatorStats] = []
+
+    if plan.refresh_paths:
+        refresh_op = None
+        if analyze:
+            refresh_op = OperatorStats("refresh", ", ".join(plan.refresh_paths))
+            ops.append(refresh_op)
+            mark = meter.begin()
+        for path_text in plan.refresh_paths:
+            refreshed = db.replication.refresh_path(db.catalog.get_path(path_text))
+            if refresh_op is not None:
+                refresh_op.rows += refreshed
+        if analyze:
+            meter.end(mark, refresh_op)
+
     rows: list[tuple] = []
     sort_keys: list = []
     group_keys: list[tuple] = []
-    for oid, obj in _scan(db, plan.set_name, plan.access, plan.where):
-        rows.append(tuple(_fetch(db, step, obj) for step in plan.steps))
-        if plan.order_step is not None:
-            sort_keys.append(_fetch(db, plan.order_step, obj))
-        if plan.group_steps:
-            group_keys.append(
-                tuple(_fetch(db, step, obj) for step in plan.group_steps)
-            )
+    if not analyze:
+        for __oid, obj in _scan(db, plan.set_name, plan.access, plan.where):
+            rows.append(tuple(_fetch(db, step, obj) for step in plan.steps))
+            if plan.order_step is not None:
+                sort_keys.append(_fetch(db, plan.order_step, obj))
+            if plan.group_steps:
+                group_keys.append(
+                    tuple(_fetch(db, step, obj) for step in plan.group_steps)
+                )
+    else:
+        _run_analyzed_scan(db, plan, meter, ops, rows, sort_keys, group_keys)
     _record_joins(db, plan, len(rows))
     if plan.group_steps:
         rows = _fold_groups(plan, rows, group_keys)
         if plan.limit is not None:
             rows = rows[: plan.limit]
-        columns = tuple(
-            f"{fn}({step.target.text})" if fn else step.target.text
-            for fn, step in zip(plan.aggregates, plan.steps)
-        )
-        if plan.materialize:
-            _materialize(db, rows)
-        io = db.stats.snapshot() - before
-        return QueryResult(columns=columns, rows=rows, io=io, plan=plan.explain())
-    if plan.order_step is not None:
-        # sort rows by key; NULL keys sort last regardless of direction
-        paired = sorted(
-            zip(sort_keys, range(len(rows))),
-            key=lambda kv: ((kv[0] is None), kv[0] if kv[0] is not None else 0),
-            reverse=plan.descending,
-        )
-        if plan.descending:
-            # reverse put the Nones first; push them back to the end
-            paired = [kv for kv in paired if kv[0] is not None] + [
-                kv for kv in paired if kv[0] is None
-            ]
-        rows = [rows[i] for __, i in paired]
-    if plan.limit is not None:
-        rows = rows[: plan.limit]
+    else:
+        if plan.order_step is not None:
+            # sort rows by key; NULL keys sort last regardless of direction
+            paired = sorted(
+                zip(sort_keys, range(len(rows))),
+                key=lambda kv: ((kv[0] is None), kv[0] if kv[0] is not None else 0),
+                reverse=plan.descending,
+            )
+            if plan.descending:
+                # reverse put the Nones first; push them back to the end
+                paired = [kv for kv in paired if kv[0] is not None] + [
+                    kv for kv in paired if kv[0] is None
+                ]
+            rows = [rows[i] for __, i in paired]
+        if plan.limit is not None:
+            rows = rows[: plan.limit]
+        if plan.aggregates:
+            rows = [_fold_aggregates(plan.aggregates, rows)]
     if plan.aggregates:
-        rows = [_fold_aggregates(plan.aggregates, rows)]
         columns = tuple(
             f"{fn}({step.target.text})" if fn else step.target.text
             for fn, step in zip(plan.aggregates, plan.steps)
@@ -98,9 +132,65 @@ def execute_retrieve(db: Database, plan: RetrievePlan) -> QueryResult:
     else:
         columns = tuple(step.target.text for step in plan.steps)
     if plan.materialize:
-        _materialize(db, rows)
+        if analyze:
+            mat_op = OperatorStats("materialize")
+            ops.append(mat_op)
+            mark = meter.begin()
+            _materialize(db, rows)
+            meter.end(mark, mat_op)
+            mat_op.rows = len(rows)
+        else:
+            _materialize(db, rows)
     io = db.stats.snapshot() - before
-    return QueryResult(columns=columns, rows=rows, io=io, plan=plan.explain())
+    return QueryResult(columns=columns, rows=rows, io=io, plan=plan.explain(),
+                       operators=tuple(ops) if analyze else None)
+
+
+def _run_analyzed_scan(db: Database, plan: RetrievePlan, meter: Meter,
+                       ops: list[OperatorStats], rows: list[tuple],
+                       sort_keys: list, group_keys: list[tuple]) -> None:
+    """The instrumented row loop: every page of I/O lands in an operator."""
+    scan_op = OperatorStats("scan", plan.access.explain())
+    step_ops = [OperatorStats(_step_kind(step), step.explain()) for step in plan.steps]
+    ops.append(scan_op)
+    ops.extend(step_ops)
+    order_op = None
+    if plan.order_step is not None:
+        order_op = OperatorStats("sort_key", plan.order_step.explain())
+        ops.append(order_op)
+    group_ops = None
+    if plan.group_steps:
+        group_ops = [OperatorStats("group_key", s.explain()) for s in plan.group_steps]
+        ops.extend(group_ops)
+    iterator = iter(_scan(db, plan.set_name, plan.access, plan.where))
+    while True:
+        mark = meter.begin()
+        item = next(iterator, _DONE)
+        meter.end(mark, scan_op)
+        if item is _DONE:
+            break
+        __oid, obj = item
+        scan_op.rows += 1
+        row = []
+        for step, op in zip(plan.steps, step_ops):
+            mark = meter.begin()
+            row.append(_fetch(db, step, obj, meter, op))
+            meter.end(mark, op)
+            op.rows += 1
+        rows.append(tuple(row))
+        if order_op is not None:
+            mark = meter.begin()
+            sort_keys.append(_fetch(db, plan.order_step, obj, meter, order_op))
+            meter.end(mark, order_op)
+            order_op.rows += 1
+        if group_ops is not None:
+            key = []
+            for step, op in zip(plan.group_steps, group_ops):
+                mark = meter.begin()
+                key.append(_fetch(db, step, obj, meter, op))
+                meter.end(mark, op)
+                op.rows += 1
+            group_keys.append(tuple(key))
 
 
 def _fold_groups(plan: RetrievePlan, rows: list[tuple],
@@ -146,28 +236,72 @@ def _fold_aggregates(aggregates, rows: list[tuple]) -> tuple:
     return tuple(out)
 
 
-def execute_update(db: Database, plan: UpdatePlan) -> QueryResult:
+def execute_update(db: Database, plan: UpdatePlan,
+                   analyze: bool = False) -> QueryResult:
     """Run a replace plan; rows report the updated OIDs."""
     before = db.stats.snapshot()
-    victims = [oid for oid, __ in _scan(db, plan.set_name, plan.access, plan.where)]
+    victims, ops, meter = _collect_victims(db, plan, analyze)
     changes = dict(plan.assignments)
     root = db.registry.root_name(db.catalog.get_set(plan.set_name).type_name)
     for fname in changes:
         db.monitor.record_update(root, fname, rows=len(victims))
-    for oid in victims:
-        db.update(plan.set_name, oid, changes, record=False)
+    if analyze:
+        update_op = OperatorStats(
+            "update", ", ".join(f"{f}={v!r}" for f, v in plan.assignments))
+        ops.append(update_op)
+        for oid in victims:
+            mark = meter.begin()
+            db.update(plan.set_name, oid, changes, record=False)
+            meter.end(mark, update_op)
+            update_op.rows += 1
+    else:
+        for oid in victims:
+            db.update(plan.set_name, oid, changes, record=False)
     io = db.stats.snapshot() - before
-    return QueryResult(("oid",), [(oid,) for oid in victims], io, plan.explain())
+    return QueryResult(("oid",), [(oid,) for oid in victims], io, plan.explain(),
+                       operators=tuple(ops) if analyze else None)
 
 
-def execute_delete(db: Database, plan: DeletePlan) -> QueryResult:
+def execute_delete(db: Database, plan: DeletePlan,
+                   analyze: bool = False) -> QueryResult:
     """Run a delete plan; rows report the deleted OIDs."""
     before = db.stats.snapshot()
-    victims = [oid for oid, __ in _scan(db, plan.set_name, plan.access, plan.where)]
-    for oid in victims:
-        db.delete(plan.set_name, oid)
+    victims, ops, meter = _collect_victims(db, plan, analyze)
+    if analyze:
+        delete_op = OperatorStats("delete", plan.set_name)
+        ops.append(delete_op)
+        for oid in victims:
+            mark = meter.begin()
+            db.delete(plan.set_name, oid)
+            meter.end(mark, delete_op)
+            delete_op.rows += 1
+    else:
+        for oid in victims:
+            db.delete(plan.set_name, oid)
     io = db.stats.snapshot() - before
-    return QueryResult(("oid",), [(oid,) for oid in victims], io, plan.explain())
+    return QueryResult(("oid",), [(oid,) for oid in victims], io, plan.explain(),
+                       operators=tuple(ops) if analyze else None)
+
+
+def _collect_victims(db: Database, plan, analyze: bool):
+    """Scan for the target OIDs, metering the scan when analyzing."""
+    if not analyze:
+        victims = [oid for oid, __ in
+                   _scan(db, plan.set_name, plan.access, plan.where)]
+        return victims, [], None
+    meter = Meter(db.stats)
+    scan_op = OperatorStats("scan", plan.access.explain())
+    victims = []
+    iterator = iter(_scan(db, plan.set_name, plan.access, plan.where))
+    while True:
+        mark = meter.begin()
+        item = next(iterator, _DONE)
+        meter.end(mark, scan_op)
+        if item is _DONE:
+            break
+        victims.append(item[0])
+        scan_op.rows += 1
+    return victims, [scan_op], meter
 
 
 def _record_joins(db: Database, plan: RetrievePlan, rows: int) -> None:
@@ -244,7 +378,8 @@ def _matches(db: Database, set_name: str, where, obj: StoredObject) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def _fetch(db: Database, step, obj: StoredObject):
+def _fetch(db: Database, step, obj: StoredObject, meter: Meter | None = None,
+           op: OperatorStats | None = None):
     if isinstance(step, LocalField):
         return obj.values[step.field_name]
     if isinstance(step, HiddenField):
@@ -257,21 +392,48 @@ def _fetch(db: Database, step, obj: StoredObject):
         return replica.values[step.field_name]
     if isinstance(step, HiddenRefJump):
         oid = obj.values[step.hidden_field]
-        return _join_from(db, oid, step.remaining_chain, step.field_name)
+        return _join_from(db, oid, step.remaining_chain, step.field_name,
+                          meter, op, first_hop="jump")
     assert isinstance(step, FunctionalJoin)
     start = obj.ref(step.chain[0])
-    return _join_from(db, start, step.chain[1:], step.field_name)
+    return _join_from(db, start, step.chain[1:], step.field_name,
+                      meter, op, first_hop=step.chain[0])
 
 
-def _join_from(db: Database, oid: OID | None, chain, field_name: str):
+def _join_from(db: Database, oid: OID | None, chain, field_name: str,
+               meter: Meter | None = None, op: OperatorStats | None = None,
+               first_hop: str = ""):
     if oid is None:
         return None
+    if meter is not None and op is not None:
+        return _join_from_metered(db, oid, chain, field_name, meter, op, first_hop)
     current = db.store.read(oid)
     for ref_name in chain:
         nxt = current.ref(ref_name)
         if nxt is None:
             return None
         current = db.store.read(nxt)
+    return current.values[field_name]
+
+
+def _join_from_metered(db: Database, oid: OID, chain, field_name: str,
+                       meter: Meter, op: OperatorStats, first_hop: str):
+    """Functional join with per-hop I/O attribution (hops are children of
+    the join operator; their I/O is also contained in the parent's)."""
+    hop = op.child(f"hop {first_hop}" if first_hop else "hop")
+    mark = meter.begin()
+    current = db.store.read(oid)
+    meter.end(mark, hop)
+    hop.rows += 1
+    for ref_name in chain:
+        nxt = current.ref(ref_name)
+        if nxt is None:
+            return None
+        hop = op.child(f"hop {ref_name}")
+        mark = meter.begin()
+        current = db.store.read(nxt)
+        meter.end(mark, hop)
+        hop.rows += 1
     return current.values[field_name]
 
 

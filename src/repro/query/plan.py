@@ -17,7 +17,7 @@ assert which strategy the planner picked.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.query.language import FieldRef, Where
 from repro.schema.catalog import IndexInfo

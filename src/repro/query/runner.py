@@ -1,4 +1,11 @@
-"""Glue: parse -> plan -> execute."""
+"""Glue: parse -> plan -> execute.
+
+This is also where query tracing hooks in: when the database's tracer is
+enabled, every statement produces a ``query`` span with ``parse``,
+``plan``, and ``execute`` children, and the executed plan's per-operator
+statistics (tracing forces ``analyze=True``) are attached as operator
+spans under ``execute``.
+"""
 
 from __future__ import annotations
 
@@ -13,29 +20,68 @@ from repro.query.planner import plan_delete, plan_replace, plan_retrieve
 from repro.schema.database import Database
 
 
-def execute_statement(db: Database, stmt, materialize: bool = True) -> QueryResult:
-    """Plan and run an already-parsed statement."""
+def _plan_statement(db: Database, stmt, materialize: bool):
+    """Return ``(plan, executor_fn)`` for a parsed statement."""
     if isinstance(stmt, Retrieve):
-        return execute_retrieve(db, plan_retrieve(db, stmt, materialize=materialize))
+        return plan_retrieve(db, stmt, materialize=materialize), execute_retrieve
     if isinstance(stmt, Replace):
-        return execute_update(db, plan_replace(db, stmt))
+        return plan_replace(db, stmt), execute_update
     if isinstance(stmt, Delete):
-        return execute_delete(db, plan_delete(db, stmt))
+        return plan_delete(db, stmt), execute_delete
     raise TypeError(f"not a statement: {stmt!r}")
 
 
-def execute_text(db: Database, text: str, materialize: bool = True) -> QueryResult:
+def execute_statement(db: Database, stmt, materialize: bool = True,
+                      analyze: bool = False) -> QueryResult:
+    """Plan and run an already-parsed statement."""
+    tracer = db.telemetry.tracer
+    if not tracer.enabled:
+        plan, run = _plan_statement(db, stmt, materialize)
+        result = run(db, plan, analyze=analyze)
+    else:
+        with tracer.span("plan"):
+            plan, run = _plan_statement(db, stmt, materialize)
+        with tracer.span("execute", plan=plan.explain()) as span:
+            result = run(db, plan, analyze=True)
+            span.set("rows", len(result.rows))
+            _emit_operator_spans(tracer, result.operators, span)
+    metrics = db.telemetry.metrics
+    metrics.observe("query_io_pages", result.io.total_io)
+    metrics.observe("query_rows", len(result.rows))
+    return result
+
+
+def _emit_operator_spans(tracer, operators, parent) -> None:
+    """Attach executed-operator statistics as retrospective spans."""
+    if not operators:
+        return
+    for op in operators:
+        span = tracer.record(
+            op.name, {"detail": op.detail, "rows": op.rows}, op.io_dict(),
+            parent=parent,
+        )
+        _emit_operator_spans(tracer, op.children, span)
+
+
+def execute_text(db: Database, text: str, materialize: bool = True,
+                 analyze: bool = False) -> QueryResult:
     """Parse and run one statement of query-language text."""
-    return execute_statement(db, parse_statement(text), materialize=materialize)
+    tracer = db.telemetry.tracer
+    if not tracer.enabled:
+        return execute_statement(db, parse_statement(text),
+                                 materialize=materialize, analyze=analyze)
+    with tracer.span("query", statement=" ".join(text.split())) as span:
+        with tracer.span("parse"):
+            stmt = parse_statement(text)
+        result = execute_statement(db, stmt, materialize=materialize,
+                                   analyze=analyze)
+        span.set("plan", result.plan)
+        span.set("rows", len(result.rows))
+    return result
 
 
 def explain_text(db: Database, text: str) -> str:
     """Plan (but do not run) a statement; returns the plan description."""
     stmt = parse_statement(text)
-    if isinstance(stmt, Retrieve):
-        return plan_retrieve(db, stmt).explain()
-    if isinstance(stmt, Replace):
-        return plan_replace(db, stmt).explain()
-    if isinstance(stmt, Delete):
-        return plan_delete(db, stmt).explain()
-    raise TypeError(f"not a statement: {stmt!r}")
+    plan, __ = _plan_statement(db, stmt, materialize=True)
+    return plan.explain()

@@ -45,12 +45,23 @@ class InvertedPaths:
     """
 
     def __init__(self, catalog: Catalog, store: ObjectStore, replica_sets,
-                 inline_singletons: bool = False) -> None:
+                 inline_singletons: bool = False, telemetry=None) -> None:
         self.catalog = catalog
         self.store = store
         #: path_id -> replica ObjectSet (owned by the ReplicationManager).
         self.replica_sets = replica_sets
         self.inline_singletons = inline_singletons
+        if telemetry is None:
+            from repro.telemetry import Telemetry
+
+            telemetry = Telemetry()
+        self.telemetry = telemetry
+        self._m_link_touches = telemetry.metrics.counter(
+            "replication_link_touches_total",
+            "link-object membership inserts/removals")
+        self._m_replica_bumps = telemetry.metrics.counter(
+            "replication_replica_bumps_total",
+            "replica reference-count adjustments (separate strategy)")
 
     # ------------------------------------------------------------------
     # membership
@@ -70,6 +81,17 @@ class InvertedPaths:
                cascade: bool = True) -> None:
         """Membership insert; ``cascade=False`` for bulk builds that ensure
         every link of a chain explicitly."""
+        self._m_link_touches.inc()
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            with tracer.span("link_maintenance", op="attach",
+                             link_id=link.link_id):
+                self._attach(link, owner_oid, member_oid, cascade)
+        else:
+            self._attach(link, owner_oid, member_oid, cascade)
+
+    def _attach(self, link: LinkDef, owner_oid: OID, member_oid: OID,
+                cascade: bool) -> None:
         owner = self.store.read(owner_oid)
         entry = owner.link_entry_for(link.link_id)
         if entry is None:
@@ -101,6 +123,17 @@ class InvertedPaths:
         detached, and the owner's own memberships one level deeper are
         withdrawn in turn.
         """
+        self._m_link_touches.inc()
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            with tracer.span("link_maintenance", op="remove",
+                             link_id=link.link_id):
+                self._remove_membership(link, owner_oid, member_oid)
+        else:
+            self._remove_membership(link, owner_oid, member_oid)
+
+    def _remove_membership(self, link: LinkDef, owner_oid: OID,
+                           member_oid: OID) -> None:
         owner = self.store.read(owner_oid)
         entry = owner.link_entry_for(link.link_id)
         if entry is None:
@@ -210,6 +243,7 @@ class InvertedPaths:
         replica is garbage collected.  Returns the replica OID (None after
         a collecting decrement).
         """
+        self._m_replica_bumps.inc()
         terminal = self.store.read(terminal_oid)
         entry = terminal.replica_entry_for(path.path_id)
         replica_set = self.replica_sets[path.path_id]

@@ -43,6 +43,7 @@ from repro.replication.spec import (
     replica_type_name,
 )
 from repro.schema.paths import resolve_path
+from repro.telemetry import Telemetry
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # annotation-only; avoids an import cycle with schema
@@ -56,15 +57,27 @@ class ReplicationManager:
     """Coordinates every replication path of one database."""
 
     def __init__(self, catalog: Catalog, store: ObjectStore, storage: StorageManager,
-                 inline_singleton_links: bool = False) -> None:
+                 inline_singleton_links: bool = False, telemetry=None) -> None:
         self.catalog = catalog
         self.store = store
         self.storage = storage
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.replica_sets: dict[int, ObjectSet] = {}
         self.inverted = InvertedPaths(catalog, store, self.replica_sets,
-                                      inline_singletons=inline_singleton_links)
+                                      inline_singletons=inline_singleton_links,
+                                      telemetry=self.telemetry)
         self.collapsed = CollapsedPaths(catalog, store)
         self.lazy = LazyQueue(storage)
+        metrics = self.telemetry.metrics
+        self._m_propagations = metrics.counter(
+            "replication_propagations_total",
+            "terminal/link updates propagated to source-set hidden fields")
+        self._m_fanout = metrics.counter(
+            "replication_fanout_total",
+            "source objects rewritten by update propagation")
+        self._m_replica_writes = metrics.counter(
+            "replication_replica_writes_total",
+            "replica-set objects rewritten (separate strategy)")
 
     # ==================================================================
     # path lifecycle
@@ -488,12 +501,23 @@ class ReplicationManager:
                 if f in changed
             }
             if touched:
-                replica_set = self.replica_sets[path.path_id]
-                replica = replica_set.read(rentry.replica_oid)
-                for fname, value in touched.items():
-                    replica.set(fname, value)
-                replica_set.raw_update(rentry.replica_oid, replica)
+                self._m_replica_writes.inc()
+                tracer = self.telemetry.tracer
+                if tracer.enabled:
+                    with tracer.span("update_propagation", path=path.text,
+                                     kind="replica_write"):
+                        self._write_replica(path, rentry, touched)
+                else:
+                    self._write_replica(path, rentry, touched)
         return own_changes
+
+    def _write_replica(self, path: ReplicationPath, rentry,
+                       touched: dict[str, object]) -> None:
+        replica_set = self.replica_sets[path.path_id]
+        replica = replica_set.read(rentry.replica_oid)
+        for fname, value in touched.items():
+            replica.set(fname, value)
+        replica_set.raw_update(rentry.replica_oid, replica)
 
     def _propagate_through_link(self, path: ReplicationPath, position: int,
                                 link: LinkDef, oid: OID, old: StoredObject,
@@ -576,8 +600,24 @@ class ReplicationManager:
     def _rewrite_hidden_over_closure(self, path: ReplicationPath, link: LinkDef,
                                      oid: OID, changes: dict[str, object]) -> None:
         source_set = self.catalog.get_set(path.source_set)
-        for target in self.inverted.closure_to_source(link, oid):
+        targets = self.inverted.closure_to_source(link, oid)
+        self._m_propagations.inc()
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            with tracer.span("update_propagation", path=path.text) as span:
+                fanout = self._apply_over_targets(source_set, targets, changes)
+                span.set("fanout", fanout)
+        else:
+            fanout = self._apply_over_targets(source_set, targets, changes)
+        self._m_fanout.inc(fanout)
+
+    def _apply_over_targets(self, source_set: ObjectSet, targets,
+                            changes: dict[str, object]) -> int:
+        fanout = 0
+        for target in targets:
             self.apply_hidden_changes(source_set, target, changes)
+            fanout += 1
+        return fanout
 
     # ------------------------------------------------------------------
     # hidden-field writes (index-maintaining)

@@ -39,6 +39,7 @@ from repro.sets.objectset import ObjectSet
 from repro.storage.constants import DEFAULT_BUFFER_FRAMES
 from repro.storage.manager import StorageManager
 from repro.storage.oid import OID
+from repro.telemetry import Telemetry
 
 
 class Database:
@@ -47,17 +48,22 @@ class Database:
     def __init__(self, buffer_frames: int = DEFAULT_BUFFER_FRAMES,
                  inline_singleton_links: bool = False,
                  cost_based_planning: bool = False) -> None:
-        self.storage = StorageManager(buffer_frames=buffer_frames)
+        self.telemetry = Telemetry()
+        self.storage = StorageManager(buffer_frames=buffer_frames,
+                                      metrics=self.telemetry.metrics)
+        self.telemetry.attach_stats(self.storage.stats)
         self.registry = TypeRegistry()
         self.store = ObjectStore(self.storage, self.registry)
         self.catalog = Catalog(self.registry)
         self.replication = ReplicationManager(
             self.catalog, self.store, self.storage,
             inline_singleton_links=inline_singleton_links,
+            telemetry=self.telemetry,
         )
         from repro.monitor import WorkloadMonitor
 
         self.monitor = WorkloadMonitor()
+        self.monitor.drift = self.telemetry.drift
         #: opt-in: let the planner fall back to file scans when the §6-style
         #: cost estimate says the index would read more pages (§7.1)
         self.cost_based_planning = cost_based_planning
@@ -174,7 +180,8 @@ class Database:
         self._next_index_id += 1
         file_id = self.storage.create_raw_file(f"__idx_{index_name}")
         index = SecondaryIndex(index_name, self.storage.pool, file_id, fdef,
-                               set_name, clustered=clustered)
+                               set_name, clustered=clustered,
+                               metrics=self.telemetry.metrics)
         info = IndexInfo(index_name, set_name, field_name, index,
                          clustered=clustered, path_text=path_text)
         self.catalog.add_index(info)
@@ -270,6 +277,12 @@ class Database:
         from repro.query.runner import execute_statement
 
         return execute_statement(self, statement, **options)
+
+    def explain_analyze(self, statement_text: str, **options):
+        """Run a statement with per-operator I/O accounting attached."""
+        from repro.query.runner import execute_text
+
+        return execute_text(self, statement_text, analyze=True, **options)
 
     # ==================================================================
     # maintenance / instrumentation

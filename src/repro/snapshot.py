@@ -289,6 +289,7 @@ def load_database(path: str) -> Database:
         index.set_name = spec["set_name"]
         index.clustered = spec["clustered"]
         index.value_width = key_width_for(field)
+        index.bind_metrics(db.telemetry.metrics)
         index.tree = BPlusTree.open(storage.pool, spec["file_id"],
                                     index.value_width + 8)
         # rebuild the running catalog statistics with one leaf-chain walk

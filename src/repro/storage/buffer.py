@@ -25,6 +25,7 @@ from repro.errors import BufferPoolError
 from repro.storage.constants import DEFAULT_BUFFER_FRAMES
 from repro.storage.disk import SimulatedDisk
 from repro.storage.page import Page
+from repro.telemetry.metrics import NULL_METRICS
 
 _PageKey = tuple[int, int]
 
@@ -41,12 +42,24 @@ class _Frame:
 class BufferPool:
     """A fixed-capacity page cache over a :class:`SimulatedDisk`."""
 
-    def __init__(self, disk: SimulatedDisk, capacity: int = DEFAULT_BUFFER_FRAMES) -> None:
+    def __init__(self, disk: SimulatedDisk, capacity: int = DEFAULT_BUFFER_FRAMES,
+                 metrics=None) -> None:
         if capacity < 1:
             raise ValueError("buffer pool needs at least one frame")
         self.disk = disk
         self.capacity = capacity
         self._frames: OrderedDict[_PageKey, _Frame] = OrderedDict()
+        metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_hits = metrics.counter(
+            "bufferpool_hits_total", "page requests served from the pool")
+        self._m_misses = metrics.counter(
+            "bufferpool_misses_total", "page requests that went to disk")
+        self._m_evictions = metrics.counter(
+            "bufferpool_evictions_total", "frames evicted to make room")
+        self._m_writebacks = metrics.counter(
+            "bufferpool_writebacks_total", "dirty pages written back")
+        self._g_resident = metrics.gauge(
+            "bufferpool_resident_frames", "pages currently cached")
 
     @property
     def stats(self):
@@ -68,8 +81,11 @@ class BufferPool:
             self._make_room()
             frame = _Frame(Page(self.disk.read_page(file_id, page_no)))
             self._frames[key] = frame
+            self._m_misses.inc()
+            self._g_resident.set(len(self._frames))
         else:
             self.stats.buffer_hits += 1
+            self._m_hits.inc()
             self._frames.move_to_end(key)
         frame.pin_count += 1
         return frame.page
@@ -112,6 +128,7 @@ class BufferPool:
         frame.pin_count = 1
         self._frames[(file_id, page_no)] = frame
         self.stats.logical_reads += 1
+        self._g_resident.set(len(self._frames))
         return page_no, frame.page
 
     # -- flushing / eviction ------------------------------------------------
@@ -121,6 +138,8 @@ class BufferPool:
         for (file_id, page_no), frame in self._frames.items():
             if frame.dirty:
                 self.disk.write_page(file_id, page_no, bytes(frame.page.data))
+                self.stats.count_writeback()
+                self._m_writebacks.inc()
                 frame.dirty = False
 
     def drop_file_pages(self, file_id: int) -> None:
@@ -145,6 +164,10 @@ class BufferPool:
             if frame.pin_count == 0:
                 if frame.dirty:
                     self.disk.write_page(key[0], key[1], bytes(frame.page.data))
+                    self.stats.count_writeback()
+                    self._m_writebacks.inc()
                 del self._frames[key]
+                self.stats.count_eviction()
+                self._m_evictions.inc()
                 return
         raise BufferPoolError("all buffer frames are pinned")

@@ -17,15 +17,25 @@ from __future__ import annotations
 from repro.errors import FileNotFoundInStoreError
 from repro.storage.constants import PAGE_SIZE
 from repro.storage.stats import IOStatistics
+from repro.telemetry.metrics import NULL_METRICS
 
 
 class SimulatedDisk:
     """An in-memory collection of paged files with physical I/O counting."""
 
-    def __init__(self, stats: IOStatistics | None = None) -> None:
+    def __init__(self, stats: IOStatistics | None = None, metrics=None) -> None:
         self.stats = stats if stats is not None else IOStatistics()
         self._files: dict[int, list[bytearray]] = {}
         self._next_file_id = 1
+        metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_reads = metrics.counter(
+            "disk_reads_total", "pages read from the simulated disk")
+        self._m_writes = metrics.counter(
+            "disk_writes_total", "pages written to the simulated disk")
+        self._m_allocs = metrics.counter(
+            "disk_pages_allocated_total", "pages ever allocated")
+        self._g_files = metrics.gauge("disk_files", "live files")
+        self._g_pages = metrics.gauge("disk_pages", "live pages across all files")
 
     # -- file management ----------------------------------------------------
 
@@ -34,12 +44,15 @@ class SimulatedDisk:
         file_id = self._next_file_id
         self._next_file_id += 1
         self._files[file_id] = []
+        self._g_files.set(len(self._files))
         return file_id
 
     def drop_file(self, file_id: int) -> None:
         """Delete a file and all its pages."""
-        self._require(file_id)
+        pages = self._require(file_id)
         del self._files[file_id]
+        self._g_files.set(len(self._files))
+        self._g_pages.inc(-len(pages))
 
     def file_exists(self, file_id: int) -> bool:
         """Whether ``file_id`` names a live file."""
@@ -63,6 +76,8 @@ class SimulatedDisk:
         """
         pages = self._require(file_id)
         pages.append(bytearray(PAGE_SIZE))
+        self._m_allocs.inc()
+        self._g_pages.inc()
         return len(pages) - 1
 
     def read_page(self, file_id: int, page_no: int) -> bytearray:
@@ -70,6 +85,7 @@ class SimulatedDisk:
         pages = self._require(file_id)
         self._check_page(pages, file_id, page_no)
         self.stats.count_read(file_id)
+        self._m_reads.inc()
         return bytearray(pages[page_no])
 
     def write_page(self, file_id: int, page_no: int, data: bytes) -> None:
@@ -79,6 +95,7 @@ class SimulatedDisk:
         if len(data) != PAGE_SIZE:
             raise ValueError(f"page image must be {PAGE_SIZE} bytes, got {len(data)}")
         self.stats.count_write(file_id)
+        self._m_writes.inc()
         pages[page_no] = bytearray(data)
 
     # -- helpers ------------------------------------------------------------

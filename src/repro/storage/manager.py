@@ -20,10 +20,11 @@ from repro.storage.stats import IOSnapshot, IOStatistics
 class StorageManager:
     """Owns the disk, the buffer pool, and the file directory."""
 
-    def __init__(self, buffer_frames: int = DEFAULT_BUFFER_FRAMES) -> None:
+    def __init__(self, buffer_frames: int = DEFAULT_BUFFER_FRAMES,
+                 metrics=None) -> None:
         self.stats = IOStatistics()
-        self.disk = SimulatedDisk(self.stats)
-        self.pool = BufferPool(self.disk, capacity=buffer_frames)
+        self.disk = SimulatedDisk(self.stats, metrics=metrics)
+        self.pool = BufferPool(self.disk, capacity=buffer_frames, metrics=metrics)
         self._files_by_name: dict[str, HeapFile] = {}
         self._files_by_id: dict[int, HeapFile] = {}
         self._names_by_id: dict[int, str] = {}

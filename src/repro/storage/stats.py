@@ -36,6 +36,12 @@ class IOSnapshot:
     physical_writes: int = 0
     logical_reads: int = 0
     buffer_hits: int = 0
+    #: buffer frames evicted to make room (LRU victims only).
+    evictions: int = 0
+    #: dirty pages written back (on eviction *and* on explicit flushes) --
+    #: these writes also appear in ``physical_writes``; the separate count
+    #: explains why a read-only query can show write I/O.
+    dirty_writebacks: int = 0
     file_reads: dict = field(default_factory=dict)
     file_writes: dict = field(default_factory=dict)
 
@@ -66,6 +72,8 @@ class IOSnapshot:
             physical_writes=self.physical_writes - other.physical_writes,
             logical_reads=self.logical_reads - other.logical_reads,
             buffer_hits=self.buffer_hits - other.buffer_hits,
+            evictions=self.evictions - other.evictions,
+            dirty_writebacks=self.dirty_writebacks - other.dirty_writebacks,
             file_reads=_sub_counts(self.file_reads, other.file_reads),
             file_writes=_sub_counts(self.file_writes, other.file_writes),
         )
@@ -79,6 +87,8 @@ class IOStatistics:
         "physical_writes",
         "logical_reads",
         "buffer_hits",
+        "evictions",
+        "dirty_writebacks",
         "file_reads",
         "file_writes",
     )
@@ -88,6 +98,8 @@ class IOStatistics:
         self.physical_writes = 0
         self.logical_reads = 0
         self.buffer_hits = 0
+        self.evictions = 0
+        self.dirty_writebacks = 0
         self.file_reads: dict[int, int] = {}
         self.file_writes: dict[int, int] = {}
 
@@ -97,6 +109,8 @@ class IOStatistics:
         self.physical_writes = 0
         self.logical_reads = 0
         self.buffer_hits = 0
+        self.evictions = 0
+        self.dirty_writebacks = 0
         self.file_reads.clear()
         self.file_writes.clear()
 
@@ -110,6 +124,14 @@ class IOStatistics:
         self.physical_writes += 1
         self.file_writes[file_id] = self.file_writes.get(file_id, 0) + 1
 
+    def count_eviction(self) -> None:
+        """Record one buffer frame evicted to make room."""
+        self.evictions += 1
+
+    def count_writeback(self) -> None:
+        """Record one dirty page written back from the pool."""
+        self.dirty_writebacks += 1
+
     def snapshot(self) -> IOSnapshot:
         """Return an immutable copy of the current counters."""
         return IOSnapshot(
@@ -117,6 +139,8 @@ class IOStatistics:
             physical_writes=self.physical_writes,
             logical_reads=self.logical_reads,
             buffer_hits=self.buffer_hits,
+            evictions=self.evictions,
+            dirty_writebacks=self.dirty_writebacks,
             file_reads=dict(self.file_reads),
             file_writes=dict(self.file_writes),
         )
@@ -129,5 +153,6 @@ class IOStatistics:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"IOStatistics(pr={self.physical_reads}, pw={self.physical_writes}, "
-            f"lr={self.logical_reads}, hits={self.buffer_hits})"
+            f"lr={self.logical_reads}, hits={self.buffer_hits}, "
+            f"ev={self.evictions}, wb={self.dirty_writebacks})"
         )

@@ -1,0 +1,70 @@
+"""repro.telemetry: tracing, metrics, and model-drift monitoring.
+
+One :class:`Telemetry` object per database bundles the three observability
+surfaces:
+
+* :class:`~repro.telemetry.tracing.Tracer` -- structured per-query spans
+  with I/O attribution, exported as JSONL;
+* :class:`~repro.telemetry.metrics.MetricsRegistry` -- counters, gauges,
+  and histograms fed by the buffer pool, disk, replication manager, and
+  indexes, rendered plain or Prometheus-style;
+* :class:`~repro.telemetry.drift.DriftMonitor` -- the Section 6 cost
+  model's predictions scored against measured query I/O.
+
+Everything is off-or-cheap by default: tracing is opt-in, metric
+increments are plain dict updates, and drift records are only produced by
+the model workload driver.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.drift import DriftMonitor, DriftRecord
+from repro.telemetry.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.telemetry.tracing import Span, Tracer
+
+
+class Telemetry:
+    """The per-database observability bundle."""
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer()
+        self.drift = DriftMonitor()
+        # Pre-register the query histograms so their help text is set
+        # before the runner's get-or-create observe() calls.
+        self.metrics.histogram("query_io_pages",
+                               "physical page I/O per executed statement")
+        self.metrics.histogram("query_rows",
+                               "rows returned per executed statement")
+
+    def attach_stats(self, stats) -> None:
+        """Bind the engine's shared IOStatistics (for span I/O deltas)."""
+        self.tracer.stats = stats
+
+    def reset(self) -> None:
+        """Forget everything recorded so far (tracing stays on/off as is)."""
+        self.metrics.reset()
+        self.tracer.clear()
+        self.drift.reset()
+
+
+__all__ = [
+    "Counter",
+    "DriftMonitor",
+    "DriftRecord",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullMetricsRegistry",
+    "Span",
+    "Telemetry",
+    "Tracer",
+]

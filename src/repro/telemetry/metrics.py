@@ -1,0 +1,266 @@
+"""A small metrics registry: counters, gauges, and histograms.
+
+Every engine component that does physically interesting work publishes
+into one shared :class:`MetricsRegistry` (owned by the database's
+:class:`~repro.telemetry.Telemetry`):
+
+* the buffer pool: hits, misses, evictions, dirty write-backs;
+* the simulated disk: physical reads/writes, page allocations;
+* the replication manager: propagations, fan-out, link-object touches;
+* the secondary (B+-tree / path) indexes: lookups, range scans, entry
+  maintenance;
+* the query runner: per-query I/O and row-count histograms.
+
+Metrics support flat label sets (``counter.inc(kind="read")``) and render
+both as a plain-text table (:meth:`MetricsRegistry.render_text`) and in
+the Prometheus exposition format (:meth:`MetricsRegistry.render_prometheus`),
+so a scrape endpoint or a test can consume the same numbers.
+
+Components that can be constructed standalone (a bare ``BufferPool`` in a
+unit test) default to :data:`NULL_METRICS`, a no-op registry with the same
+surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: _LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing value, optionally split by labels."""
+
+    name: str
+    help: str = ""
+    _values: dict = field(default_factory=dict)
+
+    kind = "counter"
+
+    def inc(self, amount: int | float = 1, **labels) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels) -> int | float:
+        return self._values.get(_label_key(labels), 0)
+
+    def samples(self):
+        for key in sorted(self._values):
+            yield self.name + _render_labels(key), self._values[key]
+
+
+@dataclass
+class Gauge:
+    """A value that goes up and down (resident frames, live pages, ...)."""
+
+    name: str
+    help: str = ""
+    _values: dict = field(default_factory=dict)
+
+    kind = "gauge"
+
+    def set(self, value: int | float, **labels) -> None:
+        self._values[_label_key(labels)] = value
+
+    def inc(self, amount: int | float = 1, **labels) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels) -> int | float:
+        return self._values.get(_label_key(labels), 0)
+
+    def samples(self):
+        for key in sorted(self._values):
+            yield self.name + _render_labels(key), self._values[key]
+
+
+#: bucket bounds suited to per-query page-I/O counts.
+DEFAULT_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 1000)
+
+
+@dataclass
+class Histogram:
+    """A cumulative-bucket histogram in the Prometheus style."""
+
+    name: str
+    help: str = ""
+    buckets: tuple = DEFAULT_BUCKETS
+    _counts: dict = field(default_factory=dict)
+    _sums: dict = field(default_factory=dict)
+    _totals: dict = field(default_factory=dict)
+
+    kind = "histogram"
+
+    def observe(self, value: int | float, **labels) -> None:
+        key = _label_key(labels)
+        counts = self._counts.setdefault(key, [0] * (len(self.buckets) + 1))
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[i] += 1
+        counts[-1] += 1  # the +Inf bucket
+        self._sums[key] = self._sums.get(key, 0) + value
+        self._totals[key] = self._totals.get(key, 0) + 1
+
+    def count(self, **labels) -> int:
+        return self._totals.get(_label_key(labels), 0)
+
+    def sum(self, **labels) -> int | float:
+        return self._sums.get(_label_key(labels), 0)
+
+    def mean(self, **labels) -> float:
+        n = self.count(**labels)
+        return self.sum(**labels) / n if n else 0.0
+
+    def samples(self):
+        for key in sorted(self._counts):
+            counts = self._counts[key]
+            for bound, cumulative in zip(self.buckets, counts):
+                labels = key + (("le", str(bound)),)
+                yield f"{self.name}_bucket" + _render_labels(labels), cumulative
+            yield (
+                f"{self.name}_bucket" + _render_labels(key + (("le", "+Inf"),)),
+                counts[-1],
+            )
+            yield f"{self.name}_sum" + _render_labels(key), self._sums[key]
+            yield f"{self.name}_count" + _render_labels(key), self._totals[key]
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, factory, help_: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory(name, help_)
+            self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help_: str = "") -> Counter:
+        return self._get(name, Counter, help_)
+
+    def gauge(self, name: str, help_: str = "") -> Gauge:
+        return self._get(name, Gauge, help_)
+
+    def histogram(self, name: str, help_: str = "",
+                  buckets: tuple = DEFAULT_BUCKETS) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, help_, buckets)
+            self._metrics[name] = metric
+        return metric
+
+    # -- convenience ---------------------------------------------------------
+
+    def inc(self, name: str, amount: int | float = 1, **labels) -> None:
+        self.counter(name).inc(amount, **labels)
+
+    def observe(self, name: str, value: int | float, **labels) -> None:
+        self.histogram(name).observe(value, **labels)
+
+    def value(self, name: str, **labels) -> int | float:
+        metric = self._metrics.get(name)
+        return metric.value(**labels) if metric is not None else 0
+
+    def metrics(self):
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    # -- rendering -----------------------------------------------------------
+
+    def render_text(self) -> str:
+        """A plain fixed-width dump, one sample per line."""
+        lines = []
+        for metric in self.metrics():
+            for sample_name, value in metric.samples():
+                rendered = f"{value:.3f}".rstrip("0").rstrip(".") \
+                    if isinstance(value, float) else str(value)
+                lines.append(f"{sample_name:55s} {rendered}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format."""
+        lines = []
+        for metric in self.metrics():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for sample_name, value in metric.samples():
+                lines.append(f"{sample_name} {value}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _NullMetric:
+    """Accepts every metric operation and does nothing."""
+
+    __slots__ = ()
+
+    def inc(self, amount=1, **labels) -> None:
+        pass
+
+    def set(self, value, **labels) -> None:
+        pass
+
+    def observe(self, value, **labels) -> None:
+        pass
+
+    def value(self, **labels) -> int:
+        return 0
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullMetricsRegistry:
+    """Registry stand-in for components built without telemetry."""
+
+    __slots__ = ()
+
+    def counter(self, name: str, help_: str = "") -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str, help_: str = "") -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str, help_: str = "", buckets=DEFAULT_BUCKETS) -> _NullMetric:
+        return _NULL_METRIC
+
+    def inc(self, name: str, amount=1, **labels) -> None:
+        pass
+
+    def observe(self, name: str, value, **labels) -> None:
+        pass
+
+    def value(self, name: str, **labels) -> int:
+        return 0
+
+    def metrics(self) -> list:
+        return []
+
+    def reset(self) -> None:
+        pass
+
+    def render_text(self) -> str:
+        return "(no metrics recorded)"
+
+    def render_prometheus(self) -> str:
+        return ""
+
+
+NULL_METRICS = NullMetricsRegistry()

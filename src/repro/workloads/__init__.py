@@ -5,6 +5,8 @@ from repro.workloads.simulate import (
     MeasuredCosts,
     compare_strategies,
     measure_strategy,
+    model_params,
+    model_prediction,
     percent_differences,
     run_read_query,
     run_update_query,
@@ -17,6 +19,8 @@ __all__ = [
     "build_model_database",
     "compare_strategies",
     "measure_strategy",
+    "model_params",
+    "model_prediction",
     "percent_differences",
     "run_read_query",
     "run_update_query",

@@ -23,14 +23,50 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, replace
 
+from repro.costmodel import (
+    CostParameters,
+    ModelStrategy,
+    Setting,
+    read_cost,
+    update_cost,
+)
 from repro.workloads.generator import ModelDatabase, WorkloadConfig, build_model_database
 
 STRATEGIES = ("none", "inplace", "separate")
 
+_MODEL_STRATEGY = {
+    "none": ModelStrategy.NO_REPLICATION,
+    "inplace": ModelStrategy.IN_PLACE,
+    "separate": ModelStrategy.SEPARATE,
+}
+
+
+def model_params(config: WorkloadConfig) -> CostParameters:
+    """The Section 6 parameters matching a workload configuration."""
+    return CostParameters(n_s=config.n_s, f=config.f, f_r=config.f_r,
+                          f_s=config.f_s, k=config.k, r=config.r, s=config.s)
+
+
+def model_prediction(config: WorkloadConfig, kind: str) -> float:
+    """The cost model's predicted I/O for one query of ``kind`` on
+    ``config`` ("read" or "update")."""
+    params = model_params(config)
+    strategy = _MODEL_STRATEGY[config.strategy]
+    setting = Setting.CLUSTERED if config.clustered else Setting.UNCLUSTERED
+    if kind == "read":
+        return read_cost(params, strategy, setting)
+    if kind == "update":
+        return update_cost(params, strategy, setting)
+    raise ValueError(f"unknown query kind {kind!r}")
+
 
 def run_read_query(mdb: ModelDatabase, rng: random.Random,
                    materialize: bool = True) -> int:
-    """One cold-cache read query; returns its physical I/O."""
+    """One cold-cache read query; returns its physical I/O.
+
+    Every measured query also feeds the database's drift monitor with
+    the cost model's prediction for this configuration.
+    """
     cfg = mdb.config
     span = cfg.objects_per_read
     lo = rng.randrange(0, cfg.n_r - span + 1)
@@ -44,7 +80,10 @@ def run_read_query(mdb: ModelDatabase, rng: random.Random,
     )
     mdb.db.storage.pool.flush_all()  # charge deferred write-backs to this query
     assert len(result) == span
-    return (mdb.db.stats.snapshot() - before).total_io
+    observed = (mdb.db.stats.snapshot() - before).total_io
+    mdb.db.telemetry.drift.record(
+        "read", cfg.strategy, model_prediction(cfg, "read"), observed)
+    return observed
 
 
 def run_update_query(mdb: ModelDatabase, rng: random.Random) -> int:
@@ -62,7 +101,10 @@ def run_update_query(mdb: ModelDatabase, rng: random.Random) -> int:
     )
     mdb.db.storage.pool.flush_all()  # charge deferred write-backs to this query
     assert len(result) == span
-    return (mdb.db.stats.snapshot() - before).total_io
+    observed = (mdb.db.stats.snapshot() - before).total_io
+    mdb.db.telemetry.drift.record(
+        "update", cfg.strategy, model_prediction(cfg, "update"), observed)
+    return observed
 
 
 def run_mix(mdb: ModelDatabase, p_update: float, n_queries: int,

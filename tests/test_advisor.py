@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.costmodel import ModelStrategy
 from repro.costmodel.advisor import (
     PathWorkload,
-    Recommendation,
     recommend,
     sweep_recommendations,
 )

@@ -95,3 +95,87 @@ def test_main_with_piped_script(tmp_path, monkeypatch, capsys):
     assert cli.main([str(script)]) == 0
     captured = capsys.readouterr()
     assert "(0 row(s))" in captured.out
+
+
+def _populated_shell():
+    out = io.StringIO()
+    shell = Shell(out=out)
+    shell.run_block(SETUP)
+    db = shell.db
+    toys = db.insert("Dept", {"name": "toys", "budget": 100})
+    db.insert("Emp1", {"name": "alice", "salary": 50_000, "dept": toys})
+    db.insert("Emp1", {"name": "bob", "salary": 60_000, "dept": toys})
+    out.truncate(0)
+    out.seek(0)
+    return shell, out
+
+
+def test_stats_shows_evictions_and_metrics():
+    shell, out = _populated_shell()
+    shell.run_block("\\cold\nretrieve (Emp1.name)\n\n\\stats")
+    text = out.getvalue()
+    assert "physical reads" in text          # the original one-liner survives
+    assert "evictions" in text and "dirty writebacks" in text
+    assert "disk_reads_total" in text
+    assert "bufferpool_misses_total" in text
+
+
+def test_stats_prometheus_exposition():
+    shell, out = _populated_shell()
+    shell.run_block("\\cold\nretrieve (Emp1.name)\n\n\\stats prom")
+    text = out.getvalue()
+    assert "# TYPE disk_reads_total counter" in text
+    assert "# TYPE bufferpool_resident_frames gauge" in text
+
+
+def test_trace_on_dump_clear_off():
+    shell, out = _populated_shell()
+    shell.run_block("\\trace on\nretrieve (Emp1.dept.name)\n\n\\trace dump")
+    text = out.getvalue()
+    assert "tracing on" in text
+    assert '"name": "query"' in text
+    assert '"name": "functional_join"' in text
+    out.truncate(0)
+    out.seek(0)
+    shell.run_block("\\trace clear\n\\trace off\n\\trace dump")
+    text = out.getvalue()
+    assert "trace cleared" in text and "tracing off" in text
+    assert "(no spans recorded)" in text
+
+
+def test_trace_dump_to_file(tmp_path):
+    shell, out = _populated_shell()
+    target = tmp_path / "trace.jsonl"
+    shell.run_block(f"\\trace on\nretrieve (Emp1.name)\n\n\\trace dump {target}")
+    assert "wrote" in out.getvalue()
+    assert target.exists() and target.read_text().strip()
+
+
+def test_trace_dump_unwritable_path_does_not_kill_session():
+    shell, out = _populated_shell()
+    shell.run_block("\\trace on\nretrieve (Emp1.name)\n\n"
+                    "\\trace dump /no/such/dir/t.jsonl\n\\stats")
+    text = out.getvalue()
+    assert "error: cannot write trace" in text
+    assert "physical reads" in text  # the session survived
+
+
+def test_explain_analyze_statement():
+    shell, out = _populated_shell()
+    shell.run_block("explain analyze retrieve (Emp1.name, Emp1.dept.name)")
+    text = out.getvalue()
+    assert "operator" in text and "functional_join" in text
+    assert "total" in text and "(2 row(s))" in text
+    out.truncate(0)
+    out.seek(0)
+    # plain explain still just plans
+    shell.run_block("explain retrieve (Emp1.name)")
+    assert "FileScan(Emp1)" in out.getvalue()
+
+
+def test_monitor_meta_command():
+    shell, out = _populated_shell()
+    shell.run_block("retrieve (Emp1.dept.name)\n\n\\monitor")
+    text = out.getvalue()
+    assert "observed functional joins" in text
+    assert "Emp1.dept.name" in text

@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro import Database, TypeDefinition, char_field, int_field, ref_field
+from repro import TypeDefinition, char_field, int_field, ref_field
 from repro.errors import SerializationError
 from repro.objects.encoding import encode_object
-from repro.objects.instance import LinkEntry, StoredObject
+from repro.objects.instance import LinkEntry
 from repro.storage.oid import OID
 
 

@@ -4,7 +4,7 @@ import io
 
 import pytest
 
-from repro import Database, TypeDefinition, char_field, int_field
+from repro import Database, TypeDefinition, int_field
 
 
 def test_describe_lazy_and_colocated_paths(company):

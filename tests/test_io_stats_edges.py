@@ -1,0 +1,137 @@
+"""IOSnapshot arithmetic edge cases + eviction/write-back accounting."""
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.stats import IOSnapshot, IOStatistics
+
+
+def _snap(**kwargs) -> IOSnapshot:
+    base = dict(physical_reads=0, physical_writes=0, logical_reads=0,
+                buffer_hits=0, evictions=0, dirty_writebacks=0,
+                file_reads={}, file_writes={})
+    base.update(kwargs)
+    return IOSnapshot(**base)
+
+
+# ---------------------------------------------------------------------------
+# snapshot arithmetic
+# ---------------------------------------------------------------------------
+
+
+def test_subtraction_with_disjoint_file_reads():
+    later = _snap(physical_reads=5, file_reads={1: 3, 2: 2})
+    earlier = _snap(physical_reads=2, file_reads={3: 2})
+    delta = later - earlier
+    # file 3 never went negative-by-omission: it is simply absent/zero
+    assert delta.physical_reads == 3
+    assert delta.reads_for(1) == 3
+    assert delta.reads_for(2) == 2
+    assert delta.reads_for(3) == -2
+    assert delta.total_io == 3
+
+
+def test_zero_traffic_snapshot_subtraction():
+    a = _snap()
+    b = _snap()
+    delta = a - b
+    assert delta.total_io == 0
+    assert delta.touched_files() == set()
+    assert delta == _snap()
+
+
+def test_subtraction_carries_evictions_and_writebacks():
+    later = _snap(physical_writes=4, evictions=7, dirty_writebacks=3)
+    earlier = _snap(physical_writes=1, evictions=2, dirty_writebacks=1)
+    delta = later - earlier
+    assert delta.evictions == 5
+    assert delta.dirty_writebacks == 2
+    assert delta.physical_writes == 3
+
+
+def test_stats_snapshot_includes_new_counters():
+    stats = IOStatistics()
+    stats.count_eviction()
+    stats.count_writeback()
+    stats.count_writeback()
+    snap = stats.snapshot()
+    assert snap.evictions == 1
+    assert snap.dirty_writebacks == 2
+    stats.reset()
+    after = stats.snapshot()
+    assert after.evictions == 0 and after.dirty_writebacks == 0
+
+
+# ---------------------------------------------------------------------------
+# buffer pool feeds the counters
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def tiny_pool():
+    disk = SimulatedDisk()
+    pool = BufferPool(disk, capacity=2)
+    fid = disk.create_file()
+    pages = []
+    for __ in range(4):
+        page_no, __page = pool.new_page(fid)
+        pool.unpin(fid, page_no)
+        pages.append(page_no)
+    return disk, pool, fid, pages
+
+
+def test_evictions_counted_on_lru_pressure(tiny_pool):
+    disk, pool, fid, pages = tiny_pool
+    # 4 new pages through a 2-frame pool: 2 evictions already happened
+    assert disk.stats.evictions == 2
+    # evicted pages were dirty (fresh pages), so they were written back
+    assert disk.stats.dirty_writebacks == 2
+    before = disk.stats.evictions
+    with pool.page(fid, pages[0]):
+        pass
+    assert disk.stats.evictions == before + 1
+
+
+def test_clean_eviction_does_not_count_writeback(tiny_pool):
+    disk, pool, fid, pages = tiny_pool
+    pool.invalidate_all()   # flush + empty; resident set now clean
+    with pool.page(fid, pages[0]):
+        pass
+    with pool.page(fid, pages[1]):
+        pass
+    writebacks = disk.stats.dirty_writebacks
+    evictions = disk.stats.evictions
+    with pool.page(fid, pages[2]):  # evicts a clean frame
+        pass
+    assert disk.stats.evictions == evictions + 1
+    assert disk.stats.dirty_writebacks == writebacks
+
+
+def test_flush_all_counts_writebacks_not_evictions(tiny_pool):
+    disk, pool, fid, pages = tiny_pool
+    pool.invalidate_all()
+    with pool.page(fid, pages[0]):
+        pool.mark_dirty(fid, pages[0])
+    evictions = disk.stats.evictions
+    writebacks = disk.stats.dirty_writebacks
+    pool.flush_all()
+    assert disk.stats.dirty_writebacks == writebacks + 1
+    assert disk.stats.evictions == evictions
+    pool.flush_all()  # now clean: nothing new
+    assert disk.stats.dirty_writebacks == writebacks + 1
+
+
+def test_measured_delta_attributes_evictions(tiny_pool):
+    disk, pool, fid, pages = tiny_pool
+    pool.invalidate_all()
+    before = disk.stats.snapshot()
+    with pool.page(fid, pages[0]):
+        pass
+    with pool.page(fid, pages[1]):
+        pass
+    with pool.page(fid, pages[2]):
+        pass
+    delta = disk.stats.snapshot() - before
+    assert delta.evictions == 1
+    assert delta.physical_reads == 3

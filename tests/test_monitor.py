@@ -111,3 +111,31 @@ def test_empty_queries_not_counted(company):
     db = company["db"]
     db.execute("retrieve (Emp1.dept.name) where Emp1.salary > 10000000")
     assert db.monitor.path_observations() == []
+
+
+def test_candidates_weight_by_rows_pins_both_estimates(company):
+    db = company["db"]
+    # 2 read queries walking 6 + 4 = 10 join rows
+    db.execute("retrieve (Emp1.name, Emp1.dept.name)")
+    db.execute("retrieve (Emp1.dept.name) where Emp1.salary > 60000")
+    # 1 update statement touching 2 Dept objects
+    db.execute("replace (Dept.name = 'x') where Dept.budget <= 200")
+
+    by_statements = db.monitor.candidates()[0]
+    # statement-based: 1 update stmt / (2 queries + 1 stmt)
+    assert by_statements.estimated_p_update == 1 / 3
+
+    by_rows = db.monitor.candidates(weight_by_rows=True)[0]
+    # row-based: 2 updated objects / (10 join rows + 2 objects)
+    assert by_rows.estimated_p_update == 2 / 12
+    # the reported statement count is row-independent
+    assert by_rows.update_statements == by_statements.update_statements == 1
+
+
+def test_updates_against_rows_option(company):
+    db = company["db"]
+    db.execute("retrieve (Emp1.dept.name)")
+    db.execute("replace (Dept.name = 'x') where Dept.budget <= 200")
+    obs = db.monitor.path_observations()[0]
+    assert db.monitor.updates_against(obs) == 1
+    assert db.monitor.updates_against(obs, rows=True) == 2

@@ -1,12 +1,11 @@
 """Parser robustness: fuzzing and describe round-trips."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import Database
 from repro.errors import ReproError
-from repro.objects.types import FieldKind, TypeDefinition
+from repro.objects.types import FieldKind
 from repro.query.language import parse_statement
 from repro.schema.parser import parse_type_definition, split_script
 

@@ -73,7 +73,7 @@ def test_colocated_vs_plain_link_io():
     """At scale, co-location reads fewer link pages per propagation."""
     import random
 
-    from repro import Database, TypeDefinition, char_field, int_field, ref_field
+    from repro import Database, TypeDefinition, char_field, ref_field
 
     def build(cluster):
         rng = random.Random(3)

@@ -1,6 +1,5 @@
 """Direct unit tests for secondary indexes (composite keys, ranges)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
