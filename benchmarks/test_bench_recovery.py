@@ -1,0 +1,135 @@
+"""WAL overhead: crash safety must not distort the paper's I/O study.
+
+Runs an identical replicated update/read workload twice -- write-ahead
+log off (the experiments' default) and on (the crash-safe shell
+default) -- and checks that per-statement *physical data I/O* is
+byte-identical: the log lives on its own device and is accounted only
+by its own counters (``wal_records_total`` / ``wal_flushes_total`` /
+``wal_bytes_total``).  Wall-clock overhead and the separate log traffic
+are recorded in ``BENCH_wal_overhead.json``, together with the time a
+full crash + recovery cycle takes at the same scale.
+"""
+
+import json
+import time
+
+from repro import Database, TypeDefinition, char_field, int_field, ref_field
+from repro.errors import DiskFault
+
+from benchmarks.conftest import save_result
+
+_DEPTS = 4
+_EMPS = 48
+_STATEMENTS = 24
+
+
+def _build(wal: bool) -> tuple[Database, list, list]:
+    db = Database(wal=wal, buffer_frames=16)
+    db.define_type(TypeDefinition("DEPT", [char_field("name", 200),
+                                           int_field("budget")]))
+    db.define_type(TypeDefinition("EMP", [char_field("name", 200),
+                                          int_field("salary"),
+                                          ref_field("dept", "DEPT")]))
+    db.create_set("Dept", "DEPT")
+    db.create_set("Emp", "EMP")
+    depts = [db.insert("Dept", {"name": f"dept{i}", "budget": 100 * i})
+             for i in range(_DEPTS)]
+    emps = [db.insert("Emp", {"name": f"emp{i}", "salary": 1000 + i,
+                              "dept": depts[i % _DEPTS]})
+            for i in range(_EMPS)]
+    db.replicate("Emp.dept.name")
+    return db, depts, emps
+
+
+def _statements(db, depts, emps):
+    """A deterministic propagation-heavy mix of updates and reads."""
+    thunks = []
+    for i in range(_STATEMENTS):
+        if i % 3 == 0:
+            dept = depts[i % _DEPTS]
+            thunks.append(lambda d=dept, i=i: db.update(
+                "Dept", d, {"name": f"renamed{i}" * 10}))
+        elif i % 3 == 1:
+            emp = emps[i % _EMPS]
+            thunks.append(lambda e=emp, i=i: db.update(
+                "Emp", e, {"salary": 5000 + i}))
+        else:
+            thunks.append(lambda: db.execute(
+                "retrieve (Emp.name, Emp.dept.name) where Emp.salary > 3000"))
+    return thunks
+
+
+def _run_mode(wal: bool) -> dict:
+    db, depts, emps = _build(wal)
+    io_per_statement = []
+    started = time.perf_counter()
+    for thunk in _statements(db, depts, emps):
+        db.cold_cache()
+        before = db.stats.snapshot()
+        thunk()
+        db.storage.pool.flush_all()
+        io_per_statement.append((db.stats.snapshot() - before).total_io)
+    elapsed = time.perf_counter() - started
+    metrics = db.telemetry.metrics
+    return {
+        "mode": "wal" if wal else "off",
+        "io_per_statement": io_per_statement,
+        "total_io": sum(io_per_statement),
+        "wall_seconds": round(elapsed, 4),
+        "wal_io": {
+            "records": sum(
+                v for __, v in metrics.counter("wal_records_total").samples()),
+            "flushes": metrics.value("wal_flushes_total"),
+            "bytes": metrics.value("wal_bytes_total"),
+        },
+    }
+
+
+def _measure_recovery() -> dict:
+    """Crash the workload mid-flight (torn write), then time recovery."""
+    db, depts, emps = _build(wal=True)
+    db.checkpoint()
+    db.faults.fail_after_writes(5, torn=True)
+    try:
+        for thunk in _statements(db, depts, emps):
+            thunk()
+            db.cold_cache()  # flush faults mark the database crashed too
+    except DiskFault:
+        pass
+    assert db.recovery.needs_recovery
+    started = time.perf_counter()
+    report = db.recover()
+    elapsed = time.perf_counter() - started
+    return {
+        "recover_wall_seconds": round(elapsed, 4),
+        "statements_replayed": report.statements_replayed,
+        "statements_discarded": report.statements_discarded,
+        "pages_redone": report.pages_redone,
+        "pages_rolled_back": report.pages_rolled_back,
+    }
+
+
+def test_wal_overhead(benchmark, results_dir):
+    _run_mode(False)  # warm the code paths so wall-clock deltas are honest
+    results = benchmark.pedantic(
+        lambda: [_run_mode(False), _run_mode(True)],
+        rounds=1, iterations=1,
+    )
+    off, wal = results
+    # crash safety never changes what the engine reads or writes
+    assert off["io_per_statement"] == wal["io_per_statement"]
+    # and the log really was exercised, on its own ledger
+    assert off["wal_io"]["records"] == 0
+    assert wal["wal_io"]["records"] > 0
+    assert wal["wal_io"]["flushes"] > 0
+    base = off["wall_seconds"]
+    payload = {
+        "config": {"depts": _DEPTS, "emps": _EMPS,
+                   "statements": _STATEMENTS, "path": "Emp.dept.name"},
+        "modes": results,
+        "wall_overhead_vs_off": (
+            round(wal["wall_seconds"] / base - 1.0, 4) if base else None),
+        "recovery": _measure_recovery(),
+    }
+    save_result(results_dir, "BENCH_wal_overhead.json",
+                json.dumps(payload, indent=2))

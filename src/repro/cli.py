@@ -21,9 +21,15 @@ with ``;`` or a blank line.  Meta-commands:
     \\trace dump [file] print (or export) the JSONL trace
     \\monitor           workload observations + model-vs-actual drift
     \\verify            run the replication consistency checker
+    \\doctor [repair]   diagnose (and with ``repair`` fix) replica drift
+    \\recover           replay the WAL after an injected crash
     \\cold              flush + empty the buffer pool
     \\help              this text
     \\quit              leave
+
+The shell's database runs with the write-ahead log enabled, so every
+statement is atomic and a session survives injected faults: a failed
+statement prints one line and the next prompt appears.
 """
 
 from __future__ import annotations
@@ -67,7 +73,7 @@ class Shell:
     """One interactive session over a fresh database."""
 
     def __init__(self, out=None) -> None:
-        self.db = Database()
+        self.db = Database(wal=True)
         self.out = out if out is not None else sys.stdout
         self.done = False
 
@@ -77,6 +83,13 @@ class Shell:
     # -- dispatch -----------------------------------------------------------
 
     def run_meta(self, line: str) -> None:
+        """Dispatch one backslash command; errors never kill the session."""
+        try:
+            self._dispatch_meta(line)
+        except ReproError as exc:
+            self.write(f"error: {exc}")
+
+    def _dispatch_meta(self, line: str) -> None:
         words = line.strip().split()
         command = words[0][1:]
         args = words[1:]
@@ -106,6 +119,14 @@ class Shell:
         elif command == "verify":
             self.db.verify()
             self.write("all replication invariants hold")
+        elif command == "doctor":
+            report = self.db.doctor(repair=bool(args) and args[0] == "repair")
+            self.write(report.render())
+        elif command == "recover":
+            if not self.db.recovery.needs_recovery:
+                self.write("nothing to recover (no crash since the last recovery)")
+            else:
+                self.write(str(self.db.recover()))
         elif command == "cold":
             self.db.cold_cache()
             self.write("buffer pool flushed and emptied")

@@ -42,6 +42,18 @@ class RecordTooLargeError(StorageError):
     """A record exceeds the maximum payload a page can hold."""
 
 
+class DiskFault(StorageError):
+    """An injected disk failure (crash, torn write, or hard read error)."""
+
+
+class WalError(StorageError):
+    """The write-ahead log was malformed or misused."""
+
+
+class SnapshotError(StorageError):
+    """A snapshot file could not be written or read back."""
+
+
 # --------------------------------------------------------------------------
 # object layer
 # --------------------------------------------------------------------------

@@ -103,6 +103,11 @@ class BPlusTree:
         """Re-open a tree persisted in ``file_id``."""
         return cls(pool, file_id, key_width, _open_existing=True)
 
+    def reopen_meta(self) -> None:
+        """Re-read the cached root/height after rollback or recovery
+        rewrote this tree's pages underneath the session."""
+        self.root_page, __, self.height = self._read_meta()
+
     @classmethod
     def bulk_load(cls, pool: BufferPool, file_id: int, key_width: int,
                   items, fill_factor: float = 0.9) -> "BPlusTree":

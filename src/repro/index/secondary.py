@@ -143,6 +143,19 @@ class SecondaryIndex:
         """All entries in value order."""
         return self.range()
 
+    def rebuild_stats(self) -> None:
+        """Recompute the running statistics with one leaf-chain walk (used
+        after snapshot load and crash recovery, when the in-memory numbers
+        no longer describe the on-disk tree)."""
+        self.stat_count = 0
+        self.stat_min = None
+        self.stat_max = None
+        for value, __oid in self.items():
+            self.stat_count += 1
+            if self.stat_min is None:
+                self.stat_min = value
+            self.stat_max = value
+
     def count(self) -> int:
         """Number of entries."""
         return self.tree.count()

@@ -33,18 +33,25 @@ def _plan_statement(db: Database, stmt, materialize: bool):
 
 def execute_statement(db: Database, stmt, materialize: bool = True,
                       analyze: bool = False) -> QueryResult:
-    """Plan and run an already-parsed statement."""
+    """Plan and run an already-parsed statement.
+
+    The whole statement runs in one WAL statement scope, so a multi-row
+    ``replace`` or ``delete`` is atomic as a unit (each row's ``db.update``
+    / ``db.delete`` joins the enclosing scope); pure retrieves leave no
+    trace in the log.
+    """
     tracer = db.telemetry.tracer
-    if not tracer.enabled:
-        plan, run = _plan_statement(db, stmt, materialize)
-        result = run(db, plan, analyze=analyze)
-    else:
-        with tracer.span("plan"):
+    with db.recovery.statement(type(stmt).__name__.lower()):
+        if not tracer.enabled:
             plan, run = _plan_statement(db, stmt, materialize)
-        with tracer.span("execute", plan=plan.explain()) as span:
-            result = run(db, plan, analyze=True)
-            span.set("rows", len(result.rows))
-            _emit_operator_spans(tracer, result.operators, span)
+            result = run(db, plan, analyze=analyze)
+        else:
+            with tracer.span("plan"):
+                plan, run = _plan_statement(db, stmt, materialize)
+            with tracer.span("execute", plan=plan.explain()) as span:
+                result = run(db, plan, analyze=True)
+                span.set("rows", len(result.rows))
+                _emit_operator_spans(tracer, result.operators, span)
     metrics = db.telemetry.metrics
     metrics.observe("query_io_pages", result.io.total_io)
     metrics.observe("query_rows", len(result.rows))

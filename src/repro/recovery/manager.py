@@ -1,0 +1,247 @@
+"""Statement atomicity and crash recovery for one database.
+
+The :class:`RecoveryManager` is the thin layer that turns the WAL and the
+fault-injected disk into a usable contract:
+
+* :meth:`statement` wraps every DML statement (and the replication /
+  link / index maintenance it cascades into) in one WAL statement scope.
+  A logical error (refused delete, bad field, dangling reference) rolls
+  the statement back *live*: before-images are restored, allocations are
+  truncated, and the session keeps going.  A :class:`DiskFault` instead
+  leaves the incomplete tail in the log and flags the database as
+  crashed -- only :meth:`recover` (the "restart") makes it usable again.
+* :meth:`recover` discards the buffer pool (a crash loses memory),
+  redoes every committed statement from its after-images, rolls the
+  trailing incomplete statement back from its before-images, truncates
+  its page allocations, rebuilds session caches (heap free-space maps,
+  B+-tree meta, lazy-queue mirrors), and re-verifies replication.
+* :meth:`checkpoint` flushes the pool and truncates the log; DDL
+  statements checkpoint implicitly so the log only ever describes DML.
+
+Redo/undo writes bypass the I/O statistics: recovery I/O is reported in
+the :class:`RecoveryReport` instead, so the paper's per-query figures
+stay clean.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.recovery.faults import DiskFault
+from repro.recovery.wal import WriteAheadLog
+
+
+@dataclass
+class RecoveryReport:
+    """What one :meth:`RecoveryManager.recover` call did."""
+
+    statements_replayed: int = 0
+    statements_discarded: int = 0
+    pages_redone: int = 0
+    pages_rolled_back: int = 0
+    pages_truncated: int = 0
+    files_touched: set = field(default_factory=set)
+    verified: bool = False
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"recovery: {self.statements_replayed} statement(s) redone, "
+            f"{self.statements_discarded} discarded; "
+            f"{self.pages_redone} page(s) redone, "
+            f"{self.pages_rolled_back} rolled back, "
+            f"{self.pages_truncated} truncated; "
+            f"{len(self.files_touched)} file(s) touched"
+            + ("; replication verified" if self.verified else "")
+        )
+
+
+class RecoveryManager:
+    """Owns the WAL and the recovery path of one :class:`Database`."""
+
+    def __init__(self, db, wal: bool = False) -> None:
+        self.db = db
+        self.enabled = wal
+        self.wal = WriteAheadLog(db.telemetry.metrics) if wal else None
+        self._depth = 0
+        self._m_recoveries = db.telemetry.metrics.counter(
+            "recoveries_total", "crash-recovery passes completed")
+        if self.wal is not None:
+            db.storage.attach_wal(self.wal)
+
+    @property
+    def needs_recovery(self) -> bool:
+        """Whether a disk fault interrupted a statement since the last
+        recovery (the database refuses new statements until recovered)."""
+        return self.wal is not None and self.wal.needs_recovery
+
+    # -- statement scoping ---------------------------------------------------
+
+    @contextmanager
+    def statement(self, note: str = ""):
+        """Make the enclosed mutations one atomic unit.
+
+        Reentrant: nested scopes (a replace statement updating row by
+        row, a lazy refresh triggered mid-query) join the outer statement.
+        """
+        if self.wal is None:
+            yield
+            return
+        if self.wal.needs_recovery:
+            # refusing outright beats mutating resident frames the coming
+            # recovery would silently discard
+            raise DiskFault(
+                "the database crashed mid-statement; run recover() before "
+                "issuing new statements")
+        if self._depth > 0:
+            self._depth += 1
+            try:
+                yield
+            finally:
+                self._depth -= 1
+            return
+        self._depth = 1
+        self.wal.begin(note)
+        try:
+            yield
+        except DiskFault:
+            self.wal.mark_crashed()
+            raise
+        except BaseException:
+            self._rollback_live()
+            raise
+        else:
+            self.wal.commit(self._current_image)
+        finally:
+            self._depth = 0
+
+    def _current_image(self, key) -> bytes:
+        """The statement's final image of a page (frame, else disk)."""
+        pool = self.db.storage.pool
+        frame_data = pool.peek_frame(key)
+        if frame_data is not None:
+            return bytes(frame_data)
+        return self.db.storage.disk.peek_page(key[0], key[1])
+
+    def _rollback_live(self) -> None:
+        """Undo the active statement in a running (non-crashed) engine."""
+        befores, allocs = self.wal.abort()
+        disk = self.db.storage.disk
+        affected = set()
+        # file ids are never reused, so a missing file was dropped after
+        # its records were written -- nothing of it is left to roll back
+        for record in reversed(befores):
+            if not disk.file_exists(record.file_id):
+                continue
+            disk.restore_page(record.file_id, record.page_no, record.image)
+            affected.add((record.file_id, record.page_no))
+        truncations: dict[int, int] = {}
+        for record in allocs:
+            if not disk.file_exists(record.file_id):
+                continue
+            affected.add((record.file_id, record.page_no))
+            new_size = truncations.get(record.file_id, record.page_no)
+            truncations[record.file_id] = min(new_size, record.page_no)
+        self.db.storage.pool.discard_pages(affected)
+        for file_id, new_size in truncations.items():
+            disk.truncate_file(file_id, new_size)
+        self._refresh_session_caches({fid for fid, __ in affected})
+
+    # -- crash recovery ------------------------------------------------------
+
+    def recover(self, verify: bool = True) -> RecoveryReport:
+        """Restart after a crash: redo committed work, discard the rest."""
+        if self.wal is None:
+            raise DiskFault(
+                "recovery requires the write-ahead log (Database(wal=True))")
+        report = RecoveryReport()
+        self.db.faults.disarm()  # recovery runs on repaired hardware
+        pool = self.db.storage.pool
+        disk = self.db.storage.disk
+        pool.discard_all()  # the crash lost every in-memory frame
+        for stmt in self.wal.statements():
+            # records for files dropped after they were written (temp files,
+            # dropped indexes) describe storage that no longer exists
+            if stmt.committed:
+                for record in stmt.allocs:
+                    if not disk.file_exists(record.file_id):
+                        continue
+                    disk.ensure_pages(record.file_id, record.page_no + 1)
+                    report.files_touched.add(record.file_id)
+                for record in stmt.afters:
+                    if not disk.file_exists(record.file_id):
+                        continue
+                    disk.restore_page(record.file_id, record.page_no,
+                                      record.image)
+                    report.pages_redone += 1
+                    report.files_touched.add(record.file_id)
+                report.statements_replayed += 1
+            else:
+                for record in reversed(stmt.befores):
+                    if not disk.file_exists(record.file_id):
+                        continue
+                    disk.restore_page(record.file_id, record.page_no,
+                                      record.image)
+                    report.pages_rolled_back += 1
+                    report.files_touched.add(record.file_id)
+                truncations: dict[int, int] = {}
+                for record in stmt.allocs:
+                    if not disk.file_exists(record.file_id):
+                        continue
+                    report.files_touched.add(record.file_id)
+                    new_size = truncations.get(record.file_id, record.page_no)
+                    truncations[record.file_id] = min(new_size, record.page_no)
+                for file_id, new_size in truncations.items():
+                    report.pages_truncated += (
+                        disk.num_pages(file_id) - new_size)
+                    disk.truncate_file(file_id, new_size)
+                report.statements_discarded += 1
+        self.wal.needs_recovery = False
+        self.wal.checkpoint()  # the disk image is now the whole truth
+        self._refresh_session_caches(None)
+        if verify:
+            self.db.replication.verify()
+            report.verified = True
+        self._m_recoveries.inc()
+        return report
+
+    def checkpoint(self) -> None:
+        """Force dirty pages to disk, then truncate the log."""
+        if self.wal is None:
+            return
+        self.wal.flush()
+        try:
+            self.db.storage.pool.flush_all()
+        except DiskFault:
+            # the flush may have torn a committed page on its way down;
+            # only recovery may touch the database now
+            self.wal.mark_crashed()
+            raise
+        self.wal.checkpoint()
+
+    def on_ddl(self) -> None:
+        """DDL ran outside statement scope: its pages must become durable
+        before the log can describe later DML against them."""
+        if self.wal is not None and not self.wal.in_statement:
+            self.checkpoint()
+
+    # -- cache refresh -------------------------------------------------------
+
+    def _refresh_session_caches(self, file_ids: set | None) -> None:
+        """Rebuild in-memory state derived from pages that just changed.
+
+        ``file_ids=None`` means a full restart: refresh everything.
+        """
+        storage = self.db.storage
+        for heap in storage.heap_files():
+            if file_ids is None or heap.file_id in file_ids:
+                heap._rebuild_free_space()
+        for info in self.db.catalog.indexes.values():
+            tree = info.index.tree
+            if file_ids is None or tree.file_id in file_ids:
+                tree.reopen_meta()
+                info.index.rebuild_stats()
+        if file_ids is None:
+            for path in self.db.catalog.paths.values():
+                if path.lazy:
+                    self.db.replication.lazy.reload(path)

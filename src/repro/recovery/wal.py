@@ -1,0 +1,388 @@
+"""A page-level write-ahead log with statement-scoped commit records.
+
+Replication maintenance is exactly the kind of multi-page mutation the
+paper's update-cost analysis is about: one in-place update touches up to
+*f* referencing objects plus link pages (Section 4.1), and a separate-path
+update must keep ``S'`` in lockstep with ``S`` (Section 5.2).  The WAL
+makes each DML statement -- *including every propagation it triggers* --
+an atomic unit:
+
+* when a statement first touches a page, the pre-statement image is
+  captured (at fetch time, before the client can mutate the frame) and
+  written as a ``PAGE_BEFORE`` record the moment the page is dirtied;
+* pages the statement allocates are logged as ``ALLOC`` records;
+* at commit, the statement's final image of every page it dirtied is
+  written as ``PAGE_AFTER`` records followed by a ``COMMIT`` record;
+* the buffer pool calls :meth:`WriteAheadLog.before_data_write` before
+  any dirty page reaches the disk, enforcing the WAL rule: *log records
+  describing a change are durable before the changed page is*.
+
+Recovery (see :mod:`repro.recovery.manager`) redoes committed statements
+from their after-images and rolls the (at most one, single-writer) trailing
+incomplete statement back from its before-images -- so torn or half-flushed
+pages are always overwritten by a full known-good image.
+
+The log itself lives on a dedicated durable device: appends never touch
+the simulated data disk, never count against the paper's I/O figures, and
+survive injected data-disk faults -- mirroring a real log on its own
+spindle/NVRAM.  Its I/O is accounted separately (``wal_records_total``,
+``wal_flushes_total``, ``wal_bytes_total``).
+
+Record wire format (also used when a snapshot carries a WAL tail)::
+
+    frame  := length:u32 crc32:u32 body
+    body   := type:u8 stmt_id:u64 payload
+    BEGIN  := note_len:u16 note(utf-8)
+    PAGE_* := file_id:u32 page_no:u32 image[PAGE_SIZE]
+    ALLOC  := file_id:u32 page_no:u32
+    COMMIT := (empty)
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.errors import WalError
+from repro.storage.constants import PAGE_SIZE
+from repro.telemetry.metrics import NULL_METRICS
+
+__all__ = ["WAL_MAGIC", "WalError", "WalRecord", "WalRecordType",
+           "WriteAheadLog"]
+
+_PageKey = tuple[int, int]
+
+_FRAME = struct.Struct(">II")
+_BODY_HEAD = struct.Struct(">BQ")
+_NOTE_LEN = struct.Struct(">H")
+_PAGE_HEAD = struct.Struct(">II")
+
+WAL_MAGIC = b"FRWAL001"
+
+
+class WalRecordType(IntEnum):
+    BEGIN = 1
+    PAGE_BEFORE = 2
+    PAGE_AFTER = 3
+    ALLOC = 4
+    COMMIT = 5
+
+
+@dataclass(frozen=True, slots=True)
+class WalRecord:
+    """One log record; ``image`` is empty except for PAGE_* records."""
+
+    type: WalRecordType
+    stmt_id: int
+    file_id: int = 0
+    page_no: int = 0
+    image: bytes = b""
+    note: str = ""
+
+    def encode(self) -> bytes:
+        """Serialize to the framed wire format (length + crc + body)."""
+        body = _BODY_HEAD.pack(self.type, self.stmt_id)
+        if self.type is WalRecordType.BEGIN:
+            raw = self.note.encode("utf-8")
+            body += _NOTE_LEN.pack(len(raw)) + raw
+        elif self.type in (WalRecordType.PAGE_BEFORE, WalRecordType.PAGE_AFTER):
+            if len(self.image) != PAGE_SIZE:
+                raise WalError(
+                    f"page image must be {PAGE_SIZE} bytes, got {len(self.image)}")
+            body += _PAGE_HEAD.pack(self.file_id, self.page_no) + self.image
+        elif self.type is WalRecordType.ALLOC:
+            body += _PAGE_HEAD.pack(self.file_id, self.page_no)
+        return _FRAME.pack(len(body), zlib.crc32(body)) + body
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int = 0) -> tuple["WalRecord", int]:
+        """Decode one framed record at ``offset``; returns (record, next)."""
+        if offset + _FRAME.size > len(data):
+            raise WalError("truncated WAL record frame")
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        body = bytes(data[start:start + length])
+        if len(body) != length:
+            raise WalError("truncated WAL record body")
+        if zlib.crc32(body) != crc:
+            raise WalError("WAL record failed its CRC check")
+        try:
+            rtype = WalRecordType(body[0])
+            (__, stmt_id) = _BODY_HEAD.unpack_from(body, 0)
+        except (ValueError, struct.error, IndexError) as exc:
+            raise WalError(f"malformed WAL record: {exc}") from None
+        pos = _BODY_HEAD.size
+        file_id = page_no = 0
+        image = b""
+        note = ""
+        try:
+            if rtype is WalRecordType.BEGIN:
+                (note_len,) = _NOTE_LEN.unpack_from(body, pos)
+                note = body[pos + _NOTE_LEN.size:
+                            pos + _NOTE_LEN.size + note_len].decode("utf-8")
+            elif rtype in (WalRecordType.PAGE_BEFORE, WalRecordType.PAGE_AFTER):
+                file_id, page_no = _PAGE_HEAD.unpack_from(body, pos)
+                image = body[pos + _PAGE_HEAD.size:]
+                if len(image) != PAGE_SIZE:
+                    raise WalError("WAL page image has the wrong size")
+            elif rtype is WalRecordType.ALLOC:
+                file_id, page_no = _PAGE_HEAD.unpack_from(body, pos)
+        except (struct.error, UnicodeDecodeError) as exc:
+            raise WalError(f"malformed WAL record payload: {exc}") from None
+        return cls(rtype, stmt_id, file_id, page_no, image, note), start + length
+
+
+@dataclass
+class StatementLog:
+    """All records of one statement, grouped for replay."""
+
+    stmt_id: int
+    note: str = ""
+    committed: bool = False
+    befores: list[WalRecord] = field(default_factory=list)
+    afters: list[WalRecord] = field(default_factory=list)
+    allocs: list[WalRecord] = field(default_factory=list)
+
+
+class WriteAheadLog:
+    """The statement-scoped physical log of one database."""
+
+    def __init__(self, metrics=None) -> None:
+        metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_records = metrics.counter(
+            "wal_records_total", "records appended to the write-ahead log")
+        self._m_flushes = metrics.counter(
+            "wal_flushes_total", "log forces (WAL-before-data and commits)")
+        self._m_bytes = metrics.counter(
+            "wal_bytes_total", "bytes appended to the write-ahead log")
+        self.records: list[WalRecord] = []
+        self._flushed = 0  # records known durable
+        self._next_stmt_id = 1
+        # per-statement state (single-writer: at most one active statement)
+        self._active: int | None = None
+        self._stmt_start = 0
+        self._snapshots: dict[_PageKey, bytes] = {}
+        self._dirty: list[_PageKey] = []
+        self._dirty_set: set[_PageKey] = set()
+        self._allocated: set[_PageKey] = set()
+        #: set when a statement died on a :class:`DiskFault`; the log keeps
+        #: its incomplete tail and the database must ``recover()``.
+        self.needs_recovery = False
+
+    # -- statement lifecycle -------------------------------------------------
+
+    @property
+    def in_statement(self) -> bool:
+        return self._active is not None
+
+    def begin(self, note: str = "") -> int:
+        """Open a statement; every page touched until commit belongs to it."""
+        if self._active is not None:
+            raise WalError("a WAL statement is already active")
+        stmt_id = self._next_stmt_id
+        self._next_stmt_id += 1
+        self._active = stmt_id
+        self._stmt_start = len(self.records)
+        self._snapshots.clear()
+        self._dirty.clear()
+        self._dirty_set.clear()
+        self._allocated.clear()
+        self._append(WalRecord(WalRecordType.BEGIN, stmt_id, note=note))
+        return stmt_id
+
+    def commit(self, read_image) -> None:
+        """Log after-images of every dirty page, then the commit record.
+
+        ``read_image((file_id, page_no)) -> bytes`` must return the
+        statement's final image of the page (buffer frame or disk).
+        """
+        stmt_id = self._require_active()
+        if not self._dirty and self._flushed <= self._stmt_start:
+            # read-only statement: leave no trace in the log
+            del self.records[self._stmt_start:]
+            self._end_statement()
+            return
+        for key in self._dirty:
+            self._append(WalRecord(WalRecordType.PAGE_AFTER, stmt_id,
+                                   key[0], key[1], bytes(read_image(key))))
+        self._append(WalRecord(WalRecordType.COMMIT, stmt_id))
+        self.flush()
+        self._end_statement()
+
+    def abort(self) -> tuple[list[WalRecord], list[WalRecord]]:
+        """Roll the active statement out of the log (live rollback).
+
+        Returns ``(before_records, alloc_records)`` in log order so the
+        caller can restore images (reversed) and truncate allocations; the
+        statement's records are dropped from the tail.
+        """
+        self._require_active()
+        tail = self.records[self._stmt_start:]
+        befores = [r for r in tail if r.type is WalRecordType.PAGE_BEFORE]
+        allocs = [r for r in tail if r.type is WalRecordType.ALLOC]
+        del self.records[self._stmt_start:]
+        self._flushed = min(self._flushed, len(self.records))
+        self._end_statement()
+        return befores, allocs
+
+    def mark_crashed(self) -> None:
+        """A disk fault killed the statement: keep the incomplete tail."""
+        if self._active is not None:
+            self._end_statement()
+        self.needs_recovery = True
+
+    def _end_statement(self) -> None:
+        self._active = None
+        self._snapshots.clear()
+        self._dirty.clear()
+        self._dirty_set.clear()
+        self._allocated.clear()
+
+    def _require_active(self) -> int:
+        if self._active is None:
+            raise WalError("no WAL statement is active")
+        return self._active
+
+    # -- buffer-pool hooks ---------------------------------------------------
+
+    def observe_fetch(self, key: _PageKey, data) -> None:
+        """Capture the pre-statement image of a page on first contact."""
+        if self._active is None:
+            return
+        if key in self._snapshots or key in self._dirty_set:
+            return
+        self._snapshots[key] = bytes(data)
+
+    def observe_dirty(self, key: _PageKey) -> None:
+        """A fetched page was mutated: promote its snapshot to an undo record."""
+        if self._active is None:
+            return
+        if key in self._dirty_set:
+            return
+        if key in self._allocated:
+            self._dirty.append(key)
+            self._dirty_set.add(key)
+            return
+        try:
+            image = self._snapshots.pop(key)
+        except KeyError:
+            raise WalError(
+                f"page {key} dirtied without a prior fetch in this statement"
+            ) from None
+        self._append(WalRecord(WalRecordType.PAGE_BEFORE, self._active,
+                               key[0], key[1], image))
+        self._dirty.append(key)
+        self._dirty_set.add(key)
+
+    def observe_alloc(self, file_id: int, page_no: int) -> None:
+        """A page is about to be allocated for the active statement."""
+        if self._active is None:
+            return
+        self._append(WalRecord(WalRecordType.ALLOC, self._active,
+                               file_id, page_no))
+        key = (file_id, page_no)
+        self._allocated.add(key)
+        self._dirty.append(key)
+        self._dirty_set.add(key)
+
+    def observe_drop_file(self, file_id: int) -> None:
+        """A file was dropped mid-statement (e.g. a query's materialised
+        temp file): forget everything the active statement knows about it,
+        including already-appended undo/alloc records."""
+        if self._active is None:
+            return
+        self._dirty = [k for k in self._dirty if k[0] != file_id]
+        self._dirty_set = {k for k in self._dirty_set if k[0] != file_id}
+        self._allocated = {k for k in self._allocated if k[0] != file_id}
+        self._snapshots = {k: v for k, v in self._snapshots.items()
+                           if k[0] != file_id}
+        kept = [
+            r for r in self.records[self._stmt_start:]
+            if not (r.type in (WalRecordType.PAGE_BEFORE, WalRecordType.ALLOC)
+                    and r.file_id == file_id)
+        ]
+        self.records[self._stmt_start:] = kept
+        self._flushed = min(self._flushed, len(self.records))
+
+    def before_data_write(self) -> None:
+        """WAL ordering rule: force the log before a dirty page hits disk."""
+        self.flush()
+
+    def flush(self) -> None:
+        """Make every appended record durable (accounted, instantaneous)."""
+        if self._flushed < len(self.records):
+            self._flushed = len(self.records)
+            self._m_flushes.inc()
+
+    # -- replay / persistence ------------------------------------------------
+
+    def statements(self) -> list[StatementLog]:
+        """Group the log into statements in append order."""
+        out: list[StatementLog] = []
+        by_id: dict[int, StatementLog] = {}
+        for record in self.records:
+            stmt = by_id.get(record.stmt_id)
+            if stmt is None:
+                stmt = StatementLog(record.stmt_id)
+                by_id[record.stmt_id] = stmt
+                out.append(stmt)
+            if record.type is WalRecordType.BEGIN:
+                stmt.note = record.note
+            elif record.type is WalRecordType.PAGE_BEFORE:
+                stmt.befores.append(record)
+            elif record.type is WalRecordType.PAGE_AFTER:
+                stmt.afters.append(record)
+            elif record.type is WalRecordType.ALLOC:
+                stmt.allocs.append(record)
+            elif record.type is WalRecordType.COMMIT:
+                stmt.committed = True
+        return out
+
+    def serialize(self) -> bytes:
+        """The whole log as bytes (magic + framed records)."""
+        return WAL_MAGIC + b"".join(r.encode() for r in self.records)
+
+    def load(self, data: bytes) -> int:
+        """Replace the log with a serialized image; returns record count."""
+        if self._active is not None:
+            raise WalError("cannot load a WAL while a statement is active")
+        if data[:len(WAL_MAGIC)] != WAL_MAGIC:
+            raise WalError("bad WAL magic")
+        records: list[WalRecord] = []
+        offset = len(WAL_MAGIC)
+        while offset < len(data):
+            record, offset = WalRecord.decode(data, offset)
+            records.append(record)
+        self.records = records
+        self._flushed = len(records)
+        if records:
+            self._next_stmt_id = max(r.stmt_id for r in records) + 1
+        return len(records)
+
+    def checkpoint(self) -> None:
+        """Truncate the log (caller guarantees the disk image is current)."""
+        if self._active is not None:
+            raise WalError("cannot checkpoint mid-statement")
+        self.records.clear()
+        self._flushed = 0
+
+    @property
+    def has_records(self) -> bool:
+        return bool(self.records)
+
+    # -- internals -----------------------------------------------------------
+
+    def _append(self, record: WalRecord) -> None:
+        self.records.append(record)
+        self._m_records.inc(kind=record.type.name.lower())
+        # size accounting without re-encoding full images on the hot path
+        self._m_bytes.inc(
+            _FRAME.size + _BODY_HEAD.size + len(record.image)
+            + (len(record.note.encode("utf-8")) + _NOTE_LEN.size
+               if record.type is WalRecordType.BEGIN else 0)
+            + (_PAGE_HEAD.size
+               if record.type in (WalRecordType.PAGE_BEFORE,
+                                  WalRecordType.PAGE_AFTER,
+                                  WalRecordType.ALLOC) else 0))

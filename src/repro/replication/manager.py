@@ -68,6 +68,9 @@ class ReplicationManager:
                                       telemetry=self.telemetry)
         self.collapsed = CollapsedPaths(catalog, store)
         self.lazy = LazyQueue(storage)
+        #: set by the Database facade: lazy refreshes drain outside any DML
+        #: statement, so they open their own WAL statement scope through it
+        self.recovery = None
         metrics = self.telemetry.metrics
         self._m_propagations = metrics.counter(
             "replication_propagations_total",
@@ -663,9 +666,19 @@ class ReplicationManager:
     # ------------------------------------------------------------------
 
     def refresh_path(self, path: ReplicationPath) -> int:
-        """Drain pending lazy invalidations; returns objects refreshed."""
+        """Drain pending lazy invalidations; returns objects refreshed.
+
+        The drain mutates pages outside any DML statement, so it runs in a
+        WAL statement scope of its own (joining an enclosing one, if any).
+        """
         if not path.lazy:
             return 0
+        if self.recovery is not None:
+            with self.recovery.statement(f"refresh {path.text}"):
+                return self._refresh_path_inner(path)
+        return self._refresh_path_inner(path)
+
+    def _refresh_path_inner(self, path: ReplicationPath) -> int:
         refreshed = 0
         link = self.catalog.get_link(path.link_sequence[-1])
         for owner_oid in self.lazy.drain(path):

@@ -26,7 +26,7 @@ runs them.
 
 from __future__ import annotations
 
-from repro.errors import FieldError, InvalidPathError, ReplicationError
+from repro.errors import DiskFault, FieldError, InvalidPathError, ReplicationError
 from repro.index.secondary import SecondaryIndex
 from repro.objects.instance import StoredObject
 from repro.objects.registry import TypeRegistry
@@ -47,10 +47,17 @@ class Database:
 
     def __init__(self, buffer_frames: int = DEFAULT_BUFFER_FRAMES,
                  inline_singleton_links: bool = False,
-                 cost_based_planning: bool = False) -> None:
+                 cost_based_planning: bool = False,
+                 wal: bool = False, fault_seed: int = 0) -> None:
+        from repro.recovery import FaultInjector, RecoveryManager
+
         self.telemetry = Telemetry()
+        #: deterministic disk fault injection (inert until armed)
+        self.faults = FaultInjector(seed=fault_seed,
+                                    metrics=self.telemetry.metrics)
         self.storage = StorageManager(buffer_frames=buffer_frames,
-                                      metrics=self.telemetry.metrics)
+                                      metrics=self.telemetry.metrics,
+                                      faults=self.faults)
         self.telemetry.attach_stats(self.storage.stats)
         self.registry = TypeRegistry()
         self.store = ObjectStore(self.storage, self.registry)
@@ -60,6 +67,10 @@ class Database:
             inline_singleton_links=inline_singleton_links,
             telemetry=self.telemetry,
         )
+        #: statement atomicity + crash recovery; ``wal=False`` (the default)
+        #: keeps the I/O path bit-identical to an unlogged engine
+        self.recovery = RecoveryManager(self, wal=wal)
+        self.replication.recovery = self.recovery
         from repro.monitor import WorkloadMonitor
 
         self.monitor = WorkloadMonitor()
@@ -92,6 +103,7 @@ class Database:
         heap = self.storage.create_file(name)
         obj_set = ObjectSet(name, clone.name, self.store, heap)
         self.catalog.add_set(obj_set)
+        self.recovery.on_ddl()
         return obj_set
 
     def drop_set(self, name: str) -> None:
@@ -121,6 +133,7 @@ class Database:
             self.drop_index(info.name)
         self.catalog.remove_set(name)
         self.storage.drop_file(name)
+        self.recovery.on_ddl()
 
     def replicate(self, path_text: str, strategy: str | Strategy = Strategy.IN_PLACE,
                   collapsed: bool = False, lazy: bool = False,
@@ -128,13 +141,16 @@ class Database:
         """Create a replication path (``replicate Set.ref...field``)."""
         if isinstance(strategy, str):
             strategy = Strategy(strategy)
-        return self.replication.register_path(path_text, strategy,
+        path = self.replication.register_path(path_text, strategy,
                                               collapsed=collapsed, lazy=lazy,
                                               cluster_links=cluster_links)
+        self.recovery.on_ddl()
+        return path
 
     def drop_replication(self, path_text: str) -> None:
         """Remove a replication path and its structures."""
         self.replication.drop_path(path_text)
+        self.recovery.on_ddl()
 
     def build_index(self, target: str, clustered: bool = False,
                     name: str | None = None) -> IndexInfo:
@@ -190,6 +206,7 @@ class Database:
         index.bulk_load(
             (obj.values[field_name], oid) for oid, obj in obj_set.scan()
         )
+        self.recovery.on_ddl()
         return info
 
     def drop_index(self, index_name: str) -> None:
@@ -199,6 +216,7 @@ class Database:
             path = self.catalog.get_path(info.path_text)
             path.index_names.remove(index_name)
         self.storage.drop_raw_file(info.index.tree.file_id)
+        self.recovery.on_ddl()
 
     # ==================================================================
     # DML
@@ -208,11 +226,12 @@ class Database:
         """Insert an object, maintaining replication and indexes."""
         obj_set = self.catalog.get_set(set_name)
         obj = obj_set.make_object(values)
-        oid = obj_set.raw_insert(obj)
-        self.replication.after_insert(obj_set, oid, obj)
-        final = obj_set.read(oid)
-        for info in self.catalog.indexes_on_set(set_name):
-            info.index.insert(final.values[info.field_name], oid)
+        with self.recovery.statement(f"insert {set_name}"):
+            oid = obj_set.raw_insert(obj)
+            self.replication.after_insert(obj_set, oid, obj)
+            final = obj_set.read(oid)
+            for info in self.catalog.indexes_on_set(set_name):
+                info.index.insert(final.values[info.field_name], oid)
         return oid
 
     def update(self, set_name: str, oid: OID, changes: dict,
@@ -239,24 +258,27 @@ class Database:
                 changed.add(fname)
         if not changed:
             return
-        for info in self.catalog.indexes_on_set(set_name):
-            if info.field_name in changed:
-                info.index.update(old.values[info.field_name],
-                                  new.values[info.field_name], oid)
-        obj_set.raw_update(oid, new)
-        own_hidden = self.replication.propagate_update(obj_set, oid, old, new, changed)
-        if own_hidden:
-            self.replication.apply_hidden_changes(obj_set, oid, own_hidden)
+        with self.recovery.statement(f"update {set_name}"):
+            for info in self.catalog.indexes_on_set(set_name):
+                if info.field_name in changed:
+                    info.index.update(old.values[info.field_name],
+                                      new.values[info.field_name], oid)
+            obj_set.raw_update(oid, new)
+            own_hidden = self.replication.propagate_update(obj_set, oid, old, new,
+                                                           changed)
+            if own_hidden:
+                self.replication.apply_hidden_changes(obj_set, oid, own_hidden)
 
     def delete(self, set_name: str, oid: OID) -> None:
         """Delete an object; refuses while replication still references it."""
         obj_set = self.catalog.get_set(set_name)
         obj = obj_set.read(oid)
-        self.replication.before_delete(obj_set, oid, obj)
-        final = obj_set.read(oid)  # hooks may have rewritten bookkeeping
-        for info in self.catalog.indexes_on_set(set_name):
-            info.index.delete(final.values[info.field_name], oid)
-        obj_set.raw_delete(oid)
+        with self.recovery.statement(f"delete {set_name}"):
+            self.replication.before_delete(obj_set, oid, obj)
+            final = obj_set.read(oid)  # hooks may have rewritten bookkeeping
+            for info in self.catalog.indexes_on_set(set_name):
+                info.index.delete(final.values[info.field_name], oid)
+            obj_set.raw_delete(oid)
 
     def get(self, set_name: str, oid: OID) -> StoredObject:
         """Read one object (hidden fields included, for inspection)."""
@@ -292,6 +314,26 @@ class Database:
         """Check every replication invariant (raises IntegrityError)."""
         self.replication.verify()
 
+    def recover(self, verify: bool = True):
+        """Restart after an injected crash: redo committed statements from
+        the WAL, roll the incomplete one back, rebuild session caches, and
+        (by default) re-verify replication.  Returns a RecoveryReport."""
+        return self.recovery.recover(verify=verify)
+
+    def checkpoint(self) -> None:
+        """Flush dirty pages and truncate the write-ahead log."""
+        self.recovery.checkpoint()
+
+    def doctor(self, repair: bool = False):
+        """Diagnose (and with ``repair=True`` fix) replicated-state drift.
+
+        Returns a :class:`repro.recovery.doctor.DoctorReport`; structural
+        damage is reported, value drift is rebuilt from the forward paths.
+        """
+        from repro.recovery.doctor import run_doctor
+
+        return run_doctor(self, repair=repair)
+
     def refresh(self, path_text: str | None = None) -> int:
         """Drain lazy propagation queues (all paths when none is named)."""
         if path_text is None:
@@ -305,7 +347,14 @@ class Database:
 
     def cold_cache(self) -> None:
         """Flush and empty the buffer pool."""
-        self.storage.cold_cache()
+        try:
+            self.storage.cold_cache()
+        except DiskFault:
+            # a fatal fault mid-flush may have torn a committed page;
+            # only recovery may touch the database now
+            if self.recovery.wal is not None:
+                self.recovery.wal.mark_crashed()
+            raise
 
     def measure(self, fn):
         """Run ``fn()`` and return the I/O snapshot delta."""

@@ -7,8 +7,17 @@ paths, links, replica sets, pending lazy queues) -- so a loaded image is
 bit-for-bit the same storage with a fully working catalog on top.
 
 Format: an 8-byte magic, a length-prefixed JSON header, then the raw pages
-of each file in header order.  OIDs appear in the header as
-``[file, page, slot]`` triples.
+of each file in header order, then (only when the database crashed with
+work in its write-ahead log) the serialized WAL tail.  OIDs appear in the
+header as ``[file, page, slot]`` triples.
+
+Loading is defensive: a truncated, corrupted, or plain non-snapshot file
+raises :class:`SnapshotError` with a message that says what is wrong --
+never a raw ``struct.error`` / ``KeyError`` / ``UnicodeDecodeError`` --
+and the header's length field is bounds-checked against the actual file
+size before any buffer is allocated.  A snapshot taken after a crash
+(the "copy the disk image of the downed machine" scenario) is recovered
+on load: the WAL tail is replayed before the catalog is rebuilt on top.
 
 Usage::
 
@@ -20,9 +29,10 @@ Usage::
 from __future__ import annotations
 
 import json
+import os
 import struct
 
-from repro.errors import ReproError
+from repro.errors import SnapshotError, WalError
 from repro.objects.types import FieldDef, FieldKind, TypeDefinition
 from repro.replication.spec import ReplicationPath, Strategy
 from repro.schema.catalog import IndexInfo
@@ -33,12 +43,14 @@ from repro.storage.constants import PAGE_SIZE
 from repro.storage.heapfile import HeapFile
 from repro.storage.oid import OID  # noqa: F401 (header round-trips OIDs)
 
+__all__ = ["SnapshotError", "save_database", "load_database"]
+
 _MAGIC = b"FREPDB01"
 _LEN = struct.Struct(">Q")
-
-
-class SnapshotError(ReproError):
-    """A snapshot file could not be written or read."""
+#: JSON headers beyond this are rejected before any allocation happens;
+#: far larger than any real catalog, far smaller than an honest mistake
+#: like handing this loader a multi-gigabyte random file.
+_MAX_HEADER_BYTES = 64 * 1024 * 1024
 
 
 # ---------------------------------------------------------------------------
@@ -87,8 +99,22 @@ def _resolved_in(d: dict) -> ResolvedPath:
 
 
 def save_database(db: Database, path: str) -> None:
-    """Write the database image to ``path``."""
-    db.storage.pool.flush_all()
+    """Write the database image to ``path``.
+
+    A healthy database is checkpointed first, so the page image alone is
+    the whole truth.  A *crashed* database (an injected fault interrupted
+    a statement) is saved as-is -- the raw disk, torn pages and all, plus
+    the WAL tail -- and :func:`load_database` replays it, modelling taking
+    the disk out of the downed machine.
+    """
+    crashed = db.recovery.needs_recovery
+    wal_blob = b""
+    if crashed:
+        wal_blob = db.recovery.wal.serialize()
+    elif db.recovery.wal is not None:
+        db.recovery.checkpoint()
+    else:
+        db.storage.pool.flush_all()
     registry = db.registry
     types = [
         {
@@ -172,6 +198,11 @@ def save_database(db: Database, path: str) -> None:
             "next_link_id": db.catalog._next_link_id,
             "next_index_id": db._next_index_id,
         },
+        "wal": {
+            "enabled": db.recovery.wal is not None,
+            "needs_recovery": crashed,
+            "bytes": len(wal_blob),
+        },
     }
     blob = json.dumps(header).encode("utf-8")
     with open(path, "wb") as out:
@@ -181,6 +212,7 @@ def save_database(db: Database, path: str) -> None:
         for fid in file_ids:
             for page_no in range(storage.disk.num_pages(fid)):
                 out.write(bytes(storage.disk._files[fid][page_no]))
+        out.write(wal_blob)
 
 
 # ---------------------------------------------------------------------------
@@ -188,16 +220,59 @@ def save_database(db: Database, path: str) -> None:
 # ---------------------------------------------------------------------------
 
 
-def load_database(path: str) -> Database:
-    """Reconstruct a database from a snapshot file."""
+def _read_exact(inp, n: int, what: str) -> bytes:
+    data = inp.read(n)
+    if len(data) != n:
+        raise SnapshotError(
+            f"truncated snapshot: expected {n} byte(s) of {what}, "
+            f"got {len(data)}")
+    return data
+
+
+def _read_header(inp, path: str) -> dict:
+    """Magic + bounds-checked length + JSON header, or SnapshotError."""
+    if _read_exact(inp, len(_MAGIC), "magic") != _MAGIC:
+        raise SnapshotError(f"{path!r} is not a database snapshot")
+    (length,) = _LEN.unpack(_read_exact(inp, _LEN.size, "header length"))
+    remaining = os.fstat(inp.fileno()).st_size - inp.tell()
+    if length > remaining or length > _MAX_HEADER_BYTES:
+        raise SnapshotError(
+            f"implausible snapshot header length {length} "
+            f"({remaining} byte(s) follow; limit {_MAX_HEADER_BYTES})")
+    try:
+        header = json.loads(_read_exact(inp, length, "header").decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"corrupt snapshot header: {exc}") from None
+    if not isinstance(header, dict):
+        raise SnapshotError("corrupt snapshot header: not a JSON object")
+    return header
+
+
+def load_database(path: str, verify: bool = True) -> Database:
+    """Reconstruct a database from a snapshot file.
+
+    A snapshot saved after a crash carries a WAL tail; it is replayed
+    against the raw pages *before* the catalog is rebuilt on top, and the
+    recovered database is verified (``verify=False`` skips the final
+    replication check).
+    """
+    try:
+        return _load_database(path, verify)
+    except SnapshotError:
+        raise
+    except (KeyError, TypeError, ValueError, IndexError, struct.error) as exc:
+        raise SnapshotError(
+            f"malformed snapshot {path!r}: {exc!r}") from exc
+
+
+def _load_database(path: str, verify: bool) -> Database:
     with open(path, "rb") as inp:
-        if inp.read(len(_MAGIC)) != _MAGIC:
-            raise SnapshotError(f"{path!r} is not a database snapshot")
-        (length,) = _LEN.unpack(inp.read(_LEN.size))
-        header = json.loads(inp.read(length).decode("utf-8"))
+        header = _read_header(inp, path)
+        wal_spec = header.get("wal") or {}
         db = Database(
             buffer_frames=header["buffer_frames"],
             inline_singleton_links=header["inline_singleton_links"],
+            wal=bool(wal_spec.get("enabled")),
         )
         storage = db.storage
         # --- raw pages -------------------------------------------------
@@ -209,7 +284,21 @@ def load_database(path: str) -> Database:
                 )
             for __ in range(spec["pages"]):
                 page_no = storage.disk.allocate_page(fid)
-                storage.disk._files[fid][page_no] = bytearray(inp.read(PAGE_SIZE))
+                storage.disk._files[fid][page_no] = bytearray(
+                    _read_exact(inp, PAGE_SIZE,
+                                f"page {page_no} of file {fid}"))
+        # --- WAL tail: replay before building the catalog on top -------
+        if wal_spec.get("needs_recovery"):
+            blob = _read_exact(inp, int(wal_spec["bytes"]), "WAL tail")
+            try:
+                db.recovery.wal.load(blob)
+            except WalError as exc:
+                raise SnapshotError(f"corrupt snapshot WAL tail: {exc}") from None
+            db.recovery.wal.needs_recovery = True
+            # the catalog is empty at this point, so this is a pure
+            # page-level replay; caches/verification follow naturally
+            # once the catalog is rebuilt below.
+            db.recovery.recover(verify=False)
     # --- types (tags re-assign densely in saved order) -----------------
     for tspec in header["types"]:
         type_def = TypeDefinition(
@@ -292,15 +381,7 @@ def load_database(path: str) -> Database:
         index.bind_metrics(db.telemetry.metrics)
         index.tree = BPlusTree.open(storage.pool, spec["file_id"],
                                     index.value_width + 8)
-        # rebuild the running catalog statistics with one leaf-chain walk
-        index.stat_count = 0
-        index.stat_min = None
-        index.stat_max = None
-        for value, __oid in index.items():
-            index.stat_count += 1
-            if index.stat_min is None:
-                index.stat_min = value
-            index.stat_max = value
+        index.rebuild_stats()
         db.catalog.add_index(IndexInfo(
             spec["name"], spec["set_name"], spec["field_name"], index,
             clustered=spec["clustered"], path_text=spec["path_text"],
@@ -309,4 +390,8 @@ def load_database(path: str) -> Database:
     db.catalog._next_path_id = header["counters"]["next_path_id"]
     db.catalog._next_link_id = header["counters"]["next_link_id"]
     db._next_index_id = header["counters"]["next_index_id"]
+    if wal_spec.get("needs_recovery") and verify:
+        # the page-level replay ran before the catalog existed; now that
+        # it does, prove the recovered image is replication-consistent
+        db.replication.verify()
     return db

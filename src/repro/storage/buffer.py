@@ -48,6 +48,10 @@ class BufferPool:
             raise ValueError("buffer pool needs at least one frame")
         self.disk = disk
         self.capacity = capacity
+        #: optional :class:`repro.recovery.wal.WriteAheadLog`; when attached
+        #: the pool reports fetches/dirties/allocations to it and forces the
+        #: log before any dirty page reaches the disk (WAL-before-data).
+        self.wal = None
         self._frames: OrderedDict[_PageKey, _Frame] = OrderedDict()
         metrics = metrics if metrics is not None else NULL_METRICS
         self._m_hits = metrics.counter(
@@ -87,6 +91,11 @@ class BufferPool:
             self.stats.buffer_hits += 1
             self._m_hits.inc()
             self._frames.move_to_end(key)
+        if self.wal is not None:
+            # snapshot on first contact: clients mutate the frame in place
+            # before (or without) calling mark_dirty, so the pre-statement
+            # image must be captured here.
+            self.wal.observe_fetch(key, frame.page.data)
         frame.pin_count += 1
         return frame.page
 
@@ -112,6 +121,8 @@ class BufferPool:
         if frame is None:
             raise BufferPoolError(f"page ({file_id},{page_no}) is not resident")
         frame.dirty = True
+        if self.wal is not None:
+            self.wal.observe_dirty((file_id, page_no))
 
     # -- allocation ---------------------------------------------------------
 
@@ -122,6 +133,8 @@ class BufferPool:
         read is charged for a page that has never been written).
         """
         page_no = self.disk.allocate_page(file_id)
+        if self.wal is not None:
+            self.wal.observe_alloc(file_id, page_no)
         self._make_room()
         frame = _Frame(Page())
         frame.dirty = True
@@ -135,6 +148,8 @@ class BufferPool:
 
     def flush_all(self) -> None:
         """Write back every dirty frame (frames stay resident)."""
+        if self.wal is not None and any(f.dirty for f in self._frames.values()):
+            self.wal.before_data_write()
         for (file_id, page_no), frame in self._frames.items():
             if frame.dirty:
                 self.disk.write_page(file_id, page_no, bytes(frame.page.data))
@@ -144,6 +159,8 @@ class BufferPool:
 
     def drop_file_pages(self, file_id: int) -> None:
         """Discard (without writing back) all frames of a dropped file."""
+        if self.wal is not None:
+            self.wal.observe_drop_file(file_id)
         doomed = [key for key in self._frames if key[0] == file_id]
         for key in doomed:
             del self._frames[key]
@@ -157,12 +174,33 @@ class BufferPool:
         """Keys of all currently cached pages (for tests)."""
         return set(self._frames)
 
+    # -- recovery primitives (uncharged) ------------------------------------
+
+    def peek_frame(self, key: _PageKey):
+        """The resident image for ``key`` (no pin, no charge), else None."""
+        frame = self._frames.get(key)
+        return frame.page.data if frame is not None else None
+
+    def discard_pages(self, keys) -> None:
+        """Drop frames without writeback (their disk images were restored)."""
+        for key in keys:
+            self._frames.pop(key, None)
+        self._g_resident.set(len(self._frames))
+
+    def discard_all(self) -> None:
+        """Empty the pool without writing anything back (a crash loses
+        every in-memory frame; recovery rebuilds from disk + log)."""
+        self._frames.clear()
+        self._g_resident.set(len(self._frames))
+
     def _make_room(self) -> None:
         if len(self._frames) < self.capacity:
             return
         for key, frame in self._frames.items():  # OrderedDict: LRU first
             if frame.pin_count == 0:
                 if frame.dirty:
+                    if self.wal is not None:
+                        self.wal.before_data_write()
                     self.disk.write_page(key[0], key[1], bytes(frame.page.data))
                     self.stats.count_writeback()
                     self._m_writebacks.inc()

@@ -14,7 +14,7 @@ Section 6.5); the simulated disk therefore does the same.
 
 from __future__ import annotations
 
-from repro.errors import FileNotFoundInStoreError
+from repro.errors import DiskFault, FileNotFoundInStoreError
 from repro.storage.constants import PAGE_SIZE
 from repro.storage.stats import IOStatistics
 from repro.telemetry.metrics import NULL_METRICS
@@ -23,8 +23,13 @@ from repro.telemetry.metrics import NULL_METRICS
 class SimulatedDisk:
     """An in-memory collection of paged files with physical I/O counting."""
 
-    def __init__(self, stats: IOStatistics | None = None, metrics=None) -> None:
+    def __init__(self, stats: IOStatistics | None = None, metrics=None,
+                 faults=None) -> None:
         self.stats = stats if stats is not None else IOStatistics()
+        #: optional :class:`repro.recovery.faults.FaultInjector`; consulted
+        #: on every physical read/write only while armed, so the default
+        #: (no faults) I/O path is unchanged.
+        self.faults = faults
         self._files: dict[int, list[bytearray]] = {}
         self._next_file_id = 1
         metrics = metrics if metrics is not None else NULL_METRICS
@@ -84,6 +89,8 @@ class SimulatedDisk:
         """Return a *copy* of the page image, charging one physical read."""
         pages = self._require(file_id)
         self._check_page(pages, file_id, page_no)
+        if self.faults is not None and self.faults.armed:
+            self.faults.resolve_read()
         self.stats.count_read(file_id)
         self._m_reads.inc()
         return bytearray(pages[page_no])
@@ -94,9 +101,58 @@ class SimulatedDisk:
         self._check_page(pages, file_id, page_no)
         if len(data) != PAGE_SIZE:
             raise ValueError(f"page image must be {PAGE_SIZE} bytes, got {len(data)}")
+        if self.faults is not None and self.faults.armed:
+            torn = self.faults.on_write(data, pages[page_no])
+            if torn is not None:
+                # torn write: the corrupt half-image reaches the platter
+                # (and is charged) before the fault surfaces.
+                self.stats.count_write(file_id)
+                self._m_writes.inc()
+                pages[page_no] = bytearray(torn)
+                raise DiskFault(
+                    "injected torn write: page "
+                    f"({file_id},{page_no}) persisted half-written")
         self.stats.count_write(file_id)
         self._m_writes.inc()
         pages[page_no] = bytearray(data)
+
+    # -- recovery primitives (uncharged) ------------------------------------
+
+    def peek_page(self, file_id: int, page_no: int) -> bytes:
+        """Read a page image without charging I/O (WAL/recovery internal)."""
+        pages = self._require(file_id)
+        self._check_page(pages, file_id, page_no)
+        return bytes(pages[page_no])
+
+    def restore_page(self, file_id: int, page_no: int, data: bytes) -> None:
+        """Overwrite a page from a log image without charging I/O.
+
+        Recovery I/O is reported by the recovery layer itself so the
+        paper's per-query physical figures stay clean.
+        """
+        pages = self._require(file_id)
+        self._check_page(pages, file_id, page_no)
+        if len(data) != PAGE_SIZE:
+            raise ValueError(f"page image must be {PAGE_SIZE} bytes, got {len(data)}")
+        pages[page_no] = bytearray(data)
+
+    def ensure_pages(self, file_id: int, count: int) -> None:
+        """Grow ``file_id`` to at least ``count`` zeroed pages (redo of
+        ALLOC records); never shrinks, never charges I/O."""
+        pages = self._require(file_id)
+        while len(pages) < count:
+            pages.append(bytearray(PAGE_SIZE))
+            self._m_allocs.inc()
+            self._g_pages.inc()
+
+    def truncate_file(self, file_id: int, num_pages: int) -> None:
+        """Drop pages allocated by a rolled-back statement (undo of ALLOC)."""
+        pages = self._require(file_id)
+        if num_pages < 0:
+            raise ValueError("cannot truncate to a negative size")
+        if num_pages < len(pages):
+            self._g_pages.inc(num_pages - len(pages))
+            del pages[num_pages:]
 
     # -- helpers ------------------------------------------------------------
 

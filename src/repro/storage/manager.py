@@ -21,13 +21,21 @@ class StorageManager:
     """Owns the disk, the buffer pool, and the file directory."""
 
     def __init__(self, buffer_frames: int = DEFAULT_BUFFER_FRAMES,
-                 metrics=None) -> None:
+                 metrics=None, faults=None) -> None:
         self.stats = IOStatistics()
-        self.disk = SimulatedDisk(self.stats, metrics=metrics)
+        self.disk = SimulatedDisk(self.stats, metrics=metrics, faults=faults)
         self.pool = BufferPool(self.disk, capacity=buffer_frames, metrics=metrics)
         self._files_by_name: dict[str, HeapFile] = {}
         self._files_by_id: dict[int, HeapFile] = {}
         self._names_by_id: dict[int, str] = {}
+
+    def attach_wal(self, wal) -> None:
+        """Route buffer-pool events through a write-ahead log."""
+        self.pool.wal = wal
+
+    def heap_files(self):
+        """All managed heap files (recovery refreshes their caches)."""
+        return list(self._files_by_id.values())
 
     # -- file directory -----------------------------------------------------
 

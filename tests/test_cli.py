@@ -179,3 +179,50 @@ def test_monitor_meta_command():
     text = out.getvalue()
     assert "observed functional joins" in text
     assert "Emp1.dept.name" in text
+
+
+def test_doctor_healthy_and_repair():
+    shell, out = _populated_shell()
+    shell.run_block("replicate Emp1.dept.name\n\n\\doctor")
+    assert "no problems found" in out.getvalue()
+    db = shell.db
+    path = db.catalog.get_path("Emp1.dept.name")
+    emp_set = db.catalog.get_set("Emp1")
+    oid, __ = next(iter(emp_set.scan()))
+    db.replication.apply_hidden_changes(
+        emp_set, oid, {path.hidden_field_for("name"): "VANDALISED"})
+    out.truncate(0)
+    out.seek(0)
+    shell.run_block("\\doctor\n\\doctor repair\n\\verify")
+    text = out.getvalue()
+    assert "[repairable] inplace-value" in text
+    assert "[fixed] inplace-value" in text
+    assert "repair(s) applied" in text
+    assert "all replication invariants hold" in text
+
+
+def test_recover_meta_command():
+    from tests.test_recovery import crash_mid_updates
+
+    shell, out = _populated_shell()
+    shell.run_block("\\recover")
+    assert "nothing to recover" in out.getvalue()
+    crashed, __, __ = crash_mid_updates(torn=True)
+    shell.db = crashed
+    out.truncate(0)
+    out.seek(0)
+    shell.run_block("retrieve (Emp.name)\n\n\\recover\n\\verify")
+    text = out.getvalue()
+    assert "error:" in text and "run recover()" in text  # refused pre-recovery
+    assert "recovery:" in text and "statement(s) redone" in text
+    assert "all replication invariants hold" in text
+
+
+def test_meta_command_error_keeps_session_alive():
+    shell, out = _populated_shell()
+    shell.db.faults.fail_after_writes(0)
+    shell.run_block("\\cold\n\\stats")
+    text = out.getvalue()
+    assert "error: injected write failure" in text
+    assert "physical reads" in text  # the session survived
+    shell.db.faults.disarm()

@@ -1,0 +1,146 @@
+"""Crash-matrix torture tests: crash at every write, recover, verify.
+
+Each sweep takes one replication workload (in-place, separate, and two
+paths over a shared prefix), counts the physical page writes a clean run
+performs, then re-runs it once per sampled write index with
+``fail_after_writes(k)`` armed.  After every injected crash the database
+must recover to *exactly* the statement-aligned prefix of the workload:
+verified replication, correct set cardinality, no half-applied statement.
+
+``CRASH_MATRIX_STRIDE`` (default 3) samples every third write index --
+always including the first and last -- to keep the matrix affordable in
+tier-1; set it to 1 for the exhaustive sweep the CI torture job runs.
+"""
+
+import os
+
+import pytest
+
+from repro import Database, TypeDefinition, char_field, int_field, ref_field
+from repro.recovery import count_writes, crash_matrix
+
+STRIDE = int(os.environ.get("CRASH_MATRIX_STRIDE", "3"))
+
+WIDE = 1800  # char-field width: ~2 records/page, so the workload moves pages
+
+
+def build_db(paths):
+    db = Database(wal=True, buffer_frames=5)
+    db.define_type(TypeDefinition("ORG", [char_field("name", WIDE),
+                                          int_field("budget")]))
+    db.define_type(TypeDefinition("DEPT", [char_field("name", WIDE),
+                                           int_field("budget"),
+                                           ref_field("org", "ORG")]))
+    db.define_type(TypeDefinition("EMP", [char_field("name", WIDE),
+                                          int_field("salary"),
+                                          ref_field("dept", "DEPT")]))
+    db.create_set("Org", "ORG")
+    db.create_set("Dept", "DEPT")
+    db.create_set("Emp", "EMP")
+    orgs = [db.insert("Org", {"name": f"org{i}", "budget": 1000 + i})
+            for i in range(2)]
+    for i in range(2):
+        db.insert("Dept", {"name": f"dept{i}", "budget": i, "org": orgs[i]})
+    for text, strategy in paths:
+        db.replicate(text, strategy=strategy)
+    db.checkpoint()
+    return db
+
+
+def run_steps(db):
+    """The tortured workload: inserts, data-update, ref-update, delete.
+
+    Every thunk is one statement; the expected Emp cardinality after each
+    completed step is tracked in ``EXPECTED_COUNT``.
+    """
+    dept_oids = [oid for oid, __ in db.catalog.get_set("Dept").scan()]
+    org_oids = [oid for oid, __ in db.catalog.get_set("Org").scan()]
+    emp_oids = []
+
+    def insert(i):
+        def step():
+            emp_oids.append(db.insert("Emp", {
+                "name": f"emp{i}", "salary": 1000 + i,
+                "dept": dept_oids[i % 2]}))
+        return step
+
+    def rename_dept(i, text):  # data-update propagated by the in-place path
+        return lambda: db.update("Dept", dept_oids[i], {"name": text * 150})
+
+    def fund_org(i, amount):  # data-update propagated by the separate path
+        return lambda: db.update("Org", org_oids[i], {"budget": amount})
+
+    def move_emp(k, d):  # ref-update: propagation must move with the edge
+        return lambda: db.update("Emp", emp_oids[k], {"dept": dept_oids[d]})
+
+    def raise_salary(k):
+        return lambda: db.update("Emp", emp_oids[k], {"salary": 777777})
+
+    def fire_emp(k):
+        return lambda: db.delete("Emp", emp_oids[k])
+
+    return [
+        insert(0), insert(1), insert(2), insert(3), insert(4), insert(5),
+        rename_dept(0, "marketing"),
+        fund_org(0, 11111),
+        move_emp(0, 1),
+        raise_salary(2),
+        rename_dept(1, "research"),
+        fund_org(1, 22222),
+        move_emp(3, 0),
+        fire_emp(5),
+        insert(6),
+    ]
+
+
+# Emp cardinality after each fully completed step (prefix-aligned oracle)
+EXPECTED_COUNT = [0, 1, 2, 3, 4, 5, 6, 6, 6, 6, 6, 6, 6, 6, 5, 6]
+
+WORKLOADS = {
+    "inplace": [("Emp.dept.name", "inplace")],
+    "separate": [("Emp.dept.org.budget", "separate")],
+    "shared-prefix": [("Emp.dept.name", "inplace"),
+                      ("Emp.dept.org.budget", "separate")],
+}
+
+
+def check(db, completed):
+    assert db.catalog.get_set("Emp").count() == EXPECTED_COUNT[completed]
+
+
+def sweep(name, torn):
+    paths = WORKLOADS[name]
+    outcomes = crash_matrix(lambda: build_db(paths), run_steps,
+                            stride=STRIDE, torn=torn, check=check)
+    assert outcomes, "workload produced no physical writes to crash on"
+    assert any(o.crashed for o in outcomes)
+    # at least one crash must land mid-workload, not only at the edges
+    assert any(0 < o.steps_completed < len(EXPECTED_COUNT) - 1
+               for o in outcomes if o.crashed)
+    return outcomes
+
+
+@pytest.mark.tortured
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_crash_matrix_clean_crashes(name):
+    sweep(name, torn=False)
+
+
+@pytest.mark.tortured
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_crash_matrix_torn_writes(name):
+    sweep(name, torn=True)
+
+
+@pytest.mark.tortured
+def test_crash_matrix_discards_or_replays_every_statement():
+    outcomes = sweep("inplace", torn=False)
+    crashed = [o for o in outcomes if o.crashed]
+    assert any(o.statements_discarded for o in crashed)
+    assert any(o.statements_replayed for o in crashed)
+
+
+def test_workload_is_write_heavy_enough():
+    """The matrix is only meaningful if the clean run really moves pages."""
+    total = count_writes(lambda: build_db(WORKLOADS["inplace"]), run_steps)
+    assert total >= 10

@@ -1,0 +1,109 @@
+"""Deterministic fault injection at the simulated-disk boundary."""
+
+import pytest
+
+from repro.errors import DiskFault
+from repro.recovery import MAX_READ_RETRIES, FaultInjector
+from repro.storage.constants import PAGE_SIZE
+from repro.storage.disk import SimulatedDisk
+from repro.telemetry.metrics import MetricsRegistry
+
+NEW = bytes([0xAA]) * PAGE_SIZE
+OLD = bytes([0x55]) * PAGE_SIZE
+
+
+def make_disk():
+    metrics = MetricsRegistry()
+    faults = FaultInjector(seed=7, metrics=metrics)
+    disk = SimulatedDisk(metrics=metrics, faults=faults)
+    fid = disk.create_file()
+    disk.allocate_page(fid)
+    disk.write_page(fid, 0, OLD)
+    return disk, faults, fid, metrics
+
+
+def test_unarmed_injector_never_interferes():
+    disk, faults, fid, __ = make_disk()
+    assert not faults.armed
+    disk.write_page(fid, 0, NEW)
+    assert bytes(disk.read_page(fid, 0)) == NEW
+
+
+def test_fail_after_writes_is_exact():
+    disk, faults, fid, metrics = make_disk()
+    faults.fail_after_writes(2)
+    disk.write_page(fid, 0, NEW)
+    disk.write_page(fid, 0, OLD)
+    with pytest.raises(DiskFault, match="after 2 write"):
+        disk.write_page(fid, 0, NEW)
+    # a clean (non-torn) crash preserves the last good image
+    assert disk.peek_page(fid, 0) == OLD
+    assert metrics.value("faults_injected_total", kind="write") == 1
+
+
+def test_dead_disk_refuses_everything_until_disarm():
+    disk, faults, fid, __ = make_disk()
+    faults.fail_after_writes(0)
+    with pytest.raises(DiskFault):
+        disk.write_page(fid, 0, NEW)
+    assert faults.dead
+    with pytest.raises(DiskFault, match="down"):
+        disk.read_page(fid, 0)
+    with pytest.raises(DiskFault, match="down"):
+        disk.write_page(fid, 0, NEW)
+    faults.disarm()
+    assert bytes(disk.read_page(fid, 0)) == OLD
+    disk.write_page(fid, 0, NEW)
+
+
+def test_torn_write_persists_half_new_half_old():
+    disk, faults, fid, metrics = make_disk()
+    faults.fail_after_writes(0, torn=True)
+    before = disk.stats.physical_writes
+    with pytest.raises(DiskFault, match="torn"):
+        disk.write_page(fid, 0, NEW)
+    assert disk.stats.physical_writes == before + 1  # the torn write is charged
+    half = PAGE_SIZE // 2
+    assert disk.peek_page(fid, 0) == NEW[:half] + OLD[half:]
+    assert metrics.value("faults_injected_total", kind="torn_write") == 1
+
+
+def test_transient_reads_retry_with_backoff_accounting():
+    disk, faults, fid, metrics = make_disk()
+    faults.transient_read_errors(rate=1.0, fail_count=2, seed=3)
+    assert bytes(disk.read_page(fid, 0)) == OLD  # glitches, retries, succeeds
+    assert metrics.value("disk_read_retries_total") == 2
+    assert metrics.value("disk_read_backoff_total") == 1 + 2  # exponential units
+    assert metrics.value("faults_injected_total", kind="transient_read") == 2
+
+
+def test_transient_reads_escalate_past_retry_budget():
+    disk, faults, fid, metrics = make_disk()
+    faults.transient_read_errors(rate=1.0, fail_count=MAX_READ_RETRIES + 1)
+    with pytest.raises(DiskFault, match="retries"):
+        disk.read_page(fid, 0)
+    assert metrics.value("faults_injected_total", kind="read") == 1
+    assert metrics.value("disk_read_retries_total") == MAX_READ_RETRIES
+
+
+def test_read_glitches_are_seeded_and_replayable():
+    def observe():
+        disk, faults, fid, metrics = make_disk()
+        faults.transient_read_errors(rate=0.5, fail_count=1, seed=11)
+        for __ in range(40):
+            disk.read_page(fid, 0)
+        return metrics.value("faults_injected_total", kind="transient_read")
+
+    first, second = observe(), observe()
+    assert first == second
+    assert 0 < first < 40
+
+
+def test_configuration_validation():
+    faults = FaultInjector()
+    with pytest.raises(ValueError):
+        faults.fail_after_writes(-1)
+    with pytest.raises(ValueError):
+        faults.transient_read_errors(rate=1.5)
+    with pytest.raises(ValueError):
+        faults.transient_read_errors(rate=0.5, fail_count=0)

@@ -1,0 +1,210 @@
+"""Wire-format and lifecycle unit tests for the write-ahead log."""
+
+import pytest
+
+from repro.errors import WalError
+from repro.recovery import WAL_MAGIC, WalRecord, WalRecordType, WriteAheadLog
+from repro.storage.constants import PAGE_SIZE
+
+IMAGE_A = bytes(range(256)) * (PAGE_SIZE // 256)
+IMAGE_B = bytes(reversed(IMAGE_A))
+
+
+# ---------------------------------------------------------------------------
+# record wire format
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "record",
+    [
+        WalRecord(WalRecordType.BEGIN, 1, note="insert Emp1"),
+        WalRecord(WalRecordType.BEGIN, 2, note=""),
+        WalRecord(WalRecordType.BEGIN, 3, note="unicode éè note"),
+        WalRecord(WalRecordType.PAGE_BEFORE, 4, 7, 12, IMAGE_A),
+        WalRecord(WalRecordType.PAGE_AFTER, 5, 0, 0, IMAGE_B),
+        WalRecord(WalRecordType.ALLOC, 6, 3, 999),
+        WalRecord(WalRecordType.COMMIT, 7),
+    ],
+)
+def test_record_round_trip(record):
+    blob = record.encode()
+    decoded, consumed = WalRecord.decode(blob)
+    assert consumed == len(blob)
+    assert decoded == record
+
+
+def test_records_round_trip_concatenated():
+    records = [
+        WalRecord(WalRecordType.BEGIN, 9, note="x"),
+        WalRecord(WalRecordType.ALLOC, 9, 1, 0),
+        WalRecord(WalRecordType.PAGE_AFTER, 9, 1, 0, IMAGE_A),
+        WalRecord(WalRecordType.COMMIT, 9),
+    ]
+    blob = b"".join(r.encode() for r in records)
+    out, offset = [], 0
+    while offset < len(blob):
+        record, offset = WalRecord.decode(blob, offset)
+        out.append(record)
+    assert out == records
+
+
+def test_decode_rejects_corrupted_body():
+    blob = bytearray(WalRecord(WalRecordType.PAGE_AFTER, 1, 2, 3, IMAGE_A).encode())
+    blob[20] ^= 0xFF  # flip one byte inside the body
+    with pytest.raises(WalError, match="CRC"):
+        WalRecord.decode(bytes(blob))
+
+
+def test_decode_rejects_truncated_frame_and_body():
+    blob = WalRecord(WalRecordType.COMMIT, 1).encode()
+    with pytest.raises(WalError, match="truncated"):
+        WalRecord.decode(blob[:4])
+    with pytest.raises(WalError, match="truncated"):
+        WalRecord.decode(blob[:-1])
+
+
+def test_decode_rejects_unknown_type():
+    body = bytes([42]) + b"\x00" * 8
+    import struct
+    import zlib
+
+    blob = struct.pack(">II", len(body), zlib.crc32(body)) + body
+    with pytest.raises(WalError, match="malformed"):
+        WalRecord.decode(blob)
+
+
+def test_encode_rejects_wrong_image_size():
+    with pytest.raises(WalError, match="bytes"):
+        WalRecord(WalRecordType.PAGE_BEFORE, 1, 0, 0, b"short").encode()
+
+
+# ---------------------------------------------------------------------------
+# log lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_begin_requires_no_active_statement():
+    wal = WriteAheadLog()
+    wal.begin("one")
+    with pytest.raises(WalError):
+        wal.begin("two")
+
+
+def test_commit_without_begin_raises():
+    with pytest.raises(WalError):
+        WriteAheadLog().commit(lambda key: IMAGE_A)
+
+
+def test_read_only_statement_leaves_no_trace():
+    wal = WriteAheadLog()
+    wal.begin("retrieve")
+    wal.observe_fetch((1, 0), IMAGE_A)  # fetched but never dirtied
+    wal.commit(lambda key: IMAGE_A)
+    assert not wal.has_records
+
+
+def test_write_statement_logs_before_after_commit():
+    wal = WriteAheadLog()
+    wal.begin("update")
+    wal.observe_fetch((1, 0), IMAGE_A)
+    wal.observe_dirty((1, 0))
+    wal.observe_alloc(1, 5)
+    wal.commit(lambda key: IMAGE_B)
+    types = [r.type for r in wal.records]
+    assert types == [
+        WalRecordType.BEGIN,
+        WalRecordType.PAGE_BEFORE,
+        WalRecordType.ALLOC,
+        WalRecordType.PAGE_AFTER,  # page (1,0)
+        WalRecordType.PAGE_AFTER,  # page (1,5)
+        WalRecordType.COMMIT,
+    ]
+    before = wal.records[1]
+    assert (before.file_id, before.page_no, before.image) == (1, 0, IMAGE_A)
+    assert all(r.image == IMAGE_B for r in wal.records[3:5])
+
+
+def test_dirty_without_fetch_is_an_error():
+    wal = WriteAheadLog()
+    wal.begin("x")
+    with pytest.raises(WalError, match="without a prior fetch"):
+        wal.observe_dirty((9, 9))
+
+
+def test_abort_returns_undo_records_and_drops_tail():
+    wal = WriteAheadLog()
+    wal.begin("doomed")
+    wal.observe_fetch((2, 1), IMAGE_A)
+    wal.observe_dirty((2, 1))
+    wal.observe_alloc(2, 7)
+    befores, allocs = wal.abort()
+    assert [(r.file_id, r.page_no) for r in befores] == [(2, 1)]
+    assert befores[0].image == IMAGE_A
+    assert [(r.file_id, r.page_no) for r in allocs] == [(2, 7)]
+    assert not wal.has_records
+
+
+def test_observe_drop_file_forgets_mid_statement_state():
+    wal = WriteAheadLog()
+    wal.begin("analyze")
+    wal.observe_alloc(42, 0)          # temp file page
+    wal.observe_fetch((1, 0), IMAGE_A)
+    wal.observe_dirty((1, 0))
+    wal.observe_drop_file(42)
+    wal.commit(lambda key: IMAGE_B)
+    assert all(r.file_id != 42 for r in wal.records)
+    assert [r.type for r in wal.records] == [
+        WalRecordType.BEGIN,
+        WalRecordType.PAGE_BEFORE,
+        WalRecordType.PAGE_AFTER,
+        WalRecordType.COMMIT,
+    ]
+
+
+def test_statements_groups_records_in_order():
+    wal = WriteAheadLog()
+    wal.begin("first")
+    wal.observe_alloc(1, 0)
+    wal.commit(lambda key: IMAGE_A)
+    wal.begin("second")
+    wal.observe_fetch((1, 0), IMAGE_A)
+    wal.observe_dirty((1, 0))
+    wal.mark_crashed()
+    stmts = wal.statements()
+    assert [s.note for s in stmts] == ["first", "second"]
+    assert stmts[0].committed and not stmts[1].committed
+    assert len(stmts[1].befores) == 1
+    assert wal.needs_recovery
+
+
+def test_serialize_load_round_trip():
+    wal = WriteAheadLog()
+    wal.begin("persisted")
+    wal.observe_fetch((3, 2), IMAGE_A)
+    wal.observe_dirty((3, 2))
+    wal.commit(lambda key: IMAGE_B)
+    blob = wal.serialize()
+    assert blob.startswith(WAL_MAGIC)
+    other = WriteAheadLog()
+    assert other.load(blob) == len(wal.records)
+    assert other.records == wal.records
+    assert other.begin("next") > wal.records[-1].stmt_id  # ids keep advancing
+
+
+def test_load_rejects_bad_magic_and_garbage():
+    with pytest.raises(WalError, match="magic"):
+        WriteAheadLog().load(b"NOTAWAL!")
+    with pytest.raises(WalError):
+        WriteAheadLog().load(WAL_MAGIC + b"\x01\x02\x03")
+
+
+def test_checkpoint_truncates_but_not_mid_statement():
+    wal = WriteAheadLog()
+    wal.begin("a")
+    wal.observe_alloc(1, 0)
+    with pytest.raises(WalError):
+        wal.checkpoint()
+    wal.commit(lambda key: IMAGE_A)
+    wal.checkpoint()
+    assert not wal.has_records
