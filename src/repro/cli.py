@@ -2,16 +2,20 @@
 
 Usage::
 
-    python -m repro.cli                 # interactive session
-    python -m repro.cli script.extra    # run a script file, then exit
-    echo "..." | python -m repro.cli    # run a piped script
+    python -m repro.cli                       # interactive session
+    python -m repro.cli script.extra          # run a script file, then exit
+    echo "..." | python -m repro.cli          # run a piped script
+    python -m repro.cli --snapshot db.frdb    # start from a snapshot
+    python -m repro.cli --save db.frdb        # snapshot the session on exit
+    python -m repro.cli --connect host:port   # drive a remote repro.server
 
 Statements are the EXTRA-ish DDL (``define type`` / ``create`` /
 ``replicate`` / ``build btree on`` / ``drop replicate|index|set``) and
 queries (``retrieve`` / ``replace`` / ``delete``, plus ``explain <query>``
 to see the plan without running it and ``explain analyze <query>`` to run
 it with a per-operator I/O breakdown); terminate interactive statements
-with ``;`` or a blank line.  Meta-commands:
+with ``;`` or a blank line.  Connected to a server, ``begin`` / ``commit``
+/ ``abort`` group statements under held locks.  Meta-commands:
 
     \\describe          render the whole schema
     \\stats [prom]      cumulative I/O counters + engine metrics
@@ -24,32 +28,43 @@ with ``;`` or a blank line.  Meta-commands:
     \\doctor [repair]   diagnose (and with ``repair`` fix) replica drift
     \\recover           replay the WAL after an injected crash
     \\cold              flush + empty the buffer pool
+    \\limit N           cap rendered rows at N (``off`` for no cap)
+    \\shutdown          ask a connected server to drain and stop
     \\help              this text
     \\quit              leave
 
 The shell's database runs with the write-ahead log enabled, so every
 statement is atomic and a session survives injected faults: a failed
-statement prints one line and the next prompt appears.
+statement prints one line and the next prompt appears.  In script mode,
+any failed statement makes the exit status nonzero.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro.errors import ReproError
-from repro.query.executor import QueryResult
-from repro.schema.database import Database
-from repro.schema.describe import describe_database
-from repro.schema.parser import _DDL_STARTERS, _QUERY_STARTERS, execute_ddl, split_script
 
 PROMPT = "extra> "
 CONTINUATION = "   ..> "
 
+DEFAULT_ROW_LIMIT = 50
 
-def render_result(result: QueryResult) -> str:
-    """Render rows as a fixed-width table plus the plan and I/O."""
+#: meta-commands answered by the server when the shell is connected.
+_FORWARDED_META = ("describe", "stats", "monitor", "verify", "doctor",
+                   "recover", "cold", "trace")
+
+
+def render_result(result, limit: int | None = DEFAULT_ROW_LIMIT) -> str:
+    """Render rows as a fixed-width table plus the plan and I/O.
+
+    ``limit`` caps the rendered rows (None or 0: render everything) --
+    the row *count* line always reports the true total.
+    """
     lines = []
-    if result.columns != ("oid",):
+    cap = len(result.rows) if not limit else limit
+    if tuple(result.columns) != ("oid",):
         widths = [
             max(len(col), *(len(str(row[i])) for row in result.rows), 1)
             if result.rows
@@ -59,10 +74,10 @@ def render_result(result: QueryResult) -> str:
         header = " | ".join(col.ljust(w) for col, w in zip(result.columns, widths))
         lines.append(header)
         lines.append("-+-".join("-" * w for w in widths))
-        for row in result.rows[:50]:
+        for row in result.rows[:cap]:
             lines.append(" | ".join(str(v).ljust(w) for v, w in zip(row, widths)))
-        if len(result.rows) > 50:
-            lines.append(f"... ({len(result.rows) - 50} more rows)")
+        if len(result.rows) > cap:
+            lines.append(f"... ({len(result.rows) - cap} more rows)")
     lines.append(f"({len(result.rows)} row(s))   plan: {result.plan}")
     lines.append(f"I/O: {result.io.total_io} "
                  f"({result.io.physical_reads} reads, {result.io.physical_writes} writes)")
@@ -70,15 +85,28 @@ def render_result(result: QueryResult) -> str:
 
 
 class Shell:
-    """One interactive session over a fresh database."""
+    """One interactive session over a local database or a remote server."""
 
-    def __init__(self, out=None) -> None:
-        self.db = Database(wal=True)
+    def __init__(self, out=None, db=None, client=None,
+                 limit: int | None = DEFAULT_ROW_LIMIT) -> None:
+        if client is None and db is None:
+            from repro.schema.database import Database
+
+            db = Database(wal=True)
+        self.db = db
+        self.client = client
         self.out = out if out is not None else sys.stdout
+        self.limit = limit
         self.done = False
+        #: statements / meta-commands that failed (script exit status)
+        self.errors = 0
 
     def write(self, text: str) -> None:
         print(text, file=self.out)
+
+    def fail(self, message: str) -> None:
+        self.errors += 1
+        self.write(message)
 
     # -- dispatch -----------------------------------------------------------
 
@@ -87,7 +115,7 @@ class Shell:
         try:
             self._dispatch_meta(line)
         except ReproError as exc:
-            self.write(f"error: {exc}")
+            self.fail(f"error: {exc}")
 
     def _dispatch_meta(self, line: str) -> None:
         words = line.strip().split()
@@ -95,7 +123,25 @@ class Shell:
         args = words[1:]
         if command in ("quit", "q", "exit"):
             self.done = True
+        elif command == "help":
+            self.write(__doc__ or "")
+        elif command == "limit":
+            self._set_limit(args)
+        elif command == "shutdown":
+            if self.client is None:
+                self.fail("error: \\shutdown needs a connected server "
+                          "(--connect host:port)")
+                return
+            self.write(self.client.shutdown() or "server draining")
+            self.done = True
+        elif self.client is not None:
+            if command in _FORWARDED_META:
+                self.write(self.client.meta(command, *args))
+            else:
+                self.fail(f"unknown meta-command \\{command} (try \\help)")
         elif command == "describe":
+            from repro.schema.describe import describe_database
+
             self.write(describe_database(self.db) or "(empty schema)")
         elif command == "stats":
             if args and args[0] == "prom":
@@ -130,10 +176,28 @@ class Shell:
         elif command == "cold":
             self.db.cold_cache()
             self.write("buffer pool flushed and emptied")
-        elif command == "help":
-            self.write(__doc__ or "")
         else:
-            self.write(f"unknown meta-command \\{command} (try \\help)")
+            self.fail(f"unknown meta-command \\{command} (try \\help)")
+
+    def _set_limit(self, args: list[str]) -> None:
+        if not args:
+            current = self.limit if self.limit else "off"
+            self.write(f"row limit: {current}")
+            return
+        if args[0] in ("off", "none", "0"):
+            self.limit = None
+            self.write("row limit off")
+            return
+        try:
+            value = int(args[0])
+        except ValueError:
+            self.fail(f"error: \\limit takes a number or 'off', not {args[0]!r}")
+            return
+        if value < 0:
+            self.fail("error: \\limit takes a non-negative number")
+            return
+        self.limit = value or None
+        self.write(f"row limit: {self.limit if self.limit else 'off'}")
 
     def run_trace(self, args: list[str]) -> None:
         tracer = self.db.telemetry.tracer
@@ -152,15 +216,18 @@ class Shell:
                 try:
                     written = tracer.export(args[1])
                 except OSError as exc:
-                    self.write(f"error: cannot write trace: {exc}")
+                    self.fail(f"error: cannot write trace: {exc}")
                     return
                 self.write(f"wrote {written} span(s) to {args[1]}")
             else:
                 self.write(tracer.to_jsonl() or "(no spans recorded)")
         else:
-            self.write(f"unknown \\trace mode {mode!r} (on|off|clear|dump)")
+            self.fail(f"unknown \\trace mode {mode!r} (on|off|clear|dump)")
 
     def run_statement(self, statement: str) -> None:
+        if self.client is not None:
+            self._run_remote_statement(statement)
+            return
         first = statement.split(None, 1)[0]
         if first == "explain":
             rest = statement[len("explain"):].strip()
@@ -175,20 +242,36 @@ class Shell:
             from repro.query.runner import explain_text
 
             self.write(explain_text(self.db, rest))
-        elif first in _QUERY_STARTERS:
-            self.write(render_result(self.db.execute(statement)))
+            return
+        from repro.schema.parser import _DDL_STARTERS, _QUERY_STARTERS, execute_ddl
+
+        if first in _QUERY_STARTERS:
+            self.write(render_result(self.db.execute(statement), self.limit))
         elif first in _DDL_STARTERS:
             execute_ddl(self.db, statement)
             self.write("ok")
         else:
-            self.write(f"unrecognised statement: {statement!r} (try \\help)")
+            self.fail(f"unrecognised statement: {statement!r} (try \\help)")
+
+    def _run_remote_statement(self, statement: str) -> None:
+        from repro.server.client import ClientResult
+
+        outcome = self.client.execute(statement)
+        if isinstance(outcome, ClientResult):
+            self.write(render_result(outcome, self.limit))
+        elif outcome == "ddl":
+            self.write("ok")
+        else:
+            self.write(str(outcome))
 
     def run_block(self, text: str) -> None:
         """Run a block of statements, reporting errors without dying."""
+        from repro.schema.parser import split_script
+
         try:
             statements = split_script(text)
         except ReproError as exc:
-            self.write(f"error: {exc}")
+            self.fail(f"error: {exc}")
             return
         for statement in statements:
             if statement.startswith("\\"):
@@ -199,7 +282,7 @@ class Shell:
             try:
                 self.run_statement(statement)
             except ReproError as exc:
-                self.write(f"error: {exc}")
+                self.fail(f"error: {exc}")
 
     # -- REPL loop -----------------------------------------------------------
 
@@ -226,39 +309,104 @@ class Shell:
         if buffer:
             self.run_block("\n".join(buffer))
 
+    def close(self) -> None:
+        if self.client is not None:
+            self.client.close()
+
+
+def _build_shell(args) -> Shell | None:
+    """Construct the session (local or remote); None + message on failure."""
+    if args.connect:
+        if args.snapshot or args.save:
+            print("error: --snapshot/--save need a local session, "
+                  "not --connect", file=sys.stderr)
+            return None
+        host, __, port_text = args.connect.rpartition(":")
+        from repro.server.client import connect
+
+        try:
+            client = connect(host or "127.0.0.1", int(port_text))
+        except (ValueError, OSError, ReproError) as exc:
+            print(f"error: cannot connect to {args.connect}: {exc}",
+                  file=sys.stderr)
+            return None
+        return Shell(client=client, limit=args.limit or None)
+    from repro.snapshot import open_database
+
+    try:
+        db = open_database(args.snapshot)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+    return Shell(db=db, limit=args.limit or None)
+
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point: run a script file, a pipe, or an interactive session."""
-    argv = sys.argv[1:] if argv is None else argv
-    shell = Shell()
-    if argv:
-        with open(argv[0], encoding="utf-8") as handle:
-            shell.run_block(handle.read())
-        return 0
-    if sys.stdin.isatty():  # pragma: no cover - interactive only
-        print("field-replication OODBMS shell -- \\help for help")
-        while not shell.done:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="interactive shell for the field-replication DBMS")
+    parser.add_argument("script", nargs="?",
+                        help="script file to run (default: stdin / interactive)")
+    parser.add_argument("--snapshot", metavar="FILE",
+                        help="start the session from a snapshot")
+    parser.add_argument("--save", metavar="FILE",
+                        help="snapshot the session's database on exit")
+    parser.add_argument("--connect", metavar="HOST:PORT",
+                        help="drive a running repro.server instead of a "
+                             "local database")
+    parser.add_argument("--limit", type=int, default=DEFAULT_ROW_LIMIT,
+                        help="rendered-row cap (0: no cap)")
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+
+    shell = _build_shell(args)
+    if shell is None:
+        return 1
+    try:
+        if args.script:
             try:
-                first = input(PROMPT)
-            except EOFError:
-                break
-            lines = [first]
-            depth = first.count("(") - first.count(")")
-            while depth > 0 or (first.strip() and not first.rstrip().endswith(";")
-                                and not first.strip().startswith("\\")):
+                with open(args.script, encoding="utf-8") as handle:
+                    text = handle.read()
+            except OSError as exc:
+                print(f"error: cannot read script {args.script!r}: {exc}",
+                      file=sys.stderr)
+                return 1
+            shell.run_block(text)
+        elif sys.stdin.isatty():  # pragma: no cover - interactive only
+            print("field-replication OODBMS shell -- \\help for help")
+            while not shell.done:
                 try:
-                    nxt = input(CONTINUATION)
+                    first = input(PROMPT)
                 except EOFError:
                     break
-                if not nxt.strip() and depth <= 0:
-                    break
-                depth += nxt.count("(") - nxt.count(")")
-                lines.append(nxt)
-                first = nxt
-            shell.run_block("\n".join(lines))
-        return 0
-    shell.run_block(sys.stdin.read())
-    return 0
+                lines = [first]
+                depth = first.count("(") - first.count(")")
+                while depth > 0 or (first.strip() and not first.rstrip().endswith(";")
+                                    and not first.strip().startswith("\\")):
+                    try:
+                        nxt = input(CONTINUATION)
+                    except EOFError:
+                        break
+                    if not nxt.strip() and depth <= 0:
+                        break
+                    depth += nxt.count("(") - nxt.count(")")
+                    lines.append(nxt)
+                    first = nxt
+                shell.run_block("\n".join(lines))
+            shell.errors = 0  # interactive sessions exit clean
+        else:
+            shell.run_block(sys.stdin.read())
+        if args.save and shell.db is not None:
+            from repro.snapshot import save_database
+
+            try:
+                save_database(shell.db, args.save)
+            except (OSError, ReproError) as exc:
+                print(f"error: cannot save snapshot: {exc}", file=sys.stderr)
+                return 1
+        return 1 if shell.errors else 0
+    finally:
+        shell.close()
 
 
 if __name__ == "__main__":

@@ -152,3 +152,43 @@ class PlanningError(QueryError):
 
 class CostModelError(ReproError):
     """Invalid parameters handed to the analytical cost model."""
+
+
+# --------------------------------------------------------------------------
+# server layer
+# --------------------------------------------------------------------------
+
+class ServerError(ReproError):
+    """Base class for client/server-layer errors."""
+
+
+class ProtocolError(ServerError):
+    """A wire frame was malformed (bad CRC, truncation, oversize, version)."""
+
+
+class ServerBusyError(ServerError):
+    """The server refused work: connection limit or request queue full."""
+
+
+class LockError(ServerError):
+    """Base class for lock-manager errors."""
+
+
+class LockTimeoutError(LockError):
+    """A lock request waited longer than the configured lock-wait timeout."""
+
+
+class DeadlockError(LockError):
+    """This transaction was chosen as the victim of a lock cycle."""
+
+
+class RemoteError(ServerError):
+    """A structured error returned by a server to a client.
+
+    ``code`` is the machine-readable error code from the wire frame
+    (``lock_timeout``, ``deadlock``, ``server_busy``, ``parse_error``, ...).
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code

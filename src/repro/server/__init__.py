@@ -1,0 +1,36 @@
+"""``repro.server``: the concurrent client/server layer.
+
+The engine itself (:class:`repro.schema.database.Database`) is a single
+in-process session.  This package turns it into a multi-client database:
+
+* :mod:`repro.server.protocol` -- the length-prefixed, CRC'd JSON frame
+  format both sides speak (the WAL's ``FRWAL001`` discipline, on a wire);
+* :mod:`repro.server.locks`    -- a set-granularity reader-writer lock
+  manager; a statement's footprint is computed *before* execution from
+  its plan plus the replication catalog, and lock cycles are broken by a
+  wait-for-graph deadlock detector that aborts the youngest waiter;
+* :mod:`repro.server.session`  -- per-connection session state and the
+  bounded worker pool statements execute on;
+* :mod:`repro.server.service`  -- the threaded TCP server
+  (``python -m repro.server --port ...``) with admission control and
+  graceful drain;
+* :mod:`repro.server.client`   -- the blocking client library the shell's
+  ``--connect host:port`` flag reuses.
+"""
+
+from repro.server.client import Client, ClientResult, connect
+from repro.server.locks import LockFootprint, LockManager, footprint_for_statement
+from repro.server.service import Server
+from repro.server.session import Session, SessionManager
+
+__all__ = [
+    "Client",
+    "ClientResult",
+    "connect",
+    "LockFootprint",
+    "LockManager",
+    "footprint_for_statement",
+    "Server",
+    "Session",
+    "SessionManager",
+]

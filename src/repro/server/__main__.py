@@ -1,0 +1,75 @@
+"""``python -m repro.server``: serve a database over TCP.
+
+::
+
+    python -m repro.server --port 7878 --snapshot company.frdb
+    python -m repro.server --port 0            # ephemeral port, printed
+
+The server answers SIGTERM / SIGINT (and a client's ``\\shutdown``) with
+a graceful drain: in-flight statements finish, the worker pool empties,
+connections close.  With ``--save FILE`` the drained database is
+snapshotted before exit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+
+from repro.errors import ReproError
+from repro.server.service import Server
+from repro.snapshot import open_database, save_database
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="serve a field-replication database over TCP")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7878,
+                        help="TCP port (0 picks an ephemeral port)")
+    parser.add_argument("--snapshot", metavar="FILE",
+                        help="start from a snapshot instead of an empty database")
+    parser.add_argument("--save", metavar="FILE",
+                        help="snapshot the database after a graceful drain")
+    parser.add_argument("--max-connections", type=int, default=32)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--queue-depth", type=int, default=32)
+    parser.add_argument("--lock-timeout", type=float, default=10.0,
+                        help="lock-wait bound in seconds")
+    args = parser.parse_args(argv)
+
+    try:
+        db = open_database(args.snapshot)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    server = Server(db, host=args.host, port=args.port,
+                    max_connections=args.max_connections,
+                    workers=args.workers, queue_depth=args.queue_depth,
+                    lock_timeout=args.lock_timeout)
+    server.start()
+    print(f"listening on {server.host}:{server.port}", flush=True)
+
+    def drain(signum, frame):
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, drain)
+    signal.signal(signal.SIGINT, drain)
+    server.wait()
+    if args.save:
+        try:
+            save_database(db, args.save)
+            print(f"saved snapshot to {args.save}", flush=True)
+        except (OSError, ReproError) as exc:
+            print(f"error: cannot save snapshot: {exc}", file=sys.stderr)
+            return 1
+    print("server drained", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,161 @@
+"""The blocking client library.
+
+::
+
+    from repro.server import connect
+
+    with connect("127.0.0.1", 7878) as client:
+        result = client.execute("retrieve (Emp1.name, Emp1.dept.name)")
+        for row in result.rows:
+            print(row)
+        print(client.meta("stats"))
+
+``execute`` returns a :class:`ClientResult` for row-producing statements
+(shaped like the engine's ``QueryResult`` so ``repro.cli.render_result``
+renders either), a plain string for text results (``explain``), and the
+detail string for acknowledgements (DDL, ``begin``/``commit``).  Server
+errors surface as :class:`~repro.errors.RemoteError` with a stable
+``.code`` (``lock_timeout``, ``deadlock``, ``server_busy``, ...).
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError, RemoteError
+from repro.server import protocol
+
+
+@dataclass(frozen=True)
+class ClientIO:
+    """Wire copy of a result's physical I/O counters."""
+
+    physical_reads: int = 0
+    physical_writes: int = 0
+    total_io: int = 0
+
+
+@dataclass(frozen=True)
+class ClientResult:
+    """Rows plus metadata, shaped like the engine's QueryResult."""
+
+    columns: tuple
+    rows: list
+    plan: str
+    io: ClientIO
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @classmethod
+    def from_wire(cls, result: dict) -> "ClientResult":
+        io = result.get("io") or {}
+        return cls(
+            columns=tuple(result.get("columns") or ()),
+            rows=[tuple(row) for row in result.get("rows") or []],
+            plan=result.get("plan", ""),
+            io=ClientIO(io.get("reads", 0), io.get("writes", 0),
+                        io.get("total", 0)),
+        )
+
+
+class Client:
+    """One blocking connection to a repro server."""
+
+    def __init__(self, sock: socket.socket, session_id: int) -> None:
+        self._sock = sock
+        self.session_id = session_id
+        self._next_id = 0
+        self._closed = False
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(self, kind: str, **fields) -> dict:
+        if self._closed:
+            raise ProtocolError("client is closed")
+        self._next_id += 1
+        request = {"id": self._next_id, "kind": kind, **fields}
+        protocol.write_frame(self._sock, request)
+        response = protocol.read_frame(self._sock)
+        if response.get("id") not in (self._next_id, 0):
+            raise ProtocolError(
+                f"response id {response.get('id')} for request {self._next_id}")
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise RemoteError(error.get("code", "internal_error"),
+                              error.get("message", "unknown server error"))
+        return response.get("result") or {}
+
+    # -- API ---------------------------------------------------------------
+
+    def execute(self, statement: str):
+        """Run one statement; ClientResult for rows, str otherwise."""
+        result = self._request("statement", statement=statement)
+        kind = result.get("kind")
+        if kind == "rows":
+            return ClientResult.from_wire(result)
+        if kind == "text":
+            return result.get("text", "")
+        return result.get("detail", "ok")
+
+    def meta(self, command: str, *args: str) -> str:
+        """Run a server-side meta command; returns its rendered text."""
+        result = self._request("meta", command=command, args=list(args))
+        return result.get("text", "")
+
+    def begin(self) -> None:
+        self.execute("begin")
+
+    def commit(self) -> None:
+        self.execute("commit")
+
+    def abort(self) -> None:
+        self.execute("abort")
+
+    def stats(self) -> dict:
+        """Server-level stats (connections, sessions, lock counters)."""
+        return self._request("stats").get("stats") or {}
+
+    def ping(self) -> bool:
+        return self._request("ping").get("kind") == "pong"
+
+    def shutdown(self) -> str:
+        """Ask the server to drain and stop; closes this client too."""
+        try:
+            result = self._request("shutdown")
+            return result.get("text", "")
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            protocol.write_frame(self._sock, {"id": 0, "kind": "close"})
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def connect(host: str, port: int, timeout: float | None = None) -> Client:
+    """Open a connection and validate the server's handshake."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    try:
+        hello = protocol.read_frame(sock)
+        protocol.check_handshake(hello)
+    except BaseException:
+        sock.close()
+        raise
+    return Client(sock, hello.get("session", 0))

@@ -1,0 +1,442 @@
+"""Set-granularity reader-writer locks with deadlock detection.
+
+Concurrency control happens at the granularity the paper's replication
+machinery actually couples data at: **named sets**.  One client's
+``replace`` on a replicated terminal field fans out through inverted
+paths into hidden-field writes in the *source* set and row writes in the
+*replica* set ``S'`` -- so interleaving it with another client's path
+scan could observe half-propagated replicas unless both statements lock
+every set the propagation touches.
+
+A statement's **lock footprint** is therefore computed *before* it
+executes, from its plan plus the replication catalog:
+
+* a ``retrieve`` share-locks the scanned set, every set its functional
+  joins traverse, and the replica set behind each ``ReplicaFetch`` step
+  (reads answered from in-place hidden fields need nothing beyond the
+  scanned set -- that is the point of replication);
+* a ``replace`` on ``S.repfield`` exclusive-locks ``S``, ``S'``, and
+  every referencing set on a registered replication path (the sets whose
+  hidden fields / link entries / replica rows the propagation rewrites);
+* link files, inverted-path structures, and lazy queues are covered by
+  their root (source) set's lock -- they are only ever touched while it
+  is held;
+* DDL exclusive-locks the schema resource every statement share-locks,
+  so catalog changes serialize against everything.
+
+Lock requests are **all-or-nothing**: a statement's whole footprint is
+granted atomically or the requester waits.  Deadlocks can still arise
+between *transactions* (sessions holding locks across statements under
+two-phase locking); a wait-for-graph detector finds the cycle and aborts
+the youngest waiter with :class:`~repro.errors.DeadlockError`.  Every
+wait is bounded by a configurable timeout
+(:class:`~repro.errors.LockTimeoutError`).
+
+Telemetry: ``lock_waits_total``, ``lock_wait_seconds``,
+``deadlocks_total``, ``lock_timeouts_total``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import DeadlockError, LockTimeoutError
+from repro.objects.types import FieldKind
+from repro.query.plan import (
+    DeletePlan,
+    FunctionalJoin,
+    HiddenRefJump,
+    ReplicaFetch,
+    RetrievePlan,
+    UpdatePlan,
+)
+from repro.telemetry.metrics import NULL_METRICS
+
+#: The catalog-wide resource: DML/queries take it shared, DDL exclusive.
+SCHEMA_RESOURCE = "__schema"
+
+SHARED = "S"
+EXCLUSIVE = "X"
+
+#: lock-wait histogram bounds (seconds).
+_WAIT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0)
+
+
+@dataclass(frozen=True)
+class LockFootprint:
+    """The set-level resources one statement must hold."""
+
+    shared: frozenset = frozenset()
+    exclusive: frozenset = frozenset()
+
+    def __post_init__(self):
+        # an exclusive lock subsumes a shared one on the same resource
+        object.__setattr__(self, "shared", frozenset(self.shared) - frozenset(self.exclusive))
+        object.__setattr__(self, "exclusive", frozenset(self.exclusive))
+
+    def describe(self) -> str:
+        parts = []
+        if self.shared:
+            parts.append("S(" + ", ".join(sorted(self.shared)) + ")")
+        if self.exclusive:
+            parts.append("X(" + ", ".join(sorted(self.exclusive)) + ")")
+        return " ".join(parts) or "(none)"
+
+
+# ---------------------------------------------------------------------------
+# footprint computation
+# ---------------------------------------------------------------------------
+
+
+def _sets_of_type(db, type_name: str) -> set:
+    """Names of catalog sets whose member type resolves to ``type_name``."""
+    root = db.registry.root_name(type_name)
+    return {
+        s.name for s in db.catalog.sets.values()
+        if db.registry.root_name(s.type_name) == root
+    }
+
+
+def _walk_chain(db, start_type: str, chain, out: set) -> None:
+    """Share the sets of every type a ref chain traverses."""
+    tdef = db.registry.get(start_type)
+    for hop in chain:
+        try:
+            fdef = tdef.field_def(hop)
+        except Exception:
+            return  # execution will raise a proper error; no locks needed
+        if fdef.kind is not FieldKind.REF:
+            return
+        out |= _sets_of_type(db, fdef.ref_type)
+        tdef = db.registry.get(fdef.ref_type)
+
+
+def _step_locks(db, set_name: str, step, shared: set, exclusive: set) -> None:
+    if isinstance(step, FunctionalJoin):
+        _walk_chain(db, db.catalog.get_set(set_name).type_name, step.chain, shared)
+    elif isinstance(step, ReplicaFetch):
+        path = db.catalog.get_path(step.path_text)
+        if path.replica_set:
+            shared.add(path.replica_set)
+    elif isinstance(step, HiddenRefJump):
+        # the replicated value is itself a reference (collapsed path);
+        # the remaining functional joins start at its target type
+        path = db.catalog.get_path(step.path_text)
+        ref_field = path.resolved.replicated_fields[0]
+        if ref_field.ref_type:
+            shared |= _sets_of_type(db, ref_field.ref_type)
+            _walk_chain(db, ref_field.ref_type,
+                        step.remaining_chain, shared)
+    # LocalField / HiddenField read the scanned set only
+
+
+def _where_locks(db, set_name: str, where, shared: set, exclusive: set) -> None:
+    if where is None:
+        return
+    for clause in where.clauses:
+        chain = clause.ref.chain
+        if not chain:
+            continue
+        path = db.catalog.find_path(set_name, chain, clause.ref.field)
+        if path is None:
+            _walk_chain(db, db.catalog.get_set(set_name).type_name, chain, shared)
+        else:
+            _path_read_locks(db, path, shared, exclusive)
+
+
+def _path_read_locks(db, path, shared: set, exclusive: set) -> None:
+    if path.lazy:
+        # reading a lazy path drains its queue: hidden-field writes
+        exclusive.add(path.source_set)
+        if path.replica_set:
+            exclusive.add(path.replica_set)
+    elif path.replica_set:
+        shared.add(path.replica_set)
+
+
+def _write_propagation_locks(db, set_name: str, fields: set, exclusive: set) -> None:
+    """Expand a write on ``set_name``'s ``fields`` with every structure a
+    registered replication path forces the statement to rewrite."""
+    registry = db.registry
+    root = registry.root_name(db.catalog.get_set(set_name).type_name)
+    for path in db.catalog.paths.values():
+        resolved = path.resolved
+        involved = False
+        # terminal-value write: propagates into the source set's hidden
+        # fields (in-place) or the replica set's rows (separate)
+        if (registry.root_name(resolved.terminal_type) == root
+                and (fields & set(path.replicated_field_names)
+                     or resolved.is_full_object)):
+            involved = True
+        # reference surgery: rewriting a ref attribute anywhere on the
+        # chain restructures link entries in the downstream sets
+        for pos, hop in enumerate(resolved.ref_chain):
+            if hop not in fields:
+                continue
+            if pos == 0:
+                if path.source_set == set_name:
+                    involved = True
+            elif registry.root_name(resolved.type_names[pos]) == root:
+                involved = True
+        if involved:
+            exclusive.add(path.source_set)
+            for type_name in resolved.type_names[1:]:
+                exclusive |= _sets_of_type(db, type_name)
+            if path.replica_set:
+                exclusive.add(path.replica_set)
+
+
+def footprint_for_plan(db, plan) -> LockFootprint:
+    """Compute the lock footprint of one planned statement."""
+    shared: set = {SCHEMA_RESOURCE}
+    exclusive: set = set()
+    if isinstance(plan, RetrievePlan):
+        shared.add(plan.set_name)
+        steps = list(plan.steps) + list(plan.group_steps)
+        if plan.order_step is not None:
+            steps.append(plan.order_step)
+        for step in steps:
+            _step_locks(db, plan.set_name, step, shared, exclusive)
+        _where_locks(db, plan.set_name, plan.where, shared, exclusive)
+        for path_text in plan.refresh_paths:
+            _path_read_locks(db, db.catalog.get_path(path_text), shared, exclusive)
+    elif isinstance(plan, UpdatePlan):
+        exclusive.add(plan.set_name)
+        _where_locks(db, plan.set_name, plan.where, shared, exclusive)
+        fields = {name for name, __ in plan.assignments}
+        _write_propagation_locks(db, plan.set_name, fields, exclusive)
+    elif isinstance(plan, DeletePlan):
+        exclusive.add(plan.set_name)
+        _where_locks(db, plan.set_name, plan.where, shared, exclusive)
+        for path in db.catalog.paths_on_source(plan.set_name):
+            exclusive.add(path.source_set)
+            for type_name in path.resolved.type_names[1:]:
+                exclusive |= _sets_of_type(db, type_name)
+            if path.replica_set:
+                exclusive.add(path.replica_set)
+    else:
+        raise TypeError(f"not a plan: {plan!r}")
+    return LockFootprint(frozenset(shared), frozenset(exclusive))
+
+
+def footprint_for_statement(db, stmt) -> LockFootprint:
+    """Plan a parsed statement and compute its footprint.
+
+    ``stmt`` is a parsed :class:`~repro.query.language.Retrieve`,
+    ``Replace``, or ``Delete``.  DDL takes :func:`ddl_footprint` instead.
+    """
+    from repro.query.language import Delete, Replace, Retrieve
+    from repro.query.planner import plan_delete, plan_replace, plan_retrieve
+
+    if isinstance(stmt, Retrieve):
+        plan = plan_retrieve(db, stmt)
+    elif isinstance(stmt, Replace):
+        plan = plan_replace(db, stmt)
+    elif isinstance(stmt, Delete):
+        plan = plan_delete(db, stmt)
+    else:
+        raise TypeError(f"not a statement: {stmt!r}")
+    return footprint_for_plan(db, plan)
+
+
+def ddl_footprint() -> LockFootprint:
+    """DDL serializes against every statement via the schema resource."""
+    return LockFootprint(exclusive=frozenset({SCHEMA_RESOURCE}))
+
+
+def maintenance_footprint() -> LockFootprint:
+    """verify / doctor / recover / cold: exclusive run of the engine."""
+    return LockFootprint(exclusive=frozenset({SCHEMA_RESOURCE}))
+
+
+# ---------------------------------------------------------------------------
+# the lock manager
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LockOwner:
+    """One lock-holding agent (a session / transaction)."""
+
+    id: int
+    name: str = ""
+    #: transaction age for deadlock-victim selection: refreshed whenever
+    #: the owner goes from holding nothing to holding something, so the
+    #: *youngest transaction* (not the youngest connection) is aborted.
+    birth: int = 0
+    held: dict = field(default_factory=dict)   # resource -> mode
+    needed: dict | None = None                 # resource -> mode while waiting
+    victim: bool = False
+
+
+class LockManager:
+    """Reader-writer locks over named resources, one mutex for the lot."""
+
+    def __init__(self, timeout: float = 10.0, metrics=NULL_METRICS) -> None:
+        #: default lock-wait bound, seconds; per-call override allowed.
+        self.timeout = timeout
+        self._mutex = threading.Lock()
+        self._cv = threading.Condition(self._mutex)
+        self._holders: dict = {}               # resource -> {owner_id: mode}
+        self._owners: dict[int, LockOwner] = {}
+        self._ids = itertools.count(1)
+        self._births = itertools.count(1)
+        self._m_waits = metrics.counter(
+            "lock_waits_total", "lock requests that had to wait")
+        self._m_wait_seconds = metrics.histogram(
+            "lock_wait_seconds", "time spent waiting for locks",
+            buckets=_WAIT_BUCKETS)
+        self._m_deadlocks = metrics.counter(
+            "deadlocks_total", "lock cycles broken by aborting a victim")
+        self._m_timeouts = metrics.counter(
+            "lock_timeouts_total", "lock waits that exceeded the timeout")
+
+    # -- owners ------------------------------------------------------------
+
+    def owner(self, name: str = "") -> LockOwner:
+        with self._mutex:
+            owner = LockOwner(next(self._ids), name)
+            self._owners[owner.id] = owner
+            return owner
+
+    def forget(self, owner: LockOwner) -> None:
+        """Drop an owner (session closed); releases anything it holds."""
+        self.release_all(owner)
+        with self._mutex:
+            self._owners.pop(owner.id, None)
+
+    # -- acquire / release -------------------------------------------------
+
+    def acquire(self, owner: LockOwner, footprint: LockFootprint,
+                timeout: float | None = None) -> None:
+        """Grant the whole footprint atomically, or wait.
+
+        Raises :class:`DeadlockError` if this owner is chosen as a
+        deadlock victim and :class:`LockTimeoutError` when the wait
+        exceeds the (per-call or manager-wide) timeout.  On either error
+        the owner keeps what it already held -- the caller decides
+        whether to release (end the transaction) or retry.
+        """
+        with self._cv:
+            needed: dict = {}
+            for resource in footprint.exclusive:
+                if owner.held.get(resource) != EXCLUSIVE:
+                    needed[resource] = EXCLUSIVE
+            for resource in footprint.shared:
+                if resource not in owner.held and resource not in needed:
+                    needed[resource] = SHARED
+            if not needed:
+                return
+            if not owner.held:
+                owner.birth = next(self._births)
+            deadline = time.monotonic() + (self.timeout if timeout is None
+                                           else timeout)
+            waited = False
+            wait_start = time.monotonic()
+            try:
+                while True:
+                    if owner.victim:
+                        owner.victim = False
+                        raise DeadlockError(
+                            f"{owner.name or owner.id}: chosen as deadlock "
+                            f"victim (youngest waiter in the cycle)")
+                    blockers = self._blockers(owner, needed)
+                    if not blockers:
+                        for resource, mode in needed.items():
+                            self._holders.setdefault(resource, {})[owner.id] = mode
+                            owner.held[resource] = mode
+                        return
+                    owner.needed = needed
+                    if not waited:
+                        waited = True
+                        self._m_waits.inc()
+                    victim = self._find_deadlock_victim(owner)
+                    if victim is not None:
+                        self._m_deadlocks.inc()
+                        if victim is owner:
+                            raise DeadlockError(
+                                f"{owner.name or owner.id}: chosen as deadlock "
+                                f"victim (youngest waiter in the cycle)")
+                        victim.victim = True
+                        self._cv.notify_all()
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self._m_timeouts.inc()
+                        raise LockTimeoutError(
+                            f"{owner.name or owner.id}: timed out waiting for "
+                            f"{footprint.describe()} (held by "
+                            f"{sorted(self._owner_names(blockers))})")
+                    # short slices keep the detector live even when no
+                    # release wakes us (a cycle formed elsewhere)
+                    self._cv.wait(min(remaining, 0.05))
+            finally:
+                owner.needed = None
+                if waited:
+                    self._m_wait_seconds.observe(time.monotonic() - wait_start)
+
+    def release_all(self, owner: LockOwner) -> None:
+        with self._cv:
+            for resource in owner.held:
+                holders = self._holders.get(resource)
+                if holders is not None:
+                    holders.pop(owner.id, None)
+                    if not holders:
+                        del self._holders[resource]
+            owner.held.clear()
+            owner.victim = False
+            self._cv.notify_all()
+
+    # -- introspection -----------------------------------------------------
+
+    def held_by(self, owner: LockOwner) -> dict:
+        with self._mutex:
+            return dict(owner.held)
+
+    def _owner_names(self, ids) -> list:
+        return [
+            (self._owners[i].name or str(i)) if i in self._owners else str(i)
+            for i in ids
+        ]
+
+    # -- internals (mutex held) -------------------------------------------
+
+    def _blockers(self, owner: LockOwner, needed: dict) -> set:
+        blockers = set()
+        for resource, mode in needed.items():
+            for other_id, other_mode in self._holders.get(resource, {}).items():
+                if other_id == owner.id:
+                    continue  # upgrading our own shared lock
+                if mode == EXCLUSIVE or other_mode == EXCLUSIVE:
+                    blockers.add(other_id)
+        return blockers
+
+    def _find_deadlock_victim(self, start: LockOwner) -> LockOwner | None:
+        """Find a wait-for cycle through ``start``; return the youngest
+        waiter on it (the victim), or None."""
+        waiting = {o.id: o for o in self._owners.values() if o.needed is not None}
+        path: list[LockOwner] = []
+        seen: set[int] = set()
+
+        def dfs(node: LockOwner):
+            if node.id in seen:
+                return None
+            seen.add(node.id)
+            path.append(node)
+            for blocker_id in self._blockers(node, node.needed or {}):
+                if blocker_id == start.id:
+                    return list(path)
+                nxt = waiting.get(blocker_id)
+                if nxt is not None:
+                    cycle = dfs(nxt)
+                    if cycle is not None:
+                        return cycle
+            path.pop()
+            return None
+
+        cycle = dfs(start)
+        if not cycle:
+            return None
+        return max(cycle, key=lambda o: o.birth)

@@ -1,0 +1,267 @@
+"""The threaded TCP server.
+
+One :class:`Server` serves one :class:`~repro.schema.database.Database`.
+Each accepted connection gets a session and a reader thread; statements
+are executed on the session manager's bounded worker pool, so the
+connection thread only parses frames and writes responses.
+
+Admission control is explicit, never unbounded queueing:
+
+* connections beyond ``max_connections`` are answered with a single
+  ``server_busy`` error frame and closed;
+* requests that find the worker queue full get a ``server_busy`` error
+  response immediately (the client decides whether to back off).
+
+Shutdown is graceful on SIGTERM (see ``__main__``) and on a client's
+``\\shutdown``: the listener closes, in-flight statements finish, the
+worker pool drains, then every connection is closed.
+
+Telemetry: ``server_connections_total``, ``server_active_sessions``,
+``server_requests_total{kind=...}``, ``server_rejected_total{reason=...}``.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.errors import ProtocolError, ReproError
+from repro.server import protocol
+from repro.server.session import SessionManager
+
+
+class Server:
+    """A multi-client TCP front end over one database."""
+
+    def __init__(self, db=None, host: str = "127.0.0.1", port: int = 0,
+                 max_connections: int = 32, workers: int = 4,
+                 queue_depth: int = 32, lock_timeout: float = 10.0) -> None:
+        if db is None:
+            from repro.schema.database import Database
+
+            db = Database(wal=True)
+        self.db = db
+        self.host = host
+        self.port = port
+        self.max_connections = max_connections
+        self.sessions = SessionManager(db, lock_timeout=lock_timeout,
+                                       workers=workers,
+                                       queue_depth=queue_depth)
+        metrics = db.telemetry.metrics
+        self._m_connections = metrics.counter(
+            "server_connections_total", "accepted client connections")
+        self._m_requests = metrics.counter(
+            "server_requests_total", "requests received, by kind")
+        self._m_rejected = metrics.counter(
+            "server_rejected_total", "work refused by admission control")
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._conns: set[socket.socket] = set()
+        self._mutex = threading.Lock()
+        self._inflight = 0
+        self._idle = threading.Condition(self._mutex)
+        self._stopping = threading.Event()
+        self._drained = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "Server":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(128)
+        self.host, self.port = listener.getsockname()[:2]
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-accept", daemon=True)
+        self._accept_thread.start()
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the server has fully drained."""
+        return self._drained.wait(timeout)
+
+    def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight statements,
+        drain the worker pool, close every connection."""
+        if self._stopping.is_set():
+            self._drained.wait(30.0)
+            return
+        self._stopping.set()
+        if self._listener is not None:
+            # shutdown() (not just close()) wakes a thread blocked in
+            # accept(); otherwise the kernel keeps the port listening
+            # until one more connection arrives
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        # let statements that already reached the pool finish
+        with self._idle:
+            self._idle.wait_for(lambda: self._inflight == 0, timeout=30.0)
+        self.sessions.shutdown()
+        with self._mutex:
+            conns = list(self._conns)
+        for sock in conns:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._drained.set()
+
+    # -- accept loop -------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                sock, addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: drain in progress
+            if self._stopping.is_set():
+                sock.close()
+                return
+            with self._mutex:
+                full = len(self._conns) >= self.max_connections
+                if not full:
+                    self._conns.add(sock)
+            if full:
+                self._m_rejected.inc(reason="connections")
+                try:
+                    protocol.write_frame(sock, protocol.error_response(
+                        0, ReproError(
+                            f"connection limit ({self.max_connections}) "
+                            f"reached"), code="server_busy"))
+                except OSError:
+                    pass
+                sock.close()
+                continue
+            self._m_connections.inc()
+            threading.Thread(target=self._serve_connection,
+                             args=(sock, addr),
+                             name=f"repro-conn-{addr[1]}", daemon=True).start()
+
+    # -- per-connection ----------------------------------------------------
+
+    def _serve_connection(self, sock: socket.socket, addr) -> None:
+        session = self.sessions.open_session(name=f"{addr[0]}:{addr[1]}")
+        try:
+            protocol.write_frame(sock, protocol.handshake(session.id))
+            while True:
+                try:
+                    request = protocol.read_frame(sock)
+                except ProtocolError as exc:
+                    # a damaged frame poisons the stream: report and close
+                    try:
+                        protocol.write_frame(
+                            sock, protocol.error_response(0, exc))
+                    except OSError:
+                        pass
+                    return
+                if not self._handle_request(sock, session, request):
+                    return
+        except (ConnectionResetError, OSError):
+            pass  # client went away (or drain closed the socket)
+        finally:
+            self.sessions.close_session(session)
+            with self._mutex:
+                self._conns.discard(sock)
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _handle_request(self, sock, session, request: dict) -> bool:
+        """Dispatch one request; False ends the connection."""
+        request_id = request.get("id", 0)
+        kind = request.get("kind", "")
+        self._m_requests.inc(kind=kind or "unknown")
+        if kind == "ping":
+            protocol.write_frame(sock, protocol.ok_response(
+                request_id, {"kind": "pong"}))
+            return True
+        if kind == "close":
+            protocol.write_frame(sock, protocol.ok_response(
+                request_id, {"kind": "ok", "detail": "bye"}))
+            return False
+        if kind == "stats":
+            protocol.write_frame(sock, protocol.ok_response(
+                request_id, {"kind": "stats", "stats": self.server_stats()}))
+            return True
+        if kind == "shutdown":
+            protocol.write_frame(sock, protocol.ok_response(
+                request_id, {"kind": "text", "text": "server draining"}))
+            threading.Thread(target=self.shutdown, daemon=True).start()
+            return False
+        if kind in ("statement", "meta"):
+            self._run_on_pool(sock, session, request_id, kind, request)
+            return True
+        protocol.write_frame(sock, protocol.error_response(
+            request_id, ProtocolError(f"unknown request kind {kind!r}")))
+        return True
+
+    def _run_on_pool(self, sock, session, request_id: int, kind: str,
+                     request: dict) -> None:
+        if self._stopping.is_set():
+            protocol.write_frame(sock, protocol.error_response(
+                request_id, ReproError("server is draining"),
+                code="server_shutdown"))
+            return
+        if kind == "statement":
+            text = request.get("statement", "")
+            fn = lambda: session.run_statement(text)  # noqa: E731
+        else:
+            command = request.get("command", "")
+            args = [str(a) for a in request.get("args") or []]
+            fn = lambda: session.run_meta(command, args)  # noqa: E731
+        with self._idle:
+            self._inflight += 1
+        try:
+            try:
+                result = self.sessions.run(fn)
+            except ReproError as exc:
+                if protocol.error_code_for(exc) == "server_busy":
+                    self._m_rejected.inc(reason="queue")
+                protocol.write_frame(
+                    sock, protocol.error_response(request_id, exc))
+            except Exception as exc:  # engine bug: report, keep serving
+                protocol.write_frame(
+                    sock, protocol.error_response(request_id, exc))
+            else:
+                protocol.write_frame(
+                    sock, protocol.ok_response(request_id, result))
+        finally:
+            with self._idle:
+                self._inflight -= 1
+                self._idle.notify_all()
+
+    # -- introspection -----------------------------------------------------
+
+    def server_stats(self) -> dict:
+        metrics = self.db.telemetry.metrics
+        with self._mutex:
+            connections = len(self._conns)
+        return {
+            "address": list(self.address),
+            "connections": connections,
+            "max_connections": self.max_connections,
+            "active_sessions": metrics.value("server_active_sessions"),
+            "connections_total": metrics.value("server_connections_total"),
+            "lock_waits_total": metrics.value("lock_waits_total"),
+            "deadlocks_total": metrics.value("deadlocks_total"),
+            "lock_timeouts_total": metrics.value("lock_timeouts_total"),
+            "sets": len(self.db.catalog.sets),
+        }

@@ -1,0 +1,428 @@
+"""Per-connection sessions and the worker pool they execute on.
+
+A :class:`Session` is one client's state: its lock owner, its tracer
+toggle, its pending transaction.  Statements execute on the
+:class:`SessionManager`'s bounded :class:`WorkerPool` so connection
+threads never run engine code; a full queue surfaces as
+:class:`~repro.errors.ServerBusyError` (explicit backpressure, never
+unbounded queueing).
+
+Isolation is layered the way a real DBMS layers it:
+
+* **locks** (long-term, logical): the whole footprint of a statement is
+  acquired before it runs -- shared schema lock first, so the catalog is
+  stable while the plan-derived footprint is computed, then the data-set
+  locks.  Autocommit statements release at statement end; between
+  ``begin`` and ``commit`` the session holds everything it touched
+  (strict two-phase locking), which is what makes deadlock possible and
+  the detector necessary;
+* **the engine latch** (short-term, physical): the in-process engine --
+  buffer pool, WAL, metrics -- is not thread-safe, so actual execution
+  happens one statement at a time under a single latch.  The WAL's
+  statement scope therefore never interleaves with another statement's,
+  keeping each statement atomic under concurrency.
+
+Transactions group *isolation*, not durability: each statement commits
+its own WAL scope, so ``commit`` releases locks while ``abort`` releases
+them without undoing already-applied statements (documented limitation).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+
+from repro.errors import (
+    DeadlockError,
+    LockTimeoutError,
+    ParseError,
+    ReproError,
+    ServerBusyError,
+)
+from repro.query.runner import execute_statement
+from repro.schema.parser import _DDL_STARTERS, execute_ddl
+from repro.server.locks import (
+    SCHEMA_RESOURCE,
+    LockFootprint,
+    LockManager,
+    ddl_footprint,
+    footprint_for_statement,
+    maintenance_footprint,
+)
+from repro.server.protocol import json_safe
+
+_QUERY_STARTERS = ("retrieve", "replace", "delete")
+_SCHEMA_SHARED = LockFootprint(shared=frozenset({SCHEMA_RESOURCE}))
+
+
+# ---------------------------------------------------------------------------
+# the worker pool
+# ---------------------------------------------------------------------------
+
+
+class _Job:
+    """A submitted unit of work; ``wait()`` re-raises its exception."""
+
+    __slots__ = ("fn", "_done", "result", "error")
+
+    def __init__(self, fn):
+        self.fn = fn
+        self._done = threading.Event()
+        self.result = None
+        self.error = None
+
+    def run(self) -> None:
+        try:
+            self.result = self.fn()
+        except BaseException as exc:  # delivered to the waiter
+            self.error = exc
+        finally:
+            self._done.set()
+
+    def wait(self, timeout: float | None = None):
+        if not self._done.wait(timeout):
+            raise TimeoutError("job did not complete in time")
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+_STOP = object()
+
+
+class WorkerPool:
+    """Fixed worker threads over a bounded queue (admission control)."""
+
+    def __init__(self, workers: int = 4, queue_depth: int = 32,
+                 name: str = "repro-worker") -> None:
+        self.workers = workers
+        self._q: queue.Queue = queue.Queue(maxsize=max(1, queue_depth))
+        self._threads = [
+            threading.Thread(target=self._run, name=f"{name}-{i}", daemon=True)
+            for i in range(max(1, workers))
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def submit(self, fn) -> _Job:
+        job = _Job(fn)
+        try:
+            self._q.put_nowait(job)
+        except queue.Full:
+            raise ServerBusyError(
+                "request queue full; retry later (server_busy)") from None
+        return job
+
+    def _run(self) -> None:
+        while True:
+            job = self._q.get()
+            if job is _STOP:
+                return
+            job.run()
+
+    def shutdown(self) -> None:
+        """Drain: queued jobs finish, then the workers exit."""
+        for __ in self._threads:
+            self._q.put(_STOP)
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+
+
+# ---------------------------------------------------------------------------
+# sessions
+# ---------------------------------------------------------------------------
+
+
+def serialize_result(result) -> dict:
+    """A QueryResult as a wire-safe ``rows`` result object."""
+    return {
+        "kind": "rows",
+        "columns": list(result.columns),
+        "rows": [[json_safe(v) for v in row] for row in result.rows],
+        "plan": result.plan,
+        "io": {
+            "reads": result.io.physical_reads,
+            "writes": result.io.physical_writes,
+            "total": result.io.total_io,
+        },
+    }
+
+
+class Session:
+    """One client's server-side state."""
+
+    def __init__(self, session_id: int, manager: "SessionManager",
+                 name: str = "") -> None:
+        self.id = session_id
+        self.name = name or f"session-{session_id}"
+        self.manager = manager
+        self.db = manager.db
+        self.owner = manager.locks.owner(self.name)
+        self.trace = False
+        self.in_txn = False
+        self.closed = False
+        #: serializes this session's own statements (a pipelining client
+        #: must not run two statements under one lock owner at once)
+        self._mutex = threading.Lock()
+
+    # -- statement dispatch ------------------------------------------------
+
+    def run_statement(self, text: str) -> dict:
+        """Execute one statement; returns a wire result object.
+
+        Raises ReproError subclasses; the service maps them to structured
+        error frames.  Deadlock / lock-timeout errors abort the pending
+        transaction (locks released) before propagating.
+        """
+        with self._mutex:
+            body = text.strip().rstrip(";").strip()
+            if not body:
+                raise ParseError("empty statement")
+            first = body.split(None, 1)[0].lower()
+            try:
+                if first == "begin":
+                    return self._begin()
+                if first == "commit":
+                    return self._commit()
+                if first in ("abort", "rollback"):
+                    return self._abort()
+                if first == "explain":
+                    return self._explain(body)
+                if first in _QUERY_STARTERS:
+                    return self._query(body)
+                if first in _DDL_STARTERS:
+                    return self._ddl(body)
+                raise ParseError(f"unrecognised statement: {body!r}")
+            except (DeadlockError, LockTimeoutError):
+                # the victim must let go or the cycle never breaks
+                self._end_txn()
+                raise
+
+    # -- transaction control ----------------------------------------------
+
+    def _begin(self) -> dict:
+        if self.in_txn:
+            raise ReproError("already in a transaction")
+        self.in_txn = True
+        return {"kind": "ok", "detail": "begin"}
+
+    def _commit(self) -> dict:
+        if not self.in_txn:
+            raise ReproError("no transaction in progress")
+        self._end_txn()
+        return {"kind": "ok", "detail": "commit"}
+
+    def _abort(self) -> dict:
+        if not self.in_txn:
+            raise ReproError("no transaction in progress")
+        self._end_txn()
+        return {"kind": "ok", "detail": "abort (locks released; statements "
+                                        "already applied remain durable)"}
+
+    def _end_txn(self) -> None:
+        self.in_txn = False
+        self.manager.locks.release_all(self.owner)
+
+    def _release_if_autocommit(self) -> None:
+        if not self.in_txn:
+            self.manager.locks.release_all(self.owner)
+
+    # -- statements --------------------------------------------------------
+
+    def _query(self, body: str, analyze: bool = False):
+        from repro.query.language import parse_statement
+
+        stmt = parse_statement(body)
+        locks = self.manager.locks
+        # schema lock first: the catalog is stable while the footprint is
+        # computed from the plan, and stays stable through execution
+        locks.acquire(self.owner, _SCHEMA_SHARED)
+        try:
+            locks.acquire(self.owner, footprint_for_statement(self.db, stmt))
+            with self.manager.latch:
+                result = self._traced(
+                    lambda: execute_statement(self.db, stmt, analyze=analyze))
+        except (DeadlockError, LockTimeoutError):
+            raise
+        except ReproError:
+            self._release_if_autocommit()
+            raise
+        self._release_if_autocommit()
+        if analyze:
+            from repro.query.analyze import render_analyze
+
+            text = (render_analyze(result)
+                    + f"\n({len(result.rows)} row(s))   plan: {result.plan}")
+            return {"kind": "text", "text": text}
+        return serialize_result(result)
+
+    def _ddl(self, body: str) -> dict:
+        locks = self.manager.locks
+        locks.acquire(self.owner, ddl_footprint())
+        try:
+            with self.manager.latch:
+                self._traced(lambda: execute_ddl(self.db, body))
+        finally:
+            self._release_if_autocommit()
+        return {"kind": "ok", "detail": "ddl"}
+
+    def _explain(self, body: str) -> dict:
+        rest = body[len("explain"):].strip()
+        if rest.split(None, 1)[:1] == ["analyze"]:
+            return self._query(rest[len("analyze"):].strip(), analyze=True)
+        from repro.query.runner import explain_text
+
+        locks = self.manager.locks
+        locks.acquire(self.owner, _SCHEMA_SHARED)
+        try:
+            with self.manager.latch:
+                text = explain_text(self.db, rest)
+        finally:
+            self._release_if_autocommit()
+        return {"kind": "text", "text": text}
+
+    def _traced(self, fn):
+        """Run ``fn`` with the shared tracer enabled iff this session
+        asked for tracing (the latch makes the toggle race-free)."""
+        tracer = self.db.telemetry.tracer
+        if not self.trace or tracer.enabled:
+            return fn()
+        tracer.enable()
+        try:
+            return fn()
+        finally:
+            tracer.disable()
+
+    # -- meta commands -----------------------------------------------------
+
+    def run_meta(self, command: str, args: list[str]) -> dict:
+        """Server-side meta commands; returns a ``text`` result object."""
+        with self._mutex:
+            if command == "trace":
+                return {"kind": "text", "text": self._meta_trace(args)}
+            footprint = (maintenance_footprint()
+                         if command in ("verify", "doctor", "recover", "cold")
+                         else _SCHEMA_SHARED)
+            locks = self.manager.locks
+            locks.acquire(self.owner, footprint)
+            try:
+                with self.manager.latch:
+                    text = self._meta_text(command, args)
+            finally:
+                self._release_if_autocommit()
+            return {"kind": "text", "text": text}
+
+    def _meta_text(self, command: str, args: list[str]) -> str:
+        db = self.db
+        if command == "describe":
+            from repro.schema.describe import describe_database
+
+            return describe_database(db) or "(empty schema)"
+        if command == "stats":
+            if args and args[0] == "prom":
+                return db.telemetry.metrics.render_prometheus().rstrip("\n")
+            stats = db.stats
+            return "\n".join([
+                f"physical reads {stats.physical_reads}, writes "
+                f"{stats.physical_writes}, logical reads {stats.logical_reads}, "
+                f"buffer hits {stats.buffer_hits}",
+                f"evictions {stats.evictions}, "
+                f"dirty writebacks {stats.dirty_writebacks}",
+                db.telemetry.metrics.render_text(),
+            ])
+        if command == "monitor":
+            return db.monitor.report()
+        if command == "verify":
+            db.verify()
+            return "all replication invariants hold"
+        if command == "doctor":
+            report = db.doctor(repair=bool(args) and args[0] == "repair")
+            return report.render()
+        if command == "recover":
+            if not db.recovery.needs_recovery:
+                return "nothing to recover (no crash since the last recovery)"
+            return str(db.recover())
+        if command == "cold":
+            db.cold_cache()
+            return "buffer pool flushed and emptied"
+        raise ReproError(f"unknown meta-command \\{command}")
+
+    def _meta_trace(self, args: list[str]) -> str:
+        mode = args[0] if args else "dump"
+        tracer = self.db.telemetry.tracer
+        if mode == "on":
+            self.trace = True
+            return "tracing on"
+        if mode == "off":
+            self.trace = False
+            return "tracing off"
+        if mode == "clear":
+            with self.manager.latch:
+                tracer.clear()
+            return "trace cleared"
+        if mode == "dump":
+            with self.manager.latch:
+                return tracer.to_jsonl() or "(no spans recorded)"
+        raise ReproError(f"unknown \\trace mode {mode!r} (on|off|clear|dump)")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.in_txn = False
+        self.manager.locks.forget(self.owner)
+
+
+class SessionManager:
+    """Owns the lock manager, the engine latch, the worker pool, and the
+    set of live sessions of one served database."""
+
+    def __init__(self, db, lock_timeout: float = 10.0, workers: int = 4,
+                 queue_depth: int = 32) -> None:
+        self.db = db
+        metrics = db.telemetry.metrics
+        self.locks = LockManager(timeout=lock_timeout, metrics=metrics)
+        #: the short-term physical latch: engine internals (buffer pool,
+        #: WAL, tracer) are single-threaded under it
+        self.latch = threading.RLock()
+        self.pool = WorkerPool(workers=workers, queue_depth=queue_depth)
+        self._sessions: dict[int, Session] = {}
+        self._ids = itertools.count(1)
+        self._mutex = threading.Lock()
+        self._m_active = metrics.gauge(
+            "server_active_sessions", "currently open sessions")
+
+    def open_session(self, name: str = "") -> Session:
+        with self._mutex:
+            session = Session(next(self._ids), self, name)
+            self._sessions[session.id] = session
+            self._m_active.inc()
+            return session
+
+    def close_session(self, session: Session) -> None:
+        with self._mutex:
+            if self._sessions.pop(session.id, None) is None:
+                return
+            self._m_active.inc(-1)
+        session.close()
+
+    def sessions(self) -> list[Session]:
+        with self._mutex:
+            return list(self._sessions.values())
+
+    def run(self, fn, timeout: float | None = None):
+        """Execute ``fn`` on the worker pool and wait for its result.
+
+        Raises :class:`ServerBusyError` immediately when the bounded
+        queue is full -- backpressure, not buffering.
+        """
+        return self.pool.submit(fn).wait(timeout)
+
+    def shutdown(self) -> None:
+        """Drain the pool and close every session."""
+        self.pool.shutdown()
+        for session in self.sessions():
+            self.close_session(session)

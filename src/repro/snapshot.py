@@ -43,7 +43,7 @@ from repro.storage.constants import PAGE_SIZE
 from repro.storage.heapfile import HeapFile
 from repro.storage.oid import OID  # noqa: F401 (header round-trips OIDs)
 
-__all__ = ["SnapshotError", "save_database", "load_database"]
+__all__ = ["SnapshotError", "save_database", "load_database", "open_database"]
 
 _MAGIC = b"FREPDB01"
 _LEN = struct.Struct(">Q")
@@ -91,6 +91,14 @@ def _resolved_in(d: dict) -> ResolvedPath:
         type_names=tuple(d["type_names"]),
         replicated_fields=tuple(_field_in(f) for f in d["replicated_fields"]),
     )
+
+
+def open_database(snapshot: str | None = None, wal: bool = True) -> Database:
+    """The shared loader behind the shell's and the server's ``--snapshot``:
+    load the named snapshot, or build a fresh WAL-enabled database."""
+    if snapshot:
+        return load_database(snapshot)
+    return Database(wal=wal)
 
 
 # ---------------------------------------------------------------------------

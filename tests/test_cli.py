@@ -226,3 +226,162 @@ def test_meta_command_error_keeps_session_alive():
     assert "error: injected write failure" in text
     assert "physical reads" in text  # the session survived
     shell.db.faults.disarm()
+
+
+# ---------------------------------------------------------------------------
+# script-mode exit codes
+# ---------------------------------------------------------------------------
+
+
+def test_main_missing_script_is_one_error_line_and_exit_1(capsys):
+    from repro import cli
+
+    assert cli.main(["/no/such/script.extra"]) == 1
+    captured = capsys.readouterr()
+    errors = [ln for ln in captured.err.splitlines() if ln]
+    assert len(errors) == 1
+    assert errors[0].startswith("error: cannot read script")
+    assert captured.out == ""
+
+
+def test_main_script_statement_error_exits_nonzero(tmp_path, capsys):
+    from repro import cli
+
+    script = tmp_path / "bad.extra"
+    script.write_text(SETUP + "\nretrieve (Nope.name)\n\nretrieve (Emp1.name)\n")
+    assert cli.main([str(script)]) == 1
+    captured = capsys.readouterr()
+    assert "error:" in captured.out
+    assert "(0 row(s))" in captured.out  # later statements still ran
+
+
+def test_main_script_meta_error_exits_nonzero(tmp_path, capsys):
+    from repro import cli
+
+    script = tmp_path / "bad.extra"
+    script.write_text("\\bogus\n")
+    assert cli.main([str(script)]) == 1
+
+
+def test_main_clean_script_exits_zero(tmp_path, capsys):
+    from repro import cli
+
+    script = tmp_path / "ok.extra"
+    script.write_text(SETUP + "\nretrieve (Emp1.name)\n")
+    assert cli.main([str(script)]) == 0
+
+
+# ---------------------------------------------------------------------------
+# --snapshot / --save
+# ---------------------------------------------------------------------------
+
+
+def test_main_save_and_snapshot_round_trip(tmp_path, capsys):
+    from repro import cli
+
+    saved = tmp_path / "state.frdb"
+    build = tmp_path / "build.extra"
+    build.write_text(SETUP + "\nreplicate Emp1.dept.name\n")
+    assert cli.main([str(build), "--save", str(saved)]) == 0
+    assert saved.exists()
+
+    reuse = tmp_path / "reuse.extra"
+    reuse.write_text("retrieve (Emp1.name)\n\n\\verify\n")
+    assert cli.main([str(reuse), "--snapshot", str(saved)]) == 0
+    captured = capsys.readouterr()
+    assert "(0 row(s))" in captured.out
+    assert "all replication invariants hold" in captured.out
+
+
+def test_main_unreadable_snapshot_exits_1(capsys):
+    from repro import cli
+
+    assert cli.main(["--snapshot", "/no/such/state.frdb"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_main_snapshot_with_connect_is_rejected(capsys):
+    from repro import cli
+
+    assert cli.main(["--connect", "127.0.0.1:1", "--snapshot", "x.frdb"]) == 1
+    assert "--snapshot/--save need a local session" in capsys.readouterr().err
+
+
+def test_main_connect_refused_is_one_error(capsys):
+    from repro import cli
+
+    assert cli.main(["--connect", "127.0.0.1:1"]) == 1
+    assert "error: cannot connect" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# row limits
+# ---------------------------------------------------------------------------
+
+
+def test_render_result_truncates_at_limit(company):
+    db = company["db"]
+    result = db.execute("retrieve (Emp1.name)")
+    text = render_result(result, limit=2)
+    assert "... (4 more rows)" in text
+    assert "(6 row(s))" in text  # the count line reports the truth
+    assert render_result(result, limit=None).count("\n") > text.count("\n")
+
+
+def test_limit_meta_command():
+    shell, out = _populated_shell()
+    shell.run_block("\\limit 1\nretrieve (Emp1.name)\n\n\\limit off\n"
+                    "retrieve (Emp1.name)\n\n\\limit nonsense")
+    text = out.getvalue()
+    assert "row limit: 1" in text
+    assert "... (1 more rows)" in text
+    assert "row limit off" in text
+    assert text.count("alice") + text.count("bob") == 3  # 1 capped + 2 full
+    assert "error: \\limit takes a number" in text
+    assert shell.errors == 1
+
+
+# ---------------------------------------------------------------------------
+# --connect: the shell as a server client
+# ---------------------------------------------------------------------------
+
+
+def test_shell_drives_a_live_server(company):
+    from repro.server.client import connect
+    from repro.server.service import Server
+
+    server = Server(company["db"]).start()
+    try:
+        out = io.StringIO()
+        shell = Shell(out=out, client=connect(*server.address))
+        shell.run_block(
+            "replicate Emp1.dept.name\n\n"
+            "retrieve (Emp1.name, Emp1.dept.name)\n\n"
+            "begin\n\nreplace (Emp1.salary = 1)\n\ncommit\n\n"
+            "\\verify\n\\stats\n\\describe")
+        text = out.getvalue()
+        assert "ok" in text                      # DDL acknowledged
+        assert "alice" in text and "toys" in text
+        assert "plan:" in text and "I/O:" in text
+        assert "all replication invariants hold" in text
+        assert "physical reads" in text
+        assert "replicate Emp1.dept.name" in text  # \describe shows the path
+        assert shell.errors == 0
+        out.truncate(0)
+        out.seek(0)
+        shell.run_block("retrieve (Nope.name)\n\n\\limit 2\n\\shutdown")
+        text = out.getvalue()
+        assert "error:" in text
+        assert "row limit: 2" in text
+        assert "draining" in text
+        assert shell.done
+        shell.close()
+    finally:
+        server.shutdown()
+
+
+def test_local_shell_rejects_shutdown():
+    shell, out = _populated_shell()
+    shell.run_block("\\shutdown")
+    assert "needs a connected server" in out.getvalue()
+    assert shell.errors == 1

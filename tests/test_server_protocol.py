@@ -1,0 +1,143 @@
+"""Wire-protocol framing: round trips, damage detection, error shapes."""
+
+import socket
+import struct
+import zlib
+
+import pytest
+
+from repro.errors import (
+    DeadlockError,
+    LockTimeoutError,
+    ParseError,
+    ProtocolError,
+    ReproError,
+    ServerBusyError,
+)
+from repro.server import protocol
+
+
+def _pair():
+    a, b = socket.socketpair()
+    a.settimeout(2.0)
+    b.settimeout(2.0)
+    return a, b
+
+
+def test_frame_round_trip():
+    a, b = _pair()
+    obj = {"id": 7, "kind": "statement", "statement": "retrieve (S.x)"}
+    protocol.write_frame(a, obj)
+    assert protocol.read_frame(b) == obj
+    a.close()
+    b.close()
+
+
+def test_frame_round_trip_unicode_and_nesting():
+    a, b = _pair()
+    obj = {"id": 1, "result": {"rows": [["ünïcode", 3.5, None, True]]}}
+    protocol.write_frame(a, obj)
+    assert protocol.read_frame(b) == obj
+    a.close()
+    b.close()
+
+
+def test_corrupted_payload_fails_crc():
+    a, b = _pair()
+    frame = bytearray(protocol.encode_frame({"id": 1, "kind": "ping"}))
+    frame[-1] ^= 0xFF  # flip a payload byte; the crc must catch it
+    a.sendall(bytes(frame))
+    with pytest.raises(ProtocolError, match="checksum"):
+        protocol.read_frame(b)
+    a.close()
+    b.close()
+
+
+def test_corrupted_length_rejected_before_allocation():
+    a, b = _pair()
+    a.sendall(struct.pack(">II", protocol.MAX_FRAME_BYTES + 1, 0))
+    with pytest.raises(ProtocolError, match="implausible frame length"):
+        protocol.read_frame(b)
+    a.close()
+    b.close()
+
+
+def test_truncated_frame_detected():
+    a, b = _pair()
+    frame = protocol.encode_frame({"id": 1, "kind": "ping"})
+    a.sendall(frame[: len(frame) - 3])
+    a.close()
+    with pytest.raises(ProtocolError, match="mid-frame"):
+        protocol.read_frame(b)
+    b.close()
+
+
+def test_clean_close_between_frames_is_reset_not_protocol_error():
+    a, b = _pair()
+    a.close()
+    with pytest.raises(ConnectionResetError):
+        protocol.read_frame(b)
+    b.close()
+
+
+def test_non_json_payload_rejected():
+    a, b = _pair()
+    payload = b"\xff\xfenot json"
+    a.sendall(struct.pack(">II", len(payload), zlib.crc32(payload)) + payload)
+    with pytest.raises(ProtocolError, match="not JSON"):
+        protocol.read_frame(b)
+    a.close()
+    b.close()
+
+
+def test_non_object_payload_rejected():
+    a, b = _pair()
+    payload = b"[1, 2, 3]"
+    a.sendall(struct.pack(">II", len(payload), zlib.crc32(payload)) + payload)
+    with pytest.raises(ProtocolError, match="not a JSON object"):
+        protocol.read_frame(b)
+    a.close()
+    b.close()
+
+
+def test_handshake_checks_magic_and_version():
+    protocol.check_handshake(protocol.handshake(3))
+    with pytest.raises(ProtocolError, match="not a repro server"):
+        protocol.check_handshake({"v": 99, "magic": protocol.MAGIC})
+    with pytest.raises(ProtocolError):
+        protocol.check_handshake({"v": protocol.VERSION, "magic": "HTTP/1.1"})
+
+
+def test_rejected_handshake_raises_remote_error():
+    from repro.errors import RemoteError
+
+    frame = protocol.error_response(0, ServerBusyError("full"),
+                                    code="server_busy")
+    with pytest.raises(RemoteError) as info:
+        protocol.check_handshake(frame)
+    assert info.value.code == "server_busy"
+
+
+@pytest.mark.parametrize("exc,code", [
+    (LockTimeoutError("t"), "lock_timeout"),
+    (DeadlockError("d"), "deadlock"),
+    (ServerBusyError("b"), "server_busy"),
+    (ProtocolError("p"), "protocol_error"),
+    (ParseError("x"), "parse_error"),
+    (ReproError("e"), "engine_error"),
+    (RuntimeError("r"), "internal_error"),
+])
+def test_error_codes_are_stable(exc, code):
+    frame = protocol.error_response(4, exc)
+    assert frame["ok"] is False
+    assert frame["id"] == 4
+    assert frame["error"]["code"] == code
+    assert frame["error"]["type"] == type(exc).__name__
+
+
+def test_json_safe_coerces_oids_to_strings():
+    from repro.storage.oid import OID
+
+    assert protocol.json_safe(5) == 5
+    assert protocol.json_safe(None) is None
+    assert isinstance(protocol.json_safe(OID(1, 2, 3)), str)
