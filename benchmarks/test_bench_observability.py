@@ -1,0 +1,147 @@
+"""Observability overhead: watching the server must not move pages.
+
+Two identical database/server pairs run the same single-client statement
+sequence.  The *observed* pair has every collector on at once -- client
+trace propagation (per-statement tracers, span trees in every reply), a
+slow-query log with threshold 0 (every statement recorded), and a
+scraper thread hammering the HTTP sidecar's /metrics, /health, and /slow
+throughout.  The *bare* pair runs with all of it off.
+
+The acceptance bar is exact: the per-statement physical I/O vectors of
+the two runs must be **byte-identical**.  Tracing reads counters, the
+slow log appends dicts, and scrapes render from the registry -- none of
+it may drag a page through the buffer pool, or the observer would change
+the measurement the paper's I/O study depends on.  Wall-clock overhead
+is recorded (informational; it is real but small) into
+``BENCH_observability_overhead.json``.
+"""
+
+import json
+import threading
+import time
+from urllib.request import urlopen
+
+from repro import Database, TypeDefinition, char_field, int_field, ref_field
+from repro.server import connect
+from repro.server.httpexpo import MetricsHTTPServer
+from repro.server.service import Server
+
+from benchmarks.conftest import save_result
+
+_DEPTS = 4
+_EMPS = 48
+
+
+def _build() -> Database:
+    db = Database(wal=True, buffer_frames=64)
+    db.define_type(TypeDefinition("DEPT", [char_field("name", 40),
+                                           int_field("budget")]))
+    db.define_type(TypeDefinition("EMP", [char_field("name", 40),
+                                          int_field("salary"),
+                                          ref_field("dept", "DEPT")]))
+    db.create_set("Dept", "DEPT")
+    db.create_set("Emp", "EMP")
+    depts = [db.insert("Dept", {"name": f"dept{i}", "budget": 100 + i})
+             for i in range(_DEPTS)]
+    for i in range(_EMPS):
+        db.insert("Emp", {"name": f"emp{i}", "salary": 1000 + i,
+                          "dept": depts[i % _DEPTS]})
+    db.replicate("Emp.dept.name")
+    return db
+
+
+def _ops() -> list[str]:
+    """The deterministic statement sequence both pairs execute."""
+    ops = []
+    for round_no in range(3):
+        ops.append("retrieve (Emp.name, Emp.dept.name)")
+        ops.append("retrieve (Dept.name, Dept.budget)")
+        ops.append(f'replace (Dept.name = "r{round_no}") '
+                   f"where Dept.budget = {100 + round_no % _DEPTS}")
+        ops.append("retrieve (Emp.name) where Emp.salary > 1020")
+        ops.append("retrieve (Emp.dept.name)")
+    return ops
+
+
+def _run_pair(observed: bool) -> dict:
+    db = _build()
+    server = Server(db, max_connections=4, workers=2, queue_depth=32,
+                    lock_timeout=30.0).start()
+    sidecar = None
+    stop_scraper = threading.Event()
+    scraper = None
+    scrapes = [0]
+    if observed:
+        db.telemetry.slowlog.configure(threshold_ms=0.0)
+        sidecar = MetricsHTTPServer(server).start()
+        base = f"http://{sidecar.host}:{sidecar.port}"
+
+        def scrape_loop():
+            while not stop_scraper.is_set():
+                for path in ("/metrics", "/health", "/slow"):
+                    with urlopen(base + path, timeout=10.0) as response:
+                        assert response.status == 200
+                        response.read()
+                scrapes[0] += 1
+                time.sleep(0.01)
+
+        scraper = threading.Thread(target=scrape_loop, daemon=True)
+        scraper.start()
+    per_op_io = []
+    try:
+        with connect(*server.address) as client:
+            client.trace_enabled = observed
+            client.meta("cold")  # both pairs start from an empty pool
+            began = time.perf_counter()
+            for statement in _ops():
+                result = client.execute(statement)
+                per_op_io.append([result.io.physical_reads,
+                                  result.io.physical_writes])
+                if observed:
+                    # every reply really carried its span tree
+                    assert result.trace is not None
+                    names = {s["name"] for s in result.trace["spans"]}
+                    assert {"client_request", "statement",
+                            "execute"} <= names
+            wall = time.perf_counter() - began
+    finally:
+        stop_scraper.set()
+        if scraper is not None:
+            scraper.join(timeout=10.0)
+        if sidecar is not None:
+            sidecar.shutdown()
+        server.shutdown()
+    slow_records = len(db.telemetry.slowlog) if observed else 0
+    db.verify()
+    return {"io": per_op_io, "wall": wall, "scrapes": scrapes[0],
+            "slow_records": slow_records}
+
+
+def test_observability_collectors_add_zero_physical_io(results_dir):
+    bare = _run_pair(observed=False)
+    observed = _run_pair(observed=True)
+
+    # the acceptance bar: byte-identical per-statement physical I/O
+    assert json.dumps(bare["io"]) == json.dumps(observed["io"])
+    assert any(reads > 0 for reads, __ in bare["io"])  # teeth
+    # every collector demonstrably ran
+    assert observed["scrapes"] > 0
+    assert observed["slow_records"] == len(_ops())
+
+    result = {
+        "benchmark": "observability_overhead",
+        "ops": len(bare["io"]),
+        "collectors_on": ["trace_propagation", "slow_query_log",
+                          "http_scraper"],
+        "per_op_physical_io_identical": True,
+        "per_op_io": bare["io"],
+        "scrapes_during_run": observed["scrapes"],
+        "slow_records": observed["slow_records"],
+        "wall_seconds_bare": round(bare["wall"], 4),
+        "wall_seconds_observed": round(observed["wall"], 4),
+        "wall_overhead_pct": round(
+            (observed["wall"] - bare["wall"]) / bare["wall"] * 100, 1)
+        if bare["wall"] else 0.0,
+    }
+    save_result(results_dir, "BENCH_observability_overhead.json",
+                json.dumps(result, indent=2))

@@ -20,9 +20,13 @@ with ``;`` or a blank line.  Connected to a server, ``begin`` / ``commit``
     \\describe          render the whole schema
     \\stats [prom]      cumulative I/O counters + engine metrics
                        (``prom``: Prometheus exposition format)
-    \\trace on|off      toggle structured query tracing
+    \\trace on|off      toggle structured query tracing (connected: each
+                       statement propagates a client-minted trace id and
+                       the dump shows the client->server->engine tree)
     \\trace clear       drop collected spans
-    \\trace dump [file] print (or export) the JSONL trace
+    \\trace dump [file] print (or export as JSONL) the trace
+    \\top [N [SECS]]    live server dashboard over the stats verb
+                       (connected only; N frames, SECS apart; default 1)
     \\monitor           workload observations + model-vs-actual drift
     \\verify            run the replication consistency checker
     \\doctor [repair]   diagnose (and with ``repair`` fix) replica drift
@@ -52,8 +56,10 @@ CONTINUATION = "   ..> "
 DEFAULT_ROW_LIMIT = 50
 
 #: meta-commands answered by the server when the shell is connected.
+#: ``trace`` is deliberately absent: connected tracing is client-side,
+#: so the dump shows the stitched client->server->engine tree.
 _FORWARDED_META = ("describe", "stats", "monitor", "verify", "doctor",
-                   "recover", "cold", "trace")
+                   "recover", "cold")
 
 
 def render_result(result, limit: int | None = DEFAULT_ROW_LIMIT) -> str:
@@ -81,6 +87,42 @@ def render_result(result, limit: int | None = DEFAULT_ROW_LIMIT) -> str:
     lines.append(f"({len(result.rows)} row(s))   plan: {result.plan}")
     lines.append(f"I/O: {result.io.total_io} "
                  f"({result.io.physical_reads} reads, {result.io.physical_writes} writes)")
+    return "\n".join(lines)
+
+
+def render_trace(trace: dict) -> str:
+    """Render one stitched trace as an indented span tree.
+
+    Children sort by span id (creation order); each line shows the span's
+    wall time, its inclusive physical I/O, and the attributes that matter
+    at a glance (statement text, lock waits, record counts).
+    """
+    spans = trace.get("spans") or []
+    children: dict = {}
+    for span in spans:
+        children.setdefault(span.get("parent_id"), []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: s.get("span_id", 0))
+    lines = [f"trace {trace.get('trace_id', '?')}"]
+
+    def walk(span: dict, depth: int) -> None:
+        io = span.get("io") or {}
+        total = io.get("physical_reads", 0) + io.get("physical_writes", 0)
+        attrs = span.get("attrs") or {}
+        notes = []
+        for key in ("statement", "resources", "waited_ms", "records",
+                    "kind", "note"):
+            if key in attrs and attrs[key] not in ("", [], None):
+                notes.append(f"{key}={attrs[key]}")
+        lines.append(
+            f"{'  ' * depth}{span.get('name', '?'):<14} "
+            f"{span.get('duration_ms', 0.0):9.3f}ms  io={total}"
+            + (("  " + " ".join(str(n) for n in notes)) if notes else ""))
+        for child in children.get(span.get("span_id"), []):
+            walk(child, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
     return "\n".join(lines)
 
 
@@ -134,8 +176,12 @@ class Shell:
                 return
             self.write(self.client.shutdown() or "server draining")
             self.done = True
+        elif command == "top":
+            self._run_top(args)
         elif self.client is not None:
-            if command in _FORWARDED_META:
+            if command == "trace":
+                self._run_client_trace(args)
+            elif command in _FORWARDED_META:
                 self.write(self.client.meta(command, *args))
             else:
                 self.fail(f"unknown meta-command \\{command} (try \\help)")
@@ -223,6 +269,57 @@ class Shell:
                 self.write(tracer.to_jsonl() or "(no spans recorded)")
         else:
             self.fail(f"unknown \\trace mode {mode!r} (on|off|clear|dump)")
+
+    def _run_client_trace(self, args: list[str]) -> None:
+        """Connected ``\\trace``: client-side trace propagation."""
+        client = self.client
+        mode = args[0] if args else "dump"
+        if mode == "on":
+            client.trace_enabled = True
+            self.write("tracing on")
+        elif mode == "off":
+            client.trace_enabled = False
+            self.write("tracing off")
+        elif mode == "clear":
+            client.traces.clear()
+            self.write("trace cleared")
+        elif mode == "dump":
+            if not client.traces:
+                self.write("(no spans recorded)")
+            elif len(args) > 1:
+                import json
+
+                try:
+                    with open(args[1], "w", encoding="utf-8") as handle:
+                        count = 0
+                        for trace in client.traces:
+                            for span in trace.get("spans") or []:
+                                handle.write(json.dumps(span) + "\n")
+                                count += 1
+                except OSError as exc:
+                    self.fail(f"error: cannot write trace: {exc}")
+                    return
+                self.write(f"wrote {count} span(s) to {args[1]}")
+            else:
+                self.write("\n".join(render_trace(t) for t in client.traces))
+        else:
+            self.fail(f"unknown \\trace mode {mode!r} (on|off|clear|dump)")
+
+    def _run_top(self, args: list[str]) -> None:
+        if self.client is None:
+            self.fail("error: \\top needs a connected server "
+                      "(--connect host:port)")
+            return
+        try:
+            iterations = int(args[0]) if args else 1
+            interval = float(args[1]) if len(args) > 1 else 1.0
+        except ValueError:
+            self.fail("error: \\top takes [iterations [interval-seconds]]")
+            return
+        from repro.server.top import run_top
+
+        run_top(self.client, iterations=max(1, iterations),
+                interval=interval, out=self.out)
 
     def run_statement(self, statement: str) -> None:
         if self.client is not None:

@@ -9,6 +9,8 @@ spans under ``execute``.
 
 from __future__ import annotations
 
+import time
+
 from repro.query.executor import (
     QueryResult,
     execute_delete,
@@ -72,18 +74,43 @@ def _emit_operator_spans(tracer, operators, parent) -> None:
 
 def execute_text(db: Database, text: str, materialize: bool = True,
                  analyze: bool = False) -> QueryResult:
-    """Parse and run one statement of query-language text."""
+    """Parse and run one statement of query-language text.
+
+    This is the *embedded* entry point (shell, scripts, tests); a served
+    session goes through :func:`execute_statement` instead and records
+    into the slow-query log from the session layer, where lock waits are
+    known -- so no statement is ever slow-logged twice.
+    """
     tracer = db.telemetry.tracer
-    if not tracer.enabled:
-        return execute_statement(db, parse_statement(text),
-                                 materialize=materialize, analyze=analyze)
-    with tracer.span("query", statement=" ".join(text.split())) as span:
-        with tracer.span("parse"):
-            stmt = parse_statement(text)
-        result = execute_statement(db, stmt, materialize=materialize,
-                                   analyze=analyze)
-        span.set("plan", result.plan)
-        span.set("rows", len(result.rows))
+    started = time.perf_counter()
+    try:
+        if not tracer.enabled:
+            result = execute_statement(db, parse_statement(text),
+                                       materialize=materialize,
+                                       analyze=analyze)
+        else:
+            with tracer.span("query",
+                             statement=" ".join(text.split())) as span:
+                with tracer.span("parse"):
+                    stmt = parse_statement(text)
+                result = execute_statement(db, stmt, materialize=materialize,
+                                           analyze=analyze)
+                span.set("plan", result.plan)
+                span.set("rows", len(result.rows))
+    except Exception as exc:
+        db.telemetry.slowlog.observe(
+            statement=" ".join(text.split()),
+            duration_ms=(time.perf_counter() - started) * 1000.0,
+            outcome=type(exc).__name__)
+        raise
+    db.telemetry.slowlog.observe(
+        statement=" ".join(text.split()),
+        duration_ms=(time.perf_counter() - started) * 1000.0,
+        plan=result.plan,
+        io={"reads": result.io.physical_reads,
+            "writes": result.io.physical_writes,
+            "total": result.io.total_io},
+        rows=len(result.rows))
     return result
 
 

@@ -62,7 +62,9 @@ class RecoveryManager:
     def __init__(self, db, wal: bool = False) -> None:
         self.db = db
         self.enabled = wal
-        self.wal = WriteAheadLog(db.telemetry.metrics) if wal else None
+        self.wal = (WriteAheadLog(db.telemetry.metrics,
+                                  telemetry=db.telemetry)
+                    if wal else None)
         self._depth = 0
         self._m_recoveries = db.telemetry.metrics.counter(
             "recoveries_total", "crash-recovery passes completed")

@@ -149,8 +149,12 @@ class StatementLog:
 class WriteAheadLog:
     """The statement-scoped physical log of one database."""
 
-    def __init__(self, metrics=None) -> None:
+    def __init__(self, metrics=None, telemetry=None) -> None:
         metrics = metrics if metrics is not None else NULL_METRICS
+        #: optional Telemetry bundle: when its tracer is enabled, real log
+        #: forces are recorded as ``wal_flush`` spans (the WAL is accounted
+        #: on its own device, so the span carries no page I/O).
+        self._telemetry = telemetry
         self._m_records = metrics.counter(
             "wal_records_total", "records appended to the write-ahead log")
         self._m_flushes = metrics.counter(
@@ -313,7 +317,14 @@ class WriteAheadLog:
     def flush(self) -> None:
         """Make every appended record durable (accounted, instantaneous)."""
         if self._flushed < len(self.records):
-            self._flushed = len(self.records)
+            pending = len(self.records) - self._flushed
+            tracer = (self._telemetry.tracer
+                      if self._telemetry is not None else None)
+            if tracer is not None and tracer.enabled:
+                with tracer.span("wal_flush", records=pending):
+                    self._flushed = len(self.records)
+            else:
+                self._flushed = len(self.records)
             self._m_flushes.inc()
 
     # -- replay / persistence ------------------------------------------------

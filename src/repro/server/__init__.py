@@ -15,10 +15,17 @@ in-process session.  This package turns it into a multi-client database:
   (``python -m repro.server --port ...``) with admission control and
   graceful drain;
 * :mod:`repro.server.client`   -- the blocking client library the shell's
-  ``--connect host:port`` flag reuses.
+  ``--connect host:port`` flag reuses; mints trace ids and stitches the
+  server's span trees under a local ``client_request`` root;
+* :mod:`repro.server.httpexpo` -- the HTTP observability sidecar
+  (``--metrics-port N``): Prometheus /metrics, JSON /health and /slow;
+* :mod:`repro.server.top`      -- the live dashboard over the ``stats``
+  verb (``python -m repro.server.top --connect host:port``, or ``\\top``
+  in a connected shell).
 """
 
 from repro.server.client import Client, ClientResult, connect
+from repro.server.httpexpo import MetricsHTTPServer
 from repro.server.locks import LockFootprint, LockManager, footprint_for_statement
 from repro.server.service import Server
 from repro.server.session import Session, SessionManager
@@ -29,6 +36,7 @@ __all__ = [
     "connect",
     "LockFootprint",
     "LockManager",
+    "MetricsHTTPServer",
     "footprint_for_statement",
     "Server",
     "Session",

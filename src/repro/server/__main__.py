@@ -4,11 +4,18 @@
 
     python -m repro.server --port 7878 --snapshot company.frdb
     python -m repro.server --port 0            # ephemeral port, printed
+    python -m repro.server --port 7878 --metrics-port 9187
+                                               # + HTTP /metrics /health /slow
 
 The server answers SIGTERM / SIGINT (and a client's ``\\shutdown``) with
 a graceful drain: in-flight statements finish, the worker pool empties,
 connections close.  With ``--save FILE`` the drained database is
 snapshotted before exit.
+
+``--metrics-port N`` starts the HTTP observability sidecar (0 picks an
+ephemeral port); its address is printed as a second ``metrics on
+host:port`` line.  ``--slow-ms`` sets the slow-query threshold the /slow
+endpoint and ``slow_queries_total`` count against.
 """
 
 from __future__ import annotations
@@ -39,6 +46,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--queue-depth", type=int, default=32)
     parser.add_argument("--lock-timeout", type=float, default=10.0,
                         help="lock-wait bound in seconds")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        metavar="N",
+                        help="serve HTTP /metrics, /health, /slow on this "
+                             "port (0 picks an ephemeral port)")
+    parser.add_argument("--slow-ms", type=float, default=None, metavar="MS",
+                        help="slow-query log threshold in milliseconds")
     args = parser.parse_args(argv)
 
     try:
@@ -47,12 +60,21 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
+    if args.slow_ms is not None:
+        db.telemetry.slowlog.configure(threshold_ms=args.slow_ms)
     server = Server(db, host=args.host, port=args.port,
                     max_connections=args.max_connections,
                     workers=args.workers, queue_depth=args.queue_depth,
                     lock_timeout=args.lock_timeout)
     server.start()
     print(f"listening on {server.host}:{server.port}", flush=True)
+    sidecar = None
+    if args.metrics_port is not None:
+        from repro.server.httpexpo import MetricsHTTPServer
+
+        sidecar = MetricsHTTPServer(server, host=args.host,
+                                    port=args.metrics_port).start()
+        print(f"metrics on {sidecar.host}:{sidecar.port}", flush=True)
 
     def drain(signum, frame):
         threading.Thread(target=server.shutdown, daemon=True).start()
@@ -60,6 +82,8 @@ def main(argv: list[str] | None = None) -> int:
     signal.signal(signal.SIGTERM, drain)
     signal.signal(signal.SIGINT, drain)
     server.wait()
+    if sidecar is not None:
+        sidecar.shutdown()
     if args.save:
         try:
             save_database(db, args.save)

@@ -16,15 +16,28 @@ renders either), a plain string for text results (``explain``), and the
 detail string for acknowledgements (DDL, ``begin``/``commit``).  Server
 errors surface as :class:`~repro.errors.RemoteError` with a stable
 ``.code`` (``lock_timeout``, ``deadlock``, ``server_busy``, ...).
+
+Cross-process tracing: with ``client.trace_enabled = True`` every
+``execute`` mints a ``trace_id``, sends it in the request frame, and
+stitches the server's span tree under a local ``client_request`` root
+(span id 0); the difference between the root's wall time and the server
+``statement`` span is wire + queue time.  Stitched traces are kept on
+``client.traces`` (bounded) and the freshest on ``client.last_trace``.
 """
 
 from __future__ import annotations
 
+import secrets
 import socket
-from dataclasses import dataclass
+import time
+from collections import deque
+from dataclasses import dataclass, field
 
 from repro.errors import ProtocolError, RemoteError
 from repro.server import protocol
+
+#: stitched traces retained per client (oldest dropped first).
+_TRACE_KEEP = 64
 
 
 @dataclass(frozen=True)
@@ -44,12 +57,15 @@ class ClientResult:
     rows: list
     plan: str
     io: ClientIO
+    #: the stitched span tree when the statement was traced, else None.
+    trace: dict | None = field(default=None, compare=False)
 
     def __len__(self) -> int:
         return len(self.rows)
 
     @classmethod
-    def from_wire(cls, result: dict) -> "ClientResult":
+    def from_wire(cls, result: dict,
+                  trace: dict | None = None) -> "ClientResult":
         io = result.get("io") or {}
         return cls(
             columns=tuple(result.get("columns") or ()),
@@ -57,6 +73,7 @@ class ClientResult:
             plan=result.get("plan", ""),
             io=ClientIO(io.get("reads", 0), io.get("writes", 0),
                         io.get("total", 0)),
+            trace=trace,
         )
 
 
@@ -68,6 +85,15 @@ class Client:
         self.session_id = session_id
         self._next_id = 0
         self._closed = False
+        #: when True every execute() mints and propagates a trace_id.
+        self.trace_enabled = False
+        #: stitched traces, oldest first; each is {"trace_id", "spans"}.
+        self.traces: deque = deque(maxlen=_TRACE_KEEP)
+
+    @property
+    def last_trace(self) -> dict | None:
+        """The most recent stitched trace, or None."""
+        return self.traces[-1] if self.traces else None
 
     # -- plumbing ----------------------------------------------------------
 
@@ -91,13 +117,53 @@ class Client:
 
     def execute(self, statement: str):
         """Run one statement; ClientResult for rows, str otherwise."""
-        result = self._request("statement", statement=statement)
+        trace = None
+        if self.trace_enabled:
+            trace_id = secrets.token_hex(8)
+            start_ts = time.time()
+            started = time.perf_counter()
+            result = self._request("statement", statement=statement,
+                                   trace_id=trace_id)
+            duration_ms = (time.perf_counter() - started) * 1000.0
+            trace = self._stitch_trace(trace_id, statement, result,
+                                       start_ts, duration_ms)
+            self.traces.append(trace)
+        else:
+            result = self._request("statement", statement=statement)
         kind = result.get("kind")
         if kind == "rows":
-            return ClientResult.from_wire(result)
+            return ClientResult.from_wire(result, trace=trace)
         if kind == "text":
             return result.get("text", "")
         return result.get("detail", "ok")
+
+    def _stitch_trace(self, trace_id: str, statement: str, result: dict,
+                      start_ts: float, duration_ms: float) -> dict:
+        """Graft the server's span tree under a local client root.
+
+        The root takes span id 0 (server span ids start at 1, so ids never
+        collide) and server roots are re-parented under it; root wall time
+        minus the server ``statement`` span is wire + queue-admission time.
+        """
+        root = {
+            "trace_id": trace_id,
+            "span_id": 0,
+            "parent_id": None,
+            "name": "client_request",
+            "attrs": {"statement": " ".join(statement.split()),
+                      "session_id": self.session_id},
+            "start_ts": round(start_ts, 6),
+            "duration_ms": round(duration_ms, 3),
+            "io": {},
+            "self_io": {},
+        }
+        spans = [root]
+        for span in (result.get("trace") or {}).get("spans") or []:
+            span = dict(span)
+            if span.get("parent_id") is None:
+                span["parent_id"] = 0
+            spans.append(span)
+        return {"trace_id": trace_id, "spans": spans}
 
     def meta(self, command: str, *args: str) -> str:
         """Run a server-side meta command; returns its rendered text."""

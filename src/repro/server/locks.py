@@ -257,6 +257,94 @@ def maintenance_footprint() -> LockFootprint:
 # ---------------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class AcquireInfo:
+    """What one :meth:`LockManager.acquire` call cost the caller.
+
+    ``waited`` is the wall-clock wait for the whole footprint (zero when
+    it was granted immediately); ``contended`` lists the resources that
+    had conflicting holders at any point during the wait, with the mode
+    this owner was requesting.  The full wait is attributed to every
+    contended resource -- footprints are granted all-or-nothing, so the
+    wait is not divisible, and charging each blocker the whole delay is
+    what makes the hottest resource stand out.
+    """
+
+    waited: float = 0.0
+    #: ``(resource, mode)`` pairs, sorted by resource name.
+    contended: tuple = ()
+
+    def wait_breakdown(self) -> list[dict]:
+        """Per-resource shares, shaped for span attrs / slow-log records."""
+        return [
+            {"resource": resource, "mode": mode,
+             "waited_ms": round(self.waited * 1000.0, 3)}
+            for resource, mode in self.contended
+        ]
+
+
+class ContentionProfiler:
+    """Per-resource lock-wait statistics: histograms and a top-K.
+
+    Fed by the lock manager on every wait that actually blocked; read by
+    the ``stats`` protocol verb and the ``\\top`` dashboard.  All numbers
+    are cumulative since server start.
+    """
+
+    def __init__(self, buckets: tuple = _WAIT_BUCKETS) -> None:
+        self.buckets = buckets
+        self._mutex = threading.Lock()
+        self._by_resource: dict[str, dict] = {}
+
+    def record(self, resource: str, mode: str, waited: float) -> None:
+        with self._mutex:
+            stats = self._by_resource.get(resource)
+            if stats is None:
+                stats = {
+                    "waits": 0,
+                    "total_s": 0.0,
+                    "max_s": 0.0,
+                    "by_mode": {},
+                    "histogram": [0] * (len(self.buckets) + 1),
+                }
+                self._by_resource[resource] = stats
+            stats["waits"] += 1
+            stats["total_s"] += waited
+            stats["max_s"] = max(stats["max_s"], waited)
+            stats["by_mode"][mode] = stats["by_mode"].get(mode, 0) + 1
+            for i, bound in enumerate(self.buckets):
+                if waited <= bound:
+                    stats["histogram"][i] += 1
+                    break
+            else:
+                stats["histogram"][-1] += 1
+
+    def top(self, k: int = 5) -> list[dict]:
+        """The ``k`` hottest resources by cumulative wait time."""
+        with self._mutex:
+            items = [
+                {"resource": name, "waits": s["waits"],
+                 "total_wait_s": round(s["total_s"], 6),
+                 "max_wait_s": round(s["max_s"], 6),
+                 "by_mode": dict(s["by_mode"])}
+                for name, s in self._by_resource.items()
+            ]
+        items.sort(key=lambda item: (-item["total_wait_s"], item["resource"]))
+        return items[:k]
+
+    def histogram(self, resource: str) -> list[int] | None:
+        """Bucket counts for one resource (bounds: ``self.buckets`` + inf)."""
+        with self._mutex:
+            stats = self._by_resource.get(resource)
+            return list(stats["histogram"]) if stats is not None else None
+
+    def snapshot(self) -> dict:
+        with self._mutex:
+            return {name: {**s, "by_mode": dict(s["by_mode"]),
+                           "histogram": list(s["histogram"])}
+                    for name, s in self._by_resource.items()}
+
+
 @dataclass
 class LockOwner:
     """One lock-holding agent (a session / transaction)."""
@@ -278,6 +366,8 @@ class LockManager:
     def __init__(self, timeout: float = 10.0, metrics=NULL_METRICS) -> None:
         #: default lock-wait bound, seconds; per-call override allowed.
         self.timeout = timeout
+        #: per-resource wait histograms + hottest-resources top-K.
+        self.contention = ContentionProfiler()
         self._mutex = threading.Lock()
         self._cv = threading.Condition(self._mutex)
         self._holders: dict = {}               # resource -> {owner_id: mode}
@@ -311,14 +401,16 @@ class LockManager:
     # -- acquire / release -------------------------------------------------
 
     def acquire(self, owner: LockOwner, footprint: LockFootprint,
-                timeout: float | None = None) -> None:
+                timeout: float | None = None) -> AcquireInfo:
         """Grant the whole footprint atomically, or wait.
 
-        Raises :class:`DeadlockError` if this owner is chosen as a
-        deadlock victim and :class:`LockTimeoutError` when the wait
-        exceeds the (per-call or manager-wide) timeout.  On either error
-        the owner keeps what it already held -- the caller decides
-        whether to release (end the transaction) or retry.
+        Returns an :class:`AcquireInfo` describing how long the grant
+        took and which resources were contended.  Raises
+        :class:`DeadlockError` if this owner is chosen as a deadlock
+        victim and :class:`LockTimeoutError` when the wait exceeds the
+        (per-call or manager-wide) timeout.  On either error the owner
+        keeps what it already held -- the caller decides whether to
+        release (end the transaction) or retry.
         """
         with self._cv:
             needed: dict = {}
@@ -329,13 +421,14 @@ class LockManager:
                 if resource not in owner.held and resource not in needed:
                     needed[resource] = SHARED
             if not needed:
-                return
+                return AcquireInfo()
             if not owner.held:
                 owner.birth = next(self._births)
             deadline = time.monotonic() + (self.timeout if timeout is None
                                            else timeout)
             waited = False
             wait_start = time.monotonic()
+            contended: dict[str, str] = {}
             try:
                 while True:
                     if owner.victim:
@@ -348,7 +441,12 @@ class LockManager:
                         for resource, mode in needed.items():
                             self._holders.setdefault(resource, {})[owner.id] = mode
                             owner.held[resource] = mode
-                        return
+                        return AcquireInfo(
+                            waited=(time.monotonic() - wait_start)
+                            if waited else 0.0,
+                            contended=tuple(sorted(contended.items())))
+                    for resource, mode in self._contended(owner, needed).items():
+                        contended.setdefault(resource, mode)
                     owner.needed = needed
                     if not waited:
                         waited = True
@@ -375,7 +473,10 @@ class LockManager:
             finally:
                 owner.needed = None
                 if waited:
-                    self._m_wait_seconds.observe(time.monotonic() - wait_start)
+                    elapsed = time.monotonic() - wait_start
+                    self._m_wait_seconds.observe(elapsed)
+                    for resource, mode in sorted(contended.items()):
+                        self.contention.record(resource, mode, elapsed)
 
     def release_all(self, owner: LockOwner) -> None:
         with self._cv:
@@ -412,6 +513,19 @@ class LockManager:
                 if mode == EXCLUSIVE or other_mode == EXCLUSIVE:
                     blockers.add(other_id)
         return blockers
+
+    def _contended(self, owner: LockOwner, needed: dict) -> dict:
+        """The subset of ``needed`` that currently has conflicting holders
+        (resource -> requested mode)."""
+        contended = {}
+        for resource, mode in needed.items():
+            for other_id, other_mode in self._holders.get(resource, {}).items():
+                if other_id == owner.id:
+                    continue
+                if mode == EXCLUSIVE or other_mode == EXCLUSIVE:
+                    contended[resource] = mode
+                    break
+        return contended
 
     def _find_deadlock_victim(self, start: LockOwner) -> LockOwner | None:
         """Find a wait-for cycle through ``start``; return the youngest

@@ -17,6 +17,8 @@ response object carrying the same ``id``:
 request::
 
     {"id": 7, "kind": "statement", "statement": "retrieve (Emp1.name)"}
+    {"id": 7, "kind": "statement", "statement": "...",
+        "trace_id": "9f2c4a1b00d14e55"}   # optional: client-minted trace id
     {"id": 8, "kind": "meta", "command": "describe", "args": []}
     {"id": 9, "kind": "stats" | "ping" | "shutdown" | "close"}
 
@@ -28,6 +30,20 @@ response::
     {"id": 7, "ok": true,  "result": {"kind": "ok" | "text", ...}}
     {"id": 7, "ok": false, "error": {"code": "lock_timeout",
         "type": "LockTimeoutError", "message": "..."}}
+
+A traced statement (one that carried ``trace_id``, or ran in a session
+that toggled ``\\trace on``) additionally gets ``result["trace"]``::
+
+    {"trace_id": "9f2c4a1b00d14e55", "spans": [<span dict>, ...]}
+
+where each span dict is :meth:`repro.telemetry.tracing.Span.to_dict`
+(``span_id`` / ``parent_id`` / ``name`` / ``attrs`` / ``start_ts`` /
+``duration_ms`` / ``io`` / ``self_io``); root spans have ``parent_id``
+null and the client re-parents them under its own ``client_request``
+span (id 0) to form the cross-process tree.  The ``stats`` verb returns
+``{"kind": "stats", "stats": {...}}`` -- the server-level snapshot that
+feeds ``\\top`` (uptime, sessions, throughput, I/O and hit rate, lock
+waits and hottest resources, WAL posture, slow-query tail).
 
 Structured error codes (``error.code``) are stable strings clients can
 dispatch on: ``parse_error``, ``unknown_statement``, ``lock_timeout``,

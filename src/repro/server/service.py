@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 
 from repro.errors import ProtocolError, ReproError
 from repro.server import protocol
@@ -56,6 +57,13 @@ class Server:
             "server_rejected_total", "work refused by admission control")
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
+        self.started_at = 0.0
+        self._started_mono = 0.0
+        #: doctor verdict cached at start(): /health must never run the
+        #: doctor per-scrape, because its page reads would pollute the
+        #: buffer pool and change later queries' physical I/O
+        self._doctor_clean: bool | None = None
+        self._doctor_findings = 0
         self._conns: set[socket.socket] = set()
         self._mutex = threading.Lock()
         self._inflight = 0
@@ -66,6 +74,14 @@ class Server:
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> "Server":
+        self.started_at = time.time()
+        self._started_mono = time.perf_counter()
+        try:
+            report = self.db.doctor()
+            self._doctor_clean = report.healthy
+            self._doctor_findings = len(report.findings)
+        except ReproError:
+            self._doctor_clean = False
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self.host, self.port))
@@ -222,7 +238,10 @@ class Server:
             return
         if kind == "statement":
             text = request.get("statement", "")
-            fn = lambda: session.run_statement(text)  # noqa: E731
+            trace_id = request.get("trace_id")
+            if trace_id is not None and not isinstance(trace_id, str):
+                trace_id = str(trace_id)
+            fn = lambda: session.run_statement(text, trace_id=trace_id)  # noqa: E731
         else:
             command = request.get("command", "")
             args = [str(a) for a in request.get("args") or []]
@@ -251,17 +270,94 @@ class Server:
     # -- introspection -----------------------------------------------------
 
     def server_stats(self) -> dict:
-        metrics = self.db.telemetry.metrics
+        """One wire-safe snapshot for the ``stats`` verb and ``\\top``.
+
+        Reads counters and plain attributes only -- no page I/O, no engine
+        latch -- so a 1 Hz dashboard never perturbs query performance.
+        """
+        db = self.db
+        metrics = db.telemetry.metrics
+        telemetry = db.telemetry
+        stats = db.stats
         with self._mutex:
             connections = len(self._conns)
+        sessions = self.sessions.sessions()
+        logical = stats.logical_reads
+        hit_rate = (stats.buffer_hits / logical) if logical else 0.0
+        wal = db.recovery.wal
         return {
             "address": list(self.address),
+            "uptime_seconds": round(
+                time.perf_counter() - self._started_mono, 3)
+                if self._started_mono else 0.0,
+            "started_at": round(self.started_at, 3),
             "connections": connections,
             "max_connections": self.max_connections,
             "active_sessions": metrics.value("server_active_sessions"),
             "connections_total": metrics.value("server_connections_total"),
+            "requests_total": self._m_requests.total(),
+            "statements_total": metrics.value(
+                "server_requests_total", kind="statement"),
+            "rejected_total": self._m_rejected.total(),
             "lock_waits_total": metrics.value("lock_waits_total"),
             "deadlocks_total": metrics.value("deadlocks_total"),
             "lock_timeouts_total": metrics.value("lock_timeouts_total"),
-            "sets": len(self.db.catalog.sets),
+            "sets": len(db.catalog.sets),
+            "io": {
+                "physical_reads": stats.physical_reads,
+                "physical_writes": stats.physical_writes,
+                "logical_reads": logical,
+                "buffer_hits": stats.buffer_hits,
+                "hit_rate": round(hit_rate, 4),
+                "evictions": stats.evictions,
+            },
+            "locks": {
+                "waits_total": metrics.value("lock_waits_total"),
+                "wait_seconds_total": round(
+                    metrics.histogram("lock_wait_seconds").sum(), 6),
+                "deadlocks_total": metrics.value("deadlocks_total"),
+                "timeouts_total": metrics.value("lock_timeouts_total"),
+                "hottest": self.sessions.locks.contention.top(5),
+            },
+            "wal": {
+                "enabled": wal is not None,
+                "needs_recovery": bool(wal is not None
+                                       and wal.needs_recovery),
+                "records": len(wal.records) if wal is not None else 0,
+                "flushes": metrics.value("wal_flushes_total"),
+            },
+            "slow": {
+                "total": metrics.value("slow_queries_total"),
+                "threshold_ms": telemetry.slowlog.threshold_ms,
+                "tail": telemetry.slowlog.tail(5),
+            },
+            "sessions_detail": [s.info() for s in sessions],
+        }
+
+    def health(self) -> dict:
+        """The /health document: liveness plus durability posture.
+
+        The doctor verdict is the one cached at :meth:`start` -- scraping
+        /health must never cause engine page I/O.
+        """
+        wal = self.db.recovery.wal
+        needs_recovery = bool(wal is not None and wal.needs_recovery)
+        status = "ok"
+        if needs_recovery:
+            status = "needs_recovery"
+        elif self._stopping.is_set():
+            status = "draining"
+        return {
+            "status": status,
+            "uptime_seconds": round(
+                time.perf_counter() - self._started_mono, 3)
+                if self._started_mono else 0.0,
+            "active_sessions":
+                self.db.telemetry.metrics.value("server_active_sessions"),
+            "wal": {
+                "enabled": wal is not None,
+                "needs_recovery": needs_recovery,
+            },
+            "doctor_clean_at_start": self._doctor_clean,
+            "doctor_findings_at_start": self._doctor_findings,
         }

@@ -1,11 +1,21 @@
 """Per-connection sessions and the worker pool they execute on.
 
-A :class:`Session` is one client's state: its lock owner, its tracer
-toggle, its pending transaction.  Statements execute on the
-:class:`SessionManager`'s bounded :class:`WorkerPool` so connection
-threads never run engine code; a full queue surfaces as
-:class:`~repro.errors.ServerBusyError` (explicit backpressure, never
-unbounded queueing).
+A :class:`Session` is one client's state: its lock owner, its pending
+transaction, its per-session trace log and statement statistics.
+Statements execute on the :class:`SessionManager`'s bounded
+:class:`WorkerPool` so connection threads never run engine code; a full
+queue surfaces as :class:`~repro.errors.ServerBusyError` (explicit
+backpressure, never unbounded queueing).
+
+Tracing is **per statement, per session**: a traced statement gets its
+own fresh :class:`~repro.telemetry.tracing.Tracer` (seeded with the
+client-minted ``trace_id`` when one came over the wire), which is
+installed as the engine tracer only while the statement holds the engine
+latch.  Concurrent sessions therefore never share tracer state -- the
+old shared enable/disable toggle could interleave two sessions' spans or
+silently untrace one when the other's ``finally: disable()`` fired
+mid-flight.  The span tree travels back to the client in the result
+object, so a trace crosses the process boundary intact.
 
 Isolation is layered the way a real DBMS layers it:
 
@@ -32,6 +42,7 @@ from __future__ import annotations
 import itertools
 import queue
 import threading
+import time
 
 from repro.errors import (
     DeadlockError,
@@ -44,6 +55,7 @@ from repro.query.runner import execute_statement
 from repro.schema.parser import _DDL_STARTERS, execute_ddl
 from repro.server.locks import (
     SCHEMA_RESOURCE,
+    AcquireInfo,
     LockFootprint,
     LockManager,
     ddl_footprint,
@@ -51,33 +63,52 @@ from repro.server.locks import (
     maintenance_footprint,
 )
 from repro.server.protocol import json_safe
+from repro.telemetry.metrics import NULL_METRICS
+from repro.telemetry.tracing import Tracer
 
 _QUERY_STARTERS = ("retrieve", "replace", "delete")
 _SCHEMA_SHARED = LockFootprint(shared=frozenset({SCHEMA_RESOURCE}))
+
+#: spans kept per session for ``\trace dump`` (oldest dropped first).
+_TRACE_LOG_SPANS = 2000
 
 
 # ---------------------------------------------------------------------------
 # the worker pool
 # ---------------------------------------------------------------------------
 
+#: worker-thread state: the queue wait of the job currently running, so
+#: session code deep in the call stack can attribute it to a span.
+_worker_state = threading.local()
+
+
+def current_queue_wait() -> float:
+    """Seconds the currently running pool job spent queued (0 outside)."""
+    return getattr(_worker_state, "queue_wait", 0.0)
+
 
 class _Job:
     """A submitted unit of work; ``wait()`` re-raises its exception."""
 
-    __slots__ = ("fn", "_done", "result", "error")
+    __slots__ = ("fn", "_done", "result", "error", "submitted", "queue_wait")
 
     def __init__(self, fn):
         self.fn = fn
         self._done = threading.Event()
         self.result = None
         self.error = None
+        self.submitted = time.perf_counter()
+        self.queue_wait = 0.0
 
     def run(self) -> None:
+        self.queue_wait = time.perf_counter() - self.submitted
+        _worker_state.queue_wait = self.queue_wait
         try:
             self.result = self.fn()
         except BaseException as exc:  # delivered to the waiter
             self.error = exc
         finally:
+            _worker_state.queue_wait = 0.0
             self._done.set()
 
     def wait(self, timeout: float | None = None):
@@ -90,13 +121,19 @@ class _Job:
 
 _STOP = object()
 
+#: queue-wait histogram bounds (seconds).
+_QUEUE_WAIT_BUCKETS = (0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+
 
 class WorkerPool:
     """Fixed worker threads over a bounded queue (admission control)."""
 
     def __init__(self, workers: int = 4, queue_depth: int = 32,
-                 name: str = "repro-worker") -> None:
+                 name: str = "repro-worker", metrics=NULL_METRICS) -> None:
         self.workers = workers
+        self._m_queue_wait = metrics.histogram(
+            "queue_wait_seconds", "time requests spent in the worker queue",
+            buckets=_QUEUE_WAIT_BUCKETS)
         self._q: queue.Queue = queue.Queue(maxsize=max(1, queue_depth))
         self._threads = [
             threading.Thread(target=self._run, name=f"{name}-{i}", daemon=True)
@@ -120,6 +157,7 @@ class WorkerPool:
             if job is _STOP:
                 return
             job.run()
+            self._m_queue_wait.observe(job.queue_wait)
 
     def shutdown(self) -> None:
         """Drain: queued jobs finish, then the workers exit."""
@@ -159,17 +197,34 @@ class Session:
         self.manager = manager
         self.db = manager.db
         self.owner = manager.locks.owner(self.name)
+        #: trace every statement even without a client-minted trace_id
         self.trace = False
         self.in_txn = False
         self.closed = False
+        #: cumulative statement count / errors / last statement (for `stats`)
+        self.statements = 0
+        self.errors = 0
+        self.last_statement = ""
+        self.last_duration_ms = 0.0
+        #: span dicts from this session's traced statements (``\trace dump``)
+        self._trace_log: list[dict] = []
+        #: the active statement's tracer (None when untraced); statement-
+        #: scoped, so concurrent sessions never share tracer state
+        self._stmt_tracer: Tracer | None = None
+        self._stmt_lock_waits: list[dict] = []
         #: serializes this session's own statements (a pipelining client
         #: must not run two statements under one lock owner at once)
         self._mutex = threading.Lock()
 
     # -- statement dispatch ------------------------------------------------
 
-    def run_statement(self, text: str) -> dict:
+    def run_statement(self, text: str, trace_id: str | None = None) -> dict:
         """Execute one statement; returns a wire result object.
+
+        ``trace_id`` is the client-minted trace id from the request frame:
+        when present (or when this session toggled ``\\trace on``) the
+        statement runs under a fresh per-statement :class:`Tracer` and the
+        result carries the span tree under ``result["trace"]``.
 
         Raises ReproError subclasses; the service maps them to structured
         error frames.  Deadlock / lock-timeout errors abort the pending
@@ -179,25 +234,106 @@ class Session:
             body = text.strip().rstrip(";").strip()
             if not body:
                 raise ParseError("empty statement")
-            first = body.split(None, 1)[0].lower()
+            tracer = None
+            if trace_id is not None or self.trace:
+                tracer = Tracer(stats=self.db.stats, enabled=True,
+                                trace_id=trace_id, session_id=self.id)
+            self._stmt_tracer = tracer
+            self._stmt_lock_waits = []
+            started = time.perf_counter()
+            outcome = "ok"
+            result = None
             try:
-                if first == "begin":
-                    return self._begin()
-                if first == "commit":
-                    return self._commit()
-                if first in ("abort", "rollback"):
-                    return self._abort()
-                if first == "explain":
-                    return self._explain(body)
-                if first in _QUERY_STARTERS:
-                    return self._query(body)
-                if first in _DDL_STARTERS:
-                    return self._ddl(body)
-                raise ParseError(f"unrecognised statement: {body!r}")
-            except (DeadlockError, LockTimeoutError):
+                if tracer is None:
+                    result = self._dispatch(body)
+                    return result
+                with tracer.span("statement",
+                                 statement=" ".join(body.split())) as root:
+                    queued = current_queue_wait()
+                    if queued > 0.0:
+                        tracer.record("queue_wait",
+                                      {"note": "bounded worker queue"},
+                                      duration_ms=queued * 1000.0)
+                    result = self._dispatch(body)
+                    root.set("kind", result.get("kind", ""))
+                result = dict(result)
+                result["trace"] = {"trace_id": root.trace_id,
+                                   "spans": [s.to_dict() for s in tracer.spans]}
+                return result
+            except (DeadlockError, LockTimeoutError) as exc:
                 # the victim must let go or the cycle never breaks
+                outcome = type(exc).__name__
                 self._end_txn()
                 raise
+            except ReproError as exc:
+                outcome = type(exc).__name__
+                raise
+            finally:
+                duration_ms = (time.perf_counter() - started) * 1000.0
+                self._finish_statement(body, duration_ms, outcome, tracer,
+                                       result)
+
+    def _dispatch(self, body: str) -> dict:
+        first = body.split(None, 1)[0].lower()
+        if first == "begin":
+            return self._begin()
+        if first == "commit":
+            return self._commit()
+        if first in ("abort", "rollback"):
+            return self._abort()
+        if first == "explain":
+            return self._explain(body)
+        if first in _QUERY_STARTERS:
+            return self._query(body)
+        if first in _DDL_STARTERS:
+            return self._ddl(body)
+        raise ParseError(f"unrecognised statement: {body!r}")
+
+    def _finish_statement(self, body: str, duration_ms: float, outcome: str,
+                          tracer: Tracer | None, result) -> None:
+        """Statement epilogue: per-session stats, trace log, slow log."""
+        self.statements += 1
+        if outcome != "ok":
+            self.errors += 1
+        self.last_statement = body
+        self.last_duration_ms = duration_ms
+        if tracer is not None:
+            self._stmt_tracer = None
+            self._trace_log.extend(s.to_dict() for s in tracer.spans)
+            del self._trace_log[:-_TRACE_LOG_SPANS]
+        lock_wait_ms = sum(w["waited_ms"] for w in self._stmt_lock_waits)
+        slowlog = self.db.telemetry.slowlog
+        if duration_ms >= slowlog.threshold_ms:
+            plan, io, rows = "", {}, None
+            if isinstance(result, dict) and result.get("kind") == "rows":
+                plan = result.get("plan", "")
+                io = dict(result.get("io") or {})
+                rows = len(result.get("rows") or ())
+            slowlog.observe(
+                statement=" ".join(body.split()), duration_ms=duration_ms,
+                plan=plan, io=io, lock_wait_ms=lock_wait_ms,
+                lock_waits=list(self._stmt_lock_waits), session=self.name,
+                outcome=outcome, rows=rows)
+        self._stmt_lock_waits = []
+
+    # -- lock acquisition (traced) ----------------------------------------
+
+    def _acquire(self, footprint: LockFootprint) -> AcquireInfo:
+        """Acquire a footprint, recording a ``lock_acquire`` span (when
+        tracing) and the per-resource wait shares for the slow log."""
+        tracer = self._stmt_tracer
+        if tracer is None:
+            info = self.manager.locks.acquire(self.owner, footprint)
+        else:
+            with tracer.span("lock_acquire",
+                             resources=footprint.describe()) as span:
+                info = self.manager.locks.acquire(self.owner, footprint)
+                span.set("waited_ms", round(info.waited * 1000.0, 3))
+                if info.contended:
+                    span.set("contended", info.wait_breakdown())
+        if info.waited:
+            self._stmt_lock_waits.extend(info.wait_breakdown())
+        return info
 
     # -- transaction control ----------------------------------------------
 
@@ -234,12 +370,11 @@ class Session:
         from repro.query.language import parse_statement
 
         stmt = parse_statement(body)
-        locks = self.manager.locks
         # schema lock first: the catalog is stable while the footprint is
         # computed from the plan, and stays stable through execution
-        locks.acquire(self.owner, _SCHEMA_SHARED)
+        self._acquire(_SCHEMA_SHARED)
         try:
-            locks.acquire(self.owner, footprint_for_statement(self.db, stmt))
+            self._acquire(footprint_for_statement(self.db, stmt))
             with self.manager.latch:
                 result = self._traced(
                     lambda: execute_statement(self.db, stmt, analyze=analyze))
@@ -258,8 +393,7 @@ class Session:
         return serialize_result(result)
 
     def _ddl(self, body: str) -> dict:
-        locks = self.manager.locks
-        locks.acquire(self.owner, ddl_footprint())
+        self._acquire(ddl_footprint())
         try:
             with self.manager.latch:
                 self._traced(lambda: execute_ddl(self.db, body))
@@ -273,8 +407,7 @@ class Session:
             return self._query(rest[len("analyze"):].strip(), analyze=True)
         from repro.query.runner import explain_text
 
-        locks = self.manager.locks
-        locks.acquire(self.owner, _SCHEMA_SHARED)
+        self._acquire(_SCHEMA_SHARED)
         try:
             with self.manager.latch:
                 text = explain_text(self.db, rest)
@@ -283,16 +416,26 @@ class Session:
         return {"kind": "text", "text": text}
 
     def _traced(self, fn):
-        """Run ``fn`` with the shared tracer enabled iff this session
-        asked for tracing (the latch makes the toggle race-free)."""
-        tracer = self.db.telemetry.tracer
-        if not self.trace or tracer.enabled:
+        """Run ``fn`` with this statement's own tracer installed as the
+        engine tracer.
+
+        Called under the engine latch, so the swap is race-free: engine
+        code only ever reads ``db.telemetry.tracer`` while holding the
+        latch, and each statement restores the previous tracer before
+        releasing it.  Unlike the old shared enable/disable toggle, one
+        session's statement can never truncate or interleave another's
+        trace -- every traced statement owns its :class:`Tracer`.
+        """
+        tracer = self._stmt_tracer
+        if tracer is None:
             return fn()
-        tracer.enable()
+        telemetry = self.db.telemetry
+        previous = telemetry.tracer
+        telemetry.tracer = tracer
         try:
             return fn()
         finally:
-            tracer.disable()
+            telemetry.tracer = previous
 
     # -- meta commands -----------------------------------------------------
 
@@ -349,8 +492,10 @@ class Session:
         raise ReproError(f"unknown meta-command \\{command}")
 
     def _meta_trace(self, args: list[str]) -> str:
+        """Per-session tracing: the dump shows only this session's spans."""
+        import json
+
         mode = args[0] if args else "dump"
-        tracer = self.db.telemetry.tracer
         if mode == "on":
             self.trace = True
             return "tracing on"
@@ -358,13 +503,28 @@ class Session:
             self.trace = False
             return "tracing off"
         if mode == "clear":
-            with self.manager.latch:
-                tracer.clear()
+            self._trace_log.clear()
             return "trace cleared"
         if mode == "dump":
-            with self.manager.latch:
-                return tracer.to_jsonl() or "(no spans recorded)"
+            if not self._trace_log:
+                return "(no spans recorded)"
+            return "\n".join(json.dumps(span) for span in self._trace_log)
         raise ReproError(f"unknown \\trace mode {mode!r} (on|off|clear|dump)")
+
+    # -- introspection -----------------------------------------------------
+
+    def info(self) -> dict:
+        """One wire-safe row for the ``stats`` verb / ``\\top``."""
+        return {
+            "id": self.id,
+            "name": self.name,
+            "in_txn": self.in_txn,
+            "tracing": self.trace,
+            "statements": self.statements,
+            "errors": self.errors,
+            "last_statement": self.last_statement[:120],
+            "last_duration_ms": round(self.last_duration_ms, 3),
+        }
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -388,7 +548,8 @@ class SessionManager:
         #: the short-term physical latch: engine internals (buffer pool,
         #: WAL, tracer) are single-threaded under it
         self.latch = threading.RLock()
-        self.pool = WorkerPool(workers=workers, queue_depth=queue_depth)
+        self.pool = WorkerPool(workers=workers, queue_depth=queue_depth,
+                               metrics=metrics)
         self._sessions: dict[int, Session] = {}
         self._ids = itertools.count(1)
         self._mutex = threading.Lock()

@@ -9,7 +9,10 @@ surfaces:
   and histograms fed by the buffer pool, disk, replication manager, and
   indexes, rendered plain or Prometheus-style;
 * :class:`~repro.telemetry.drift.DriftMonitor` -- the Section 6 cost
-  model's predictions scored against measured query I/O.
+  model's predictions scored against measured query I/O;
+* :class:`~repro.telemetry.slowlog.SlowQueryLog` -- a bounded ring of
+  statements that crossed the latency threshold, with their plan, I/O,
+  lock-wait breakdown, and outcome.
 
 Everything is off-or-cheap by default: tracing is opt-in, metric
 increments are plain dict updates, and drift records are only produced by
@@ -27,6 +30,7 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from repro.telemetry.slowlog import SlowQueryLog
 from repro.telemetry.tracing import Span, Tracer
 
 
@@ -37,6 +41,7 @@ class Telemetry:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer()
         self.drift = DriftMonitor()
+        self.slowlog = SlowQueryLog(metrics=self.metrics)
         # Pre-register the query histograms so their help text is set
         # before the runner's get-or-create observe() calls.
         self.metrics.histogram("query_io_pages",
@@ -53,6 +58,7 @@ class Telemetry:
         self.metrics.reset()
         self.tracer.clear()
         self.drift.reset()
+        self.slowlog.clear()
 
 
 __all__ = [
@@ -64,6 +70,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_METRICS",
     "NullMetricsRegistry",
+    "SlowQueryLog",
     "Span",
     "Telemetry",
     "Tracer",

@@ -32,10 +32,19 @@ def _label_key(labels: dict) -> _LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition spec:
+    backslash, double-quote, and newline must be backslash-escaped."""
+    return (value.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _render_labels(key: _LabelKey) -> str:
     if not key:
         return ""
-    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    inner = ",".join(f'{name}="{_escape_label_value(value)}"'
+                     for name, value in key)
     return "{" + inner + "}"
 
 
@@ -55,6 +64,10 @@ class Counter:
 
     def value(self, **labels) -> int | float:
         return self._values.get(_label_key(labels), 0)
+
+    def total(self) -> int | float:
+        """The sum across every label combination."""
+        return sum(self._values.values())
 
     def samples(self):
         for key in sorted(self._values):
@@ -221,6 +234,9 @@ class _NullMetric:
         pass
 
     def value(self, **labels) -> int:
+        return 0
+
+    def total(self) -> int:
         return 0
 
 

@@ -1,0 +1,121 @@
+"""A ring-buffer slow-query log.
+
+Every statement whose wall-clock time reaches ``threshold_ms`` leaves one
+record: the statement text, a plan summary, its physical I/O, the
+lock-wait breakdown (total wait plus the per-resource shares the lock
+manager attributed), and the outcome (``ok`` or the error type).  The
+buffer is bounded (``capacity`` newest records are kept), so a
+long-running server's log never grows without limit.
+
+The log lives on :class:`repro.telemetry.Telemetry` next to the tracer
+and the metrics registry; the server records into it from the session
+layer (where lock waits are known) and the embedded engine from
+:func:`repro.query.runner.execute_text`.  ``slow_queries_total`` counts
+every record ever taken, so a scrape sees slow-query *rate* even after
+the ring has wrapped.
+
+Observing is thread-safe and does no I/O of its own: a record is a plain
+dict snapshot of numbers the caller already had.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.telemetry.metrics import NULL_METRICS
+
+#: default threshold: sub-threshold statements leave no record at all.
+DEFAULT_THRESHOLD_MS = 250.0
+DEFAULT_CAPACITY = 256
+
+
+class SlowQueryLog:
+    """Bounded newest-last log of statements over the latency threshold."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 threshold_ms: float = DEFAULT_THRESHOLD_MS,
+                 metrics=None) -> None:
+        self.threshold_ms = threshold_ms
+        self._mutex = threading.Lock()
+        self._entries: deque = deque(maxlen=max(1, capacity))
+        self._m_slow = (metrics if metrics is not None
+                        else NULL_METRICS).counter(
+            "slow_queries_total",
+            "statements at or over the slow-query threshold")
+        self._m_slow.inc(0)  # expose a zero sample before the first record
+
+    @property
+    def capacity(self) -> int:
+        return self._entries.maxlen or 0
+
+    def configure(self, threshold_ms: float | None = None,
+                  capacity: int | None = None) -> None:
+        """Adjust the threshold and/or ring size (entries are kept)."""
+        if threshold_ms is not None:
+            self.threshold_ms = threshold_ms
+        if capacity is not None and capacity != self.capacity:
+            with self._mutex:
+                self._entries = deque(self._entries, maxlen=max(1, capacity))
+
+    # -- recording -----------------------------------------------------------
+
+    def observe(self, statement: str, duration_ms: float, plan: str = "",
+                io: dict | None = None, lock_wait_ms: float = 0.0,
+                lock_waits: list | None = None, session: str = "",
+                outcome: str = "ok", rows: int | None = None) -> bool:
+        """Record one finished statement if it was slow; True if kept."""
+        if duration_ms < self.threshold_ms:
+            return False
+        record = {
+            "ts": round(time.time(), 3),
+            "session": session,
+            "statement": statement,
+            "plan": plan,
+            "duration_ms": round(duration_ms, 3),
+            "io": dict(io or {}),
+            "lock_wait_ms": round(lock_wait_ms, 3),
+            #: per-resource shares: [{"resource", "mode", "waited_ms"}, ...]
+            "lock_waits": list(lock_waits or []),
+            "outcome": outcome,
+            "rows": rows,
+        }
+        with self._mutex:
+            self._entries.append(record)
+        self._m_slow.inc()
+        return True
+
+    # -- reading -------------------------------------------------------------
+
+    def entries(self) -> list[dict]:
+        """Every retained record, oldest first."""
+        with self._mutex:
+            return [dict(e) for e in self._entries]
+
+    def tail(self, n: int = 5) -> list[dict]:
+        """The ``n`` most recent records, oldest first."""
+        with self._mutex:
+            items = list(self._entries)
+        return [dict(e) for e in items[-n:]]
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._mutex:
+            self._entries.clear()
+
+    def render_text(self) -> str:
+        """A human-readable tail, one line per record, newest last."""
+        entries = self.entries()
+        if not entries:
+            return "(no slow queries recorded)"
+        lines = []
+        for e in entries:
+            lines.append(
+                f"{e['duration_ms']:9.1f}ms  lock {e['lock_wait_ms']:7.1f}ms  "
+                f"io {e['io'].get('total', 0):4d}  [{e['outcome']}]  "
+                f"{e['statement']}")
+        return "\n".join(lines)

@@ -45,12 +45,16 @@ _IO_FIELDS = (
 class Span:
     """One timed, I/O-attributed region of work."""
 
-    trace_id: int
+    trace_id: int | str
     span_id: int
     parent_id: int | None
     name: str
     attrs: dict = field(default_factory=dict)
     duration_ms: float = 0.0
+    #: wall-clock open time (epoch seconds) -- ``duration_ms`` stays on
+    #: ``perf_counter``, but spans from different processes need a shared
+    #: clock to be ordered into one tree.
+    start_ts: float = 0.0
     io: dict = field(default_factory=dict)
     #: I/O charged to child spans; ``self_io()`` subtracts it.
     child_io: dict = field(default_factory=dict)
@@ -77,6 +81,7 @@ class Span:
             "parent_id": self.parent_id,
             "name": self.name,
             "attrs": self.attrs,
+            "start_ts": round(self.start_ts, 6),
             "duration_ms": round(self.duration_ms, 3),
             "io": self.io,
             "self_io": self.self_io(),
@@ -84,12 +89,22 @@ class Span:
 
 
 class Tracer:
-    """Collects spans for one database instance."""
+    """Collects spans for one database instance (or one server session).
 
-    def __init__(self, stats=None, enabled: bool = False) -> None:
+    ``trace_id`` pins every root span to an externally minted id (the
+    client's, in cross-process propagation) instead of the local counter;
+    ``session_id`` is stamped into every span's attributes so spans from
+    concurrent sessions remain attributable after they are merged.
+    """
+
+    def __init__(self, stats=None, enabled: bool = False,
+                 trace_id: int | str | None = None,
+                 session_id: int | None = None) -> None:
         #: the engine's shared IOStatistics (bound by Telemetry).
         self.stats = stats
         self.enabled = enabled
+        self.trace_id = trace_id
+        self.session_id = session_id
         self.spans: list[Span] = []
         self._stack: list[Span] = []
         self._next_span_id = 1
@@ -121,17 +136,23 @@ class Tracer:
         if not self.enabled:
             yield None
             return
-        if not self._stack:
+        if self._stack:
+            trace_id = self._stack[-1].trace_id
+        elif self.trace_id is not None:
+            trace_id = self.trace_id
+        else:
             trace_id = self._next_trace_id
             self._next_trace_id += 1
-        else:
-            trace_id = self._stack[-1].trace_id
+        attrs = dict(attrs)
+        if self.session_id is not None:
+            attrs.setdefault("session_id", self.session_id)
         span = Span(
             trace_id=trace_id,
             span_id=self._next_span_id,
             parent_id=self._stack[-1].span_id if self._stack else None,
             name=name,
-            attrs=dict(attrs),
+            attrs=attrs,
+            start_ts=time.time(),
         )
         self._next_span_id += 1
         before = self._read_io()
@@ -151,7 +172,9 @@ class Tracer:
             self.spans.append(span)
 
     def record(self, name: str, attrs: dict | None = None,
-               io: dict | None = None, parent: Span | None = None) -> Span:
+               io: dict | None = None, parent: Span | None = None,
+               duration_ms: float = 0.0,
+               start_ts: float | None = None) -> Span:
         """Attach a pre-aggregated span (e.g. one EXPLAIN ANALYZE operator).
 
         The span is parented under ``parent`` (default: the innermost open
@@ -161,16 +184,29 @@ class Tracer:
         """
         if parent is None and self._stack:
             parent = self._stack[-1]
+        if parent is not None:
+            trace_id = parent.trace_id
+        elif self.trace_id is not None:
+            trace_id = self.trace_id
+        else:
+            trace_id = self._next_trace_id
+        attrs = dict(attrs or {})
+        if self.session_id is not None:
+            attrs.setdefault("session_id", self.session_id)
         span = Span(
-            trace_id=parent.trace_id if parent else self._next_trace_id,
+            trace_id=trace_id,
             span_id=self._next_span_id,
             parent_id=parent.span_id if parent else None,
             name=name,
-            attrs=dict(attrs or {}),
+            attrs=attrs,
+            duration_ms=duration_ms,
+            # retrospective spans are recorded at their *end*: back-date
+            start_ts=(time.time() - duration_ms / 1000.0)
+            if start_ts is None else start_ts,
             io={key: (io or {}).get(key, 0) for key in _IO_FIELDS},
         )
         self._next_span_id += 1
-        if parent is None:
+        if parent is None and self.trace_id is None:
             self._next_trace_id += 1
         self.spans.append(span)
         return span

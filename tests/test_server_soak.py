@@ -49,18 +49,41 @@ def test_server_process_survives_sustained_mixed_load(tmp_path):
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro.server", "--port", "0",
          "--snapshot", str(snapshot), "--save", str(saved),
-         "--workers", "4", "--queue-depth", "64", "--lock-timeout", "10"],
+         "--workers", "4", "--queue-depth", "64", "--lock-timeout", "10",
+         "--metrics-port", "0"],
         stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env)
     try:
         line = proc.stdout.readline().strip()
         assert line.startswith("listening on "), line
         host, port = line.split()[-1].rsplit(":", 1)
         address = (host, int(port))
+        line = proc.stdout.readline().strip()
+        assert line.startswith("metrics on "), line
+        mhost, mport = line.split()[-1].rsplit(":", 1)
+        metrics_base = f"http://{mhost}:{mport}"
 
         deadline = time.monotonic() + SOAK_SECONDS
-        counts = {"reads": 0, "writes": 0, "busy": 0, "lock": 0}
+        counts = {"reads": 0, "writes": 0, "busy": 0, "lock": 0, "scrapes": 0}
         counts_mutex = threading.Lock()
         failures = []
+
+        def scraper():
+            """Hammer the sidecar during the soak: every scrape must 200."""
+            from urllib.request import urlopen
+
+            try:
+                while time.monotonic() < deadline:
+                    for path in ("/metrics", "/health", "/slow"):
+                        with urlopen(metrics_base + path, timeout=10.0) as rsp:
+                            assert rsp.status == 200, (path, rsp.status)
+                            body = rsp.read().decode("utf-8")
+                        if path == "/metrics":
+                            assert "lock_wait_seconds" in body
+                    with counts_mutex:
+                        counts["scrapes"] += 1
+                    time.sleep(0.25)
+            except Exception as exc:
+                failures.append(f"scraper: {exc!r}")
 
         def worker(idx):
             try:
@@ -97,12 +120,14 @@ def test_server_process_survives_sustained_mixed_load(tmp_path):
                 failures.append(f"worker {idx}: {exc!r}")
 
         threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        threads.append(threading.Thread(target=scraper))
         for thread in threads:
             thread.start()
         for thread in threads:
             thread.join(timeout=SOAK_SECONDS + 60.0)
         assert failures == []
         assert counts["reads"] > 0 and counts["writes"] > 0
+        assert counts["scrapes"] > 0
 
         with connect(*address, timeout=30.0) as client:
             assert "invariants hold" in client.meta("verify")

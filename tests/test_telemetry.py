@@ -188,7 +188,8 @@ def test_trace_jsonl_roundtrip(company, tmp_path):
     assert {d["name"] for d in decoded} >= {"query", "parse", "plan", "execute"}
     for d in decoded:
         assert set(d) == {"trace_id", "span_id", "parent_id", "name", "attrs",
-                          "duration_ms", "io", "self_io"}
+                          "start_ts", "duration_ms", "io", "self_io"}
+        assert d["start_ts"] > 0
 
 
 def test_tracer_standalone_without_stats():
