@@ -28,6 +28,10 @@ with ``;`` or a blank line.  Connected to a server, ``begin`` / ``commit``
     \\top [N [SECS]]    live server dashboard over the stats verb
                        (connected only; N frames, SECS apart; default 1)
     \\monitor           workload observations + model-vs-actual drift
+    \\set joinmode M    functional-join strategy: ``naive`` (row-at-a-time
+                       OID probes) or ``batched`` (sort-and-dedupe sweeps;
+                       the default); connected, ``default`` reverts the
+                       session to the server's setting
     \\verify            run the replication consistency checker
     \\doctor [repair]   diagnose (and with ``repair`` fix) replica drift
     \\recover           replay the WAL after an injected crash
@@ -59,7 +63,7 @@ DEFAULT_ROW_LIMIT = 50
 #: ``trace`` is deliberately absent: connected tracing is client-side,
 #: so the dump shows the stitched client->server->engine tree.
 _FORWARDED_META = ("describe", "stats", "monitor", "verify", "doctor",
-                   "recover", "cold")
+                   "recover", "cold", "set")
 
 
 def render_result(result, limit: int | None = DEFAULT_ROW_LIMIT) -> str:
@@ -203,9 +207,12 @@ class Shell:
                 f"evictions {stats.evictions}, "
                 f"dirty writebacks {stats.dirty_writebacks}"
             )
+            self.write(f"join mode {self.db.join_mode}")
             self.write(self.db.telemetry.metrics.render_text())
         elif command == "trace":
             self.run_trace(args)
+        elif command == "set":
+            self._run_set(args)
         elif command == "monitor":
             self.write(self.db.monitor.report())
         elif command == "verify":
@@ -244,6 +251,21 @@ class Shell:
             return
         self.limit = value or None
         self.write(f"row limit: {self.limit if self.limit else 'off'}")
+
+    def _run_set(self, args: list[str]) -> None:
+        """Embedded ``\\set joinmode``: flips the local database's knob."""
+        if not args or args[0] != "joinmode":
+            self.fail("error: usage: \\set joinmode naive|batched")
+            return
+        if len(args) < 2:
+            self.write(f"join mode {self.db.join_mode}")
+            return
+        try:
+            self.db.join_mode = args[1]
+        except ValueError as exc:
+            self.fail(f"error: {exc}")
+            return
+        self.write(f"join mode {self.db.join_mode}")
 
     def run_trace(self, args: list[str]) -> None:
         tracer = self.db.telemetry.tracer
@@ -427,6 +449,8 @@ def _build_shell(args) -> Shell | None:
             print(f"error: cannot connect to {args.connect}: {exc}",
                   file=sys.stderr)
             return None
+        if args.join_mode:
+            client.meta("set", "joinmode", args.join_mode)
         return Shell(client=client, limit=args.limit or None)
     from repro.snapshot import open_database
 
@@ -435,6 +459,8 @@ def _build_shell(args) -> Shell | None:
     except (OSError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return None
+    if args.join_mode:
+        db.join_mode = args.join_mode
     return Shell(db=db, limit=args.limit or None)
 
 
@@ -454,6 +480,11 @@ def main(argv: list[str] | None = None) -> int:
                              "local database")
     parser.add_argument("--limit", type=int, default=DEFAULT_ROW_LIMIT,
                         help="rendered-row cap (0: no cap)")
+    parser.add_argument("--join-mode", choices=("naive", "batched"),
+                        default=None,
+                        help="functional-join strategy for the session "
+                             "(local: sets the database knob; connected: "
+                             "sends \\set joinmode)")
     args = parser.parse_args(sys.argv[1:] if argv is None else argv)
 
     shell = _build_shell(args)

@@ -23,6 +23,11 @@ from repro.costmodel.model import (
     update_cost,
 )
 from repro.costmodel.params import CostParameters, DerivedParameters, ModelStrategy
+from repro.costmodel.sortedprobe import (
+    batched_read_cost,
+    expected_distinct,
+    sorted_probe_pages,
+)
 from repro.costmodel.yao import expected_pages, yao
 
 __all__ = [
@@ -35,7 +40,9 @@ __all__ = [
     "PAPER_FIGURE12",
     "PAPER_FIGURE14",
     "Setting",
+    "batched_read_cost",
     "check_all_claims",
+    "expected_distinct",
     "expected_pages",
     "figure11",
     "figure12",
@@ -47,6 +54,7 @@ __all__ = [
     "render_series_table",
     "rounded_up",
     "selected_values",
+    "sorted_probe_pages",
     "sweep",
     "total_cost",
     "update_cost",

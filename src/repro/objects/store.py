@@ -68,11 +68,53 @@ class ObjectStore:
         heap = self.storage.file_by_id(oid.file_id)
         return heap.exists((oid.page_no, oid.slot))
 
+    def read_many(self, oids) -> dict[OID, StoredObject]:
+        """Resolve many OIDs in one ordered sweep (the batched join's hop).
+
+        The probe list is sorted by ``(file_id, page_no, slot)`` and
+        deduplicated -- each distinct object is read exactly once, in page
+        order, so a page is touched once per sweep instead of once per
+        referencer.  Duplicates avoided are charged to the shared
+        ``batch_dedup_saved`` counter.  Page runs are group-fetched
+        (pinned) through :meth:`BufferPool.fetch_many` so records relocated
+        by forward stubs cannot evict the run mid-sweep; tiny pools skip
+        the pinning rather than starve other fetches.
+        """
+        probes = list(oids)
+        unique = sorted(set(probes),
+                        key=lambda o: (o.file_id, o.page_no, o.slot))
+        self.storage.stats.count_batch_dedup(len(probes) - len(unique))
+        pool = self.storage.pool
+        # pages per pinned run: leave at least half the pool for forward
+        # stubs / overflow chunks; pools under 4 frames skip pinning
+        run_pages = min(16, pool.capacity // 2)
+        out: dict[OID, StoredObject] = {}
+        start = 0
+        while start < len(unique):
+            run: list[OID] = []
+            pages: list[tuple[int, int]] = []
+            for oid in unique[start:]:
+                key = (oid.file_id, oid.page_no)
+                if not pages or pages[-1] != key:
+                    if len(pages) >= max(1, run_pages):
+                        break
+                    pages.append(key)
+                run.append(oid)
+            start += len(run)
+            group = pool.fetch_many(pages) if run_pages >= 1 else {}
+            try:
+                for oid in run:
+                    out[oid] = self.read(oid)
+            finally:
+                pool.unpin_many(group)
+        return out
+
     # -- scans ------------------------------------------------------------
 
-    def scan(self, heap: HeapFile) -> Iterator[tuple[OID, StoredObject]]:
+    def scan(self, heap: HeapFile,
+             readahead: int = 0) -> Iterator[tuple[OID, StoredObject]]:
         """Yield ``(oid, object)`` in physical order."""
-        for rid, raw in heap.scan():
+        for rid, raw in heap.scan(readahead=readahead):
             yield OID(heap.file_id, rid[0], rid[1]), decode_object(self.registry, raw)
 
     # -- path navigation ----------------------------------------------------

@@ -33,6 +33,13 @@ class OperatorStats:
     buffer_hits: int = 0
     evictions: int = 0
     dirty_writebacks: int = 0
+    #: rows whose reference chain ended at a NULL before this operator's
+    #: level was reached (no hop child is created for a never-taken hop)
+    nulls: int = 0
+    #: batched join only: distinct OIDs actually swept at this hop level
+    distinct: int = 0
+    #: batched join only: probe OIDs dropped by sort-and-dedupe
+    dedup_saved: int = 0
     children: list["OperatorStats"] = field(default_factory=list)
 
     @property
@@ -115,6 +122,15 @@ def render_analyze(result) -> str:
         label = "  " * depth + op.name
         if op.detail:
             label += f" {op.detail}"
+        extras = []
+        if op.distinct:
+            extras.append(f"distinct={op.distinct}")
+        if op.dedup_saved:
+            extras.append(f"dedup={op.dedup_saved}")
+        if op.nulls:
+            extras.append(f"null={op.nulls}")
+        if extras:
+            label += f" [{' '.join(extras)}]"
         if len(label) > 44:
             label = label[:41] + "..."
         lines.append(

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.objects.instance import StoredObject
+from repro.query import batchjoin
 from repro.query.analyze import Meter, OperatorStats
 from repro.query.plan import (
     DeletePlan,
@@ -90,7 +91,9 @@ def execute_retrieve(db: Database, plan: RetrievePlan,
     rows: list[tuple] = []
     sort_keys: list = []
     group_keys: list[tuple] = []
-    if not analyze:
+    if plan.join_mode == "batched":
+        _run_batched(db, plan, meter, ops, rows, sort_keys, group_keys)
+    elif not analyze:
         for __oid, obj in _scan(db, plan.set_name, plan.access, plan.where):
             rows.append(tuple(_fetch(db, step, obj) for step in plan.steps))
             if plan.order_step is not None:
@@ -144,6 +147,60 @@ def execute_retrieve(db: Database, plan: RetrievePlan,
     io = db.stats.snapshot() - before
     return QueryResult(columns=columns, rows=rows, io=io, plan=plan.explain(),
                        operators=tuple(ops) if analyze else None)
+
+
+def _run_batched(db: Database, plan: RetrievePlan, meter: Meter | None,
+                 ops: list[OperatorStats], rows: list[tuple],
+                 sort_keys: list, group_keys: list[tuple]) -> None:
+    """The set-oriented row loop (Database.join_mode == "batched").
+
+    One implementation serves both plain and analyzed execution (``meter``
+    is None when not analyzing) so EXPLAIN ANALYZE measures exactly the
+    query it reports on.  Rows drain from the access path in batches;
+    every OID-dereferencing step resolves per batch through sort-and-dedupe
+    sweeps (see :mod:`repro.query.batchjoin`) instead of per-row probes.
+    """
+    analyze = meter is not None
+    scan_op = order_op = None
+    step_ops = group_ops = None
+    if analyze:
+        scan_op = OperatorStats("scan", plan.access.explain())
+        step_ops = [OperatorStats(_step_kind(step), step.explain())
+                    for step in plan.steps]
+        ops.append(scan_op)
+        ops.extend(step_ops)
+        if plan.order_step is not None:
+            order_op = OperatorStats("sort_key", plan.order_step.explain())
+            ops.append(order_op)
+        if plan.group_steps:
+            group_ops = [OperatorStats("group_key", s.explain())
+                         for s in plan.group_steps]
+            ops.extend(group_ops)
+
+    def resolve(step, batch, op):
+        mark = meter.begin() if analyze else None
+        values = batchjoin.resolve_step_batch(db, step, batch, meter, op)
+        if analyze:
+            meter.end(mark, op)
+            op.rows += len(batch)
+        return values
+
+    for batch in batchjoin.iter_batches(db, plan, meter, scan_op):
+        columns = [
+            resolve(step, batch, step_ops[idx] if analyze else None)
+            for idx, step in enumerate(plan.steps)
+        ]
+        for i in range(len(batch)):
+            rows.append(tuple(col[i] for col in columns))
+        if plan.order_step is not None:
+            sort_keys.extend(resolve(plan.order_step, batch, order_op))
+        if plan.group_steps:
+            key_cols = [
+                resolve(step, batch, group_ops[idx] if analyze else None)
+                for idx, step in enumerate(plan.group_steps)
+            ]
+            for i in range(len(batch)):
+                group_keys.append(tuple(col[i] for col in key_cols))
 
 
 def _run_analyzed_scan(db: Database, plan: RetrievePlan, meter: Meter,
@@ -387,6 +444,8 @@ def _fetch(db: Database, step, obj: StoredObject, meter: Meter | None = None,
     if isinstance(step, ReplicaFetch):
         ref = obj.values[step.hidden_ref]
         if ref is None:
+            if op is not None:
+                op.nulls += 1
             return None
         replica = db.replication.replica_sets[step.path_id].read(ref)
         return replica.values[step.field_name]
@@ -404,6 +463,10 @@ def _join_from(db: Database, oid: OID | None, chain, field_name: str,
                meter: Meter | None = None, op: OperatorStats | None = None,
                first_hop: str = ""):
     if oid is None:
+        # a NULL start ref is a null-hit on the join operator itself: no
+        # hop was taken, so no hop child may appear in the operator tree
+        if op is not None:
+            op.nulls += 1
         return None
     if meter is not None and op is not None:
         return _join_from_metered(db, oid, chain, field_name, meter, op, first_hop)
@@ -428,6 +491,9 @@ def _join_from_metered(db: Database, oid: OID, chain, field_name: str,
     for ref_name in chain:
         nxt = current.ref(ref_name)
         if nxt is None:
+            # mid-chain NULL: record the null-hit and stop -- the next hop
+            # was never taken, so it must not appear as a zero-row child
+            op.nulls += 1
             return None
         hop = op.child(f"hop {ref_name}")
         mark = meter.begin()

@@ -36,7 +36,7 @@ from repro.replication.manager import ReplicationManager
 from repro.replication.spec import Strategy
 from repro.schema.catalog import Catalog, IndexInfo
 from repro.sets.objectset import ObjectSet
-from repro.storage.constants import DEFAULT_BUFFER_FRAMES
+from repro.storage.constants import DEFAULT_BUFFER_FRAMES, JOIN_BATCH_ROWS
 from repro.storage.manager import StorageManager
 from repro.storage.oid import OID
 from repro.telemetry import Telemetry
@@ -48,7 +48,9 @@ class Database:
     def __init__(self, buffer_frames: int = DEFAULT_BUFFER_FRAMES,
                  inline_singleton_links: bool = False,
                  cost_based_planning: bool = False,
-                 wal: bool = False, fault_seed: int = 0) -> None:
+                 wal: bool = False, fault_seed: int = 0,
+                 join_mode: str = "batched",
+                 join_batch_rows: int = JOIN_BATCH_ROWS) -> None:
         from repro.recovery import FaultInjector, RecoveryManager
 
         self.telemetry = Telemetry()
@@ -78,7 +80,23 @@ class Database:
         #: opt-in: let the planner fall back to file scans when the §6-style
         #: cost estimate says the index would read more pages (§7.1)
         self.cost_based_planning = cost_based_planning
+        #: executor strategy for functional joins: "naive" row-at-a-time
+        #: probes or "batched" sort-and-dedupe sweeps with scan read-ahead
+        self.join_mode = join_mode
+        #: rows drained per sort-and-dedupe batch in batched mode
+        self.join_batch_rows = max(1, join_batch_rows)
         self._next_index_id = 1
+
+    @property
+    def join_mode(self) -> str:
+        return self._join_mode
+
+    @join_mode.setter
+    def join_mode(self, value: str) -> None:
+        if value not in ("naive", "batched"):
+            raise ValueError(f"join_mode must be 'naive' or 'batched', "
+                             f"not {value!r}")
+        self._join_mode = value
 
     # ==================================================================
     # DDL

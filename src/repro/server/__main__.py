@@ -52,6 +52,10 @@ def main(argv: list[str] | None = None) -> int:
                              "port (0 picks an ephemeral port)")
     parser.add_argument("--slow-ms", type=float, default=None, metavar="MS",
                         help="slow-query log threshold in milliseconds")
+    parser.add_argument("--join-mode", choices=("naive", "batched"),
+                        default=None,
+                        help="default functional-join strategy (sessions "
+                             "may override with \\set joinmode)")
     args = parser.parse_args(argv)
 
     try:
@@ -60,6 +64,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
+    if args.join_mode is not None:
+        db.join_mode = args.join_mode
     if args.slow_ms is not None:
         db.telemetry.slowlog.configure(threshold_ms=args.slow_ms)
     server = Server(db, host=args.host, port=args.port,

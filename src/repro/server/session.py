@@ -199,6 +199,9 @@ class Session:
         self.owner = manager.locks.owner(self.name)
         #: trace every statement even without a client-minted trace_id
         self.trace = False
+        #: per-session functional-join strategy override ("naive" |
+        #: "batched"); None means the served database's default applies
+        self.join_mode: str | None = None
         self.in_txn = False
         self.closed = False
         #: cumulative statement count / errors / last statement (for `stats`)
@@ -410,32 +413,42 @@ class Session:
         self._acquire(_SCHEMA_SHARED)
         try:
             with self.manager.latch:
-                text = explain_text(self.db, rest)
+                text = self._traced(lambda: explain_text(self.db, rest))
         finally:
             self._release_if_autocommit()
         return {"kind": "text", "text": text}
 
     def _traced(self, fn):
         """Run ``fn`` with this statement's own tracer installed as the
-        engine tracer.
+        engine tracer, and this session's join-mode override applied.
 
-        Called under the engine latch, so the swap is race-free: engine
-        code only ever reads ``db.telemetry.tracer`` while holding the
-        latch, and each statement restores the previous tracer before
-        releasing it.  Unlike the old shared enable/disable toggle, one
-        session's statement can never truncate or interleave another's
-        trace -- every traced statement owns its :class:`Tracer`.
+        Called under the engine latch, so both swaps are race-free: engine
+        code only ever reads ``db.telemetry.tracer`` / ``db.join_mode``
+        while holding the latch, and each statement restores the previous
+        values before releasing it.  Unlike the old shared enable/disable
+        toggle, one session's statement can never truncate or interleave
+        another's trace -- every traced statement owns its
+        :class:`Tracer` -- and a session's ``\\set joinmode`` never leaks
+        into statements of other sessions.
         """
-        tracer = self._stmt_tracer
-        if tracer is None:
-            return fn()
-        telemetry = self.db.telemetry
-        previous = telemetry.tracer
-        telemetry.tracer = tracer
+        previous_mode = None
+        if self.join_mode is not None and self.join_mode != self.db.join_mode:
+            previous_mode = self.db.join_mode
+            self.db.join_mode = self.join_mode
         try:
-            return fn()
+            tracer = self._stmt_tracer
+            if tracer is None:
+                return fn()
+            telemetry = self.db.telemetry
+            previous = telemetry.tracer
+            telemetry.tracer = tracer
+            try:
+                return fn()
+            finally:
+                telemetry.tracer = previous
         finally:
-            telemetry.tracer = previous
+            if previous_mode is not None:
+                self.db.join_mode = previous_mode
 
     # -- meta commands -----------------------------------------------------
 
@@ -444,6 +457,8 @@ class Session:
         with self._mutex:
             if command == "trace":
                 return {"kind": "text", "text": self._meta_trace(args)}
+            if command == "set":
+                return {"kind": "text", "text": self._meta_set(args)}
             footprint = (maintenance_footprint()
                          if command in ("verify", "doctor", "recover", "cold")
                          else _SCHEMA_SHARED)
@@ -466,12 +481,15 @@ class Session:
             if args and args[0] == "prom":
                 return db.telemetry.metrics.render_prometheus().rstrip("\n")
             stats = db.stats
+            effective = self.join_mode or db.join_mode
+            source = "session" if self.join_mode else "server default"
             return "\n".join([
                 f"physical reads {stats.physical_reads}, writes "
                 f"{stats.physical_writes}, logical reads {stats.logical_reads}, "
                 f"buffer hits {stats.buffer_hits}",
                 f"evictions {stats.evictions}, "
                 f"dirty writebacks {stats.dirty_writebacks}",
+                f"join mode {effective} ({source})",
                 db.telemetry.metrics.render_text(),
             ])
         if command == "monitor":
@@ -511,6 +529,24 @@ class Session:
             return "\n".join(json.dumps(span) for span in self._trace_log)
         raise ReproError(f"unknown \\trace mode {mode!r} (on|off|clear|dump)")
 
+    def _meta_set(self, args: list[str]) -> str:
+        """Per-session settings: currently only ``joinmode``."""
+        if not args or args[0] != "joinmode":
+            raise ReproError("usage: \\set joinmode naive|batched|default")
+        if len(args) < 2:
+            effective = self.join_mode or self.db.join_mode
+            source = "session" if self.join_mode else "server default"
+            return f"join mode {effective} ({source})"
+        value = args[1]
+        if value == "default":
+            self.join_mode = None
+            return f"join mode {self.db.join_mode} (server default)"
+        if value not in ("naive", "batched"):
+            raise ReproError(
+                f"join mode must be 'naive' or 'batched', not {value!r}")
+        self.join_mode = value
+        return f"join mode {value} (session)"
+
     # -- introspection -----------------------------------------------------
 
     def info(self) -> dict:
@@ -520,6 +556,7 @@ class Session:
             "name": self.name,
             "in_txn": self.in_txn,
             "tracing": self.trace,
+            "join_mode": self.join_mode or self.db.join_mode,
             "statements": self.statements,
             "errors": self.errors,
             "last_statement": self.last_statement[:120],

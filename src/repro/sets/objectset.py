@@ -74,9 +74,9 @@ class ObjectSet:
         """Whether ``oid`` names a live member of this set's file."""
         return oid.file_id == self.file_id and self.store.exists(oid)
 
-    def scan(self) -> Iterator[tuple[OID, StoredObject]]:
-        """Members in physical order."""
-        return self.store.scan(self.heap)
+    def scan(self, readahead: int = 0) -> Iterator[tuple[OID, StoredObject]]:
+        """Members in physical order (``readahead``: scan prefetch window)."""
+        return self.store.scan(self.heap, readahead=readahead)
 
     def count(self) -> int:
         """Number of members (a full scan)."""

@@ -31,12 +31,14 @@ _PageKey = tuple[int, int]
 
 
 class _Frame:
-    __slots__ = ("page", "dirty", "pin_count")
+    __slots__ = ("page", "dirty", "pin_count", "prefetched")
 
     def __init__(self, page: Page) -> None:
         self.page = page
         self.dirty = False
         self.pin_count = 0
+        #: loaded by read-ahead and not yet demanded (prefetch-hit tracking)
+        self.prefetched = False
 
 
 class BufferPool:
@@ -62,6 +64,12 @@ class BufferPool:
             "bufferpool_evictions_total", "frames evicted to make room")
         self._m_writebacks = metrics.counter(
             "bufferpool_writebacks_total", "dirty pages written back")
+        self._m_prefetch_issued = metrics.counter(
+            "bufferpool_prefetch_issued_total",
+            "pages physically read ahead of demand")
+        self._m_prefetch_hits = metrics.counter(
+            "bufferpool_prefetch_hits_total",
+            "demand fetches served by a read-ahead frame")
         self._g_resident = metrics.gauge(
             "bufferpool_resident_frames", "pages currently cached")
 
@@ -90,6 +98,10 @@ class BufferPool:
         else:
             self.stats.buffer_hits += 1
             self._m_hits.inc()
+            if frame.prefetched:
+                frame.prefetched = False
+                self.stats.count_prefetch_hit()
+                self._m_prefetch_hits.inc()
             self._frames.move_to_end(key)
         if self.wal is not None:
             # snapshot on first contact: clients mutate the frame in place
@@ -105,6 +117,61 @@ class BufferPool:
         if frame is None or frame.pin_count == 0:
             raise BufferPoolError(f"page ({file_id},{page_no}) is not pinned")
         frame.pin_count -= 1
+
+    def fetch_many(self, keys) -> dict[_PageKey, Page]:
+        """Pin a group of pages in one call (the batched join's group-fetch).
+
+        ``keys`` should arrive sorted in page order so misses turn into one
+        ordered sweep over the file.  Pages already fetched within the group
+        are pinned once; the caller balances with :meth:`unpin_many` over the
+        returned mapping's keys.  While the group is being assembled the
+        already-pinned members are protected by their pins, so a later miss
+        can never evict an earlier member.
+        """
+        pages: dict[_PageKey, Page] = {}
+        try:
+            for key in keys:
+                if key not in pages:
+                    pages[key] = self.fetch(*key)
+        except BufferPoolError:
+            for key in pages:
+                self.unpin(*key)
+            raise
+        return pages
+
+    def unpin_many(self, keys) -> None:
+        """Release one pin on each page of a :meth:`fetch_many` group."""
+        for key in keys:
+            self.unpin(*key)
+
+    def prefetch(self, file_id: int, page_nos) -> int:
+        """Best-effort read-ahead: load pages into unpinned frames.
+
+        Pages already resident are skipped; each loaded page is charged one
+        physical read (to the scan that asked for it) and counted as
+        ``prefetch_issued``.  Eviction to make room never touches pinned
+        frames or pages loaded by this same call -- and rather than raise
+        when no victim is evictable, read-ahead simply stops.  Returns the
+        number of pages actually loaded.
+        """
+        loaded: list[_PageKey] = []
+        protected: set[_PageKey] = set()
+        for page_no in page_nos:
+            key = (file_id, page_no)
+            if key in self._frames:
+                continue
+            protected.add(key)
+            if not self._make_room(protected=protected, best_effort=True):
+                break
+            frame = _Frame(Page(self.disk.read_page(file_id, page_no)))
+            frame.prefetched = True
+            self._frames[key] = frame
+            loaded.append(key)
+            self.stats.count_prefetch()
+            self._m_prefetch_issued.inc()
+        if loaded:
+            self._g_resident.set(len(self._frames))
+        return len(loaded)
 
     @contextmanager
     def page(self, file_id: int, page_no: int) -> Iterator[Page]:
@@ -174,6 +241,11 @@ class BufferPool:
         """Keys of all currently cached pages (for tests)."""
         return set(self._frames)
 
+    def pinned_keys(self) -> list[_PageKey]:
+        """Keys of every frame with a nonzero pin count (debug/regression
+        accessor: after a statement completes this must be empty)."""
+        return [key for key, frame in self._frames.items() if frame.pin_count]
+
     # -- recovery primitives (uncharged) ------------------------------------
 
     def peek_frame(self, key: _PageKey):
@@ -193,11 +265,19 @@ class BufferPool:
         self._frames.clear()
         self._g_resident.set(len(self._frames))
 
-    def _make_room(self) -> None:
+    def _make_room(self, protected: set[_PageKey] | None = None,
+                   best_effort: bool = False) -> bool:
+        """Evict one unpinned LRU frame if the pool is full.
+
+        ``protected`` keys are never chosen as victims (read-ahead must not
+        evict the pages of the batch that is being assembled).  With
+        ``best_effort=True`` an unevictable pool returns False instead of
+        raising -- the caller (read-ahead) simply gives up.
+        """
         if len(self._frames) < self.capacity:
-            return
+            return True
         for key, frame in self._frames.items():  # OrderedDict: LRU first
-            if frame.pin_count == 0:
+            if frame.pin_count == 0 and (protected is None or key not in protected):
                 if frame.dirty:
                     if self.wal is not None:
                         self.wal.before_data_write()
@@ -207,5 +287,7 @@ class BufferPool:
                 del self._frames[key]
                 self.stats.count_eviction()
                 self._m_evictions.inc()
-                return
+                return True
+        if best_effort:
+            return False
         raise BufferPoolError("all buffer frames are pinned")

@@ -121,13 +121,28 @@ class HeapFile:
         except RecordNotFoundError:
             return False
 
-    def scan(self) -> Iterator[tuple[RID, bytes]]:
+    def scan(self, readahead: int = 0) -> Iterator[tuple[RID, bytes]]:
         """Yield ``(rid, payload)`` in physical order.
 
         Records are reported under their *home* rid, fully assembled;
         parked payloads and overflow chunks are skipped where they live.
+
+        ``readahead > 0`` prefetches the next window of pages into
+        unpinned frames before the cursor reaches them (best effort; the
+        pool's eviction guard keeps read-ahead from displacing pinned or
+        same-window pages).  Physical reads per scan are unchanged -- only
+        their ordering moves ahead of demand -- so only set-oriented
+        callers opt in.
         """
-        for page_no in range(self.num_pages()):
+        total = self.num_pages()
+        for page_no in range(total):
+            if readahead > 0 and page_no % readahead == 0:
+                # strictly *ahead*: the current page stays a demand fetch
+                # (a miss when cold), the next window arrives behind it
+                self.pool.prefetch(
+                    self.file_id,
+                    range(page_no + 1, min(page_no + 1 + readahead, total)),
+                )
             with self.pool.page(self.file_id, page_no) as page:
                 entries = list(page.records())
             for slot, raw in entries:

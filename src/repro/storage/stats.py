@@ -42,6 +42,14 @@ class IOSnapshot:
     #: these writes also appear in ``physical_writes``; the separate count
     #: explains why a read-only query can show write I/O.
     dirty_writebacks: int = 0
+    #: pages physically read ahead of demand by scan read-ahead (these
+    #: reads also appear in ``physical_reads``).
+    prefetch_issued: int = 0
+    #: demand fetches served by a frame that read-ahead loaded.
+    prefetch_hits: int = 0
+    #: object reads avoided because a sort-and-dedupe batch had already
+    #: resolved the same OID (the batched join's saved functional joins).
+    batch_dedup_saved: int = 0
     file_reads: dict = field(default_factory=dict)
     file_writes: dict = field(default_factory=dict)
 
@@ -74,6 +82,9 @@ class IOSnapshot:
             buffer_hits=self.buffer_hits - other.buffer_hits,
             evictions=self.evictions - other.evictions,
             dirty_writebacks=self.dirty_writebacks - other.dirty_writebacks,
+            prefetch_issued=self.prefetch_issued - other.prefetch_issued,
+            prefetch_hits=self.prefetch_hits - other.prefetch_hits,
+            batch_dedup_saved=self.batch_dedup_saved - other.batch_dedup_saved,
             file_reads=_sub_counts(self.file_reads, other.file_reads),
             file_writes=_sub_counts(self.file_writes, other.file_writes),
         )
@@ -89,6 +100,9 @@ class IOStatistics:
         "buffer_hits",
         "evictions",
         "dirty_writebacks",
+        "prefetch_issued",
+        "prefetch_hits",
+        "batch_dedup_saved",
         "file_reads",
         "file_writes",
     )
@@ -100,6 +114,9 @@ class IOStatistics:
         self.buffer_hits = 0
         self.evictions = 0
         self.dirty_writebacks = 0
+        self.prefetch_issued = 0
+        self.prefetch_hits = 0
+        self.batch_dedup_saved = 0
         self.file_reads: dict[int, int] = {}
         self.file_writes: dict[int, int] = {}
 
@@ -111,6 +128,9 @@ class IOStatistics:
         self.buffer_hits = 0
         self.evictions = 0
         self.dirty_writebacks = 0
+        self.prefetch_issued = 0
+        self.prefetch_hits = 0
+        self.batch_dedup_saved = 0
         self.file_reads.clear()
         self.file_writes.clear()
 
@@ -132,6 +152,18 @@ class IOStatistics:
         """Record one dirty page written back from the pool."""
         self.dirty_writebacks += 1
 
+    def count_prefetch(self) -> None:
+        """Record one page physically read by scan read-ahead."""
+        self.prefetch_issued += 1
+
+    def count_prefetch_hit(self) -> None:
+        """Record one demand fetch served by a read-ahead frame."""
+        self.prefetch_hits += 1
+
+    def count_batch_dedup(self, saved: int) -> None:
+        """Record object reads a sort-and-dedupe batch avoided."""
+        self.batch_dedup_saved += saved
+
     def snapshot(self) -> IOSnapshot:
         """Return an immutable copy of the current counters."""
         return IOSnapshot(
@@ -141,6 +173,9 @@ class IOStatistics:
             buffer_hits=self.buffer_hits,
             evictions=self.evictions,
             dirty_writebacks=self.dirty_writebacks,
+            prefetch_issued=self.prefetch_issued,
+            prefetch_hits=self.prefetch_hits,
+            batch_dedup_saved=self.batch_dedup_saved,
             file_reads=dict(self.file_reads),
             file_writes=dict(self.file_writes),
         )

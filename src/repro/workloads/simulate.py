@@ -27,6 +27,7 @@ from repro.costmodel import (
     CostParameters,
     ModelStrategy,
     Setting,
+    batched_read_cost,
     read_cost,
     update_cost,
 )
@@ -49,11 +50,18 @@ def model_params(config: WorkloadConfig) -> CostParameters:
 
 def model_prediction(config: WorkloadConfig, kind: str) -> float:
     """The cost model's predicted I/O for one query of ``kind`` on
-    ``config`` ("read" or "update")."""
+    ``config`` ("read" or "update").
+
+    Reads under ``join_mode="batched"`` swap the Yao random-probe join
+    term for the sorted-probe bound (one ordered sweep per hop level);
+    updates never functionally join, so their prediction is mode-free.
+    """
     params = model_params(config)
     strategy = _MODEL_STRATEGY[config.strategy]
     setting = Setting.CLUSTERED if config.clustered else Setting.UNCLUSTERED
     if kind == "read":
+        if config.join_mode == "batched":
+            return batched_read_cost(params, strategy, setting)
         return read_cost(params, strategy, setting)
     if kind == "update":
         return update_cost(params, strategy, setting)

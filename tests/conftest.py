@@ -32,10 +32,13 @@ def define_employee_schema(db: Database) -> None:
 
 
 @pytest.fixture()
-def db() -> Database:
+def db():
     database = Database()
     define_employee_schema(database)
-    return database
+    yield database
+    # pin-leak regression guard: whatever ran, every buffer frame must be
+    # unpinned once the statements are done (group-fetches included)
+    assert database.storage.pool.pinned_keys() == []
 
 
 @pytest.fixture()

@@ -1,0 +1,207 @@
+"""Naive-vs-batched parity over the query corpus, locks, crash recovery."""
+
+import random
+
+import pytest
+
+from repro import Database, TypeDefinition, char_field, int_field, ref_field
+from repro.errors import DiskFault, PlanningError
+from repro.query.language import parse_statement
+from repro.server import footprint_for_statement
+from repro.workloads import WorkloadConfig, build_model_database, run_read_query
+
+# -- a company with mid-chain NULLs and enough spread for every clause -------
+
+
+def _populate(db: Database, dangling_org: bool = True) -> None:
+    db.define_type(TypeDefinition("ORG", [char_field("name", 20),
+                                          int_field("budget")]))
+    db.define_type(TypeDefinition(
+        "DEPT", [char_field("name", 20), int_field("budget"),
+                 ref_field("org", "ORG")]))
+    db.define_type(TypeDefinition(
+        "EMP", [char_field("name", 20), int_field("age"), int_field("salary"),
+                ref_field("dept", "DEPT")]))
+    db.create_set("Org", "ORG")
+    db.create_set("Dept", "DEPT")
+    db.create_set("Emp1", "EMP")
+    orgs = [db.insert("Org", {"name": f"org{i}", "budget": 1000 * i})
+            for i in range(3)]
+    depts = []
+    for i in range(5):
+        org = None if dangling_org and i == 4 else orgs[i % 3]
+        depts.append(db.insert("Dept", {"name": f"dept{i}",
+                                        "budget": 100 * i, "org": org}))
+    for i in range(40):
+        dept = None if i % 13 == 0 else depts[i % 5]  # some emps lack a dept
+        db.insert("Emp1", {"name": f"emp{i:02d}", "age": 20 + i % 17,
+                           "salary": 40_000 + 997 * (i * 7 % 40),
+                           "dept": dept})
+
+
+#: replication layouts the corpus runs under
+_LAYOUTS = {
+    "none": (),
+    "inplace": (("Emp1.dept.name", {}), ("Emp1.dept.org.name", {})),
+    "separate": (("Emp1.dept.name", {"strategy": "separate"}),),
+    "lazy": (("Emp1.dept.name", {"lazy": True}),),
+    "collapsed": (("Emp1.dept.org.name", {"collapsed": True}),),
+}
+
+_CORPUS = (
+    "retrieve (Emp1.name)",
+    "retrieve (Emp1.all)",
+    "retrieve (Emp1.name, Emp1.dept.name)",
+    "retrieve (Emp1.name, Emp1.dept.org.name)",
+    "retrieve (Emp1.name) where Emp1.salary >= 60000 and Emp1.salary <= 70000",
+    "retrieve (Emp1.name) where Emp1.dept.name = 'dept2'",
+    "retrieve (Emp1.name, Emp1.dept.org.name) where Emp1.dept.org.name = 'org1'",
+    "retrieve (Emp1.name, Emp1.salary) order by Emp1.salary desc limit 7",
+    "retrieve (Emp1.name) order by Emp1.dept.name",
+    "retrieve (Emp1.dept.name, count(Emp1.name), sum(Emp1.salary)) "
+    "group by Emp1.dept.name",
+    "retrieve (Emp1.dept.org.name, avg(Emp1.salary), max(Emp1.age)) "
+    "group by Emp1.dept.org.name",
+    "retrieve (count(Emp1.name), min(Emp1.salary))",
+)
+
+
+def _build(join_mode: str, layout: str, **kwargs) -> Database:
+    db = Database(join_mode=join_mode, **kwargs)
+    # collapsed paths refuse null mid-chain refs, so that layout gets none
+    _populate(db, dangling_org=(layout != "collapsed"))
+    for path_text, opts in _LAYOUTS[layout]:
+        db.replicate(path_text, **opts)
+    return db
+
+
+@pytest.mark.parametrize("layout", sorted(_LAYOUTS))
+def test_corpus_rows_identical_across_modes(layout):
+    naive = _build("naive", layout)
+    batched = _build("batched", layout, join_batch_rows=7)  # force multi-batch
+    for query in _CORPUS:
+        try:
+            a = naive.execute(query, materialize=False)
+        except PlanningError:
+            # a path filter with no index/replica is rejected at planning
+            # time -- mode-independently, so batched must reject it too
+            with pytest.raises(PlanningError):
+                batched.execute(query, materialize=False)
+            continue
+        b = batched.execute(query, materialize=False)
+        assert a.columns == b.columns, query
+        assert a.rows == b.rows, query
+        assert naive.storage.pool.pinned_keys() == []
+        assert batched.storage.pool.pinned_keys() == []
+
+
+def test_lazy_refresh_then_parity():
+    naive = _build("naive", "lazy")
+    batched = _build("batched", "lazy")
+    for db in (naive, batched):
+        dept = db.execute("retrieve (Dept.name)").rows  # touch, then mutate
+        assert dept
+        victims = [oid for oid, __ in db.catalog.get_set("Dept").scan()][:2]
+        for i, oid in enumerate(victims):
+            db.update("Dept", oid, {"name": f"renamed{i}"})
+        db.refresh("Emp1.dept.name")
+    q = "retrieve (Emp1.name, Emp1.dept.name)"
+    assert naive.execute(q).rows == batched.execute(q).rows
+
+
+def test_analyze_matches_plain_under_batched():
+    db = _build("batched", "inplace")
+    for query in _CORPUS:
+        db.cold_cache()
+        plain = db.execute(query, materialize=False)
+        db.cold_cache()
+        analyzed = db.explain_analyze(query, materialize=False)
+        assert analyzed.rows == plain.rows, query
+        assert analyzed.io.total_io == plain.io.total_io, query
+
+
+# -- lock footprints do not depend on the executor ---------------------------
+
+
+def test_lock_footprint_identical_across_modes():
+    db = _build("batched", "inplace")
+    for text in _CORPUS + (
+        "replace (Emp1.salary = 1) where Emp1.name = 'emp01'",
+        "delete from Emp1 where Emp1.name = 'emp02'",
+    ):
+        stmt = parse_statement(text)
+        db.join_mode = "batched"
+        batched_fp = footprint_for_statement(db, stmt)
+        db.join_mode = "naive"
+        naive_fp = footprint_for_statement(db, stmt)
+        assert batched_fp == naive_fp, text
+
+
+# -- crash safety is mode-independent ----------------------------------------
+
+
+def _crash_build(join_mode: str) -> Database:
+    """A WAL database with wide records (real page traffic under 8 frames)."""
+    db = Database(wal=True, buffer_frames=8, join_mode=join_mode)
+    db.define_type(TypeDefinition("DEPT", [char_field("name", 200),
+                                           int_field("budget")]))
+    db.define_type(TypeDefinition("EMP", [char_field("name", 200),
+                                          int_field("salary"),
+                                          ref_field("dept", "DEPT")]))
+    db.create_set("Dept", "DEPT")
+    db.create_set("Emp", "EMP")
+    depts = [db.insert("Dept", {"name": f"dept{i}", "budget": 100 * i})
+             for i in range(3)]
+    for i in range(60):
+        db.insert("Emp", {"name": f"emp{i}", "salary": 1000 + i,
+                          "dept": depts[i % 3]})
+    db.replicate("Emp.dept.name")
+    db.checkpoint()
+    return db
+
+
+@pytest.mark.parametrize("torn", [False, True])
+def test_crash_recover_query_parity_under_batched(torn):
+    db = _crash_build("batched")
+    depts = [oid for oid, __ in db.catalog.get_set("Dept").scan()]
+    db.faults.fail_after_writes(3, torn=torn)
+    crashed = False
+    try:
+        for i, dept in enumerate(depts):
+            db.update("Dept", dept, {"name": f"renamed{i}" * 20})
+    except DiskFault:
+        crashed = True
+    assert crashed, "workload too small to reach the fault point"
+    assert db.recovery.needs_recovery
+    report = db.recover()
+    assert report.verified
+    db.verify()
+    # post-recovery, the two executors still agree on chained queries
+    for query in (
+        "retrieve (Emp.name, Emp.dept.name)",
+        "retrieve (Emp.dept.name, count(Emp.name)) group by Emp.dept.name",
+        "retrieve (Emp.name) order by Emp.salary desc limit 5",
+    ):
+        db.join_mode = "batched"
+        b = db.execute(query, materialize=False)
+        db.join_mode = "naive"
+        n = db.execute(query, materialize=False)
+        assert b.rows == n.rows, query
+
+
+# -- the sorted-probe formula stays inside the drift tolerance ---------------
+
+_DRIFT_CONFIG = dict(n_s=300, f=5, f_r=0.01, f_s=0.01, clustered=False)
+
+
+@pytest.mark.parametrize("strategy", ["none", "separate"])
+def test_batched_read_drift_under_15_percent(strategy):
+    cfg = WorkloadConfig(strategy=strategy, join_mode="batched",
+                         **_DRIFT_CONFIG)
+    mdb = build_model_database(cfg)
+    rng = random.Random(cfg.seed + 1)
+    for __ in range(6):
+        run_read_query(mdb, rng)
+    drift = mdb.db.telemetry.drift
+    assert len(drift.select(kind="read", strategy=strategy)) == 6
+    assert drift.mean_rel_error("read", strategy) < 0.15
