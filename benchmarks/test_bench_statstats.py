@@ -1,0 +1,154 @@
+"""Statement analytics overhead: fingerprinting must not move pages.
+
+Two identical database/server pairs run the same single-client statement
+sequence over a replicated schema.  The *observed* pair keeps the
+statement-fingerprint aggregator and the replication ledger on (their
+defaults) while a scraper thread hammers ``/statements`` and
+``/metrics`` throughout; the *bare* pair flips both collectors off
+(``StatementStats.enabled`` / ``ReplicationLedger.enabled``) and runs
+unwatched.
+
+The acceptance bar is exact: the per-statement physical I/O vectors of
+the two runs must be **byte-identical**.  Fingerprinting is a regex pass
+over the statement text, the aggregator is a dict of counters, and the
+ledger prices its charges and credits from in-memory page counts -- none
+of it may drag a page through the buffer pool, or the analytics would
+change the workload they describe.  Wall-clock overhead is recorded
+(informational) into ``BENCH_statstats_overhead.json``.
+"""
+
+import json
+import threading
+import time
+from urllib.request import urlopen
+
+from repro import Database, TypeDefinition, char_field, int_field, ref_field
+from repro.server import connect
+from repro.server.httpexpo import MetricsHTTPServer
+from repro.server.service import Server
+
+from benchmarks.conftest import save_result
+
+_DEPTS = 4
+_EMPS = 48
+
+
+def _build() -> Database:
+    db = Database(wal=True, buffer_frames=64)
+    db.define_type(TypeDefinition("DEPT", [char_field("name", 40),
+                                           int_field("budget")]))
+    db.define_type(TypeDefinition("EMP", [char_field("name", 40),
+                                          int_field("salary"),
+                                          ref_field("dept", "DEPT")]))
+    db.create_set("Dept", "DEPT")
+    db.create_set("Emp", "EMP")
+    depts = [db.insert("Dept", {"name": f"dept{i}", "budget": 100 + i})
+             for i in range(_DEPTS)]
+    for i in range(_EMPS):
+        db.insert("Emp", {"name": f"emp{i}", "salary": 1000 + i,
+                          "dept": depts[i % _DEPTS]})
+    db.replicate("Emp.dept.name")
+    return db
+
+
+def _ops() -> list[str]:
+    """The deterministic statement sequence both pairs execute.
+
+    A replication-heavy mix: replicated-field reads (ledger credits),
+    propagating updates (ledger charges), and repeated statement shapes
+    with varying literals (fingerprint aggregation).
+    """
+    ops = []
+    for round_no in range(3):
+        ops.append("retrieve (Emp.name, Emp.dept.name)")
+        ops.append(f"retrieve (Emp.name) where Emp.salary > {1010 + round_no}")
+        ops.append(f'replace (Dept.name = "r{round_no}") '
+                   f"where Dept.budget = {100 + round_no % _DEPTS}")
+        ops.append(f'retrieve (Emp.name) where Emp.dept.name = "r{round_no}"')
+        ops.append("retrieve (Dept.name, Dept.budget)")
+    return ops
+
+
+def _run_pair(observed: bool) -> dict:
+    db = _build()
+    if not observed:
+        db.telemetry.statements.enabled = False
+        db.telemetry.repledger.enabled = False
+    server = Server(db, max_connections=4, workers=2, queue_depth=32,
+                    lock_timeout=30.0).start()
+    sidecar = None
+    stop_scraper = threading.Event()
+    scraper = None
+    scrapes = [0]
+    if observed:
+        sidecar = MetricsHTTPServer(server).start()
+        base = f"http://{sidecar.host}:{sidecar.port}"
+
+        def scrape_loop():
+            while not stop_scraper.is_set():
+                for path in ("/statements", "/metrics"):
+                    with urlopen(base + path, timeout=10.0) as response:
+                        assert response.status == 200
+                        response.read()
+                scrapes[0] += 1
+                time.sleep(0.01)
+
+        scraper = threading.Thread(target=scrape_loop, daemon=True)
+        scraper.start()
+    per_op_io = []
+    try:
+        with connect(*server.address) as client:
+            client.meta("cold")  # both pairs start from an empty pool
+            began = time.perf_counter()
+            for statement in _ops():
+                result = client.execute(statement)
+                per_op_io.append([result.io.physical_reads,
+                                  result.io.physical_writes])
+            wall = time.perf_counter() - began
+    finally:
+        stop_scraper.set()
+        if scraper is not None:
+            scraper.join(timeout=10.0)
+        if sidecar is not None:
+            sidecar.shutdown()
+        server.shutdown()
+    stats = db.telemetry.statements
+    fingerprints = len(stats) if observed else 0
+    ledger_paths = len(db.telemetry.repledger) if observed else 0
+    db.verify()
+    return {"io": per_op_io, "wall": wall, "scrapes": scrapes[0],
+            "fingerprints": fingerprints, "ledger_paths": ledger_paths}
+
+
+def test_statement_analytics_add_zero_physical_io(results_dir):
+    bare = _run_pair(observed=False)
+    observed = _run_pair(observed=True)
+
+    # the acceptance bar: byte-identical per-statement physical I/O
+    assert json.dumps(bare["io"]) == json.dumps(observed["io"])
+    assert any(reads > 0 for reads, __ in bare["io"])  # teeth
+    # the collectors demonstrably ran in the observed pair
+    assert observed["scrapes"] > 0
+    assert observed["fingerprints"] == 5  # 5 statement shapes in _ops()
+    assert observed["ledger_paths"] == 1
+    # and demonstrably did not in the bare pair
+    assert bare["fingerprints"] == 0 and bare["ledger_paths"] == 0
+
+    result = {
+        "benchmark": "statstats_overhead",
+        "ops": len(bare["io"]),
+        "collectors_on": ["statement_fingerprints", "replication_ledger",
+                          "statements_scraper"],
+        "per_op_physical_io_identical": True,
+        "per_op_io": bare["io"],
+        "scrapes_during_run": observed["scrapes"],
+        "distinct_fingerprints": observed["fingerprints"],
+        "ledger_paths": observed["ledger_paths"],
+        "wall_seconds_bare": round(bare["wall"], 4),
+        "wall_seconds_observed": round(observed["wall"], 4),
+        "wall_overhead_pct": round(
+            (observed["wall"] - bare["wall"]) / bare["wall"] * 100, 1)
+        if bare["wall"] else 0.0,
+    }
+    save_result(results_dir, "BENCH_statstats_overhead.json",
+                json.dumps(result, indent=2))

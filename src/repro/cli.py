@@ -28,6 +28,10 @@ with ``;`` or a blank line.  Connected to a server, ``begin`` / ``commit``
     \\top [N [SECS]]    live server dashboard over the stats verb
                        (connected only; N frames, SECS apart; default 1)
     \\monitor           workload observations + model-vs-actual drift
+    \\fingerprints      per-statement-fingerprint analytics (calls, I/O,
+                       lock waits, WAL bytes, p50/p95/p99 latency)
+    \\ledger            replication cost/benefit ledger: measured net page
+                       benefit per replicated path (charges vs credits)
     \\set joinmode M    functional-join strategy: ``naive`` (row-at-a-time
                        OID probes) or ``batched`` (sort-and-dedupe sweeps;
                        the default); connected, ``default`` reverts the
@@ -62,8 +66,8 @@ DEFAULT_ROW_LIMIT = 50
 #: meta-commands answered by the server when the shell is connected.
 #: ``trace`` is deliberately absent: connected tracing is client-side,
 #: so the dump shows the stitched client->server->engine tree.
-_FORWARDED_META = ("describe", "stats", "monitor", "verify", "doctor",
-                   "recover", "cold", "set")
+_FORWARDED_META = ("describe", "stats", "monitor", "fingerprints", "ledger",
+                   "verify", "doctor", "recover", "cold", "set")
 
 
 def render_result(result, limit: int | None = DEFAULT_ROW_LIMIT) -> str:
@@ -215,6 +219,10 @@ class Shell:
             self._run_set(args)
         elif command == "monitor":
             self.write(self.db.monitor.report())
+        elif command == "fingerprints":
+            self.write(self.db.telemetry.statements.render_text())
+        elif command == "ledger":
+            self.write(self.db.telemetry.repledger.render_text())
         elif command == "verify":
             self.db.verify()
             self.write("all replication invariants hold")

@@ -12,6 +12,13 @@ monitor gathers that knowledge from the running system:
 :meth:`WorkloadMonitor.candidates` then joins the two sides and hands each
 candidate path to the cost-model advisor, yielding ranked, ready-to-apply
 ``replicate`` statements.
+
+When the database binds its replication ledger here (``monitor.ledger``),
+the ranking additionally covers paths that are *already* replicated: the
+ledger's measured net page benefit turns each live path into a ``keep``
+candidate (net >= 0) or a ``drop`` candidate (net < 0, propagation
+outweighing the reads it serves) -- measured candidates rank ahead of the
+advisor's nominal ones.
 """
 
 from __future__ import annotations
@@ -52,16 +59,28 @@ class FieldObservation:
 
 @dataclass(frozen=True)
 class Candidate:
-    """One ranked replication candidate."""
+    """One ranked replication candidate.
+
+    Advisor-derived candidates (``action == "add"``) carry an observation
+    and a cost-model recommendation; ledger-derived candidates
+    (``action`` ``"keep"`` or ``"drop"``) instead carry the measured net
+    page benefit of an already-replicated path.
+    """
 
     path_text: str
-    observation: PathObservation
+    observation: PathObservation | None
     update_statements: int
     estimated_p_update: float
-    recommendation: Recommendation
+    recommendation: Recommendation | None
+    action: str = "add"
+    measured_net_io: float | None = None
 
     @property
     def ddl(self) -> str | None:
+        if self.action == "drop":
+            return f"drop replicate {self.path_text}"
+        if self.action == "keep" or self.recommendation is None:
+            return None
         return self.recommendation.ddl(self.path_text)
 
 
@@ -74,6 +93,9 @@ class WorkloadMonitor:
         #: optional DriftMonitor; the Database binds its telemetry's here so
         #: ``report()`` can append model-vs-actual drift.
         self.drift = None
+        #: optional ReplicationLedger; the Database binds its telemetry's
+        #: here so ``candidates()`` can rank live paths by measured benefit.
+        self.ledger = None
 
     # -- recording (called by the executor / Database) -----------------------
 
@@ -137,8 +159,28 @@ class WorkloadMonitor:
         how much work they actually did.  The remaining knobs parameterise
         the cost model; callers can pass measured values when they have
         them.
+
+        If a replication ledger is bound, every path with ledger activity
+        additionally yields a *measured* candidate: ``keep`` when its net
+        page benefit is non-negative, ``drop`` when propagation has cost
+        more than the reads it served.  Measured candidates rank first
+        (ordered by how much there is to gain: worst drop first).
         """
         out = []
+        if self.ledger is not None:
+            for entry in self.ledger.entries():
+                net = entry["net_pages"]
+                out.append(
+                    Candidate(
+                        path_text=entry["path"],
+                        observation=None,
+                        update_statements=entry["propagations"],
+                        estimated_p_update=0.0,
+                        recommendation=None,
+                        action="drop" if net < 0 else "keep",
+                        measured_net_io=net,
+                    )
+                )
         for obs in self.path_observations():
             if obs.queries < min_queries:
                 continue
@@ -162,7 +204,9 @@ class WorkloadMonitor:
                     recommendation=rec,
                 )
             )
-        out.sort(key=lambda c: -c.recommendation.saving_percent)
+        out.sort(key=lambda c: (
+            (0, c.measured_net_io) if c.measured_net_io is not None
+            else (1, -c.recommendation.saving_percent)))
         return out
 
     def report(self) -> str:
@@ -184,6 +228,15 @@ class WorkloadMonitor:
                 f"  {fobs.type_name}.{fobs.field_name:25s} "
                 f"{fobs.statements:5d} statements, {fobs.updates:7d} objects"
             )
+        if self.ledger is not None and len(self.ledger):
+            lines.append("replication ledger (measured net benefit):")
+            for entry in self.ledger.entries():
+                verdict = "keep" if entry["net_pages"] >= 0 else "drop"
+                lines.append(
+                    f"  {entry['path']:35s} net {entry['net_pages']:+10.1f} "
+                    f"pages ({entry['reads_served']} reads credited, "
+                    f"{entry['propagations']} propagations charged) -> {verdict}"
+                )
         if self.drift is not None and self.drift.records:
             lines.append(self.drift.report())
         return "\n".join(lines)
@@ -197,7 +250,7 @@ def apply_recommendations(db, candidates: list[Candidate],
         if max_paths is not None and len(applied) >= max_paths:
             break
         ddl = candidate.ddl
-        if ddl is None:
+        if ddl is None or candidate.action != "add":
             continue
         strategy = (
             "separate"

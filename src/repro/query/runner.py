@@ -78,10 +78,12 @@ def execute_text(db: Database, text: str, materialize: bool = True,
 
     This is the *embedded* entry point (shell, scripts, tests); a served
     session goes through :func:`execute_statement` instead and records
-    into the slow-query log from the session layer, where lock waits are
-    known -- so no statement is ever slow-logged twice.
+    into the slow-query log and the statement fingerprint aggregator from
+    the session layer, where lock waits are known -- so no statement is
+    ever recorded twice.
     """
     tracer = db.telemetry.tracer
+    wal_bytes = db.telemetry.metrics.value("wal_bytes_total")
     started = time.perf_counter()
     try:
         if not tracer.enabled:
@@ -98,19 +100,30 @@ def execute_text(db: Database, text: str, materialize: bool = True,
                 span.set("plan", result.plan)
                 span.set("rows", len(result.rows))
     except Exception as exc:
+        duration_ms = (time.perf_counter() - started) * 1000.0
+        fp = db.telemetry.statements.observe(
+            " ".join(text.split()), duration_ms,
+            outcome=type(exc).__name__)
         db.telemetry.slowlog.observe(
             statement=" ".join(text.split()),
-            duration_ms=(time.perf_counter() - started) * 1000.0,
-            outcome=type(exc).__name__)
+            duration_ms=duration_ms,
+            outcome=type(exc).__name__,
+            fingerprint=fp or "")
         raise
+    duration_ms = (time.perf_counter() - started) * 1000.0
+    wal_bytes = db.telemetry.metrics.value("wal_bytes_total") - wal_bytes
+    fp = db.telemetry.statements.observe(
+        " ".join(text.split()), duration_ms, io=result.io,
+        rows=len(result.rows), wal_bytes=wal_bytes)
     db.telemetry.slowlog.observe(
         statement=" ".join(text.split()),
-        duration_ms=(time.perf_counter() - started) * 1000.0,
+        duration_ms=duration_ms,
         plan=result.plan,
         io={"reads": result.io.physical_reads,
             "writes": result.io.physical_writes,
             "total": result.io.total_io},
-        rows=len(result.rows))
+        rows=len(result.rows),
+        fingerprint=fp or "")
     return result
 
 

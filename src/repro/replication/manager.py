@@ -27,6 +27,7 @@ from repro.errors import (
     IntegrityError,
     ReplicationError,
 )
+from repro.costmodel.sortedprobe import sorted_probe_pages
 from repro.objects.instance import StoredObject, _default_for
 from repro.objects.store import ObjectStore
 from repro.objects.types import FieldDef, FieldKind, TypeDefinition
@@ -505,6 +506,8 @@ class ReplicationManager:
             }
             if touched:
                 self._m_replica_writes.inc()
+                # a separate-strategy propagation dirties one replica page
+                self.telemetry.repledger.charge(path.text, 1.0, fanout=1)
                 tracer = self.telemetry.tracer
                 if tracer.enabled:
                     with tracer.span("update_propagation", path=path.text,
@@ -613,6 +616,11 @@ class ReplicationManager:
         else:
             fanout = self._apply_over_targets(source_set, targets, changes)
         self._m_fanout.inc(fanout)
+        # the fan-out rewrite dirties at most one source page per distinct
+        # target object -- the same sorted-probe bound the batched join obeys
+        self.telemetry.repledger.charge(
+            path.text, sorted_probe_pages(source_set.num_pages(), fanout),
+            fanout=fanout)
 
     def _apply_over_targets(self, source_set: ObjectSet, targets,
                             changes: dict[str, object]) -> int:

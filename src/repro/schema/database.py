@@ -77,6 +77,7 @@ class Database:
 
         self.monitor = WorkloadMonitor()
         self.monitor.drift = self.telemetry.drift
+        self.monitor.ledger = self.telemetry.repledger
         #: opt-in: let the planner fall back to file scans when the §6-style
         #: cost estimate says the index would read more pages (§7.1)
         self.cost_based_planning = cost_based_planning
@@ -168,6 +169,7 @@ class Database:
     def drop_replication(self, path_text: str) -> None:
         """Remove a replication path and its structures."""
         self.replication.drop_path(path_text)
+        self.telemetry.repledger.forget(path_text)
         self.recovery.on_ddl()
 
     def build_index(self, target: str, clustered: bool = False,

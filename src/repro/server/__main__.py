@@ -5,7 +5,8 @@
     python -m repro.server --port 7878 --snapshot company.frdb
     python -m repro.server --port 0            # ephemeral port, printed
     python -m repro.server --port 7878 --metrics-port 9187
-                                               # + HTTP /metrics /health /slow
+                                               # + HTTP /metrics /health
+                                               #   /slow /statements
 
 The server answers SIGTERM / SIGINT (and a client's ``\\shutdown``) with
 a graceful drain: in-flight statements finish, the worker pool empties,
@@ -48,8 +49,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="lock-wait bound in seconds")
     parser.add_argument("--metrics-port", type=int, default=None,
                         metavar="N",
-                        help="serve HTTP /metrics, /health, /slow on this "
-                             "port (0 picks an ephemeral port)")
+                        help="serve HTTP /metrics, /health, /slow, "
+                             "/statements on this port (0 picks an "
+                             "ephemeral port)")
+    parser.add_argument("--health-ttl", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="re-run the /health doctor check at most once "
+                             "per this many seconds (<= 0: only at start)")
     parser.add_argument("--slow-ms", type=float, default=None, metavar="MS",
                         help="slow-query log threshold in milliseconds")
     parser.add_argument("--join-mode", choices=("naive", "batched"),
@@ -71,7 +77,8 @@ def main(argv: list[str] | None = None) -> int:
     server = Server(db, host=args.host, port=args.port,
                     max_connections=args.max_connections,
                     workers=args.workers, queue_depth=args.queue_depth,
-                    lock_timeout=args.lock_timeout)
+                    lock_timeout=args.lock_timeout,
+                    health_ttl=args.health_ttl)
     server.start()
     print(f"listening on {server.host}:{server.port}", flush=True)
     sidecar = None

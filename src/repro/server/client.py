@@ -183,6 +183,11 @@ class Client:
         """Server-level stats (connections, sessions, lock counters)."""
         return self._request("stats").get("stats") or {}
 
+    def statements(self) -> dict:
+        """Per-fingerprint statement statistics plus the replication
+        ledger (``{"fingerprints": {...}, "ledger": [...]}``)."""
+        return self._request("statements").get("statements") or {}
+
     def ping(self) -> bool:
         return self._request("ping").get("kind") == "pong"
 

@@ -1,23 +1,29 @@
-"""The HTTP observability sidecar: /metrics, /health, /slow.
+"""The HTTP observability sidecar: /metrics, /health, /slow, /statements.
 
 A :class:`MetricsHTTPServer` runs a stdlib ``ThreadingHTTPServer`` on a
-daemon thread next to the TCP server and exposes three read-only
+daemon thread next to the TCP server and exposes four read-only
 endpoints over plain GET:
 
 * ``/metrics`` -- the full registry in the Prometheus text exposition
   format (``text/plain; version=0.0.4``), scrapeable by any Prometheus;
 * ``/health`` -- a JSON liveness/durability document (uptime, active
-  sessions, WAL posture, the doctor verdict cached at server start).
-  Answers 503 when the database needs crash recovery, 200 otherwise, so
-  a load balancer can eject an unhealthy server on status alone;
-* ``/slow`` -- the slow-query ring as JSON, newest last.
+  sessions, WAL posture, the doctor verdict).  Answers 503 when the
+  database needs crash recovery or the doctor found it unhealthy, 200
+  otherwise, so a load balancer can eject an unhealthy server on status
+  alone;
+* ``/slow`` -- the slow-query ring as JSON, newest last, plus the
+  per-fingerprint grouping of repeated offenders;
+* ``/statements`` -- per-fingerprint statement statistics and the
+  replication cost/benefit ledger.
 
-Scrapes must never perturb the engine: every handler reads counters,
-plain attributes, or its own mutex-guarded ring -- no page I/O, no
-engine latch.  That is why /health reports the *cached* doctor verdict:
-running the doctor per-scrape would drag pages through the buffer pool
-and change the physical I/O of unrelated queries (the observability
-benchmark pins this to zero).
+Scrapes must not perturb the engine: every handler reads counters, plain
+attributes, or its own mutex-guarded ring -- no page I/O, no engine
+latch.  The one bounded exception is /health's doctor verdict, which is
+re-computed (under the engine latch) at most once per ``health_ttl``
+seconds rather than per-scrape: running the doctor on every scrape would
+drag pages through the buffer pool and change the physical I/O of
+unrelated queries (the observability benchmarks pin scrape overhead to
+zero inside one TTL window).
 
 Metric reads are snapshot-safe without locking: the registry's sample
 iteration takes atomic ``sorted(dict)`` snapshots under CPython, and
@@ -75,11 +81,15 @@ def _make_handler(server) -> type:
                             server.db.telemetry.metrics.value(
                                 "slow_queries_total"),
                         "entries": slowlog.entries(),
+                        "grouped": slowlog.grouped(),
                     })
+                elif path == "/statements":
+                    self._send_json(200, server.statement_stats())
                 else:
                     self._send_json(404, {
                         "error": "not found",
-                        "endpoints": ["/metrics", "/health", "/slow"],
+                        "endpoints": ["/metrics", "/health", "/slow",
+                                      "/statements"],
                     })
             except BrokenPipeError:
                 pass  # scraper went away mid-response

@@ -20,7 +20,7 @@ request::
     {"id": 7, "kind": "statement", "statement": "...",
         "trace_id": "9f2c4a1b00d14e55"}   # optional: client-minted trace id
     {"id": 8, "kind": "meta", "command": "describe", "args": []}
-    {"id": 9, "kind": "stats" | "ping" | "shutdown" | "close"}
+    {"id": 9, "kind": "stats" | "statements" | "ping" | "shutdown" | "close"}
 
 response::
 
@@ -43,7 +43,11 @@ null and the client re-parents them under its own ``client_request``
 span (id 0) to form the cross-process tree.  The ``stats`` verb returns
 ``{"kind": "stats", "stats": {...}}`` -- the server-level snapshot that
 feeds ``\\top`` (uptime, sessions, throughput, I/O and hit rate, lock
-waits and hottest resources, WAL posture, slow-query tail).
+waits and hottest resources, WAL posture, slow-query tail, statement
+fingerprints, replication ledger).  The ``statements`` verb returns
+``{"kind": "statements", "statements": {"fingerprints": {...},
+"ledger": [...]}}`` -- the full per-fingerprint statement statistics and
+the replication cost/benefit ledger.
 
 Structured error codes (``error.code``) are stable strings clients can
 dispatch on: ``parse_error``, ``unknown_statement``, ``lock_timeout``,

@@ -36,7 +36,8 @@ class Server:
 
     def __init__(self, db=None, host: str = "127.0.0.1", port: int = 0,
                  max_connections: int = 32, workers: int = 4,
-                 queue_depth: int = 32, lock_timeout: float = 10.0) -> None:
+                 queue_depth: int = 32, lock_timeout: float = 10.0,
+                 health_ttl: float = 30.0) -> None:
         if db is None:
             from repro.schema.database import Database
 
@@ -59,11 +60,21 @@ class Server:
         self._accept_thread: threading.Thread | None = None
         self.started_at = 0.0
         self._started_mono = 0.0
-        #: doctor verdict cached at start(): /health must never run the
-        #: doctor per-scrape, because its page reads would pollute the
-        #: buffer pool and change later queries' physical I/O
+        #: the doctor verdict is cached and refreshed at most once per
+        #: ``health_ttl`` seconds (<= 0: only ever at start).  /health must
+        #: not run the doctor per-scrape -- its page reads would pollute
+        #: the buffer pool and change later queries' physical I/O -- but a
+        #: verdict frozen at start would also never notice a database that
+        #: turns unhealthy mid-run, so staleness is bounded instead.
+        self.health_ttl = health_ttl
         self._doctor_clean: bool | None = None
         self._doctor_findings = 0
+        self._doctor_at = 0.0
+        self._doctor_clean_at_start: bool | None = None
+        self._doctor_findings_at_start = 0
+        #: non-blocking: concurrent scrapes serve the stale verdict while
+        #: one refreshes
+        self._doctor_refresh = threading.Lock()
         self._conns: set[socket.socket] = set()
         self._mutex = threading.Lock()
         self._inflight = 0
@@ -76,12 +87,9 @@ class Server:
     def start(self) -> "Server":
         self.started_at = time.time()
         self._started_mono = time.perf_counter()
-        try:
-            report = self.db.doctor()
-            self._doctor_clean = report.healthy
-            self._doctor_findings = len(report.findings)
-        except ReproError:
-            self._doctor_clean = False
+        self._run_doctor()
+        self._doctor_clean_at_start = self._doctor_clean
+        self._doctor_findings_at_start = self._doctor_findings
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self.host, self.port))
@@ -92,6 +100,36 @@ class Server:
             target=self._accept_loop, name="repro-accept", daemon=True)
         self._accept_thread.start()
         return self
+
+    def _run_doctor(self) -> None:
+        """Run the doctor under the engine latch and cache its verdict."""
+        with self.sessions.latch:
+            try:
+                report = self.db.doctor()
+                self._doctor_clean = report.healthy
+                self._doctor_findings = len(report.findings)
+            except ReproError:
+                self._doctor_clean = False
+        self._doctor_at = time.perf_counter()
+
+    def _refresh_doctor(self) -> None:
+        """Re-run the doctor when the cached verdict outlived the TTL.
+
+        Non-blocking: if another thread is already refreshing, the caller
+        serves the stale verdict rather than queueing behind the latch.
+        """
+        if self.health_ttl <= 0 or not self._started_mono:
+            return
+        if time.perf_counter() - self._doctor_at < self.health_ttl:
+            return
+        if not self._doctor_refresh.acquire(blocking=False):
+            return
+        try:
+            if time.perf_counter() - self._doctor_at < self.health_ttl:
+                return
+            self._run_doctor()
+        finally:
+            self._doctor_refresh.release()
 
     @property
     def address(self) -> tuple[str, int]:
@@ -217,6 +255,11 @@ class Server:
             protocol.write_frame(sock, protocol.ok_response(
                 request_id, {"kind": "stats", "stats": self.server_stats()}))
             return True
+        if kind == "statements":
+            protocol.write_frame(sock, protocol.ok_response(
+                request_id, {"kind": "statements",
+                             "statements": self.statement_stats()}))
+            return True
         if kind == "shutdown":
             protocol.write_frame(sock, protocol.ok_response(
                 request_id, {"kind": "text", "text": "server draining"}))
@@ -330,20 +373,41 @@ class Server:
                 "total": metrics.value("slow_queries_total"),
                 "threshold_ms": telemetry.slowlog.threshold_ms,
                 "tail": telemetry.slowlog.tail(5),
+                "grouped": telemetry.slowlog.grouped()[:5],
             },
+            "statements": {
+                "distinct": len(telemetry.statements),
+                "evicted": telemetry.statements.evicted,
+                "top": telemetry.statements.top(5, order_by="calls"),
+            },
+            "ledger": telemetry.repledger.entries(),
             "sessions_detail": [s.info() for s in sessions],
+        }
+
+    def statement_stats(self) -> dict:
+        """The ``statements`` verb / HTTP ``/statements`` document.
+
+        Like :meth:`server_stats` this reads in-memory aggregates only --
+        no page I/O, no engine latch.
+        """
+        return {
+            "fingerprints": self.db.telemetry.statements.snapshot(),
+            "ledger": self.db.telemetry.repledger.entries(),
         }
 
     def health(self) -> dict:
         """The /health document: liveness plus durability posture.
 
-        The doctor verdict is the one cached at :meth:`start` -- scraping
-        /health must never cause engine page I/O.
+        The doctor verdict is cached and refreshed at most once per
+        ``health_ttl`` seconds (so a database that becomes unhealthy
+        mid-run flips to ``needs_recovery`` within one TTL), never
+        per-scrape -- a scrape storm must not become a doctor storm.
         """
+        self._refresh_doctor()
         wal = self.db.recovery.wal
         needs_recovery = bool(wal is not None and wal.needs_recovery)
         status = "ok"
-        if needs_recovery:
+        if needs_recovery or self._doctor_clean is False:
             status = "needs_recovery"
         elif self._stopping.is_set():
             status = "draining"
@@ -358,6 +422,12 @@ class Server:
                 "enabled": wal is not None,
                 "needs_recovery": needs_recovery,
             },
-            "doctor_clean_at_start": self._doctor_clean,
-            "doctor_findings_at_start": self._doctor_findings,
+            "doctor_clean": self._doctor_clean,
+            "doctor_findings": self._doctor_findings,
+            "doctor_age_seconds": round(
+                time.perf_counter() - self._doctor_at, 3)
+                if self._doctor_at else None,
+            "health_ttl_seconds": self.health_ttl,
+            "doctor_clean_at_start": self._doctor_clean_at_start,
+            "doctor_findings_at_start": self._doctor_findings_at_start,
         }

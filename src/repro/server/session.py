@@ -215,6 +215,9 @@ class Session:
         #: scoped, so concurrent sessions never share tracer state
         self._stmt_tracer: Tracer | None = None
         self._stmt_lock_waits: list[dict] = []
+        #: WAL bytes the active statement appended, captured under the
+        #: engine latch so concurrent sessions can't misattribute them
+        self._stmt_wal_bytes = 0
         #: serializes this session's own statements (a pipelining client
         #: must not run two statements under one lock owner at once)
         self._mutex = threading.Lock()
@@ -243,6 +246,7 @@ class Session:
                                 trace_id=trace_id, session_id=self.id)
             self._stmt_tracer = tracer
             self._stmt_lock_waits = []
+            self._stmt_wal_bytes = 0
             started = time.perf_counter()
             outcome = "ok"
             result = None
@@ -305,18 +309,22 @@ class Session:
             self._trace_log.extend(s.to_dict() for s in tracer.spans)
             del self._trace_log[:-_TRACE_LOG_SPANS]
         lock_wait_ms = sum(w["waited_ms"] for w in self._stmt_lock_waits)
+        plan, io, rows = "", {}, None
+        if isinstance(result, dict) and result.get("kind") == "rows":
+            plan = result.get("plan", "")
+            io = dict(result.get("io") or {})
+            rows = len(result.get("rows") or ())
+        fp = self.db.telemetry.statements.observe(
+            " ".join(body.split()), duration_ms, io=io, rows=rows,
+            lock_wait_ms=lock_wait_ms, wal_bytes=self._stmt_wal_bytes,
+            outcome=outcome)
         slowlog = self.db.telemetry.slowlog
         if duration_ms >= slowlog.threshold_ms:
-            plan, io, rows = "", {}, None
-            if isinstance(result, dict) and result.get("kind") == "rows":
-                plan = result.get("plan", "")
-                io = dict(result.get("io") or {})
-                rows = len(result.get("rows") or ())
             slowlog.observe(
                 statement=" ".join(body.split()), duration_ms=duration_ms,
                 plan=plan, io=io, lock_wait_ms=lock_wait_ms,
                 lock_waits=list(self._stmt_lock_waits), session=self.name,
-                outcome=outcome, rows=rows)
+                outcome=outcome, rows=rows, fingerprint=fp or "")
         self._stmt_lock_waits = []
 
     # -- lock acquisition (traced) ----------------------------------------
@@ -379,8 +387,15 @@ class Session:
         try:
             self._acquire(footprint_for_statement(self.db, stmt))
             with self.manager.latch:
-                result = self._traced(
-                    lambda: execute_statement(self.db, stmt, analyze=analyze))
+                wal_before = self.db.telemetry.metrics.value("wal_bytes_total")
+                try:
+                    result = self._traced(
+                        lambda: execute_statement(self.db, stmt,
+                                                  analyze=analyze))
+                finally:
+                    self._stmt_wal_bytes = (
+                        self.db.telemetry.metrics.value("wal_bytes_total")
+                        - wal_before)
         except (DeadlockError, LockTimeoutError):
             raise
         except ReproError:
@@ -399,7 +414,13 @@ class Session:
         self._acquire(ddl_footprint())
         try:
             with self.manager.latch:
-                self._traced(lambda: execute_ddl(self.db, body))
+                wal_before = self.db.telemetry.metrics.value("wal_bytes_total")
+                try:
+                    self._traced(lambda: execute_ddl(self.db, body))
+                finally:
+                    self._stmt_wal_bytes = (
+                        self.db.telemetry.metrics.value("wal_bytes_total")
+                        - wal_before)
         finally:
             self._release_if_autocommit()
         return {"kind": "ok", "detail": "ddl"}
@@ -494,6 +515,10 @@ class Session:
             ])
         if command == "monitor":
             return db.monitor.report()
+        if command == "fingerprints":
+            return db.telemetry.statements.render_text()
+        if command == "ledger":
+            return db.telemetry.repledger.render_text()
         if command == "verify":
             db.verify()
             return "all replication invariants hold"

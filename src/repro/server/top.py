@@ -8,8 +8,10 @@
 Polls the server's ``stats`` verb and renders one screenful per tick:
 sessions and admission state, statement throughput (computed from the
 delta between polls), buffer hit rate, lock waits with the hottest
-resources, WAL posture, and the slow-query tail.  The connected shell's
-``\\top`` meta-command drives the same renderer.
+resources, WAL posture, the slow-query tail grouped by fingerprint, the
+hottest statement fingerprints, and the replication ledger's measured
+net benefit per path.  The connected shell's ``\\top`` meta-command
+drives the same renderer.
 
 Polling reads counters only -- the stats snapshot does no page I/O and
 takes no engine latch -- so watching a server does not change what it
@@ -86,6 +88,40 @@ def render_top(stats: dict, prev: dict | None = None,
             f"lock {entry.get('lock_wait_ms', 0.0):6.1f}ms  "
             f"[{entry.get('outcome', '?')}]  "
             f"{entry.get('statement', '')[:70]}")
+    grouped = slow.get("grouped") or []
+    if grouped:
+        lines.append("slow offenders (grouped by fingerprint):")
+        for g in grouped:
+            lines.append(
+                f"  x{g.get('count', 0):<4} "
+                f"total {g.get('total_ms', 0.0):8.1f}ms  "
+                f"max {g.get('max_ms', 0.0):8.1f}ms  "
+                f"{g.get('statement', '')[:56]}")
+    statements = stats.get("statements") or {}
+    top_stmts = statements.get("top") or []
+    if top_stmts:
+        lines.append(
+            f"statements  distinct {statements.get('distinct', 0)}  "
+            f"evicted {statements.get('evicted', 0)}")
+        for s in top_stmts:
+            lines.append(
+                f"  {s.get('calls', 0):6d} calls  "
+                f"p95 {s.get('p95_ms', 0.0):7.2f}ms  "
+                f"io {s.get('io_pages', 0):5d}  "
+                f"rows {s.get('rows', 0):6d}  "
+                f"{s.get('statement', '')[:48]}")
+    ledger = stats.get("ledger") or []
+    if ledger:
+        lines.append("replication ledger (net pages; + pays for itself):")
+        for entry in ledger:
+            net = entry.get("net_pages", 0.0)
+            lines.append(
+                f"  {net:+10.1f}  "
+                f"credit {entry.get('credited_pages', 0.0):8.1f} "
+                f"({entry.get('reads_served', 0)} reads)  "
+                f"charge {entry.get('charged_pages', 0.0):8.1f} "
+                f"({entry.get('propagations', 0)} props)  "
+                f"{entry.get('path', '')}")
     detail = stats.get("sessions_detail") or []
     if detail:
         lines.append("sessions:")

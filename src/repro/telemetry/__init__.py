@@ -12,7 +12,13 @@ surfaces:
   model's predictions scored against measured query I/O;
 * :class:`~repro.telemetry.slowlog.SlowQueryLog` -- a bounded ring of
   statements that crossed the latency threshold, with their plan, I/O,
-  lock-wait breakdown, and outcome.
+  lock-wait breakdown, and outcome;
+* :class:`~repro.telemetry.statstats.StatementStats` -- per-fingerprint
+  statement aggregates (calls, rows, I/O, lock waits, WAL bytes, and a
+  streaming latency histogram);
+* :class:`~repro.telemetry.repledger.ReplicationLedger` -- measured
+  charge/credit accounting per replication path, feeding the workload
+  monitor's keep/add/drop ranking.
 
 Everything is off-or-cheap by default: tracing is opt-in, metric
 increments are plain dict updates, and drift records are only produced by
@@ -30,7 +36,9 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from repro.telemetry.repledger import ReplicationLedger
 from repro.telemetry.slowlog import SlowQueryLog
+from repro.telemetry.statstats import StatementStats
 from repro.telemetry.tracing import Span, Tracer
 
 
@@ -42,6 +50,8 @@ class Telemetry:
         self.tracer = Tracer()
         self.drift = DriftMonitor()
         self.slowlog = SlowQueryLog(metrics=self.metrics)
+        self.statements = StatementStats(metrics=self.metrics)
+        self.repledger = ReplicationLedger(metrics=self.metrics)
         # Pre-register the query histograms so their help text is set
         # before the runner's get-or-create observe() calls.
         self.metrics.histogram("query_io_pages",
@@ -59,6 +69,8 @@ class Telemetry:
         self.tracer.clear()
         self.drift.reset()
         self.slowlog.clear()
+        self.statements.clear()
+        self.repledger.clear()
 
 
 __all__ = [
@@ -70,7 +82,9 @@ __all__ = [
     "MetricsRegistry",
     "NULL_METRICS",
     "NullMetricsRegistry",
+    "ReplicationLedger",
     "SlowQueryLog",
+    "StatementStats",
     "Span",
     "Telemetry",
     "Tracer",

@@ -1,0 +1,189 @@
+"""The replication effectiveness ledger: measured cost vs. benefit.
+
+The paper's economics are simple: a replicated field pays for itself
+when the functional joins it *avoids* outweigh the propagation writes it
+*incurs*.  The cost model predicts that trade-off; this ledger accounts
+for it on the live workload, one entry per replication path:
+
+* **charges** -- every update propagation through the inverted path.
+  The fan-out rewrite dirties at most ``min(P_source, fanout)`` source
+  pages (the same sorted-probe bound the batched join obeys: one page
+  per distinct object, one write per page), so that is what a
+  propagation is charged; a separate-strategy replica write charges one
+  replica page.
+* **credits** -- every read served from a replicated field.  The
+  counterfactual is the functional join the read avoided, priced with
+  the sorted-probe formula: an ordered sweep over each avoided hop's
+  target file touches ``min(P_hop, rows)`` pages
+  (:func:`repro.costmodel.sortedprobe.sorted_probe_pages`).
+
+Both sides are therefore in the same unit -- model pages under the
+batched executor's physics -- and deliberately *deterministic*: they do
+not depend on buffer-pool residency, so a hot cache cannot make an
+over-replicated field look free.  ``net = credited - charged``; negative
+means the path costs more in propagation than it saves in joins, and
+:meth:`repro.monitor.WorkloadMonitor.candidates` turns that into a
+``drop replicate`` candidate.
+
+Recording is thread-safe and does no I/O of its own: charges and
+credits are computed from page counts the engine already tracks
+in memory.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.costmodel.sortedprobe import sorted_probe_pages
+from repro.telemetry.metrics import NULL_METRICS
+
+
+def counterfactual_hop_pages(db, type_name: str, rows: int) -> float:
+    """Pages one batched join hop into ``type_name``'s file(s) would have
+    read to resolve ``rows`` probes: ``sorted_probe_pages(P_hop, rows)``
+    over every set holding that type (or a subtype).  A type with no set
+    (possible mid-schema-change) contributes 0.
+    """
+    if rows <= 0:
+        return 0.0
+    root = db.registry.root_name(type_name)
+    pages = sum(
+        s.num_pages() for s in db.catalog.sets.values()
+        if db.registry.root_name(s.type_name) == root
+    )
+    return sorted_probe_pages(pages, rows)
+
+
+def counterfactual_join_pages(db, path, rows: int) -> float:
+    """Pages a batched functional join over ``path``'s forward chain
+    would have read to serve ``rows`` source rows: one sorted-probe
+    sweep per hop of the chain."""
+    return sum(counterfactual_hop_pages(db, type_name, rows)
+               for type_name in path.resolved.type_names[1:])
+
+
+class _PathLedger:
+    """The running account of one replication path."""
+
+    __slots__ = ("path", "propagations", "fanout", "charged_pages",
+                 "reads_served", "rows_served", "credited_pages")
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.propagations = 0
+        self.fanout = 0
+        self.charged_pages = 0.0
+        self.reads_served = 0
+        self.rows_served = 0
+        self.credited_pages = 0.0
+
+    @property
+    def net_pages(self) -> float:
+        return self.credited_pages - self.charged_pages
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "propagations": self.propagations,
+            "fanout": self.fanout,
+            "charged_pages": round(self.charged_pages, 3),
+            "reads_served": self.reads_served,
+            "rows_served": self.rows_served,
+            "credited_pages": round(self.credited_pages, 3),
+            "net_pages": round(self.net_pages, 3),
+        }
+
+
+class ReplicationLedger:
+    """Per-path charge/credit accounting for every replication path."""
+
+    def __init__(self, metrics=None) -> None:
+        #: flipping this off makes charge()/credit() no-ops.
+        self.enabled = True
+        self._mutex = threading.Lock()
+        self._entries: dict[str, _PathLedger] = {}
+        m = metrics if metrics is not None else NULL_METRICS
+        self._m_charged = m.counter(
+            "replication_ledger_charged_pages_total",
+            "model pages charged to propagation writes, by path")
+        self._m_credited = m.counter(
+            "replication_ledger_credited_pages_total",
+            "model pages credited to reads served from replicas, by path")
+
+    def _entry(self, path_text: str) -> _PathLedger:
+        entry = self._entries.get(path_text)
+        if entry is None:
+            entry = _PathLedger(path_text)
+            self._entries[path_text] = entry
+        return entry
+
+    # -- recording -----------------------------------------------------------
+
+    def charge(self, path_text: str, pages: float, fanout: int = 0) -> None:
+        """One propagation wrote ``fanout`` objects costing ``pages``."""
+        if not self.enabled:
+            return
+        with self._mutex:
+            entry = self._entry(path_text)
+            entry.propagations += 1
+            entry.fanout += fanout
+            entry.charged_pages += pages
+        if pages:
+            self._m_charged.inc(pages, path=path_text)
+
+    def credit(self, path_text: str, pages: float, rows: int = 0) -> None:
+        """One read served ``rows`` values from a replica, avoiding a
+        join worth ``pages``."""
+        if not self.enabled:
+            return
+        with self._mutex:
+            entry = self._entry(path_text)
+            entry.reads_served += 1
+            entry.rows_served += rows
+            entry.credited_pages += pages
+        if pages:
+            self._m_credited.inc(pages, path=path_text)
+
+    # -- reading -------------------------------------------------------------
+
+    def net(self, path_text: str) -> float:
+        """Credited minus charged pages (0 for an unseen path)."""
+        with self._mutex:
+            entry = self._entries.get(path_text)
+            return entry.net_pages if entry is not None else 0.0
+
+    def entries(self) -> list[dict]:
+        """Every path's account, best net benefit first."""
+        with self._mutex:
+            rows = [e.to_dict() for e in self._entries.values()]
+        rows.sort(key=lambda r: (-r["net_pages"], r["path"]))
+        return rows
+
+    def forget(self, path_text: str) -> None:
+        """Drop one path's account (its ``drop replicate`` ran)."""
+        with self._mutex:
+            self._entries.pop(path_text, None)
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._mutex:
+            self._entries.clear()
+
+    def render_text(self) -> str:
+        """The ``\\ledger`` table, best net benefit first."""
+        rows = self.entries()
+        if not rows:
+            return "(no replication activity recorded)"
+        lines = [f"{'net pages':>11} {'credited':>10} {'reads':>7} "
+                 f"{'charged':>10} {'props':>6} {'fanout':>7}  path"]
+        for r in rows:
+            lines.append(
+                f"{r['net_pages']:+11.1f} {r['credited_pages']:10.1f} "
+                f"{r['reads_served']:7d} {r['charged_pages']:10.1f} "
+                f"{r['propagations']:6d} {r['fanout']:7d}  {r['path']}")
+        lines.append("(positive net: the replica pays for itself; "
+                     "negative: propagation outweighs reads)")
+        return "\n".join(lines)

@@ -64,7 +64,8 @@ class SlowQueryLog:
     def observe(self, statement: str, duration_ms: float, plan: str = "",
                 io: dict | None = None, lock_wait_ms: float = 0.0,
                 lock_waits: list | None = None, session: str = "",
-                outcome: str = "ok", rows: int | None = None) -> bool:
+                outcome: str = "ok", rows: int | None = None,
+                fingerprint: str = "") -> bool:
         """Record one finished statement if it was slow; True if kept."""
         if duration_ms < self.threshold_ms:
             return False
@@ -72,6 +73,7 @@ class SlowQueryLog:
             "ts": round(time.time(), 3),
             "session": session,
             "statement": statement,
+            "fingerprint": fingerprint,
             "plan": plan,
             "duration_ms": round(duration_ms, 3),
             "io": dict(io or {}),
@@ -98,6 +100,32 @@ class SlowQueryLog:
         with self._mutex:
             items = list(self._entries)
         return [dict(e) for e in items[-n:]]
+
+    def grouped(self) -> list[dict]:
+        """Retained records grouped by fingerprint, worst offenders first.
+
+        Records without a fingerprint (pre-upgrade entries) group under
+        their raw statement text instead of listing as duplicates.
+        """
+        groups: dict[str, dict] = {}
+        for e in self.entries():
+            key = e.get("fingerprint") or e["statement"]
+            group = groups.get(key)
+            if group is None:
+                group = {"fingerprint": e.get("fingerprint", ""),
+                         "statement": e["statement"], "count": 0,
+                         "total_ms": 0.0, "max_ms": 0.0, "last_ts": 0.0}
+                groups[key] = group
+            group["count"] += 1
+            group["total_ms"] += e["duration_ms"]
+            group["max_ms"] = max(group["max_ms"], e["duration_ms"])
+            group["last_ts"] = max(group["last_ts"], e["ts"])
+        rows = sorted(groups.values(),
+                      key=lambda g: (-g["total_ms"], g["statement"]))
+        for g in rows:
+            g["total_ms"] = round(g["total_ms"], 3)
+            g["max_ms"] = round(g["max_ms"], 3)
+        return rows
 
     def __len__(self) -> int:
         with self._mutex:

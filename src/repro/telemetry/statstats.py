@@ -1,0 +1,285 @@
+"""pg_stat_statements-style statement fingerprint analytics.
+
+A *fingerprint* identifies the shape of a statement: literals are
+stripped (every quoted string and numeric constant becomes ``?``),
+whitespace collapses, identifiers are kept verbatim.  Two executions of
+``replace (Dept.name = "x") where Dept.budget = 100`` and
+``... = "y") where ... = 101`` therefore aggregate under one
+fingerprint, while ``retrieve (Emp.name)`` and ``retrieve (Emp.salary)``
+stay distinct -- which fields a statement touches *is* its shape.
+
+Per fingerprint the aggregator accumulates calls, errors, rows,
+physical reads/writes, lock-wait milliseconds, and WAL bytes, and tracks
+latency in a streaming **log-bucket histogram**: geometric bucket bounds
+(each double the last) whose counts yield p50/p95/p99 by interpolation
+without ever storing samples, so a fingerprint's footprint is a fixed
+few hundred bytes no matter how many calls it sees.
+
+The table is bounded (``capacity`` distinct fingerprints); when a new
+shape arrives at a full table, the least-called entry is evicted --
+the pg_stat_statements dealloc policy.  Recording is thread-safe and
+does no I/O: every input is a number the caller already had.
+
+The aggregator also publishes into the shared metrics registry
+(``statement_calls_total`` / ``statement_rows_total`` /
+``statement_errors_total`` counters and the ``statement_latency_ms``
+histogram, all labelled by fingerprint) so ``/metrics`` exposes the same
+numbers Prometheus-style.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+import threading
+import time
+
+from repro.telemetry.metrics import NULL_METRICS
+
+#: bounded distinct fingerprints (eviction beyond this).
+DEFAULT_CAPACITY = 256
+
+#: log-bucket latency bounds in milliseconds: 0.05 ms doubling up to
+#: ~52 s.  Geometric spacing keeps relative quantile error bounded
+#: (one bucket = at most 2x) across six decades of latency.
+LATENCY_BUCKETS_MS = tuple(0.05 * (2 ** i) for i in range(21))
+
+_STRING_RE = re.compile(r"'(?:[^'\\]|\\.)*'|\"(?:[^\"\\]|\\.)*\"")
+#: a number not preceded by an identifier char or a dot (so ``Emp1`` and
+#: ``Emp.dept`` survive while ``= 100`` and ``> 10.5`` are stripped).
+_NUMBER_RE = re.compile(r"(?<![\w.])-?\d+(?:\.\d+)?")
+
+
+def normalize_statement(text: str) -> str:
+    """The fingerprint's normal form: literals stripped, identifiers kept."""
+    collapsed = " ".join(text.split())
+    collapsed = _STRING_RE.sub("?", collapsed)
+    return _NUMBER_RE.sub("?", collapsed)
+
+
+def fingerprint(text: str) -> tuple[str, str]:
+    """``(fingerprint id, normalized text)`` for one statement."""
+    normalized = normalize_statement(text)
+    digest = hashlib.sha1(normalized.encode("utf-8")).hexdigest()[:12]
+    return digest, normalized
+
+
+class LogBucketHistogram:
+    """Streaming quantiles over geometric buckets; no samples stored."""
+
+    __slots__ = ("counts", "total", "sum")
+
+    bounds = LATENCY_BUCKETS_MS
+
+    def __init__(self) -> None:
+        #: per-bucket (non-cumulative) counts; one extra slot for +Inf.
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += 1
+        self.sum += value
+
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by interpolating within its bucket.
+
+        Values beyond the last bound report the last bound (the estimate
+        saturates rather than extrapolating into the unbounded bucket).
+        """
+        if self.total == 0:
+            return 0.0
+        target = q * self.total
+        seen = 0
+        for i, bound in enumerate(self.bounds):
+            count = self.counts[i]
+            if count and seen + count >= target:
+                lo = self.bounds[i - 1] if i else 0.0
+                fraction = (target - seen) / count
+                return lo + (bound - lo) * fraction
+            seen += count
+        return self.bounds[-1]
+
+    def to_dict(self) -> dict:
+        return {"bounds_ms": list(self.bounds), "counts": list(self.counts),
+                "count": self.total, "sum_ms": round(self.sum, 3)}
+
+
+class _Entry:
+    """The running aggregate of one fingerprint."""
+
+    __slots__ = ("fingerprint", "statement", "calls", "errors", "rows",
+                 "physical_reads", "physical_writes", "lock_wait_ms",
+                 "wal_bytes", "latency", "last_ts")
+
+    def __init__(self, fp: str, statement: str) -> None:
+        self.fingerprint = fp
+        self.statement = statement
+        self.calls = 0
+        self.errors = 0
+        self.rows = 0
+        self.physical_reads = 0
+        self.physical_writes = 0
+        self.lock_wait_ms = 0.0
+        self.wal_bytes = 0
+        self.latency = LogBucketHistogram()
+        self.last_ts = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "statement": self.statement,
+            "calls": self.calls,
+            "errors": self.errors,
+            "rows": self.rows,
+            "physical_reads": self.physical_reads,
+            "physical_writes": self.physical_writes,
+            "io_pages": self.physical_reads + self.physical_writes,
+            "lock_wait_ms": round(self.lock_wait_ms, 3),
+            "wal_bytes": self.wal_bytes,
+            "mean_ms": round(self.latency.mean(), 3),
+            "p50_ms": round(self.latency.quantile(0.50), 3),
+            "p95_ms": round(self.latency.quantile(0.95), 3),
+            "p99_ms": round(self.latency.quantile(0.99), 3),
+            "last_ts": round(self.last_ts, 3),
+        }
+
+
+def _io_pages(io) -> tuple[int, int]:
+    """``(reads, writes)`` from an IOSnapshot-like object or a wire dict."""
+    if io is None:
+        return 0, 0
+    if isinstance(io, dict):
+        return int(io.get("reads", 0)), int(io.get("writes", 0))
+    return int(getattr(io, "physical_reads", 0)), \
+        int(getattr(io, "physical_writes", 0))
+
+
+class StatementStats:
+    """Bounded per-fingerprint statement statistics."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 metrics=None) -> None:
+        self.capacity = max(1, capacity)
+        #: flipping this off makes observe() a no-op (overhead benches).
+        self.enabled = True
+        self.evicted = 0
+        self._mutex = threading.Lock()
+        self._entries: dict[str, _Entry] = {}
+        m = metrics if metrics is not None else NULL_METRICS
+        self._m_calls = m.counter(
+            "statement_calls_total", "statement executions by fingerprint")
+        self._m_errors = m.counter(
+            "statement_errors_total", "failed statements by fingerprint")
+        self._m_rows = m.counter(
+            "statement_rows_total", "rows produced by fingerprint")
+        self._m_latency = m.histogram(
+            "statement_latency_ms", "statement latency by fingerprint",
+            buckets=LATENCY_BUCKETS_MS)
+
+    # -- recording -----------------------------------------------------------
+
+    def observe(self, statement: str, duration_ms: float, io=None,
+                rows: int | None = None, lock_wait_ms: float = 0.0,
+                wal_bytes: int | float = 0,
+                outcome: str = "ok") -> str | None:
+        """Fold one finished statement in; returns its fingerprint id."""
+        if not self.enabled:
+            return None
+        fp, normalized = fingerprint(statement)
+        reads, writes = _io_pages(io)
+        with self._mutex:
+            entry = self._entries.get(fp)
+            if entry is None:
+                if len(self._entries) >= self.capacity:
+                    victim = min(self._entries.values(),
+                                 key=lambda e: (e.calls, e.last_ts))
+                    del self._entries[victim.fingerprint]
+                    self.evicted += 1
+                entry = _Entry(fp, normalized)
+                self._entries[fp] = entry
+            entry.calls += 1
+            if outcome != "ok":
+                entry.errors += 1
+            if rows is not None:
+                entry.rows += rows
+            entry.physical_reads += reads
+            entry.physical_writes += writes
+            entry.lock_wait_ms += lock_wait_ms
+            entry.wal_bytes += int(wal_bytes)
+            entry.latency.observe(duration_ms)
+            entry.last_ts = time.time()
+        self._m_calls.inc(fingerprint=fp)
+        if outcome != "ok":
+            self._m_errors.inc(fingerprint=fp)
+        if rows:
+            self._m_rows.inc(rows, fingerprint=fp)
+        self._m_latency.observe(duration_ms, fingerprint=fp)
+        return fp
+
+    # -- reading -------------------------------------------------------------
+
+    def entries(self, order_by: str = "calls",
+                limit: int | None = None) -> list[dict]:
+        """Aggregates as dicts, largest ``order_by`` first."""
+        with self._mutex:
+            rows = [e.to_dict() for e in self._entries.values()]
+        rows.sort(key=lambda r: (-r.get(order_by, 0), r["fingerprint"]))
+        return rows[:limit] if limit else rows
+
+    def top(self, n: int = 5, order_by: str = "calls") -> list[dict]:
+        return self.entries(order_by=order_by, limit=n)
+
+    def get(self, fp: str) -> dict | None:
+        with self._mutex:
+            entry = self._entries.get(fp)
+            return entry.to_dict() if entry is not None else None
+
+    def snapshot(self) -> dict:
+        """The wire/HTTP document: totals plus every tracked entry."""
+        rows = self.entries()
+        return {
+            "distinct": len(rows),
+            "capacity": self.capacity,
+            "evicted": self.evicted,
+            "calls": sum(r["calls"] for r in rows),
+            "entries": rows,
+        }
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._mutex:
+            self._entries.clear()
+        self.evicted = 0
+
+    def render_text(self) -> str:
+        """The ``\\fingerprints`` table, most-called first."""
+        rows = self.entries()
+        if not rows:
+            return "(no statements recorded)"
+        lines = [f"{'calls':>7} {'errs':>5} {'rows':>8} {'io':>7} "
+                 f"{'lock ms':>9} {'wal B':>9} {'p50':>8} {'p95':>8} "
+                 f"{'p99':>8}  statement"]
+        for r in rows:
+            lines.append(
+                f"{r['calls']:7d} {r['errors']:5d} {r['rows']:8d} "
+                f"{r['io_pages']:7d} {r['lock_wait_ms']:9.1f} "
+                f"{r['wal_bytes']:9d} {r['p50_ms']:8.2f} {r['p95_ms']:8.2f} "
+                f"{r['p99_ms']:8.2f}  [{r['fingerprint']}] "
+                f"{r['statement'][:70]}")
+        if self.evicted:
+            lines.append(f"({self.evicted} fingerprint(s) evicted; "
+                         f"capacity {self.capacity})")
+        return "\n".join(lines)

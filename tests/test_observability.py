@@ -534,3 +534,68 @@ def test_connected_shell_trace_dump_to_file(server, tmp_path):
         assert f"wrote {len(spans)} span(s)" in out.getvalue()
     finally:
         shell.close()
+
+
+# ---------------------------------------------------------------------------
+# /health doctor TTL
+# ---------------------------------------------------------------------------
+
+
+def _unhealthy_report():
+    from types import SimpleNamespace
+
+    return SimpleNamespace(healthy=False, findings=["page checksum bad"])
+
+
+def test_health_doctor_verdict_refreshes_after_ttl(company, sidecar, server):
+    import time as _time
+
+    server.health_ttl = 0.05
+    base = f"http://{sidecar.host}:{sidecar.port}"
+    status, __, body = _get(base, "/health")
+    assert status == 200
+    health = json.loads(body)
+    assert health["doctor_clean"] is True
+    assert health["health_ttl_seconds"] == 0.05
+    # the database goes bad mid-run
+    company["db"].doctor = _unhealthy_report
+    status = 200
+    deadline = _time.time() + 5.0
+    while _time.time() < deadline:
+        _time.sleep(0.06)
+        try:
+            status, __, body = _get(base, "/health")
+        except urllib.error.HTTPError as exc:
+            status, body = exc.code, exc.read().decode("utf-8")
+        if status == 503:
+            break
+    health = json.loads(body)
+    assert status == 503
+    assert health["status"] == "needs_recovery"
+    assert health["doctor_clean"] is False
+    assert health["doctor_findings"] == 1
+    # the start-of-run snapshot is immutable history
+    assert health["doctor_clean_at_start"] is True
+
+
+def test_health_ttl_zero_means_start_only(company, server):
+    server.health_ttl = 0.0
+    company["db"].doctor = _unhealthy_report
+    health = server.health()
+    assert health["status"] == "ok"
+    assert health["doctor_clean"] is True
+
+
+def test_health_ttl_caches_within_window(company, server):
+    calls = [0]
+    real_doctor = company["db"].doctor
+
+    def counting_doctor():
+        calls[0] += 1
+        return real_doctor()
+
+    server.health_ttl = 3600.0
+    company["db"].doctor = counting_doctor
+    for __ in range(5):
+        assert server.health()["status"] == "ok"
+    assert calls[0] == 0  # the start-of-run verdict is still fresh
