@@ -1,0 +1,171 @@
+"""Read-replica scaling, staleness lag, and promotion time.
+
+Drives a live primary/follower topology over TCP and records into
+``BENCH_replication.json``:
+
+* read throughput as replicas are added (0 / 1 / 2 followers serving a
+  read-only fan-out through :class:`RoutedClient`);
+* follower lag (statements behind) sampled under a write-heavy mix,
+  plus the time to converge once the writes stop;
+* failover promotion time (kill the primary, promote the most
+  caught-up follower via :meth:`Database.recover`).
+
+Numbers here are wall-clock, not simulated I/O: they characterise the
+server layer (sockets, long-polls, the apply loop), not the paper's
+cost model.
+"""
+
+import json
+import threading
+import time
+
+from repro.schema.database import Database
+from repro.server.client import RoutedClient, connect
+from repro.server.replica import Replica, ReplicaServer
+from repro.server.service import Server
+
+from benchmarks.conftest import save_result
+
+_EMPS = 32
+_READERS = 4
+_READ_SECONDS = 1.0
+_WRITE_SECONDS = 1.5
+
+SETUP_DDL = [
+    "define type DEPT (name: char[16], budget: int)",
+    "define type EMP (name: char[16], salary: int, dept: ref DEPT)",
+    "create Dept: {own ref DEPT}",
+    "create Emp: {own ref EMP}",
+    "replicate Emp.dept.name",
+]
+
+
+def _start_topology(followers: int):
+    primary = Server(Database(wal=True), port=0).start()
+    with connect(*primary.address) as client:
+        for text in SETUP_DDL:
+            client.execute(text)
+    with primary.sessions.latch:
+        db = primary.db
+        depts = [db.insert("Dept", {"name": f"dept{i}", "budget": 100 + i})
+                 for i in range(4)]
+        for i in range(_EMPS):
+            db.insert("Emp", {"name": f"emp{i}", "salary": 1000 + i,
+                              "dept": depts[i % 4]})
+    servers = [
+        ReplicaServer(
+            Replica(primary.address, name=f"bench-{i}", poll_wait=0.05,
+                    min_backoff=0.01, max_backoff=0.2, jitter_seed=i),
+            port=0).start()
+        for i in range(followers)
+    ]
+    _wait_converged(primary, servers)
+    return primary, servers
+
+
+def _wait_converged(primary, servers, timeout: float = 10.0) -> float:
+    deadline = time.perf_counter() + timeout
+    started = time.perf_counter()
+    target = primary.hub.log.last_lsn
+    while time.perf_counter() < deadline:
+        if all(s.replica.applied_lsn >= target for s in servers):
+            return time.perf_counter() - started
+        time.sleep(0.01)
+    raise AssertionError("followers failed to converge")
+
+
+def _read_throughput(primary, servers) -> float:
+    replicas = [s.address for s in servers]
+    stop = threading.Event()
+    counts = [0] * _READERS
+
+    def reader(slot):
+        with RoutedClient(primary.address, replicas=replicas or None) as c:
+            while not stop.is_set():
+                c.execute("retrieve (Emp.name, Emp.dept.name)")
+                counts[slot] += 1
+
+    threads = [threading.Thread(target=reader, args=(i,), daemon=True)
+               for i in range(_READERS)]
+    started = time.perf_counter()
+    for t in threads:
+        t.start()
+    time.sleep(_READ_SECONDS)
+    stop.set()
+    for t in threads:
+        t.join(timeout=10.0)
+    return sum(counts) / (time.perf_counter() - started)
+
+
+def test_replication_scaling_lag_and_promotion(results_dir):
+    document = {"readers": _READERS, "read_seconds": _READ_SECONDS,
+                "write_seconds": _WRITE_SECONDS, "throughput": []}
+
+    # -- read throughput vs replica count --------------------------------
+    for count in (0, 1, 2):
+        primary, servers = _start_topology(count)
+        try:
+            rate = _read_throughput(primary, servers)
+            document["throughput"].append(
+                {"replicas": count, "reads_per_second": round(rate, 1)})
+        finally:
+            for s in servers:
+                s.die()
+            primary.die()
+
+    # -- lag under a write-heavy mix, then convergence and promotion -----
+    primary, servers = _start_topology(2)
+    try:
+        lag_samples: list[int] = []
+        stop = threading.Event()
+
+        def sampler():
+            while not stop.is_set():
+                lag_samples.append(max(s.replica.lag for s in servers))
+                time.sleep(0.02)
+
+        sampling = threading.Thread(target=sampler, daemon=True)
+        sampling.start()
+        writes = 0
+        deadline = time.perf_counter() + _WRITE_SECONDS
+        while time.perf_counter() < deadline:
+            with primary.sessions.latch:
+                primary.db.insert(
+                    "Emp", {"name": f"w{writes}", "salary": writes,
+                            "dept": None})
+            writes += 1
+        stop.set()
+        sampling.join(timeout=5.0)
+        converge_s = _wait_converged(primary, servers)
+        document["write_mix"] = {
+            "writes": writes,
+            "writes_per_second": round(writes / _WRITE_SECONDS, 1),
+            "max_lag_statements": max(lag_samples, default=0),
+            "mean_lag_statements": round(
+                sum(lag_samples) / len(lag_samples), 2) if lag_samples else 0,
+            "converge_seconds_after_stop": round(converge_s, 4),
+        }
+
+        primary_lsn = primary.hub.log.last_lsn
+        primary.die()
+        best = max(servers, key=lambda s: s.replica.applied_lsn)
+        promotion = best.replica.promote()
+        document["promotion"] = {
+            "applied_lsn": promotion["applied_lsn"],
+            "primary_last_lsn": primary_lsn,
+            "seconds": promotion["seconds"],
+        }
+        assert promotion["applied_lsn"] == primary_lsn
+    finally:
+        for s in servers:
+            s.die()
+        primary.die()
+
+    # adding replicas must not collapse read throughput; the exact gain
+    # is machine-dependent, so the bar is generous
+    base = document["throughput"][0]["reads_per_second"]
+    with_two = document["throughput"][2]["reads_per_second"]
+    assert with_two > base * 0.5
+    assert document["promotion"]["seconds"] < 10.0
+    save_result(results_dir, "BENCH_replication.json",
+                json.dumps(document, indent=2))

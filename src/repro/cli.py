@@ -67,7 +67,8 @@ DEFAULT_ROW_LIMIT = 50
 #: ``trace`` is deliberately absent: connected tracing is client-side,
 #: so the dump shows the stitched client->server->engine tree.
 _FORWARDED_META = ("describe", "stats", "monitor", "fingerprints", "ledger",
-                   "verify", "doctor", "recover", "cold", "set")
+                   "verify", "doctor", "recover", "cold", "set",
+                   "replication")
 
 
 def render_result(result, limit: int | None = DEFAULT_ROW_LIMIT) -> str:
@@ -189,6 +190,10 @@ class Shell:
         elif self.client is not None:
             if command == "trace":
                 self._run_client_trace(args)
+            elif command == "promote":
+                import json as _json
+
+                self.write(_json.dumps(self.client.promote(), indent=2))
             elif command in _FORWARDED_META:
                 self.write(self.client.meta(command, *args))
             else:

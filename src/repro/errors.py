@@ -182,6 +182,30 @@ class DeadlockError(LockError):
     """This transaction was chosen as the victim of a lock cycle."""
 
 
+class ReplicationLinkError(ServerError):
+    """The replication link between a primary and a follower failed
+    (subscription rejected, fetch timed out, stream out of order)."""
+
+
+class ReplicaStaleError(ServerError):
+    """A read was rejected because the replica's applied LSN lags the
+    primary by more than the configured staleness bound."""
+
+    def __init__(self, message: str, lag: int = 0, bound: int = 0) -> None:
+        super().__init__(message)
+        self.lag = lag
+        self.bound = bound
+
+
+class ReadOnlyReplicaError(ServerError):
+    """A write statement was sent to an un-promoted read replica."""
+
+
+class ReplicaResyncError(ServerError):
+    """A follower asked for LSNs the primary's replication log no longer
+    retains; the follower must be re-seeded from a fresh snapshot."""
+
+
 class RemoteError(ServerError):
     """A structured error returned by a server to a client.
 

@@ -114,6 +114,41 @@ def run_doctor(db, repair: bool = False) -> DoctorReport:
     return report
 
 
+def diff_databases(left, right, left_name: str = "left",
+                   right_name: str = "right") -> list[str]:
+    """Byte-level disk comparison of two databases.
+
+    Flushes both buffer pools and compares the simulated disks file by
+    file, page by page.  Returns human-readable difference strings; an
+    empty list means the two disks are byte-identical.  The failover
+    harness uses this as its zero-loss oracle: a promoted follower must
+    be indistinguishable on disk from a primary that executed exactly
+    the acknowledged statements.
+    """
+    diffs: list[str] = []
+    for db in (left, right):
+        db.storage.pool.flush_all()
+    ldisk, rdisk = left.storage.disk, right.storage.disk
+    lfiles, rfiles = ldisk.file_ids(), rdisk.file_ids()
+    if lfiles != rfiles:
+        only_l = sorted(set(lfiles) - set(rfiles))
+        only_r = sorted(set(rfiles) - set(lfiles))
+        if only_l:
+            diffs.append(f"files only in {left_name}: {only_l}")
+        if only_r:
+            diffs.append(f"files only in {right_name}: {only_r}")
+    for fid in sorted(set(lfiles) & set(rfiles)):
+        lp, rp = ldisk.num_pages(fid), rdisk.num_pages(fid)
+        if lp != rp:
+            diffs.append(
+                f"file {fid}: {left_name} has {lp} page(s), "
+                f"{right_name} has {rp}")
+        for page_no in range(min(lp, rp)):
+            if ldisk.peek_page(fid, page_no) != rdisk.peek_page(fid, page_no):
+                diffs.append(f"file {fid} page {page_no}: images differ")
+    return diffs
+
+
 # ---------------------------------------------------------------------------
 # structural sweep
 # ---------------------------------------------------------------------------

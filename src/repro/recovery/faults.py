@@ -28,7 +28,8 @@ import random
 from repro.errors import DiskFault
 from repro.telemetry.metrics import NULL_METRICS
 
-__all__ = ["MAX_READ_RETRIES", "DiskFault", "FaultInjector"]
+__all__ = ["MAX_READ_RETRIES", "DiskFault", "FaultInjector",
+           "NetFaultInjector"]
 
 
 #: Transient read glitches are retried at most this many times before the
@@ -146,3 +147,77 @@ class FaultInjector:
             self._m_retries.inc()
             self._m_backoff.inc(backoff)
             backoff *= 2
+
+
+class NetFaultInjector:
+    """Deterministic frame-level fault schedule for a replication link.
+
+    The disk injector above decides the fate of page writes; this one
+    decides the fate of *wire frames* on the primary->follower stream.
+    Four failure modes cover what a flaky network does to framed traffic:
+
+    * ``drop``      -- the frame vanishes (the reader waits until its
+      read timeout fires and reconnects);
+    * ``delay``     -- the frame arrives late (``delay_seconds``);
+    * ``duplicate`` -- the frame is delivered twice (the consumer must
+      dedupe idempotently, e.g. by LSN / response id);
+    * ``truncate``  -- only a prefix arrives and the connection dies
+      mid-frame (the CRC/length framing must reject it).
+
+    Like :class:`FaultInjector` everything is deterministic: decisions
+    come from a private seeded RNG, and an explicit ``script`` of
+    actions (consumed first, before the RNG rates apply) lets a test pin
+    the exact frame a fault hits -- a failing matrix entry replays
+    identically.
+    """
+
+    ACTIONS = ("ok", "drop", "delay", "duplicate", "truncate")
+
+    def __init__(self, seed: int = 0, drop: float = 0.0, delay: float = 0.0,
+                 duplicate: float = 0.0, truncate: float = 0.0,
+                 delay_seconds: float = 0.01, script=None,
+                 metrics=None) -> None:
+        metrics = metrics if metrics is not None else NULL_METRICS
+        for name, rate in (("drop", drop), ("delay", delay),
+                           ("duplicate", duplicate), ("truncate", truncate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} rate must be in [0, 1]")
+        if drop + delay + duplicate + truncate > 1.0:
+            raise ValueError("fault rates must sum to at most 1")
+        self._m_faults = metrics.counter(
+            "net_faults_injected_total",
+            "replication-link frame faults injected, by kind")
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._rates = (("drop", drop), ("delay", delay),
+                       ("duplicate", duplicate), ("truncate", truncate))
+        self.delay_seconds = delay_seconds
+        self._script = list(script or [])
+        #: frames seen / faulted, for assertions and the chaos soak
+        self.frames_seen = 0
+        self.faults_injected = 0
+
+    @property
+    def armed(self) -> bool:
+        return bool(self._script) or any(r > 0.0 for __, r in self._rates)
+
+    def plan_frame(self) -> str:
+        """Decide the fate of the next frame; one of :data:`ACTIONS`."""
+        self.frames_seen += 1
+        if self._script:
+            action = self._script.pop(0)
+            if action not in self.ACTIONS:
+                raise ValueError(f"unknown net-fault action {action!r}")
+        else:
+            draw = self._rng.random()
+            action = "ok"
+            edge = 0.0
+            for kind, rate in self._rates:
+                edge += rate
+                if draw < edge:
+                    action = kind
+                    break
+        if action != "ok":
+            self.faults_injected += 1
+            self._m_faults.inc(kind=action)
+        return action

@@ -229,6 +229,16 @@ class RecoveryManager:
 
     # -- cache refresh -------------------------------------------------------
 
+    def refresh_caches(self, file_ids: set | None = None) -> None:
+        """Public entry point for out-of-band page restores.
+
+        A replication follower applies shipped after-images straight to
+        the disk (same redo primitives as :meth:`recover`), so it must
+        rebuild the derived in-memory state of the touched files the same
+        way recovery does.  ``file_ids=None`` refreshes everything.
+        """
+        self._refresh_session_caches(file_ids)
+
     def _refresh_session_caches(self, file_ids: set | None) -> None:
         """Rebuild in-memory state derived from pages that just changed.
 

@@ -98,7 +98,17 @@ class WalRecord:
 
     @classmethod
     def decode(cls, data: bytes, offset: int = 0) -> tuple["WalRecord", int]:
-        """Decode one framed record at ``offset``; returns (record, next)."""
+        """Decode one framed record at ``offset``; returns (record, next).
+
+        Raises :class:`WalError` -- and only :class:`WalError` -- on *any*
+        malformed input: truncated frames, bad CRCs, unknown record types,
+        short or oversized payloads, undecodable notes.  Records now also
+        arrive off the replication wire, so a struct/Unicode exception
+        escaping here would let one corrupted frame kill a follower's
+        apply loop instead of tripping its reconnect path.
+        """
+        if offset < 0 or offset > len(data):
+            raise WalError("WAL record offset out of range")
         if offset + _FRAME.size > len(data):
             raise WalError("truncated WAL record frame")
         length, crc = _FRAME.unpack_from(data, offset)
@@ -120,8 +130,13 @@ class WalRecord:
         try:
             if rtype is WalRecordType.BEGIN:
                 (note_len,) = _NOTE_LEN.unpack_from(body, pos)
-                note = body[pos + _NOTE_LEN.size:
-                            pos + _NOTE_LEN.size + note_len].decode("utf-8")
+                end = pos + _NOTE_LEN.size + note_len
+                if end != len(body):
+                    raise WalError(
+                        f"BEGIN note length {note_len} disagrees with the "
+                        f"record body ({len(body) - pos - _NOTE_LEN.size} "
+                        f"byte(s) present)")
+                note = body[pos + _NOTE_LEN.size:end].decode("utf-8")
             elif rtype in (WalRecordType.PAGE_BEFORE, WalRecordType.PAGE_AFTER):
                 file_id, page_no = _PAGE_HEAD.unpack_from(body, pos)
                 image = body[pos + _PAGE_HEAD.size:]
@@ -129,6 +144,11 @@ class WalRecord:
                     raise WalError("WAL page image has the wrong size")
             elif rtype is WalRecordType.ALLOC:
                 file_id, page_no = _PAGE_HEAD.unpack_from(body, pos)
+                if pos + _PAGE_HEAD.size != len(body):
+                    raise WalError("ALLOC record carries trailing bytes")
+            elif pos != len(body):
+                raise WalError(
+                    f"{rtype.name} record carries trailing bytes")
         except (struct.error, UnicodeDecodeError) as exc:
             raise WalError(f"malformed WAL record payload: {exc}") from None
         return cls(rtype, stmt_id, file_id, page_no, image, note), start + length
@@ -164,6 +184,18 @@ class WriteAheadLog:
         self.records: list[WalRecord] = []
         self._flushed = 0  # records known durable
         self._next_stmt_id = 1
+        #: durable log-sequence number: committed statements since this
+        #: log was created.  Monotonic across :meth:`checkpoint` (which
+        #: truncates ``records`` but never rewinds the stream position),
+        #: so replication consumers can address "the N-th committed
+        #: statement" forever.
+        self.commit_lsn = 0
+        #: ``cb(lsn, note, records)`` called after each commit becomes
+        #: durable, with the statement's full record tuple -- the tail
+        #: stream replication ships to followers.  Listeners run inside
+        #: the committing thread (under the engine latch on a served
+        #: database), so entries are observed in commit order.
+        self.commit_listeners: list = []
         # per-statement state (single-writer: at most one active statement)
         self._active: int | None = None
         self._stmt_start = 0
@@ -213,7 +245,16 @@ class WriteAheadLog:
                                    key[0], key[1], bytes(read_image(key))))
         self._append(WalRecord(WalRecordType.COMMIT, stmt_id))
         self.flush()
+        shipped = tuple(self.records[self._stmt_start:])
+        mutated = any(r.type in (WalRecordType.PAGE_AFTER, WalRecordType.ALLOC)
+                      for r in shipped)
         self._end_statement()
+        if mutated:
+            self.commit_lsn += 1
+            note = shipped[0].note if shipped and \
+                shipped[0].type is WalRecordType.BEGIN else ""
+            for listener in list(self.commit_listeners):
+                listener(self.commit_lsn, note, shipped)
 
     def abort(self) -> tuple[list[WalRecord], list[WalRecord]]:
         """Roll the active statement out of the log (live rollback).

@@ -86,6 +86,12 @@ class Database:
         self.join_mode = join_mode
         #: rows drained per sort-and-dedupe batch in batched mode
         self.join_batch_rows = max(1, join_batch_rows)
+        #: ``cb(text, next_file_id)`` fired after each successful *text*
+        #: DDL statement (:func:`repro.schema.parser.execute_ddl`), with
+        #: the file-id cursor as it stood before the DDL ran.  DDL runs
+        #: outside WAL statement scope, so the replication hub ships it
+        #: logically through this hook instead of as page images.
+        self.ddl_listeners: list = []
         self._next_index_id = 1
 
     @property

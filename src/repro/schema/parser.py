@@ -75,8 +75,22 @@ def parse_type_definition(text: str) -> TypeDefinition:
 
 
 def execute_ddl(db: Database, text: str) -> None:
-    """Execute one DDL statement against ``db``."""
+    """Execute one DDL statement against ``db``.
+
+    Listeners in ``db.ddl_listeners`` (the replication hub) are called
+    with the statement text and the file-id cursor as it stood *before*
+    the DDL ran -- a follower re-executing the statement adopts that
+    cursor first, so the files the DDL creates get identical ids on both
+    engines.
+    """
     body = text.strip().rstrip(";")
+    next_file_id = db.storage.disk.next_file_id
+    _apply_ddl(db, body)
+    for listener in list(db.ddl_listeners):
+        listener(body, next_file_id)
+
+
+def _apply_ddl(db: Database, body: str) -> None:
     if body.startswith("define"):
         db.define_type(parse_type_definition(body))
         return
@@ -115,7 +129,7 @@ def execute_ddl(db: Database, text: str) -> None:
         else:
             db.drop_set(target)
         return
-    raise ParseError(f"unrecognised DDL statement: {text!r}")
+    raise ParseError(f"unrecognised DDL statement: {body!r}")
 
 
 _DDL_STARTERS = ("define", "create", "replicate", "build", "drop")

@@ -24,9 +24,10 @@ in-process session.  This package turns it into a multi-client database:
   in a connected shell).
 """
 
-from repro.server.client import Client, ClientResult, connect
+from repro.server.client import Client, ClientResult, RoutedClient, connect
 from repro.server.httpexpo import MetricsHTTPServer
 from repro.server.locks import LockFootprint, LockManager, footprint_for_statement
+from repro.server.replog import ReplicationHub, ReplicationLog
 from repro.server.service import Server
 from repro.server.session import Session, SessionManager
 
@@ -37,6 +38,9 @@ __all__ = [
     "LockFootprint",
     "LockManager",
     "MetricsHTTPServer",
+    "ReplicationHub",
+    "ReplicationLog",
+    "RoutedClient",
     "footprint_for_statement",
     "Server",
     "Session",

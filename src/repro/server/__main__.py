@@ -62,6 +62,24 @@ def main(argv: list[str] | None = None) -> int:
                         default=None,
                         help="default functional-join strategy (sessions "
                              "may override with \\set joinmode)")
+    parser.add_argument("--no-replication", action="store_true",
+                        help="do not record a replication log (followers "
+                             "cannot subscribe)")
+    parser.add_argument("--sync-replicas", type=int, default=0, metavar="K",
+                        help="acknowledge a write only after K followers "
+                             "have applied it (0: fully asynchronous)")
+    parser.add_argument("--sync-timeout", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="give up on the sync-replica quorum after this "
+                             "long (counted, then acked anyway)")
+    parser.add_argument("--repl-log-entries", type=int, default=10_000,
+                        metavar="N",
+                        help="committed statements retained for follower "
+                             "catch-up (older followers must re-seed)")
+    parser.add_argument("--drain-timeout", type=float, default=10.0,
+                        metavar="SECONDS",
+                        help="graceful-shutdown bound on flushing the WAL "
+                             "tail to connected followers")
     args = parser.parse_args(argv)
 
     try:
@@ -78,7 +96,12 @@ def main(argv: list[str] | None = None) -> int:
                     max_connections=args.max_connections,
                     workers=args.workers, queue_depth=args.queue_depth,
                     lock_timeout=args.lock_timeout,
-                    health_ttl=args.health_ttl)
+                    health_ttl=args.health_ttl,
+                    replication=not args.no_replication,
+                    sync_replicas=args.sync_replicas,
+                    sync_timeout=args.sync_timeout,
+                    repl_log_entries=args.repl_log_entries,
+                    drain_timeout=args.drain_timeout)
     server.start()
     print(f"listening on {server.host}:{server.port}", flush=True)
     sidecar = None

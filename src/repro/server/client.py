@@ -23,10 +23,24 @@ stitches the server's span tree under a local ``client_request`` root
 (span id 0); the difference between the root's wall time and the server
 ``statement`` span is wire + queue time.  Stitched traces are kept on
 ``client.traces`` (bounded) and the freshest on ``client.last_trace``.
+
+Resilience: ``connect`` takes separate ``connect_timeout`` and
+``read_timeout`` bounds, and a transient connection drop (reset, mid-
+frame close, read timeout) is retried **once** after a short backoff --
+but only for requests that are safe to repeat: reads (``retrieve`` /
+``explain``), meta commands, and the status verbs.  Writes, DDL, and
+anything inside an explicit transaction are never resent (the server may
+have applied them before the drop); those surface the original error.
+
+Read routing: :class:`RoutedClient` fans reads out over replicas
+round-robin and transparently falls back to the primary when a replica
+answers ``replica_stale`` / ``read_only_replica`` or drops the
+connection; writes always go to the primary.
 """
 
 from __future__ import annotations
 
+import itertools
 import secrets
 import socket
 import time
@@ -77,14 +91,33 @@ class ClientResult:
         )
 
 
+#: statement starters a retry can safely repeat (reads only).
+_RETRYABLE_STATEMENTS = ("retrieve", "explain")
+#: request kinds a retry can safely repeat.
+_RETRYABLE_KINDS = ("ping", "stats", "statements", "meta", "repl_status",
+                    "promote")
+
+
 class Client:
     """One blocking connection to a repro server."""
 
-    def __init__(self, sock: socket.socket, session_id: int) -> None:
+    def __init__(self, sock: socket.socket, session_id: int,
+                 host: str | None = None, port: int | None = None,
+                 connect_timeout: float | None = None,
+                 read_timeout: float | None = None,
+                 retry: bool = True, retry_backoff: float = 0.2) -> None:
         self._sock = sock
         self.session_id = session_id
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.read_timeout = read_timeout
+        #: retry transient connection drops once (idempotent requests only)
+        self.retry = retry
+        self.retry_backoff = retry_backoff
         self._next_id = 0
         self._closed = False
+        self._in_txn = False
         #: when True every execute() mints and propagates a trace_id.
         self.trace_enabled = False
         #: stitched traces, oldest first; each is {"trace_id", "spans"}.
@@ -100,6 +133,18 @@ class Client:
     def _request(self, kind: str, **fields) -> dict:
         if self._closed:
             raise ProtocolError("client is closed")
+        try:
+            return self._roundtrip(kind, fields)
+        except (OSError, ProtocolError):
+            if not self._may_retry(kind, fields):
+                raise
+            # one transparent retry on a fresh connection; anything that
+            # fails again surfaces
+            time.sleep(self.retry_backoff)
+            self._reconnect()
+            return self._roundtrip(kind, fields)
+
+    def _roundtrip(self, kind: str, fields: dict) -> dict:
         self._next_id += 1
         request = {"id": self._next_id, "kind": kind, **fields}
         protocol.write_frame(self._sock, request)
@@ -112,6 +157,33 @@ class Client:
             raise RemoteError(error.get("code", "internal_error"),
                               error.get("message", "unknown server error"))
         return response.get("result") or {}
+
+    def _may_retry(self, kind: str, fields: dict) -> bool:
+        """Whether a dropped request is safe to resend.
+
+        Never inside an explicit transaction -- the reconnected socket is
+        a *new* session, so the old session's locks and txn state are
+        gone -- and never for statements that mutate (the server may have
+        applied them before the connection died).
+        """
+        if not self.retry or self._closed or self._in_txn:
+            return False
+        if self.host is None or self.port is None:
+            return False
+        if kind in _RETRYABLE_KINDS:
+            return True
+        if kind == "statement":
+            head = (fields.get("statement") or "").strip().split(None, 1)
+            return bool(head) and head[0].lower() in _RETRYABLE_STATEMENTS
+        return False
+
+    def _reconnect(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._sock, self.session_id = _dial(
+            self.host, self.port, self.connect_timeout, self.read_timeout)
 
     # -- API ---------------------------------------------------------------
 
@@ -172,12 +244,19 @@ class Client:
 
     def begin(self) -> None:
         self.execute("begin")
+        self._in_txn = True
 
     def commit(self) -> None:
-        self.execute("commit")
+        try:
+            self.execute("commit")
+        finally:
+            self._in_txn = False
 
     def abort(self) -> None:
-        self.execute("abort")
+        try:
+            self.execute("abort")
+        finally:
+            self._in_txn = False
 
     def stats(self) -> dict:
         """Server-level stats (connections, sessions, lock counters)."""
@@ -190,6 +269,14 @@ class Client:
 
     def ping(self) -> bool:
         return self._request("ping").get("kind") == "pong"
+
+    def replication(self) -> dict:
+        """Replication topology / lag as the server reports it."""
+        return self._request("repl_status").get("replication") or {}
+
+    def promote(self) -> dict:
+        """Promote a follower to primary (errors on a non-replica)."""
+        return self._request("promote")
 
     def shutdown(self) -> str:
         """Ask the server to drain and stop; closes this client too."""
@@ -219,14 +306,114 @@ class Client:
         self.close()
 
 
-def connect(host: str, port: int, timeout: float | None = None) -> Client:
-    """Open a connection and validate the server's handshake."""
-    sock = socket.create_connection((host, port), timeout=timeout)
+def _dial(host: str, port: int, connect_timeout: float | None,
+          read_timeout: float | None) -> tuple[socket.socket, int]:
+    """One handshake-validated connection; returns (socket, session_id)."""
+    sock = socket.create_connection((host, port), timeout=connect_timeout)
     sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    sock.settimeout(read_timeout)
     try:
         hello = protocol.read_frame(sock)
         protocol.check_handshake(hello)
     except BaseException:
         sock.close()
         raise
-    return Client(sock, hello.get("session", 0))
+    return sock, hello.get("session", 0)
+
+
+def connect(host: str, port: int, timeout: float | None = None,
+            connect_timeout: float | None = None,
+            read_timeout: float | None = None,
+            retry: bool = True, retry_backoff: float = 0.2) -> Client:
+    """Open a connection and validate the server's handshake.
+
+    ``connect_timeout`` bounds the dial, ``read_timeout`` bounds every
+    response wait (None: block forever); the legacy ``timeout`` argument
+    feeds both when the specific one is unset.  Transient connection
+    drops are retried once (idempotent requests only; ``retry=False``
+    restores fail-fast behavior).
+    """
+    connect_timeout = timeout if connect_timeout is None else connect_timeout
+    read_timeout = timeout if read_timeout is None else read_timeout
+    sock, session_id = _dial(host, port, connect_timeout, read_timeout)
+    return Client(sock, session_id, host=host, port=port,
+                  connect_timeout=connect_timeout, read_timeout=read_timeout,
+                  retry=retry, retry_backoff=retry_backoff)
+
+
+class RoutedClient:
+    """Primary plus read replicas behind one ``execute`` surface.
+
+    Reads (``retrieve`` / ``explain``) round-robin over the replicas;
+    everything else goes to the primary.  A replica that answers
+    ``replica_stale`` / ``read_only_replica``, or whose connection
+    drops, is skipped for that read and the primary answers instead --
+    the caller never sees the redirect.  Inside an explicit transaction
+    every statement pins to the primary (the replicas know nothing of
+    this session's locks).
+    """
+
+    def __init__(self, primary: tuple[str, int],
+                 replicas: list[tuple[str, int]] | None = None,
+                 **connect_kwargs) -> None:
+        self._connect_kwargs = connect_kwargs
+        self._primary_addr = primary
+        self._replica_addrs = list(replicas or [])
+        self._primary: Client | None = None
+        self._replicas: dict[tuple[str, int], Client] = {}
+        self._rr = itertools.cycle(range(max(1, len(self._replica_addrs))))
+        self._in_txn = False
+
+    # -- connections -------------------------------------------------------
+
+    def primary(self) -> Client:
+        if self._primary is None:
+            self._primary = connect(*self._primary_addr,
+                                    **self._connect_kwargs)
+        return self._primary
+
+    def _replica(self, addr: tuple[str, int]) -> Client:
+        client = self._replicas.get(addr)
+        if client is None:
+            client = connect(*addr, **self._connect_kwargs)
+            self._replicas[addr] = client
+        return client
+
+    # -- routing -----------------------------------------------------------
+
+    def execute(self, statement: str):
+        head = statement.strip().split(None, 1)
+        first = head[0].lower() if head else ""
+        if first == "begin":
+            self._in_txn = True
+        elif first in ("commit", "abort", "rollback"):
+            self._in_txn = False
+        if (self._replica_addrs and not self._in_txn
+                and first in _RETRYABLE_STATEMENTS):
+            addr = self._replica_addrs[next(self._rr)]
+            try:
+                return self._replica(addr).execute(statement)
+            except RemoteError as exc:
+                if exc.code not in ("replica_stale", "read_only_replica",
+                                    "replica_resync"):
+                    raise
+            except (OSError, ProtocolError):
+                self._replicas.pop(addr, None)
+            # stale / refused / gone: the primary always has the truth
+        return self.primary().execute(statement)
+
+    def meta(self, command: str, *args: str) -> str:
+        return self.primary().meta(command, *args)
+
+    def close(self) -> None:
+        for client in [self._primary, *self._replicas.values()]:
+            if client is not None:
+                client.close()
+        self._primary = None
+        self._replicas.clear()
+
+    def __enter__(self) -> "RoutedClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,4 +1,4 @@
-"""The HTTP observability sidecar: /metrics, /health, /slow, /statements.
+"""HTTP sidecar: /metrics, /health, /slow, /statements, /replication.
 
 A :class:`MetricsHTTPServer` runs a stdlib ``ThreadingHTTPServer`` on a
 daemon thread next to the TCP server and exposes four read-only
@@ -69,9 +69,14 @@ def _make_handler(server) -> type:
                                text.encode("utf-8"))
                 elif path == "/health":
                     health = server.health()
-                    status = 503 if health["status"] == "needs_recovery" \
-                        else 200
+                    # "stale" is a replica past its staleness bound: a
+                    # read-routing load balancer must eject it exactly
+                    # like an unhealthy primary
+                    status = (503 if health["status"] in ("needs_recovery",
+                                                          "stale") else 200)
                     self._send_json(status, health)
+                elif path == "/replication":
+                    self._send_json(200, server._replication_status())
                 elif path == "/slow":
                     slowlog = server.db.telemetry.slowlog
                     self._send_json(200, {
@@ -89,7 +94,7 @@ def _make_handler(server) -> type:
                     self._send_json(404, {
                         "error": "not found",
                         "endpoints": ["/metrics", "/health", "/slow",
-                                      "/statements"],
+                                      "/statements", "/replication"],
                     })
             except BrokenPipeError:
                 pass  # scraper went away mid-response

@@ -49,10 +49,33 @@ fingerprints, replication ledger).  The ``statements`` verb returns
 "ledger": [...]}}`` -- the full per-fingerprint statement statistics and
 the replication cost/benefit ledger.
 
+**Replication verbs** carry the WAL-shipping stream between a primary
+and its followers (see :mod:`repro.server.replog` /
+:mod:`repro.server.replica`)::
+
+    {"id": 1, "kind": "repl_subscribe", "follower": "r1", "after_lsn": 0}
+    -> {"kind": "repl_subscribed", "follower_id": 3, "last_lsn": 41,
+        "oldest_lsn": 1}
+    {"id": 2, "kind": "repl_fetch", "follower_id": 3, "after_lsn": 41,
+        "applied_lsn": 41, "max_entries": 256, "wait_s": 0.5}
+    -> {"kind": "repl_entries", "entries": [{"lsn": 42, "kind": "dml",
+        "note": "...", "frames": "<base64 WAL records>"}], "last_lsn": 42}
+    {"id": 3, "kind": "repl_status"}    # topology + per-follower lag
+    {"id": 4, "kind": "promote"}        # follower only: become a primary
+
+``repl_fetch`` long-polls up to ``wait_s`` and an empty ``entries``
+answer is the heartbeat; the ``applied_lsn`` each fetch carries is the
+follower's ack, which the primary's semi-synchronous commit quorum and
+shutdown drain wait on.
+
 Structured error codes (``error.code``) are stable strings clients can
 dispatch on: ``parse_error``, ``unknown_statement``, ``lock_timeout``,
 ``deadlock``, ``server_busy``, ``server_shutdown``, ``protocol_error``,
-``engine_error``, ``internal_error``.
+``engine_error``, ``internal_error``, and the replication family:
+``replica_stale`` (read rejected: follower lag exceeds the staleness
+bound), ``read_only_replica`` (write sent to an un-promoted follower),
+``replica_resync`` (follower fell behind the primary's retained log),
+``replication_error`` (subscription / stream plumbing failure).
 """
 
 from __future__ import annotations
@@ -67,6 +90,10 @@ from repro.errors import (
     LockTimeoutError,
     ParseError,
     ProtocolError,
+    ReadOnlyReplicaError,
+    ReplicaResyncError,
+    ReplicaStaleError,
+    ReplicationLinkError,
     ReproError,
     ServerBusyError,
 )
@@ -166,6 +193,10 @@ _ERROR_CODES = (
     (ServerBusyError, "server_busy"),
     (ProtocolError, "protocol_error"),
     (ParseError, "parse_error"),
+    (ReplicaStaleError, "replica_stale"),
+    (ReadOnlyReplicaError, "read_only_replica"),
+    (ReplicaResyncError, "replica_resync"),
+    (ReplicationLinkError, "replication_error"),
     (ReproError, "engine_error"),
 )
 

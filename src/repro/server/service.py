@@ -23,10 +23,11 @@ Telemetry: ``server_connections_total``, ``server_active_sessions``,
 from __future__ import annotations
 
 import socket
+import sys
 import threading
 import time
 
-from repro.errors import ProtocolError, ReproError
+from repro.errors import ProtocolError, ReplicationLinkError, ReproError
 from repro.server import protocol
 from repro.server.session import SessionManager
 
@@ -37,7 +38,10 @@ class Server:
     def __init__(self, db=None, host: str = "127.0.0.1", port: int = 0,
                  max_connections: int = 32, workers: int = 4,
                  queue_depth: int = 32, lock_timeout: float = 10.0,
-                 health_ttl: float = 30.0) -> None:
+                 health_ttl: float = 30.0, replication: bool | None = None,
+                 sync_replicas: int = 0, sync_timeout: float = 5.0,
+                 repl_log_entries: int = 10_000, drain_timeout: float = 10.0,
+                 hub=None) -> None:
         if db is None:
             from repro.schema.database import Database
 
@@ -49,6 +53,23 @@ class Server:
         self.sessions = SessionManager(db, lock_timeout=lock_timeout,
                                        workers=workers,
                                        queue_depth=queue_depth)
+        #: WAL shipping: a WAL-backed database gets a ReplicationHub by
+        #: default (``replication=False`` opts out); a wal-less database
+        #: cannot ship and silently serves without one.  A follower passes
+        #: its own passive ``hub`` in instead.
+        self.drain_timeout = drain_timeout
+        self.hub = hub
+        if self.hub is None:
+            enable = (db.recovery.wal is not None
+                      if replication is None else replication)
+            if enable and db.recovery.wal is not None:
+                from repro.server.replog import ReplicationHub
+
+                self.hub = ReplicationHub(db, max_entries=repl_log_entries,
+                                          sync_replicas=sync_replicas,
+                                          sync_timeout=sync_timeout)
+        self.sessions.hub = self.hub
+        self.sessions.replication_status = self._replication_status
         metrics = db.telemetry.metrics
         self._m_connections = metrics.counter(
             "server_connections_total", "accepted client connections")
@@ -163,10 +184,46 @@ class Server:
         # let statements that already reached the pool finish
         with self._idle:
             self._idle.wait_for(lambda: self._inflight == 0, timeout=30.0)
+        # flush the WAL tail to every live follower before the sockets
+        # close: a clean primary exit must not strand acknowledged
+        # statements on dead air (a timeout is loud, never silent)
+        if self.hub is not None and self.hub.attached:
+            flushed, laggards = self.hub.drain(timeout=self.drain_timeout)
+            if not flushed:
+                names = ", ".join(
+                    f"{f['name']}#{f['id']} lag {f['lag']}" for f in laggards)
+                print(
+                    f"repro-server: shutdown drain timed out after "
+                    f"{self.drain_timeout:.1f}s; followers still lagging: "
+                    f"{names}", file=sys.stderr, flush=True)
         self.sessions.shutdown()
         with self._mutex:
             conns = list(self._conns)
         for sock in conns:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._drained.set()
+
+    def die(self) -> None:
+        """Abrupt death -- the failover harness's power cut.
+
+        No drain, no WAL-tail flush, no goodbye frames: the listener and
+        every connection just vanish mid-stream, exactly like a killed
+        process.  Followers must notice via heartbeat timeout."""
+        self._stopping.set()
+        sockets: list[socket.socket] = []
+        if self._listener is not None:
+            sockets.append(self._listener)
+        with self._mutex:
+            sockets.extend(self._conns)
+            self._conns.clear()
+        for sock in sockets:
             try:
                 sock.shutdown(socket.SHUT_RDWR)
             except OSError:
@@ -265,11 +322,61 @@ class Server:
                 request_id, {"kind": "text", "text": "server draining"}))
             threading.Thread(target=self.shutdown, daemon=True).start()
             return False
+        if kind in ("repl_subscribe", "repl_fetch", "repl_status"):
+            return self._handle_replication(sock, request_id, kind, request)
+        if kind == "promote":
+            return self._handle_promote(sock, request_id)
         if kind in ("statement", "meta"):
             self._run_on_pool(sock, session, request_id, kind, request)
             return True
         protocol.write_frame(sock, protocol.error_response(
             request_id, ProtocolError(f"unknown request kind {kind!r}")))
+        return True
+
+    def _handle_replication(self, sock, request_id: int, kind: str,
+                            request: dict) -> bool:
+        """Serve a replication verb on the connection thread itself.
+
+        These never touch engine state (the hub is its own lock domain)
+        and ``repl_fetch`` long-polls -- parking it on a bounded worker
+        would let a few idle followers starve statement execution."""
+        try:
+            if self.hub is None:
+                raise ReplicationLinkError(
+                    "replication is not enabled on this server "
+                    "(start it with a WAL-backed database)")
+            if kind == "repl_subscribe":
+                result = self.hub.subscribe(
+                    str(request.get("follower", "") or ""),
+                    int(request.get("after_lsn", 0)))
+            elif kind == "repl_fetch":
+                result = self.hub.fetch(
+                    int(request.get("follower_id", 0)),
+                    int(request.get("after_lsn", 0)),
+                    int(request.get("applied_lsn", 0)),
+                    max_entries=max(
+                        1, min(int(request.get("max_entries", 256)), 1024)),
+                    wait_s=max(0.0, min(
+                        float(request.get("wait_s", 0.0) or 0.0), 30.0)))
+            else:
+                result = {"kind": "repl_status",
+                          "replication": self._replication_status()}
+        except (TypeError, ValueError) as exc:
+            protocol.write_frame(sock, protocol.error_response(
+                request_id, ProtocolError(f"bad replication request: {exc}")))
+        except ReproError as exc:
+            protocol.write_frame(
+                sock, protocol.error_response(request_id, exc))
+        else:
+            protocol.write_frame(
+                sock, protocol.ok_response(request_id, result))
+        return True
+
+    def _handle_promote(self, sock, request_id: int) -> bool:
+        """Base servers are primaries already; ReplicaServer overrides."""
+        protocol.write_frame(sock, protocol.error_response(
+            request_id, ReplicationLinkError(
+                "this server is not a replica; promote targets followers")))
         return True
 
     def _run_on_pool(self, sock, session, request_id: int, kind: str,
@@ -381,8 +488,16 @@ class Server:
                 "top": telemetry.statements.top(5, order_by="calls"),
             },
             "ledger": telemetry.repledger.entries(),
+            "replication": self._replication_status(),
             "sessions_detail": [s.info() for s in sessions],
         }
+
+    def _replication_status(self) -> dict:
+        """Topology snapshot for stats / ``\\replication`` / ``/replication``
+        (ReplicaServer overrides with follower-side lag and link state)."""
+        if self.hub is None:
+            return {"role": "none"}
+        return self.hub.status()
 
     def statement_stats(self) -> dict:
         """The ``statements`` verb / HTTP ``/statements`` document.
@@ -430,4 +545,5 @@ class Server:
             "health_ttl_seconds": self.health_ttl,
             "doctor_clean_at_start": self._doctor_clean_at_start,
             "doctor_findings_at_start": self._doctor_findings_at_start,
+            "replication": self._replication_status(),
         }

@@ -282,6 +282,15 @@ class Session:
 
     def _dispatch(self, body: str) -> dict:
         first = body.split(None, 1)[0].lower()
+        guard = self.manager.access_guard
+        if guard is not None:
+            # a read replica admits reads (subject to its staleness bound)
+            # and refuses writes with a stable error code the client can
+            # route on; transaction control is isolation-only, so it passes
+            if first in ("replace", "delete") or first in _DDL_STARTERS:
+                guard("write")
+            elif first in ("retrieve", "explain"):
+                guard("read")
         if first == "begin":
             return self._begin()
         if first == "commit":
@@ -384,9 +393,11 @@ class Session:
         # schema lock first: the catalog is stable while the footprint is
         # computed from the plan, and stays stable through execution
         self._acquire(_SCHEMA_SHARED)
+        stmt_lsn = 0
         try:
             self._acquire(footprint_for_statement(self.db, stmt))
             with self.manager.latch:
+                lsn_before = self._hub_lsn()
                 wal_before = self.db.telemetry.metrics.value("wal_bytes_total")
                 try:
                     result = self._traced(
@@ -396,12 +407,15 @@ class Session:
                     self._stmt_wal_bytes = (
                         self.db.telemetry.metrics.value("wal_bytes_total")
                         - wal_before)
+                lsn_after = self._hub_lsn()
+                stmt_lsn = lsn_after if lsn_after > lsn_before else 0
         except (DeadlockError, LockTimeoutError):
             raise
         except ReproError:
             self._release_if_autocommit()
             raise
         self._release_if_autocommit()
+        self._await_quorum(stmt_lsn)
         if analyze:
             from repro.query.analyze import render_analyze
 
@@ -412,8 +426,10 @@ class Session:
 
     def _ddl(self, body: str) -> dict:
         self._acquire(ddl_footprint())
+        stmt_lsn = 0
         try:
             with self.manager.latch:
+                lsn_before = self._hub_lsn()
                 wal_before = self.db.telemetry.metrics.value("wal_bytes_total")
                 try:
                     self._traced(lambda: execute_ddl(self.db, body))
@@ -421,8 +437,11 @@ class Session:
                     self._stmt_wal_bytes = (
                         self.db.telemetry.metrics.value("wal_bytes_total")
                         - wal_before)
+                lsn_after = self._hub_lsn()
+                stmt_lsn = lsn_after if lsn_after > lsn_before else 0
         finally:
             self._release_if_autocommit()
+        self._await_quorum(stmt_lsn)
         return {"kind": "ok", "detail": "ddl"}
 
     def _explain(self, body: str) -> dict:
@@ -438,6 +457,25 @@ class Session:
         finally:
             self._release_if_autocommit()
         return {"kind": "text", "text": text}
+
+    # -- replication hooks -------------------------------------------------
+
+    def _hub_lsn(self) -> int:
+        """The replication log's head LSN (0 without a hub).  Read under
+        the engine latch, so before/after captures bracket exactly this
+        statement's committed entries."""
+        hub = self.manager.hub
+        return hub.log.last_lsn if hub is not None else 0
+
+    def _await_quorum(self, lsn: int) -> None:
+        """Semi-synchronous commit: with ``sync_replicas=K`` the statement
+        is only acknowledged once K followers have applied ``lsn``.
+
+        Called after lock release -- a slow follower must never extend
+        lock hold times, only the writer's own latency."""
+        hub = self.manager.hub
+        if hub is not None and lsn > 0:
+            hub.wait_for_sync(lsn)
 
     def _traced(self, fn):
         """Run ``fn`` with this statement's own tracer installed as the
@@ -515,6 +553,13 @@ class Session:
             ])
         if command == "monitor":
             return db.monitor.report()
+        if command == "replication":
+            status_fn = self.manager.replication_status
+            if status_fn is None:
+                return "(replication not enabled: no server hub)"
+            from repro.server.replog import render_status
+
+            return render_status(status_fn())
         if command == "fingerprints":
             return db.telemetry.statements.render_text()
         if command == "ledger":
@@ -610,6 +655,14 @@ class SessionManager:
         #: the short-term physical latch: engine internals (buffer pool,
         #: WAL, tracer) are single-threaded under it
         self.latch = threading.RLock()
+        #: the server's ReplicationHub (None when replication is off);
+        #: sessions bracket statements with its log head for semi-sync acks
+        self.hub = None
+        #: callable(kind) raising on refused access -- a read replica
+        #: installs one that rejects writes and stale reads
+        self.access_guard = None
+        #: callable() -> dict for the ``\replication`` meta command
+        self.replication_status = None
         self.pool = WorkerPool(workers=workers, queue_depth=queue_depth,
                                metrics=metrics)
         self._sessions: dict[int, Session] = {}

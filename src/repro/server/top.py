@@ -110,6 +110,34 @@ def render_top(stats: dict, prev: dict | None = None,
                 f"io {s.get('io_pages', 0):5d}  "
                 f"rows {s.get('rows', 0):6d}  "
                 f"{s.get('statement', '')[:48]}")
+    repl = stats.get("replication") or {}
+    role = repl.get("role", "none")
+    if role != "none":
+        if "applied_lsn" in repl:  # a follower (or promoted follower)
+            link = repl.get("link") or {}
+            lines.append(
+                f"replication  role {role}  "
+                f"applied {repl.get('applied_lsn', 0)}"
+                f"/{repl.get('last_known_primary_lsn', 0)}  "
+                f"lag {repl.get('lag', 0)}"
+                f"/{repl.get('max_lag_statements', 0)}"
+                f"{'  STALE' if repl.get('stale') else ''}  "
+                f"{'connected' if repl.get('connected') else 'DISCONNECTED'}  "
+                f"reconnects {repl.get('reconnects', 0)}  "
+                f"last contact "
+                f"{link.get('last_contact_seconds', '?')}s")
+        else:
+            lines.append(
+                f"replication  role {role}  lsn {repl.get('last_lsn', 0)}  "
+                f"retained {repl.get('retained', 0)}  "
+                f"dropped {repl.get('dropped', 0)}  "
+                f"sync quorum {repl.get('sync_replicas', 0)}")
+        for f in repl.get("followers") or []:
+            lines.append(
+                f"  follower #{f.get('id')} {f.get('name', ''):<16} "
+                f"acked {f.get('acked_lsn', 0):<8} lag {f.get('lag', 0):<6} "
+                f"fetches {f.get('fetches', 0):<8} "
+                f"seen {f.get('last_seen_seconds', 0.0)}s ago")
     ledger = stats.get("ledger") or []
     if ledger:
         lines.append("replication ledger (net pages; + pays for itself):")

@@ -52,6 +52,33 @@ class SimulatedDisk:
         self._g_files.set(len(self._files))
         return file_id
 
+    def file_ids(self) -> list[int]:
+        """Ids of every live file, ascending."""
+        return sorted(self._files)
+
+    @property
+    def next_file_id(self) -> int:
+        """The id the next created file will get (the file-id cursor)."""
+        return self._next_file_id
+
+    def sync_file_cursor(self, next_file_id: int) -> None:
+        """Adopt a peer's file-id cursor.
+
+        A replication follower calls this before applying a shipped DDL
+        entry: both engines allocate file ids sequentially, but transient
+        output files (created and dropped mid-query) advance the cursor
+        without leaving a file behind, so the cursors drift apart between
+        DDL statements.  Moving the cursor is safe exactly because those
+        intermediate ids are dropped; a live file at or past the target
+        means the engines truly diverged, which is refused loudly.
+        """
+        if any(fid >= next_file_id for fid in self._files):
+            raise ValueError(
+                f"cannot move the file-id cursor to {next_file_id}: a live "
+                f"file at or past it exists (ids "
+                f"{sorted(f for f in self._files if f >= next_file_id)})")
+        self._next_file_id = next_file_id
+
     def drop_file(self, file_id: int) -> None:
         """Delete a file and all its pages."""
         pages = self._require(file_id)
@@ -66,10 +93,6 @@ class SimulatedDisk:
     def num_pages(self, file_id: int) -> int:
         """Number of pages currently allocated to ``file_id``."""
         return len(self._require(file_id))
-
-    def file_ids(self) -> list[int]:
-        """Ids of all live files, in creation order."""
-        return sorted(self._files)
 
     # -- page I/O -----------------------------------------------------------
 

@@ -1,0 +1,148 @@
+"""WAL frame decoding robustness: garbage in, ``WalError`` out.
+
+Log records now also arrive off the replication wire, so a malformed
+frame must never surface as ``struct.error`` / ``UnicodeDecodeError`` /
+``IndexError`` -- any of those escaping :meth:`WalRecord.decode` would
+kill a follower's apply loop instead of tripping its reconnect path.
+"""
+
+import struct
+import zlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.errors import WalError
+from repro.recovery.wal import WalRecord, WalRecordType
+from repro.storage.constants import PAGE_SIZE
+
+
+def _sample_records() -> list[WalRecord]:
+    return [
+        WalRecord(WalRecordType.BEGIN, 1, note="insert Emp1"),
+        WalRecord(WalRecordType.ALLOC, 1, file_id=3, page_no=7),
+        WalRecord(WalRecordType.PAGE_AFTER, 1, file_id=3, page_no=7,
+                  image=bytes(PAGE_SIZE)),
+        WalRecord(WalRecordType.COMMIT, 1),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# round-trip sanity: what encode produces, decode accepts
+# ---------------------------------------------------------------------------
+
+
+def test_round_trip_all_record_types():
+    blob = b"".join(r.encode() for r in _sample_records())
+    offset = 0
+    seen = []
+    while offset < len(blob):
+        record, offset = WalRecord.decode(blob, offset)
+        seen.append(record)
+    assert [r.type for r in seen] == [r.type for r in _sample_records()]
+    assert seen[0].note == "insert Emp1"
+    assert seen[2].image == bytes(PAGE_SIZE)
+
+
+# ---------------------------------------------------------------------------
+# fuzz: arbitrary bytes and corrupted real frames never crash the decoder
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.binary(max_size=256), st.integers(min_value=-4, max_value=260))
+def test_decode_garbage_never_crashes(data, offset):
+    try:
+        WalRecord.decode(data, offset)
+    except WalError:
+        pass
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.integers(min_value=0, max_value=3),
+       st.integers(min_value=0, max_value=4200),
+       st.integers(min_value=0, max_value=255))
+def test_single_byte_corruption_is_rejected_or_reframed(which, pos, value):
+    """Flip one byte of a valid frame: decode either raises WalError or
+    returns a (coincidentally) well-formed record -- never crashes."""
+    blob = _sample_records()[which].encode()
+    pos %= len(blob)
+    if blob[pos] == value:
+        value = (value + 1) % 256
+    corrupted = blob[:pos] + bytes([value]) + blob[pos + 1:]
+    try:
+        record, nxt = WalRecord.decode(corrupted)
+    except WalError:
+        return
+    assert isinstance(record, WalRecord)
+    assert 0 < nxt <= len(corrupted)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=0, max_value=3), st.data())
+def test_truncated_tail_is_rejected(which, data):
+    blob = _sample_records()[which].encode()
+    cut = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+    with pytest.raises(WalError):
+        WalRecord.decode(blob[:cut])
+
+
+# ---------------------------------------------------------------------------
+# targeted malformations: CRC-valid bodies with hostile contents
+# ---------------------------------------------------------------------------
+
+
+_FRAME = struct.Struct(">II")        # length + crc, as in repro.recovery.wal
+
+
+def _frame(body: bytes, length: int | None = None) -> bytes:
+    return _FRAME.pack(len(body) if length is None else length,
+                       zlib.crc32(body)) + body
+
+
+def test_empty_body_rejected():
+    with pytest.raises(WalError):
+        WalRecord.decode(_frame(b""))
+
+
+def test_unknown_record_type_rejected():
+    body = struct.pack(">BQ", 250, 1)
+    with pytest.raises(WalError):
+        WalRecord.decode(_frame(body))
+
+
+def test_lying_length_header_rejected():
+    body = struct.pack(">BQ", int(WalRecordType.COMMIT), 1)
+    with pytest.raises(WalError):
+        WalRecord.decode(_frame(body, length=len(body) + 10_000))
+
+
+def test_begin_note_length_mismatch_rejected():
+    # note_len claims 200 bytes, only 3 present
+    body = struct.pack(">BQ", int(WalRecordType.BEGIN), 1)
+    body += struct.pack(">H", 200) + b"abc"
+    with pytest.raises(WalError):
+        WalRecord.decode(_frame(body))
+
+
+def test_begin_note_invalid_utf8_rejected():
+    raw = b"\xff\xfe\xfd"
+    body = struct.pack(">BQ", int(WalRecordType.BEGIN), 1)
+    body += struct.pack(">H", len(raw)) + raw
+    with pytest.raises(WalError):
+        WalRecord.decode(_frame(body))
+
+
+def test_short_page_image_rejected():
+    body = struct.pack(">BQ", int(WalRecordType.PAGE_AFTER), 1)
+    body += struct.pack(">II", 3, 7) + b"short"
+    with pytest.raises(WalError):
+        WalRecord.decode(_frame(body))
+
+
+def test_commit_trailing_bytes_rejected():
+    body = struct.pack(">BQ", int(WalRecordType.COMMIT), 1) + b"junk"
+    with pytest.raises(WalError):
+        WalRecord.decode(_frame(body))
