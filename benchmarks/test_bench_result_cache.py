@@ -1,0 +1,153 @@
+"""Derived-result cache under a Zipf read-mostly workload.
+
+One deterministic statement sequence -- Zipf-ranked retrieves with a
+sprinkle of propagating and non-propagating writes -- runs twice against
+identically built databases: cache off, then cache on.  The acceptance
+bars are the ISSUE's:
+
+* every statement returns **byte-identical** rows in both runs;
+* cache hits perform **zero** physical reads;
+* the hot queries (Zipf rank 1-2) get at least a **5x** median latency
+  cut from being served out of the cache.
+
+The measured table lands in ``BENCH_result_cache.json``.
+"""
+
+import json
+import random
+import statistics
+import time
+
+from repro import Database, TypeDefinition, char_field, int_field, ref_field
+
+from benchmarks.conftest import save_result
+
+_DEPTS = 4
+_EMPS = 240
+_OPS = 400
+_WRITE_EVERY = 25          # 4% writes: read-mostly
+_ZIPF_SEED = 7
+
+
+def _build() -> Database:
+    # a small pool (8 frames) under a multi-page set: cold reads do real
+    # physical I/O, so "zero reads on a hit" has teeth
+    db = Database(buffer_frames=8)
+    db.define_type(TypeDefinition("DEPT", [char_field("name", 60),
+                                           int_field("budget")]))
+    db.define_type(TypeDefinition("EMP", [char_field("name", 60),
+                                          int_field("salary"),
+                                          ref_field("dept", "DEPT")]))
+    db.create_set("Dept", "DEPT")
+    db.create_set("Emp", "EMP")
+    depts = [db.insert("Dept", {"name": f"dept{i}", "budget": 100 + i})
+             for i in range(_DEPTS)]
+    for i in range(_EMPS):
+        db.insert("Emp", {"name": f"emp{i:03d}" + "x" * 40,
+                          "salary": 1000 + (i * 37) % 500,
+                          "dept": depts[i % _DEPTS]})
+    db.replicate("Emp.dept.name")
+    return db
+
+
+#: the query population, hottest first (Zipf rank order)
+_QUERIES = [
+    "retrieve (Emp.name, Emp.dept.name)",
+    "retrieve (Emp.dept.name, count(Emp.name)) group by Emp.dept.name",
+] + [f"retrieve (Emp.name) where Emp.salary > {1000 + 50 * i}"
+     for i in range(10)]
+
+
+def _script() -> list[tuple[str, str]]:
+    """The deterministic op sequence: ('read', text) / ('write', kind)."""
+    rng = random.Random(_ZIPF_SEED)
+    weights = [1.0 / (rank + 1) for rank in range(len(_QUERIES))]
+    ops: list[tuple[str, str]] = []
+    for i in range(_OPS):
+        if i and i % _WRITE_EVERY == 0:
+            # alternate: a non-propagating write (leaves Emp entries warm)
+            # and a propagating one (kills the hot join entries)
+            ops.append(("write", "budget" if (i // _WRITE_EVERY) % 2
+                        else "name"))
+        else:
+            ops.append(("read", rng.choices(_QUERIES, weights)[0]))
+    return ops
+
+
+def _run(cache_on: bool) -> dict:
+    db = _build()
+    db.resultcache.enabled = cache_on
+    db.cold_cache()
+    dept = next(oid for oid, __ in db.catalog.get_set("Dept").scan())
+    rows_log, latencies, outcomes, reads = [], {}, [], []
+    flips = 0
+    for kind, op in _script():
+        if kind == "write":
+            flips += 1
+            if op == "budget":
+                db.update("Dept", dept, {"budget": 100 + flips})
+            else:
+                db.update("Dept", dept, {"name": f"dept0-v{flips}"})
+            continue
+        began = time.perf_counter()
+        result = db.execute(op, materialize=False)
+        elapsed_ms = (time.perf_counter() - began) * 1000.0
+        rows_log.append(result.rows)
+        latencies.setdefault(op, []).append(elapsed_ms)
+        outcomes.append(result.cache)
+        reads.append(result.io.physical_reads)
+    db.verify()
+    return {"rows": rows_log, "latencies": latencies, "outcomes": outcomes,
+            "reads": reads, "snapshot": db.resultcache.snapshot()}
+
+
+def test_zipf_read_mostly_speedup(results_dir):
+    off = _run(cache_on=False)
+    on = _run(cache_on=True)
+
+    # bar 1: the cache is answer-invisible -- byte-identical rows per op
+    assert json.dumps(off["rows"], default=list) == \
+        json.dumps(on["rows"], default=list)
+    assert all(outcome is None for outcome in off["outcomes"])
+
+    # bar 2: a served hit moves zero pages
+    hit_reads = [reads for outcome, reads
+                 in zip(on["outcomes"], on["reads"]) if outcome == "hit"]
+    assert hit_reads and all(reads == 0 for reads in hit_reads)
+    hits = on["outcomes"].count("hit")
+    hit_rate = hits / len(on["outcomes"])
+    assert hit_rate > 0.5  # Zipf head dominates a read-mostly mix
+
+    # bar 3: >= 5x median latency cut on the hot queries
+    speedups = {}
+    for query in _QUERIES[:2]:
+        baseline = statistics.median(off["latencies"][query])
+        cached = statistics.median(on["latencies"][query])
+        speedups[query] = baseline / cached if cached else float("inf")
+    assert all(s >= 5.0 for s in speedups.values()), speedups
+
+    snapshot = on["snapshot"]
+    result = {
+        "benchmark": "result_cache_zipf",
+        "ops": len(on["outcomes"]),
+        "write_fraction": round(1 - len(on["outcomes"]) / _OPS, 4),
+        "distinct_queries": len(_QUERIES),
+        "zipf_seed": _ZIPF_SEED,
+        "rows_byte_identical": True,
+        "hit_rate": round(hit_rate, 4),
+        "hits": hits,
+        "misses": on["outcomes"].count("miss"),
+        "physical_reads_total_off": sum(off["reads"]),
+        "physical_reads_total_on": sum(on["reads"]),
+        "physical_reads_per_hit": 0,
+        "hot_query_speedup": {q: round(s, 1) for q, s in speedups.items()},
+        "median_ms_off_hot": round(
+            statistics.median(off["latencies"][_QUERIES[0]]), 4),
+        "median_ms_on_hot": round(
+            statistics.median(on["latencies"][_QUERIES[0]]), 4),
+        "invalidations": snapshot["invalidations"],
+        "cache_bytes": snapshot["bytes"],
+        "cache_entries": snapshot["entries"],
+    }
+    save_result(results_dir, "BENCH_result_cache.json",
+                json.dumps(result, indent=2))

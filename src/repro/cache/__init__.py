@@ -1,0 +1,37 @@
+"""repro.cache: the derived-result cache.
+
+A byte-bounded LRU of finished ``retrieve`` results whose invalidation
+index is the same footprint computation the lock manager performs --
+the replication catalog's inverted paths tell us exactly which sets a
+write's propagation reaches, so a ``replace`` invalidates only the
+cached results whose footprint intersects it, never the whole cache.
+See ``docs/caching.md``.
+"""
+
+from __future__ import annotations
+
+from repro.cache.invalidation import (
+    file_resource_map,
+    invalidate_applied_entry,
+    retrieve_footprint,
+    structural_resources,
+    write_resources,
+)
+from repro.cache.resultcache import (
+    DEFAULT_CACHE_BYTES,
+    CacheEntry,
+    ResultCache,
+    cache_key,
+)
+
+__all__ = [
+    "CacheEntry",
+    "DEFAULT_CACHE_BYTES",
+    "ResultCache",
+    "cache_key",
+    "file_resource_map",
+    "invalidate_applied_entry",
+    "retrieve_footprint",
+    "structural_resources",
+    "write_resources",
+]

@@ -1,0 +1,347 @@
+"""A bounded derived-result cache with replication-catalog invalidation.
+
+The cache stores the finished rows of ``retrieve`` statements keyed by
+the exact (whitespace-collapsed) statement text.  Each entry additionally
+carries two pieces of metadata:
+
+* its **fingerprint** (:func:`repro.telemetry.statstats.fingerprint` --
+  literals stripped), which groups entries of one statement *shape* so
+  ``\\fingerprints`` can report per-shape hit rates;
+* its **footprint**: the set-level resource set the lock manager derives
+  from the plan + replication catalog before execution
+  (:func:`repro.server.locks.footprint_for_plan`).  The footprint is the
+  paper's inverted-path knowledge turned into an invalidation index --
+  it names the scanned set, every set a functional join traverses, the
+  replica sets read, and the ``__schema`` resource every statement
+  shares.
+
+Invalidation is therefore *precise*, never a full flush: a write
+invalidates only the entries whose footprint intersects the write's
+exclusive resource set, which the same lock-footprint computation already
+expands with every propagation target of the replication catalog (a
+``replace`` on ``S.repfield`` reaches ``S``, ``S'``, and every
+referencing set -- and nothing else).  DDL takes the ``__schema``
+resource exclusively, which every entry's footprint carries, so schema
+changes implicitly invalidate everything.
+
+The cache itself is a byte-bounded LRU: fills beyond ``capacity_bytes``
+evict least-recently-served entries; an entry larger than the whole
+budget is simply not cached.  All operations are O(footprint) thanks to
+an inverted resource -> keys index, thread-safe, and do no I/O.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+from repro.telemetry.metrics import NULL_METRICS
+from repro.telemetry.statstats import fingerprint
+
+#: default byte budget for cached rows (estimated, see ``_entry_bytes``).
+DEFAULT_CACHE_BYTES = 4 * 1024 * 1024
+
+#: ``\cache`` / snapshot: how many hottest entries to show.
+_TOP_ENTRIES = 8
+
+
+def cache_key(text: str) -> str:
+    """The cache key of one statement: its whitespace-collapsed text.
+
+    Literals are *kept* -- two retrieves differing only in a constant
+    share a fingerprint but are different queries with different rows,
+    so they must be distinct entries.
+    """
+    return " ".join(text.split())
+
+
+def _entry_bytes(key: str, columns, rows, plan: str) -> int:
+    """A deterministic size estimate of one entry (bookkeeping included)."""
+    total = 96 + len(key) + len(plan)
+    total += sum(16 + len(c) for c in columns)
+    for row in rows:
+        total += 24
+        for value in row:
+            total += 16 + len(str(value))
+    return total
+
+
+class CacheEntry:
+    """One cached result; ``alive`` flips False on invalidation."""
+
+    __slots__ = ("key", "fingerprint", "columns", "rows", "plan",
+                 "footprint", "nbytes", "hits", "filled_at", "alive")
+
+    def __init__(self, key: str, fp: str, columns, rows, plan: str,
+                 footprint: frozenset) -> None:
+        self.key = key
+        self.fingerprint = fp
+        self.columns = tuple(columns)
+        self.rows = tuple(rows)
+        self.plan = plan
+        self.footprint = frozenset(footprint)
+        self.nbytes = _entry_bytes(key, self.columns, self.rows, plan)
+        self.hits = 0
+        self.filled_at = time.time()
+        self.alive = True
+
+    def to_dict(self) -> dict:
+        return {
+            "statement": self.key,
+            "fingerprint": self.fingerprint,
+            "rows": len(self.rows),
+            "bytes": self.nbytes,
+            "hits": self.hits,
+            "footprint": sorted(self.footprint),
+        }
+
+
+class ResultCache:
+    """Byte-bounded LRU of retrieve results with footprint invalidation."""
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CACHE_BYTES,
+                 enabled: bool = False, metrics=None) -> None:
+        self.capacity_bytes = max(1, capacity_bytes)
+        #: the database-level default; served sessions may override it
+        #: per-session with ``\set cache on|off``
+        self.enabled = enabled
+        self._mutex = threading.Lock()
+        #: key -> entry, least-recently-served first
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        #: resource -> set of keys whose footprint contains it
+        self._by_resource: dict[str, set[str]] = {}
+        self._bytes = 0
+        # plain totals (mirrored into the metrics registry below)
+        self.hits = 0
+        self.misses = 0
+        self.bypasses = 0
+        self.evictions = 0
+        self.invalidations = {"write": 0, "ddl": 0, "replica": 0, "all": 0}
+        #: fingerprint -> [hits, misses] for the ``\fingerprints`` join
+        self._fp_counts: dict[str, list[int]] = {}
+        m = metrics if metrics is not None else NULL_METRICS
+        self._m_hits = m.counter(
+            "result_cache_hits_total", "statements served from the result cache")
+        self._m_misses = m.counter(
+            "result_cache_misses_total",
+            "cacheable statements that missed the result cache")
+        self._m_bypass = m.counter(
+            "result_cache_bypass_total",
+            "statements that bypassed the result cache, by reason")
+        self._m_invalidations = m.counter(
+            "result_cache_invalidations_total",
+            "cache entries invalidated, by reason")
+        self._m_evictions = m.counter(
+            "result_cache_evictions_total", "cache entries evicted by the LRU")
+        self._m_bytes = m.gauge(
+            "result_cache_bytes", "estimated bytes of cached result rows")
+        self._m_entries = m.gauge(
+            "result_cache_entries", "entries in the result cache")
+        self._m_hits.inc(0)
+        self._m_misses.inc(0)
+        self._m_evictions.inc(0)
+
+    # -- probing / serving -------------------------------------------------
+
+    def get(self, key: str) -> CacheEntry | None:
+        """Peek at a live entry without counting a hit (the served path
+        probes first, acquires the entry's footprint locks, then commits
+        to the hit with :meth:`hit` once the locks are held)."""
+        with self._mutex:
+            entry = self._entries.get(key)
+            return entry if entry is not None and entry.alive else None
+
+    def hit(self, entry: CacheEntry):
+        """Serve ``entry``: returns it (moved to MRU, counters bumped), or
+        None if it was invalidated between :meth:`get` and the caller
+        acquiring its footprint locks -- the caller then executes."""
+        with self._mutex:
+            if not entry.alive or entry.key not in self._entries:
+                return None
+            self._entries.move_to_end(entry.key)
+            entry.hits += 1
+            self.hits += 1
+            self._fp_counts.setdefault(entry.fingerprint, [0, 0])[0] += 1
+        self._m_hits.inc()
+        return entry
+
+    def miss(self, text: str) -> None:
+        """Count a cacheable statement that found no live entry."""
+        fp, __ = fingerprint(text)
+        with self._mutex:
+            self.misses += 1
+            self._fp_counts.setdefault(fp, [0, 0])[1] += 1
+        self._m_misses.inc()
+
+    def bypass(self, reason: str) -> None:
+        """Count a statement that was not allowed to use the cache."""
+        with self._mutex:
+            self.bypasses += 1
+        self._m_bypass.inc(reason=reason)
+
+    # -- filling -----------------------------------------------------------
+
+    def fill(self, text: str, columns, rows, plan: str,
+             footprint) -> bool:
+        """Insert one finished retrieve result; True if it was kept.
+
+        ``footprint`` is the statement's resource set from
+        ``footprint_for_plan`` (its shared set -- a cacheable retrieve has
+        no exclusive resources).  Oversized results are not cached; fills
+        evict from the LRU end until the entry fits.
+        """
+        key = cache_key(text)
+        fp, __ = fingerprint(text)
+        entry = CacheEntry(key, fp, columns, rows, plan, footprint)
+        if entry.nbytes > self.capacity_bytes:
+            return False
+        with self._mutex:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._drop_locked(old)
+            while self._bytes + entry.nbytes > self.capacity_bytes:
+                __, victim = self._entries.popitem(last=False)
+                self._drop_locked(victim)
+                self.evictions += 1
+                self._m_evictions.inc()
+            self._entries[key] = entry
+            self._bytes += entry.nbytes
+            for resource in entry.footprint:
+                self._by_resource.setdefault(resource, set()).add(key)
+            self._update_gauges_locked()
+        return True
+
+    def _drop_locked(self, entry: CacheEntry) -> None:
+        entry.alive = False
+        self._bytes -= entry.nbytes
+        for resource in entry.footprint:
+            keys = self._by_resource.get(resource)
+            if keys is not None:
+                keys.discard(entry.key)
+                if not keys:
+                    del self._by_resource[resource]
+        self._update_gauges_locked()
+
+    def _update_gauges_locked(self) -> None:
+        self._m_bytes.set(self._bytes)
+        self._m_entries.set(len(self._entries))
+
+    # -- invalidation ------------------------------------------------------
+
+    def invalidate(self, resources, reason: str = "write") -> int:
+        """Drop every entry whose footprint intersects ``resources``.
+
+        This is the replication-catalog invalidation index at work: the
+        caller passes a write's exclusive resource set (propagation
+        targets included) and only intersecting entries go -- disjoint
+        entries stay warm.  Returns the number invalidated.
+        """
+        with self._mutex:
+            keys: set[str] = set()
+            for resource in resources:
+                keys |= self._by_resource.get(resource, set())
+            for key in keys:
+                entry = self._entries.pop(key, None)
+                if entry is not None:
+                    self._drop_locked(entry)
+            count = len(keys)
+            if count:
+                self.invalidations[reason] = (
+                    self.invalidations.get(reason, 0) + count)
+        if count:
+            self._m_invalidations.inc(count, reason=reason)
+        return count
+
+    def invalidate_all(self, reason: str = "all") -> int:
+        """Drop everything (DDL via ``__schema``, replica resyncs, ...)."""
+        with self._mutex:
+            count = len(self._entries)
+            for entry in self._entries.values():
+                entry.alive = False
+            self._entries.clear()
+            self._by_resource.clear()
+            self._bytes = 0
+            if count:
+                self.invalidations[reason] = (
+                    self.invalidations.get(reason, 0) + count)
+            self._update_gauges_locked()
+        if count:
+            self._m_invalidations.inc(count, reason=reason)
+        return count
+
+    def clear(self) -> int:
+        """``\\cache clear``: drop entries, keep the counters."""
+        return self.invalidate_all(reason="all")
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._entries)
+
+    @property
+    def bytes_used(self) -> int:
+        with self._mutex:
+            return self._bytes
+
+    def fingerprint_rates(self) -> dict[str, dict]:
+        """``fingerprint -> {"hits", "misses", "hit_rate"}`` for the
+        ``\\fingerprints`` join with the statement aggregator."""
+        with self._mutex:
+            counts = {fp: list(hm) for fp, hm in self._fp_counts.items()}
+        out = {}
+        for fp, (hits, misses) in counts.items():
+            total = hits + misses
+            out[fp] = {"hits": hits, "misses": misses,
+                       "hit_rate": (hits / total) if total else 0.0}
+        return out
+
+    def snapshot(self) -> dict:
+        """The wire / HTTP document (``cache`` verb, ``/cache``)."""
+        with self._mutex:
+            entries = list(self._entries.values())
+            doc = {
+                "enabled": self.enabled,
+                "entries": len(entries),
+                "bytes": self._bytes,
+                "capacity_bytes": self.capacity_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "bypasses": self.bypasses,
+                "evictions": self.evictions,
+                "invalidations": dict(self.invalidations),
+            }
+        total = doc["hits"] + doc["misses"]
+        doc["hit_rate"] = (doc["hits"] / total) if total else 0.0
+        hottest = sorted(entries, key=lambda e: (-e.hits, e.key))
+        doc["hottest"] = [e.to_dict() for e in hottest[:_TOP_ENTRIES]]
+        return doc
+
+    def stats(self) -> dict:
+        """Alias for :meth:`snapshot` (symmetry with other collectors)."""
+        return self.snapshot()
+
+    def render_text(self) -> str:
+        """The ``\\cache`` meta-command output."""
+        doc = self.snapshot()
+        inv = doc["invalidations"]
+        lines = [
+            f"result cache {'on' if doc['enabled'] else 'off'}  "
+            f"entries {doc['entries']}  "
+            f"bytes {doc['bytes']}/{doc['capacity_bytes']}",
+            f"hits {doc['hits']}  misses {doc['misses']}  "
+            f"hit rate {doc['hit_rate'] * 100:.1f}%  "
+            f"bypasses {doc['bypasses']}  evictions {doc['evictions']}",
+            f"invalidations  write {inv.get('write', 0)}  "
+            f"ddl {inv.get('ddl', 0)}  replica {inv.get('replica', 0)}  "
+            f"all {inv.get('all', 0)}",
+        ]
+        if doc["hottest"]:
+            lines.append("hottest entries:")
+            for e in doc["hottest"]:
+                lines.append(
+                    f"  x{e['hits']:<5} {e['rows']:5d} row(s) "
+                    f"{e['bytes']:7d}B  [{e['fingerprint']}]  "
+                    f"{e['statement'][:60]}")
+        return "\n".join(lines)

@@ -29,13 +29,20 @@ with ``;`` or a blank line.  Connected to a server, ``begin`` / ``commit``
                        (connected only; N frames, SECS apart; default 1)
     \\monitor           workload observations + model-vs-actual drift
     \\fingerprints      per-statement-fingerprint analytics (calls, I/O,
-                       lock waits, WAL bytes, p50/p95/p99 latency)
+                       lock waits, WAL bytes, p50/p95/p99 latency, and
+                       the result cache's per-shape hit rate)
+    \\cache [clear]     derived-result cache: entries, bytes, hit/miss/
+                       invalidation counters, hottest entries
+                       (``clear`` drops every entry)
     \\ledger            replication cost/benefit ledger: measured net page
                        benefit per replicated path (charges vs credits)
     \\set joinmode M    functional-join strategy: ``naive`` (row-at-a-time
                        OID probes) or ``batched`` (sort-and-dedupe sweeps;
                        the default); connected, ``default`` reverts the
                        session to the server's setting
+    \\set cache on|off  result cache for retrieves (local: flips the
+                       database default; connected: a per-session
+                       override, ``default`` reverts to the server's)
     \\verify            run the replication consistency checker
     \\doctor [repair]   diagnose (and with ``repair`` fix) replica drift
     \\recover           replay the WAL after an injected crash
@@ -68,7 +75,7 @@ DEFAULT_ROW_LIMIT = 50
 #: so the dump shows the stitched client->server->engine tree.
 _FORWARDED_META = ("describe", "stats", "monitor", "fingerprints", "ledger",
                    "verify", "doctor", "recover", "cold", "set",
-                   "replication")
+                   "replication", "cache")
 
 
 def render_result(result, limit: int | None = DEFAULT_ROW_LIMIT) -> str:
@@ -94,8 +101,13 @@ def render_result(result, limit: int | None = DEFAULT_ROW_LIMIT) -> str:
         if len(result.rows) > cap:
             lines.append(f"... ({len(result.rows) - cap} more rows)")
     lines.append(f"({len(result.rows)} row(s))   plan: {result.plan}")
-    lines.append(f"I/O: {result.io.total_io} "
-                 f"({result.io.physical_reads} reads, {result.io.physical_writes} writes)")
+    io_line = (f"I/O: {result.io.total_io} "
+               f"({result.io.physical_reads} reads, "
+               f"{result.io.physical_writes} writes)")
+    cache = getattr(result, "cache", None)
+    if cache:
+        io_line += f"   cache: {cache}"
+    lines.append(io_line)
     return "\n".join(lines)
 
 
@@ -225,7 +237,15 @@ class Shell:
         elif command == "monitor":
             self.write(self.db.monitor.report())
         elif command == "fingerprints":
-            self.write(self.db.telemetry.statements.render_text())
+            self.write(self.db.telemetry.statements.render_text(
+                cache_rates=self.db.resultcache.fingerprint_rates()))
+        elif command == "cache":
+            if args and args[0] == "clear":
+                dropped = self.db.resultcache.invalidate_all(reason="all")
+                self.write(f"result cache cleared ({dropped} entries "
+                           f"dropped)")
+            else:
+                self.write(self.db.resultcache.render_text())
         elif command == "ledger":
             self.write(self.db.telemetry.repledger.render_text())
         elif command == "verify":
@@ -266,9 +286,22 @@ class Shell:
         self.write(f"row limit: {self.limit if self.limit else 'off'}")
 
     def _run_set(self, args: list[str]) -> None:
-        """Embedded ``\\set joinmode``: flips the local database's knob."""
-        if not args or args[0] != "joinmode":
-            self.fail("error: usage: \\set joinmode naive|batched")
+        """Embedded ``\\set``: flips the local database's knobs."""
+        if not args or args[0] not in ("joinmode", "cache"):
+            self.fail("error: usage: \\set joinmode naive|batched"
+                      " | \\set cache on|off")
+            return
+        if args[0] == "cache":
+            cache = self.db.resultcache
+            if len(args) < 2:
+                self.write(f"result cache {'on' if cache.enabled else 'off'}")
+                return
+            if args[1] not in ("on", "off"):
+                self.fail(f"error: cache must be 'on' or 'off', "
+                          f"not {args[1]!r}")
+                return
+            cache.enabled = args[1] == "on"
+            self.write(f"result cache {'on' if cache.enabled else 'off'}")
             return
         if len(args) < 2:
             self.write(f"join mode {self.db.join_mode}")
@@ -369,7 +402,10 @@ class Shell:
                 result = self.db.execute(rest[len("analyze"):].strip(),
                                          analyze=True)
                 self.write(render_analyze(result))
-                self.write(f"({len(result.rows)} row(s))   plan: {result.plan}")
+                tail = f"({len(result.rows)} row(s))   plan: {result.plan}"
+                if result.cache:
+                    tail += f"   cache: {result.cache}"
+                self.write(tail)
                 return
             from repro.query.runner import explain_text
 
@@ -464,6 +500,8 @@ def _build_shell(args) -> Shell | None:
             return None
         if args.join_mode:
             client.meta("set", "joinmode", args.join_mode)
+        if args.cache:
+            client.meta("set", "cache", "on")
         return Shell(client=client, limit=args.limit or None)
     from repro.snapshot import open_database
 
@@ -474,6 +512,8 @@ def _build_shell(args) -> Shell | None:
         return None
     if args.join_mode:
         db.join_mode = args.join_mode
+    if args.cache:
+        db.resultcache.enabled = True
     return Shell(db=db, limit=args.limit or None)
 
 
@@ -498,6 +538,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="functional-join strategy for the session "
                              "(local: sets the database knob; connected: "
                              "sends \\set joinmode)")
+    parser.add_argument("--cache", action="store_true",
+                        help="enable the derived-result cache for this "
+                             "session (local: flips the database default; "
+                             "connected: sends \\set cache on)")
     args = parser.parse_args(sys.argv[1:] if argv is None else argv)
 
     shell = _build_shell(args)

@@ -47,6 +47,9 @@ class QueryResult:
     #: per-operator execution statistics (EXPLAIN ANALYZE); None unless the
     #: plan was executed with ``analyze=True``.
     operators: tuple[OperatorStats, ...] | None = None
+    #: result-cache disposition: "hit" | "miss" | "bypass", or None when
+    #: the cache did not apply (cache off, or a write statement).
+    cache: str | None = None
 
     def __len__(self) -> int:
         return len(self.rows)

@@ -72,6 +72,44 @@ def _emit_operator_spans(tracer, operators, parent) -> None:
         _emit_operator_spans(tracer, op.children, span)
 
 
+def serve_cached(entry, analyze: bool = False) -> QueryResult:
+    """A :class:`QueryResult` from a live cache entry: the stored rows,
+    a zero I/O snapshot (nothing moved), and -- under ANALYZE -- a single
+    synthetic ``cache_hit`` operator instead of an executed tree."""
+    from repro.query.analyze import OperatorStats
+    from repro.storage.stats import IOSnapshot
+
+    operators = None
+    if analyze:
+        operators = (OperatorStats("cache_hit", f"[{entry.fingerprint}]",
+                                   rows=len(entry.rows)),)
+    return QueryResult(columns=entry.columns, rows=list(entry.rows),
+                       io=IOSnapshot(), plan=entry.plan,
+                       operators=operators, cache="hit")
+
+
+def cache_fill(db: Database, stmt, text: str, result: QueryResult) -> str:
+    """Fill the result cache after a retrieve executed; returns the
+    statement's cache disposition ("miss" when the entry was stored or at
+    least counted, "bypass" when the statement is uncacheable).
+
+    Cacheability is decided by the same footprint computation the lock
+    manager uses: a retrieve whose footprint has exclusive resources
+    reads a lazily propagated path (the read drains the pending queue --
+    a write), so its result may not be served later without that drain.
+    """
+    from repro.cache import retrieve_footprint
+
+    resources, cacheable = retrieve_footprint(db, stmt)
+    if not cacheable:
+        db.resultcache.bypass("lazy_refresh")
+        return "bypass"
+    db.resultcache.miss(text)
+    db.resultcache.fill(text, result.columns, result.rows, result.plan,
+                        resources)
+    return "miss"
+
+
 def execute_text(db: Database, text: str, materialize: bool = True,
                  analyze: bool = False) -> QueryResult:
     """Parse and run one statement of query-language text.
@@ -81,13 +119,36 @@ def execute_text(db: Database, text: str, materialize: bool = True,
     into the slow-query log and the statement fingerprint aggregator from
     the session layer, where lock waits are known -- so no statement is
     ever recorded twice.
+
+    When the database's result cache is enabled, a retrieve whose exact
+    (whitespace-collapsed) text has a live entry is served straight from
+    it -- no parse, no plan, no page I/O; executed retrieves fill the
+    cache with their footprint so later writes can invalidate precisely.
     """
     tracer = db.telemetry.tracer
+    cache = db.resultcache
+    collapsed = " ".join(text.split())
+    want_cache = (cache.enabled
+                  and collapsed.split(None, 1)[:1] == ["retrieve"])
+    if want_cache:
+        entry = cache.get(collapsed)
+        if entry is not None and cache.hit(entry) is not None:
+            result = serve_cached(entry, analyze=analyze)
+            duration_ms = 0.0
+            fp = db.telemetry.statements.observe(
+                collapsed, duration_ms, io=result.io,
+                rows=len(result.rows))
+            db.telemetry.slowlog.observe(
+                statement=collapsed, duration_ms=duration_ms,
+                plan=result.plan, rows=len(result.rows),
+                fingerprint=fp or "", cache="hit")
+            return result
     wal_bytes = db.telemetry.metrics.value("wal_bytes_total")
     started = time.perf_counter()
     try:
         if not tracer.enabled:
-            result = execute_statement(db, parse_statement(text),
+            stmt = parse_statement(text)
+            result = execute_statement(db, stmt,
                                        materialize=materialize,
                                        analyze=analyze)
         else:
@@ -99,6 +160,8 @@ def execute_text(db: Database, text: str, materialize: bool = True,
                                            analyze=analyze)
                 span.set("plan", result.plan)
                 span.set("rows", len(result.rows))
+        if want_cache and isinstance(stmt, Retrieve):
+            result.cache = cache_fill(db, stmt, collapsed, result)
     except Exception as exc:
         duration_ms = (time.perf_counter() - started) * 1000.0
         fp = db.telemetry.statements.observe(
@@ -123,7 +186,8 @@ def execute_text(db: Database, text: str, materialize: bool = True,
             "writes": result.io.physical_writes,
             "total": result.io.total_io},
         rows=len(result.rows),
-        fingerprint=fp or "")
+        fingerprint=fp or "",
+        cache=result.cache or "")
     return result
 
 

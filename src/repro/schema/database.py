@@ -26,6 +26,12 @@ runs them.
 
 from __future__ import annotations
 
+from repro.cache import (
+    DEFAULT_CACHE_BYTES,
+    ResultCache,
+    structural_resources,
+    write_resources,
+)
 from repro.errors import DiskFault, FieldError, InvalidPathError, ReplicationError
 from repro.index.secondary import SecondaryIndex
 from repro.objects.instance import StoredObject
@@ -50,7 +56,9 @@ class Database:
                  cost_based_planning: bool = False,
                  wal: bool = False, fault_seed: int = 0,
                  join_mode: str = "batched",
-                 join_batch_rows: int = JOIN_BATCH_ROWS) -> None:
+                 join_batch_rows: int = JOIN_BATCH_ROWS,
+                 cache: bool = False,
+                 cache_bytes: int = DEFAULT_CACHE_BYTES) -> None:
         from repro.recovery import FaultInjector, RecoveryManager
 
         self.telemetry = Telemetry()
@@ -86,6 +94,13 @@ class Database:
         self.join_mode = join_mode
         #: rows drained per sort-and-dedupe batch in batched mode
         self.join_batch_rows = max(1, join_batch_rows)
+        #: derived-result cache; off by default so the I/O path stays
+        #: bit-identical to an uncached engine.  Invalidation hooks below
+        #: fire whenever entries exist, even with ``enabled`` off -- a
+        #: served session may opt in per-session while the default is off
+        self.resultcache = ResultCache(capacity_bytes=cache_bytes,
+                                       enabled=cache,
+                                       metrics=self.telemetry.metrics)
         #: ``cb(text, next_file_id)`` fired after each successful *text*
         #: DDL statement (:func:`repro.schema.parser.execute_ddl`), with
         #: the file-id cursor as it stood before the DDL ran.  DDL runs
@@ -104,6 +119,13 @@ class Database:
             raise ValueError(f"join_mode must be 'naive' or 'batched', "
                              f"not {value!r}")
         self._join_mode = value
+
+    def _invalidate_ddl(self) -> None:
+        """Schema changes invalidate every cached result: each entry's
+        footprint carries the ``__schema`` resource all DDL takes
+        exclusively, so this is the footprint rule, not a special case."""
+        if len(self.resultcache):
+            self.resultcache.invalidate_all(reason="ddl")
 
     # ==================================================================
     # DDL
@@ -129,6 +151,7 @@ class Database:
         obj_set = ObjectSet(name, clone.name, self.store, heap)
         self.catalog.add_set(obj_set)
         self.recovery.on_ddl()
+        self._invalidate_ddl()
         return obj_set
 
     def drop_set(self, name: str) -> None:
@@ -159,6 +182,7 @@ class Database:
         self.catalog.remove_set(name)
         self.storage.drop_file(name)
         self.recovery.on_ddl()
+        self._invalidate_ddl()
 
     def replicate(self, path_text: str, strategy: str | Strategy = Strategy.IN_PLACE,
                   collapsed: bool = False, lazy: bool = False,
@@ -170,6 +194,7 @@ class Database:
                                               collapsed=collapsed, lazy=lazy,
                                               cluster_links=cluster_links)
         self.recovery.on_ddl()
+        self._invalidate_ddl()
         return path
 
     def drop_replication(self, path_text: str) -> None:
@@ -177,6 +202,7 @@ class Database:
         self.replication.drop_path(path_text)
         self.telemetry.repledger.forget(path_text)
         self.recovery.on_ddl()
+        self._invalidate_ddl()
 
     def build_index(self, target: str, clustered: bool = False,
                     name: str | None = None) -> IndexInfo:
@@ -233,6 +259,7 @@ class Database:
             (obj.values[field_name], oid) for oid, obj in obj_set.scan()
         )
         self.recovery.on_ddl()
+        self._invalidate_ddl()
         return info
 
     def drop_index(self, index_name: str) -> None:
@@ -243,6 +270,7 @@ class Database:
             path.index_names.remove(index_name)
         self.storage.drop_raw_file(info.index.tree.file_id)
         self.recovery.on_ddl()
+        self._invalidate_ddl()
 
     # ==================================================================
     # DML
@@ -258,6 +286,8 @@ class Database:
             final = obj_set.read(oid)
             for info in self.catalog.indexes_on_set(set_name):
                 info.index.insert(final.values[info.field_name], oid)
+        if len(self.resultcache):
+            self.resultcache.invalidate(structural_resources(self, set_name))
         return oid
 
     def update(self, set_name: str, oid: OID, changes: dict,
@@ -294,6 +324,8 @@ class Database:
                                                            changed)
             if own_hidden:
                 self.replication.apply_hidden_changes(obj_set, oid, own_hidden)
+        if len(self.resultcache):
+            self.resultcache.invalidate(write_resources(self, set_name, changed))
 
     def delete(self, set_name: str, oid: OID) -> None:
         """Delete an object; refuses while replication still references it."""
@@ -305,6 +337,8 @@ class Database:
             for info in self.catalog.indexes_on_set(set_name):
                 info.index.delete(final.values[info.field_name], oid)
             obj_set.raw_delete(oid)
+        if len(self.resultcache):
+            self.resultcache.invalidate(structural_resources(self, set_name))
 
     def get(self, set_name: str, oid: OID) -> StoredObject:
         """Read one object (hidden fields included, for inspection)."""
@@ -344,6 +378,7 @@ class Database:
         """Restart after an injected crash: redo committed statements from
         the WAL, roll the incomplete one back, rebuild session caches, and
         (by default) re-verify replication.  Returns a RecoveryReport."""
+        self.resultcache.invalidate_all()
         return self.recovery.recover(verify=verify)
 
     def checkpoint(self) -> None:
@@ -358,13 +393,28 @@ class Database:
         """
         from repro.recovery.doctor import run_doctor
 
-        return run_doctor(self, repair=repair)
+        report = run_doctor(self, repair=repair)
+        if repair:
+            self.resultcache.invalidate_all()
+        return report
 
     def refresh(self, path_text: str | None = None) -> int:
         """Drain lazy propagation queues (all paths when none is named)."""
         if path_text is None:
-            return self.replication.refresh_all()
-        return self.replication.refresh_path(self.catalog.get_path(path_text))
+            refreshed = self.replication.refresh_all()
+            touched = [p for p in self.catalog.paths.values() if p.lazy]
+        else:
+            path = self.catalog.get_path(path_text)
+            refreshed = self.replication.refresh_path(path)
+            touched = [path]
+        if refreshed and len(self.resultcache):
+            resources = set()
+            for path in touched:
+                resources.add(path.source_set)
+                if path.replica_set:
+                    resources.add(path.replica_set)
+            self.resultcache.invalidate(resources)
+        return refreshed
 
     @property
     def stats(self):

@@ -62,6 +62,11 @@ def main(argv: list[str] | None = None) -> int:
                         default=None,
                         help="default functional-join strategy (sessions "
                              "may override with \\set joinmode)")
+    parser.add_argument("--cache", action="store_true",
+                        help="enable the derived-result cache by default "
+                             "(sessions may override with \\set cache)")
+    parser.add_argument("--cache-bytes", type=int, default=None, metavar="N",
+                        help="result-cache byte budget (default 4 MiB)")
     parser.add_argument("--no-replication", action="store_true",
                         help="do not record a replication log (followers "
                              "cannot subscribe)")
@@ -90,6 +95,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.join_mode is not None:
         db.join_mode = args.join_mode
+    if args.cache:
+        db.resultcache.enabled = True
+    if args.cache_bytes is not None:
+        db.resultcache.capacity_bytes = max(1, args.cache_bytes)
     if args.slow_ms is not None:
         db.telemetry.slowlog.configure(threshold_ms=args.slow_ms)
     server = Server(db, host=args.host, port=args.port,

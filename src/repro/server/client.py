@@ -73,6 +73,8 @@ class ClientResult:
     io: ClientIO
     #: the stitched span tree when the statement was traced, else None.
     trace: dict | None = field(default=None, compare=False)
+    #: result-cache disposition ("hit" | "miss" | "bypass"), or None.
+    cache: str | None = field(default=None, compare=False)
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -88,6 +90,7 @@ class ClientResult:
             io=ClientIO(io.get("reads", 0), io.get("writes", 0),
                         io.get("total", 0)),
             trace=trace,
+            cache=result.get("cache"),
         )
 
 
@@ -266,6 +269,11 @@ class Client:
         """Per-fingerprint statement statistics plus the replication
         ledger (``{"fingerprints": {...}, "ledger": [...]}``)."""
         return self._request("statements").get("statements") or {}
+
+    def cache(self) -> dict:
+        """The server's derived-result cache snapshot (entries, bytes,
+        hit/miss/invalidation counters, hottest entries)."""
+        return self._request("cache").get("cache") or {}
 
     def ping(self) -> bool:
         return self._request("ping").get("kind") == "pong"

@@ -1,4 +1,5 @@
-"""HTTP sidecar: /metrics, /health, /slow, /statements, /replication.
+"""HTTP sidecar: /metrics, /health, /slow, /statements, /replication,
+/cache.
 
 A :class:`MetricsHTTPServer` runs a stdlib ``ThreadingHTTPServer`` on a
 daemon thread next to the TCP server and exposes four read-only
@@ -14,7 +15,9 @@ endpoints over plain GET:
 * ``/slow`` -- the slow-query ring as JSON, newest last, plus the
   per-fingerprint grouping of repeated offenders;
 * ``/statements`` -- per-fingerprint statement statistics and the
-  replication cost/benefit ledger.
+  replication cost/benefit ledger;
+* ``/cache`` -- the derived-result cache snapshot (entries, bytes,
+  hit/miss/invalidation counters, hottest entries).
 
 Scrapes must not perturb the engine: every handler reads counters, plain
 attributes, or its own mutex-guarded ring -- no page I/O, no engine
@@ -90,11 +93,14 @@ def _make_handler(server) -> type:
                     })
                 elif path == "/statements":
                     self._send_json(200, server.statement_stats())
+                elif path == "/cache":
+                    self._send_json(200, server.db.resultcache.snapshot())
                 else:
                     self._send_json(404, {
                         "error": "not found",
                         "endpoints": ["/metrics", "/health", "/slow",
-                                      "/statements", "/replication"],
+                                      "/statements", "/replication",
+                                      "/cache"],
                     })
             except BrokenPipeError:
                 pass  # scraper went away mid-response

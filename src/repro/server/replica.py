@@ -57,6 +57,7 @@ from repro.errors import (
     ReproError,
     WalError,
 )
+from repro.cache import invalidate_applied_entry
 from repro.recovery.wal import WalRecordType
 from repro.schema.parser import execute_ddl
 from repro.server import protocol
@@ -322,6 +323,11 @@ class Replica:
                 execute_ddl(self.db, entry.note)
             else:
                 self._redo(entry)
+            # result-cache coherence before the applied LSN advances: a
+            # cached read on this replica is never staler than the
+            # replica itself (DDL flushes; DML invalidates by the sets
+            # owning the touched files)
+            invalidate_applied_entry(self.db, entry)
             self.applied_lsn = entry.lsn
             self.hub.log.relay(entry)
         self.entries_applied += 1

@@ -317,6 +317,11 @@ class Server:
                 request_id, {"kind": "statements",
                              "statements": self.statement_stats()}))
             return True
+        if kind == "cache":
+            protocol.write_frame(sock, protocol.ok_response(
+                request_id,
+                {"kind": "cache", "cache": self.db.resultcache.snapshot()}))
+            return True
         if kind == "shutdown":
             protocol.write_frame(sock, protocol.ok_response(
                 request_id, {"kind": "text", "text": "server draining"}))
@@ -487,6 +492,7 @@ class Server:
                 "evicted": telemetry.statements.evicted,
                 "top": telemetry.statements.top(5, order_by="calls"),
             },
+            "cache": db.resultcache.snapshot(),
             "ledger": telemetry.repledger.entries(),
             "replication": self._replication_status(),
             "sessions_detail": [s.info() for s in sessions],

@@ -174,7 +174,7 @@ class WorkerPool:
 
 def serialize_result(result) -> dict:
     """A QueryResult as a wire-safe ``rows`` result object."""
-    return {
+    doc = {
         "kind": "rows",
         "columns": list(result.columns),
         "rows": [[json_safe(v) for v in row] for row in result.rows],
@@ -185,6 +185,9 @@ def serialize_result(result) -> dict:
             "total": result.io.total_io,
         },
     }
+    if result.cache is not None:
+        doc["cache"] = result.cache
+    return doc
 
 
 class Session:
@@ -202,7 +205,14 @@ class Session:
         #: per-session functional-join strategy override ("naive" |
         #: "batched"); None means the served database's default applies
         self.join_mode: str | None = None
+        #: per-session result-cache override; None means the served
+        #: database's default applies (``\set cache on|off|default``)
+        self.cache: bool | None = None
         self.in_txn = False
+        #: read-your-writes guard: True once this open transaction has
+        #: written (replace/delete/DDL) -- cached results predate those
+        #: writes, so the cache neither serves nor fills until commit
+        self._txn_wrote = False
         self.closed = False
         #: cumulative statement count / errors / last statement (for `stats`)
         self.statements = 0
@@ -318,11 +328,12 @@ class Session:
             self._trace_log.extend(s.to_dict() for s in tracer.spans)
             del self._trace_log[:-_TRACE_LOG_SPANS]
         lock_wait_ms = sum(w["waited_ms"] for w in self._stmt_lock_waits)
-        plan, io, rows = "", {}, None
+        plan, io, rows, cache = "", {}, None, ""
         if isinstance(result, dict) and result.get("kind") == "rows":
             plan = result.get("plan", "")
             io = dict(result.get("io") or {})
             rows = len(result.get("rows") or ())
+            cache = result.get("cache") or ""
         fp = self.db.telemetry.statements.observe(
             " ".join(body.split()), duration_ms, io=io, rows=rows,
             lock_wait_ms=lock_wait_ms, wal_bytes=self._stmt_wal_bytes,
@@ -333,7 +344,8 @@ class Session:
                 statement=" ".join(body.split()), duration_ms=duration_ms,
                 plan=plan, io=io, lock_wait_ms=lock_wait_ms,
                 lock_waits=list(self._stmt_lock_waits), session=self.name,
-                outcome=outcome, rows=rows, fingerprint=fp or "")
+                outcome=outcome, rows=rows, fingerprint=fp or "",
+                cache=cache)
         self._stmt_lock_waits = []
 
     # -- lock acquisition (traced) ----------------------------------------
@@ -361,6 +373,7 @@ class Session:
         if self.in_txn:
             raise ReproError("already in a transaction")
         self.in_txn = True
+        self._txn_wrote = False
         return {"kind": "ok", "detail": "begin"}
 
     def _commit(self) -> dict:
@@ -378,6 +391,7 @@ class Session:
 
     def _end_txn(self) -> None:
         self.in_txn = False
+        self._txn_wrote = False
         self.manager.locks.release_all(self.owner)
 
     def _release_if_autocommit(self) -> None:
@@ -386,16 +400,85 @@ class Session:
 
     # -- statements --------------------------------------------------------
 
-    def _query(self, body: str, analyze: bool = False):
-        from repro.query.language import parse_statement
+    def _cache_enabled(self) -> bool:
+        """The effective cache switch: session override, else db default."""
+        if self.cache is not None:
+            return self.cache
+        return self.db.resultcache.enabled
 
+    def _serve_cached(self, entry, analyze: bool):
+        """Serve one probed cache entry under full isolation, or None.
+
+        The entry's stored footprint is reacquired in shared mode (the
+        same resources planning would lock -- DDL invalidates via the
+        schema resource every footprint carries, so a live entry's
+        footprint is current), then the entry is revalidated under the
+        engine latch: a writer that invalidated it between the lock-free
+        probe and our lock grant flipped ``alive`` while holding its
+        X-locks, so the post-lock check closes that race.  Returns None
+        when the entry died -- the caller falls through to normal
+        execution, keeping the shared locks it just acquired.
+        """
+        self._acquire(_SCHEMA_SHARED)
+        try:
+            self._acquire(LockFootprint(shared=entry.footprint))
+            with self.manager.latch:
+                if self.db.resultcache.hit(entry) is None:
+                    return None
+                from repro.query.runner import serve_cached
+
+                result = self._traced(
+                    lambda: serve_cached(entry, analyze=analyze))
+        except (DeadlockError, LockTimeoutError):
+            raise
+        except ReproError:
+            self._release_if_autocommit()
+            raise
+        self._release_if_autocommit()
+        return self._render_rows(result, analyze)
+
+    def _render_rows(self, result, analyze: bool) -> dict:
+        if analyze:
+            from repro.query.analyze import render_analyze
+
+            text = (render_analyze(result)
+                    + f"\n({len(result.rows)} row(s))   plan: {result.plan}")
+            if result.cache:
+                text += f"   cache: {result.cache}"
+            return {"kind": "text", "text": text}
+        return serialize_result(result)
+
+    def _query(self, body: str, analyze: bool = False):
+        from repro.query.language import (
+            Delete,
+            Replace,
+            Retrieve,
+            parse_statement,
+        )
+
+        cache = self.db.resultcache
+        collapsed = " ".join(body.split())
+        is_retrieve = collapsed.split(None, 1)[:1] == ["retrieve"]
+        cache_on = is_retrieve and self._cache_enabled()
+        # read-your-writes: inside an explicit transaction that has
+        # written, every cached result predates this session's own writes
+        txn_dirty = self.in_txn and self._txn_wrote
+        if cache_on and txn_dirty:
+            cache.bypass("txn_write")
+        elif cache_on:
+            entry = cache.get(collapsed)
+            if entry is not None:
+                served = self._serve_cached(entry, analyze)
+                if served is not None:
+                    return served
         stmt = parse_statement(body)
         # schema lock first: the catalog is stable while the footprint is
         # computed from the plan, and stays stable through execution
         self._acquire(_SCHEMA_SHARED)
         stmt_lsn = 0
         try:
-            self._acquire(footprint_for_statement(self.db, stmt))
+            footprint = footprint_for_statement(self.db, stmt)
+            self._acquire(footprint)
             with self.manager.latch:
                 lsn_before = self._hub_lsn()
                 wal_before = self.db.telemetry.metrics.value("wal_bytes_total")
@@ -407,8 +490,23 @@ class Session:
                     self._stmt_wal_bytes = (
                         self.db.telemetry.metrics.value("wal_bytes_total")
                         - wal_before)
+                if isinstance(stmt, Retrieve) and cache_on and not txn_dirty:
+                    # fill while still holding the shared footprint locks
+                    # and the latch: no writer can race the stored rows
+                    if footprint.exclusive:
+                        cache.bypass("lazy_refresh")
+                        result.cache = "bypass"
+                    else:
+                        cache.miss(collapsed)
+                        cache.fill(collapsed, result.columns, result.rows,
+                                   result.plan, footprint.shared)
+                        result.cache = "miss"
+                elif isinstance(stmt, Retrieve) and cache_on:
+                    result.cache = "bypass"
                 lsn_after = self._hub_lsn()
                 stmt_lsn = lsn_after if lsn_after > lsn_before else 0
+            if isinstance(stmt, (Replace, Delete)) and self.in_txn:
+                self._txn_wrote = True
         except (DeadlockError, LockTimeoutError):
             raise
         except ReproError:
@@ -416,13 +514,7 @@ class Session:
             raise
         self._release_if_autocommit()
         self._await_quorum(stmt_lsn)
-        if analyze:
-            from repro.query.analyze import render_analyze
-
-            text = (render_analyze(result)
-                    + f"\n({len(result.rows)} row(s))   plan: {result.plan}")
-            return {"kind": "text", "text": text}
-        return serialize_result(result)
+        return self._render_rows(result, analyze)
 
     def _ddl(self, body: str) -> dict:
         self._acquire(ddl_footprint())
@@ -439,6 +531,8 @@ class Session:
                         - wal_before)
                 lsn_after = self._hub_lsn()
                 stmt_lsn = lsn_after if lsn_after > lsn_before else 0
+            if self.in_txn:
+                self._txn_wrote = True
         finally:
             self._release_if_autocommit()
         self._await_quorum(stmt_lsn)
@@ -561,7 +655,13 @@ class Session:
 
             return render_status(status_fn())
         if command == "fingerprints":
-            return db.telemetry.statements.render_text()
+            return db.telemetry.statements.render_text(
+                cache_rates=db.resultcache.fingerprint_rates())
+        if command == "cache":
+            if args and args[0] == "clear":
+                dropped = db.resultcache.invalidate_all(reason="all")
+                return f"result cache cleared ({dropped} entries dropped)"
+            return db.resultcache.render_text()
         if command == "ledger":
             return db.telemetry.repledger.render_text()
         if command == "verify":
@@ -600,9 +700,12 @@ class Session:
         raise ReproError(f"unknown \\trace mode {mode!r} (on|off|clear|dump)")
 
     def _meta_set(self, args: list[str]) -> str:
-        """Per-session settings: currently only ``joinmode``."""
-        if not args or args[0] != "joinmode":
-            raise ReproError("usage: \\set joinmode naive|batched|default")
+        """Per-session settings: ``joinmode`` and ``cache``."""
+        if not args or args[0] not in ("joinmode", "cache"):
+            raise ReproError("usage: \\set joinmode naive|batched|default"
+                             " | \\set cache on|off|default")
+        if args[0] == "cache":
+            return self._meta_set_cache(args[1:])
         if len(args) < 2:
             effective = self.join_mode or self.db.join_mode
             source = "session" if self.join_mode else "server default"
@@ -617,6 +720,26 @@ class Session:
         self.join_mode = value
         return f"join mode {value} (session)"
 
+    def _meta_set_cache(self, args: list[str]) -> str:
+        """``\\set cache on|off|default`` -- per-session cache override."""
+        def _describe() -> str:
+            effective = "on" if self._cache_enabled() else "off"
+            source = ("session" if self.cache is not None
+                      else "server default")
+            return f"result cache {effective} ({source})"
+
+        if not args:
+            return _describe()
+        value = args[0]
+        if value == "default":
+            self.cache = None
+        elif value in ("on", "off"):
+            self.cache = value == "on"
+        else:
+            raise ReproError(
+                f"cache must be 'on', 'off' or 'default', not {value!r}")
+        return _describe()
+
     # -- introspection -----------------------------------------------------
 
     def info(self) -> dict:
@@ -627,6 +750,7 @@ class Session:
             "in_txn": self.in_txn,
             "tracing": self.trace,
             "join_mode": self.join_mode or self.db.join_mode,
+            "cache": "on" if self._cache_enabled() else "off",
             "statements": self.statements,
             "errors": self.errors,
             "last_statement": self.last_statement[:120],

@@ -110,6 +110,23 @@ def render_top(stats: dict, prev: dict | None = None,
                 f"io {s.get('io_pages', 0):5d}  "
                 f"rows {s.get('rows', 0):6d}  "
                 f"{s.get('statement', '')[:48]}")
+    cache = stats.get("cache") or {}
+    if cache:
+        invalidations = cache.get("invalidations") or {}
+        lines.append(
+            f"cache  {'on' if cache.get('enabled') else 'off'}  "
+            f"entries {cache.get('entries', 0)}  "
+            f"bytes {cache.get('bytes', 0)}/{cache.get('capacity_bytes', 0)}  "
+            f"hit rate {cache.get('hit_rate', 0.0) * 100:.1f}%  "
+            f"hits {cache.get('hits', 0)}  misses {cache.get('misses', 0)}  "
+            f"evictions {cache.get('evictions', 0)}  "
+            f"invalidations {sum(invalidations.values())}")
+        for entry in cache.get("hottest") or []:
+            lines.append(
+                f"  x{entry.get('hits', 0):<5} "
+                f"{entry.get('rows', 0):6d} rows  "
+                f"{entry.get('bytes', 0):8d}B  "
+                f"{entry.get('statement', '')[:56]}")
     repl = stats.get("replication") or {}
     role = repl.get("role", "none")
     if role != "none":

@@ -65,7 +65,7 @@ class SlowQueryLog:
                 io: dict | None = None, lock_wait_ms: float = 0.0,
                 lock_waits: list | None = None, session: str = "",
                 outcome: str = "ok", rows: int | None = None,
-                fingerprint: str = "") -> bool:
+                fingerprint: str = "", cache: str = "") -> bool:
         """Record one finished statement if it was slow; True if kept."""
         if duration_ms < self.threshold_ms:
             return False
@@ -82,6 +82,8 @@ class SlowQueryLog:
             "lock_waits": list(lock_waits or []),
             "outcome": outcome,
             "rows": rows,
+            #: result-cache disposition: "hit" | "miss" | "bypass" | ""
+            "cache": cache,
         }
         with self._mutex:
             self._entries.append(record)
@@ -142,8 +144,10 @@ class SlowQueryLog:
             return "(no slow queries recorded)"
         lines = []
         for e in entries:
+            cache = e.get("cache") or ""
+            tag = f"  cache:{cache}" if cache else ""
             lines.append(
                 f"{e['duration_ms']:9.1f}ms  lock {e['lock_wait_ms']:7.1f}ms  "
-                f"io {e['io'].get('total', 0):4d}  [{e['outcome']}]  "
+                f"io {e['io'].get('total', 0):4d}  [{e['outcome']}]{tag}  "
                 f"{e['statement']}")
         return "\n".join(lines)

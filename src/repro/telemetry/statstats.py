@@ -264,20 +264,30 @@ class StatementStats:
             self._entries.clear()
         self.evicted = 0
 
-    def render_text(self) -> str:
-        """The ``\\fingerprints`` table, most-called first."""
+    def render_text(self, cache_rates: dict | None = None) -> str:
+        """The ``\\fingerprints`` table, most-called first.
+
+        ``cache_rates`` (from
+        :meth:`repro.cache.ResultCache.fingerprint_rates`) joins the
+        result cache's per-fingerprint hit/miss counts into a ``cache%``
+        column -- statements the cache never saw show ``-``.
+        """
         rows = self.entries()
         if not rows:
             return "(no statements recorded)"
+        rates = cache_rates or {}
         lines = [f"{'calls':>7} {'errs':>5} {'rows':>8} {'io':>7} "
                  f"{'lock ms':>9} {'wal B':>9} {'p50':>8} {'p95':>8} "
-                 f"{'p99':>8}  statement"]
+                 f"{'p99':>8} {'cache%':>7}  statement"]
         for r in rows:
+            rate = rates.get(r["fingerprint"])
+            cache_col = (f"{rate['hit_rate'] * 100.0:6.1f}%"
+                         if rate is not None else f"{'-':>7}")
             lines.append(
                 f"{r['calls']:7d} {r['errors']:5d} {r['rows']:8d} "
                 f"{r['io_pages']:7d} {r['lock_wait_ms']:9.1f} "
                 f"{r['wal_bytes']:9d} {r['p50_ms']:8.2f} {r['p95_ms']:8.2f} "
-                f"{r['p99_ms']:8.2f}  [{r['fingerprint']}] "
+                f"{r['p99_ms']:8.2f} {cache_col}  [{r['fingerprint']}] "
                 f"{r['statement'][:70]}")
         if self.evicted:
             lines.append(f"({self.evicted} fingerprint(s) evicted; "

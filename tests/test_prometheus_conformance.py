@@ -143,6 +143,42 @@ def test_label_values_are_escaped():
     assert _one(samples, "evil_total", {"path": nasty}) == 1
 
 
+def test_result_cache_metrics_conform():
+    """The result cache's counters and gauges render as well-formed
+    exposition: pre-registered zero counters, labelled invalidation and
+    bypass reasons, and gauges that track fills and flushes."""
+    from repro.cache import ResultCache
+
+    registry = MetricsRegistry()
+    cache = ResultCache(capacity_bytes=10_000, enabled=True,
+                        metrics=registry)
+    # zero-valued counters are present before any traffic (rate() safety)
+    samples, __, types, __ = parse_exposition(registry.render_prometheus())
+    for name in ("result_cache_hits_total", "result_cache_misses_total",
+                 "result_cache_evictions_total"):
+        assert types[name] == "counter"
+        assert _one(samples, name, {}) == 0
+    cache.miss("retrieve (Emp1.name)")
+    cache.fill("retrieve (Emp1.name)", ["Emp1.name"], [["a"]],
+               "FileScan(Emp1)", {"__schema", "Emp1"})
+    entry = cache.get("retrieve (Emp1.name)")
+    assert cache.hit(entry) is not None
+    cache.bypass("lazy_refresh")
+    cache.invalidate({"Emp1"}, reason="write")
+    samples, helps, types, __ = parse_exposition(registry.render_prometheus())
+    assert _one(samples, "result_cache_hits_total", {}) == 1
+    assert _one(samples, "result_cache_misses_total", {}) == 1
+    assert _one(samples, "result_cache_bypass_total",
+                {"reason": "lazy_refresh"}) == 1
+    assert _one(samples, "result_cache_invalidations_total",
+                {"reason": "write"}) == 1
+    assert types["result_cache_bytes"] == "gauge"
+    assert types["result_cache_entries"] == "gauge"
+    assert _one(samples, "result_cache_entries", {}) == 0  # invalidated
+    assert _one(samples, "result_cache_bytes", {}) == 0
+    assert "result_cache_hits_total" in helps
+
+
 def test_statement_latency_histogram_conforms():
     """The new per-fingerprint latency histogram obeys all of the above
     through the shared registry."""

@@ -1,0 +1,333 @@
+"""The derived-result cache: unit behaviour, embedded integration, and
+invalidation precision against the replication catalog."""
+
+import pytest
+
+from repro import Database, TypeDefinition, char_field, int_field, ref_field
+from repro.cache import (
+    ResultCache,
+    cache_key,
+    retrieve_footprint,
+    structural_resources,
+    write_resources,
+)
+from repro.query.language import parse_statement
+from tests.conftest import define_employee_schema
+
+
+# ---------------------------------------------------------------------------
+# the cache data structure itself
+# ---------------------------------------------------------------------------
+
+
+def _fill(cache, text, rows=((1,),), footprint=("S", "__schema")):
+    return cache.fill(text, ("c",), rows, "plan", frozenset(footprint))
+
+
+def test_cache_key_collapses_whitespace_but_keeps_literals():
+    assert cache_key("retrieve  (Emp.name)\n where x = 1") == \
+        "retrieve (Emp.name) where x = 1"
+    # distinct literals are distinct keys (they share a fingerprint only)
+    assert cache_key("retrieve (E.n) where E.s = 1") != \
+        cache_key("retrieve (E.n) where E.s = 2")
+
+
+def test_hit_miss_and_fingerprint_rates():
+    cache = ResultCache(enabled=True)
+    q1 = "retrieve (E.n) where E.s = 1"
+    q2 = "retrieve (E.n) where E.s = 2"  # same shape, different literal
+    cache.miss(q1)
+    _fill(cache, q1)
+    entry = cache.get(cache_key(q1))
+    assert entry is not None
+    assert cache.hit(entry) is entry
+    assert cache.get(cache_key(q2)) is None
+    cache.miss(q2)
+    _fill(cache, q2)
+    assert (cache.hits, cache.misses) == (1, 2)
+    rates = cache.fingerprint_rates()
+    assert len(rates) == 1  # one shape
+    (rate,) = rates.values()
+    assert rate == {"hits": 1, "misses": 2, "hit_rate": 1 / 3}
+
+
+def test_lru_eviction_is_byte_bounded_and_oversized_entries_skip():
+    cache = ResultCache(capacity_bytes=500, enabled=True)
+    assert not _fill(cache, "huge", rows=[("x" * 2000,)])
+    assert len(cache) == 0
+    for i in range(5):
+        assert _fill(cache, f"q{i}")
+    assert cache.bytes_used <= 500
+    assert cache.evictions > 0
+    # the survivors are the most recently filled
+    assert cache.get("q0") is None
+    assert cache.get(f"q{4}") is not None
+
+
+def test_lru_order_follows_hits_not_just_fills():
+    cache = ResultCache(capacity_bytes=400, enabled=True)
+    _fill(cache, "a")
+    _fill(cache, "b")
+    cache.hit(cache.get("a"))  # a becomes most-recent
+    for i in range(4):
+        _fill(cache, f"filler{i}")
+    # b (least recently served) went before a
+    assert cache.get("b") is None
+
+
+def test_invalidate_drops_only_intersecting_entries():
+    cache = ResultCache(enabled=True)
+    _fill(cache, "on_s", footprint=("S", "__schema"))
+    _fill(cache, "on_t", footprint=("T", "__schema"))
+    _fill(cache, "on_both", footprint=("S", "T", "__schema"))
+    assert cache.invalidate({"S"}) == 2
+    assert cache.get("on_s") is None
+    assert cache.get("on_both") is None
+    assert cache.get("on_t") is not None  # disjoint entry stays warm
+    assert cache.invalidations["write"] == 2
+
+
+def test_schema_resource_invalidates_everything():
+    cache = ResultCache(enabled=True)
+    _fill(cache, "a", footprint=("S", "__schema"))
+    _fill(cache, "b", footprint=("T", "__schema"))
+    assert cache.invalidate({"__schema"}, reason="ddl") == 2
+    assert len(cache) == 0
+
+
+def test_probe_then_invalidate_then_hit_returns_none():
+    """The served path's race: get() probes lock-free, a writer
+    invalidates, then hit() under locks must refuse the dead entry."""
+    cache = ResultCache(enabled=True)
+    _fill(cache, "q", footprint=("S", "__schema"))
+    entry = cache.get("q")
+    cache.invalidate({"S"})
+    assert cache.hit(entry) is None
+    assert cache.hits == 0
+
+
+def test_refill_replaces_and_snapshot_shape():
+    cache = ResultCache(enabled=True)
+    _fill(cache, "q", rows=((1,),))
+    _fill(cache, "q", rows=((1,), (2,)))
+    assert len(cache) == 1
+    assert len(cache.get("q").rows) == 2
+    doc = cache.snapshot()
+    assert set(doc) >= {"enabled", "entries", "bytes", "capacity_bytes",
+                        "hits", "misses", "bypasses", "evictions",
+                        "invalidations", "hit_rate", "hottest"}
+    assert doc["entries"] == 1
+    assert cache.render_text().startswith("result cache on")
+
+
+# ---------------------------------------------------------------------------
+# resource-set computation against a real catalog
+# ---------------------------------------------------------------------------
+
+
+def _replicated_db(**kwargs) -> Database:
+    db = Database(**kwargs)
+    define_employee_schema(db)
+    db.replicate("Emp1.dept.name")  # S = Dept, referencing set = Emp1
+    return db
+
+
+def test_write_resources_expand_with_the_replication_catalog():
+    db = _replicated_db()
+    # a write to the replicated field reaches the source set and every
+    # structure its inverted paths maintain
+    touched = write_resources(db, "Dept", ["name"])
+    assert "Dept" in touched
+    assert "Emp1" in touched  # referencing set holds the copies
+    # a write to an unreplicated field of the same set stays local
+    assert write_resources(db, "Dept", ["budget"]) == frozenset({"Dept"})
+    # membership changes on a path's root set reach every set the path
+    # traverses (mirrors DeletePlan's lock expansion) ...
+    assert {"Emp1", "Dept"} <= structural_resources(db, "Emp1")
+    # ... while the referenced set has no paths sourced at it: deleting a
+    # still-referenced Dept is refused upstream, so the expansion stays local
+    assert structural_resources(db, "Dept") == frozenset({"Dept"})
+
+
+def test_retrieve_footprint_cacheable_and_lazy_bypass():
+    db = _replicated_db()
+    resources, cacheable = retrieve_footprint(
+        db, parse_statement("retrieve (Emp1.name, Emp1.dept.name)"))
+    assert cacheable
+    assert {"Emp1", "__schema"} <= resources
+
+    lazy = Database()
+    define_employee_schema(lazy)
+    lazy.replicate("Emp1.dept.name", lazy=True)
+    __, cacheable = retrieve_footprint(
+        lazy, parse_statement("retrieve (Emp1.name, Emp1.dept.name)"))
+    assert not cacheable  # the read drains the pending queue -- a write
+
+
+# ---------------------------------------------------------------------------
+# embedded integration: Database(cache=True) + execute_text
+# ---------------------------------------------------------------------------
+
+
+def _populated(**kwargs) -> Database:
+    db = _replicated_db(**kwargs)
+    orgs = db.insert("Org", {"name": "acme", "budget": 10})
+    depts = [db.insert("Dept", {"name": f"d{i}", "budget": i, "org": orgs})
+             for i in range(3)]
+    for i in range(9):
+        db.insert("Emp1", {"name": f"e{i}", "age": 20 + i,
+                           "salary": 100 * i, "dept": depts[i % 3]})
+    return db
+
+
+def test_embedded_hit_serves_identical_rows_with_zero_io():
+    db = _populated(cache=True)
+    q = "retrieve (Emp1.name, Emp1.dept.name) where Emp1.salary >= 300"
+    first = db.execute(q)
+    assert first.cache == "miss"
+    db.cold_cache()  # even a cold buffer pool: a hit does no page reads
+    again = db.execute("retrieve (Emp1.name,  Emp1.dept.name)"
+                       "  where Emp1.salary >= 300")
+    assert again.cache == "hit"
+    assert again.rows == first.rows
+    assert again.columns == first.columns
+    assert again.io.total_io == 0
+
+
+def test_replace_on_replicated_field_invalidates_precisely():
+    """The ISSUE's counter-proof: a replace on S.repfield invalidates the
+    entries touching S / its propagation targets and nothing else."""
+    db = _populated(cache=True)
+    q_emp = "retrieve (Emp1.name, Emp1.dept.name)"  # touches Dept copies
+    q_dept = "retrieve (Dept.name)"                 # touches Dept itself
+    q_org = "retrieve (Org.name)"                   # disjoint
+    for q in (q_emp, q_dept, q_org):
+        assert db.execute(q).cache == "miss"
+    assert len(db.resultcache) == 3
+    before = dict(db.resultcache.invalidations)
+
+    dept = next(oid for oid, __ in db.catalog.get_set("Dept").scan())
+    db.update("Dept", dept, {"name": "renamed"})
+
+    # exactly the two intersecting entries went; the disjoint one is warm
+    gained = (db.resultcache.invalidations["write"]
+              - before.get("write", 0))
+    assert gained == 2
+    assert db.execute(q_org).cache == "hit"
+    assert db.execute(q_emp).cache == "miss"
+    assert db.execute(q_dept).cache == "miss"
+    # and the re-executed rows reflect the write
+    assert any("renamed" in row for row in db.execute(q_dept).rows)
+
+
+def test_unreplicated_field_write_leaves_referencing_entries_warm():
+    db = _populated(cache=True)
+    q_emp = "retrieve (Emp1.name)"
+    q_dept = "retrieve (Dept.name, Dept.budget)"
+    db.execute(q_emp)
+    db.execute(q_dept)
+    dept = next(oid for oid, __ in db.catalog.get_set("Dept").scan())
+    db.update("Dept", dept, {"budget": 999})  # budget is not replicated
+    assert db.execute(q_emp).cache == "hit"
+    assert db.execute(q_dept).cache == "miss"
+
+
+def test_insert_delete_and_ddl_invalidate():
+    db = _populated(cache=True)
+    q = "retrieve (Emp1.name)"
+    db.execute(q)
+    db.insert("Emp1", {"name": "new", "age": 1, "salary": 1, "dept": None})
+    assert db.execute(q).cache == "miss"
+    assert db.execute(q).cache == "hit"  # refilled by the miss above
+    victim = next(oid for oid, __ in db.catalog.get_set("Emp1").scan())
+    db.delete("Emp1", victim)
+    assert db.execute(q).cache == "miss"
+    db.execute(q)
+    db.create_set("Emp3", "EMP")  # DDL: the __schema resource
+    assert db.resultcache.invalidations["ddl"] > 0
+    assert db.execute(q).cache == "miss"
+
+
+def test_lazy_path_reads_bypass_and_refresh_invalidates():
+    db = Database(cache=True)
+    define_employee_schema(db)
+    db.replicate("Emp1.dept.name", lazy=True)
+    org = db.insert("Org", {"name": "o", "budget": 1})
+    dept = db.insert("Dept", {"name": "d0", "budget": 1, "org": org})
+    db.insert("Emp1", {"name": "e0", "age": 1, "salary": 1, "dept": dept})
+    lazy_q = "retrieve (Emp1.name, Emp1.dept.name)"
+    plain_q = "retrieve (Emp1.name)"
+    assert db.execute(lazy_q).cache == "bypass"  # queue drain = a write
+    assert db.execute(lazy_q).cache == "bypass"  # never cached
+    assert db.execute(plain_q).cache == "miss"
+    assert db.execute(plain_q).cache == "hit"
+    db.update("Dept", dept, {"name": "d1"})
+    db.refresh("Emp1.dept.name")
+    assert [r for r in db.execute(lazy_q).rows] == [("e0", "d1")]
+
+
+def test_cache_off_by_default_and_session_independent_counters():
+    db = _populated()
+    assert not db.resultcache.enabled
+    result = db.execute("retrieve (Emp1.name)")
+    assert result.cache is None
+    assert len(db.resultcache) == 0
+    assert db.resultcache.hits == db.resultcache.misses == 0
+
+
+def test_recover_and_repair_flush_the_cache():
+    db = _populated(cache=True, wal=True)
+    db.execute("retrieve (Emp1.name)")
+    assert len(db.resultcache) == 1
+    db.doctor(repair=True)
+    assert len(db.resultcache) == 0
+
+
+def test_explain_analyze_annotates_hits():
+    db = _populated(cache=True)
+    q = "retrieve (Emp1.name) where Emp1.salary >= 300"
+    db.execute(q)
+    analyzed = db.explain_analyze(q)
+    assert analyzed.cache == "hit"
+    assert analyzed.operators
+    assert analyzed.operators[0].name == "cache_hit"
+    assert analyzed.rows == db.execute(q).rows
+
+
+def test_slowlog_and_fingerprints_carry_cache_annotations():
+    db = _populated(cache=True)
+    db.telemetry.slowlog.configure(threshold_ms=0.0)
+    q = "retrieve (Emp1.name)"
+    db.execute(q)
+    db.execute(q)
+    entries = db.telemetry.slowlog.entries()
+    assert [e["cache"] for e in entries[-2:]] == ["miss", "hit"]
+    rates = db.resultcache.fingerprint_rates()
+    table = db.telemetry.statements.render_text(cache_rates=rates)
+    assert "cache%" in table
+    assert "50.0%" in table
+
+
+def test_prometheus_counters_exposed():
+    db = _populated(cache=True)
+    q = "retrieve (Emp1.name)"
+    db.execute(q)
+    db.execute(q)
+    text = db.telemetry.metrics.render_prometheus()
+    assert "result_cache_hits_total 1" in text
+    assert "result_cache_misses_total 1" in text
+    assert "result_cache_entries 1" in text
+
+
+def test_custom_capacity_flows_through_database():
+    db = Database(cache=True, cache_bytes=123)
+    assert db.resultcache.capacity_bytes == 123
+
+
+def test_doctor_stays_clean_with_cache_enabled():
+    db = _populated(cache=True)
+    for q in ("retrieve (Emp1.name, Emp1.dept.name)", "retrieve (Dept.name)"):
+        db.execute(q)
+        db.execute(q)
+    assert db.doctor().healthy
+    db.verify()
