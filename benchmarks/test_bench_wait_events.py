@@ -1,0 +1,261 @@
+"""Wait-event accounting overhead: watching where time goes must not
+move pages or meaningfully slow the server.
+
+Two identical database/server pairs run the same workload.  The
+*observed* pair has the whole always-on layer up: the wait-event
+collector, the 10 Hz telemetry sampler (ASH ring, time-series probes,
+alert evaluation), and a scraper thread hammering /ash, /timeseries,
+and /alerts throughout.  The *bare* pair runs with the collector
+disabled and the sampler off.
+
+Two phases per pair:
+
+* an 8-client contention phase (concurrent readers + writers on the
+  same sets) -- this is where wait events actually accumulate and
+  throughput is measured.  The pairs run their passes *alternately*
+  (bare, observed, bare, observed, ...) and the best of three walls is
+  kept per pair, so noisy-neighbour drift hits both sides equally
+  instead of masquerading as collector overhead;
+* a single-client deterministic phase from a cold buffer pool -- the
+  physical-I/O acceptance bar, where interleaving cannot blur the
+  comparison.
+
+Acceptance: the deterministic phase's per-statement physical I/O
+vectors must be **byte-identical** between the pairs (collectors read
+counters, never pages), and the observed run must attribute >= 95% of
+statement wall-clock to named wait events, with the engine-latch share
+reported explicitly.  Throughput overhead is recorded into
+``BENCH_wait_events.json`` (informational; the target is < 3%).
+"""
+
+import json
+import threading
+import time
+from urllib.request import urlopen
+
+from repro import Database, TypeDefinition, char_field, int_field, ref_field
+from repro.server import connect
+from repro.server.httpexpo import MetricsHTTPServer
+from repro.server.service import Server
+from repro.telemetry.waitevents import ENGINE_LATCH, base_event
+
+from benchmarks.conftest import save_result
+
+_DEPTS = 4
+_EMPS = 48
+_CLIENTS = 8
+_ROUNDS = 6
+_PASSES = 3
+
+
+def _build() -> Database:
+    db = Database(wal=True, buffer_frames=64)
+    db.define_type(TypeDefinition("DEPT", [char_field("name", 40),
+                                           int_field("budget")]))
+    db.define_type(TypeDefinition("EMP", [char_field("name", 40),
+                                          int_field("salary"),
+                                          ref_field("dept", "DEPT")]))
+    db.create_set("Dept", "DEPT")
+    db.create_set("Emp", "EMP")
+    depts = [db.insert("Dept", {"name": f"dept{i}", "budget": 100 + i})
+             for i in range(_DEPTS)]
+    for i in range(_EMPS):
+        db.insert("Emp", {"name": f"emp{i}", "salary": 1000 + i,
+                          "dept": depts[i % _DEPTS]})
+    db.replicate("Emp.dept.name")
+    return db
+
+
+def _client_ops(client_no: int) -> list[str]:
+    """One client's contention-phase sequence: reads on the shared sets
+    plus in-place salary writes.  The writes commute (each targets the
+    client's own employee and always sets the same value), so the final
+    database state is interleaving-independent."""
+    ops = []
+    for round_no in range(_ROUNDS):
+        ops.append("retrieve (Emp.name, Emp.dept.name)")
+        ops.append(f"replace (Emp.salary = {2000 + client_no}) "
+                   f'where Emp.name = "emp{client_no}"')
+        ops.append("retrieve (Dept.name, Dept.budget)")
+        ops.append(f"retrieve (Emp.name) where Emp.salary > {1000 + round_no}")
+    return ops
+
+
+def _deterministic_ops() -> list[str]:
+    """The single-client sequence both pairs replay for the byte-identical
+    physical-I/O comparison."""
+    ops = []
+    for round_no in range(3):
+        ops.append("retrieve (Emp.name, Emp.dept.name)")
+        ops.append("retrieve (Dept.name, Dept.budget)")
+        ops.append(f'replace (Dept.name = "r{round_no}") '
+                   f"where Dept.budget = {100 + round_no % _DEPTS}")
+        ops.append("retrieve (Emp.name) where Emp.salary > 1020")
+        ops.append("retrieve (Emp.dept.name)")
+    return ops
+
+
+class _Pair:
+    """One database/server pair, observed (all collectors on) or bare."""
+
+    def __init__(self, observed: bool) -> None:
+        self.observed = observed
+        self.db = _build()
+        if not observed:
+            self.db.telemetry.waits.enabled = False
+        self.server = Server(self.db, max_connections=_CLIENTS + 2,
+                             workers=4, queue_depth=64, lock_timeout=30.0,
+                             sample_interval=0.1 if observed else 0).start()
+        self.sidecar = None
+        self.scraper = None
+        self.scrapes = 0
+        self._stop = threading.Event()
+        if observed:
+            self.sidecar = MetricsHTTPServer(self.server).start()
+            self.scraper = threading.Thread(target=self._scrape_loop,
+                                            daemon=True)
+            self.scraper.start()
+
+    def _scrape_loop(self) -> None:
+        base = f"http://{self.sidecar.host}:{self.sidecar.port}"
+        while not self._stop.is_set():
+            for path in ("/ash?window_s=60", "/timeseries?window_s=60",
+                         "/alerts"):
+                with urlopen(base + path, timeout=10.0) as response:
+                    assert response.status == 200
+                    response.read()
+            self.scrapes += 1
+            time.sleep(0.2)
+
+    def run_concurrent_once(self) -> float:
+        """One 8-client pass; returns its wall-clock seconds."""
+        barrier = threading.Barrier(_CLIENTS, timeout=60.0)
+        failures: list[str] = []
+
+        def worker(client_no: int) -> None:
+            try:
+                with connect(*self.server.address) as client:
+                    barrier.wait()
+                    for statement in _client_ops(client_no):
+                        client.execute(statement)
+            except Exception as exc:  # surfaced after join
+                failures.append(f"client {client_no}: {exc!r}")
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(_CLIENTS)]
+        began = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120.0)
+        wall = time.perf_counter() - began
+        assert not failures, failures
+        return wall
+
+    def run_deterministic(self) -> list[list[int]]:
+        per_op_io = []
+        with connect(*self.server.address) as client:
+            client.meta("cold")
+            for statement in _deterministic_ops():
+                result = client.execute(statement)
+                per_op_io.append([result.io.physical_reads,
+                                  result.io.physical_writes])
+        return per_op_io
+
+    def finish(self) -> dict:
+        self._stop.set()
+        if self.scraper is not None:
+            self.scraper.join(timeout=10.0)
+        if self.sidecar is not None:
+            self.sidecar.shutdown()
+        snapshot = {
+            "waits": self.db.telemetry.waits.snapshot(),
+            "ash_sampled": self.server.ash.sampled_total,
+            "alert_evaluations": self.server.alerts.evaluations,
+            "scrapes": self.scrapes,
+        }
+        self.server.shutdown()
+        self.db.verify()
+        return snapshot
+
+
+def test_wait_accounting_is_complete_and_adds_zero_physical_io(results_dir):
+    statements = _CLIENTS * len(_client_ops(0))
+    bare = _Pair(observed=False)
+    observed = _Pair(observed=True)
+    try:
+        bare.run_concurrent_once()  # warm-up, discarded: the very first
+        observed.run_concurrent_once()  # pass is consistently an outlier
+        walls = {"bare": [], "observed": []}
+        for pass_no in range(_PASSES):  # alternate who goes first so
+            first, second = ((bare, observed) if pass_no % 2 == 0
+                             else (observed, bare))  # drift hits both sides
+            walls["bare" if first is bare else "observed"].append(
+                first.run_concurrent_once())
+            walls["bare" if second is bare else "observed"].append(
+                second.run_concurrent_once())
+        bare_io = bare.run_deterministic()
+        observed_io = observed.run_deterministic()
+    finally:
+        bare_stats = bare.finish()
+        observed_stats = observed.finish()
+
+    # the acceptance bar: byte-identical per-statement physical I/O
+    assert json.dumps(bare_io) == json.dumps(observed_io)
+    assert any(reads > 0 for reads, __ in bare_io)  # teeth
+    # the bare pair really had the collector off
+    assert bare_stats["waits"]["enabled"] is False
+    assert bare_stats["waits"]["statements"] == 0
+
+    # >= 95% of statement wall-clock attributed to named events
+    waits = observed_stats["waits"]
+    assert waits["statements"] >= _PASSES * statements
+    assert waits["coverage"] >= 0.95
+
+    # the engine-latch share is explicit (the latch-removal evidence base)
+    by_class: dict = {}
+    for row in waits["events"]:
+        cls = base_event(row["event"])
+        by_class[cls] = round(by_class.get(cls, 0.0) + row["seconds"], 6)
+    latch_seconds = by_class.get(ENGINE_LATCH, 0.0)
+    latch_share = (latch_seconds / waits["attributed_seconds"]
+                   if waits["attributed_seconds"] else 0.0)
+
+    # every always-on collector demonstrably ran during the workload
+    assert observed_stats["scrapes"] > 0
+    assert observed_stats["ash_sampled"] > 0
+    assert observed_stats["alert_evaluations"] > 0
+
+    def median(values):
+        ordered = sorted(values)
+        return ordered[len(ordered) // 2]
+
+    tput_bare = statements / median(walls["bare"])
+    tput_observed = statements / median(walls["observed"])
+    overhead_pct = round((tput_bare - tput_observed) / tput_bare * 100, 1)
+    result = {
+        "benchmark": "wait_events_overhead",
+        "clients": _CLIENTS,
+        "passes": _PASSES,
+        "statements_per_pass": statements,
+        "deterministic_ops": len(bare_io),
+        "per_op_physical_io_identical": True,
+        "per_op_io": bare_io,
+        "coverage": waits["coverage"],
+        "statement_seconds": waits["statement_seconds"],
+        "attributed_seconds": waits["attributed_seconds"],
+        "wait_seconds_by_class": dict(sorted(by_class.items())),
+        "engine_latch_seconds": round(latch_seconds, 6),
+        "engine_latch_share": round(latch_share, 4),
+        "ash_samples": observed_stats["ash_sampled"],
+        "alert_evaluations": observed_stats["alert_evaluations"],
+        "scrapes_during_run": observed_stats["scrapes"],
+        "walls_bare_s": [round(w, 4) for w in walls["bare"]],
+        "walls_observed_s": [round(w, 4) for w in walls["observed"]],
+        "throughput_bare_stmt_s": round(tput_bare, 1),
+        "throughput_observed_stmt_s": round(tput_observed, 1),
+        "throughput_overhead_pct": overhead_pct,
+        "throughput_overhead_target_pct": 3.0,
+    }
+    save_result(results_dir, "BENCH_wait_events.json",
+                json.dumps(result, indent=2))

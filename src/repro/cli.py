@@ -36,6 +36,13 @@ with ``;`` or a blank line.  Connected to a server, ``begin`` / ``commit``
                        (``clear`` drops every entry)
     \\ledger            replication cost/benefit ledger: measured net page
                        benefit per replicated path (charges vs credits)
+    \\waits             wait-event accounting: where statement wall-clock
+                       went (engine latch, locks, buffer I/O, WAL flush,
+                       queue, replication acks, cpu residual)
+    \\ash [SECS]        active session history: sampled per-session wait
+                       states over the last SECS seconds (connected only)
+    \\alerts            threshold alerts: firing/resolved state plus the
+                       recent transition history (connected only)
     \\set joinmode M    functional-join strategy: ``naive`` (row-at-a-time
                        OID probes) or ``batched`` (sort-and-dedupe sweeps;
                        the default); connected, ``default`` reverts the
@@ -75,7 +82,7 @@ DEFAULT_ROW_LIMIT = 50
 #: so the dump shows the stitched client->server->engine tree.
 _FORWARDED_META = ("describe", "stats", "monitor", "fingerprints", "ledger",
                    "verify", "doctor", "recover", "cold", "set",
-                   "replication", "cache")
+                   "replication", "cache", "waits", "ash", "alerts")
 
 
 def render_result(result, limit: int | None = DEFAULT_ROW_LIMIT) -> str:
@@ -248,6 +255,12 @@ class Shell:
                 self.write(self.db.resultcache.render_text())
         elif command == "ledger":
             self.write(self.db.telemetry.repledger.render_text())
+        elif command == "waits":
+            self.write(self.db.telemetry.waits.render_text())
+        elif command in ("ash", "alerts"):
+            self.fail(f"error: \\{command} needs a connected server "
+                      "(--connect host:port); embedded sessions have no "
+                      "sampler")
         elif command == "verify":
             self.db.verify()
             self.write("all replication invariants hold")

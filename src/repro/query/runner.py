@@ -144,6 +144,8 @@ def execute_text(db: Database, text: str, materialize: bool = True,
                 fingerprint=fp or "", cache="hit")
             return result
     wal_bytes = db.telemetry.metrics.value("wal_bytes_total")
+    waits = db.telemetry.waits
+    wait_ctx = waits.begin_statement(0, "embedded", collapsed)
     started = time.perf_counter()
     try:
         if not tracer.enabled:
@@ -164,20 +166,22 @@ def execute_text(db: Database, text: str, materialize: bool = True,
             result.cache = cache_fill(db, stmt, collapsed, result)
     except Exception as exc:
         duration_ms = (time.perf_counter() - started) * 1000.0
+        breakdown = waits.finish_statement(wait_ctx, duration_ms / 1000.0)
         fp = db.telemetry.statements.observe(
             " ".join(text.split()), duration_ms,
-            outcome=type(exc).__name__)
+            outcome=type(exc).__name__, waits=breakdown)
         db.telemetry.slowlog.observe(
             statement=" ".join(text.split()),
             duration_ms=duration_ms,
             outcome=type(exc).__name__,
-            fingerprint=fp or "")
+            fingerprint=fp or "", waits=breakdown)
         raise
     duration_ms = (time.perf_counter() - started) * 1000.0
+    breakdown = waits.finish_statement(wait_ctx, duration_ms / 1000.0)
     wal_bytes = db.telemetry.metrics.value("wal_bytes_total") - wal_bytes
     fp = db.telemetry.statements.observe(
         " ".join(text.split()), duration_ms, io=result.io,
-        rows=len(result.rows), wal_bytes=wal_bytes)
+        rows=len(result.rows), wal_bytes=wal_bytes, waits=breakdown)
     db.telemetry.slowlog.observe(
         statement=" ".join(text.split()),
         duration_ms=duration_ms,
@@ -187,7 +191,8 @@ def execute_text(db: Database, text: str, materialize: bool = True,
             "total": result.io.total_io},
         rows=len(result.rows),
         fingerprint=fp or "",
-        cache=result.cache or "")
+        cache=result.cache or "",
+        waits=breakdown)
     return result
 
 

@@ -41,6 +41,7 @@ Record wire format (also used when a snapshot carries a WAL tail)::
 from __future__ import annotations
 
 import struct
+import time
 import zlib
 from dataclasses import dataclass, field
 from enum import IntEnum
@@ -48,6 +49,7 @@ from enum import IntEnum
 from repro.errors import WalError
 from repro.storage.constants import PAGE_SIZE
 from repro.telemetry.metrics import NULL_METRICS
+from repro.telemetry.waitevents import WAL_FLUSH
 
 __all__ = ["WAL_MAGIC", "WalError", "WalRecord", "WalRecordType",
            "WriteAheadLog"]
@@ -361,11 +363,17 @@ class WriteAheadLog:
             pending = len(self.records) - self._flushed
             tracer = (self._telemetry.tracer
                       if self._telemetry is not None else None)
+            waits = (self._telemetry.waits
+                     if self._telemetry is not None else None)
+            started = (time.perf_counter()
+                       if waits is not None and waits.enabled else None)
             if tracer is not None and tracer.enabled:
                 with tracer.span("wal_flush", records=pending):
                     self._flushed = len(self.records)
             else:
                 self._flushed = len(self.records)
+            if started is not None:
+                waits.record(WAL_FLUSH, time.perf_counter() - started)
             self._m_flushes.inc()
 
     # -- replay / persistence ------------------------------------------------

@@ -16,7 +16,10 @@ snapshotted before exit.
 ``--metrics-port N`` starts the HTTP observability sidecar (0 picks an
 ephemeral port); its address is printed as a second ``metrics on
 host:port`` line.  ``--slow-ms`` sets the slow-query threshold the /slow
-endpoint and ``slow_queries_total`` count against.
+endpoint and ``slow_queries_total`` count against.  ``--sample-interval``
+paces the telemetry sampler feeding the active session history, the
+time-series store, and the alert rules (``<= 0`` disables the sampler
+thread; ``\\ash`` / ``/ash`` then answer empty).
 """
 
 from __future__ import annotations
@@ -58,6 +61,14 @@ def main(argv: list[str] | None = None) -> int:
                              "per this many seconds (<= 0: only at start)")
     parser.add_argument("--slow-ms", type=float, default=None, metavar="MS",
                         help="slow-query log threshold in milliseconds")
+    parser.add_argument("--sample-interval", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="active-session-history / time-series sampling "
+                             "interval (<= 0 disables the sampler thread)")
+    parser.add_argument("--ash-capacity", type=int, default=4096, metavar="N",
+                        help="active-session-history ring size in samples")
+    parser.add_argument("--ts-retention", type=int, default=600, metavar="N",
+                        help="time-series points retained per series")
     parser.add_argument("--join-mode", choices=("naive", "batched"),
                         default=None,
                         help="default functional-join strategy (sessions "
@@ -110,7 +121,10 @@ def main(argv: list[str] | None = None) -> int:
                     sync_replicas=args.sync_replicas,
                     sync_timeout=args.sync_timeout,
                     repl_log_entries=args.repl_log_entries,
-                    drain_timeout=args.drain_timeout)
+                    drain_timeout=args.drain_timeout,
+                    sample_interval=args.sample_interval,
+                    ash_capacity=args.ash_capacity,
+                    ts_retention=args.ts_retention)
     server.start()
     print(f"listening on {server.host}:{server.port}", flush=True)
     sidecar = None

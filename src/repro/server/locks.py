@@ -54,6 +54,7 @@ from repro.query.plan import (
     UpdatePlan,
 )
 from repro.telemetry.metrics import NULL_METRICS
+from repro.telemetry.waitevents import LOCK_PREFIX, NULL_WAITS
 
 #: The catalog-wide resource: DML/queries take it shared, DDL exclusive.
 SCHEMA_RESOURCE = "__schema"
@@ -363,9 +364,13 @@ class LockOwner:
 class LockManager:
     """Reader-writer locks over named resources, one mutex for the lot."""
 
-    def __init__(self, timeout: float = 10.0, metrics=NULL_METRICS) -> None:
+    def __init__(self, timeout: float = 10.0, metrics=NULL_METRICS,
+                 waits=NULL_WAITS) -> None:
         #: default lock-wait bound, seconds; per-call override allowed.
         self.timeout = timeout
+        #: wait-event collector: blocked acquires become ``lock:<resource>``
+        #: events (the elapsed wait split evenly across contended resources)
+        self.waits = waits if waits is not None else NULL_WAITS
         #: per-resource wait histograms + hottest-resources top-K.
         self.contention = ContentionProfiler()
         self._mutex = threading.Lock()
@@ -429,6 +434,7 @@ class LockManager:
             waited = False
             wait_start = time.monotonic()
             contended: dict[str, str] = {}
+            wait_token = None
             try:
                 while True:
                     if owner.victim:
@@ -451,6 +457,8 @@ class LockManager:
                     if not waited:
                         waited = True
                         self._m_waits.inc()
+                        wait_token = self.waits.mark_waiting(
+                            "lock", footprint.describe())
                     victim = self._find_deadlock_victim(owner)
                     if victim is not None:
                         self._m_deadlocks.inc()
@@ -475,8 +483,17 @@ class LockManager:
                 if waited:
                     elapsed = time.monotonic() - wait_start
                     self._m_wait_seconds.observe(elapsed)
-                    for resource, mode in sorted(contended.items()):
-                        self.contention.record(resource, mode, elapsed)
+                    self.waits.unmark_waiting(wait_token)
+                    if contended:
+                        # the footprint is granted all-or-nothing, so the
+                        # wait is one interval: split it evenly across the
+                        # resources that actually blocked
+                        share = elapsed / len(contended)
+                        for resource, mode in sorted(contended.items()):
+                            self.contention.record(resource, mode, elapsed)
+                            self.waits.record(LOCK_PREFIX + resource, share)
+                    else:
+                        self.waits.record(LOCK_PREFIX + "other", elapsed)
 
     def release_all(self, owner: LockOwner) -> None:
         with self._cv:

@@ -43,6 +43,7 @@ import itertools
 import queue
 import threading
 import time
+from contextlib import contextmanager
 
 from repro.errors import (
     DeadlockError,
@@ -65,6 +66,12 @@ from repro.server.locks import (
 from repro.server.protocol import json_safe
 from repro.telemetry.metrics import NULL_METRICS
 from repro.telemetry.tracing import Tracer
+from repro.telemetry.waitevents import (
+    ENGINE_LATCH,
+    NULL_WAITS,
+    QUEUE_WAIT,
+    REPL_ACK,
+)
 
 _QUERY_STARTERS = ("retrieve", "replace", "delete")
 _SCHEMA_SHARED = LockFootprint(shared=frozenset({SCHEMA_RESOURCE}))
@@ -228,6 +235,14 @@ class Session:
         #: WAL bytes the active statement appended, captured under the
         #: engine latch so concurrent sessions can't misattribute them
         self._stmt_wal_bytes = 0
+        #: the active statement's wait ledger (None when the collector
+        #: is disabled or no statement is in flight)
+        self._stmt_waits = None
+        #: cumulative per-event wait seconds across this session's life
+        self.wait_totals: dict[str, float] = {}
+        #: cumulative engine-latch wait / hold seconds (for ``\top``)
+        self.latch_wait_s = 0.0
+        self.latch_hold_s = 0.0
         #: serializes this session's own statements (a pipelining client
         #: must not run two statements under one lock owner at once)
         self._mutex = threading.Lock()
@@ -257,6 +272,12 @@ class Session:
             self._stmt_tracer = tracer
             self._stmt_lock_waits = []
             self._stmt_wal_bytes = 0
+            waits = self.db.telemetry.waits
+            self._stmt_waits = waits.begin_statement(
+                self.id, self.name, " ".join(body.split()))
+            queued = current_queue_wait()
+            if queued > 0.0:
+                waits.record(QUEUE_WAIT, queued)
             started = time.perf_counter()
             outcome = "ok"
             result = None
@@ -327,6 +348,13 @@ class Session:
             self._stmt_tracer = None
             self._trace_log.extend(s.to_dict() for s in tracer.spans)
             del self._trace_log[:-_TRACE_LOG_SPANS]
+        waits = self.db.telemetry.waits
+        breakdown = waits.finish_statement(self._stmt_waits,
+                                           duration_ms / 1000.0)
+        self._stmt_waits = None
+        for event, seconds in breakdown.items():
+            self.wait_totals[event] = (self.wait_totals.get(event, 0.0)
+                                       + seconds)
         lock_wait_ms = sum(w["waited_ms"] for w in self._stmt_lock_waits)
         plan, io, rows, cache = "", {}, None, ""
         if isinstance(result, dict) and result.get("kind") == "rows":
@@ -337,7 +365,7 @@ class Session:
         fp = self.db.telemetry.statements.observe(
             " ".join(body.split()), duration_ms, io=io, rows=rows,
             lock_wait_ms=lock_wait_ms, wal_bytes=self._stmt_wal_bytes,
-            outcome=outcome)
+            outcome=outcome, waits=breakdown)
         slowlog = self.db.telemetry.slowlog
         if duration_ms >= slowlog.threshold_ms:
             slowlog.observe(
@@ -345,7 +373,7 @@ class Session:
                 plan=plan, io=io, lock_wait_ms=lock_wait_ms,
                 lock_waits=list(self._stmt_lock_waits), session=self.name,
                 outcome=outcome, rows=rows, fingerprint=fp or "",
-                cache=cache)
+                cache=cache, waits=breakdown)
         self._stmt_lock_waits = []
 
     # -- lock acquisition (traced) ----------------------------------------
@@ -366,6 +394,37 @@ class Session:
         if info.waited:
             self._stmt_lock_waits.extend(info.wait_breakdown())
         return info
+
+    # -- the engine latch (wait-accounted) ---------------------------------
+
+    @contextmanager
+    def _latched(self):
+        """Hold the engine latch, attributing the acquire to the
+        ``engine_latch`` wait event (histogram + statement ledger) and
+        charging hold time to this session and the global hold counter."""
+        waits = self.db.telemetry.waits
+        latch = self.manager.latch
+        if not waits.enabled:
+            with latch:
+                yield
+            return
+        acquire_started = time.perf_counter()
+        token = waits.mark_waiting(ENGINE_LATCH)
+        try:
+            latch.acquire()
+        finally:
+            waits.unmark_waiting(token)
+        waited = time.perf_counter() - acquire_started
+        waits.latch_acquired(waited)
+        self.latch_wait_s += waited
+        held_from = time.perf_counter()
+        try:
+            yield
+        finally:
+            latch.release()
+            held = time.perf_counter() - held_from
+            self.latch_hold_s += held
+            waits.latch_released(held)
 
     # -- transaction control ----------------------------------------------
 
@@ -422,7 +481,7 @@ class Session:
         self._acquire(_SCHEMA_SHARED)
         try:
             self._acquire(LockFootprint(shared=entry.footprint))
-            with self.manager.latch:
+            with self._latched():
                 if self.db.resultcache.hit(entry) is None:
                     return None
                 from repro.query.runner import serve_cached
@@ -479,7 +538,7 @@ class Session:
         try:
             footprint = footprint_for_statement(self.db, stmt)
             self._acquire(footprint)
-            with self.manager.latch:
+            with self._latched():
                 lsn_before = self._hub_lsn()
                 wal_before = self.db.telemetry.metrics.value("wal_bytes_total")
                 try:
@@ -520,7 +579,7 @@ class Session:
         self._acquire(ddl_footprint())
         stmt_lsn = 0
         try:
-            with self.manager.latch:
+            with self._latched():
                 lsn_before = self._hub_lsn()
                 wal_before = self.db.telemetry.metrics.value("wal_bytes_total")
                 try:
@@ -546,7 +605,7 @@ class Session:
 
         self._acquire(_SCHEMA_SHARED)
         try:
-            with self.manager.latch:
+            with self._latched():
                 text = self._traced(lambda: explain_text(self.db, rest))
         finally:
             self._release_if_autocommit()
@@ -568,7 +627,12 @@ class Session:
         Called after lock release -- a slow follower must never extend
         lock hold times, only the writer's own latency."""
         hub = self.manager.hub
-        if hub is not None and lsn > 0:
+        if hub is None or lsn <= 0:
+            return
+        if hub.sync_replicas > 0:
+            with self.db.telemetry.waits.wait(REPL_ACK, f"lsn {lsn}"):
+                hub.wait_for_sync(lsn)
+        else:
             hub.wait_for_sync(lsn)
 
     def _traced(self, fn):
@@ -612,13 +676,18 @@ class Session:
                 return {"kind": "text", "text": self._meta_trace(args)}
             if command == "set":
                 return {"kind": "text", "text": self._meta_set(args)}
+            if command in ("waits", "ash", "alerts"):
+                # observability reads: counters and rings under their own
+                # mutexes -- no locks, no engine latch, no page I/O
+                return {"kind": "text",
+                        "text": self._meta_observability(command, args)}
             footprint = (maintenance_footprint()
                          if command in ("verify", "doctor", "recover", "cold")
                          else _SCHEMA_SHARED)
             locks = self.manager.locks
             locks.acquire(self.owner, footprint)
             try:
-                with self.manager.latch:
+                with self._latched():
                     text = self._meta_text(command, args)
             finally:
                 self._release_if_autocommit()
@@ -678,6 +747,30 @@ class Session:
             db.cold_cache()
             return "buffer pool flushed and emptied"
         raise ReproError(f"unknown meta-command \\{command}")
+
+    def _meta_observability(self, command: str, args: list[str]) -> str:
+        """``\\waits``, ``\\ash [SECONDS]``, ``\\alerts`` -- latch-free."""
+        if command == "waits":
+            return self.db.telemetry.waits.render_text()
+        if command == "ash":
+            ash = self.manager.ash
+            if ash is None:
+                return ("(no active session history: sampler disabled; "
+                        "start the server with --sample-interval > 0)")
+            window = 60.0
+            if args:
+                try:
+                    window = float(args[0])
+                except ValueError:
+                    raise ReproError(
+                        f"\\ash window must be seconds, not {args[0]!r}"
+                    ) from None
+            return ash.render_text(window_s=window if window > 0 else None)
+        alerts = self.manager.alerts
+        if alerts is None:
+            return ("(no alert engine: sampler disabled; start the server "
+                    "with --sample-interval > 0)")
+        return alerts.render_text()
 
     def _meta_trace(self, args: list[str]) -> str:
         """Per-session tracing: the dump shows only this session's spans."""
@@ -744,6 +837,10 @@ class Session:
 
     def info(self) -> dict:
         """One wire-safe row for the ``stats`` verb / ``\\top``."""
+        top_wait, top_wait_s = "", 0.0
+        for event, seconds in self.wait_totals.items():
+            if seconds > top_wait_s:
+                top_wait, top_wait_s = event, seconds
         return {
             "id": self.id,
             "name": self.name,
@@ -755,6 +852,10 @@ class Session:
             "errors": self.errors,
             "last_statement": self.last_statement[:120],
             "last_duration_ms": round(self.last_duration_ms, 3),
+            "top_wait": top_wait,
+            "top_wait_ms": round(top_wait_s * 1000.0, 3),
+            "latch_wait_ms": round(self.latch_wait_s * 1000.0, 3),
+            "latch_hold_ms": round(self.latch_hold_s * 1000.0, 3),
         }
 
     # -- lifecycle ---------------------------------------------------------
@@ -775,7 +876,9 @@ class SessionManager:
                  queue_depth: int = 32) -> None:
         self.db = db
         metrics = db.telemetry.metrics
-        self.locks = LockManager(timeout=lock_timeout, metrics=metrics)
+        waits = getattr(db.telemetry, "waits", NULL_WAITS)
+        self.locks = LockManager(timeout=lock_timeout, metrics=metrics,
+                                 waits=waits)
         #: the short-term physical latch: engine internals (buffer pool,
         #: WAL, tracer) are single-threaded under it
         self.latch = threading.RLock()
@@ -787,6 +890,12 @@ class SessionManager:
         self.access_guard = None
         #: callable() -> dict for the ``\replication`` meta command
         self.replication_status = None
+        #: the server's ActiveSessionHistory / AlertEngine /
+        #: TimeSeriesStore (None when embedded or the sampler is off);
+        #: sessions only read them for the observability meta commands
+        self.ash = None
+        self.alerts = None
+        self.tsstore = None
         self.pool = WorkerPool(workers=workers, queue_depth=queue_depth,
                                metrics=metrics)
         self._sessions: dict[int, Session] = {}

@@ -8,10 +8,12 @@
 Polls the server's ``stats`` verb and renders one screenful per tick:
 sessions and admission state, statement throughput (computed from the
 delta between polls), buffer hit rate, lock waits with the hottest
-resources, WAL posture, the slow-query tail grouped by fingerprint, the
-hottest statement fingerprints, and the replication ledger's measured
-net benefit per path.  The connected shell's ``\\top`` meta-command
-drives the same renderer.
+resources, the wait-event profile (where statement wall-clock went,
+with engine-latch wait/hold time), WAL posture, the slow-query tail
+grouped by fingerprint, the hottest statement fingerprints, the
+replication ledger's measured net benefit per path, the active session
+history profile, and any firing alerts.  The connected shell's ``\\top``
+meta-command drives the same renderer.
 
 Polling reads counters only -- the stats snapshot does no page I/O and
 takes no engine latch -- so watching a server does not change what it
@@ -73,6 +75,17 @@ def render_top(stats: dict, prev: dict | None = None,
             parts.append(f"{h['resource']}[{mode}] "
                          f"{h['total_wait_s']:.3f}s({h['waits']})")
         lines.append("hottest  " + "  ".join(parts))
+    waits = stats.get("waits") or {}
+    if waits.get("events"):
+        parts = [f"{w['event']} {w['share'] * 100:.0f}%"
+                 for w in waits["events"][:6]]
+        lines.append(
+            f"waits  coverage {waits.get('coverage', 0.0) * 100:.1f}% of "
+            f"{waits.get('statement_seconds', 0.0):.3f}s  "
+            + "  ".join(parts))
+        lines.append(
+            f"latch  wait {waits.get('latch_wait_seconds', 0.0):.3f}s  "
+            f"hold {waits.get('latch_hold_seconds', 0.0):.3f}s")
     lines.append(
         f"wal  {'on' if wal.get('enabled') else 'off'}  "
         f"records {wal.get('records', 0)}  "
@@ -167,6 +180,23 @@ def render_top(stats: dict, prev: dict | None = None,
                 f"charge {entry.get('charged_pages', 0.0):8.1f} "
                 f"({entry.get('propagations', 0)} props)  "
                 f"{entry.get('path', '')}")
+    ash = stats.get("ash") or {}
+    if ash.get("profile"):
+        parts = [f"{row['event']} {row['share'] * 100:.0f}%"
+                 for row in ash["profile"][:6]]
+        lines.append(
+            f"ash  {ash.get('retained', 0)} retained "
+            f"({ash.get('sampled_total', 0)} sampled, "
+            f"{ash.get('interval_s', 0.0):.1f}s interval)  "
+            + "  ".join(parts))
+    alerts = stats.get("alerts") or {}
+    firing = alerts.get("firing") or []
+    if firing:
+        lines.append("alerts FIRING:")
+        for a in firing:
+            lines.append(
+                f"  [{a.get('severity', '?')}] {a.get('alert', '?')}  "
+                f"value {a.get('value')}  -- {a.get('description', '')}")
     detail = stats.get("sessions_detail") or []
     if detail:
         lines.append("sessions:")

@@ -26,6 +26,7 @@ from repro.storage.constants import DEFAULT_BUFFER_FRAMES
 from repro.storage.disk import SimulatedDisk
 from repro.storage.page import Page
 from repro.telemetry.metrics import NULL_METRICS
+from repro.telemetry.waitevents import BUFFER_IO, NULL_WAITS
 
 _PageKey = tuple[int, int]
 
@@ -54,6 +55,9 @@ class BufferPool:
         #: the pool reports fetches/dirties/allocations to it and forces the
         #: log before any dirty page reaches the disk (WAL-before-data).
         self.wal = None
+        #: wait-event collector; page transfers between the pool and the
+        #: disk are timed as ``buffer_io`` (the database wires this up)
+        self.waits = NULL_WAITS
         self._frames: OrderedDict[_PageKey, _Frame] = OrderedDict()
         metrics = metrics if metrics is not None else NULL_METRICS
         self._m_hits = metrics.counter(
@@ -91,7 +95,8 @@ class BufferPool:
         frame = self._frames.get(key)
         if frame is None:
             self._make_room()
-            frame = _Frame(Page(self.disk.read_page(file_id, page_no)))
+            with self.waits.wait(BUFFER_IO, "read"):
+                frame = _Frame(Page(self.disk.read_page(file_id, page_no)))
             self._frames[key] = frame
             self._m_misses.inc()
             self._g_resident.set(len(self._frames))
@@ -163,7 +168,8 @@ class BufferPool:
             protected.add(key)
             if not self._make_room(protected=protected, best_effort=True):
                 break
-            frame = _Frame(Page(self.disk.read_page(file_id, page_no)))
+            with self.waits.wait(BUFFER_IO, "prefetch"):
+                frame = _Frame(Page(self.disk.read_page(file_id, page_no)))
             frame.prefetched = True
             self._frames[key] = frame
             loaded.append(key)
@@ -219,7 +225,9 @@ class BufferPool:
             self.wal.before_data_write()
         for (file_id, page_no), frame in self._frames.items():
             if frame.dirty:
-                self.disk.write_page(file_id, page_no, bytes(frame.page.data))
+                with self.waits.wait(BUFFER_IO, "writeback"):
+                    self.disk.write_page(file_id, page_no,
+                                         bytes(frame.page.data))
                 self.stats.count_writeback()
                 self._m_writebacks.inc()
                 frame.dirty = False
@@ -281,7 +289,9 @@ class BufferPool:
                 if frame.dirty:
                     if self.wal is not None:
                         self.wal.before_data_write()
-                    self.disk.write_page(key[0], key[1], bytes(frame.page.data))
+                    with self.waits.wait(BUFFER_IO, "writeback"):
+                        self.disk.write_page(key[0], key[1],
+                                             bytes(frame.page.data))
                     self.stats.count_writeback()
                     self._m_writebacks.inc()
                 del self._frames[key]

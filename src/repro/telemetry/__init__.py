@@ -18,7 +18,17 @@ surfaces:
   streaming latency histogram);
 * :class:`~repro.telemetry.repledger.ReplicationLedger` -- measured
   charge/credit accounting per replication path, feeding the workload
-  monitor's keep/add/drop ranking.
+  monitor's keep/add/drop ranking;
+* :class:`~repro.telemetry.waitevents.WaitEventCollector` -- wait-event
+  accounting (engine latch, locks, buffer I/O, WAL flush, queue, quorum
+  acks, cpu residual) attributing every second of statement wall-clock
+  to a named wait.
+
+The server layers :class:`~repro.telemetry.ash.ActiveSessionHistory`
+(sampled session wait states) and a
+:class:`~repro.telemetry.tsstore.TimeSeriesStore` +
+:class:`~repro.telemetry.tsstore.AlertEngine` on top, driven by one
+:class:`~repro.telemetry.tsstore.TelemetrySampler` daemon thread.
 
 Everything is off-or-cheap by default: tracing is opt-in, metric
 increments are plain dict updates, and drift records are only produced by
@@ -40,6 +50,11 @@ from repro.telemetry.repledger import ReplicationLedger
 from repro.telemetry.slowlog import SlowQueryLog
 from repro.telemetry.statstats import StatementStats
 from repro.telemetry.tracing import Span, Tracer
+from repro.telemetry.waitevents import (
+    NULL_WAITS,
+    NullWaitCollector,
+    WaitEventCollector,
+)
 
 
 class Telemetry:
@@ -47,6 +62,7 @@ class Telemetry:
 
     def __init__(self) -> None:
         self.metrics = MetricsRegistry()
+        self.waits = WaitEventCollector(metrics=self.metrics)
         self.tracer = Tracer()
         self.drift = DriftMonitor()
         self.slowlog = SlowQueryLog(metrics=self.metrics)
@@ -71,6 +87,7 @@ class Telemetry:
         self.slowlog.clear()
         self.statements.clear()
         self.repledger.clear()
+        self.waits.reset()
 
 
 __all__ = [
@@ -81,11 +98,14 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_METRICS",
+    "NULL_WAITS",
     "NullMetricsRegistry",
+    "NullWaitCollector",
     "ReplicationLedger",
     "SlowQueryLog",
     "StatementStats",
     "Span",
     "Telemetry",
     "Tracer",
+    "WaitEventCollector",
 ]

@@ -25,6 +25,7 @@ import time
 from collections import deque
 
 from repro.telemetry.metrics import NULL_METRICS
+from repro.telemetry.waitevents import base_event
 
 #: default threshold: sub-threshold statements leave no record at all.
 DEFAULT_THRESHOLD_MS = 250.0
@@ -65,10 +66,22 @@ class SlowQueryLog:
                 io: dict | None = None, lock_wait_ms: float = 0.0,
                 lock_waits: list | None = None, session: str = "",
                 outcome: str = "ok", rows: int | None = None,
-                fingerprint: str = "", cache: str = "") -> bool:
-        """Record one finished statement if it was slow; True if kept."""
+                fingerprint: str = "", cache: str = "",
+                waits: dict | None = None) -> bool:
+        """Record one finished statement if it was slow; True if kept.
+
+        ``waits`` is the statement's wait-event breakdown in *seconds*
+        (from the wait collector); the record keeps it in milliseconds
+        plus the dominant wait class (``lock:*`` collapsed to ``lock``).
+        """
         if duration_ms < self.threshold_ms:
             return False
+        by_class: dict[str, float] = {}
+        for event, seconds in (waits or {}).items():
+            cls = base_event(event)
+            by_class[cls] = by_class.get(cls, 0.0) + seconds * 1000.0
+        dominant = (max(by_class.items(), key=lambda kv: kv[1])[0]
+                    if by_class else "")
         record = {
             "ts": round(time.time(), 3),
             "session": session,
@@ -80,6 +93,11 @@ class SlowQueryLog:
             "lock_wait_ms": round(lock_wait_ms, 3),
             #: per-resource shares: [{"resource", "mode", "waited_ms"}, ...]
             "lock_waits": list(lock_waits or []),
+            #: wait-event class -> milliseconds (the statement's full
+            #: wall-clock attribution, cpu residual included)
+            "waits": {cls: round(ms, 3)
+                      for cls, ms in sorted(by_class.items())},
+            "dominant_wait": dominant,
             "outcome": outcome,
             "rows": rows,
             #: result-cache disposition: "hit" | "miss" | "bypass" | ""
@@ -104,10 +122,14 @@ class SlowQueryLog:
         return [dict(e) for e in items[-n:]]
 
     def grouped(self) -> list[dict]:
-        """Retained records grouped by fingerprint, worst offenders first.
+        """Retained records grouped by fingerprint, ranked by the time
+        sunk into their dominant wait class (ties by total latency).
 
-        Records without a fingerprint (pre-upgrade entries) group under
-        their raw statement text instead of listing as duplicates.
+        A group whose statements burned 800ms blocked on locks outranks
+        one that spent 900ms of honest cpu: the wait-dominated group is
+        the one an operator can actually fix.  Records without a
+        fingerprint (pre-upgrade entries) group under their raw statement
+        text instead of listing as duplicates.
         """
         groups: dict[str, dict] = {}
         for e in self.entries():
@@ -116,14 +138,29 @@ class SlowQueryLog:
             if group is None:
                 group = {"fingerprint": e.get("fingerprint", ""),
                          "statement": e["statement"], "count": 0,
-                         "total_ms": 0.0, "max_ms": 0.0, "last_ts": 0.0}
+                         "total_ms": 0.0, "max_ms": 0.0, "last_ts": 0.0,
+                         "waits": {}}
                 groups[key] = group
             group["count"] += 1
             group["total_ms"] += e["duration_ms"]
             group["max_ms"] = max(group["max_ms"], e["duration_ms"])
             group["last_ts"] = max(group["last_ts"], e["ts"])
+            for cls, ms in (e.get("waits") or {}).items():
+                group["waits"][cls] = group["waits"].get(cls, 0.0) + ms
+        for g in groups.values():
+            waits = g["waits"]
+            if waits:
+                dominant, dominant_ms = max(waits.items(),
+                                            key=lambda kv: kv[1])
+            else:
+                dominant, dominant_ms = "", 0.0
+            g["dominant_wait"] = dominant
+            g["dominant_wait_ms"] = round(dominant_ms, 3)
+            g["waits"] = {cls: round(ms, 3)
+                          for cls, ms in sorted(waits.items())}
         rows = sorted(groups.values(),
-                      key=lambda g: (-g["total_ms"], g["statement"]))
+                      key=lambda g: (-g["dominant_wait_ms"], -g["total_ms"],
+                                     g["statement"]))
         for g in rows:
             g["total_ms"] = round(g["total_ms"], 3)
             g["max_ms"] = round(g["max_ms"], 3)
@@ -146,8 +183,10 @@ class SlowQueryLog:
         for e in entries:
             cache = e.get("cache") or ""
             tag = f"  cache:{cache}" if cache else ""
+            dominant = e.get("dominant_wait") or ""
+            wait_tag = f"  wait:{dominant}" if dominant else ""
             lines.append(
                 f"{e['duration_ms']:9.1f}ms  lock {e['lock_wait_ms']:7.1f}ms  "
-                f"io {e['io'].get('total', 0):4d}  [{e['outcome']}]{tag}  "
-                f"{e['statement']}")
+                f"io {e['io'].get('total', 0):4d}  [{e['outcome']}]{tag}"
+                f"{wait_tag}  {e['statement']}")
         return "\n".join(lines)

@@ -35,6 +35,7 @@ import threading
 import time
 
 from repro.telemetry.metrics import NULL_METRICS
+from repro.telemetry.waitevents import base_event
 
 #: bounded distinct fingerprints (eviction beyond this).
 DEFAULT_CAPACITY = 256
@@ -119,7 +120,7 @@ class _Entry:
 
     __slots__ = ("fingerprint", "statement", "calls", "errors", "rows",
                  "physical_reads", "physical_writes", "lock_wait_ms",
-                 "wal_bytes", "latency", "last_ts")
+                 "wal_bytes", "latency", "last_ts", "waits")
 
     def __init__(self, fp: str, statement: str) -> None:
         self.fingerprint = fp
@@ -133,11 +134,19 @@ class _Entry:
         self.wal_bytes = 0
         self.latency = LogBucketHistogram()
         self.last_ts = 0.0
+        #: wait-event class -> cumulative milliseconds (lock:* collapsed)
+        self.waits: dict[str, float] = {}
 
     def to_dict(self) -> dict:
+        dominant = ""
+        if self.waits:
+            dominant = max(self.waits.items(), key=lambda kv: kv[1])[0]
         return {
             "fingerprint": self.fingerprint,
             "statement": self.statement,
+            "waits": {event: round(ms, 3)
+                      for event, ms in sorted(self.waits.items())},
+            "dominant_wait": dominant,
             "calls": self.calls,
             "errors": self.errors,
             "rows": self.rows,
@@ -191,8 +200,14 @@ class StatementStats:
     def observe(self, statement: str, duration_ms: float, io=None,
                 rows: int | None = None, lock_wait_ms: float = 0.0,
                 wal_bytes: int | float = 0,
-                outcome: str = "ok") -> str | None:
-        """Fold one finished statement in; returns its fingerprint id."""
+                outcome: str = "ok",
+                waits: dict | None = None) -> str | None:
+        """Fold one finished statement in; returns its fingerprint id.
+
+        ``waits`` is the statement's wait-event breakdown in *seconds*
+        (from the wait collector); it accumulates per wait-event class
+        in milliseconds, with ``lock:<resource>`` collapsed to ``lock``.
+        """
         if not self.enabled:
             return None
         fp, normalized = fingerprint(statement)
@@ -218,6 +233,10 @@ class StatementStats:
             entry.wal_bytes += int(wal_bytes)
             entry.latency.observe(duration_ms)
             entry.last_ts = time.time()
+            for event, seconds in (waits or {}).items():
+                cls = base_event(event)
+                entry.waits[cls] = (entry.waits.get(cls, 0.0)
+                                    + seconds * 1000.0)
         self._m_calls.inc(fingerprint=fp)
         if outcome != "ok":
             self._m_errors.inc(fingerprint=fp)
@@ -278,17 +297,19 @@ class StatementStats:
         rates = cache_rates or {}
         lines = [f"{'calls':>7} {'errs':>5} {'rows':>8} {'io':>7} "
                  f"{'lock ms':>9} {'wal B':>9} {'p50':>8} {'p95':>8} "
-                 f"{'p99':>8} {'cache%':>7}  statement"]
+                 f"{'p99':>8} {'cache%':>7} {'top wait':>14}  statement"]
         for r in rows:
             rate = rates.get(r["fingerprint"])
             cache_col = (f"{rate['hit_rate'] * 100.0:6.1f}%"
                          if rate is not None else f"{'-':>7}")
+            dominant = r.get("dominant_wait") or "-"
+            wait_col = f"{dominant:>14}"
             lines.append(
                 f"{r['calls']:7d} {r['errors']:5d} {r['rows']:8d} "
                 f"{r['io_pages']:7d} {r['lock_wait_ms']:9.1f} "
                 f"{r['wal_bytes']:9d} {r['p50_ms']:8.2f} {r['p95_ms']:8.2f} "
-                f"{r['p99_ms']:8.2f} {cache_col}  [{r['fingerprint']}] "
-                f"{r['statement'][:70]}")
+                f"{r['p99_ms']:8.2f} {cache_col} {wait_col}  "
+                f"[{r['fingerprint']}] {r['statement'][:70]}")
         if self.evicted:
             lines.append(f"({self.evicted} fingerprint(s) evicted; "
                          f"capacity {self.capacity})")

@@ -1,0 +1,331 @@
+"""An in-process metrics time-series store with threshold alerting.
+
+Point-in-time scrapes cannot answer "when did the lock-wait share
+spike?" -- by the time someone looks, the counters only show totals.
+The :class:`TimeSeriesStore` closes that gap without any external
+dependency: registered *probes* (callables returning ``{series: value}``
+dicts over the existing metrics registry, the wait-event collector, the
+replication status, the result cache) are sampled at a fixed interval
+into per-series ring buffers with bounded retention, so the recent past
+is always queryable (``/timeseries``, rate helpers) at a fixed memory
+cost.
+
+On top of it sits a small :class:`AlertEngine`: named threshold rules
+evaluated every sampling tick, each carrying firing/resolved state with
+transition timestamps, a bounded transition history (so ``/health``
+flaps leave a trace), an ``alert_firing{alert=...}`` gauge and an
+``alert_transitions_total{alert=...,to=...}`` counter in the registry.
+Rules read the store and the probes' latest values only -- evaluating
+alerts is as observer-neutral as sampling.
+
+The :class:`TelemetrySampler` is the single daemon thread driving all
+periodic collection: time-series sampling, ASH session snapshots, and
+alert evaluation all run from its tick, so one ``--sample-interval``
+flag governs the whole always-on layer and ``0`` turns it off wholesale.
+Ticks never take the engine latch and never touch pages.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.telemetry.metrics import NULL_METRICS
+
+#: default per-series retention: 600 points = 10 minutes at 1 Hz.
+DEFAULT_RETENTION_POINTS = 600
+#: alert state transitions kept for flap forensics.
+TRANSITION_HISTORY = 256
+
+
+class TimeSeriesStore:
+    """Ring-buffered (ts, value) series fed by registered probes."""
+
+    def __init__(self, retention_points: int = DEFAULT_RETENTION_POINTS) -> None:
+        self.retention_points = max(2, retention_points)
+        self._mutex = threading.Lock()
+        self._series: dict[str, deque] = {}
+        self._probes: list = []
+        self.samples_taken = 0
+
+    # -- probes ------------------------------------------------------------
+
+    def register(self, probe) -> None:
+        """Add a probe: a callable returning ``{series_name: value}``.
+
+        Probes must be cheap and side-effect free -- they run on every
+        sampling tick.  A probe that raises is skipped for that tick
+        (a broken probe must not kill the sampler).
+        """
+        self._probes.append(probe)
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample_once(self, ts: float | None = None) -> dict[str, float]:
+        """Run every probe and append one point per series; returns the
+        merged ``{series: value}`` of this tick."""
+        ts = time.time() if ts is None else ts
+        merged: dict[str, float] = {}
+        for probe in self._probes:
+            try:
+                merged.update(probe())
+            except Exception:
+                continue  # a broken probe must not kill the sampler
+        with self._mutex:
+            for name, value in merged.items():
+                ring = self._series.get(name)
+                if ring is None:
+                    ring = deque(maxlen=self.retention_points)
+                    self._series[name] = ring
+                ring.append((round(ts, 3), value))
+            self.samples_taken += 1
+        return merged
+
+    def append(self, name: str, value: float,
+               ts: float | None = None) -> None:
+        """Append one point directly (tests, ad-hoc series)."""
+        ts = time.time() if ts is None else ts
+        with self._mutex:
+            ring = self._series.get(name)
+            if ring is None:
+                ring = deque(maxlen=self.retention_points)
+                self._series[name] = ring
+            ring.append((round(ts, 3), value))
+
+    # -- reading -----------------------------------------------------------
+
+    def names(self) -> list[str]:
+        with self._mutex:
+            return sorted(self._series)
+
+    def series(self, name: str, since: float | None = None) -> list[tuple]:
+        """``[(ts, value), ...]`` oldest first; empty for unknown names."""
+        with self._mutex:
+            ring = self._series.get(name)
+            points = list(ring) if ring is not None else []
+        if since is not None:
+            points = [p for p in points if p[0] >= since]
+        return points
+
+    def latest(self, name: str) -> float | None:
+        with self._mutex:
+            ring = self._series.get(name)
+            return ring[-1][1] if ring else None
+
+    def delta(self, name: str, window_s: float) -> tuple[float, float]:
+        """``(value delta, time delta)`` between the newest point and the
+        oldest point inside the window -- the building block of rates
+        and share-over-window alert rules.  ``(0, 0)`` without 2 points.
+        """
+        points = self.series(name, since=time.time() - window_s)
+        if len(points) < 2:
+            return 0.0, 0.0
+        (t0, v0), (t1, v1) = points[0], points[-1]
+        return v1 - v0, t1 - t0
+
+    def rate(self, name: str, window_s: float) -> float:
+        """Per-second rate of a cumulative series over the window."""
+        dv, dt = self.delta(name, window_s)
+        return dv / dt if dt > 0 else 0.0
+
+    def snapshot(self, window_s: float | None = None,
+                 names: list[str] | None = None) -> dict:
+        """The ``/timeseries`` document."""
+        since = (time.time() - window_s) if window_s else None
+        wanted = names if names else self.names()
+        return {
+            "retention_points": self.retention_points,
+            "samples_taken": self.samples_taken,
+            "window_s": window_s,
+            "series": {name: [[ts, value] for ts, value
+                              in self.series(name, since=since)]
+                       for name in wanted},
+        }
+
+    def clear(self) -> None:
+        with self._mutex:
+            self._series.clear()
+            self.samples_taken = 0
+
+
+class AlertRule:
+    """One threshold rule: ``fn()`` -> (value, firing?)."""
+
+    __slots__ = ("name", "description", "severity", "threshold", "fn")
+
+    def __init__(self, name: str, description: str, fn,
+                 severity: str = "warning",
+                 threshold: float | None = None) -> None:
+        self.name = name
+        self.description = description
+        self.severity = severity
+        self.threshold = threshold
+        self.fn = fn
+
+
+class AlertEngine:
+    """Threshold rules with firing/resolved state over the store."""
+
+    def __init__(self, metrics=None) -> None:
+        metrics = metrics if metrics is not None else NULL_METRICS
+        self._mutex = threading.Lock()
+        self._rules: dict[str, AlertRule] = {}
+        #: name -> {"state", "since", "value", "transitions"}
+        self._states: dict[str, dict] = {}
+        self._history: deque = deque(maxlen=TRANSITION_HISTORY)
+        self.evaluations = 0
+        self._g_firing = metrics.gauge(
+            "alert_firing", "1 while the named alert is firing, else 0")
+        self._m_transitions = metrics.counter(
+            "alert_transitions_total",
+            "alert state changes, by alert and new state")
+
+    def add_rule(self, name: str, description: str, fn,
+                 severity: str = "warning",
+                 threshold: float | None = None) -> None:
+        with self._mutex:
+            self._rules[name] = AlertRule(name, description, fn,
+                                          severity, threshold)
+            self._states.setdefault(name, {
+                "state": "ok", "since": time.time(), "value": None,
+                "transitions": 0,
+            })
+        self._g_firing.set(0, alert=name)
+
+    def evaluate(self, ts: float | None = None) -> list[dict]:
+        """Run every rule once; returns the currently firing alerts."""
+        ts = time.time() if ts is None else ts
+        with self._mutex:
+            rules = list(self._rules.values())
+        for rule in rules:
+            try:
+                value, firing = rule.fn()
+            except Exception:
+                continue  # a broken rule must not kill the sampler
+            with self._mutex:
+                state = self._states[rule.name]
+                state["value"] = value
+                new = "firing" if firing else "ok"
+                if new != state["state"]:
+                    state["state"] = new
+                    state["since"] = ts
+                    state["transitions"] += 1
+                    self._history.append({
+                        "ts": round(ts, 3), "alert": rule.name,
+                        "to": "firing" if firing else "resolved",
+                        "value": value, "severity": rule.severity,
+                    })
+                    self._m_transitions.inc(
+                        alert=rule.name,
+                        to="firing" if firing else "resolved")
+                    self._g_firing.set(1 if firing else 0, alert=rule.name)
+        with self._mutex:
+            self.evaluations += 1
+        return self.firing()
+
+    def firing(self) -> list[dict]:
+        return [a for a in self._alerts() if a["state"] == "firing"]
+
+    def _alerts(self) -> list[dict]:
+        with self._mutex:
+            out = []
+            for name, rule in self._rules.items():
+                state = self._states[name]
+                out.append({
+                    "alert": name,
+                    "severity": rule.severity,
+                    "description": rule.description,
+                    "threshold": rule.threshold,
+                    "state": state["state"],
+                    "since": round(state["since"], 3),
+                    "value": state["value"],
+                    "transitions": state["transitions"],
+                })
+        out.sort(key=lambda a: (a["state"] != "firing", a["alert"]))
+        return out
+
+    def snapshot(self) -> dict:
+        """The ``/alerts`` document: every rule's state + flap history."""
+        alerts = self._alerts()
+        with self._mutex:
+            history = list(self._history)
+        return {
+            "evaluations": self.evaluations,
+            "firing": sum(1 for a in alerts if a["state"] == "firing"),
+            "alerts": alerts,
+            "history": history,
+        }
+
+    def render_text(self) -> str:
+        """The ``\\alerts`` view."""
+        doc = self.snapshot()
+        if not doc["alerts"]:
+            return "(no alert rules installed)"
+        lines = [f"alerts: {doc['firing']} firing, "
+                 f"{len(doc['alerts'])} rule(s), "
+                 f"{doc['evaluations']} evaluation(s)"]
+        for a in doc["alerts"]:
+            value = a["value"]
+            shown = (f"{value:.4f}" if isinstance(value, float)
+                     else str(value))
+            threshold = (f" (threshold {a['threshold']})"
+                         if a["threshold"] is not None else "")
+            lines.append(f"  [{a['state']:^6}] {a['alert']:<22} "
+                         f"value {shown}{threshold}  "
+                         f"x{a['transitions']} transition(s)  "
+                         f"-- {a['description']}")
+        for h in list(doc["history"])[-5:]:
+            lines.append(f"  {h['ts']:.3f}  {h['alert']} -> {h['to']} "
+                         f"(value {h['value']})")
+        return "\n".join(lines)
+
+
+class TelemetrySampler:
+    """The daemon thread driving ASH + time-series + alert ticks."""
+
+    def __init__(self, interval: float = 1.0,
+                 name: str = "repro-sampler") -> None:
+        self.interval = interval
+        self._name = name
+        self._ticks: list = []
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.ticks_run = 0
+
+    def add(self, fn) -> None:
+        """Register a tick callback (called every interval, in order)."""
+        self._ticks.append(fn)
+
+    def tick_once(self) -> None:
+        """Run every callback once (tests and manual collection)."""
+        for fn in self._ticks:
+            try:
+                fn()
+            except Exception:
+                continue  # one broken tick must not starve the others
+        self.ticks_run += 1
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "TelemetrySampler":
+        if self.interval <= 0 or self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, name=self._name,
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.tick_once()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None

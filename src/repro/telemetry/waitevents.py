@@ -1,0 +1,437 @@
+"""Wait-event accounting: where statements spend their time.
+
+Every second of a served statement's wall-clock time is attributed to
+exactly one *wait event* -- the Oracle / Postgres ``pg_stat_activity``
+taxonomy adapted to this engine's actual blocking points:
+
+* ``engine_latch``     -- waiting to acquire the global engine latch
+  (today's single biggest serialization point; the evidence base for
+  the latch-removal work);
+* ``lock:<resource>``  -- waiting in the 2PL lock manager, attributed
+  per contended resource (a multi-resource wait splits its time evenly
+  across the resources that actually blocked it);
+* ``buffer_io``        -- a buffer-pool miss or dirty write-back moving
+  a page between the pool and the (simulated) disk;
+* ``wal_flush``        -- forcing the write-ahead log;
+* ``queue_wait``       -- queued in the bounded worker pool before a
+  worker picked the statement up;
+* ``repl_ack``         -- a semi-synchronous writer waiting for its
+  follower quorum;
+* ``client_net``       -- a live session with no statement in flight
+  (only the ASH sampler produces this one: it is the idle state, never
+  part of a statement's own breakdown);
+* ``cpu``              -- the residual: statement wall time not covered
+  by any measured wait.  Per statement ``cpu`` is computed as
+  ``(queue_wait + execution wall) - sum(measured waits)``, so the
+  breakdown always sums to the statement's full wall-clock time --
+  attribution is complete by construction.
+
+The :class:`WaitEventCollector` is the cheap enter/exit layer the
+engine is threaded with.  Accumulation has two independent sinks:
+
+* **global counters** -- ``wait_seconds_total{event=...}`` and
+  ``wait_events_total{event=...}`` in the shared metrics registry, plus
+  the ``engine_latch_wait_seconds`` histogram; always fed, even for
+  engine work outside any statement (embedded execution, recovery);
+* **the active statement context** -- a ``threading.local`` slot the
+  session layer installs around each served statement; engine code deep
+  in the stack (buffer pool, WAL, lock manager) records into it without
+  any plumbing, and the session folds the finished breakdown into its
+  per-session totals, the per-fingerprint statement statistics, and the
+  slow-query log.
+
+The context also carries the *current* wait (event, detail, since) so
+the ASH sampler can snapshot in-flight waits -- a session blocked on a
+lock for 3 seconds shows up in every sample of those 3 seconds.
+
+Everything is observer-neutral: recording is perf_counter arithmetic
+and dict updates -- no page I/O, no engine latch -- and the collector
+can be disabled wholesale (``enabled = False``) for overhead A/B runs.
+Components constructed standalone default to :data:`NULL_WAITS`, a
+no-op with the same surface.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.telemetry.metrics import NULL_METRICS
+
+ENGINE_LATCH = "engine_latch"
+BUFFER_IO = "buffer_io"
+WAL_FLUSH = "wal_flush"
+QUEUE_WAIT = "queue_wait"
+CLIENT_NET = "client_net"
+REPL_ACK = "repl_ack"
+CPU = "cpu"
+#: lock waits are per-resource: ``lock:Emp1``, ``lock:__schema``, ...
+LOCK_PREFIX = "lock:"
+
+#: the taxonomy (lock waits appear as ``lock:<resource>``).
+WAIT_EVENTS = (ENGINE_LATCH, LOCK_PREFIX + "<resource>", BUFFER_IO,
+               WAL_FLUSH, QUEUE_WAIT, CLIENT_NET, REPL_ACK, CPU)
+
+#: engine-latch wait histogram bounds (seconds): the latch is normally
+#: uncontended (microseconds), but under 8 clients waits reach tens of
+#: milliseconds -- the buckets must resolve both regimes.
+LATCH_WAIT_BUCKETS = (0.00005, 0.0001, 0.0005, 0.001, 0.005, 0.01,
+                      0.05, 0.1, 0.5, 1.0)
+
+
+def base_event(event: str) -> str:
+    """Collapse ``lock:<resource>`` to ``lock``; other events pass through."""
+    return "lock" if event.startswith(LOCK_PREFIX) else event
+
+
+class StatementWaitContext:
+    """The wait ledger of one in-flight statement."""
+
+    __slots__ = ("session_id", "session", "statement", "started",
+                 "waits", "current")
+
+    def __init__(self, session_id: int, session: str,
+                 statement: str) -> None:
+        self.session_id = session_id
+        self.session = session
+        self.statement = statement
+        self.started = time.time()
+        #: event -> [seconds, count]
+        self.waits: dict[str, list] = {}
+        #: (event, detail, since_ts) while blocked; None while on CPU
+        self.current: tuple | None = None
+
+    def add(self, event: str, seconds: float, count: int = 1) -> None:
+        slot = self.waits.get(event)
+        if slot is None:
+            self.waits[event] = [seconds, count]
+        else:
+            slot[0] += seconds
+            slot[1] += count
+
+
+class _Waiting:
+    """``with collector.wait(event):`` -- time a blocking call and record
+    it, exposing it as the context's current wait while it runs."""
+
+    __slots__ = ("_collector", "_event", "_detail", "_started", "_prev")
+
+    def __init__(self, collector: "WaitEventCollector", event: str,
+                 detail: str) -> None:
+        self._collector = collector
+        self._event = event
+        self._detail = detail
+
+    def __enter__(self) -> "_Waiting":
+        self._started = time.perf_counter()
+        ctx = self._collector._active_ctx()
+        self._prev = None
+        if ctx is not None:
+            self._prev = ctx.current
+            ctx.current = (self._event, self._detail, time.time())
+        return self
+
+    def __exit__(self, *exc) -> None:
+        elapsed = time.perf_counter() - self._started
+        ctx = self._collector._active_ctx()
+        if ctx is not None:
+            ctx.current = self._prev
+        self._collector.record(self._event, elapsed)
+
+
+class _NullWaiting:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        pass
+
+
+_NULL_WAITING = _NullWaiting()
+
+
+class WaitEventCollector:
+    """Per-process wait accounting: global totals + per-statement ledger."""
+
+    def __init__(self, metrics=None) -> None:
+        metrics = metrics if metrics is not None else NULL_METRICS
+        #: flipping this off makes every hook a near-no-op (A/B benches).
+        self.enabled = True
+        self._local = threading.local()
+        self._mutex = threading.Lock()
+        #: session_id -> in-flight StatementWaitContext (for ASH sampling)
+        self._contexts: dict[int, StatementWaitContext] = {}
+        #: event -> [seconds, count] (global, survives statement ends)
+        self._totals: dict[str, list] = {}
+        #: statement wall-clock accounted so far (queue wait included):
+        #: the denominator of every attribution share.
+        self.statement_seconds = 0.0
+        self.statements_finished = 0
+        self._m_wait_seconds = metrics.counter(
+            "wait_seconds_total", "time waited, by wait event")
+        self._m_wait_events = metrics.counter(
+            "wait_events_total", "wait occurrences, by wait event")
+        self._m_latch_wait = metrics.histogram(
+            "engine_latch_wait_seconds",
+            "time spent acquiring the global engine latch",
+            buckets=LATCH_WAIT_BUCKETS)
+        self._m_latch_hold = metrics.counter(
+            "engine_latch_hold_seconds_total",
+            "time spent holding the global engine latch")
+
+    # -- statement scope ---------------------------------------------------
+
+    def begin_statement(self, session_id: int, session: str,
+                        statement: str) -> StatementWaitContext | None:
+        """Install a wait ledger for the statement this thread is about
+        to run; returns None when the collector is disabled."""
+        if not self.enabled:
+            return None
+        ctx = StatementWaitContext(session_id, session, statement)
+        self._local.ctx = ctx
+        with self._mutex:
+            self._contexts[session_id] = ctx
+        return ctx
+
+    def finish_statement(self, ctx: StatementWaitContext | None,
+                         duration_s: float) -> dict[str, float]:
+        """Close the ledger; returns the per-event breakdown in seconds.
+
+        ``duration_s`` is the statement's execution wall time (queue wait
+        excluded -- it is already in the ledger); the ``cpu`` residual
+        tops the breakdown up so it sums to queue wait + execution wall.
+        """
+        if ctx is None:
+            return {}
+        self._local.ctx = None
+        with self._mutex:
+            if self._contexts.get(ctx.session_id) is ctx:
+                del self._contexts[ctx.session_id]
+        breakdown = {event: slot[0] for event, slot in ctx.waits.items()}
+        wall = duration_s + breakdown.get(QUEUE_WAIT, 0.0)
+        cpu = max(0.0, wall - sum(breakdown.values()))
+        breakdown[CPU] = cpu
+        self._add_total(CPU, cpu, 1)
+        self._m_wait_seconds.inc(cpu, event=CPU)
+        self._m_wait_events.inc(event=CPU)
+        with self._mutex:
+            self.statement_seconds += wall
+            self.statements_finished += 1
+        return breakdown
+
+    def _active_ctx(self) -> StatementWaitContext | None:
+        return getattr(self._local, "ctx", None)
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, event: str, seconds: float, count: int = 1) -> None:
+        """Attribute ``seconds`` of wait to ``event``: global counters
+        always, plus this thread's active statement ledger if any."""
+        if not self.enabled:
+            return
+        self._add_total(event, seconds, count)
+        self._m_wait_seconds.inc(seconds, event=event)
+        self._m_wait_events.inc(count, event=event)
+        ctx = self._active_ctx()
+        if ctx is not None:
+            ctx.add(event, seconds, count)
+
+    def wait(self, event: str, detail: str = ""):
+        """Context manager timing a blocking call as one wait event."""
+        if not self.enabled:
+            return _NULL_WAITING
+        return _Waiting(self, event, detail)
+
+    def mark_waiting(self, event: str, detail: str = ""):
+        """Expose a blocking region as the current wait for ASH sampling
+        without recording time (the caller records the measured split on
+        exit, e.g. the lock manager's per-resource shares).  Returns a
+        token for :meth:`unmark_waiting`; None when nothing to mark."""
+        if not self.enabled:
+            return None
+        ctx = self._active_ctx()
+        if ctx is None:
+            return None
+        prev = ctx.current
+        ctx.current = (event, detail, time.time())
+        return (ctx, prev)
+
+    def unmark_waiting(self, token) -> None:
+        if token is not None:
+            ctx, prev = token
+            ctx.current = prev
+
+    def latch_acquired(self, waited_s: float) -> None:
+        """One engine-latch acquire: histogram + wait attribution."""
+        if not self.enabled:
+            return
+        self._m_latch_wait.observe(waited_s)
+        self.record(ENGINE_LATCH, waited_s)
+
+    def latch_released(self, held_s: float) -> None:
+        """One engine-latch release: cumulative hold-time counter."""
+        if self.enabled:
+            self._m_latch_hold.inc(held_s)
+
+    def _add_total(self, event: str, seconds: float, count: int) -> None:
+        with self._mutex:
+            slot = self._totals.get(event)
+            if slot is None:
+                self._totals[event] = [seconds, count]
+            else:
+                slot[0] += seconds
+                slot[1] += count
+
+    # -- reading -----------------------------------------------------------
+
+    def sample(self) -> list[dict]:
+        """One ASH-style snapshot of every in-flight statement.
+
+        Reads plain attributes under the collector's own mutex -- no
+        engine latch, no page I/O.  A context with no current wait is on
+        CPU (executing).
+        """
+        now = time.time()
+        with self._mutex:
+            contexts = list(self._contexts.values())
+        samples = []
+        for ctx in contexts:
+            current = ctx.current
+            if current is not None:
+                event, detail, since = current
+                wait_s = max(0.0, now - since)
+            else:
+                event, detail, wait_s = CPU, "", 0.0
+            samples.append({
+                "session_id": ctx.session_id,
+                "session": ctx.session,
+                "statement": ctx.statement,
+                "event": event,
+                "detail": detail,
+                "wait_s": round(wait_s, 6),
+                "statement_age_s": round(max(0.0, now - ctx.started), 6),
+            })
+        return samples
+
+    def totals(self) -> list[dict]:
+        """Cumulative per-event totals, largest first, with shares of the
+        accounted statement wall-clock."""
+        with self._mutex:
+            rows = [{"event": event, "seconds": round(slot[0], 6),
+                     "count": slot[1]}
+                    for event, slot in self._totals.items()]
+            accounted = self.statement_seconds
+        rows.sort(key=lambda r: (-r["seconds"], r["event"]))
+        for row in rows:
+            row["share"] = round(row["seconds"] / accounted, 4) \
+                if accounted else 0.0
+        return rows
+
+    def total_for(self, event: str) -> float:
+        with self._mutex:
+            slot = self._totals.get(event)
+            return slot[0] if slot is not None else 0.0
+
+    def lock_wait_seconds(self) -> float:
+        """Cumulative seconds across every ``lock:<resource>`` event."""
+        with self._mutex:
+            return sum(slot[0] for event, slot in self._totals.items()
+                       if event.startswith(LOCK_PREFIX))
+
+    def snapshot(self) -> dict:
+        """The wire/HTTP document: totals plus attribution coverage."""
+        rows = self.totals()
+        attributed = sum(r["seconds"] for r in rows)
+        with self._mutex:
+            accounted = self.statement_seconds
+            finished = self.statements_finished
+        return {
+            "enabled": self.enabled,
+            "statement_seconds": round(accounted, 6),
+            "statements": finished,
+            "attributed_seconds": round(attributed, 6),
+            "coverage": round(attributed / accounted, 4) if accounted else 0.0,
+            "events": rows,
+        }
+
+    def render_text(self) -> str:
+        """The ``\\waits`` table: event, share, total, count."""
+        rows = self.totals()
+        if not rows:
+            return "(no waits recorded)"
+        lines = [f"{'share':>7} {'seconds':>12} {'count':>9}  event"]
+        for r in rows:
+            lines.append(f"{r['share'] * 100:6.1f}% {r['seconds']:12.6f} "
+                         f"{r['count']:9d}  {r['event']}")
+        with self._mutex:
+            accounted = self.statement_seconds
+            finished = self.statements_finished
+        lines.append(f"(accounted statement wall-clock "
+                     f"{accounted:.6f}s over {finished} statement(s))")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        with self._mutex:
+            self._totals.clear()
+            self._contexts.clear()
+            self.statement_seconds = 0.0
+            self.statements_finished = 0
+
+
+class NullWaitCollector:
+    """Collector stand-in for components built without telemetry."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def begin_statement(self, session_id, session, statement):
+        return None
+
+    def finish_statement(self, ctx, duration_s) -> dict:
+        return {}
+
+    def record(self, event, seconds, count=1) -> None:
+        pass
+
+    def wait(self, event, detail=""):
+        return _NULL_WAITING
+
+    def mark_waiting(self, event, detail=""):
+        return None
+
+    def unmark_waiting(self, token) -> None:
+        pass
+
+    def latch_acquired(self, waited_s) -> None:
+        pass
+
+    def latch_released(self, held_s) -> None:
+        pass
+
+    def sample(self) -> list:
+        return []
+
+    def totals(self) -> list:
+        return []
+
+    def total_for(self, event) -> float:
+        return 0.0
+
+    def lock_wait_seconds(self) -> float:
+        return 0.0
+
+    def snapshot(self) -> dict:
+        return {"enabled": False, "statement_seconds": 0.0, "statements": 0,
+                "attributed_seconds": 0.0, "coverage": 0.0, "events": []}
+
+    def render_text(self) -> str:
+        return "(wait events not collected)"
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_WAITS = NullWaitCollector()

@@ -76,6 +76,12 @@ def _one(samples, name, labels):
     return matches[0]
 
 
+def _approx(value: float):
+    import pytest
+
+    return pytest.approx(value, rel=1e-6)
+
+
 def test_histogram_buckets_are_cumulative_and_end_at_inf():
     registry = MetricsRegistry()
     hist = registry.histogram("req_ms", "latency", buckets=(1, 5, 25))
@@ -202,3 +208,74 @@ def test_statement_latency_histogram_conforms():
         assert _one(samples, "statement_latency_ms_count", labels) == count
         assert _one(samples, "statement_calls_total", labels) == count
     assert _one(samples, "statement_errors_total", {"fingerprint": fp2}) == 1
+
+
+def test_wait_event_series_conform():
+    """Wait-event counters and the engine-latch histogram render as
+    well-formed exposition through the shared registry: labelled
+    ``wait_seconds_total`` / ``wait_events_total`` pairs per event, and
+    cumulative latch-wait buckets ending at +Inf == _count."""
+    from repro.telemetry.waitevents import (
+        LATCH_WAIT_BUCKETS,
+        WaitEventCollector,
+    )
+
+    registry = MetricsRegistry()
+    collector = WaitEventCollector(metrics=registry)
+    ctx = collector.begin_statement(1, "s1", "retrieve ( x )")
+    collector.record("buffer_io", 0.004, count=2)
+    collector.record("lock:Emp1", 0.010)
+    collector.latch_acquired(0.0002)
+    collector.latch_acquired(0.02)
+    collector.latch_released(0.001)
+    collector.finish_statement(ctx, duration_s=0.05)
+    samples, helps, types, __ = parse_exposition(registry.render_prometheus())
+    assert types["wait_seconds_total"] == "counter"
+    assert types["wait_events_total"] == "counter"
+    assert "wait_seconds_total" in helps
+    assert _one(samples, "wait_seconds_total",
+                {"event": "buffer_io"}) == _approx(0.004)
+    assert _one(samples, "wait_events_total", {"event": "buffer_io"}) == 2
+    assert _one(samples, "wait_seconds_total",
+                {"event": "lock:Emp1"}) == _approx(0.010)
+    # the cpu residual is a first-class event in the same family
+    assert _one(samples, "wait_events_total", {"event": "cpu"}) == 1
+    # the latch histogram: ordered cumulative buckets, +Inf == _count
+    assert types["engine_latch_wait_seconds"] == "histogram"
+    series = _bucket_series(samples, "engine_latch_wait_seconds", {})
+    assert [le for le, __ in series] == \
+        [float(b) for b in LATCH_WAIT_BUCKETS] + [math.inf]
+    values = [v for __, v in series]
+    assert values == sorted(values)
+    assert values[-1] == 2
+    assert _one(samples, "engine_latch_wait_seconds_count", {}) == 2
+    assert _one(samples, "engine_latch_wait_seconds_sum", {}) == \
+        _approx(0.0202)
+    assert types["engine_latch_hold_seconds_total"] == "counter"
+    assert _one(samples, "engine_latch_hold_seconds_total", {}) == \
+        _approx(0.001)
+
+
+def test_alert_series_conform():
+    """``alert_firing`` is a gauge flipping 0/1 per alert label;
+    ``alert_transitions_total`` counts labelled state changes."""
+    from repro.telemetry.tsstore import AlertEngine
+
+    registry = MetricsRegistry()
+    engine = AlertEngine(metrics=registry)
+    hot = {"firing": False}
+    engine.add_rule("hot", "too hot", lambda: (1.0, hot["firing"]))
+    samples, __, types, __ = parse_exposition(registry.render_prometheus())
+    assert types["alert_firing"] == "gauge"
+    assert _one(samples, "alert_firing", {"alert": "hot"}) == 0
+    hot["firing"] = True
+    engine.evaluate()
+    hot["firing"] = False
+    engine.evaluate()
+    samples, __, types, __ = parse_exposition(registry.render_prometheus())
+    assert types["alert_transitions_total"] == "counter"
+    assert _one(samples, "alert_firing", {"alert": "hot"}) == 0
+    assert _one(samples, "alert_transitions_total",
+                {"alert": "hot", "to": "firing"}) == 1
+    assert _one(samples, "alert_transitions_total",
+                {"alert": "hot", "to": "resolved"}) == 1

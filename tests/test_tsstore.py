@@ -1,0 +1,168 @@
+"""The metrics time-series store, the threshold alert engine, and the
+telemetry sampler thread that drives them."""
+
+import time
+
+import pytest
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tsstore import (
+    AlertEngine,
+    TelemetrySampler,
+    TimeSeriesStore,
+)
+
+
+# ---------------------------------------------------------------------------
+# the store: retention, probes, deltas
+# ---------------------------------------------------------------------------
+
+
+def test_retention_is_bounded_per_series():
+    store = TimeSeriesStore(retention_points=5)
+    for i in range(12):
+        store.append("a", float(i), ts=float(i))
+    points = store.series("a")
+    assert len(points) == 5
+    assert [v for __, v in points] == [7.0, 8.0, 9.0, 10.0, 11.0]
+    assert store.latest("a") == 11.0
+    assert store.latest("missing") is None
+
+
+def test_probes_feed_sample_once_and_broken_probes_are_skipped():
+    store = TimeSeriesStore()
+    store.register(lambda: {"good": 1.0})
+    store.register(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+    store.register(lambda: {"also_good": 2.0})
+    merged = store.sample_once(ts=100.0)
+    assert merged == {"good": 1.0, "also_good": 2.0}
+    assert store.samples_taken == 1
+    assert store.names() == ["also_good", "good"]
+    assert store.series("good") == [(100.0, 1.0)]
+
+
+def test_delta_and_rate_over_a_window():
+    store = TimeSeriesStore()
+    now = time.time()
+    store.append("c", 10.0, ts=now - 8.0)
+    store.append("c", 30.0, ts=now - 2.0)
+    dv, dt = store.delta("c", window_s=60.0)
+    assert dv == pytest.approx(20.0)
+    assert dt == pytest.approx(6.0, abs=0.01)
+    assert store.rate("c", window_s=60.0) == pytest.approx(20.0 / 6.0,
+                                                           rel=0.01)
+    # a single in-window point cannot make a delta
+    assert store.delta("c", window_s=1.0) == (0.0, 0.0)
+    assert store.rate("missing", window_s=60.0) == 0.0
+
+
+def test_snapshot_selects_names_and_window():
+    store = TimeSeriesStore(retention_points=10)
+    now = time.time()
+    store.append("a", 1.0, ts=now - 100.0)
+    store.append("a", 2.0, ts=now)
+    store.append("b", 3.0, ts=now)
+    doc = store.snapshot(window_s=10.0, names=["a"])
+    assert list(doc["series"]) == ["a"]
+    assert len(doc["series"]["a"]) == 1  # the old point is outside
+    assert doc["retention_points"] == 10
+    full = store.snapshot()
+    assert set(full["series"]) == {"a", "b"}
+
+
+# ---------------------------------------------------------------------------
+# the alert engine: firing / resolved state machine
+# ---------------------------------------------------------------------------
+
+
+def test_alert_transitions_fire_and_resolve_with_history_and_metrics():
+    registry = MetricsRegistry()
+    engine = AlertEngine(metrics=registry)
+    level = {"value": 0.0}
+    engine.add_rule("hot", "value over 0.5",
+                    lambda: (level["value"], level["value"] > 0.5),
+                    severity="warning", threshold=0.5)
+    assert registry.value("alert_firing", alert="hot") == 0
+
+    engine.evaluate(ts=1.0)
+    assert engine.firing() == []
+
+    level["value"] = 0.9
+    firing = engine.evaluate(ts=2.0)
+    assert [a["alert"] for a in firing] == ["hot"]
+    assert registry.value("alert_firing", alert="hot") == 1
+    assert registry.value("alert_transitions_total",
+                          alert="hot", to="firing") == 1
+
+    level["value"] = 0.1
+    engine.evaluate(ts=3.0)
+    assert engine.firing() == []
+    assert registry.value("alert_firing", alert="hot") == 0
+    assert registry.value("alert_transitions_total",
+                          alert="hot", to="resolved") == 1
+
+    doc = engine.snapshot()
+    assert doc["evaluations"] == 3
+    assert doc["firing"] == 0
+    [alert] = doc["alerts"]
+    assert alert["state"] == "ok" and alert["transitions"] == 2
+    assert [h["to"] for h in doc["history"]] == ["firing", "resolved"]
+    assert "hot" in engine.render_text()
+
+
+def test_broken_rule_is_skipped_not_fatal():
+    engine = AlertEngine()
+    engine.add_rule("broken", "", lambda: 1 / 0)
+    engine.add_rule("fine", "", lambda: (1.0, True))
+    firing = engine.evaluate()
+    assert [a["alert"] for a in firing] == ["fine"]
+    assert engine.evaluations == 1
+
+
+def test_firing_alerts_sort_first_in_snapshot():
+    engine = AlertEngine()
+    engine.add_rule("zz_firing", "", lambda: (1.0, True))
+    engine.add_rule("aa_ok", "", lambda: (0.0, False))
+    engine.evaluate()
+    assert [a["alert"] for a in engine.snapshot()["alerts"]] == \
+        ["zz_firing", "aa_ok"]
+
+
+# ---------------------------------------------------------------------------
+# the sampler thread
+# ---------------------------------------------------------------------------
+
+
+def test_tick_once_runs_every_callback_despite_failures():
+    sampler = TelemetrySampler(interval=0)
+    ran = []
+    sampler.add(lambda: ran.append("a"))
+    sampler.add(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+    sampler.add(lambda: ran.append("b"))
+    sampler.tick_once()
+    assert ran == ["a", "b"]
+    assert sampler.ticks_run == 1
+
+
+def test_zero_interval_disables_the_thread():
+    sampler = TelemetrySampler(interval=0)
+    sampler.start()
+    assert not sampler.running
+    sampler.stop()  # harmless when never started
+
+
+def test_running_sampler_ticks_and_stops():
+    sampler = TelemetrySampler(interval=0.01)
+    ticks = []
+    sampler.add(lambda: ticks.append(1))
+    sampler.start()
+    assert sampler.running
+    deadline = time.time() + 10.0
+    while not ticks and time.time() < deadline:
+        time.sleep(0.01)
+    sampler.stop()
+    assert ticks, "the daemon thread never ticked"
+    assert not sampler.running
+    after = len(ticks)
+    time.sleep(0.05)
+    assert len(ticks) == after  # stopped means stopped
