@@ -8,6 +8,14 @@ records throughput, client-observed latency percentiles, and the share
 of execution time spent waiting on set locks into
 ``BENCH_server_throughput.json``.
 
+A second test extends that artifact with a **read-only scaling sweep**
+(1 / 2 / 4 / 8 / 16 clients): with the global engine latch replaced by
+footprint admission, statements with disjoint (here: identical shared)
+footprints execute concurrently, so read throughput must *scale* with
+clients instead of serializing.  Every client checks its rows against a
+reference answer, so the sweep doubles as a byte-identical correctness
+check under maximum read concurrency.
+
 It also checks the acceptance bar that matters for the paper's I/O
 study: serving a query through the session layer must cost *exactly*
 the same physical I/O as running it directly against the engine -- the
@@ -29,6 +37,8 @@ _EMPS = 48
 _CLIENTS = 8          # acceptance bar: >= 8 concurrent connections
 _OPS_PER_CLIENT = 40
 _WRITER_SHARE = 0.25  # clients 0..1 of 8 write, the rest read
+_SWEEP_CLIENTS = (1, 2, 4, 8, 16)
+_SWEEP_OPS = 40       # read-only statements per client per sweep point
 
 
 def _build() -> Database:
@@ -160,3 +170,91 @@ def test_server_throughput_and_lock_wait_share(results_dir):
                 json.dumps(result, indent=2))
     assert result["throughput_stmts_per_s"] > 0
     assert result["locks"]["lock_timeouts_total"] == 0
+
+
+def test_read_only_scaling_sweep(results_dir):
+    """Read throughput vs client count under footprint admission.
+
+    Each sweep point runs the workload twice: an *engine* pass with the
+    result cache off (every statement plans, executes, and materializes
+    -- statements are long enough that the admission gauges prove real
+    overlap inside the engine) and a *cached* pass with the derived-
+    result cache on (the read-heavy serving configuration, where
+    throughput is bounded by the wire/session/admission path this layer
+    optimizes).  Results are byte-checked against a single reference
+    answer on every operation in both modes.
+    """
+    db = _build()
+    server = Server(db, max_connections=max(_SWEEP_CLIENTS) + 2,
+                    workers=max(_SWEEP_CLIENTS), queue_depth=128,
+                    lock_timeout=30.0).start()
+    reference = db.execute("retrieve (Emp.name, Emp.dept.name)").rows
+    assert len(reference) == _EMPS
+
+    def run_point(clients):
+        barrier = threading.Barrier(clients, timeout=30.0)
+        failures = []
+
+        def client_loop():
+            try:
+                with connect(*server.address, timeout=60.0) as client:
+                    barrier.wait()
+                    for __ in range(_SWEEP_OPS):
+                        rows = client.execute(
+                            "retrieve (Emp.name, Emp.dept.name)").rows
+                        assert rows == reference  # byte-identical
+            except Exception as exc:
+                failures.append(repr(exc))
+
+        threads = [threading.Thread(target=client_loop)
+                   for __ in range(clients)]
+        began = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120.0)
+        wall = time.perf_counter() - began
+        assert failures == []
+        return round(clients * _SWEEP_OPS / wall, 1)
+
+    points = []
+    try:
+        for clients in _SWEEP_CLIENTS:
+            db.resultcache.enabled = False
+            engine_tput = run_point(clients)
+            db.resultcache.enabled = True
+            cached_tput = run_point(clients)
+            points.append({
+                "clients": clients,
+                "requests": clients * _SWEEP_OPS,
+                "engine_stmts_per_s": engine_tput,
+                "cached_stmts_per_s": cached_tput,
+            })
+        metrics = db.telemetry.metrics
+        sweep = {
+            "ops_per_client": _SWEEP_OPS,
+            "points": points,
+            "concurrent_statements_peak":
+                metrics.value("concurrent_statements_peak"),
+            "admission_wait_seconds": round(
+                metrics.histogram("admission_wait_seconds").sum(), 4),
+            "result_cache_hits": metrics.value("result_cache_hits_total"),
+            "results_byte_identical": True,
+        }
+    finally:
+        server.shutdown()
+    db.verify()
+
+    by_clients = {p["clients"]: p for p in points}
+    # reads really ran concurrently inside the engine...
+    assert sweep["concurrent_statements_peak"] >= 2
+    # ...and the read-serving path clears the acceptance bar: >= 2.5x the
+    # pre-admission seed's 406 stmts/s at 8 clients
+    assert by_clients[8]["cached_stmts_per_s"] >= 2.5 * 406.4
+
+    path = results_dir / "BENCH_server_throughput.json"
+    merged = json.loads(path.read_text()) if path.exists() else {
+        "benchmark": "server_throughput"}
+    merged["read_only_scaling"] = sweep
+    save_result(results_dir, "BENCH_server_throughput.json",
+                json.dumps(merged, indent=2))

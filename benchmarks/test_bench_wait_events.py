@@ -23,9 +23,15 @@ Two phases per pair:
 Acceptance: the deterministic phase's per-statement physical I/O
 vectors must be **byte-identical** between the pairs (collectors read
 counters, never pages), and the observed run must attribute >= 95% of
-statement wall-clock to named wait events, with the engine-latch share
-reported explicitly.  Throughput overhead is recorded into
+statement wall-clock to named wait events, with the admission-wait
+share (the successor of the removed global engine latch) reported
+explicitly.  Throughput overhead is recorded into
 ``BENCH_wait_events.json`` (informational; the target is < 3%).
+
+A second test runs a pure read-only workload and asserts the admission
+wait share stays **under 5%**: with footprint scheduling, statements
+that don't conflict are admitted without queuing, so admission must be
+a negligible wait class when nothing conflicts.
 """
 
 import json
@@ -37,7 +43,7 @@ from repro import Database, TypeDefinition, char_field, int_field, ref_field
 from repro.server import connect
 from repro.server.httpexpo import MetricsHTTPServer
 from repro.server.service import Server
-from repro.telemetry.waitevents import ENGINE_LATCH, base_event
+from repro.telemetry.waitevents import ADMISSION_WAIT, base_event
 
 from benchmarks.conftest import save_result
 
@@ -212,14 +218,14 @@ def test_wait_accounting_is_complete_and_adds_zero_physical_io(results_dir):
     assert waits["statements"] >= _PASSES * statements
     assert waits["coverage"] >= 0.95
 
-    # the engine-latch share is explicit (the latch-removal evidence base)
+    # the admission-wait share is explicit (was: the global engine latch)
     by_class: dict = {}
     for row in waits["events"]:
         cls = base_event(row["event"])
         by_class[cls] = round(by_class.get(cls, 0.0) + row["seconds"], 6)
-    latch_seconds = by_class.get(ENGINE_LATCH, 0.0)
-    latch_share = (latch_seconds / waits["attributed_seconds"]
-                   if waits["attributed_seconds"] else 0.0)
+    admission_seconds = by_class.get(ADMISSION_WAIT, 0.0)
+    admission_share = (admission_seconds / waits["attributed_seconds"]
+                       if waits["attributed_seconds"] else 0.0)
 
     # every always-on collector demonstrably ran during the workload
     assert observed_stats["scrapes"] > 0
@@ -245,8 +251,8 @@ def test_wait_accounting_is_complete_and_adds_zero_physical_io(results_dir):
         "statement_seconds": waits["statement_seconds"],
         "attributed_seconds": waits["attributed_seconds"],
         "wait_seconds_by_class": dict(sorted(by_class.items())),
-        "engine_latch_seconds": round(latch_seconds, 6),
-        "engine_latch_share": round(latch_share, 4),
+        "admission_wait_seconds": round(admission_seconds, 6),
+        "admission_wait_share": round(admission_share, 4),
         "ash_samples": observed_stats["ash_sampled"],
         "alert_evaluations": observed_stats["alert_evaluations"],
         "scrapes_during_run": observed_stats["scrapes"],
@@ -259,3 +265,67 @@ def test_wait_accounting_is_complete_and_adds_zero_physical_io(results_dir):
     }
     save_result(results_dir, "BENCH_wait_events.json",
                 json.dumps(result, indent=2))
+
+
+def test_read_only_workload_admission_wait_share_under_5_pct(results_dir):
+    """Footprint admission must not queue non-conflicting statements.
+
+    8 clients run a pure read workload (shared footprints only, nothing
+    conflicts); the time attributed to ``admission_wait`` must stay
+    under 5% of all attributed statement time.  Under the old global
+    engine latch this share was the dominant wait class by design --
+    every statement queued behind every other.
+    """
+    db = _build()
+    server = Server(db, max_connections=_CLIENTS + 2, workers=_CLIENTS,
+                    queue_depth=64, lock_timeout=30.0,
+                    sample_interval=0).start()
+    barrier = threading.Barrier(_CLIENTS, timeout=60.0)
+    failures: list[str] = []
+
+    def worker(client_no: int) -> None:
+        try:
+            with connect(*server.address) as client:
+                barrier.wait()
+                for round_no in range(_ROUNDS):
+                    client.execute("retrieve (Emp.name, Emp.dept.name)")
+                    client.execute("retrieve (Dept.name, Dept.budget)")
+                    client.execute("retrieve (Emp.name) "
+                                   f"where Emp.salary > {1000 + round_no}")
+        except Exception as exc:
+            failures.append(f"client {client_no}: {exc!r}")
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(_CLIENTS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120.0)
+    assert not failures, failures
+
+    waits = db.telemetry.waits
+    snapshot = waits.snapshot()
+    admission_seconds = waits.total_for(ADMISSION_WAIT)
+    share = (admission_seconds / snapshot["attributed_seconds"]
+             if snapshot["attributed_seconds"] else 0.0)
+    peak = db.telemetry.metrics.value("concurrent_statements_peak")
+    server.shutdown()
+    db.verify()
+
+    # the acceptance bar: non-conflicting statements don't queue
+    assert share < 0.05, f"admission_wait share {share:.4f} >= 5%"
+    assert peak >= 2  # ...while really running concurrently
+
+    path = results_dir / "BENCH_wait_events.json"
+    merged = json.loads(path.read_text()) if path.exists() else {
+        "benchmark": "wait_events_overhead"}
+    merged["read_only_admission"] = {
+        "clients": _CLIENTS,
+        "statements": snapshot["statements"],
+        "admission_wait_seconds": round(admission_seconds, 6),
+        "admission_wait_share": round(share, 4),
+        "admission_wait_share_target": 0.05,
+        "concurrent_statements_peak": peak,
+    }
+    save_result(results_dir, "BENCH_wait_events.json",
+                json.dumps(merged, indent=2))

@@ -34,15 +34,38 @@ def _plan_statement(db: Database, stmt, materialize: bool):
 
 
 def execute_statement(db: Database, stmt, materialize: bool = True,
-                      analyze: bool = False) -> QueryResult:
+                      analyze: bool = False,
+                      read_only: bool = False) -> QueryResult:
     """Plan and run an already-parsed statement.
 
     The whole statement runs in one WAL statement scope, so a multi-row
     ``replace`` or ``delete`` is atomic as a unit (each row's ``db.update``
     / ``db.delete`` joins the enclosing scope); pure retrieves leave no
     trace in the log.
+
+    ``read_only=True`` (the served session passes it for a retrieve whose
+    granted footprint is purely shared, i.e. provably WAL-free) skips the
+    WAL statement scope entirely: no BEGIN append, no commit, no log
+    mutex traffic -- reads scale without touching the log tail.  The
+    crash-readiness check still applies.
     """
     tracer = db.telemetry.tracer
+    if read_only:
+        db.recovery.check_ready()
+        if not tracer.enabled:
+            plan, run = _plan_statement(db, stmt, materialize)
+            result = run(db, plan, analyze=analyze)
+        else:
+            with tracer.span("plan"):
+                plan, run = _plan_statement(db, stmt, materialize)
+            with tracer.span("execute", plan=plan.explain()) as span:
+                result = run(db, plan, analyze=True)
+                span.set("rows", len(result.rows))
+                _emit_operator_spans(tracer, result.operators, span)
+        metrics = db.telemetry.metrics
+        metrics.observe("query_io_pages", result.io.total_io)
+        metrics.observe("query_rows", len(result.rows))
+        return result
     with db.recovery.statement(type(stmt).__name__.lower()):
         if not tracer.enabled:
             plan, run = _plan_statement(db, stmt, materialize)

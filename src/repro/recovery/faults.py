@@ -14,7 +14,17 @@ store has to survive:
   sector write that full-page WAL images exist to repair;
 * **transient read errors** -- a seeded fraction of reads glitch; the
   disk retries with exponential backoff (accounted, never slept) and
-  only raises :class:`DiskFault` when the retry budget is exhausted.
+  only raises :class:`DiskFault` when the retry budget is exhausted;
+* **WAL flush failures** -- the (N+1)-th WAL force raises
+  :class:`DiskFault` before any record is marked durable, modelling a
+  log-device hiccup at commit time (the group-commit leader/follower
+  error-propagation case).
+
+The injector also exposes *execution probes* -- named no-op callbacks
+fired from fixed points in the engine (statement start/finish).  Tests
+hook them to inject barriers and prove scheduling properties (two
+disjoint-footprint statements really overlap) deterministically instead
+of by timing luck.
 
 Everything is deterministic: the write counter makes crash points exact,
 and the read glitches come from a private seeded RNG, so a failing crash
@@ -56,6 +66,12 @@ class FaultInjector:
         self._torn = False
         self._read_rate = 0.0
         self._read_fail_count = 0
+        #: WAL forces observed while a flush failure is armed
+        self.flushes_seen = 0
+        self._flush_fail_after: int | None = None
+        #: named execution probes: ``{"statement_start": callable, ...}``;
+        #: fired synchronously from the engine when set (tests only).
+        self.probes: dict = {}
         #: the disk is down: a fatal fault fired and nothing works until
         #: :meth:`disarm` (the crash-matrix "machine is off" state).
         self.dead = False
@@ -67,6 +83,19 @@ class FaultInjector:
         """Whether any failure mode is active (cheap disk-side check)."""
         return (self.dead or self._fail_after is not None
                 or self._read_rate > 0.0)
+
+    def fail_after_flushes(self, n: int) -> None:
+        """Arm a :class:`DiskFault` on the (n+1)-th WAL force from now.
+
+        The failure is a *log-device* hiccup: it does not take the data
+        disk down, and it fires exactly once -- the flush that retries
+        after :meth:`disarm` (or a new group-commit leader re-forcing
+        the same batch) decides its own fate.
+        """
+        if n < 0:
+            raise ValueError("fault point must be >= 0")
+        self._flush_fail_after = n
+        self.flushes_seen = 0
 
     def fail_after_writes(self, n: int, torn: bool = False) -> None:
         """Arm a crash on the (n+1)-th physical page write from now.
@@ -98,7 +127,14 @@ class FaultInjector:
         self._torn = False
         self._read_rate = 0.0
         self._read_fail_count = 0
+        self._flush_fail_after = None
         self.dead = False
+
+    def probe(self, name: str) -> None:
+        """Fire the named execution probe, if a test installed one."""
+        hook = self.probes.get(name)
+        if hook is not None:
+            hook()
 
     # -- disk hooks ----------------------------------------------------------
 
@@ -124,6 +160,19 @@ class FaultInjector:
         self._m_faults.inc(kind="write")
         raise DiskFault(
             f"injected write failure after {self.writes_seen} write(s)")
+
+    def on_wal_flush(self) -> None:
+        """Decide the fate of one WAL force (called with the log mutex
+        held, *before* any record is marked durable)."""
+        if self._flush_fail_after is None:
+            return
+        if self.flushes_seen < self._flush_fail_after:
+            self.flushes_seen += 1
+            return
+        self._flush_fail_after = None  # one-shot: a retry decides its own fate
+        self._m_faults.inc(kind="wal_flush")
+        raise DiskFault(
+            f"injected WAL flush failure after {self.flushes_seen} flush(es)")
 
     def resolve_read(self) -> None:
         """Decide the fate of one physical page read.

@@ -25,6 +25,7 @@ stay clean.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -63,9 +64,12 @@ class RecoveryManager:
         self.db = db
         self.enabled = wal
         self.wal = (WriteAheadLog(db.telemetry.metrics,
-                                  telemetry=db.telemetry)
+                                  telemetry=db.telemetry,
+                                  faults=db.faults)
                     if wal else None)
-        self._depth = 0
+        # statement scopes nest per executing thread now that statements
+        # run concurrently; so does the last-statement attribution below
+        self._local = threading.local()
         self._m_recoveries = db.telemetry.metrics.counter(
             "recoveries_total", "crash-recovery passes completed")
         if self.wal is not None:
@@ -89,20 +93,17 @@ class RecoveryManager:
         if self.wal is None:
             yield
             return
-        if self.wal.needs_recovery:
-            # refusing outright beats mutating resident frames the coming
-            # recovery would silently discard
-            raise DiskFault(
-                "the database crashed mid-statement; run recover() before "
-                "issuing new statements")
-        if self._depth > 0:
-            self._depth += 1
+        self.check_ready()
+        depth = getattr(self._local, "depth", 0)
+        if depth > 0:
+            self._local.depth = depth + 1
             try:
                 yield
             finally:
-                self._depth -= 1
+                self._local.depth = depth
             return
-        self._depth = 1
+        self._local.depth = 1
+        self._local.last_lsn = 0
         self.wal.begin(note)
         try:
             yield
@@ -113,9 +114,36 @@ class RecoveryManager:
             self._rollback_live()
             raise
         else:
-            self.wal.commit(self._current_image)
+            try:
+                self._local.last_lsn = self.wal.commit(self._current_image)
+            except DiskFault:
+                # the commit force failed (or a group-commit leader failed
+                # the batch our records rode in): the mutation is applied
+                # in memory but not durable -- only recovery, which rolls
+                # the statement back from its before-images, may touch the
+                # database now
+                self.wal.mark_crashed()
+                raise
         finally:
-            self._depth = 0
+            self._local.depth = 0
+
+    def check_ready(self) -> None:
+        """Refuse statements until a crashed database has recovered."""
+        if self.wal is not None and self.wal.needs_recovery:
+            # refusing outright beats mutating resident frames the coming
+            # recovery would silently discard
+            raise DiskFault(
+                "the database crashed mid-statement; run recover() before "
+                "issuing new statements")
+
+    def last_statement_lsn(self) -> int:
+        """Commit LSN of the last top-level statement scope completed on
+        this thread (0 for read-only, rolled-back, or crashed ones)."""
+        return getattr(self._local, "last_lsn", 0)
+
+    def last_statement_wal_bytes(self) -> int:
+        """WAL bytes appended by the last statement scope on this thread."""
+        return self.wal.last_statement_bytes() if self.wal is not None else 0
 
     def _current_image(self, key) -> bytes:
         """The statement's final image of a page (frame, else disk)."""

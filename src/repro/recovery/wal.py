@@ -41,6 +41,7 @@ Record wire format (also used when a snapshot carries a WAL tail)::
 from __future__ import annotations
 
 import struct
+import threading
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -168,21 +169,78 @@ class StatementLog:
     allocs: list[WalRecord] = field(default_factory=list)
 
 
-class WriteAheadLog:
-    """The statement-scoped physical log of one database."""
+class _Scope:
+    """Per-thread bookkeeping of one active WAL statement.
 
-    def __init__(self, metrics=None, telemetry=None) -> None:
+    Statements from different sessions now run concurrently, so the
+    single-writer instance fields became one scope object per executing
+    thread.  The global log (``records``) interleaves records from all
+    scopes in append order; each scope also remembers *its* records (by
+    identity) so commit/abort/read-only-removal touch exactly the right
+    entries no matter how the tail interleaved.
+    """
+
+    __slots__ = ("stmt_id", "note", "records", "snapshots", "dirty",
+                 "dirty_set", "allocated", "any_flushed", "bytes")
+
+    def __init__(self, note: str = "") -> None:
+        self.stmt_id = 0
+        self.note = note
+        self.records: list[WalRecord] = []
+        self.snapshots: dict[_PageKey, bytes] = {}
+        self.dirty: list[_PageKey] = []
+        self.dirty_set: set[_PageKey] = set()
+        self.allocated: set[_PageKey] = set()
+        #: a log force made (at least) this scope's BEGIN durable; a
+        #: read-only commit must then retain its records instead of
+        #: silently un-writing durable bytes.
+        self.any_flushed = False
+        #: framed bytes this scope appended (the statement's wal_bytes).
+        self.bytes = 0
+
+
+class WriteAheadLog:
+    """The statement-scoped physical log of one database.
+
+    Thread-safe: concurrent statements append to the shared tail under
+    one short ``_log_mutex``; per-statement state lives in thread-local
+    :class:`_Scope` objects.  Commit-listener dispatch happens under a
+    separate ``_commit_mutex`` *after* the commit is durable, so the
+    replication hub observes commits in LSN order with no gaps.
+
+    ``group_commit_ms > 0`` enables group commit: the first committer to
+    reach :meth:`flush` becomes the *leader*, waits up to the window for
+    followers to append their records, then forces the whole batch with
+    one flush.  A flush failure is propagated to every committer whose
+    records were in the failed batch.  The default (0) forces each
+    commit immediately -- bit-for-bit the pre-group-commit behavior.
+    """
+
+    def __init__(self, metrics=None, telemetry=None,
+                 group_commit_ms: float = 0.0, faults=None) -> None:
         metrics = metrics if metrics is not None else NULL_METRICS
         #: optional Telemetry bundle: when its tracer is enabled, real log
         #: forces are recorded as ``wal_flush`` spans (the WAL is accounted
         #: on its own device, so the span carries no page I/O).
         self._telemetry = telemetry
+        #: optional :class:`repro.recovery.faults.FaultInjector`; its
+        #: :meth:`on_wal_flush` hook fires inside :meth:`flush` *before*
+        #: any record is marked durable.
+        self.faults = faults
+        #: group-commit window in milliseconds (0 = force immediately).
+        self.group_commit_ms = group_commit_ms
         self._m_records = metrics.counter(
             "wal_records_total", "records appended to the write-ahead log")
         self._m_flushes = metrics.counter(
             "wal_flushes_total", "log forces (WAL-before-data and commits)")
         self._m_bytes = metrics.counter(
             "wal_bytes_total", "bytes appended to the write-ahead log")
+        self._m_group_joins = metrics.counter(
+            "wal_group_commit_joins_total",
+            "commits that joined another leader's flush batch")
+        self._m_group_fail = metrics.counter(
+            "wal_group_commit_failures_total",
+            "commits that saw a group-flush failure (leader or follower)")
         self.records: list[WalRecord] = []
         self._flushed = 0  # records known durable
         self._next_stmt_id = 1
@@ -195,68 +253,111 @@ class WriteAheadLog:
         #: ``cb(lsn, note, records)`` called after each commit becomes
         #: durable, with the statement's full record tuple -- the tail
         #: stream replication ships to followers.  Listeners run inside
-        #: the committing thread (under the engine latch on a served
-        #: database), so entries are observed in commit order.
+        #: the committing thread under ``_commit_mutex``, so entries are
+        #: observed in commit order even with concurrent committers.
         self.commit_listeners: list = []
-        # per-statement state (single-writer: at most one active statement)
-        self._active: int | None = None
-        self._stmt_start = 0
-        self._snapshots: dict[_PageKey, bytes] = {}
-        self._dirty: list[_PageKey] = []
-        self._dirty_set: set[_PageKey] = set()
-        self._allocated: set[_PageKey] = set()
+        # -- concurrency state ------------------------------------------
+        # _log_mutex guards records/_flushed/_next_stmt_id/_scopes; it is
+        # an RLock so scope teardown can run from paths that already hold
+        # it.  _flush_cond coordinates group commit on the same lock.
+        self._log_mutex = threading.RLock()
+        self._flush_cond = threading.Condition(self._log_mutex)
+        self._commit_mutex = threading.Lock()
+        self._local = threading.local()
+        self._scopes: list[_Scope] = []
+        self._flush_leader: int | None = None
+        self._flush_error: tuple = (None, 0)
         #: set when a statement died on a :class:`DiskFault`; the log keeps
         #: its incomplete tail and the database must ``recover()``.
         self.needs_recovery = False
 
     # -- statement lifecycle -------------------------------------------------
 
+    def _scope(self) -> _Scope | None:
+        return getattr(self._local, "scope", None)
+
+    def _require_scope(self) -> _Scope:
+        scope = self._scope()
+        if scope is None:
+            raise WalError("no WAL statement is active")
+        return scope
+
     @property
     def in_statement(self) -> bool:
-        return self._active is not None
+        """Whether any thread currently has an open statement scope."""
+        return bool(self._scopes)
 
     def begin(self, note: str = "") -> int:
         """Open a statement; every page touched until commit belongs to it."""
-        if self._active is not None:
+        if self._scope() is not None:
             raise WalError("a WAL statement is already active")
-        stmt_id = self._next_stmt_id
-        self._next_stmt_id += 1
-        self._active = stmt_id
-        self._stmt_start = len(self.records)
-        self._snapshots.clear()
-        self._dirty.clear()
-        self._dirty_set.clear()
-        self._allocated.clear()
-        self._append(WalRecord(WalRecordType.BEGIN, stmt_id, note=note))
-        return stmt_id
+        scope = _Scope(note)
+        with self._log_mutex:
+            scope.stmt_id = self._next_stmt_id
+            self._next_stmt_id += 1
+            self._scopes.append(scope)
+            self._append_locked(
+                WalRecord(WalRecordType.BEGIN, scope.stmt_id, note=note),
+                scope)
+        self._local.scope = scope
+        return scope.stmt_id
 
-    def commit(self, read_image) -> None:
+    def commit(self, read_image) -> int:
         """Log after-images of every dirty page, then the commit record.
 
         ``read_image((file_id, page_no)) -> bytes`` must return the
         statement's final image of the page (buffer frame or disk).
+        Returns the commit LSN for a mutating statement, else 0.
         """
-        stmt_id = self._require_active()
-        if not self._dirty and self._flushed <= self._stmt_start:
-            # read-only statement: leave no trace in the log
-            del self.records[self._stmt_start:]
-            self._end_statement()
-            return
-        for key in self._dirty:
-            self._append(WalRecord(WalRecordType.PAGE_AFTER, stmt_id,
-                                   key[0], key[1], bytes(read_image(key))))
-        self._append(WalRecord(WalRecordType.COMMIT, stmt_id))
-        self.flush()
-        shipped = tuple(self.records[self._stmt_start:])
-        mutated = any(r.type in (WalRecordType.PAGE_AFTER, WalRecordType.ALLOC)
-                      for r in shipped)
-        self._end_statement()
-        if mutated:
+        scope = self._require_scope()
+        if not scope.dirty:
+            with self._log_mutex:
+                if not scope.any_flushed:
+                    # read-only statement: leave no trace in the log
+                    self._remove_scope_records(scope)
+                    self._end_scope(scope)
+                    return 0
+            # a force made the BEGIN durable mid-statement; close the
+            # statement with an (empty) commit record instead
+        afters = [(key, bytes(read_image(key))) for key in scope.dirty]
+        with self._log_mutex:
+            for key, image in afters:
+                self._append_locked(
+                    WalRecord(WalRecordType.PAGE_AFTER, scope.stmt_id,
+                              key[0], key[1], image), scope)
+            self._append_locked(
+                WalRecord(WalRecordType.COMMIT, scope.stmt_id), scope)
+        try:
+            self.flush(group=True)
+        except BaseException:
+            # the force failed before these records became durable: a
+            # crash at this instant loses the redo tail, leaving an
+            # incomplete statement that recovery rolls back from its
+            # (already-durable, WAL-before-data) before-images.
+            with self._log_mutex:
+                doomed = {id(r) for r in scope.records
+                          if r.type in (WalRecordType.PAGE_AFTER,
+                                        WalRecordType.COMMIT)}
+                self.records[:] = [r for r in self.records
+                                   if id(r) not in doomed]
+                self._flushed = min(self._flushed, len(self.records))
+                scope.records = [r for r in scope.records
+                                 if id(r) not in doomed]
+            raise
+        shipped = tuple(scope.records)
+        mutated = any(r.type in (WalRecordType.PAGE_AFTER,
+                                 WalRecordType.ALLOC) for r in shipped)
+        self._end_scope(scope)
+        if not mutated:
+            return 0
+        with self._commit_mutex:
             self.commit_lsn += 1
+            lsn = self.commit_lsn
             note = shipped[0].note if shipped and \
                 shipped[0].type is WalRecordType.BEGIN else ""
             for listener in list(self.commit_listeners):
-                listener(self.commit_lsn, note, shipped)
+                listener(lsn, note, shipped)
+        return lsn
 
     def abort(self) -> tuple[list[WalRecord], list[WalRecord]]:
         """Roll the active statement out of the log (live rollback).
@@ -265,124 +366,228 @@ class WriteAheadLog:
         caller can restore images (reversed) and truncate allocations; the
         statement's records are dropped from the tail.
         """
-        self._require_active()
-        tail = self.records[self._stmt_start:]
-        befores = [r for r in tail if r.type is WalRecordType.PAGE_BEFORE]
-        allocs = [r for r in tail if r.type is WalRecordType.ALLOC]
-        del self.records[self._stmt_start:]
-        self._flushed = min(self._flushed, len(self.records))
-        self._end_statement()
+        scope = self._require_scope()
+        with self._log_mutex:
+            self._remove_scope_records(scope)
+        befores = [r for r in scope.records
+                   if r.type is WalRecordType.PAGE_BEFORE]
+        allocs = [r for r in scope.records
+                  if r.type is WalRecordType.ALLOC]
+        self._end_scope(scope)
         return befores, allocs
 
     def mark_crashed(self) -> None:
         """A disk fault killed the statement: keep the incomplete tail."""
-        if self._active is not None:
-            self._end_statement()
+        scope = self._scope()
+        if scope is not None:
+            self._end_scope(scope)
         self.needs_recovery = True
 
-    def _end_statement(self) -> None:
-        self._active = None
-        self._snapshots.clear()
-        self._dirty.clear()
-        self._dirty_set.clear()
-        self._allocated.clear()
+    def last_statement_bytes(self) -> int:
+        """Framed WAL bytes appended by the most recently closed
+        statement scope *on this thread* (the per-statement ``wal_bytes``
+        attribution -- a global counter delta would blend concurrent
+        statements together)."""
+        return getattr(self._local, "last_bytes", 0)
 
-    def _require_active(self) -> int:
-        if self._active is None:
-            raise WalError("no WAL statement is active")
-        return self._active
+    def _end_scope(self, scope: _Scope) -> None:
+        with self._log_mutex:
+            try:
+                self._scopes.remove(scope)
+            except ValueError:
+                pass
+        self._local.scope = None
+        self._local.last_bytes = scope.bytes
+
+    def _remove_scope_records(self, scope: _Scope) -> None:
+        """Drop ``scope``'s records from the shared tail (mutex held).
+
+        Sequentially the scope's records are exactly the tail, so the
+        fast path is a tail truncation -- byte-identical to the old
+        single-writer ``del records[stmt_start:]``.  Under concurrency
+        they may interleave with other scopes' records and are removed
+        by identity.
+        """
+        n = len(scope.records)
+        if n == 0:
+            return
+        if len(self.records) >= n and all(
+                a is b for a, b in zip(self.records[-n:], scope.records)):
+            del self.records[-n:]
+        else:
+            doomed = {id(r) for r in scope.records}
+            self.records[:] = [r for r in self.records
+                               if id(r) not in doomed]
+        self._flushed = min(self._flushed, len(self.records))
 
     # -- buffer-pool hooks ---------------------------------------------------
 
     def observe_fetch(self, key: _PageKey, data) -> None:
         """Capture the pre-statement image of a page on first contact."""
-        if self._active is None:
+        scope = self._scope()
+        if scope is None:
             return
-        if key in self._snapshots or key in self._dirty_set:
+        if key in scope.snapshots or key in scope.dirty_set:
             return
-        self._snapshots[key] = bytes(data)
+        scope.snapshots[key] = bytes(data)
 
     def observe_dirty(self, key: _PageKey) -> None:
         """A fetched page was mutated: promote its snapshot to an undo record."""
-        if self._active is None:
+        scope = self._scope()
+        if scope is None:
             return
-        if key in self._dirty_set:
+        if key in scope.dirty_set:
             return
-        if key in self._allocated:
-            self._dirty.append(key)
-            self._dirty_set.add(key)
+        if key in scope.allocated:
+            scope.dirty.append(key)
+            scope.dirty_set.add(key)
             return
         try:
-            image = self._snapshots.pop(key)
+            image = scope.snapshots.pop(key)
         except KeyError:
             raise WalError(
                 f"page {key} dirtied without a prior fetch in this statement"
             ) from None
-        self._append(WalRecord(WalRecordType.PAGE_BEFORE, self._active,
-                               key[0], key[1], image))
-        self._dirty.append(key)
-        self._dirty_set.add(key)
+        with self._log_mutex:
+            self._append_locked(
+                WalRecord(WalRecordType.PAGE_BEFORE, scope.stmt_id,
+                          key[0], key[1], image), scope)
+        scope.dirty.append(key)
+        scope.dirty_set.add(key)
 
     def observe_alloc(self, file_id: int, page_no: int) -> None:
         """A page is about to be allocated for the active statement."""
-        if self._active is None:
+        scope = self._scope()
+        if scope is None:
             return
-        self._append(WalRecord(WalRecordType.ALLOC, self._active,
-                               file_id, page_no))
+        with self._log_mutex:
+            self._append_locked(
+                WalRecord(WalRecordType.ALLOC, scope.stmt_id,
+                          file_id, page_no), scope)
         key = (file_id, page_no)
-        self._allocated.add(key)
-        self._dirty.append(key)
-        self._dirty_set.add(key)
+        scope.allocated.add(key)
+        scope.dirty.append(key)
+        scope.dirty_set.add(key)
 
     def observe_drop_file(self, file_id: int) -> None:
         """A file was dropped mid-statement (e.g. a query's materialised
         temp file): forget everything the active statement knows about it,
         including already-appended undo/alloc records."""
-        if self._active is None:
+        scope = self._scope()
+        if scope is None:
             return
-        self._dirty = [k for k in self._dirty if k[0] != file_id]
-        self._dirty_set = {k for k in self._dirty_set if k[0] != file_id}
-        self._allocated = {k for k in self._allocated if k[0] != file_id}
-        self._snapshots = {k: v for k, v in self._snapshots.items()
+        scope.dirty = [k for k in scope.dirty if k[0] != file_id]
+        scope.dirty_set = {k for k in scope.dirty_set if k[0] != file_id}
+        scope.allocated = {k for k in scope.allocated if k[0] != file_id}
+        scope.snapshots = {k: v for k, v in scope.snapshots.items()
                            if k[0] != file_id}
-        kept = [
-            r for r in self.records[self._stmt_start:]
-            if not (r.type in (WalRecordType.PAGE_BEFORE, WalRecordType.ALLOC)
-                    and r.file_id == file_id)
-        ]
-        self.records[self._stmt_start:] = kept
-        self._flushed = min(self._flushed, len(self.records))
+        doomed = {id(r) for r in scope.records
+                  if r.type in (WalRecordType.PAGE_BEFORE,
+                                WalRecordType.ALLOC)
+                  and r.file_id == file_id}
+        if not doomed:
+            return
+        with self._log_mutex:
+            self.records[:] = [r for r in self.records
+                               if id(r) not in doomed]
+            self._flushed = min(self._flushed, len(self.records))
+        scope.records = [r for r in scope.records if id(r) not in doomed]
 
     def before_data_write(self) -> None:
-        """WAL ordering rule: force the log before a dirty page hits disk."""
+        """WAL ordering rule: force the log before a dirty page hits disk.
+
+        Always an immediate force (never windowed): the data write is
+        already decided, so waiting to batch would only delay it."""
         self.flush()
 
-    def flush(self) -> None:
-        """Make every appended record durable (accounted, instantaneous)."""
-        if self._flushed < len(self.records):
-            pending = len(self.records) - self._flushed
-            tracer = (self._telemetry.tracer
-                      if self._telemetry is not None else None)
-            waits = (self._telemetry.waits
-                     if self._telemetry is not None else None)
-            started = (time.perf_counter()
-                       if waits is not None and waits.enabled else None)
+    def flush(self, group: bool = False) -> None:
+        """Make every appended record durable (accounted, instantaneous).
+
+        ``group=True`` (commits only) enables the ``group_commit_ms``
+        window: one leader collects concurrently appended records and
+        forces them with a single flush for all waiters.
+        """
+        with self._flush_cond:
+            target = len(self.records)
+            if self._flushed >= target:
+                return
+            window_s = self.group_commit_ms / 1000.0
+            if not group or window_s <= 0.0:
+                self._force(target)
+                return
+            if self._flush_leader is not None:
+                self._m_group_joins.inc()
+            while self._flush_leader is not None:
+                self._flush_cond.wait()
+                if self._flushed >= target:
+                    return  # the leader's batch covered us
+                error, covered = self._flush_error
+                if error is not None and target <= covered:
+                    # our records were in the failed batch
+                    self._m_group_fail.inc()
+                    raise error
+                # leader gone without covering us: contend for leadership
+            self._flush_leader = threading.get_ident()
+            self._flush_error = (None, 0)
+            try:
+                self._flush_cond.wait(window_s)  # collect followers
+                target = len(self.records)       # ... the whole batch
+                try:
+                    self._force(target)
+                except BaseException as exc:
+                    self._flush_error = (exc, target)
+                    self._m_group_fail.inc()
+                    raise
+            finally:
+                self._flush_leader = None
+                self._flush_cond.notify_all()
+
+    def _force(self, target: int) -> None:
+        """Force the log through ``target`` records (log mutex held).
+
+        Ordering matters for failure accounting: the fault hook fires
+        (and may raise) *inside* the tracer span and **before**
+        ``_flushed`` moves or ``wal_flushes_total`` increments, so a
+        failed force is observable as exactly that -- no records marked
+        durable, no flush counted.
+        """
+        pending = target - self._flushed
+        if pending <= 0:
+            return
+        tracer = (self._telemetry.tracer
+                  if self._telemetry is not None else None)
+        waits = (self._telemetry.waits
+                 if self._telemetry is not None else None)
+        started = (time.perf_counter()
+                   if waits is not None and waits.enabled else None)
+        try:
             if tracer is not None and tracer.enabled:
                 with tracer.span("wal_flush", records=pending):
-                    self._flushed = len(self.records)
+                    self._force_inner(target)
             else:
-                self._flushed = len(self.records)
+                self._force_inner(target)
+        finally:
             if started is not None:
                 waits.record(WAL_FLUSH, time.perf_counter() - started)
-            self._m_flushes.inc()
+
+    def _force_inner(self, target: int) -> None:
+        if self.faults is not None:
+            self.faults.on_wal_flush()
+        self._flushed = target
+        for scope in self._scopes:
+            if scope.records:
+                scope.any_flushed = True
+        self._m_flushes.inc()
 
     # -- replay / persistence ------------------------------------------------
 
     def statements(self) -> list[StatementLog]:
         """Group the log into statements in append order."""
+        with self._log_mutex:
+            records = list(self.records)
         out: list[StatementLog] = []
         by_id: dict[int, StatementLog] = {}
-        for record in self.records:
+        for record in records:
             stmt = by_id.get(record.stmt_id)
             if stmt is None:
                 stmt = StatementLog(record.stmt_id)
@@ -402,31 +607,35 @@ class WriteAheadLog:
 
     def serialize(self) -> bytes:
         """The whole log as bytes (magic + framed records)."""
-        return WAL_MAGIC + b"".join(r.encode() for r in self.records)
+        with self._log_mutex:
+            records = list(self.records)
+        return WAL_MAGIC + b"".join(r.encode() for r in records)
 
     def load(self, data: bytes) -> int:
         """Replace the log with a serialized image; returns record count."""
-        if self._active is not None:
-            raise WalError("cannot load a WAL while a statement is active")
-        if data[:len(WAL_MAGIC)] != WAL_MAGIC:
-            raise WalError("bad WAL magic")
-        records: list[WalRecord] = []
-        offset = len(WAL_MAGIC)
-        while offset < len(data):
-            record, offset = WalRecord.decode(data, offset)
-            records.append(record)
-        self.records = records
-        self._flushed = len(records)
-        if records:
-            self._next_stmt_id = max(r.stmt_id for r in records) + 1
-        return len(records)
+        with self._log_mutex:
+            if self._scopes:
+                raise WalError("cannot load a WAL while a statement is active")
+            if data[:len(WAL_MAGIC)] != WAL_MAGIC:
+                raise WalError("bad WAL magic")
+            records: list[WalRecord] = []
+            offset = len(WAL_MAGIC)
+            while offset < len(data):
+                record, offset = WalRecord.decode(data, offset)
+                records.append(record)
+            self.records = records
+            self._flushed = len(records)
+            if records:
+                self._next_stmt_id = max(r.stmt_id for r in records) + 1
+            return len(records)
 
     def checkpoint(self) -> None:
         """Truncate the log (caller guarantees the disk image is current)."""
-        if self._active is not None:
-            raise WalError("cannot checkpoint mid-statement")
-        self.records.clear()
-        self._flushed = 0
+        with self._log_mutex:
+            if self._scopes:
+                raise WalError("cannot checkpoint mid-statement")
+            self.records.clear()
+            self._flushed = 0
 
     @property
     def has_records(self) -> bool:
@@ -434,11 +643,13 @@ class WriteAheadLog:
 
     # -- internals -----------------------------------------------------------
 
-    def _append(self, record: WalRecord) -> None:
+    def _append_locked(self, record: WalRecord, scope: _Scope | None) -> None:
         self.records.append(record)
+        if scope is not None:
+            scope.records.append(record)
         self._m_records.inc(kind=record.type.name.lower())
         # size accounting without re-encoding full images on the hot path
-        self._m_bytes.inc(
+        size = (
             _FRAME.size + _BODY_HEAD.size + len(record.image)
             + (len(record.note.encode("utf-8")) + _NOTE_LEN.size
                if record.type is WalRecordType.BEGIN else 0)
@@ -446,3 +657,6 @@ class WriteAheadLog:
                if record.type in (WalRecordType.PAGE_BEFORE,
                                   WalRecordType.PAGE_AFTER,
                                   WalRecordType.ALLOC) else 0))
+        self._m_bytes.inc(size)
+        if scope is not None:
+            scope.bytes += size

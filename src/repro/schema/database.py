@@ -26,6 +26,9 @@ runs them.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
+
 from repro.cache import (
     DEFAULT_CACHE_BYTES,
     ResultCache,
@@ -92,6 +95,7 @@ class Database:
         self.cost_based_planning = cost_based_planning
         #: executor strategy for functional joins: "naive" row-at-a-time
         #: probes or "batched" sort-and-dedupe sweeps with scan read-ahead
+        self._join_mode_local = threading.local()
         self.join_mode = join_mode
         #: rows drained per sort-and-dedupe batch in batched mode
         self.join_batch_rows = max(1, join_batch_rows)
@@ -112,7 +116,8 @@ class Database:
 
     @property
     def join_mode(self) -> str:
-        return self._join_mode
+        override = getattr(self._join_mode_local, "mode", None)
+        return override if override is not None else self._join_mode
 
     @join_mode.setter
     def join_mode(self, value: str) -> None:
@@ -120,6 +125,24 @@ class Database:
             raise ValueError(f"join_mode must be 'naive' or 'batched', "
                              f"not {value!r}")
         self._join_mode = value
+
+    @contextmanager
+    def join_mode_scope(self, value: str | None):
+        """Override ``join_mode`` for this thread only.
+
+        Served sessions carry per-session join-mode settings; with
+        statements executing concurrently, a session must not flip the
+        database-wide default under another session's feet.
+        """
+        if value is not None and value not in ("naive", "batched"):
+            raise ValueError(f"join_mode must be 'naive' or 'batched', "
+                             f"not {value!r}")
+        previous = getattr(self._join_mode_local, "mode", None)
+        self._join_mode_local.mode = value
+        try:
+            yield
+        finally:
+            self._join_mode_local.mode = previous
 
     def _invalidate_ddl(self) -> None:
         """Schema changes invalidate every cached result: each entry's

@@ -4,8 +4,9 @@
 a full engine process that subscribes to a primary's
 :class:`~repro.server.replog.ReplicationHub`, pulls committed-statement
 entries over the FRNET001 replication verbs, applies them in LSN order
-under its own engine latch, and serves **read-only** statements to its
-own clients.  The pieces:
+while holding its engine exclusively (served reads admit around the
+apply loop, never through it), and serves **read-only** statements to
+its own clients.  The pieces:
 
 * :class:`_ReplLink` -- one subscribed connection to the primary.  All
   frame reads optionally pass through a
@@ -185,7 +186,8 @@ class Replica:
         #: into its log so a promoted node can serve the stream onward
         self.hub = ReplicationHub(db, max_entries=repl_log_entries,
                                   attach=False)
-        #: replaced by ReplicaServer with the real engine latch
+        #: replaced by ReplicaServer with the admission gate: applying
+        #: an entry then quiesces the served engine (exclusive mode)
         self.latch = threading.RLock()
         self.server: Server | None = None
         self.applied_lsn = 0

@@ -143,7 +143,13 @@ class Server:
         return self
 
     def _run_doctor(self) -> None:
-        """Run the doctor under the engine latch and cache its verdict."""
+        """Run the doctor against a quiesced engine and cache its verdict.
+
+        ``sessions.latch`` is the admission gate: holding it exclusively
+        drains in-flight statements and keeps new ones out, so the doctor
+        reads a *consistent* snapshot of pages and session state -- no
+        2PL locks are taken, so draining can never deadlock (statements
+        acquire all their locks before admission, never inside)."""
         with self.sessions.latch:
             try:
                 report = self.db.doctor()
@@ -240,8 +246,10 @@ class Server:
                    for cls, seconds in by_class.items()}
             out["waits.statement_seconds"] = round(
                 waits.statement_seconds, 6)
-            out["waits.engine_latch_hold_seconds"] = metrics.value(
-                "engine_latch_hold_seconds_total")
+            hold = metrics.value("admission_hold_seconds_total")
+            out["waits.admission_hold_seconds"] = hold
+            # legacy series name, kept so old dashboards keep plotting
+            out["waits.engine_latch_hold_seconds"] = hold
             return out
 
         def replication() -> dict:
@@ -652,12 +660,20 @@ class Server:
             "cache": db.resultcache.snapshot(),
             "ledger": telemetry.repledger.entries(),
             "replication": self._replication_status(),
+            "admission": {
+                "concurrent_statements": metrics.value(
+                    "concurrent_statements"),
+                "concurrent_statements_peak": metrics.value(
+                    "concurrent_statements_peak"),
+                "queue_depth": metrics.value("admission_queue_depth"),
+            },
             "waits": {
                 **telemetry.waits.snapshot(),
+                # keys keep their legacy latch_* names for old clients
                 "latch_wait_seconds": round(metrics.histogram(
-                    "engine_latch_wait_seconds").sum(), 6),
+                    "admission_wait_seconds").sum(), 6),
                 "latch_hold_seconds": round(metrics.value(
-                    "engine_latch_hold_seconds_total"), 6),
+                    "admission_hold_seconds_total"), 6),
             },
             "ash": {
                 "retained": len(self.ash),

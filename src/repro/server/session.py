@@ -9,10 +9,10 @@ backpressure, never unbounded queueing).
 
 Tracing is **per statement, per session**: a traced statement gets its
 own fresh :class:`~repro.telemetry.tracing.Tracer` (seeded with the
-client-minted ``trace_id`` when one came over the wire), which is
-installed as the engine tracer only while the statement holds the engine
-latch.  Concurrent sessions therefore never share tracer state -- the
-old shared enable/disable toggle could interleave two sessions' spans or
+client-minted ``trace_id`` when one came over the wire), installed as a
+*thread-local* engine tracer for the duration of the statement.
+Concurrent sessions therefore never share tracer state -- the old
+shared enable/disable toggle could interleave two sessions' spans or
 silently untrace one when the other's ``finally: disable()`` fired
 mid-flight.  The span tree travels back to the client in the result
 object, so a trace crosses the process boundary intact.
@@ -26,11 +26,15 @@ Isolation is layered the way a real DBMS layers it:
   ``begin`` and ``commit`` the session holds everything it touched
   (strict two-phase locking), which is what makes deadlock possible and
   the detector necessary;
-* **the engine latch** (short-term, physical): the in-process engine --
-  buffer pool, WAL, metrics -- is not thread-safe, so actual execution
-  happens one statement at a time under a single latch.  The WAL's
-  statement scope therefore never interleaves with another statement's,
-  keeping each statement atomic under concurrency.
+* **admission** (short-term, physical): a statement whose footprint has
+  been fully granted enters the :class:`~repro.server.admission.EngineGate`
+  in shared mode and executes *concurrently* with every other granted
+  statement -- the engine internals (buffer pool, WAL, metrics) are
+  thread-safe at their natural grain, and the lock manager already
+  guarantees granted footprints don't conflict.  The gate's exclusive
+  mode quiesces the engine for maintenance (doctor refresh, failover,
+  test harnesses).  The WAL's per-thread statement scopes keep each
+  statement atomic even while their log appends interleave.
 
 Transactions group *isolation*, not durability: each statement commits
 its own WAL scope, so ``commit`` releases locks while ``abort`` releases
@@ -63,11 +67,11 @@ from repro.server.locks import (
     footprint_for_statement,
     maintenance_footprint,
 )
+from repro.server.admission import AdmissionController, EngineGate
 from repro.server.protocol import json_safe
 from repro.telemetry.metrics import NULL_METRICS
 from repro.telemetry.tracing import Tracer
 from repro.telemetry.waitevents import (
-    ENGINE_LATCH,
     NULL_WAITS,
     QUEUE_WAIT,
     REPL_ACK,
@@ -232,15 +236,17 @@ class Session:
         #: scoped, so concurrent sessions never share tracer state
         self._stmt_tracer: Tracer | None = None
         self._stmt_lock_waits: list[dict] = []
-        #: WAL bytes the active statement appended, captured under the
-        #: engine latch so concurrent sessions can't misattribute them
+        #: WAL bytes the active statement appended, read from the WAL's
+        #: per-thread statement scope so concurrent statements can't
+        #: misattribute each other's appends
         self._stmt_wal_bytes = 0
         #: the active statement's wait ledger (None when the collector
         #: is disabled or no statement is in flight)
         self._stmt_waits = None
         #: cumulative per-event wait seconds across this session's life
         self.wait_totals: dict[str, float] = {}
-        #: cumulative engine-latch wait / hold seconds (for ``\top``)
+        #: cumulative admission wait / execution occupancy seconds
+        #: (for ``\top``; the wire keys keep their legacy latch_* names)
         self.latch_wait_s = 0.0
         self.latch_hold_s = 0.0
         #: serializes this session's own statements (a pipelining client
@@ -395,36 +401,31 @@ class Session:
             self._stmt_lock_waits.extend(info.wait_breakdown())
         return info
 
-    # -- the engine latch (wait-accounted) ---------------------------------
+    # -- statement admission (wait-accounted) ------------------------------
 
     @contextmanager
-    def _latched(self):
-        """Hold the engine latch, attributing the acquire to the
-        ``engine_latch`` wait event (histogram + statement ledger) and
-        charging hold time to this session and the global hold counter."""
-        waits = self.db.telemetry.waits
-        latch = self.manager.latch
-        if not waits.enabled:
-            with latch:
+    def _admitted(self):
+        """Execute under statement admission.
+
+        The footprint is already granted, so admission is normally
+        instant; it blocks only while the engine is quiesced (doctor
+        refresh, failover, an exclusive harness).  The wait feeds the
+        ``admission_wait`` event and this session's ``latch_wait_s``;
+        occupancy feeds ``latch_hold_s`` and the global counter.  The
+        ``statement_admitted`` / ``statement_finishing`` fault-injector
+        probes bracket execution so tests can inject deterministic
+        barriers and prove real statement overlap.
+        """
+        faults = self.db.faults
+        with self.manager.admission.admitted() as grant:
+            self.latch_wait_s += grant.waited
+            held_from = time.perf_counter()
+            faults.probe("statement_admitted")
+            try:
                 yield
-            return
-        acquire_started = time.perf_counter()
-        token = waits.mark_waiting(ENGINE_LATCH)
-        try:
-            latch.acquire()
-        finally:
-            waits.unmark_waiting(token)
-        waited = time.perf_counter() - acquire_started
-        waits.latch_acquired(waited)
-        self.latch_wait_s += waited
-        held_from = time.perf_counter()
-        try:
-            yield
-        finally:
-            latch.release()
-            held = time.perf_counter() - held_from
-            self.latch_hold_s += held
-            waits.latch_released(held)
+            finally:
+                faults.probe("statement_finishing")
+                self.latch_hold_s += time.perf_counter() - held_from
 
     # -- transaction control ----------------------------------------------
 
@@ -471,17 +472,17 @@ class Session:
         The entry's stored footprint is reacquired in shared mode (the
         same resources planning would lock -- DDL invalidates via the
         schema resource every footprint carries, so a live entry's
-        footprint is current), then the entry is revalidated under the
-        engine latch: a writer that invalidated it between the lock-free
-        probe and our lock grant flipped ``alive`` while holding its
-        X-locks, so the post-lock check closes that race.  Returns None
-        when the entry died -- the caller falls through to normal
-        execution, keeping the shared locks it just acquired.
+        footprint is current), then the entry is revalidated after the
+        lock grant: a writer that invalidated it between the lock-free
+        probe and our grant flipped ``alive`` while holding its X-locks,
+        so the post-lock check closes that race.  Returns None when the
+        entry died -- the caller falls through to normal execution,
+        keeping the shared locks it just acquired.
         """
         self._acquire(_SCHEMA_SHARED)
         try:
             self._acquire(LockFootprint(shared=entry.footprint))
-            with self._latched():
+            with self._admitted():
                 if self.db.resultcache.hit(entry) is None:
                     return None
                 from repro.query.runner import serve_cached
@@ -538,20 +539,25 @@ class Session:
         try:
             footprint = footprint_for_statement(self.db, stmt)
             self._acquire(footprint)
-            with self._latched():
-                lsn_before = self._hub_lsn()
-                wal_before = self.db.telemetry.metrics.value("wal_bytes_total")
+            # a retrieve with a purely shared footprint cannot touch the
+            # WAL (a lazy refresh would have an exclusive footprint), so
+            # it skips the WAL statement scope entirely
+            read_only = isinstance(stmt, Retrieve) and not footprint.exclusive
+            with self._admitted():
                 try:
                     result = self._traced(
                         lambda: execute_statement(self.db, stmt,
-                                                  analyze=analyze))
+                                                  analyze=analyze,
+                                                  read_only=read_only))
                 finally:
+                    # per-thread WAL scope accounting: exact even while
+                    # other statements append to the log concurrently
                     self._stmt_wal_bytes = (
-                        self.db.telemetry.metrics.value("wal_bytes_total")
-                        - wal_before)
+                        0 if read_only
+                        else self.db.recovery.last_statement_wal_bytes())
                 if isinstance(stmt, Retrieve) and cache_on and not txn_dirty:
-                    # fill while still holding the shared footprint locks
-                    # and the latch: no writer can race the stored rows
+                    # fill while still holding the shared footprint locks:
+                    # no writer can race the stored rows
                     if footprint.exclusive:
                         cache.bypass("lazy_refresh")
                         result.cache = "bypass"
@@ -562,8 +568,10 @@ class Session:
                         result.cache = "miss"
                 elif isinstance(stmt, Retrieve) and cache_on:
                     result.cache = "bypass"
-                lsn_after = self._hub_lsn()
-                stmt_lsn = lsn_after if lsn_after > lsn_before else 0
+                if not read_only and self.db.recovery.last_statement_lsn() > 0:
+                    # this statement committed WAL work: ack only once
+                    # the replication log has reached at least its head
+                    stmt_lsn = self._hub_lsn()
             if isinstance(stmt, (Replace, Delete)) and self.in_txn:
                 self._txn_wrote = True
         except (DeadlockError, LockTimeoutError):
@@ -579,7 +587,9 @@ class Session:
         self._acquire(ddl_footprint())
         stmt_lsn = 0
         try:
-            with self._latched():
+            # the exclusive schema lock quiesces every other statement,
+            # so the global before/after deltas below are exact
+            with self._admitted():
                 lsn_before = self._hub_lsn()
                 wal_before = self.db.telemetry.metrics.value("wal_bytes_total")
                 try:
@@ -605,7 +615,7 @@ class Session:
 
         self._acquire(_SCHEMA_SHARED)
         try:
-            with self._latched():
+            with self._admitted():
                 text = self._traced(lambda: explain_text(self.db, rest))
         finally:
             self._release_if_autocommit()
@@ -614,9 +624,9 @@ class Session:
     # -- replication hooks -------------------------------------------------
 
     def _hub_lsn(self) -> int:
-        """The replication log's head LSN (0 without a hub).  Read under
-        the engine latch, so before/after captures bracket exactly this
-        statement's committed entries."""
+        """The replication log's head LSN (0 without a hub).  Under
+        concurrency the head may include other statements' entries;
+        waiting on it is conservative (never acks too early)."""
         hub = self.manager.hub
         return hub.log.last_lsn if hub is not None else 0
 
@@ -639,33 +649,22 @@ class Session:
         """Run ``fn`` with this statement's own tracer installed as the
         engine tracer, and this session's join-mode override applied.
 
-        Called under the engine latch, so both swaps are race-free: engine
-        code only ever reads ``db.telemetry.tracer`` / ``db.join_mode``
-        while holding the latch, and each statement restores the previous
-        values before releasing it.  Unlike the old shared enable/disable
-        toggle, one session's statement can never truncate or interleave
-        another's trace -- every traced statement owns its
-        :class:`Tracer` -- and a session's ``\\set joinmode`` never leaks
-        into statements of other sessions.
+        Both overrides are **thread-local scopes** (``tracer_scope`` /
+        ``join_mode_scope``): engine code deep in the stack reads
+        ``db.telemetry.tracer`` / ``db.join_mode`` and sees this
+        statement's values, while concurrently executing statements on
+        other threads see their own (or the defaults).  One session's
+        statement can never truncate or interleave another's trace --
+        every traced statement owns its :class:`Tracer` -- and a
+        session's ``\\set joinmode`` never leaks into statements of
+        other sessions.
         """
-        previous_mode = None
-        if self.join_mode is not None and self.join_mode != self.db.join_mode:
-            previous_mode = self.db.join_mode
-            self.db.join_mode = self.join_mode
-        try:
+        with self.db.join_mode_scope(self.join_mode):
             tracer = self._stmt_tracer
             if tracer is None:
                 return fn()
-            telemetry = self.db.telemetry
-            previous = telemetry.tracer
-            telemetry.tracer = tracer
-            try:
+            with self.db.telemetry.tracer_scope(tracer):
                 return fn()
-            finally:
-                telemetry.tracer = previous
-        finally:
-            if previous_mode is not None:
-                self.db.join_mode = previous_mode
 
     # -- meta commands -----------------------------------------------------
 
@@ -687,7 +686,7 @@ class Session:
             locks = self.manager.locks
             locks.acquire(self.owner, footprint)
             try:
-                with self._latched():
+                with self._admitted():
                     text = self._meta_text(command, args)
             finally:
                 self._release_if_autocommit()
@@ -838,7 +837,8 @@ class Session:
     def info(self) -> dict:
         """One wire-safe row for the ``stats`` verb / ``\\top``."""
         top_wait, top_wait_s = "", 0.0
-        for event, seconds in self.wait_totals.items():
+        # snapshot: a statement finishing concurrently mutates the dict
+        for event, seconds in dict(self.wait_totals).items():
             if seconds > top_wait_s:
                 top_wait, top_wait_s = event, seconds
         return {
@@ -869,8 +869,8 @@ class Session:
 
 
 class SessionManager:
-    """Owns the lock manager, the engine latch, the worker pool, and the
-    set of live sessions of one served database."""
+    """Owns the lock manager, the admission gate, the worker pool, and
+    the set of live sessions of one served database."""
 
     def __init__(self, db, lock_timeout: float = 10.0, workers: int = 4,
                  queue_depth: int = 32) -> None:
@@ -879,9 +879,12 @@ class SessionManager:
         waits = getattr(db.telemetry, "waits", NULL_WAITS)
         self.locks = LockManager(timeout=lock_timeout, metrics=metrics,
                                  waits=waits)
-        #: the short-term physical latch: engine internals (buffer pool,
-        #: WAL, tracer) are single-threaded under it
-        self.latch = threading.RLock()
+        #: the admission gate (kept under the historical ``latch`` name:
+        #: ``with sessions.latch:`` still quiesces the engine, but
+        #: statements now enter it *shared* and execute concurrently)
+        self.latch = EngineGate()
+        self.admission = AdmissionController(self.latch, waits=waits,
+                                             metrics=metrics)
         #: the server's ReplicationHub (None when replication is off);
         #: sessions bracket statements with its log head for semi-sync acks
         self.hub = None

@@ -1,4 +1,4 @@
-"""An LRU buffer pool with pin counts.
+"""A concurrent LRU buffer pool with per-frame latches and pin counts.
 
 The pool caches :class:`~repro.storage.page.Page` images keyed by
 ``(file_id, page_no)``.  Clients access pages through the :meth:`BufferPool.page`
@@ -13,11 +13,39 @@ written back on eviction and on :meth:`flush_all`.  A hit costs nothing
 physical; a miss costs one physical read (plus, possibly, one physical write
 to evict a dirty victim) -- exactly the accounting the paper's analytical
 model abstracts.
+
+Concurrency design (statements now execute in parallel inside one engine):
+
+* the page table is **sharded** -- a key maps to one of a few small dicts,
+  each behind its own short lock, so lookups from different statements
+  rarely contend;
+* each frame carries its own **latch** guarding pin count, dirty flag,
+  and life-cycle state; eviction takes *only the victim frame's latch*
+  (plus its shard lock for the table removal), never a pool-wide lock;
+* recency is a monotonic **access stamp** written at every insert/touch.
+  Sequentially this reproduces the old ``OrderedDict`` LRU bit-for-bit:
+  the eviction victim is the unpinned frame with the smallest stamp,
+  which is exactly "first unpinned frame in LRU order";
+* a miss inserts a pre-pinned *loading* placeholder before reading, so a
+  concurrent fetch of the same page waits on the load instead of issuing
+  a duplicate read, and eviction can never choose a half-loaded frame;
+* the no-evict-pinned invariant holds under races: a victim is chosen by
+  an unlatched scan but *revalidated under its latch* before being
+  killed -- a frame that got pinned in between is simply skipped.
+
+Latch ordering (documented in ARCHITECTURE.md): shard lock and frame
+latch are below the admission gate and above the WAL log mutex; no path
+holds a shard lock while waiting on a frame latch, and the only
+frame-latch -> shard-lock edge (eviction's table removal) is safe
+because no thread ever waits on a frame latch while holding a shard
+lock.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import itertools
+import threading
+import time
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -30,16 +58,28 @@ from repro.telemetry.waitevents import BUFFER_IO, NULL_WAITS
 
 _PageKey = tuple[int, int]
 
+#: page-table shards; a small power of two keeps the modulo cheap.
+_SHARDS = 16
+
 
 class _Frame:
-    __slots__ = ("page", "dirty", "pin_count", "prefetched")
+    __slots__ = ("page", "dirty", "pin_count", "prefetched", "stamp",
+                 "latch", "dead", "loading")
 
-    def __init__(self, page: Page) -> None:
+    def __init__(self, page: Page | None) -> None:
         self.page = page
         self.dirty = False
         self.pin_count = 0
         #: loaded by read-ahead and not yet demanded (prefetch-hit tracking)
         self.prefetched = False
+        #: monotonic recency stamp (smaller = colder); see module docstring
+        self.stamp = 0
+        self.latch = threading.Lock()
+        #: the frame was evicted/discarded; racing fetchers must re-lookup
+        self.dead = False
+        #: set while the frame's disk read is in flight; waiters block on
+        #: this event instead of issuing a duplicate physical read
+        self.loading: threading.Event | None = None
 
 
 class BufferPool:
@@ -58,7 +98,9 @@ class BufferPool:
         #: wait-event collector; page transfers between the pool and the
         #: disk are timed as ``buffer_io`` (the database wires this up)
         self.waits = NULL_WAITS
-        self._frames: OrderedDict[_PageKey, _Frame] = OrderedDict()
+        self._shards: list[tuple[threading.Lock, dict[_PageKey, _Frame]]] = [
+            (threading.Lock(), {}) for __ in range(_SHARDS)]
+        self._clock = itertools.count(1)
         metrics = metrics if metrics is not None else NULL_METRICS
         self._m_hits = metrics.counter(
             "bufferpool_hits_total", "page requests served from the pool")
@@ -82,6 +124,21 @@ class BufferPool:
         """The shared I/O statistics object (owned by the disk)."""
         return self.disk.stats
 
+    # -- table helpers ------------------------------------------------------
+
+    def _shard(self, key: _PageKey):
+        return self._shards[hash(key) % _SHARDS]
+
+    def _lookup(self, key: _PageKey) -> _Frame | None:
+        lock, table = self._shard(key)
+        with lock:
+            return table.get(key)
+
+    def _resident(self) -> int:
+        # advisory only (capacity checks re-run on races); summing live
+        # dict lengths without the shard locks is safe in CPython
+        return sum(len(table) for __, table in self._shards)
+
     # -- pin / unpin --------------------------------------------------------
 
     def fetch(self, file_id: int, page_no: int) -> Page:
@@ -91,37 +148,102 @@ class BufferPool:
         prefer the :meth:`page` context manager.
         """
         key = (file_id, page_no)
-        self.stats.logical_reads += 1
-        frame = self._frames.get(key)
-        if frame is None:
-            self._make_room()
-            with self.waits.wait(BUFFER_IO, "read"):
-                frame = _Frame(Page(self.disk.read_page(file_id, page_no)))
-            self._frames[key] = frame
-            self._m_misses.inc()
-            self._g_resident.set(len(self._frames))
+        self.stats.count_logical_read()
+        while True:
+            frame = self._lookup(key)
+            if frame is None:
+                page = self._load(key)
+                if page is not None:
+                    return page
+                continue  # lost the insert race: the other load is a hit
+            wait_for = None
+            with frame.latch:
+                if frame.dead:
+                    pass  # evicted under us: re-lookup
+                elif frame.loading is not None:
+                    wait_for = frame.loading
+                else:
+                    self.stats.count_buffer_hit()
+                    self._m_hits.inc()
+                    if frame.prefetched:
+                        frame.prefetched = False
+                        self.stats.count_prefetch_hit()
+                        self._m_prefetch_hits.inc()
+                    frame.stamp = next(self._clock)
+                    if self.wal is not None:
+                        # snapshot on first contact: clients mutate the
+                        # frame in place before (or without) calling
+                        # mark_dirty, so the pre-statement image must be
+                        # captured here.
+                        self.wal.observe_fetch(key, frame.page.data)
+                    frame.pin_count += 1
+                    return frame.page
+            if wait_for is not None:
+                wait_for.wait(timeout=30.0)
+            else:
+                time.sleep(0)  # dead frame: let the evictor finish removal
+
+    def _load(self, key: _PageKey, prefetch: bool = False,
+              protected: set[_PageKey] | None = None) -> Page | None:
+        """Read ``key`` from disk into a fresh frame.
+
+        Returns the (pinned, unless prefetching) page, or ``None`` if a
+        concurrent load won the table insert (the caller retries and
+        takes the hit path).  The placeholder is inserted *pre-pinned and
+        loading* before the read: same-key fetchers wait on it, and the
+        evictor skips it.
+        """
+        self._make_room(protected=protected)
+        placeholder = _Frame(None)
+        placeholder.pin_count = 1
+        placeholder.loading = threading.Event()
+        placeholder.stamp = next(self._clock)
+        lock, table = self._shard(key)
+        with lock:
+            if key in table:
+                return None
+            table[key] = placeholder
+        try:
+            with self.waits.wait(BUFFER_IO,
+                                 "prefetch" if prefetch else "read"):
+                data = self.disk.read_page(*key)
+        except BaseException:
+            with placeholder.latch:
+                placeholder.dead = True
+                loading = placeholder.loading
+                placeholder.loading = None
+            with lock:
+                if table.get(key) is placeholder:
+                    del table[key]
+            loading.set()
+            raise
+        with placeholder.latch:
+            placeholder.page = Page(data)
+            loading = placeholder.loading
+            placeholder.loading = None
+            if prefetch:
+                placeholder.prefetched = True
+                placeholder.pin_count = 0
+        if prefetch:
+            self.stats.count_prefetch()
+            self._m_prefetch_issued.inc()
         else:
-            self.stats.buffer_hits += 1
-            self._m_hits.inc()
-            if frame.prefetched:
-                frame.prefetched = False
-                self.stats.count_prefetch_hit()
-                self._m_prefetch_hits.inc()
-            self._frames.move_to_end(key)
-        if self.wal is not None:
-            # snapshot on first contact: clients mutate the frame in place
-            # before (or without) calling mark_dirty, so the pre-statement
-            # image must be captured here.
-            self.wal.observe_fetch(key, frame.page.data)
-        frame.pin_count += 1
-        return frame.page
+            self._m_misses.inc()
+        self._g_resident.set(self._resident())
+        if not prefetch and self.wal is not None:
+            self.wal.observe_fetch(key, placeholder.page.data)
+        loading.set()
+        return placeholder.page
 
     def unpin(self, file_id: int, page_no: int) -> None:
         """Release one pin on the page."""
-        frame = self._frames.get((file_id, page_no))
-        if frame is None or frame.pin_count == 0:
-            raise BufferPoolError(f"page ({file_id},{page_no}) is not pinned")
-        frame.pin_count -= 1
+        frame = self._lookup((file_id, page_no))
+        if frame is not None:
+            with frame.latch:
+                if frame.pin_count > 0:
+                    frame.pin_count -= 1
+                    return
+        raise BufferPoolError(f"page ({file_id},{page_no}) is not pinned")
 
     def fetch_many(self, keys) -> dict[_PageKey, Page]:
         """Pin a group of pages in one call (the batched join's group-fetch).
@@ -131,7 +253,8 @@ class BufferPool:
         are pinned once; the caller balances with :meth:`unpin_many` over the
         returned mapping's keys.  While the group is being assembled the
         already-pinned members are protected by their pins, so a later miss
-        can never evict an earlier member.
+        can never evict an earlier member -- pins, not a pool lock, carry
+        the invariant, so it holds under concurrent eviction races too.
         """
         pages: dict[_PageKey, Page] = {}
         try:
@@ -159,25 +282,19 @@ class BufferPool:
         when no victim is evictable, read-ahead simply stops.  Returns the
         number of pages actually loaded.
         """
-        loaded: list[_PageKey] = []
+        loaded = 0
         protected: set[_PageKey] = set()
         for page_no in page_nos:
             key = (file_id, page_no)
-            if key in self._frames:
+            if self._lookup(key) is not None:
                 continue
             protected.add(key)
-            if not self._make_room(protected=protected, best_effort=True):
+            if not self._make_room(protected=protected, best_effort=True,
+                                   probe_only=True):
                 break
-            with self.waits.wait(BUFFER_IO, "prefetch"):
-                frame = _Frame(Page(self.disk.read_page(file_id, page_no)))
-            frame.prefetched = True
-            self._frames[key] = frame
-            loaded.append(key)
-            self.stats.count_prefetch()
-            self._m_prefetch_issued.inc()
-        if loaded:
-            self._g_resident.set(len(self._frames))
-        return len(loaded)
+            if self._load(key, prefetch=True, protected=protected) is not None:
+                loaded += 1
+        return loaded
 
     @contextmanager
     def page(self, file_id: int, page_no: int) -> Iterator[Page]:
@@ -190,10 +307,11 @@ class BufferPool:
 
     def mark_dirty(self, file_id: int, page_no: int) -> None:
         """Record that the cached image differs from the disk image."""
-        frame = self._frames.get((file_id, page_no))
-        if frame is None:
+        frame = self._lookup((file_id, page_no))
+        if frame is None or frame.dead:
             raise BufferPoolError(f"page ({file_id},{page_no}) is not resident")
-        frame.dirty = True
+        with frame.latch:
+            frame.dirty = True
         if self.wal is not None:
             self.wal.observe_dirty((file_id, page_no))
 
@@ -212,21 +330,39 @@ class BufferPool:
         frame = _Frame(Page())
         frame.dirty = True
         frame.pin_count = 1
-        self._frames[(file_id, page_no)] = frame
-        self.stats.logical_reads += 1
-        self._g_resident.set(len(self._frames))
+        frame.stamp = next(self._clock)
+        lock, table = self._shard((file_id, page_no))
+        with lock:
+            table[(file_id, page_no)] = frame
+        self.stats.count_logical_read()
+        self._g_resident.set(self._resident())
         return page_no, frame.page
 
     # -- flushing / eviction ------------------------------------------------
 
+    def _snapshot_frames(self) -> list[tuple[_PageKey, _Frame]]:
+        """All (key, frame) pairs in LRU (ascending-stamp) order --
+        sequentially identical to the old OrderedDict iteration order."""
+        items: list[tuple[_PageKey, _Frame]] = []
+        for lock, table in self._shards:
+            with lock:
+                items.extend(table.items())
+        items.sort(key=lambda kv: kv[1].stamp)
+        return items
+
     def flush_all(self) -> None:
         """Write back every dirty frame (frames stay resident)."""
-        if self.wal is not None and any(f.dirty for f in self._frames.values()):
-            self.wal.before_data_write()
-        for (file_id, page_no), frame in self._frames.items():
-            if frame.dirty:
+        for key, frame in self._snapshot_frames():
+            with frame.latch:
+                if frame.dead or not frame.dirty:
+                    continue
+                if self.wal is not None:
+                    # per-frame, not once up front: a concurrent statement
+                    # may dirty (and log) a page after an earlier force;
+                    # sequentially this is one force exactly as before
+                    self.wal.before_data_write()
                 with self.waits.wait(BUFFER_IO, "writeback"):
-                    self.disk.write_page(file_id, page_no,
+                    self.disk.write_page(key[0], key[1],
                                          bytes(frame.page.data))
                 self.stats.count_writeback()
                 self._m_writebacks.inc()
@@ -236,68 +372,131 @@ class BufferPool:
         """Discard (without writing back) all frames of a dropped file."""
         if self.wal is not None:
             self.wal.observe_drop_file(file_id)
-        doomed = [key for key in self._frames if key[0] == file_id]
-        for key in doomed:
-            del self._frames[key]
+        for lock, table in self._shards:
+            with lock:
+                doomed = [key for key in table if key[0] == file_id]
+                for key in doomed:
+                    frame = table.pop(key)
+                    with frame.latch:
+                        frame.dead = True
 
     def invalidate_all(self) -> None:
         """Flush and then empty the pool (simulates a cold cache)."""
         self.flush_all()
-        self._frames.clear()
+        self._discard_everything()
 
     def resident_keys(self) -> set[_PageKey]:
         """Keys of all currently cached pages (for tests)."""
-        return set(self._frames)
+        keys: set[_PageKey] = set()
+        for lock, table in self._shards:
+            with lock:
+                keys.update(table)
+        return keys
 
     def pinned_keys(self) -> list[_PageKey]:
         """Keys of every frame with a nonzero pin count (debug/regression
         accessor: after a statement completes this must be empty)."""
-        return [key for key, frame in self._frames.items() if frame.pin_count]
+        return [key for key, frame in self._snapshot_frames()
+                if frame.pin_count]
 
     # -- recovery primitives (uncharged) ------------------------------------
 
     def peek_frame(self, key: _PageKey):
         """The resident image for ``key`` (no pin, no charge), else None."""
-        frame = self._frames.get(key)
-        return frame.page.data if frame is not None else None
+        frame = self._lookup(key)
+        if frame is None or frame.dead or frame.page is None:
+            return None
+        return frame.page.data
 
     def discard_pages(self, keys) -> None:
         """Drop frames without writeback (their disk images were restored)."""
         for key in keys:
-            self._frames.pop(key, None)
-        self._g_resident.set(len(self._frames))
+            lock, table = self._shard(key)
+            with lock:
+                frame = table.pop(key, None)
+            if frame is not None:
+                with frame.latch:
+                    frame.dead = True
+        self._g_resident.set(self._resident())
 
     def discard_all(self) -> None:
         """Empty the pool without writing anything back (a crash loses
         every in-memory frame; recovery rebuilds from disk + log)."""
-        self._frames.clear()
-        self._g_resident.set(len(self._frames))
+        self._discard_everything()
+
+    def _discard_everything(self) -> None:
+        for lock, table in self._shards:
+            with lock:
+                for frame in table.values():
+                    with frame.latch:
+                        frame.dead = True
+                table.clear()
+        self._g_resident.set(self._resident())
 
     def _make_room(self, protected: set[_PageKey] | None = None,
-                   best_effort: bool = False) -> bool:
+                   best_effort: bool = False,
+                   probe_only: bool = False) -> bool:
         """Evict one unpinned LRU frame if the pool is full.
 
         ``protected`` keys are never chosen as victims (read-ahead must not
         evict the pages of the batch that is being assembled).  With
         ``best_effort=True`` an unevictable pool returns False instead of
         raising -- the caller (read-ahead) simply gives up.
+        ``probe_only=True`` additionally skips the eviction itself and just
+        answers "could a later load make room?".
+
+        The victim is selected by an unlatched scan (cheapest unpinned
+        stamp) and *revalidated under its own latch*: a frame that got
+        pinned, killed, or put into loading in between is skipped and the
+        scan repeats.  Only the victim's latch is held during writeback.
         """
-        if len(self._frames) < self.capacity:
-            return True
-        for key, frame in self._frames.items():  # OrderedDict: LRU first
-            if frame.pin_count == 0 and (protected is None or key not in protected):
-                if frame.dirty:
+        while True:
+            if self._resident() < self.capacity:
+                return True
+            best: tuple[_PageKey, _Frame] | None = None
+            for lock, table in self._shards:
+                with lock:
+                    items = list(table.items())
+                for key, frame in items:
+                    if protected is not None and key in protected:
+                        continue
+                    if (frame.pin_count == 0 and not frame.dead
+                            and frame.loading is None):
+                        if best is None or frame.stamp < best[1].stamp:
+                            best = (key, frame)
+            if best is None:
+                if best_effort:
+                    return False
+                raise BufferPoolError("all buffer frames are pinned")
+            if probe_only:
+                return True
+            if self._evict(*best):
+                return True
+            # lost a race (victim pinned/vanished meanwhile): rescan
+
+    def _evict(self, key: _PageKey, frame: _Frame) -> bool:
+        """Kill one victim frame; True if this thread actually evicted it."""
+        with frame.latch:
+            if frame.dead or frame.pin_count > 0 or frame.loading is not None:
+                return False
+            frame.dead = True
+            if frame.dirty:
+                try:
                     if self.wal is not None:
                         self.wal.before_data_write()
                     with self.waits.wait(BUFFER_IO, "writeback"):
                         self.disk.write_page(key[0], key[1],
                                              bytes(frame.page.data))
-                    self.stats.count_writeback()
-                    self._m_writebacks.inc()
-                del self._frames[key]
-                self.stats.count_eviction()
-                self._m_evictions.inc()
-                return True
-        if best_effort:
-            return False
-        raise BufferPoolError("all buffer frames are pinned")
+                except BaseException:
+                    frame.dead = False  # keep the frame; the fault surfaces
+                    raise
+                self.stats.count_writeback()
+                self._m_writebacks.inc()
+                frame.dirty = False
+            lock, table = self._shard(key)
+            with lock:
+                if table.get(key) is frame:
+                    del table[key]
+        self.stats.count_eviction()
+        self._m_evictions.inc()
+        return True

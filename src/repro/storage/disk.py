@@ -10,9 +10,16 @@ The paper's cost model charges one I/O per page touched and does not
 distinguish sequential from random I/O ("we initially distinguished between
 the two, but found that it did not significantly change our results",
 Section 6.5); the simulated disk therefore does the same.
+
+Concurrent statements reach the disk from different worker threads, so
+one mutex serializes every operation (a real disk serializes at the
+platter anyway).  Fault-injector hooks run inside the mutex, which keeps
+their fire-on-the-Nth-write countdowns exact under concurrency.
 """
 
 from __future__ import annotations
+
+import threading
 
 from repro.errors import DiskFault, FileNotFoundInStoreError
 from repro.storage.constants import PAGE_SIZE
@@ -30,6 +37,7 @@ class SimulatedDisk:
         #: on every physical read/write only while armed, so the default
         #: (no faults) I/O path is unchanged.
         self.faults = faults
+        self._mutex = threading.RLock()
         self._files: dict[int, list[bytearray]] = {}
         self._next_file_id = 1
         metrics = metrics if metrics is not None else NULL_METRICS
@@ -46,15 +54,17 @@ class SimulatedDisk:
 
     def create_file(self) -> int:
         """Allocate a new empty file and return its id."""
-        file_id = self._next_file_id
-        self._next_file_id += 1
-        self._files[file_id] = []
-        self._g_files.set(len(self._files))
-        return file_id
+        with self._mutex:
+            file_id = self._next_file_id
+            self._next_file_id += 1
+            self._files[file_id] = []
+            self._g_files.set(len(self._files))
+            return file_id
 
     def file_ids(self) -> list[int]:
         """Ids of every live file, ascending."""
-        return sorted(self._files)
+        with self._mutex:
+            return sorted(self._files)
 
     @property
     def next_file_id(self) -> int:
@@ -72,27 +82,31 @@ class SimulatedDisk:
         intermediate ids are dropped; a live file at or past the target
         means the engines truly diverged, which is refused loudly.
         """
-        if any(fid >= next_file_id for fid in self._files):
-            raise ValueError(
-                f"cannot move the file-id cursor to {next_file_id}: a live "
-                f"file at or past it exists (ids "
-                f"{sorted(f for f in self._files if f >= next_file_id)})")
-        self._next_file_id = next_file_id
+        with self._mutex:
+            if any(fid >= next_file_id for fid in self._files):
+                raise ValueError(
+                    f"cannot move the file-id cursor to {next_file_id}: a "
+                    f"live file at or past it exists (ids "
+                    f"{sorted(f for f in self._files if f >= next_file_id)})")
+            self._next_file_id = next_file_id
 
     def drop_file(self, file_id: int) -> None:
         """Delete a file and all its pages."""
-        pages = self._require(file_id)
-        del self._files[file_id]
-        self._g_files.set(len(self._files))
-        self._g_pages.inc(-len(pages))
+        with self._mutex:
+            pages = self._require(file_id)
+            del self._files[file_id]
+            self._g_files.set(len(self._files))
+            self._g_pages.inc(-len(pages))
 
     def file_exists(self, file_id: int) -> bool:
         """Whether ``file_id`` names a live file."""
-        return file_id in self._files
+        with self._mutex:
+            return file_id in self._files
 
     def num_pages(self, file_id: int) -> int:
         """Number of pages currently allocated to ``file_id``."""
-        return len(self._require(file_id))
+        with self._mutex:
+            return len(self._require(file_id))
 
     # -- page I/O -----------------------------------------------------------
 
@@ -102,50 +116,55 @@ class SimulatedDisk:
         Allocation itself is free; the write that initialises the page is
         charged when it happens.
         """
-        pages = self._require(file_id)
-        pages.append(bytearray(PAGE_SIZE))
-        self._m_allocs.inc()
-        self._g_pages.inc()
-        return len(pages) - 1
+        with self._mutex:
+            pages = self._require(file_id)
+            pages.append(bytearray(PAGE_SIZE))
+            self._m_allocs.inc()
+            self._g_pages.inc()
+            return len(pages) - 1
 
     def read_page(self, file_id: int, page_no: int) -> bytearray:
         """Return a *copy* of the page image, charging one physical read."""
-        pages = self._require(file_id)
-        self._check_page(pages, file_id, page_no)
-        if self.faults is not None and self.faults.armed:
-            self.faults.resolve_read()
-        self.stats.count_read(file_id)
-        self._m_reads.inc()
-        return bytearray(pages[page_no])
+        with self._mutex:
+            pages = self._require(file_id)
+            self._check_page(pages, file_id, page_no)
+            if self.faults is not None and self.faults.armed:
+                self.faults.resolve_read()
+            self.stats.count_read(file_id)
+            self._m_reads.inc()
+            return bytearray(pages[page_no])
 
     def write_page(self, file_id: int, page_no: int, data: bytes) -> None:
         """Overwrite a page image, charging one physical write."""
-        pages = self._require(file_id)
-        self._check_page(pages, file_id, page_no)
-        if len(data) != PAGE_SIZE:
-            raise ValueError(f"page image must be {PAGE_SIZE} bytes, got {len(data)}")
-        if self.faults is not None and self.faults.armed:
-            torn = self.faults.on_write(data, pages[page_no])
-            if torn is not None:
-                # torn write: the corrupt half-image reaches the platter
-                # (and is charged) before the fault surfaces.
-                self.stats.count_write(file_id)
-                self._m_writes.inc()
-                pages[page_no] = bytearray(torn)
-                raise DiskFault(
-                    "injected torn write: page "
-                    f"({file_id},{page_no}) persisted half-written")
-        self.stats.count_write(file_id)
-        self._m_writes.inc()
-        pages[page_no] = bytearray(data)
+        with self._mutex:
+            pages = self._require(file_id)
+            self._check_page(pages, file_id, page_no)
+            if len(data) != PAGE_SIZE:
+                raise ValueError(
+                    f"page image must be {PAGE_SIZE} bytes, got {len(data)}")
+            if self.faults is not None and self.faults.armed:
+                torn = self.faults.on_write(data, pages[page_no])
+                if torn is not None:
+                    # torn write: the corrupt half-image reaches the platter
+                    # (and is charged) before the fault surfaces.
+                    self.stats.count_write(file_id)
+                    self._m_writes.inc()
+                    pages[page_no] = bytearray(torn)
+                    raise DiskFault(
+                        "injected torn write: page "
+                        f"({file_id},{page_no}) persisted half-written")
+            self.stats.count_write(file_id)
+            self._m_writes.inc()
+            pages[page_no] = bytearray(data)
 
     # -- recovery primitives (uncharged) ------------------------------------
 
     def peek_page(self, file_id: int, page_no: int) -> bytes:
         """Read a page image without charging I/O (WAL/recovery internal)."""
-        pages = self._require(file_id)
-        self._check_page(pages, file_id, page_no)
-        return bytes(pages[page_no])
+        with self._mutex:
+            pages = self._require(file_id)
+            self._check_page(pages, file_id, page_no)
+            return bytes(pages[page_no])
 
     def restore_page(self, file_id: int, page_no: int, data: bytes) -> None:
         """Overwrite a page from a log image without charging I/O.
@@ -153,29 +172,33 @@ class SimulatedDisk:
         Recovery I/O is reported by the recovery layer itself so the
         paper's per-query physical figures stay clean.
         """
-        pages = self._require(file_id)
-        self._check_page(pages, file_id, page_no)
-        if len(data) != PAGE_SIZE:
-            raise ValueError(f"page image must be {PAGE_SIZE} bytes, got {len(data)}")
-        pages[page_no] = bytearray(data)
+        with self._mutex:
+            pages = self._require(file_id)
+            self._check_page(pages, file_id, page_no)
+            if len(data) != PAGE_SIZE:
+                raise ValueError(
+                    f"page image must be {PAGE_SIZE} bytes, got {len(data)}")
+            pages[page_no] = bytearray(data)
 
     def ensure_pages(self, file_id: int, count: int) -> None:
         """Grow ``file_id`` to at least ``count`` zeroed pages (redo of
         ALLOC records); never shrinks, never charges I/O."""
-        pages = self._require(file_id)
-        while len(pages) < count:
-            pages.append(bytearray(PAGE_SIZE))
-            self._m_allocs.inc()
-            self._g_pages.inc()
+        with self._mutex:
+            pages = self._require(file_id)
+            while len(pages) < count:
+                pages.append(bytearray(PAGE_SIZE))
+                self._m_allocs.inc()
+                self._g_pages.inc()
 
     def truncate_file(self, file_id: int, num_pages: int) -> None:
         """Drop pages allocated by a rolled-back statement (undo of ALLOC)."""
-        pages = self._require(file_id)
-        if num_pages < 0:
-            raise ValueError("cannot truncate to a negative size")
-        if num_pages < len(pages):
-            self._g_pages.inc(num_pages - len(pages))
-            del pages[num_pages:]
+        with self._mutex:
+            pages = self._require(file_id)
+            if num_pages < 0:
+                raise ValueError("cannot truncate to a negative size")
+            if num_pages < len(pages):
+                self._g_pages.inc(num_pages - len(pages))
+                del pages[num_pages:]
 
     # -- helpers ------------------------------------------------------------
 

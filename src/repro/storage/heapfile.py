@@ -277,6 +277,15 @@ class HeapFile:
     def _find_page_with_room(self, record_len: int, avoid: int | None = None) -> int:
         # Prefer the highest-numbered page with room: appends stay physically
         # clustered in insertion order, which the paper's file layouts assume.
+        # The highest page is where an append lands in the common case, so
+        # try it alone first before paying for the full descending scan.
+        top = max(self._free_space, default=None)
+        if top is not None and top != avoid \
+                and self._free_space[top] >= record_len:
+            with self.pool.page(self.file_id, top) as page:
+                if page.has_room_for(record_len):
+                    return top
+                self._free_space[top] = page.total_free()
         for page_no in sorted(self._free_space, reverse=True):
             if page_no == avoid:
                 continue

@@ -39,7 +39,7 @@ _SLOT = struct.Struct(">HH")
 class Page:
     """An in-memory image of one slotted disk page."""
 
-    __slots__ = ("data",)
+    __slots__ = ("data", "_live_bytes", "_free_slots")
 
     def __init__(self, data: bytearray | None = None) -> None:
         if data is None:
@@ -48,6 +48,25 @@ class Page:
         elif len(data) != PAGE_SIZE:
             raise ValueError(f"page image must be {PAGE_SIZE} bytes, got {len(data)}")
         self.data = data
+        # Space accounting (live record bytes, free slot-directory entries)
+        # is cached on the wrapper and maintained incrementally: computing
+        # it from the slot directory on every insert made record placement
+        # quadratic in page fill.  Lazily rebuilt from the image on first
+        # use, so wrappers around non-slotted pages (B-tree nodes) never
+        # pay for it.
+        self._live_bytes: int | None = None
+        self._free_slots = 0
+
+    def _ensure_space_cache(self) -> None:
+        if self._live_bytes is None:
+            live = free = 0
+            for offset, length in self._slots():
+                if offset == EMPTY_SLOT_OFFSET:
+                    free += 1
+                else:
+                    live += length
+            self._live_bytes = live
+            self._free_slots = free
 
     # -- header accessors ---------------------------------------------------
 
@@ -85,14 +104,18 @@ class Page:
 
     def total_free(self) -> int:
         """Free bytes counting holes left by deleted / shrunken records."""
-        live = sum(length for offset, length in self._slots() if offset != EMPTY_SLOT_OFFSET)
-        return PAGE_SIZE - PAGE_HEADER_BYTES - live - self.num_slots * SLOT_ENTRY_BYTES
+        self._ensure_space_cache()
+        return (PAGE_SIZE - PAGE_HEADER_BYTES - self._live_bytes
+                - self.num_slots * SLOT_ENTRY_BYTES)
 
     def _slots(self) -> Iterator[tuple[int, int]]:
         for slot in range(self.num_slots):
             yield _SLOT.unpack_from(self.data, self._slot_pos(slot))
 
     def _find_free_slot(self) -> int | None:
+        self._ensure_space_cache()
+        if self._free_slots == 0:
+            return None
         for slot, (offset, _length) in enumerate(self._slots()):
             if offset == EMPTY_SLOT_OFFSET:
                 return slot
@@ -128,10 +151,12 @@ class Page:
             slot = reuse
             self._write_slot(slot, offset, len(record))
             self._set_header(self.num_slots, offset + len(record))
+            self._free_slots -= 1
         else:
             slot = self.num_slots
             self._set_header(slot + 1, offset + len(record))
             self._write_slot(slot, offset, len(record))
+        self._live_bytes += len(record)
         return slot
 
     def read(self, slot: int) -> bytes:
@@ -148,14 +173,18 @@ class Page:
         return to the free pool); interior slot numbers stay allocated so
         record ids remain stable.
         """
-        offset, _length = self._read_slot(slot)
+        offset, length = self._read_slot(slot)
         if offset == EMPTY_SLOT_OFFSET:
             raise RecordNotFoundError(f"slot {slot} is already empty")
+        self._ensure_space_cache()
         self._write_slot(slot, EMPTY_SLOT_OFFSET, 0)
+        self._live_bytes -= length
+        self._free_slots += 1
         num_slots = self.num_slots
         while num_slots > 0 and self._read_slot(num_slots - 1)[0] == EMPTY_SLOT_OFFSET:
             num_slots -= 1
         if num_slots != self.num_slots:
+            self._free_slots -= self.num_slots - num_slots
             self._set_header(num_slots, self.free_offset)
 
     def update(self, slot: int, record: bytes) -> None:
@@ -167,9 +196,11 @@ class Page:
         offset, length = self._read_slot(slot)
         if offset == EMPTY_SLOT_OFFSET:
             raise RecordNotFoundError(f"slot {slot} is empty")
+        self._ensure_space_cache()
         if len(record) <= length:
             self.data[offset:offset + len(record)] = record
             self._write_slot(slot, offset, len(record))
+            self._live_bytes += len(record) - length
             return
         if len(record) > MAX_RECORD_BYTES:
             raise RecordTooLargeError(
@@ -178,16 +209,19 @@ class Page:
         # Grow: free the old image, then place the new one like an insert
         # that reuses this exact slot.
         self._write_slot(slot, EMPTY_SLOT_OFFSET, 0)
+        self._live_bytes -= length
         if self.contiguous_free() < len(record):
             if self.total_free() < len(record):
                 # roll back so the caller still sees the old record
                 self._write_slot(slot, offset, length)
+                self._live_bytes += length
                 raise PageFullError(f"cannot grow record in slot {slot} to {len(record)} bytes")
             self.compact()
         new_offset = self.free_offset
         self.data[new_offset:new_offset + len(record)] = record
         self._write_slot(slot, new_offset, len(record))
         self._set_header(self.num_slots, new_offset + len(record))
+        self._live_bytes += len(record)
 
     def compact(self) -> None:
         """Squeeze out holes, preserving slot numbers."""

@@ -18,6 +18,7 @@ way the paper's cost terms do (C_read/R, C_read/S, C_read/L, ...)::
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -91,7 +92,13 @@ class IOSnapshot:
 
 
 class IOStatistics:
-    """Mutable I/O counters shared by a disk and its buffer pool."""
+    """Mutable I/O counters shared by a disk and its buffer pool.
+
+    Counted from concurrently executing statements, so every mutation
+    happens under one small mutex (a leaf lock: nothing is called while
+    it is held).  ``snapshot`` takes the same mutex so a reader never
+    sees a half-applied update.
+    """
 
     __slots__ = (
         "physical_reads",
@@ -105,9 +112,11 @@ class IOStatistics:
         "batch_dedup_saved",
         "file_reads",
         "file_writes",
+        "_mutex",
     )
 
     def __init__(self) -> None:
+        self._mutex = threading.Lock()
         self.physical_reads = 0
         self.physical_writes = 0
         self.logical_reads = 0
@@ -122,63 +131,82 @@ class IOStatistics:
 
     def reset(self) -> None:
         """Zero all counters."""
-        self.physical_reads = 0
-        self.physical_writes = 0
-        self.logical_reads = 0
-        self.buffer_hits = 0
-        self.evictions = 0
-        self.dirty_writebacks = 0
-        self.prefetch_issued = 0
-        self.prefetch_hits = 0
-        self.batch_dedup_saved = 0
-        self.file_reads.clear()
-        self.file_writes.clear()
+        with self._mutex:
+            self.physical_reads = 0
+            self.physical_writes = 0
+            self.logical_reads = 0
+            self.buffer_hits = 0
+            self.evictions = 0
+            self.dirty_writebacks = 0
+            self.prefetch_issued = 0
+            self.prefetch_hits = 0
+            self.batch_dedup_saved = 0
+            self.file_reads.clear()
+            self.file_writes.clear()
 
     def count_read(self, file_id: int) -> None:
         """Charge one physical read to ``file_id``."""
-        self.physical_reads += 1
-        self.file_reads[file_id] = self.file_reads.get(file_id, 0) + 1
+        with self._mutex:
+            self.physical_reads += 1
+            self.file_reads[file_id] = self.file_reads.get(file_id, 0) + 1
 
     def count_write(self, file_id: int) -> None:
         """Charge one physical write to ``file_id``."""
-        self.physical_writes += 1
-        self.file_writes[file_id] = self.file_writes.get(file_id, 0) + 1
+        with self._mutex:
+            self.physical_writes += 1
+            self.file_writes[file_id] = self.file_writes.get(file_id, 0) + 1
+
+    def count_logical_read(self) -> None:
+        """Record one page requested from the buffer pool."""
+        with self._mutex:
+            self.logical_reads += 1
+
+    def count_buffer_hit(self) -> None:
+        """Record one fetch served without touching the disk."""
+        with self._mutex:
+            self.buffer_hits += 1
 
     def count_eviction(self) -> None:
         """Record one buffer frame evicted to make room."""
-        self.evictions += 1
+        with self._mutex:
+            self.evictions += 1
 
     def count_writeback(self) -> None:
         """Record one dirty page written back from the pool."""
-        self.dirty_writebacks += 1
+        with self._mutex:
+            self.dirty_writebacks += 1
 
     def count_prefetch(self) -> None:
         """Record one page physically read by scan read-ahead."""
-        self.prefetch_issued += 1
+        with self._mutex:
+            self.prefetch_issued += 1
 
     def count_prefetch_hit(self) -> None:
         """Record one demand fetch served by a read-ahead frame."""
-        self.prefetch_hits += 1
+        with self._mutex:
+            self.prefetch_hits += 1
 
     def count_batch_dedup(self, saved: int) -> None:
         """Record object reads a sort-and-dedupe batch avoided."""
-        self.batch_dedup_saved += saved
+        with self._mutex:
+            self.batch_dedup_saved += saved
 
     def snapshot(self) -> IOSnapshot:
         """Return an immutable copy of the current counters."""
-        return IOSnapshot(
-            physical_reads=self.physical_reads,
-            physical_writes=self.physical_writes,
-            logical_reads=self.logical_reads,
-            buffer_hits=self.buffer_hits,
-            evictions=self.evictions,
-            dirty_writebacks=self.dirty_writebacks,
-            prefetch_issued=self.prefetch_issued,
-            prefetch_hits=self.prefetch_hits,
-            batch_dedup_saved=self.batch_dedup_saved,
-            file_reads=dict(self.file_reads),
-            file_writes=dict(self.file_writes),
-        )
+        with self._mutex:
+            return IOSnapshot(
+                physical_reads=self.physical_reads,
+                physical_writes=self.physical_writes,
+                logical_reads=self.logical_reads,
+                buffer_hits=self.buffer_hits,
+                evictions=self.evictions,
+                dirty_writebacks=self.dirty_writebacks,
+                prefetch_issued=self.prefetch_issued,
+                prefetch_hits=self.prefetch_hits,
+                batch_dedup_saved=self.batch_dedup_saved,
+                file_reads=dict(self.file_reads),
+                file_writes=dict(self.file_writes),
+            )
 
     @property
     def total_io(self) -> int:

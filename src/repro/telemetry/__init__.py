@@ -37,6 +37,9 @@ the model workload driver.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
+
 from repro.telemetry.drift import DriftMonitor, DriftRecord
 from repro.telemetry.metrics import (
     NULL_METRICS,
@@ -63,7 +66,8 @@ class Telemetry:
     def __init__(self) -> None:
         self.metrics = MetricsRegistry()
         self.waits = WaitEventCollector(metrics=self.metrics)
-        self.tracer = Tracer()
+        self._tracer = Tracer()
+        self._tracer_local = threading.local()
         self.drift = DriftMonitor()
         self.slowlog = SlowQueryLog(metrics=self.metrics)
         self.statements = StatementStats(metrics=self.metrics)
@@ -75,9 +79,32 @@ class Telemetry:
         self.metrics.histogram("query_rows",
                                "rows returned per executed statement")
 
+    @property
+    def tracer(self) -> Tracer:
+        """The active tracer: a thread-local override when a served
+        statement is executing under :meth:`tracer_scope`, else the
+        database-wide tracer.  Statements on different worker threads
+        therefore trace into private span lists with no cross-talk."""
+        override = getattr(self._tracer_local, "tracer", None)
+        return override if override is not None else self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer: Tracer) -> None:
+        self._tracer = tracer
+
+    @contextmanager
+    def tracer_scope(self, tracer: Tracer):
+        """Route this thread's spans into ``tracer`` for the duration."""
+        previous = getattr(self._tracer_local, "tracer", None)
+        self._tracer_local.tracer = tracer
+        try:
+            yield tracer
+        finally:
+            self._tracer_local.tracer = previous
+
     def attach_stats(self, stats) -> None:
         """Bind the engine's shared IOStatistics (for span I/O deltas)."""
-        self.tracer.stats = stats
+        self._tracer.stats = stats
 
     def reset(self) -> None:
         """Forget everything recorded so far (tracing stays on/off as is)."""

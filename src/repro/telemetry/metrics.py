@@ -19,10 +19,16 @@ so a scrape endpoint or a test can consume the same numbers.
 Components that can be constructed standalone (a bare ``BufferPool`` in a
 unit test) default to :data:`NULL_METRICS`, a no-op registry with the same
 surface.
+
+Every metric carries its own small mutex: statements now execute
+concurrently inside one engine, so counter bumps from different worker
+threads must not lose increments.  The locks are leaves in the engine's
+lock hierarchy -- no metric callback takes any other lock.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 _LabelKey = tuple[tuple[str, str], ...]
@@ -55,23 +61,29 @@ class Counter:
     name: str
     help: str = ""
     _values: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     kind = "counter"
 
     def inc(self, amount: int | float = 1, **labels) -> None:
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
 
     def value(self, **labels) -> int | float:
         return self._values.get(_label_key(labels), 0)
 
     def total(self) -> int | float:
         """The sum across every label combination."""
-        return sum(self._values.values())
+        with self._lock:
+            return sum(self._values.values())
 
     def samples(self):
-        for key in sorted(self._values):
-            yield self.name + _render_labels(key), self._values[key]
+        with self._lock:
+            items = sorted(self._values.items())
+        for key, value in items:
+            yield self.name + _render_labels(key), value
 
 
 @dataclass
@@ -81,22 +93,35 @@ class Gauge:
     name: str
     help: str = ""
     _values: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     kind = "gauge"
 
     def set(self, value: int | float, **labels) -> None:
-        self._values[_label_key(labels)] = value
+        with self._lock:
+            self._values[_label_key(labels)] = value
 
     def inc(self, amount: int | float = 1, **labels) -> None:
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def set_max(self, value: int | float, **labels) -> None:
+        """Ratchet: keep the largest value ever set (high-water marks)."""
+        key = _label_key(labels)
+        with self._lock:
+            if value > self._values.get(key, 0):
+                self._values[key] = value
 
     def value(self, **labels) -> int | float:
         return self._values.get(_label_key(labels), 0)
 
     def samples(self):
-        for key in sorted(self._values):
-            yield self.name + _render_labels(key), self._values[key]
+        with self._lock:
+            items = sorted(self._values.items())
+        for key, value in items:
+            yield self.name + _render_labels(key), value
 
 
 #: bucket bounds suited to per-query page-I/O counts.
@@ -113,18 +138,22 @@ class Histogram:
     _counts: dict = field(default_factory=dict)
     _sums: dict = field(default_factory=dict)
     _totals: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     kind = "histogram"
 
     def observe(self, value: int | float, **labels) -> None:
         key = _label_key(labels)
-        counts = self._counts.setdefault(key, [0] * (len(self.buckets) + 1))
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                counts[i] += 1
-        counts[-1] += 1  # the +Inf bucket
-        self._sums[key] = self._sums.get(key, 0) + value
-        self._totals[key] = self._totals.get(key, 0) + 1
+        with self._lock:
+            counts = self._counts.setdefault(key,
+                                             [0] * (len(self.buckets) + 1))
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[i] += 1
+            counts[-1] += 1  # the +Inf bucket
+            self._sums[key] = self._sums.get(key, 0) + value
+            self._totals[key] = self._totals.get(key, 0) + 1
 
     def count(self, **labels) -> int:
         return self._totals.get(_label_key(labels), 0)
@@ -137,8 +166,10 @@ class Histogram:
         return self.sum(**labels) / n if n else 0.0
 
     def samples(self):
-        for key in sorted(self._counts):
-            counts = self._counts[key]
+        with self._lock:
+            snap = [(key, list(self._counts[key]), self._sums[key],
+                     self._totals[key]) for key in sorted(self._counts)]
+        for key, counts, total_sum, total_count in snap:
             for bound, cumulative in zip(self.buckets, counts):
                 labels = key + (("le", str(bound)),)
                 yield f"{self.name}_bucket" + _render_labels(labels), cumulative
@@ -146,8 +177,8 @@ class Histogram:
                 f"{self.name}_bucket" + _render_labels(key + (("le", "+Inf"),)),
                 counts[-1],
             )
-            yield f"{self.name}_sum" + _render_labels(key), self._sums[key]
-            yield f"{self.name}_count" + _render_labels(key), self._totals[key]
+            yield f"{self.name}_sum" + _render_labels(key), total_sum
+            yield f"{self.name}_count" + _render_labels(key), total_count
 
 
 class MetricsRegistry:
@@ -155,12 +186,16 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
 
     def _get(self, name: str, factory, help_: str):
         metric = self._metrics.get(name)
         if metric is None:
-            metric = factory(name, help_)
-            self._metrics[name] = metric
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = factory(name, help_)
+                    self._metrics[name] = metric
         return metric
 
     def counter(self, name: str, help_: str = "") -> Counter:
@@ -173,8 +208,11 @@ class MetricsRegistry:
                   buckets: tuple = DEFAULT_BUCKETS) -> Histogram:
         metric = self._metrics.get(name)
         if metric is None:
-            metric = Histogram(name, help_, buckets)
-            self._metrics[name] = metric
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = Histogram(name, help_, buckets)
+                    self._metrics[name] = metric
         return metric
 
     # -- convenience ---------------------------------------------------------
@@ -190,10 +228,12 @@ class MetricsRegistry:
         return metric.value(**labels) if metric is not None else 0
 
     def metrics(self):
-        return [self._metrics[name] for name in sorted(self._metrics)]
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
 
     def reset(self) -> None:
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()
 
     # -- rendering -----------------------------------------------------------
 
@@ -228,6 +268,9 @@ class _NullMetric:
         pass
 
     def set(self, value, **labels) -> None:
+        pass
+
+    def set_max(self, value, **labels) -> None:
         pass
 
     def observe(self, value, **labels) -> None:

@@ -4,9 +4,10 @@ Every second of a served statement's wall-clock time is attributed to
 exactly one *wait event* -- the Oracle / Postgres ``pg_stat_activity``
 taxonomy adapted to this engine's actual blocking points:
 
-* ``engine_latch``     -- waiting to acquire the global engine latch
-  (today's single biggest serialization point; the evidence base for
-  the latch-removal work);
+* ``admission_wait``   -- waiting in the admission scheduler for a
+  slot to execute (formerly ``engine_latch``, back when one global
+  latch serialized every statement; ``engine_latch`` remains accepted
+  as a query alias so old dashboards keep working);
 * ``lock:<resource>``  -- waiting in the 2PL lock manager, attributed
   per contended resource (a multi-resource wait splits its time evenly
   across the resources that actually blocked it);
@@ -31,7 +32,7 @@ engine is threaded with.  Accumulation has two independent sinks:
 
 * **global counters** -- ``wait_seconds_total{event=...}`` and
   ``wait_events_total{event=...}`` in the shared metrics registry, plus
-  the ``engine_latch_wait_seconds`` histogram; always fed, even for
+  the ``admission_wait_seconds`` histogram; always fed, even for
   engine work outside any statement (embedded execution, recovery);
 * **the active statement context** -- a ``threading.local`` slot the
   session layer installs around each served statement; engine code deep
@@ -58,6 +59,10 @@ import time
 
 from repro.telemetry.metrics import NULL_METRICS
 
+ADMISSION_WAIT = "admission_wait"
+#: legacy name for :data:`ADMISSION_WAIT` (pre-admission-scheduler the
+#: blocking point was one global engine latch); accepted everywhere an
+#: event name is read, normalised on the way in.
 ENGINE_LATCH = "engine_latch"
 BUFFER_IO = "buffer_io"
 WAL_FLUSH = "wal_flush"
@@ -69,12 +74,12 @@ CPU = "cpu"
 LOCK_PREFIX = "lock:"
 
 #: the taxonomy (lock waits appear as ``lock:<resource>``).
-WAIT_EVENTS = (ENGINE_LATCH, LOCK_PREFIX + "<resource>", BUFFER_IO,
+WAIT_EVENTS = (ADMISSION_WAIT, LOCK_PREFIX + "<resource>", BUFFER_IO,
                WAL_FLUSH, QUEUE_WAIT, CLIENT_NET, REPL_ACK, CPU)
 
-#: engine-latch wait histogram bounds (seconds): the latch is normally
-#: uncontended (microseconds), but under 8 clients waits reach tens of
-#: milliseconds -- the buckets must resolve both regimes.
+#: admission wait histogram bounds (seconds): admission is normally
+#: uncontended (microseconds), but under conflicting footprints waits
+#: reach tens of milliseconds -- the buckets must resolve both regimes.
 LATCH_WAIT_BUCKETS = (0.00005, 0.0001, 0.0005, 0.001, 0.005, 0.01,
                       0.05, 0.1, 0.5, 1.0)
 
@@ -82,6 +87,12 @@ LATCH_WAIT_BUCKETS = (0.00005, 0.0001, 0.0005, 0.001, 0.005, 0.01,
 def base_event(event: str) -> str:
     """Collapse ``lock:<resource>`` to ``lock``; other events pass through."""
     return "lock" if event.startswith(LOCK_PREFIX) else event
+
+
+def canonical_event(event: str) -> str:
+    """Normalise legacy event names (``engine_latch`` ->
+    ``admission_wait``); canonical names pass through unchanged."""
+    return ADMISSION_WAIT if event == ENGINE_LATCH else event
 
 
 class StatementWaitContext:
@@ -174,12 +185,12 @@ class WaitEventCollector:
         self._m_wait_events = metrics.counter(
             "wait_events_total", "wait occurrences, by wait event")
         self._m_latch_wait = metrics.histogram(
-            "engine_latch_wait_seconds",
-            "time spent acquiring the global engine latch",
+            "admission_wait_seconds",
+            "time spent waiting for statement admission",
             buckets=LATCH_WAIT_BUCKETS)
         self._m_latch_hold = metrics.counter(
-            "engine_latch_hold_seconds_total",
-            "time spent holding the global engine latch")
+            "admission_hold_seconds_total",
+            "time statements spent admitted (holding an execution slot)")
 
     # -- statement scope ---------------------------------------------------
 
@@ -263,17 +274,21 @@ class WaitEventCollector:
             ctx, prev = token
             ctx.current = prev
 
-    def latch_acquired(self, waited_s: float) -> None:
-        """One engine-latch acquire: histogram + wait attribution."""
+    def admission_granted(self, waited_s: float) -> None:
+        """One statement admitted: histogram + wait attribution."""
         if not self.enabled:
             return
         self._m_latch_wait.observe(waited_s)
-        self.record(ENGINE_LATCH, waited_s)
+        self.record(ADMISSION_WAIT, waited_s)
 
-    def latch_released(self, held_s: float) -> None:
-        """One engine-latch release: cumulative hold-time counter."""
+    def admission_released(self, held_s: float) -> None:
+        """One statement left the engine: cumulative occupancy counter."""
         if self.enabled:
             self._m_latch_hold.inc(held_s)
+
+    # legacy names (pre-admission-scheduler callers)
+    latch_acquired = admission_granted
+    latch_released = admission_released
 
     def _add_total(self, event: str, seconds: float, count: int) -> None:
         with self._mutex:
@@ -331,7 +346,7 @@ class WaitEventCollector:
 
     def total_for(self, event: str) -> float:
         with self._mutex:
-            slot = self._totals.get(event)
+            slot = self._totals.get(canonical_event(event))
             return slot[0] if slot is not None else 0.0
 
     def lock_wait_seconds(self) -> float:
@@ -405,11 +420,14 @@ class NullWaitCollector:
     def unmark_waiting(self, token) -> None:
         pass
 
-    def latch_acquired(self, waited_s) -> None:
+    def admission_granted(self, waited_s) -> None:
         pass
 
-    def latch_released(self, held_s) -> None:
+    def admission_released(self, held_s) -> None:
         pass
+
+    latch_acquired = admission_granted
+    latch_released = admission_released
 
     def sample(self) -> list:
         return []

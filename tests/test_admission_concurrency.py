@@ -1,0 +1,385 @@
+"""Intra-engine concurrency: the admission scheduler, the concurrent
+buffer pool, and WAL group commit.
+
+The scheduling properties are proved *deterministically* with barriers
+injected through the fault injector's execution probes
+(``statement_admitted`` fires inside the admission gate), never by
+timing luck:
+
+* two statements with disjoint granted footprints really overlap in
+  time (both are inside the gate at the same instant);
+* two conflicting statements never do (the second blocks in the lock
+  manager, before admission);
+* 16 threads hammering one small buffer pool keep every invariant:
+  pinned frames are never evicted, every fetch is exactly one hit or
+  one miss, and page images stay intact;
+* concurrent commits share one WAL force under a group-commit window,
+  and an injected flush failure keeps statement atomicity: whatever
+  reported success survives recovery, whatever raised rolls back.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import DiskFault
+from repro.schema.database import Database
+from repro.server import connect
+from repro.server.admission import AdmissionController, EngineGate
+from repro.server.service import Server
+from repro.storage.buffer import BufferPool
+from repro.storage.constants import PAGE_SIZE
+from repro.storage.disk import SimulatedDisk
+from repro.telemetry.metrics import MetricsRegistry
+from tests.conftest import define_employee_schema
+
+
+@pytest.fixture()
+def server(company):
+    srv = Server(company["db"], max_connections=8, workers=4,
+                 queue_depth=16, lock_timeout=5.0, sample_interval=0).start()
+    yield srv
+    company["db"].faults.probes.clear()
+    srv.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# the gate itself
+# ---------------------------------------------------------------------------
+
+
+def test_engine_gate_shared_entries_overlap_and_exclusive_drains():
+    gate = EngineGate()
+    gate.enter_shared()
+    gate.enter_shared()  # two statements in at once
+    assert gate.active == 2
+    blocked = threading.Event()
+    entered = threading.Event()
+
+    def quiesce():
+        blocked.set()
+        with gate:  # must wait for both shared holders
+            entered.set()
+
+    t = threading.Thread(target=quiesce, daemon=True)
+    t.start()
+    blocked.wait(5.0)
+    gate.exit_shared()
+    assert not entered.wait(0.05)  # one shared holder still in
+    gate.exit_shared()
+    assert entered.wait(5.0)
+    t.join(5.0)
+    assert gate.active == 0
+
+
+def test_engine_gate_exclusive_is_reentrant_and_admits_its_owner():
+    gate = EngineGate()
+    with gate:
+        with gate:  # reentrant
+            gate.enter_shared()  # the quiescing thread's own statement
+            assert gate.active == 1
+            gate.exit_shared()
+    # fully released: a plain shared entry must not block
+    gate.enter_shared()
+    gate.exit_shared()
+
+
+def test_admission_controller_tracks_peak():
+    registry = MetricsRegistry()
+    ctl = AdmissionController(metrics=registry)
+    with ctl.admitted() as grant:
+        assert grant.waited >= 0.0
+        with ctl.admitted():
+            assert registry.value("concurrent_statements") == 2
+    assert registry.value("concurrent_statements") == 0
+    assert registry.value("concurrent_statements_peak") == 2
+
+
+# ---------------------------------------------------------------------------
+# deterministic interleaving: disjoint footprints overlap, conflicts don't
+# ---------------------------------------------------------------------------
+
+
+def test_disjoint_footprint_statements_overlap_in_time(server):
+    """Both retrieves must be inside the admission gate at the same
+    instant: each blocks on a two-party barrier fired from the
+    ``statement_admitted`` probe, which only releases when the *other*
+    statement is admitted too.  Under the old global latch this would
+    deadlock the barrier (and the test would fail on its timeout)."""
+    db = server.db
+    barrier = threading.Barrier(2, timeout=10.0)
+    db.faults.probes["statement_admitted"] = barrier.wait
+    errors = []
+
+    def run(query):
+        try:
+            with connect(*server.address) as client:
+                client.execute(query)
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append(repr(exc))
+
+    threads = [
+        threading.Thread(target=run, args=("retrieve (Emp1.name)",)),
+        threading.Thread(target=run, args=("retrieve (Emp2.name)",)),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(15.0)
+    db.faults.probes.clear()
+    assert errors == []
+    assert not barrier.broken
+    metrics = db.telemetry.metrics
+    assert metrics.value("concurrent_statements_peak") >= 2
+
+
+def test_conflicting_statements_never_overlap(server):
+    """A reader of Emp1 must not be admitted while a transaction holds
+    X(Emp1): it blocks in the lock manager, *before* the gate.  The
+    ``statement_admitted`` probe records exactly when the reader got in:
+    only after the writer's commit released its locks."""
+    db = server.db
+    with connect(*server.address) as writer:
+        writer.begin()
+        writer.execute("replace (Emp1.salary = 1) "
+                       'where Emp1.name = "alice"')  # X(Emp1), held
+        reader_admitted = threading.Event()
+        db.faults.probes["statement_admitted"] = reader_admitted.set
+        rows = []
+
+        def read():
+            with connect(*server.address) as client:
+                rows.append(client.execute("retrieve (Emp1.salary) "
+                                           'where Emp1.name = "alice"'))
+
+        t = threading.Thread(target=read, daemon=True)
+        t.start()
+        # the reader cannot be admitted while X(Emp1) is held
+        assert not reader_admitted.wait(0.4)
+        writer.commit()
+        t.join(10.0)
+        db.faults.probes.clear()
+        assert reader_admitted.is_set()
+    assert rows and rows[0].rows == [(1,)]
+
+
+# ---------------------------------------------------------------------------
+# the concurrent buffer pool under stress
+# ---------------------------------------------------------------------------
+
+
+def _page_image(page_no: int) -> bytes:
+    return bytes([page_no % 251]) * PAGE_SIZE
+
+
+def test_buffer_pool_latch_stress_keeps_invariants():
+    """16 threads fetch/unpin over a pool far smaller than the working
+    set, with four frames pinned throughout and a prefetch mixed in.
+    Invariants: pinned frames are never evicted, page images never tear,
+    and the hit/miss accounting stays exact (hits + misses == logical
+    reads, physical reads == misses + prefetched pages)."""
+    disk = SimulatedDisk()
+    fid = disk.create_file()
+    pages = 48
+    for pno in range(pages):
+        assert disk.allocate_page(fid) == pno
+        disk.write_page(fid, pno, _page_image(pno))
+    disk.stats.reset()
+    pool = BufferPool(disk, capacity=8)
+
+    # pin four frames for the whole run: eviction must always skip them
+    pinned = [0, 1, 2, 3]
+    for pno in pinned:
+        pool.fetch(fid, pno)
+
+    threads, errors = 16, []
+    done = threading.Barrier(threads + 1, timeout=60.0)
+
+    def worker(idx):
+        try:
+            rng_pages = [(idx * 7 + i * 3) % (pages - 4) + 4
+                         for i in range(150)]
+            for pno in rng_pages:
+                with pool.page(fid, pno) as page:
+                    assert bytes(page.data) == _page_image(pno), \
+                        f"torn image for page {pno}"
+            if idx % 4 == 0:  # a few read-ahead bursts in the mix
+                pool.prefetch(fid, range(4, 12))
+            done.wait()
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append(repr(exc))
+            done.abort()
+
+    for i in range(threads):
+        threading.Thread(target=worker, args=(i,), daemon=True).start()
+    done.wait()
+    assert errors == []
+
+    # the long-pinned frames were never evicted (still resident, and
+    # their pins are still accounted)
+    resident = pool.resident_keys()
+    for pno in pinned:
+        assert (fid, pno) in resident
+        assert (fid, pno) in pool.pinned_keys()
+        pool.unpin(fid, pno)
+    assert pool.pinned_keys() == []
+
+    stats = disk.stats.snapshot()
+    # every fetch resolved as exactly one hit or one miss
+    fetches = 4 + threads * 150
+    assert stats.logical_reads == fetches
+    misses = fetches - stats.buffer_hits
+    # a page moves from disk exactly when a demand miss or a prefetch
+    # loads it -- nothing is read twice without an eviction in between
+    assert stats.physical_reads == misses + stats.prefetch_issued
+    assert stats.physical_writes == 0  # nothing was dirtied
+
+
+def test_buffer_pool_never_evicts_concurrently_pinned_frames():
+    """The no-evict-pinned invariant under a race: a frame pinned after
+    the victim scan but before the kill must be skipped (revalidation
+    under the frame latch), never evicted out from under its pin."""
+    disk = SimulatedDisk()
+    fid = disk.create_file()
+    for pno in range(6):
+        disk.allocate_page(fid)
+        disk.write_page(fid, pno, _page_image(pno))
+    pool = BufferPool(disk, capacity=2)
+    pool.fetch(fid, 0)  # pinned: never a victim
+    with pool.page(fid, 1):
+        pass  # resident, unpinned: the only legal victim
+    # filling a third frame must evict page 1, not page 0
+    with pool.page(fid, 2):
+        resident = pool.resident_keys()
+        assert (fid, 0) in resident
+        assert (fid, 1) not in resident
+    pool.unpin(fid, 0)
+
+
+# ---------------------------------------------------------------------------
+# WAL group commit and flush-failure accounting
+# ---------------------------------------------------------------------------
+
+
+def _wal_db(group_commit_ms: float = 0.0) -> Database:
+    db = Database(wal=True)
+    define_employee_schema(db)
+    if group_commit_ms:
+        db.recovery.wal.group_commit_ms = group_commit_ms
+    return db
+
+
+def test_group_commit_batches_concurrent_forces():
+    """Four statements committing inside one window share the leader's
+    force: strictly fewer physical forces than commits, with at least
+    one follower join recorded."""
+    db = _wal_db(group_commit_ms=250.0)
+    metrics = db.telemetry.metrics
+    flushes_before = metrics.value("wal_flushes_total")
+    start = threading.Barrier(4, timeout=10.0)
+    errors = []
+    # one set per writer: embedded inserts bypass the lock manager, so
+    # each thread must own its heap file outright
+    records = {
+        "Org": {"name": "w-org", "budget": 7},
+        "Dept": {"name": "w-dept", "budget": 7, "org": None},
+        "Emp1": {"name": "w1", "age": 20, "salary": 1, "dept": None},
+        "Emp2": {"name": "w2", "age": 21, "salary": 2, "dept": None},
+    }
+
+    def insert(set_name, record):
+        try:
+            start.wait()
+            db.insert(set_name, record)
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append(repr(exc))
+
+    threads = [threading.Thread(target=insert, args=item)
+               for item in records.items()]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(15.0)
+    assert errors == []
+    forced = metrics.value("wal_flushes_total") - flushes_before
+    joins = metrics.value("wal_group_commit_joins_total")
+    assert forced >= 1
+    assert forced + joins >= 4  # every commit either led or joined
+    assert joins >= 1 and forced < 4
+    for set_name, record in records.items():
+        rows = db.execute(f'retrieve ({set_name}.name) '
+                        f'where {set_name}.name = "{record["name"]}"').rows
+        assert rows == [(record["name"],)]
+
+
+def test_group_commit_zero_window_forces_each_commit():
+    db = _wal_db()  # group_commit_ms = 0.0 -- exact legacy behavior
+    metrics = db.telemetry.metrics
+    flushes_before = metrics.value("wal_flushes_total")
+    for i in range(3):
+        db.insert("Emp1", {"name": f"s{i}", "age": 30, "salary": 1,
+                           "dept": None})
+    assert metrics.value("wal_flushes_total") - flushes_before == 3
+    assert metrics.value("wal_group_commit_joins_total") == 0
+
+
+def test_flush_fault_fires_inside_accounting_not_after():
+    """Satellite bugfix: a failing force must not mark records durable
+    or count a flush -- the fault fires before ``_flushed`` moves, so
+    the statement rolls back cleanly at recovery."""
+    db = _wal_db()
+    metrics = db.telemetry.metrics
+    db.insert("Emp1", {"name": "keep", "age": 30, "salary": 1,
+                       "dept": None})
+    flushes_ok = metrics.value("wal_flushes_total")
+    db.faults.fail_after_flushes(0)
+    with pytest.raises(DiskFault):
+        db.insert("Emp1", {"name": "lost", "age": 31, "salary": 2,
+                           "dept": None})
+    # the failed force counted nothing and marked nothing durable
+    assert metrics.value("wal_flushes_total") == flushes_ok
+    assert metrics.value("faults_injected_total", kind="wal_flush") == 1
+    assert db.recovery.needs_recovery
+    db.recover()
+    names = {row[0] for row in db.execute("retrieve (Emp1.name)").rows}
+    assert "keep" in names and "lost" not in names
+
+
+def test_group_commit_flush_fault_preserves_statement_atomicity():
+    """A flush fault under a group-commit window: the leader (and any
+    follower whose records the failed force covered) sees the error.
+    Whatever reported success must survive recovery; whatever raised
+    must be rolled back -- the client's view is always truthful."""
+    db = _wal_db(group_commit_ms=150.0)
+    db.faults.fail_after_flushes(0)
+    start = threading.Barrier(2, timeout=10.0)
+    succeeded, failed = [], []
+
+    def insert(idx, set_name):
+        try:
+            start.wait()
+            db.insert(set_name, {"name": f"g{idx}", "age": 40,
+                                 "salary": idx, "dept": None})
+            succeeded.append((set_name, f"g{idx}"))
+        except DiskFault:
+            failed.append((set_name, f"g{idx}"))
+
+    threads = [threading.Thread(target=insert, args=(i, "Emp1" if i
+                                                     else "Emp2"))
+               for i in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(15.0)
+    assert failed  # the injected fault hit at least one committer
+    db.faults.disarm()
+    if db.recovery.needs_recovery:
+        db.recover()
+    for set_name, name in succeeded:
+        rows = db.execute(f'retrieve ({set_name}.name) '
+                        f'where {set_name}.name = "{name}"').rows
+        assert rows == [(name,)], f"acked statement {name} lost"
+    for set_name, name in failed:
+        rows = db.execute(f'retrieve ({set_name}.name) '
+                        f'where {set_name}.name = "{name}"').rows
+        assert rows == [], f"failed statement {name} leaked"

@@ -225,9 +225,9 @@ def test_wait_event_series_conform():
     ctx = collector.begin_statement(1, "s1", "retrieve ( x )")
     collector.record("buffer_io", 0.004, count=2)
     collector.record("lock:Emp1", 0.010)
-    collector.latch_acquired(0.0002)
-    collector.latch_acquired(0.02)
-    collector.latch_released(0.001)
+    collector.admission_granted(0.0002)
+    collector.admission_granted(0.02)
+    collector.admission_released(0.001)
     collector.finish_statement(ctx, duration_s=0.05)
     samples, helps, types, __ = parse_exposition(registry.render_prometheus())
     assert types["wait_seconds_total"] == "counter"
@@ -240,19 +240,19 @@ def test_wait_event_series_conform():
                 {"event": "lock:Emp1"}) == _approx(0.010)
     # the cpu residual is a first-class event in the same family
     assert _one(samples, "wait_events_total", {"event": "cpu"}) == 1
-    # the latch histogram: ordered cumulative buckets, +Inf == _count
-    assert types["engine_latch_wait_seconds"] == "histogram"
-    series = _bucket_series(samples, "engine_latch_wait_seconds", {})
+    # the admission histogram: ordered cumulative buckets, +Inf == _count
+    assert types["admission_wait_seconds"] == "histogram"
+    series = _bucket_series(samples, "admission_wait_seconds", {})
     assert [le for le, __ in series] == \
         [float(b) for b in LATCH_WAIT_BUCKETS] + [math.inf]
     values = [v for __, v in series]
     assert values == sorted(values)
     assert values[-1] == 2
-    assert _one(samples, "engine_latch_wait_seconds_count", {}) == 2
-    assert _one(samples, "engine_latch_wait_seconds_sum", {}) == \
+    assert _one(samples, "admission_wait_seconds_count", {}) == 2
+    assert _one(samples, "admission_wait_seconds_sum", {}) == \
         _approx(0.0202)
-    assert types["engine_latch_hold_seconds_total"] == "counter"
-    assert _one(samples, "engine_latch_hold_seconds_total", {}) == \
+    assert types["admission_hold_seconds_total"] == "counter"
+    assert _one(samples, "admission_hold_seconds_total", {}) == \
         _approx(0.001)
 
 

@@ -149,3 +149,119 @@ def test_server_process_survives_sustained_mixed_load(tmp_path):
     reloaded = open_database(str(saved))
     reloaded.verify()
     assert len(reloaded.execute("retrieve (Emp1.name)").rows) == 24
+
+
+@pytest.mark.soak
+def test_server_process_concurrency_stress(tmp_path):
+    """Read-heavy 16-client stress against a real server process.
+
+    Gated on ``REPRO_CONCURRENCY_STRESS=1`` (the CI soak job's stress
+    variant).  14 readers and 2 writers hammer the server while a
+    scraper polls ``/metrics``; the run must finish without deadlock or
+    protocol failures, and the scraped ``concurrent_statements_peak``
+    gauge must exceed 1 -- proof that footprint admission really
+    executed statements concurrently in a production-shaped process.
+    """
+    if os.environ.get("REPRO_CONCURRENCY_STRESS") != "1":
+        pytest.skip("set REPRO_CONCURRENCY_STRESS=1 to run the stress soak")
+    clients = 16
+    snapshot = tmp_path / "stress.frdb"
+    _build_snapshot(str(snapshot))
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.server", "--port", "0",
+         "--snapshot", str(snapshot),
+         "--workers", str(clients), "--queue-depth", "128",
+         "--max-connections", str(clients + 4), "--lock-timeout", "10",
+         "--group-commit-ms", "2", "--metrics-port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env)
+    try:
+        line = proc.stdout.readline().strip()
+        assert line.startswith("listening on "), line
+        host, port = line.split()[-1].rsplit(":", 1)
+        address = (host, int(port))
+        line = proc.stdout.readline().strip()
+        assert line.startswith("metrics on "), line
+        mhost, mport = line.split()[-1].rsplit(":", 1)
+        metrics_base = f"http://{mhost}:{mport}"
+
+        deadline = time.monotonic() + SOAK_SECONDS
+        counts = {"reads": 0, "writes": 0, "busy": 0, "lock": 0}
+        counts_mutex = threading.Lock()
+        failures = []
+        peaks = []
+
+        def scraper():
+            from urllib.request import urlopen
+
+            try:
+                while time.monotonic() < deadline:
+                    with urlopen(metrics_base + "/metrics",
+                                 timeout=10.0) as rsp:
+                        assert rsp.status == 200
+                        body = rsp.read().decode("utf-8")
+                    for raw in body.splitlines():
+                        if raw.startswith("concurrent_statements_peak"):
+                            peaks.append(float(raw.split()[-1]))
+                    time.sleep(0.25)
+            except Exception as exc:
+                failures.append(f"scraper: {exc!r}")
+
+        def worker(idx):
+            is_writer = idx < 2  # read-heavy: 2 of 16 write
+            try:
+                with connect(*address, timeout=30.0) as client:
+                    i = 0
+                    while time.monotonic() < deadline:
+                        i += 1
+                        try:
+                            if is_writer:
+                                dept = (idx + i) % 4
+                                client.execute(
+                                    f'replace (Dept.name = "s{dept}-{idx}-{i}") '
+                                    f"where Dept.budget = {1000 + dept}")
+                                with counts_mutex:
+                                    counts["writes"] += 1
+                            else:
+                                rows = client.execute(
+                                    "retrieve (Emp1.name, Emp1.dept.name)"
+                                ).rows
+                                assert len(rows) == 24
+                                with counts_mutex:
+                                    counts["reads"] += 1
+                        except RemoteError as exc:
+                            if exc.code in ("server_busy",):
+                                with counts_mutex:
+                                    counts["busy"] += 1
+                                time.sleep(0.01)
+                            elif exc.code in ("lock_timeout", "deadlock"):
+                                with counts_mutex:
+                                    counts["lock"] += 1
+                            else:
+                                raise
+            except Exception as exc:
+                failures.append(f"worker {idx}: {exc!r}")
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(clients)]
+        threads.append(threading.Thread(target=scraper))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=SOAK_SECONDS + 60.0)
+        assert failures == []
+        assert counts["reads"] > 0 and counts["writes"] > 0
+        # the tentpole's proof in a real process: statements overlapped
+        assert peaks and max(peaks) > 1, peaks
+
+        with connect(*address, timeout=30.0) as client:
+            assert "invariants hold" in client.meta("verify")
+            client.shutdown()
+        assert proc.wait(timeout=60.0) == 0
+        assert "server drained" in proc.stdout.read()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10.0)

@@ -1,6 +1,7 @@
-"""Wait-event accounting: attribution completeness, the engine-latch
-instrumentation, per-resource lock waits, and the wait columns riding on
-the slow-query log and the per-fingerprint statement statistics."""
+"""Wait-event accounting: attribution completeness, the admission-wait
+instrumentation (with its engine_latch legacy aliases), per-resource
+lock waits, and the wait columns riding on the slow-query log and the
+per-fingerprint statement statistics."""
 
 import threading
 import time
@@ -13,6 +14,7 @@ from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.slowlog import SlowQueryLog
 from repro.telemetry.statstats import StatementStats
 from repro.telemetry.waitevents import (
+    ADMISSION_WAIT,
     BUFFER_IO,
     CPU,
     ENGINE_LATCH,
@@ -21,6 +23,7 @@ from repro.telemetry.waitevents import (
     QUEUE_WAIT,
     WaitEventCollector,
     base_event,
+    canonical_event,
 )
 
 
@@ -131,14 +134,21 @@ def test_totals_shares_and_lock_rollup():
 def test_latch_instrumentation_feeds_histogram_and_hold_counter():
     registry = MetricsRegistry()
     collector = WaitEventCollector(metrics=registry)
-    collector.latch_acquired(0.002)
-    collector.latch_released(0.004)
-    assert registry.histogram("engine_latch_wait_seconds").count() == 1
-    assert registry.histogram("engine_latch_wait_seconds").sum() == \
+    collector.admission_granted(0.002)
+    collector.admission_released(0.004)
+    assert registry.histogram("admission_wait_seconds").count() == 1
+    assert registry.histogram("admission_wait_seconds").sum() == \
         pytest.approx(0.002)
-    assert registry.value("engine_latch_hold_seconds_total") == \
+    assert registry.value("admission_hold_seconds_total") == \
         pytest.approx(0.004)
+    assert collector.total_for(ADMISSION_WAIT) == pytest.approx(0.002)
+    # the legacy event name still reads the same totals (alias)
+    assert canonical_event(ENGINE_LATCH) == ADMISSION_WAIT
     assert collector.total_for(ENGINE_LATCH) == pytest.approx(0.002)
+    # ...and the legacy method names still record (old callers)
+    collector.latch_acquired(0.001)
+    collector.latch_released(0.001)
+    assert registry.histogram("admission_wait_seconds").count() == 2
 
 
 def test_null_collector_surface_matches():
@@ -163,13 +173,13 @@ def test_served_statements_attribute_latch_and_cpu(server):
     waits = server.db.telemetry.waits
     events = {r["event"] for r in waits.totals()}
     assert CPU in events
-    assert ENGINE_LATCH in events
+    assert ADMISSION_WAIT in events
     snap = waits.snapshot()
     assert snap["statements"] >= 5
     assert snap["coverage"] >= 0.95  # the acceptance bar, by construction
     metrics = server.db.telemetry.metrics
-    assert metrics.histogram("engine_latch_wait_seconds").count() >= 5
-    assert metrics.value("engine_latch_hold_seconds_total") > 0.0
+    assert metrics.histogram("admission_wait_seconds").count() >= 5
+    assert metrics.value("admission_hold_seconds_total") > 0.0
 
 
 def test_lock_contention_attributed_to_the_contended_resource(server):
